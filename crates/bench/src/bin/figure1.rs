@@ -1,0 +1,26 @@
+//! Regenerates Figure 1: output-error histograms of the quadratic at
+//! granularities 8 and 16.
+
+use sna_hist::RenderOptions;
+
+fn main() -> Result<(), sna_bench::Error> {
+    for (g, hist) in sna_bench::figure1(&[8, 16])? {
+        println!("Figure 1: output histogram for the quadratic, g = {g}\n");
+        print!(
+            "{}",
+            hist.render_ascii(&RenderOptions {
+                max_rows: 24,
+                bar_width: 48,
+                show_cdf: true,
+            })
+        );
+        println!(
+            "mean {:.4}  variance {:.4}  support [{:.4}, {:.4}]\n",
+            hist.mean(),
+            hist.variance(),
+            hist.support().0,
+            hist.support().1
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 3: error PDFs of the RGB→YCrCb converter outputs.
+
+use sna_hist::RenderOptions;
+
+fn main() -> Result<(), sna_bench::Error> {
+    let w = 12;
+    println!("Figure 3: error PDFs for the RGB outputs (SNA, W = {w})\n");
+    for (name, report) in sna_bench::figure3(w, 64)? {
+        println!(
+            "output {name}: mean {:.4e}, variance {:.4e}, bounds [{:.4e}, {:.4e}]",
+            report.mean, report.variance, report.support.0, report.support.1
+        );
+        if let Some(pdf) = &report.histogram {
+            print!(
+                "{}",
+                pdf.render_ascii(&RenderOptions {
+                    max_rows: 16,
+                    bar_width: 44,
+                    ..RenderOptions::default()
+                })
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

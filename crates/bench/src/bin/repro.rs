@@ -1,0 +1,104 @@
+//! Runs the complete reproduction suite — every table and figure of the
+//! paper — and prints a consolidated report (markdown-ish, suitable for
+//! pasting into EXPERIMENTS.md).
+//!
+//! Run with: `cargo run --release -p sna-bench --bin repro`
+
+use sna_hist::RenderOptions;
+
+fn main() -> Result<(), sna_bench::Error> {
+    println!("# SNA reproduction run\n");
+
+    // ------------------------------------------------------------------
+    println!("## Table 1 — quadratic output range\n");
+    let t1 = sna_bench::table1(16)?;
+    println!("| method | range |");
+    println!("|--------|-------|");
+    println!("| IA  | {} |", t1.ia);
+    println!(
+        "| AA  | {} ± {} = [{}, {}] |",
+        t1.aa_center,
+        t1.aa_radius,
+        t1.aa_center - t1.aa_radius,
+        t1.aa_center + t1.aa_radius
+    );
+    println!(
+        "| SNA (g={}) | [{:.4}, {:.4}] |",
+        t1.sna_granularity,
+        t1.sna.lo(),
+        t1.sna.hi()
+    );
+    println!("| paper | IA [0,23] · AA 6.5±16.5 · true [5,23] |\n");
+
+    // ------------------------------------------------------------------
+    println!("## Table 2 — SNA statistics vs granularity\n");
+    let t2 = sna_bench::table2(&[2, 4, 8, 16, 32, 64], 1_000_000)?;
+    println!("| g | mean | variance | outer xl | outer xh | inner xl | inner xh |");
+    println!("|---|------|----------|----------|----------|----------|----------|");
+    for r in &t2.rows {
+        println!(
+            "| {} | {:.4} | {:.4} | {:.4} | {:.4} | {:.4} | {:.4} |",
+            r.g, r.mean, r.variance, r.xl, r.xh, r.xl_inner, r.xh_inner
+        );
+    }
+    let (am, av, al, ah) = t2.actual;
+    println!("| actual | {am:.4} | {av:.4} | {al:.4} | {ah:.4} | — | — |");
+    println!("| paper actual | 3.17 | 16.57 | -1.5 | 16.5 | | |\n");
+
+    // ------------------------------------------------------------------
+    println!("## Figure 1 — quadratic error histograms\n");
+    for (g, hist) in sna_bench::figure1(&[8, 16])? {
+        println!("granularity g = {g}:\n");
+        println!("```");
+        print!(
+            "{}",
+            hist.render_ascii(&RenderOptions {
+                max_rows: 16,
+                bar_width: 40,
+                ..RenderOptions::default()
+            })
+        );
+        println!("```\n");
+    }
+
+    // ------------------------------------------------------------------
+    println!("## Figure 3 — RGB→YCrCb error PDFs (W = 12)\n");
+    for (name, report) in sna_bench::figure3(12, 64)? {
+        println!(
+            "- **{name}**: mean {:.3e}, σ {:.3e}, bounds [{:.3e}, {:.3e}]",
+            report.mean,
+            report.std_dev(),
+            report.support.0,
+            report.support.1
+        );
+    }
+    println!();
+
+    // ------------------------------------------------------------------
+    let word_lengths = [8u8, 16, 24, 32];
+    for (idx, design) in sna_designs::Design::paper_suite().iter().enumerate() {
+        println!("## Table {} — {}\n", idx + 3, design.description);
+        let rows = sna_bench::design_table(design, &word_lengths)?;
+        println!("| W | metric | fixed | optimized | improvement % |");
+        println!("|---|--------|-------|-----------|---------------|");
+        for r in &rows {
+            println!(
+                "| {} | area µm² | {:.0} | {:.0} | {:.2} |",
+                r.w, r.fixed.0, r.optimized.0, r.improvement.0
+            );
+            println!(
+                "| {} | power µW | {:.1} | {:.1} | {:.2} |",
+                r.w, r.fixed.1, r.optimized.1, r.improvement.1
+            );
+            println!(
+                "| {} | delay cyc | {} | {} | {:.2} |",
+                r.w, r.fixed.2, r.optimized.2, r.improvement.2
+            );
+            println!("| {} | noise | {:.3e} | constrained | |", r.w, r.noise);
+        }
+        println!();
+    }
+
+    println!("done.");
+    Ok(())
+}

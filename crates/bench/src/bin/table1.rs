@@ -1,0 +1,23 @@
+//! Regenerates Table 1: error range of the quadratic by IA, AA, SNA.
+
+fn main() -> Result<(), sna_bench::Error> {
+    let t = sna_bench::table1(16)?;
+    println!("Table 1: Error range for the quadratic equation.");
+    println!("{:<8} | Output Range", "Method");
+    println!("{}", "-".repeat(40));
+    println!("{:<8} | y = {}", "IA", t.ia);
+    println!(
+        "{:<8} | y = {} + {}·εy  (⊆ [{}, {}])",
+        "AA",
+        t.aa_center,
+        t.aa_radius,
+        t.aa_center - t.aa_radius,
+        t.aa_center + t.aa_radius
+    );
+    println!(
+        "{:<8} | y ∈ [{:.4}, {:.4}]  (g = {})",
+        "SNA", t.sna.lo(), t.sna.hi(), t.sna_granularity
+    );
+    println!("\npaper:   IA [0, 23] · AA 6.5 ± 16.5 · true range [5, 23]");
+    Ok(())
+}

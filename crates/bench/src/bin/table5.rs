@@ -1,0 +1,9 @@
+//! Regenerates Table 5: fixed vs optimized word-length costs for
+//! Design III (8-point FFT).
+
+fn main() -> Result<(), sna_bench::Error> {
+    let design = sna_designs::fft8();
+    let rows = sna_bench::design_table(&design, &[8, 16, 24, 32])?;
+    print!("{}", sna_bench::render_design_table("Design III (8-point FFT)", &rows));
+    Ok(())
+}

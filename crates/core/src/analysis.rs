@@ -1,0 +1,236 @@
+//! High-level facade: pick an engine (or let the analysis pick one) and
+//! get per-output [`NoiseReport`]s.
+
+use sna_dfg::{Dfg, LtiOptions};
+use sna_fixp::WlConfig;
+use sna_interval::Interval;
+
+use crate::{
+    DfgEngine, EngineOptions, LtiEngine, NaModel, NoiseReport, SnaError, SymbolicEngine,
+    SymbolicOptions,
+};
+
+/// Which analysis engine to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Choose automatically: LTI for sequential linear graphs, the DFG
+    /// histogram engine otherwise.
+    #[default]
+    Auto,
+    /// Op-by-op histogram propagation ([`DfgEngine`]).
+    Dfg,
+    /// LTI gains + CLT shaping ([`LtiEngine`]); linear graphs only.
+    Lti,
+    /// Polynomial propagation ([`SymbolicEngine`]); combinational only.
+    Symbolic,
+    /// Classical NA baseline (moments only, no PDF).
+    Na,
+}
+
+/// One-stop analysis builder.
+///
+/// # Example
+///
+/// ```
+/// use sna_core::{EngineKind, SnaAnalysis};
+/// use sna_dfg::DfgBuilder;
+/// use sna_fixp::WlConfig;
+/// use sna_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new();
+/// let x = b.input("x");
+/// let y = b.mul_const(0.5, x);
+/// b.output("y", y);
+/// let dfg = b.build()?;
+/// let ranges = vec![Interval::new(-1.0, 1.0)?];
+/// let cfg = WlConfig::from_ranges(&dfg, &ranges, 12)?;
+///
+/// let reports = SnaAnalysis::new(&dfg, &cfg, &ranges)
+///     .engine(EngineKind::Auto)
+///     .bins(64)
+///     .run()?;
+/// assert_eq!(reports[0].0, "y");
+/// assert!(reports[0].1.variance > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SnaAnalysis<'a> {
+    dfg: &'a Dfg,
+    config: &'a WlConfig,
+    input_ranges: &'a [Interval],
+    engine: EngineKind,
+    bins: usize,
+}
+
+impl<'a> SnaAnalysis<'a> {
+    /// Starts an analysis of `dfg` under `config` with the given input
+    /// ranges.
+    pub fn new(dfg: &'a Dfg, config: &'a WlConfig, input_ranges: &'a [Interval]) -> Self {
+        SnaAnalysis {
+            dfg,
+            config,
+            input_ranges,
+            engine: EngineKind::Auto,
+            bins: 64,
+        }
+    }
+
+    /// Selects the engine.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the histogram resolution (granularity).
+    pub fn bins(mut self, bins: usize) -> Self {
+        self.bins = bins;
+        self
+    }
+
+    /// Runs the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the selected engine's failures; `Auto` falls back from
+    /// LTI to the DFG engine on the combinational view when the graph is
+    /// nonlinear.
+    pub fn run(self) -> Result<Vec<(String, NoiseReport)>, SnaError> {
+        match self.engine {
+            EngineKind::Auto => {
+                if self.dfg.is_linear() {
+                    LtiEngine::build(self.dfg, self.input_ranges, &LtiOptions::default(), self.bins)?
+                        .analyze(self.dfg, self.config)
+                } else if self.dfg.is_combinational() {
+                    DfgEngine::new(EngineOptions::default().with_bins(self.bins)).analyze(
+                        self.dfg,
+                        self.config,
+                        self.input_ranges,
+                    )
+                } else {
+                    Err(SnaError::SequentialGraph)
+                }
+            }
+            EngineKind::Dfg => DfgEngine::new(EngineOptions::default().with_bins(self.bins))
+                .analyze(self.dfg, self.config, self.input_ranges),
+            EngineKind::Lti => {
+                LtiEngine::build(self.dfg, self.input_ranges, &LtiOptions::default(), self.bins)?
+                    .analyze(self.dfg, self.config)
+            }
+            EngineKind::Symbolic => {
+                let res = SymbolicEngine::new(SymbolicOptions {
+                    symbol_bins: self.bins,
+                    out_bins: self.bins * 2,
+                    ..Default::default()
+                })
+                .analyze(self.dfg, self.config, self.input_ranges)?;
+                Ok(res.reports)
+            }
+            EngineKind::Na => {
+                let model = NaModel::build(self.dfg, self.input_ranges, &LtiOptions::default())?;
+                Ok(model.evaluate(self.dfg, self.config))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::DfgBuilder;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    fn linear_tree() -> Dfg {
+        // A fanout-free tree: every engine's independence assumptions are
+        // exact here, so all four must agree.
+        let mut b = DfgBuilder::new();
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let t1 = b.mul_const(0.3, x1);
+        let t2 = b.mul_const(0.6, x2);
+        let y = b.add(t1, t2);
+        b.output("y", y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_engines_agree_on_moments_for_linear_graphs() {
+        let g = linear_tree();
+        let ranges = [iv(-1.0, 1.0), iv(-1.0, 1.0)];
+        let cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
+        let mut variances = Vec::new();
+        for kind in [
+            EngineKind::Dfg,
+            EngineKind::Lti,
+            EngineKind::Symbolic,
+            EngineKind::Na,
+        ] {
+            let r = SnaAnalysis::new(&g, &cfg, &ranges)
+                .engine(kind)
+                .bins(64)
+                .run()
+                .unwrap();
+            variances.push(r[0].1.variance);
+        }
+        let reference = variances[3]; // NA is the analytic baseline here
+        for (i, v) in variances.iter().enumerate() {
+            assert!(
+                (v / reference - 1.0).abs() < 0.25,
+                "engine {i} variance {v} vs reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_prefers_lti_for_sequential_linear() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let t = b.mul_const(0.5, fb);
+        let y = b.add(x, t);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let ranges = [iv(-0.4, 0.4)];
+        let cfg = WlConfig::from_ranges(&g, &ranges, 12).unwrap();
+        let r = SnaAnalysis::new(&g, &cfg, &ranges).run().unwrap();
+        // PDF attached ⇒ the LTI engine ran (NA would not attach one).
+        assert!(r[0].1.histogram.is_some());
+    }
+
+    #[test]
+    fn auto_falls_back_to_dfg_for_nonlinear_combinational() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.mul(x, x);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let ranges = [iv(-1.0, 1.0)];
+        let cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
+        let r = SnaAnalysis::new(&g, &cfg, &ranges).run().unwrap();
+        assert!(r[0].1.variance > 0.0);
+    }
+
+    #[test]
+    fn auto_rejects_nonlinear_sequential() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let sq = b.mul(fb, fb);
+        let scaled = b.mul_const(0.1, sq);
+        let y = b.add(x, scaled);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let ranges = [iv(-0.5, 0.5)];
+        let cfg = WlConfig::from_ranges(&g, &ranges, 12).unwrap();
+        assert!(matches!(
+            SnaAnalysis::new(&g, &cfg, &ranges).run(),
+            Err(SnaError::SequentialGraph)
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+use sna_dfg::{DfgError, NodeId};
+use sna_expr::ExprError;
+use sna_fixp::FixpError;
+use sna_hist::HistError;
+
+/// Errors produced by the SNA engines.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnaError {
+    /// Underlying graph failure.
+    Dfg(DfgError),
+    /// Underlying fixed-point failure.
+    Fixp(FixpError),
+    /// Underlying histogram failure.
+    Hist(HistError),
+    /// Underlying symbolic-expression failure.
+    Expr(ExprError),
+    /// The selected engine cannot handle an operation of the graph.
+    UnsupportedOp {
+        /// The offending node.
+        node: NodeId,
+        /// Human-readable reason / remedy.
+        reason: &'static str,
+    },
+    /// The engine requires a combinational graph (use
+    /// [`sna_dfg::Dfg::combinational_view`] or the LTI engine).
+    SequentialGraph,
+    /// An expression analysis was asked for with mismatched input counts.
+    WrongInputCount {
+        /// Expected number of uncertain inputs.
+        expected: usize,
+        /// Provided number.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnaError::Dfg(e) => write!(f, "graph error: {e}"),
+            SnaError::Fixp(e) => write!(f, "fixed-point error: {e}"),
+            SnaError::Hist(e) => write!(f, "histogram error: {e}"),
+            SnaError::Expr(e) => write!(f, "expression error: {e}"),
+            SnaError::UnsupportedOp { node, reason } => {
+                write!(f, "unsupported operation at node {node}: {reason}")
+            }
+            SnaError::SequentialGraph => {
+                write!(f, "engine requires a combinational graph")
+            }
+            SnaError::WrongInputCount { expected, got } => {
+                write!(f, "expected {expected} uncertain inputs, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for SnaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnaError::Dfg(e) => Some(e),
+            SnaError::Fixp(e) => Some(e),
+            SnaError::Hist(e) => Some(e),
+            SnaError::Expr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for SnaError {
+    fn from(e: DfgError) -> Self {
+        SnaError::Dfg(e)
+    }
+}
+
+impl From<FixpError> for SnaError {
+    fn from(e: FixpError) -> Self {
+        SnaError::Fixp(e)
+    }
+}
+
+impl From<HistError> for SnaError {
+    fn from(e: HistError) -> Self {
+        SnaError::Hist(e)
+    }
+}
+
+impl From<ExprError> for SnaError {
+    fn from(e: ExprError) -> Self {
+        SnaError::Expr(e)
+    }
+}

@@ -1,0 +1,425 @@
+//! The classical Noise Analysis (NA) baseline and the fast moment model
+//! used inside optimization loops.
+//!
+//! NA treats every rounding site as an independent wide-sense-stationary
+//! noise source with a uniform PDF and propagates only *moments* through
+//! precomputed LTI gains (Section 3, first category).  The gains depend
+//! only on the datapath's constant coefficients — not on word lengths — so
+//! [`NaModel::build`] runs the impulse-response analysis once and
+//! [`NaModel::evaluate`] is `O(#sources)` per word-length configuration.
+//! That asymmetry is what makes noise-constrained word-length search
+//! practical.
+//!
+//! Two effects beyond textbook NA are modelled, both of which bit-true
+//! simulation exhibits:
+//!
+//! * **linear constant offsets** — a rounded additive constant shifts the
+//!   output deterministically through its DC gain;
+//! * **coefficient rounding** — a rounded multiplier coefficient `c+ec`
+//!   produces the *signal-dependent* error `ec·x` at the multiplier (and
+//!   analogously for constant divisors), modelled as a bounded source with
+//!   mean `ec·mid(x)` and half-width `|ec|·rad(x)` injected at the
+//!   multiplier's site.
+
+use sna_dfg::{Dfg, ImpulseGains, LtiOptions, NodeId, Op, RangeOptions};
+use sna_fixp::WlConfig;
+use sna_interval::Interval;
+
+use crate::sources::{IntroducesNoise, NoiseSource};
+use crate::{NoiseReport, SnaError};
+
+/// How a rounded constant perturbs a consumer site.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum CoeffKind {
+    /// `(c+ec)·x − c·x = ec·x` at a multiplier.
+    MulFactor,
+    /// `x/(c+ec) − x/c = x·(1/(c+ec) − 1/c)` at a divider.
+    DivDenominator,
+}
+
+/// A site where a rounded constant interacts bilinearly with a signal.
+#[derive(Clone, Copy, Debug)]
+struct CoeffSite {
+    const_node: NodeId,
+    constant: f64,
+    /// The multiplier/divider whose gains the error propagates through.
+    site: NodeId,
+    kind: CoeffKind,
+    /// Uniform-signal model of the other operand: midpoint and radius.
+    other_mid: f64,
+    other_rad: f64,
+}
+
+/// Precomputed noise-transfer gains for every potential noise source of a
+/// linear datapath, plus the coefficient-site inventory.
+#[derive(Clone, Debug)]
+pub struct NaModel {
+    /// `gains[i]` = impulse gains from node `i`, for analyzed nodes.
+    gains: Vec<Option<ImpulseGains>>,
+    output_names: Vec<String>,
+    coeff_sites: Vec<CoeffSite>,
+}
+
+impl NaModel {
+    /// Runs the one-off analyses: impulse gains from every potential
+    /// source, signal ranges for the coefficient-site inventory.
+    ///
+    /// # Errors
+    ///
+    /// * [`SnaError::Dfg`] wrapping `NonlinearNode` for nonlinear graphs,
+    ///   `UnstableImpulse` for unstable feedback, or range failures.
+    pub fn build(dfg: &Dfg, input_ranges: &[Interval], opts: &LtiOptions) -> Result<Self, SnaError> {
+        dfg.require_linear()?;
+        let ranges = dfg.ranges_auto(input_ranges, &RangeOptions::default(), opts)?;
+        let mut gains = Vec::with_capacity(dfg.len());
+        for (id, node) in dfg.nodes() {
+            let relevant = node.op().is_arithmetic()
+                || matches!(node.op(), Op::Input(_) | Op::Const(_) | Op::Delay);
+            if relevant {
+                gains.push(Some(dfg.impulse_gains(id, opts)?));
+            } else {
+                gains.push(None);
+            }
+        }
+        // Inventory of constant-coefficient interaction sites.
+        let mut coeff_sites = Vec::new();
+        for (site, node) in dfg.nodes() {
+            match node.op() {
+                Op::Mul => {
+                    for (slot, &arg) in node.args().iter().enumerate() {
+                        if let Op::Const(c) = dfg.node(arg).op() {
+                            let other = node.args()[1 - slot];
+                            let r = ranges[other.index()];
+                            coeff_sites.push(CoeffSite {
+                                const_node: arg,
+                                constant: c,
+                                site,
+                                kind: CoeffKind::MulFactor,
+                                other_mid: r.mid(),
+                                other_rad: r.rad(),
+                            });
+                        }
+                    }
+                }
+                Op::Div => {
+                    if let Op::Const(c) = dfg.node(node.args()[1]).op() {
+                        let num = node.args()[0];
+                        let r = ranges[num.index()];
+                        coeff_sites.push(CoeffSite {
+                            const_node: node.args()[1],
+                            constant: c,
+                            site,
+                            kind: CoeffKind::DivDenominator,
+                            other_mid: r.mid(),
+                            other_rad: r.rad(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(NaModel {
+            gains,
+            output_names: dfg.outputs().iter().map(|(n, _)| n.clone()).collect(),
+            coeff_sites,
+        })
+    }
+
+    /// Names of the outputs the gains refer to.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// The gains from one node, when it was analyzed.
+    pub fn gains_from(&self, node: NodeId) -> Option<&ImpulseGains> {
+        self.gains.get(node.index()).and_then(|g| g.as_ref())
+    }
+
+    /// All *random* bounded sources under `config`, each attached to the
+    /// node whose gains it propagates through: the precision-losing
+    /// quantization sites plus the coefficient pseudo-sources.
+    pub fn shaped_sources(&self, dfg: &Dfg, config: &WlConfig) -> Vec<NoiseSource> {
+        let mut out = Vec::new();
+        for (id, node) in dfg.nodes() {
+            if matches!(node.op(), Op::Const(_)) {
+                continue;
+            }
+            if self.gains[id.index()].is_none() || !dfg.introduces_noise(id, config) {
+                continue;
+            }
+            out.push(NoiseSource::for_quantizer(id, config.quantizer(id)));
+        }
+        for cs in &self.coeff_sites {
+            let q = config.quantizer(cs.const_node);
+            let delta = match cs.kind {
+                CoeffKind::MulFactor => q.quantize(cs.constant) - cs.constant,
+                CoeffKind::DivDenominator => {
+                    let rounded = q.quantize(cs.constant);
+                    if rounded == 0.0 || cs.constant == 0.0 {
+                        0.0
+                    } else {
+                        1.0 / rounded - 1.0 / cs.constant
+                    }
+                }
+            };
+            if delta == 0.0 {
+                continue;
+            }
+            out.push(NoiseSource {
+                node: cs.site,
+                offset: delta * cs.other_mid,
+                half_width: delta.abs() * cs.other_rad,
+            });
+        }
+        out
+    }
+
+    /// Deterministic constant offsets under `config`, attached to the
+    /// constant node whose (linear) gains they propagate through.
+    pub fn deterministic_offsets(&self, dfg: &Dfg, config: &WlConfig) -> Vec<(NodeId, f64)> {
+        let mut out = Vec::new();
+        for (id, node) in dfg.nodes() {
+            if let Op::Const(c) = node.op() {
+                if self.gains[id.index()].is_none() {
+                    continue;
+                }
+                let offset = config.quantizer(id).quantize(c) - c;
+                if offset != 0.0 {
+                    out.push((id, offset));
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluates output noise under a word-length configuration:
+    /// moments-only reports (mean, variance, worst-case bounds), one per
+    /// output.
+    pub fn evaluate(&self, dfg: &Dfg, config: &WlConfig) -> Vec<(String, NoiseReport)> {
+        let n_out = self.output_names.len();
+        let mut mean = vec![0.0; n_out];
+        let mut variance = vec![0.0; n_out];
+        let mut lo = vec![0.0; n_out];
+        let mut hi = vec![0.0; n_out];
+        for src in self.shaped_sources(dfg, config) {
+            let g = self.gains[src.node.index()]
+                .as_ref()
+                .expect("shaped sources refer to analyzed nodes");
+            for k in 0..n_out {
+                let og = g.per_output[k];
+                // Per-tap extremal split: P = Σ max(h,0), N = Σ min(h,0).
+                let p = 0.5 * (og.l1 + og.dc);
+                let n = 0.5 * (og.dc - og.l1);
+                let a = src.offset - src.half_width;
+                let b = src.offset + src.half_width;
+                mean[k] += src.offset * og.dc;
+                variance[k] += src.variance() * og.l2_squared;
+                lo[k] += a * p + b * n;
+                hi[k] += b * p + a * n;
+            }
+        }
+        for (node, offset) in self.deterministic_offsets(dfg, config) {
+            let g = self.gains[node.index()]
+                .as_ref()
+                .expect("offsets refer to analyzed nodes");
+            for k in 0..n_out {
+                let contrib = offset * g.per_output[k].dc;
+                mean[k] += contrib;
+                lo[k] += contrib;
+                hi[k] += contrib;
+            }
+        }
+        self.output_names
+            .iter()
+            .enumerate()
+            .map(|(k, name)| {
+                (
+                    name.clone(),
+                    NoiseReport::from_moments(mean[k], variance[k], (lo[k], hi[k])),
+                )
+            })
+            .collect()
+    }
+
+    /// Total output noise power (`Σ power` across outputs) — the scalar the
+    /// optimizer constrains.
+    pub fn total_power(&self, dfg: &Dfg, config: &WlConfig) -> f64 {
+        self.evaluate(dfg, config)
+            .iter()
+            .map(|(_, r)| r.power)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::DfgBuilder;
+    use sna_fixp::{monte_carlo_error, MonteCarloOptions};
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn combinational_na_matches_monte_carlo() {
+        let mut b = DfgBuilder::new();
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let t1 = b.mul_const(0.3, x1);
+        let t2 = b.mul_const(0.6, x2);
+        let y = b.add(t1, t2);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let ranges = [iv(-1.0, 1.0), iv(-1.0, 1.0)];
+        let cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
+        let model = NaModel::build(&g, &ranges, &LtiOptions::default()).unwrap();
+        let predicted = &model.evaluate(&g, &cfg)[0].1;
+        let measured = &monte_carlo_error(
+            &g,
+            &cfg,
+            &ranges,
+            &MonteCarloOptions {
+                samples: 50_000,
+                ..Default::default()
+            },
+        )
+        .unwrap()[0];
+        let ratio = predicted.variance / measured.variance;
+        assert!(ratio > 0.5 && ratio < 2.0, "variance ratio {ratio}");
+        assert!(
+            predicted.support.0 <= measured.min,
+            "lo: predicted {} measured {}",
+            predicted.support.0,
+            measured.min
+        );
+        assert!(
+            predicted.support.1 >= measured.max,
+            "hi: predicted {} measured {}",
+            predicted.support.1,
+            measured.max
+        );
+    }
+
+    #[test]
+    fn coefficient_rounding_is_captured() {
+        // y = 0.3·x with a *coarse* constant: the dominant error is ec·x.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.mul_const(0.3, x);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let ranges = [iv(-1.0, 1.0)];
+        let cfg = WlConfig::from_ranges(&g, &ranges, 6).unwrap();
+        let model = NaModel::build(&g, &ranges, &LtiOptions::default()).unwrap();
+        let predicted = &model.evaluate(&g, &cfg)[0].1;
+        let measured = &monte_carlo_error(
+            &g,
+            &cfg,
+            &ranges,
+            &MonteCarloOptions {
+                samples: 40_000,
+                ..Default::default()
+            },
+        )
+        .unwrap()[0];
+        assert!(predicted.support.0 <= measured.min);
+        assert!(predicted.support.1 >= measured.max);
+        let ratio = predicted.variance / measured.variance;
+        assert!(ratio > 0.4 && ratio < 2.5, "variance ratio {ratio}");
+    }
+
+    #[test]
+    fn iir_feedback_amplifies_noise() {
+        let mk = |pole: f64| {
+            let mut b = DfgBuilder::new();
+            let x = b.input("x");
+            let fb = b.delay_placeholder();
+            let t = b.mul_const(pole, fb);
+            let y = b.add(x, t);
+            b.bind_delay(fb, y).unwrap();
+            b.output("y", y);
+            b.build().unwrap()
+        };
+        let sharp = mk(0.9);
+        let soft = mk(0.1);
+        let ranges = [iv(-0.05, 0.05)];
+        let cfg_sharp = WlConfig::from_ranges(&sharp, &ranges, 12).unwrap();
+        let cfg_soft = WlConfig::from_ranges(&soft, &ranges, 12).unwrap();
+        let m_sharp = NaModel::build(&sharp, &ranges, &LtiOptions::default()).unwrap();
+        let m_soft = NaModel::build(&soft, &ranges, &LtiOptions::default()).unwrap();
+        let v_sharp = m_sharp.evaluate(&sharp, &cfg_sharp)[0].1.variance;
+        let v_soft = m_soft.evaluate(&soft, &cfg_soft)[0].1.variance;
+        assert!(
+            v_sharp > 2.0 * v_soft,
+            "sharp pole must amplify noise: {v_sharp} vs {v_soft}"
+        );
+    }
+
+    #[test]
+    fn evaluate_is_cheap_after_build() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let t = b.mul_const(0.5, x);
+        let y = b.add(t, x);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let ranges = [iv(-1.0, 1.0)];
+        let model = NaModel::build(&g, &ranges, &LtiOptions::default()).unwrap();
+        let mut last = f64::INFINITY;
+        for w in (6..=24).rev() {
+            let cfg = WlConfig::from_ranges(&g, &ranges, w).unwrap();
+            let p = model.total_power(&g, &cfg);
+            if w < 24 {
+                assert!(p > last, "power must grow as w shrinks (w={w})");
+            }
+            last = p;
+        }
+    }
+
+    #[test]
+    fn additive_constants_shift_the_output_deterministically() {
+        // y = x + 0.3 at a very coarse format: the rounded 0.3 biases y.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let c = b.constant(0.3);
+        let y = b.add(x, c);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let ranges = [iv(-1.0, 1.0)];
+        let cfg = WlConfig::from_ranges(&g, &ranges, 5).unwrap();
+        let model = NaModel::build(&g, &ranges, &LtiOptions::default()).unwrap();
+        let predicted = &model.evaluate(&g, &cfg)[0].1;
+        // Constant offset: 0.3 in Q0.4 (the tight range-derived format)
+        // rounds to 5/16 = 0.3125, a +0.0125 deterministic bias.
+        assert!(
+            (predicted.mean - 0.0125).abs() < 1e-9,
+            "expected the +0.0125 constant bias, got {}",
+            predicted.mean
+        );
+        let measured = &monte_carlo_error(
+            &g,
+            &cfg,
+            &ranges,
+            &MonteCarloOptions {
+                samples: 20_000,
+                ..Default::default()
+            },
+        )
+        .unwrap()[0];
+        assert!((predicted.mean - measured.mean).abs() < 0.02);
+    }
+
+    #[test]
+    fn nonlinear_graph_is_rejected() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let sq = b.mul(x, x);
+        b.output("y", sq);
+        let g = b.build().unwrap();
+        assert!(matches!(
+            NaModel::build(&g, &[iv(-1.0, 1.0)], &LtiOptions::default()),
+            Err(SnaError::Dfg(_))
+        ));
+    }
+}

@@ -1,0 +1,191 @@
+//! Design IV: a 4×4 two-dimensional DCT-II, computed row–column with the
+//! orthonormal 4-point DCT basis.
+//!
+//! ```text
+//! C(k,n) = α(k)·cos((2n+1)·k·π / 8),   α(0) = 1/2, α(k>0) = √2/2
+//! Y = C · X · Cᵀ
+//! ```
+//!
+//! 8 one-dimensional transforms (4 rows + 4 columns), 16 multiplies and 12
+//! additions each.
+
+use sna_dfg::{DfgBuilder, NodeId};
+use sna_interval::Interval;
+
+use crate::Design;
+
+/// The orthonormal 4-point DCT-II matrix `C(k, n)`.
+pub fn dct4_coefficients() -> [[f64; 4]; 4] {
+    let mut c = [[0.0; 4]; 4];
+    for (k, row) in c.iter_mut().enumerate() {
+        let alpha = if k == 0 {
+            0.5
+        } else {
+            std::f64::consts::FRAC_1_SQRT_2
+        };
+        for (n, v) in row.iter_mut().enumerate() {
+            *v = alpha
+                * ((2.0 * n as f64 + 1.0) * k as f64 * std::f64::consts::PI / 8.0).cos();
+        }
+    }
+    c
+}
+
+/// One 1-D DCT-4 over four existing nodes.
+fn dct4_1d(b: &mut DfgBuilder, x: &[NodeId; 4], tag: &str) -> [NodeId; 4] {
+    let c = dct4_coefficients();
+    let mut out = [x[0]; 4];
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let mut acc: Option<NodeId> = None;
+        for (n, &xn) in x.iter().enumerate() {
+            let term = b.mul_const(c[k][n], xn);
+            b.name(term, format!("{tag}.k{k}n{n}")).unwrap();
+            acc = Some(match acc {
+                None => term,
+                Some(a) => b.add(a, term),
+            });
+        }
+        *out_k = acc.expect("four terms accumulated");
+    }
+    out
+}
+
+/// Builds the 4×4 2-D DCT-II: 16 pixel inputs (row-major, normalized to
+/// `[-1, 1)`), 16 coefficient outputs.
+pub fn dct4x4() -> Design {
+    let mut b = DfgBuilder::new();
+    let mut pixels = Vec::with_capacity(16);
+    for r in 0..4 {
+        for cidx in 0..4 {
+            pixels.push(b.input(format!("p{r}{cidx}")));
+        }
+    }
+    // Row transforms.
+    let mut rows: Vec<[NodeId; 4]> = Vec::with_capacity(4);
+    for r in 0..4 {
+        let row = [
+            pixels[4 * r],
+            pixels[4 * r + 1],
+            pixels[4 * r + 2],
+            pixels[4 * r + 3],
+        ];
+        rows.push(dct4_1d(&mut b, &row, &format!("row{r}")));
+    }
+    // Column transforms on the row results.
+    let mut coeffs = [[rows[0][0]; 4]; 4];
+    for cidx in 0..4 {
+        let col = [rows[0][cidx], rows[1][cidx], rows[2][cidx], rows[3][cidx]];
+        let t = dct4_1d(&mut b, &col, &format!("col{cidx}"));
+        for (r, &node) in t.iter().enumerate() {
+            coeffs[r][cidx] = node;
+        }
+    }
+    for (r, row) in coeffs.iter().enumerate() {
+        for (cidx, &node) in row.iter().enumerate() {
+            b.output(format!("Y{r}{cidx}"), node);
+        }
+    }
+    let dfg = b.build().expect("dct4x4 builds");
+    // Pixels are pre-scaled to [-1, 1) (value/128), the usual fixed-point
+    // normalization; intermediates then stay within ±4 and the design is
+    // implementable at the paper's W = 8 operating point.
+    Design {
+        name: "dct4x4",
+        description: "Design IV: 4×4 2-D DCT-II (row–column, orthonormal basis, normalized pixels)",
+        dfg,
+        input_ranges: vec![Interval::new(-1.0, 0.9921875).expect("valid range"); 16],
+    }
+}
+
+/// Reference 2-D DCT for tests: `x` row-major 4×4, result row-major.
+pub fn dct4x4_reference(x: &[f64; 16]) -> [f64; 16] {
+    let c = dct4_coefficients();
+    let mut tmp = [0.0; 16]; // C · X
+    for k in 0..4 {
+        for n in 0..4 {
+            let mut acc = 0.0;
+            for m in 0..4 {
+                acc += c[k][m] * x[4 * m + n];
+            }
+            tmp[4 * k + n] = acc;
+        }
+    }
+    let mut y = [0.0; 16]; // (C · X) · Cᵀ
+    for k in 0..4 {
+        for l in 0..4 {
+            let mut acc = 0.0;
+            for n in 0..4 {
+                acc += tmp[4 * k + n] * c[l][n];
+            }
+            y[4 * k + l] = acc;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let c = dct4_coefficients();
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f64 = (0..4).map(|n| c[i][n] * c[j][n]).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-12, "({i},{j}) = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn dfg_matches_reference() {
+        let d = dct4x4();
+        let x: [f64; 16] = [
+            12.0, -30.0, 55.0, 7.0, -100.0, 23.0, 0.0, 64.0, 127.0, -128.0, 5.0, -5.0, 90.0,
+            -64.0, 33.0, -17.0,
+        ];
+        let got = d.dfg.evaluate(&x).unwrap();
+        let want = dct4x4_reference(&x);
+        for k in 0..16 {
+            assert!((got[k] - want[k]).abs() < 1e-9, "coeff {k}");
+        }
+    }
+
+    #[test]
+    fn flat_block_concentrates_in_dc() {
+        let d = dct4x4();
+        let x = [50.0; 16];
+        let got = d.dfg.evaluate(&x).unwrap();
+        // DC = 4 · 50 (orthonormal scaling: C·1 = 2·α₀·... → 4·mean).
+        assert!((got[0] - 200.0).abs() < 1e-9, "dc {}", got[0]);
+        for (k, &v) in got.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-9, "ac {k} = {v}");
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        let d = dct4x4();
+        let x: [f64; 16] = [
+            1.0, 2.0, 3.0, 4.0, -4.0, -3.0, -2.0, -1.0, 10.0, 0.0, -10.0, 5.0, 6.0, 7.0, -8.0,
+            9.0,
+        ];
+        let got = d.dfg.evaluate(&x).unwrap();
+        let ein: f64 = x.iter().map(|v| v * v).sum();
+        let eout: f64 = got.iter().map(|v| v * v).sum();
+        assert!((ein - eout).abs() < 1e-9, "{ein} vs {eout}");
+    }
+
+    #[test]
+    fn structure_counts() {
+        let d = dct4x4();
+        let c = d.dfg.op_counts();
+        assert_eq!(c.muls, 128);
+        assert_eq!(c.adds, 96);
+        assert!(d.dfg.is_combinational());
+        assert!(d.dfg.is_linear());
+        assert_eq!(d.dfg.outputs().len(), 16);
+    }
+}

@@ -1,0 +1,162 @@
+//! Design I: an order-18 difference equation (recursive IIR structure)
+//!
+//! ```text
+//! y[n] = b₀·x[n] − Σ_{k=1..18} dₖ·y[n−k]
+//! ```
+//!
+//! The paper does not give its coefficients; we synthesize a *stable*
+//! denominator deterministically from 9 complex-conjugate pole pairs with
+//! radii 0.35…0.67 and angles spread over `(0, π)`, then set `b₀ = D(1)`
+//! for unit DC gain.  This reproduces the structural properties that
+//! matter to the analyses: 19 constant multipliers, a deep feedback chain
+//! of 18 delays, and noise amplification through recursion.
+
+use sna_dfg::DfgBuilder;
+use sna_interval::Interval;
+
+use crate::Design;
+
+/// Denominator coefficients `d₁ … d_order` (the `d₀ = 1` head is implied)
+/// and the DC-normalizing gain `b₀`, for an even `order`.
+///
+/// # Panics
+///
+/// Panics if `order` is zero or odd.
+pub fn diff_eq_coefficients(order: usize) -> (Vec<f64>, f64) {
+    assert!(order > 0 && order.is_multiple_of(2), "order must be even and positive");
+    let pairs = order / 2;
+    // D(z) = Π (1 − 2 rᵢ cosθᵢ z⁻¹ + rᵢ² z⁻²), expanded by convolution.
+    let mut poly = vec![1.0];
+    for i in 0..pairs {
+        let r = 0.35 + 0.32 * (i as f64 / pairs.max(1) as f64);
+        let theta = std::f64::consts::PI * (i as f64 + 1.0) / (pairs as f64 + 1.0);
+        let sec = [1.0, -2.0 * r * theta.cos(), r * r];
+        let mut next = vec![0.0; poly.len() + 2];
+        for (j, &p) in poly.iter().enumerate() {
+            for (k, &s) in sec.iter().enumerate() {
+                next[j + k] += p * s;
+            }
+        }
+        poly = next;
+    }
+    let b0: f64 = poly.iter().sum(); // D(1): unit DC gain
+    (poly[1..].to_vec(), b0)
+}
+
+/// Builds an order-`order` difference equation (see module docs).
+///
+/// # Panics
+///
+/// Panics if `order` is zero or odd.
+pub fn diff_eq(order: usize) -> Design {
+    let (d, b0) = diff_eq_coefficients(order);
+    let mut b = DfgBuilder::new();
+    let x = b.input("x");
+    let gain = b.mul_const(b0, x);
+    b.name(gain, "b0·x").unwrap();
+
+    // Feedback taps: y[n-1] … y[n-order].
+    let first_tap = b.delay_placeholder();
+    let mut taps = vec![first_tap];
+    for _ in 1..order {
+        let prev = *taps.last().expect("at least one tap");
+        taps.push(b.delay(prev));
+    }
+
+    // y = b0·x − Σ dₖ·tapₖ, accumulated as a chain of adders.
+    let mut acc = gain;
+    for (k, (&tap, &dk)) in taps.iter().zip(d.iter()).enumerate() {
+        let term = b.mul_const(-dk, tap);
+        b.name(term, format!("fb{}", k + 1)).unwrap();
+        acc = b.add(acc, term);
+    }
+    b.bind_delay(first_tap, acc).expect("placeholder binds");
+    b.output("y", acc);
+    let dfg = b.build().expect("difference equation builds");
+    Design {
+        name: if order == 18 { "diff-eq-18" } else { "diff-eq" },
+        description: "Design I: order-18 difference equation (recursive, unit DC gain)",
+        dfg,
+        input_ranges: vec![Interval::new(-1.0, 1.0).expect("valid range")],
+    }
+}
+
+/// Design I as evaluated in the paper: order 18.
+pub fn diff_eq18() -> Design {
+    diff_eq(18)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::{LtiOptions, Simulator};
+
+    #[test]
+    fn coefficients_are_stable() {
+        // The impulse response of the built filter must decay.
+        let d = diff_eq18();
+        let gains = d
+            .dfg
+            .impulse_gains(d.dfg.outputs()[0].1, &LtiOptions::default())
+            .unwrap();
+        assert!(gains.per_output[0].l1.is_finite());
+        assert!(gains.per_output[0].l1 > 0.0);
+    }
+
+    #[test]
+    fn dc_gain_is_unity() {
+        // Constant input 1 settles to output 1.
+        let d = diff_eq18();
+        let mut sim = Simulator::new(&d.dfg);
+        let mut last = 0.0;
+        for _ in 0..2000 {
+            last = sim.step(&[1.0]).unwrap()[0];
+        }
+        assert!((last - 1.0).abs() < 1e-6, "settled at {last}");
+    }
+
+    #[test]
+    fn structure_matches_order() {
+        let d = diff_eq18();
+        let c = d.dfg.op_counts();
+        assert_eq!(c.delays, 18);
+        assert_eq!(c.muls, 19); // b0 + 18 feedback taps
+        assert_eq!(c.adds, 18);
+        assert!(d.dfg.is_linear());
+        assert!(!d.dfg.is_combinational());
+    }
+
+    #[test]
+    fn recursion_matches_direct_evaluation() {
+        // Simulate the DFG and the textbook recurrence side by side.
+        let (dcoef, b0) = diff_eq_coefficients(18);
+        let d = diff_eq(18);
+        let mut sim = Simulator::new(&d.dfg);
+        let mut hist = [0.0f64; 18];
+        let inputs = [0.7, -0.3, 0.9, 0.1, -1.0, 0.5, 0.0, 0.2];
+        for (n, &xn) in inputs.iter().enumerate() {
+            let got = sim.step(&[xn]).unwrap()[0];
+            let mut want = b0 * xn;
+            for (k, &dk) in dcoef.iter().enumerate() {
+                want -= dk * hist[k];
+            }
+            hist.rotate_right(1);
+            hist[0] = want;
+            assert!((got - want).abs() < 1e-9, "step {n}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn smaller_orders_build_too() {
+        for order in [2, 4, 10] {
+            let d = diff_eq(order);
+            assert_eq!(d.dfg.op_counts().delays, order);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be even")]
+    fn odd_order_panics() {
+        diff_eq(7);
+    }
+}

@@ -1,0 +1,225 @@
+//! Design III: an 8-point radix-2 decimation-in-time FFT.
+//!
+//! Complex arithmetic is expanded into real nodes; trivial twiddles
+//! (`W = 1`, `W = −j`) cost no multipliers, the two non-trivial ones
+//! (`W₈¹`, `W₈³`) cost four real multiplies each — the classic 8-point
+//! structure.  Inputs are 8 complex samples (16 real inputs), outputs the
+//! 8 complex bins (16 real outputs).
+
+use sna_dfg::{DfgBuilder, NodeId};
+use sna_interval::Interval;
+
+use crate::Design;
+
+/// One complex signal as a pair of real nodes.
+#[derive(Clone, Copy)]
+struct Cx {
+    re: NodeId,
+    im: NodeId,
+}
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Builds the 8-point DIT FFT.
+pub fn fft8() -> Design {
+    let mut b = DfgBuilder::new();
+    // Inputs in natural order.
+    let inputs: Vec<Cx> = (0..8)
+        .map(|k| {
+            let re = b.input(format!("x{k}.re"));
+            let im = b.input(format!("x{k}.im"));
+            Cx { re, im }
+        })
+        .collect();
+
+    // Bit-reversed load order for DIT.
+    let bitrev = [0usize, 4, 2, 6, 1, 5, 3, 7];
+    let mut stage: Vec<Cx> = bitrev.iter().map(|&i| inputs[i]).collect();
+
+    // Butterfly with twiddle applied to the second operand.
+    // Twiddles are W₈^k = cos(2πk/8) − j·sin(2πk/8).
+    let butterfly = |b: &mut DfgBuilder, a: Cx, x: Cx, k8: usize| -> (Cx, Cx) {
+        let t = match k8 {
+            0 => x, // W = 1
+            2 => {
+                // W = −j: t = −j·x = (x.im, −x.re).
+                let nre = b.neg(x.re);
+                Cx {
+                    re: x.im,
+                    im: nre,
+                }
+            }
+            1 | 3 => {
+                // W₈¹ = (1 − j)/√2, W₈³ = −(1 + j)/√2.
+                let (wr, wi) = if k8 == 1 {
+                    (FRAC_1_SQRT_2, -FRAC_1_SQRT_2)
+                } else {
+                    (-FRAC_1_SQRT_2, -FRAC_1_SQRT_2)
+                };
+                let rr = b.mul_const(wr, x.re);
+                let ii = b.mul_const(wi, x.im);
+                let ri = b.mul_const(wr, x.im);
+                let ir = b.mul_const(wi, x.re);
+                let re = b.sub(rr, ii);
+                let im = b.add(ri, ir);
+                Cx { re, im }
+            }
+            _ => unreachable!("only W₈⁰–W₈³ appear in an 8-point DIT FFT"),
+        };
+        let sum = Cx {
+            re: b.add(a.re, t.re),
+            im: b.add(a.im, t.im),
+        };
+        let diff = Cx {
+            re: b.sub(a.re, t.re),
+            im: b.sub(a.im, t.im),
+        };
+        (sum, diff)
+    };
+
+    // Three stages; in stage s (1-based size = 2^s), butterfly k within a
+    // block uses twiddle W₈^(k·8/size).
+    for s in 0..3 {
+        let size = 1usize << (s + 1);
+        let half = size / 2;
+        let mut next = stage.clone();
+        for block in (0..8).step_by(size) {
+            for k in 0..half {
+                let k8 = k * (8 / size);
+                let (hi, lo) = butterfly(&mut b, stage[block + k], stage[block + k + half], k8);
+                next[block + k] = hi;
+                next[block + k + half] = lo;
+            }
+        }
+        stage = next;
+    }
+
+    for (k, cx) in stage.iter().enumerate() {
+        b.output(format!("X{k}.re"), cx.re);
+        b.output(format!("X{k}.im"), cx.im);
+    }
+    let dfg = b.build().expect("fft8 builds");
+    Design {
+        name: "fft8",
+        description: "Design III: 8-point radix-2 DIT FFT (complex, expanded to real ops)",
+        dfg,
+        input_ranges: vec![Interval::new(-1.0, 1.0).expect("valid range"); 16],
+    }
+}
+
+/// Direct-DFT reference: `inputs` is `[(re, im); 8]`, result likewise.
+pub fn fft8_reference(inputs: &[(f64, f64); 8]) -> [(f64, f64); 8] {
+    let mut out = [(0.0, 0.0); 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (n, &(xr, xi)) in inputs.iter().enumerate() {
+            let phi = -2.0 * std::f64::consts::PI * (k * n) as f64 / 8.0;
+            let (s, c) = phi.sin_cos();
+            re += xr * c - xi * s;
+            im += xr * s + xi * c;
+        }
+        *o = (re, im);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_dfg(d: &Design, inputs: &[(f64, f64); 8]) -> [(f64, f64); 8] {
+        let flat: Vec<f64> = inputs.iter().flat_map(|&(r, i)| [r, i]).collect();
+        let out = d.dfg.evaluate(&flat).unwrap();
+        let mut res = [(0.0, 0.0); 8];
+        for k in 0..8 {
+            res[k] = (out[2 * k], out[2 * k + 1]);
+        }
+        res
+    }
+
+    #[test]
+    fn matches_direct_dft_on_real_signal() {
+        let d = fft8();
+        let x = [
+            (1.0, 0.0),
+            (0.5, 0.0),
+            (-0.25, 0.0),
+            (0.75, 0.0),
+            (0.0, 0.0),
+            (-1.0, 0.0),
+            (0.3, 0.0),
+            (0.9, 0.0),
+        ];
+        let got = run_dfg(&d, &x);
+        let want = fft8_reference(&x);
+        for k in 0..8 {
+            assert!((got[k].0 - want[k].0).abs() < 1e-9, "re[{k}]");
+            assert!((got[k].1 - want[k].1).abs() < 1e-9, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn matches_direct_dft_on_complex_signal() {
+        let d = fft8();
+        let x = [
+            (0.1, -0.9),
+            (0.8, 0.2),
+            (-0.5, 0.5),
+            (0.0, 1.0),
+            (1.0, -1.0),
+            (-0.3, -0.3),
+            (0.6, 0.4),
+            (-0.2, 0.7),
+        ];
+        let got = run_dfg(&d, &x);
+        let want = fft8_reference(&x);
+        for k in 0..8 {
+            assert!((got[k].0 - want[k].0).abs() < 1e-9, "re[{k}]");
+            assert!((got[k].1 - want[k].1).abs() < 1e-9, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let d = fft8();
+        let mut x = [(0.0, 0.0); 8];
+        x[0] = (1.0, 0.0);
+        let got = run_dfg(&d, &x);
+        for bin in &got {
+            assert!((bin.0 - 1.0).abs() < 1e-12);
+            assert!(bin.1.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn structure_counts() {
+        let d = fft8();
+        let c = d.dfg.op_counts();
+        // Two non-trivial twiddles, four real multiplies each.
+        assert_eq!(c.muls, 8);
+        assert!(d.dfg.is_linear());
+        assert!(d.dfg.is_combinational());
+        assert_eq!(d.dfg.outputs().len(), 16);
+        assert_eq!(d.dfg.n_inputs(), 16);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let d = fft8();
+        let x = [
+            (0.5, 0.1),
+            (-0.4, 0.0),
+            (0.3, -0.2),
+            (0.0, 0.6),
+            (-0.7, 0.0),
+            (0.2, 0.2),
+            (0.1, -0.5),
+            (0.9, 0.3),
+        ];
+        let got = run_dfg(&d, &x);
+        let ein: f64 = x.iter().map(|&(r, i)| r * r + i * i).sum();
+        let eout: f64 = got.iter().map(|&(r, i)| r * r + i * i).sum();
+        assert!((eout - 8.0 * ein).abs() < 1e-9, "Parseval: {eout} vs {}", 8.0 * ein);
+    }
+}

@@ -1,0 +1,134 @@
+//! Design II: a 25-tap direct-form FIR filter.
+//!
+//! Coefficients are a deterministic windowed-sinc low-pass (cutoff
+//! `0.25·Fs`, Hamming window, unit DC gain) — the standard construction
+//! for a filter of this size.
+
+use sna_dfg::DfgBuilder;
+use sna_interval::Interval;
+
+use crate::Design;
+
+/// Windowed-sinc low-pass coefficients (`taps` entries, unit DC gain).
+///
+/// # Panics
+///
+/// Panics if `taps == 0`.
+pub fn fir_coefficients(taps: usize) -> Vec<f64> {
+    assert!(taps > 0, "need at least one tap");
+    let m = (taps - 1) as f64;
+    let fc = 0.25;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|n| {
+            let t = n as f64 - m / 2.0;
+            let sinc = if t == 0.0 {
+                2.0 * fc
+            } else {
+                (2.0 * std::f64::consts::PI * fc * t).sin() / (std::f64::consts::PI * t)
+            };
+            let window = 0.54 - 0.46 * (2.0 * std::f64::consts::PI * n as f64 / m.max(1.0)).cos();
+            sinc * window
+        })
+        .collect();
+    let sum: f64 = h.iter().sum();
+    for c in &mut h {
+        *c /= sum;
+    }
+    h
+}
+
+/// Builds a direct-form FIR with the given number of taps:
+/// `y[n] = Σ h[k]·x[n−k]`.
+///
+/// # Panics
+///
+/// Panics if `taps == 0`.
+pub fn fir(taps: usize) -> Design {
+    let h = fir_coefficients(taps);
+    let mut b = DfgBuilder::new();
+    let x = b.input("x");
+    let delayed = b.delay_chain(x, taps - 1);
+    let mut acc = b.mul_const(h[0], x);
+    b.name(acc, "tap0").unwrap();
+    for (k, (&tap, &hk)) in delayed.iter().zip(h[1..].iter()).enumerate() {
+        let term = b.mul_const(hk, tap);
+        b.name(term, format!("tap{}", k + 1)).unwrap();
+        acc = b.add(acc, term);
+    }
+    b.output("y", acc);
+    let dfg = b.build().expect("fir builds");
+    Design {
+        name: if taps == 25 { "fir25" } else { "fir" },
+        description: "Design II: 25-tap direct-form low-pass FIR (windowed sinc)",
+        dfg,
+        input_ranges: vec![Interval::new(-1.0, 1.0).expect("valid range")],
+    }
+}
+
+/// Design II as evaluated in the paper: 25 taps.
+pub fn fir25() -> Design {
+    fir(25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::Simulator;
+
+    #[test]
+    fn coefficients_are_symmetric_with_unit_dc() {
+        let h = fir_coefficients(25);
+        assert_eq!(h.len(), 25);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for k in 0..12 {
+            assert!((h[k] - h[24 - k]).abs() < 1e-12, "symmetry at {k}");
+        }
+        // Peak at the center tap.
+        let max = h.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(h[12], max);
+    }
+
+    #[test]
+    fn impulse_response_is_the_coefficient_vector() {
+        let d = fir25();
+        let h = fir_coefficients(25);
+        let mut sim = Simulator::new(&d.dfg);
+        let mut response = Vec::new();
+        response.push(sim.step(&[1.0]).unwrap()[0]);
+        for _ in 1..25 {
+            response.push(sim.step(&[0.0]).unwrap()[0]);
+        }
+        for (k, (&got, &want)) in response.iter().zip(h.iter()).enumerate() {
+            assert!((got - want).abs() < 1e-12, "h[{k}]");
+        }
+    }
+
+    #[test]
+    fn low_pass_attenuates_nyquist() {
+        // Alternating ±1 input (Nyquist) must come out tiny; DC passes.
+        let d = fir25();
+        let mut sim = Simulator::new(&d.dfg);
+        let mut last = 0.0;
+        for k in 0..200 {
+            let x = if k % 2 == 0 { 1.0 } else { -1.0 };
+            last = sim.step(&[x]).unwrap()[0];
+        }
+        assert!(last.abs() < 0.02, "nyquist leakage {last}");
+        sim.reset();
+        for _ in 0..200 {
+            last = sim.step(&[1.0]).unwrap()[0];
+        }
+        assert!((last - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structure_counts() {
+        let d = fir25();
+        let c = d.dfg.op_counts();
+        assert_eq!(c.muls, 25);
+        assert_eq!(c.adds, 24);
+        assert_eq!(c.delays, 24);
+        assert!(d.dfg.is_linear());
+    }
+}

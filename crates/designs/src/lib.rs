@@ -1,0 +1,88 @@
+//! The case-study datapaths of the DAC'08 SNA paper.
+//!
+//! | paper artifact | builder |
+//! |---|---|
+//! | quadratic example (Tables 1–2, Fig. 1) | [`quadratic`] |
+//! | ITU RGB→YCrCb converter (Figs. 2–3) | [`rgb_to_ycrcb`] |
+//! | Design I — order-18 difference equation | [`diff_eq18`] / [`diff_eq`] |
+//! | Design II — FIR-25 | [`fir25`] / [`fir`] |
+//! | Design III — 8-point FFT | [`fft8`] |
+//! | Design IV — 4×4 DCT | [`dct4x4`] |
+//!
+//! The paper does not publish its coefficient sets, so each builder uses a
+//! *deterministic, documented* generator (stable pole placement, windowed
+//! sinc, standard twiddle factors / DCT-II basis — see `DESIGN.md`).  What
+//! the analyses exercise — linearity, datapath topology, operation counts,
+//! feedback structure — is preserved.
+//!
+//! # Example
+//!
+//! ```
+//! use sna_designs::fir25;
+//!
+//! let design = fir25();
+//! assert_eq!(design.dfg.op_counts().muls, 25);
+//! assert_eq!(design.dfg.op_counts().adds, 24);
+//! assert!(design.dfg.is_linear());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dct;
+mod diffeq;
+mod fft;
+mod fir;
+mod quadratic;
+mod rgb;
+
+pub use dct::{dct4_coefficients, dct4x4, dct4x4_reference};
+pub use diffeq::{diff_eq, diff_eq18, diff_eq_coefficients};
+pub use fft::{fft8, fft8_reference};
+pub use fir::{fir, fir25, fir_coefficients};
+pub use quadratic::{quadratic, quadratic_reference, QUADRATIC_RANGES};
+pub use rgb::{rgb_reference, rgb_to_ycrcb, RGB_INPUT_RANGE};
+
+use sna_dfg::Dfg;
+use sna_interval::Interval;
+
+/// A ready-to-analyze case study: a validated graph plus its input ranges.
+#[derive(Clone, Debug)]
+pub struct Design {
+    /// Short identifier (e.g. `"fir25"`).
+    pub name: &'static str,
+    /// Human-readable description.
+    pub description: &'static str,
+    /// The datapath.
+    pub dfg: Dfg,
+    /// Value range of each input, in input order.
+    pub input_ranges: Vec<Interval>,
+}
+
+impl Design {
+    /// The four synthesis case studies of the paper's Tables 3–6, in
+    /// order: Design I (order-18 difference equation), Design II (FIR-25),
+    /// Design III (8-point FFT), Design IV (4×4 DCT).
+    pub fn paper_suite() -> Vec<Design> {
+        vec![diff_eq18(), fir25(), fft8(), dct4x4()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_contains_the_four_designs() {
+        let suite = Design::paper_suite();
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite[0].name, "diff-eq-18");
+        assert_eq!(suite[1].name, "fir25");
+        assert_eq!(suite[2].name, "fft8");
+        assert_eq!(suite[3].name, "dct4x4");
+        for d in &suite {
+            assert!(d.dfg.is_linear(), "{} must be linear", d.name);
+            assert_eq!(d.input_ranges.len(), d.dfg.n_inputs(), "{}", d.name);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's running example: `y = a·x² + b·x + c` with
+//! `x ∈ [-1, 1]`, `a ∈ [9, 10]`, `b ∈ [-6, -4]`, `c ∈ [6, 7]`
+//! (Section 4, Tables 1–2, Figure 1).
+
+use sna_dfg::DfgBuilder;
+use sna_interval::Interval;
+
+use crate::Design;
+
+/// The four input ranges `(x, a, b, c)` of the quadratic example.
+pub const QUADRATIC_RANGES: [(f64, f64); 4] =
+    [(-1.0, 1.0), (9.0, 10.0), (-6.0, -4.0), (6.0, 7.0)];
+
+/// Builds the quadratic example as a DFG with uncertain inputs
+/// `x, a, b, c` (all coefficients are inputs, matching the paper where
+/// coefficient *ranges* are part of the problem).
+pub fn quadratic() -> Design {
+    let mut b = DfgBuilder::new();
+    let x = b.input("x");
+    let a = b.input("a");
+    let bb = b.input("b");
+    let c = b.input("c");
+    let x2 = b.mul(x, x);
+    b.name(x2, "x^2").unwrap();
+    let ax2 = b.mul(a, x2);
+    let bx = b.mul(bb, x);
+    let s = b.add(ax2, bx);
+    let y = b.add(s, c);
+    b.output("y", y);
+    let dfg = b.build().expect("quadratic builds");
+    Design {
+        name: "quadratic",
+        description: "y = a·x² + b·x + c with interval-uncertain inputs (paper Section 4)",
+        dfg,
+        input_ranges: QUADRATIC_RANGES
+            .iter()
+            .map(|&(lo, hi)| Interval::new(lo, hi).expect("valid range"))
+            .collect(),
+    }
+}
+
+/// Reference evaluation `a·x² + b·x + c`.
+pub fn quadratic_reference(x: f64, a: f64, b: f64, c: f64) -> f64 {
+    a * x * x + b * x + c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::RangeOptions;
+
+    #[test]
+    fn dfg_matches_reference() {
+        let d = quadratic();
+        for &(x, a, b, c) in &[
+            (0.0, 9.5, -5.0, 6.5),
+            (1.0, 9.0, -6.0, 6.0),
+            (-1.0, 10.0, -4.0, 7.0),
+            (0.33, 9.7, -4.4, 6.9),
+        ] {
+            let got = d.dfg.evaluate(&[x, a, b, c]).unwrap()[0];
+            let want = quadratic_reference(x, a, b, c);
+            assert!((got - want).abs() < 1e-12, "({x},{a},{b},{c})");
+        }
+    }
+
+    #[test]
+    fn interval_range_matches_paper_table1() {
+        // IA with a dependent square yields y ∈ [0, 23] (Table 1).
+        let d = quadratic();
+        let out = d
+            .dfg
+            .output_ranges(&d.input_ranges, &RangeOptions::default())
+            .unwrap();
+        assert_eq!(out[0].1, Interval::new(0.0, 23.0).unwrap());
+    }
+
+    #[test]
+    fn quadratic_is_nonlinear() {
+        assert!(!quadratic().dfg.is_linear());
+    }
+}

@@ -1,0 +1,125 @@
+//! The standard ITU-R BT.601 RGB → YCrCb converter (the paper's Figure 2;
+//! its output-error PDFs are Figure 3).
+//!
+//! ```text
+//! Y  =  0.299·R    + 0.587·G    + 0.114·B
+//! Cb = −0.168736·R − 0.331264·G + 0.5·B      + 128
+//! Cr =  0.5·R      − 0.418688·G − 0.081312·B + 128
+//! ```
+//!
+//! The comparison in the paper assumes all three inputs range over
+//! `[70, 100]`.
+
+use sna_dfg::DfgBuilder;
+use sna_interval::Interval;
+
+use crate::Design;
+
+/// The paper's input range for each of R, G, B.
+pub const RGB_INPUT_RANGE: (f64, f64) = (70.0, 100.0);
+
+const Y_COEFFS: [f64; 3] = [0.299, 0.587, 0.114];
+const CB_COEFFS: [f64; 3] = [-0.168_736, -0.331_264, 0.5];
+const CR_COEFFS: [f64; 3] = [0.5, -0.418_688, -0.081_312];
+
+/// Builds the BT.601 converter: 3 inputs (R, G, B), 3 outputs
+/// (Y, Cb, Cr); 9 constant multipliers, 6 adders (plus the two offset
+/// adders for the chroma channels).
+pub fn rgb_to_ycrcb() -> Design {
+    let mut b = DfgBuilder::new();
+    let r = b.input("R");
+    let g = b.input("G");
+    let bl = b.input("B");
+
+    let mut weighted = |coeffs: &[f64; 3], tag: &str| {
+        let tr = b.mul_const(coeffs[0], r);
+        b.name(tr, format!("{tag}.r")).unwrap();
+        let tg = b.mul_const(coeffs[1], g);
+        b.name(tg, format!("{tag}.g")).unwrap();
+        let tb = b.mul_const(coeffs[2], bl);
+        b.name(tb, format!("{tag}.b")).unwrap();
+        let s1 = b.add(tr, tg);
+        b.add(s1, tb)
+    };
+
+    let y = weighted(&Y_COEFFS, "y");
+    let cb_lin = weighted(&CB_COEFFS, "cb");
+    let cr_lin = weighted(&CR_COEFFS, "cr");
+
+    let off_cb = b.constant(128.0);
+    let cb = b.add(cb_lin, off_cb);
+    let off_cr = b.constant(128.0);
+    let cr = b.add(cr_lin, off_cr);
+
+    b.output("Y", y);
+    b.output("Cb", cb);
+    b.output("Cr", cr);
+    let dfg = b.build().expect("rgb converter builds");
+    let range = Interval::new(RGB_INPUT_RANGE.0, RGB_INPUT_RANGE.1).expect("valid range");
+    Design {
+        name: "rgb2ycrcb",
+        description: "ITU-R BT.601 RGB→YCrCb colour-space converter (paper Figure 2)",
+        dfg,
+        input_ranges: vec![range; 3],
+    }
+}
+
+/// Reference conversion, returning `(Y, Cb, Cr)`.
+pub fn rgb_reference(r: f64, g: f64, b: f64) -> (f64, f64, f64) {
+    (
+        Y_COEFFS[0] * r + Y_COEFFS[1] * g + Y_COEFFS[2] * b,
+        CB_COEFFS[0] * r + CB_COEFFS[1] * g + CB_COEFFS[2] * b + 128.0,
+        CR_COEFFS[0] * r + CR_COEFFS[1] * g + CR_COEFFS[2] * b + 128.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::RangeOptions;
+
+    #[test]
+    fn dfg_matches_reference() {
+        let d = rgb_to_ycrcb();
+        for &(r, g, b) in &[(70.0, 70.0, 70.0), (100.0, 70.0, 85.0), (92.5, 77.25, 99.0)] {
+            let got = d.dfg.evaluate(&[r, g, b]).unwrap();
+            let (y, cb, cr) = rgb_reference(r, g, b);
+            assert!((got[0] - y).abs() < 1e-9);
+            assert!((got[1] - cb).abs() < 1e-9);
+            assert!((got[2] - cr).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grayscale_maps_to_neutral_chroma() {
+        // R = G = B ⇒ Y = R, Cb = Cr = 128 (coefficients sum to 1 / 0).
+        let (y, cb, cr) = rgb_reference(80.0, 80.0, 80.0);
+        assert!((y - 80.0).abs() < 1e-9);
+        assert!((cb - 128.0).abs() < 1e-6);
+        assert!((cr - 128.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn structure_and_linearity() {
+        let d = rgb_to_ycrcb();
+        let c = d.dfg.op_counts();
+        assert_eq!(c.muls, 9);
+        assert_eq!(c.adds, 8);
+        assert!(d.dfg.is_linear());
+        assert!(d.dfg.is_combinational());
+    }
+
+    #[test]
+    fn output_ranges_are_plausible() {
+        let d = rgb_to_ycrcb();
+        let out = d
+            .dfg
+            .output_ranges(&d.input_ranges, &RangeOptions::default())
+            .unwrap();
+        // Y of inputs in [70, 100] stays in [70, 100].
+        assert!(out[0].1.lo() >= 69.9 && out[0].1.hi() <= 100.1);
+        // Chroma near 128 for balanced input ranges.
+        assert!(out[1].1.lo() > 110.0 && out[1].1.hi() < 146.0);
+        assert!(out[2].1.lo() > 110.0 && out[2].1.hi() < 146.0);
+    }
+}

@@ -1,0 +1,438 @@
+use std::fmt;
+
+use crate::DfgError;
+
+/// Identifier of a node within a [`Dfg`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index of this node.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs an id from a raw index.
+    ///
+    /// Ids are plain indices; validity against a particular graph is
+    /// checked by [`Dfg::check_node`] at use sites.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The operation performed by a node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// External input; the payload is the index into the input vector.
+    Input(usize),
+    /// A compile-time constant.
+    Const(f64),
+    /// Two-operand addition.
+    Add,
+    /// Two-operand subtraction (`args[0] - args[1]`).
+    Sub,
+    /// Two-operand multiplication.
+    Mul,
+    /// Two-operand division (`args[0] / args[1]`).
+    Div,
+    /// Negation.
+    Neg,
+    /// Unit delay (`z⁻¹`): outputs its previous-cycle argument value;
+    /// initial state is 0.  The only legal way to close feedback loops.
+    Delay,
+}
+
+impl Op {
+    /// Number of arguments the operation takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Input(_) | Op::Const(_) => 0,
+            Op::Neg | Op::Delay => 1,
+            Op::Add | Op::Sub | Op::Mul | Op::Div => 2,
+        }
+    }
+
+    /// Whether this is an arithmetic operator that occupies a functional
+    /// unit in hardware (inputs, constants and delays map to wires and
+    /// registers instead).
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(self, Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Neg)
+    }
+
+    /// Short mnemonic, used in DOT exports and debug output.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Input(_) => "in",
+            Op::Const(_) => "const",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Neg => "neg",
+            Op::Delay => "z⁻¹",
+        }
+    }
+}
+
+/// A node: an operation plus its argument nodes and an optional name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    pub(crate) op: Op,
+    pub(crate) args: Vec<NodeId>,
+    pub(crate) name: Option<String>,
+}
+
+impl Node {
+    /// The node's operation.
+    pub fn op(&self) -> Op {
+        self.op
+    }
+
+    /// The node's arguments.
+    pub fn args(&self) -> &[NodeId] {
+        &self.args
+    }
+
+    /// The node's optional name.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+/// Per-operation node counts, as reported by [`Dfg::op_counts`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Number of input nodes.
+    pub inputs: usize,
+    /// Number of constant nodes.
+    pub consts: usize,
+    /// Number of additions.
+    pub adds: usize,
+    /// Number of subtractions.
+    pub subs: usize,
+    /// Number of multiplications.
+    pub muls: usize,
+    /// Number of divisions.
+    pub divs: usize,
+    /// Number of negations.
+    pub negs: usize,
+    /// Number of unit delays.
+    pub delays: usize,
+}
+
+impl OpCounts {
+    /// Total number of arithmetic operations (excluding inputs, constants
+    /// and delays).
+    pub fn arithmetic(&self) -> usize {
+        self.adds + self.subs + self.muls + self.divs + self.negs
+    }
+}
+
+/// A validated dataflow graph.
+///
+/// Construction goes through [`DfgBuilder`](crate::DfgBuilder), which
+/// guarantees: all arguments exist, arities are correct, every delay is
+/// bound, outputs are named uniquely, and every cycle passes through a
+/// delay.  The graph caches a combinational topological order (delays act
+/// as cycle-breaking sources).
+#[derive(Clone, Debug)]
+pub struct Dfg {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) outputs: Vec<(String, NodeId)>,
+    pub(crate) input_names: Vec<String>,
+    /// Topological order for combinational evaluation: delays excluded
+    /// (their values are state, available at cycle start).
+    pub(crate) topo: Vec<NodeId>,
+    /// All delay nodes, in id order.
+    pub(crate) delays: Vec<NodeId>,
+}
+
+impl Dfg {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Iterates over `(id, node)` pairs in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Declared outputs as `(name, node)` pairs.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Number of external inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Names of the inputs, in input-index order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// All delay nodes in id order.
+    pub fn delay_nodes(&self) -> &[NodeId] {
+        &self.delays
+    }
+
+    /// The cached combinational topological order (delays excluded).
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Whether the graph is purely combinational (no delays).
+    pub fn is_combinational(&self) -> bool {
+        self.delays.is_empty()
+    }
+
+    /// Counts nodes per operation kind.
+    pub fn op_counts(&self) -> OpCounts {
+        let mut c = OpCounts::default();
+        for n in &self.nodes {
+            match n.op {
+                Op::Input(_) => c.inputs += 1,
+                Op::Const(_) => c.consts += 1,
+                Op::Add => c.adds += 1,
+                Op::Sub => c.subs += 1,
+                Op::Mul => c.muls += 1,
+                Op::Div => c.divs += 1,
+                Op::Neg => c.negs += 1,
+                Op::Delay => c.delays += 1,
+            }
+        }
+        c
+    }
+
+    /// Longest path length counted in arithmetic operations (the
+    /// combinational critical path in operator stages).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for &id in &self.topo {
+            let n = &self.nodes[id.0];
+            let base = n
+                .args
+                .iter()
+                .map(|a| depth[a.0])
+                .max()
+                .unwrap_or(0);
+            depth[id.0] = base + usize::from(n.op.is_arithmetic());
+        }
+        self.outputs
+            .iter()
+            .map(|(_, id)| depth[id.0])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A purely combinational copy in which every delay node is replaced by
+    /// a fresh input — the "per-sample datapath" view used for scheduling
+    /// and for range/noise analysis of one iteration.
+    ///
+    /// The fresh inputs are appended after the original ones, named
+    /// `"<delay name or node id>.state"`, in delay id order.
+    pub fn combinational_view(&self) -> Dfg {
+        let mut nodes = self.nodes.clone();
+        let mut input_names = self.input_names.clone();
+        for &d in &self.delays {
+            let idx = input_names.len();
+            let name = match &self.nodes[d.0].name {
+                Some(n) => format!("{n}.state"),
+                None => format!("{d}.state"),
+            };
+            input_names.push(name.clone());
+            nodes[d.0] = Node {
+                op: Op::Input(idx),
+                args: Vec::new(),
+                name: Some(name),
+            };
+        }
+        // All nodes are now combinational; recompute the topological order.
+        let topo = combinational_topo(&nodes).expect("delay-free graph cannot have cycles");
+        Dfg {
+            nodes,
+            outputs: self.outputs.clone(),
+            input_names,
+            topo,
+            delays: Vec::new(),
+        }
+    }
+
+    /// Validates that `id` belongs to this graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::UnknownNode`] otherwise.
+    pub fn check_node(&self, id: NodeId) -> Result<(), DfgError> {
+        if id.0 < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(DfgError::UnknownNode { node: id })
+        }
+    }
+}
+
+/// Kahn topological sort over the combinational edges (delay nodes are
+/// sources: their incoming edge is sequential, not combinational).
+pub(crate) fn combinational_topo(nodes: &[Node]) -> Result<Vec<NodeId>, DfgError> {
+    let n = nodes.len();
+    let mut indegree = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in nodes.iter().enumerate() {
+        if node.op == Op::Delay {
+            continue; // sequential edge
+        }
+        for a in &node.args {
+            succs[a.0].push(i);
+            indegree[i] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        order.push(NodeId(i));
+        for &s in &succs[i] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if order.len() != n {
+        let node = (0..n)
+            .find(|&i| indegree[i] > 0)
+            .map(NodeId)
+            .expect("some node has positive indegree");
+        return Err(DfgError::CombinationalCycle { node });
+    }
+    // Exclude delays from the evaluation order (their output is state).
+    Ok(order
+        .into_iter()
+        .filter(|id| nodes[id.0].op != Op::Delay)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfgBuilder;
+
+    fn fir2() -> Dfg {
+        // y[n] = x[n] + 0.5 x[n-1]
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let xd = b.delay(x);
+        let c = b.constant(0.5);
+        let t = b.mul(c, xd);
+        let y = b.add(x, t);
+        b.output("y", y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn op_metadata() {
+        assert_eq!(Op::Add.arity(), 2);
+        assert_eq!(Op::Neg.arity(), 1);
+        assert_eq!(Op::Const(1.0).arity(), 0);
+        assert!(Op::Mul.is_arithmetic());
+        assert!(!Op::Delay.is_arithmetic());
+        assert_eq!(Op::Div.mnemonic(), "div");
+    }
+
+    #[test]
+    fn graph_queries() {
+        let g = fir2();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.n_inputs(), 1);
+        assert_eq!(g.input_names(), &["x".to_string()]);
+        assert_eq!(g.outputs().len(), 1);
+        assert_eq!(g.delay_nodes().len(), 1);
+        assert!(!g.is_combinational());
+        let c = g.op_counts();
+        assert_eq!(c.adds, 1);
+        assert_eq!(c.muls, 1);
+        assert_eq!(c.delays, 1);
+        assert_eq!(c.arithmetic(), 2);
+    }
+
+    #[test]
+    fn depth_counts_arithmetic_stages() {
+        let g = fir2();
+        // x -> (mul) -> (add): depth 2.
+        assert_eq!(g.depth(), 2);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let g = fir2();
+        let pos: Vec<usize> = {
+            let mut pos = vec![usize::MAX; g.len()];
+            for (k, id) in g.topo_order().iter().enumerate() {
+                pos[id.index()] = k;
+            }
+            pos
+        };
+        for (id, node) in g.nodes() {
+            if node.op() == Op::Delay {
+                continue;
+            }
+            for a in node.args() {
+                if g.node(*a).op() == Op::Delay {
+                    continue;
+                }
+                assert!(pos[a.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_view_replaces_delays_with_inputs() {
+        let g = fir2();
+        let c = g.combinational_view();
+        assert!(c.is_combinational());
+        assert_eq!(c.n_inputs(), 2);
+        assert_eq!(c.op_counts().delays, 0);
+        // Same arithmetic structure.
+        assert_eq!(c.op_counts().arithmetic(), g.op_counts().arithmetic());
+        // Evaluating the view with explicit state matches a simulator step.
+        let y = crate::Simulator::new(&g).step(&[2.0]).unwrap();
+        let yv = c.evaluate(&[2.0, 0.0]).unwrap();
+        assert_eq!(y, yv);
+    }
+
+    #[test]
+    fn check_node_rejects_foreign_ids() {
+        let g = fir2();
+        assert!(g.check_node(NodeId(0)).is_ok());
+        assert!(matches!(
+            g.check_node(NodeId(99)),
+            Err(DfgError::UnknownNode { .. })
+        ));
+    }
+}

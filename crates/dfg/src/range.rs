@@ -1,0 +1,404 @@
+//! Range analysis: per-node value bounds given input ranges.
+//!
+//! Two engines are provided, matching the paper's "second category" of
+//! error-analysis methods (Section 3):
+//!
+//! * **Interval analysis** ([`Dfg::ranges_interval`]) — fast, dependency
+//!   blind; handles feedback by fixpoint iteration across delay states.
+//! * **Affine analysis** ([`Dfg::ranges_affine`]) — first-order correlation
+//!   aware, combinational graphs only (feedback would need unrolling).
+//!
+//! Range analysis determines the *integer* part of each node's fixed-point
+//! format; the SNA machinery determines the fractional part.
+
+use sna_interval::{AffineContext, AffineForm, Interval};
+
+use crate::{Dfg, DfgError, NodeId, Op};
+
+/// Options for fixpoint range analysis over sequential graphs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RangeOptions {
+    /// Maximum fixpoint iterations across delay states.
+    pub max_iterations: usize,
+    /// Convergence tolerance on interval bounds, relative to width.
+    pub tolerance: f64,
+}
+
+impl Default for RangeOptions {
+    fn default() -> Self {
+        RangeOptions {
+            max_iterations: 4096,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+impl Dfg {
+    /// Computes per-node value ranges with interval arithmetic.
+    ///
+    /// Sequential graphs are handled by iterating to a fixpoint: delay
+    /// ranges start at `[0, 0]` (the reset state) and are widened with the
+    /// hull of their source's range until stable.
+    ///
+    /// # Errors
+    ///
+    /// * [`DfgError::WrongInputCount`] for a mis-sized range slice;
+    /// * [`DfgError::RangeDivisionByZero`] if a divisor range straddles 0;
+    /// * [`DfgError::RangeDivergence`] when feedback does not converge
+    ///   (loop gain ≥ 1).
+    pub fn ranges_interval(
+        &self,
+        input_ranges: &[Interval],
+        opts: &RangeOptions,
+    ) -> Result<Vec<Interval>, DfgError> {
+        if input_ranges.len() != self.n_inputs() {
+            return Err(DfgError::WrongInputCount {
+                expected: self.n_inputs(),
+                got: input_ranges.len(),
+            });
+        }
+        let mut ranges = vec![Interval::ZERO; self.len()];
+        let iterations = if self.is_combinational() {
+            1
+        } else {
+            opts.max_iterations
+        };
+        for it in 0..iterations {
+            for &id in self.topo_order() {
+                let node = self.node(id);
+                let v = match node.op() {
+                    Op::Input(i) => input_ranges[i],
+                    Op::Const(c) => Interval::point(c),
+                    Op::Add => ranges[node.args()[0].index()] + ranges[node.args()[1].index()],
+                    Op::Sub => ranges[node.args()[0].index()] - ranges[node.args()[1].index()],
+                    Op::Mul => {
+                        // Self-multiplication is a dependent square.
+                        if node.args()[0] == node.args()[1] {
+                            ranges[node.args()[0].index()].sqr()
+                        } else {
+                            ranges[node.args()[0].index()] * ranges[node.args()[1].index()]
+                        }
+                    }
+                    Op::Div => ranges[node.args()[0].index()]
+                        .checked_div(&ranges[node.args()[1].index()])
+                        .map_err(|_| DfgError::RangeDivisionByZero { node: id })?,
+                    Op::Neg => -ranges[node.args()[0].index()],
+                    Op::Delay => continue,
+                };
+                ranges[id.index()] = v;
+            }
+            // Unbounded feedback blows ranges up geometrically; declare
+            // divergence as soon as a bound stops being finite.
+            if ranges
+                .iter()
+                .any(|r| !r.lo().is_finite() || !r.hi().is_finite())
+            {
+                return Err(DfgError::RangeDivergence { iterations: it + 1 });
+            }
+            // Widen delay states with their sources' ranges.  Combinational
+            // nodes are pure functions of inputs and delay states, so the
+            // fixpoint is reached exactly when no delay grows materially.
+            let mut changed = false;
+            for &d in self.delay_nodes() {
+                let src = self.node(d).args()[0];
+                let widened = ranges[d.index()].hull(&ranges[src.index()]);
+                if !widened.width().is_finite() {
+                    return Err(DfgError::RangeDivergence { iterations: it + 1 });
+                }
+                if widened != ranges[d.index()] {
+                    let grown = widened.width() - ranges[d.index()].width();
+                    if grown > opts.tolerance * (1.0 + widened.width()) {
+                        changed = true;
+                    }
+                    ranges[d.index()] = widened;
+                }
+            }
+            if !changed {
+                return Ok(ranges);
+            }
+            if it + 1 == iterations && !self.is_combinational() {
+                return Err(DfgError::RangeDivergence { iterations });
+            }
+        }
+        Ok(ranges)
+    }
+
+    /// Computes per-node ranges with affine arithmetic (combinational
+    /// graphs only); returns the affine form of every node.
+    ///
+    /// # Errors
+    ///
+    /// * [`DfgError::NonlinearNode`] if the graph contains delays (use
+    ///   [`Dfg::combinational_view`] first);
+    /// * [`DfgError::WrongInputCount`] / [`DfgError::RangeDivisionByZero`]
+    ///   as for the interval engine.
+    pub fn ranges_affine(
+        &self,
+        input_ranges: &[Interval],
+    ) -> Result<Vec<AffineForm>, DfgError> {
+        if !self.is_combinational() {
+            return Err(DfgError::NonlinearNode {
+                node: self.delay_nodes()[0],
+            });
+        }
+        if input_ranges.len() != self.n_inputs() {
+            return Err(DfgError::WrongInputCount {
+                expected: self.n_inputs(),
+                got: input_ranges.len(),
+            });
+        }
+        let ctx = AffineContext::new();
+        let inputs: Vec<AffineForm> = input_ranges
+            .iter()
+            .map(|&r| ctx.from_interval(r))
+            .collect();
+        let mut forms = vec![AffineForm::constant(0.0); self.len()];
+        for &id in self.topo_order() {
+            let node = self.node(id);
+            let v = match node.op() {
+                Op::Input(i) => inputs[i].clone(),
+                Op::Const(c) => AffineForm::constant(c),
+                Op::Add => {
+                    forms[node.args()[0].index()].clone() + forms[node.args()[1].index()].clone()
+                }
+                Op::Sub => {
+                    forms[node.args()[0].index()].clone() - forms[node.args()[1].index()].clone()
+                }
+                Op::Mul => {
+                    if node.args()[0] == node.args()[1] {
+                        forms[node.args()[0].index()].sqr(&ctx)
+                    } else {
+                        forms[node.args()[0].index()].mul(&forms[node.args()[1].index()], &ctx)
+                    }
+                }
+                Op::Div => forms[node.args()[0].index()]
+                    .div(&forms[node.args()[1].index()], &ctx)
+                    .map_err(|_| DfgError::RangeDivisionByZero { node: id })?,
+                Op::Neg => -forms[node.args()[0].index()].clone(),
+                Op::Delay => unreachable!("combinational graph"),
+            };
+            forms[id.index()] = v;
+        }
+        Ok(forms)
+    }
+
+    /// Convenience: the interval range of each declared output.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dfg::ranges_interval`].
+    pub fn output_ranges(
+        &self,
+        input_ranges: &[Interval],
+        opts: &RangeOptions,
+    ) -> Result<Vec<(String, Interval)>, DfgError> {
+        let ranges = self.ranges_interval(input_ranges, opts)?;
+        Ok(self
+            .outputs()
+            .iter()
+            .map(|(name, id)| (name.clone(), ranges[id.index()]))
+            .collect())
+    }
+}
+
+/// Checks whether a node of the graph is *signal dependent*, i.e. depends
+/// (transitively, through combinational edges or delays) on any input.
+pub(crate) fn signal_dependent(dfg: &Dfg) -> Vec<bool> {
+    let mut dep = vec![false; dfg.len()];
+    // Iterate until stable: delays can propagate dependency around loops.
+    loop {
+        let mut changed = false;
+        for (id, node) in dfg.nodes() {
+            let d = match node.op() {
+                Op::Input(_) => true,
+                Op::Const(_) => false,
+                _ => node.args().iter().any(|a| dep[a.index()]),
+            };
+            if d && !dep[id.index()] {
+                dep[id.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return dep;
+        }
+    }
+}
+
+/// Returns the first node violating linearity, if any: a multiplication of
+/// two signal-dependent operands, or a division with a signal-dependent
+/// divisor.
+pub(crate) fn first_nonlinear_node(dfg: &Dfg) -> Option<NodeId> {
+    let dep = signal_dependent(dfg);
+    for (id, node) in dfg.nodes() {
+        match node.op() {
+            Op::Mul
+                if dep[node.args()[0].index()] && dep[node.args()[1].index()] => {
+                    return Some(id);
+                }
+            Op::Div
+                if dep[node.args()[1].index()] => {
+                    return Some(id);
+                }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfgBuilder;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn combinational_interval_ranges() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let sq = b.mul(x, x);
+        let k = b.constant(2.0);
+        let y = b.mul(k, sq);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let r = g
+            .ranges_interval(&[iv(-1.0, 1.0)], &RangeOptions::default())
+            .unwrap();
+        // Dependent square: [0, 1], not [-1, 1].
+        assert_eq!(r[sq.index()], iv(0.0, 1.0));
+        assert_eq!(r[y.index()], iv(0.0, 2.0));
+    }
+
+    #[test]
+    fn stable_feedback_converges() {
+        // y = x + 0.5 y[n-1]: range of y is [−2·|x|max, 2·|x|max].
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let half = b.mul_const(0.5, fb);
+        let y = b.add(x, half);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let r = g
+            .ranges_interval(&[iv(-1.0, 1.0)], &RangeOptions::default())
+            .unwrap();
+        let (_, yid) = g.outputs()[0].clone();
+        let out = r[yid.index()];
+        assert!(out.lo() <= -1.99 && out.lo() >= -2.01, "lo = {}", out.lo());
+        assert!(out.hi() >= 1.99 && out.hi() <= 2.01, "hi = {}", out.hi());
+    }
+
+    #[test]
+    fn unstable_feedback_diverges() {
+        // y = x + 1.5 y[n-1] diverges.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let amp = b.mul_const(1.5, fb);
+        let y = b.add(x, amp);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let err = g
+            .ranges_interval(&[iv(-1.0, 1.0)], &RangeOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, DfgError::RangeDivergence { .. }));
+    }
+
+    #[test]
+    fn divisor_straddling_zero_is_reported() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = b.div(x, y);
+        b.output("q", q);
+        let g = b.build().unwrap();
+        assert!(matches!(
+            g.ranges_interval(&[iv(0.0, 1.0), iv(-1.0, 1.0)], &RangeOptions::default()),
+            Err(DfgError::RangeDivisionByZero { .. })
+        ));
+        let ok = g
+            .ranges_interval(&[iv(0.0, 1.0), iv(1.0, 2.0)], &RangeOptions::default())
+            .unwrap();
+        assert_eq!(ok[q.index()], iv(0.0, 1.0));
+    }
+
+    #[test]
+    fn affine_is_tighter_on_correlated_paths() {
+        // y = x - x: IA gives [-2, 2], AA gives exactly 0.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.sub(x, x);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let ia = g
+            .ranges_interval(&[iv(-1.0, 1.0)], &RangeOptions::default())
+            .unwrap();
+        assert_eq!(ia[y.index()], iv(-2.0, 2.0));
+        let aa = g.ranges_affine(&[iv(-1.0, 1.0)]).unwrap();
+        assert_eq!(aa[y.index()].to_interval(), iv(0.0, 0.0));
+    }
+
+    #[test]
+    fn affine_rejects_sequential_graphs() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let d = b.delay(x);
+        let y = b.add(x, d);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        assert!(matches!(
+            g.ranges_affine(&[iv(-1.0, 1.0)]),
+            Err(DfgError::NonlinearNode { .. })
+        ));
+        // The combinational view is accepted.
+        let cv = g.combinational_view();
+        assert!(cv.ranges_affine(&[iv(-1.0, 1.0), iv(-1.0, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn linearity_detection() {
+        // Linear: constant multiplies only.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let t = b.mul_const(3.0, x);
+        let y = b.add(t, x);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        assert_eq!(first_nonlinear_node(&g), None);
+
+        // Nonlinear: x·x.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let sq = b.mul(x, x);
+        b.output("y", sq);
+        let g = b.build().unwrap();
+        assert_eq!(first_nonlinear_node(&g), Some(sq));
+
+        // Nonlinear: division by a signal.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let c = b.constant(1.0);
+        let q = b.div(c, x);
+        b.output("y", q);
+        let g = b.build().unwrap();
+        assert_eq!(first_nonlinear_node(&g), Some(q));
+    }
+
+    #[test]
+    fn output_ranges_are_labelled() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.mul_const(2.0, x);
+        b.output("twice", y);
+        let g = b.build().unwrap();
+        let out = g
+            .output_ranges(&[iv(0.0, 3.0)], &RangeOptions::default())
+            .unwrap();
+        assert_eq!(out, vec![("twice".to_string(), iv(0.0, 6.0))]);
+    }
+}

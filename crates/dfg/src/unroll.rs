@@ -1,0 +1,174 @@
+//! Time-unrolling: convert a sequential graph into a combinational one
+//! computing `steps` consecutive iterations.
+//!
+//! Unrolling lets the purely combinational analyses (affine ranges, the
+//! symbolic polynomial engine) reason about sequential designs over a
+//! finite horizon — e.g. the transient error growth of an IIR filter in
+//! its first `n` samples.
+
+use crate::{Dfg, DfgBuilder, DfgError, NodeId, Op};
+
+impl Dfg {
+    /// Builds a combinational graph computing `steps` consecutive
+    /// iterations of this graph.
+    ///
+    /// * inputs: `steps` copies of each original input, named
+    ///   `"<name>@<t>"`, grouped by step (step-major order);
+    /// * delays: step `0` reads the reset state (constant 0); step `t`
+    ///   reads the delay's source value from step `t-1`;
+    /// * outputs: `steps` copies of each original output, named
+    ///   `"<name>@<t>"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::NoOutputs`] when `steps == 0` (nothing to
+    /// compute); construction errors cannot otherwise occur for a valid
+    /// source graph.
+    pub fn unroll(&self, steps: usize) -> Result<Dfg, DfgError> {
+        if steps == 0 {
+            return Err(DfgError::NoOutputs);
+        }
+        let mut b = DfgBuilder::new();
+        // map[t][i] = node id of copy of node i at step t.
+        let mut map: Vec<Vec<NodeId>> = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let mut ids = vec![NodeId::from_index(usize::MAX); self.len()];
+            // Delays first: they depend only on the previous step.
+            for &d in self.delay_nodes() {
+                let src = self.node(d).args()[0];
+                let value = if t == 0 {
+                    b.constant(0.0) // reset state
+                } else {
+                    map[t - 1][src.index()]
+                };
+                ids[d.index()] = value;
+            }
+            // Combinational nodes in topological order.
+            for &id in self.topo_order() {
+                let node = self.node(id);
+                let new_id = match node.op() {
+                    Op::Input(i) => b.input(format!("{}@{t}", self.input_names()[i])),
+                    Op::Const(c) => b.constant(c),
+                    Op::Add => b.add(ids[node.args()[0].index()], ids[node.args()[1].index()]),
+                    Op::Sub => b.sub(ids[node.args()[0].index()], ids[node.args()[1].index()]),
+                    Op::Mul => b.mul(ids[node.args()[0].index()], ids[node.args()[1].index()]),
+                    Op::Div => b.div(ids[node.args()[0].index()], ids[node.args()[1].index()]),
+                    Op::Neg => b.neg(ids[node.args()[0].index()]),
+                    Op::Delay => unreachable!("delays handled above"),
+                };
+                if let Some(name) = node.name() {
+                    let _ = b.name(new_id, format!("{name}@{t}"));
+                }
+                ids[id.index()] = new_id;
+            }
+            for (name, out) in self.outputs() {
+                b.output(format!("{name}@{t}"), ids[out.index()]);
+            }
+            map.push(ids);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    fn one_pole() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let t = b.mul_const(0.5, fb);
+        let y = b.add(x, t);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unrolled_matches_simulation() {
+        let g = one_pole();
+        let n = 5;
+        let u = g.unroll(n).unwrap();
+        assert!(u.is_combinational());
+        assert_eq!(u.n_inputs(), n);
+        assert_eq!(u.outputs().len(), n);
+
+        let inputs = [1.0, -0.5, 0.25, 0.0, 2.0];
+        let flat: Vec<f64> = inputs.to_vec();
+        let unrolled_out = u.evaluate(&flat).unwrap();
+
+        let mut sim = Simulator::new(&g);
+        for (t, &x) in inputs.iter().enumerate() {
+            let expect = sim.step(&[x]).unwrap()[0];
+            assert!(
+                (unrolled_out[t] - expect).abs() < 1e-12,
+                "step {t}: {} vs {expect}",
+                unrolled_out[t]
+            );
+        }
+    }
+
+    #[test]
+    fn unrolled_outputs_are_named_by_step() {
+        let g = one_pole();
+        let u = g.unroll(3).unwrap();
+        let names: Vec<&str> = u.outputs().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["y@0", "y@1", "y@2"]);
+        let inputs: Vec<&str> = u.input_names().iter().map(String::as_str).collect();
+        assert_eq!(inputs, vec!["x@0", "x@1", "x@2"]);
+    }
+
+    #[test]
+    fn zero_steps_is_rejected() {
+        let g = one_pole();
+        assert!(matches!(g.unroll(0), Err(DfgError::NoOutputs)));
+    }
+
+    #[test]
+    fn unrolling_a_combinational_graph_replicates_it() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.mul_const(3.0, x);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let u = g.unroll(2).unwrap();
+        assert_eq!(u.evaluate(&[1.0, 2.0]).unwrap(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn fir_unrolled_exposes_the_impulse_response() {
+        // 3-tap FIR; unroll 4 steps, feed an impulse, read h on the outputs.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let d1 = b.delay(x);
+        let d2 = b.delay(d1);
+        let t0 = b.mul_const(0.5, x);
+        let t1 = b.mul_const(0.3, d1);
+        let t2 = b.mul_const(0.2, d2);
+        let s = b.add(t0, t1);
+        let y = b.add(s, t2);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let u = g.unroll(4).unwrap();
+        let out = u.evaluate(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((out[0] - 0.5).abs() < 1e-12);
+        assert!((out[1] - 0.3).abs() < 1e-12);
+        assert!((out[2] - 0.2).abs() < 1e-12);
+        assert!(out[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrolled_graph_supports_affine_ranges() {
+        // The whole point: combinational-only analyses now apply.
+        let g = one_pole();
+        let u = g.unroll(3).unwrap();
+        let ranges = vec![sna_interval::Interval::UNIT; 3];
+        let forms = u.ranges_affine(&ranges).unwrap();
+        // y@2 = x2 + 0.5(x1 + 0.5 x0): range ±1.75.
+        let (_, yid) = u.outputs()[2].clone();
+        let iv = forms[yid.index()].to_interval();
+        assert!((iv.hi() - 1.75).abs() < 1e-9, "{iv}");
+    }
+}

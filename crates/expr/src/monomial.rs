@@ -1,0 +1,238 @@
+use std::fmt;
+
+use sna_interval::Interval;
+
+use crate::SymbolId;
+
+/// A product of symbol powers `∏ εᵢ^kᵢ` in canonical form (sorted by symbol,
+/// no zero exponents).
+///
+/// # Example
+///
+/// ```
+/// use sna_expr::{Monomial, SymbolTable};
+///
+/// let mut t = SymbolTable::new();
+/// let x = t.add_uniform("x", 8).unwrap();
+/// let y = t.add_uniform("y", 8).unwrap();
+/// let m = Monomial::from_symbol(x).mul(&Monomial::from_symbol(y)).mul(&Monomial::from_symbol(x));
+/// assert_eq!(m.degree(), 3);
+/// assert_eq!(m.exponent(x), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial {
+    /// `(symbol, exponent)` pairs, sorted by symbol, exponents >= 1.
+    factors: Vec<(SymbolId, u32)>,
+}
+
+impl Monomial {
+    /// The empty monomial (the constant `1`).
+    pub fn one() -> Self {
+        Monomial::default()
+    }
+
+    /// The monomial consisting of a single symbol to the first power.
+    pub fn from_symbol(id: SymbolId) -> Self {
+        Monomial {
+            factors: vec![(id, 1)],
+        }
+    }
+
+    /// Builds a canonical monomial from arbitrary `(symbol, exponent)` pairs
+    /// (merging duplicates, dropping zero exponents).
+    pub fn from_factors(factors: impl IntoIterator<Item = (SymbolId, u32)>) -> Self {
+        let mut v: Vec<(SymbolId, u32)> = Vec::new();
+        for (id, e) in factors {
+            if e == 0 {
+                continue;
+            }
+            match v.iter_mut().find(|(i, _)| *i == id) {
+                Some((_, acc)) => *acc += e,
+                None => v.push((id, e)),
+            }
+        }
+        v.sort_by_key(|&(id, _)| id);
+        Monomial { factors: v }
+    }
+
+    /// Whether this is the constant monomial `1`.
+    pub fn is_one(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Total degree `Σ kᵢ`.
+    pub fn degree(&self) -> u32 {
+        self.factors.iter().map(|&(_, e)| e).sum()
+    }
+
+    /// The exponent of `id` (0 when absent).
+    pub fn exponent(&self, id: SymbolId) -> u32 {
+        self.factors
+            .iter()
+            .find(|&&(i, _)| i == id)
+            .map_or(0, |&(_, e)| e)
+    }
+
+    /// Iterates over the `(symbol, exponent)` factors.
+    pub fn factors(&self) -> impl Iterator<Item = (SymbolId, u32)> + '_ {
+        self.factors.iter().copied()
+    }
+
+    /// Iterates over the distinct symbols.
+    pub fn symbols(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.factors.iter().map(|&(id, _)| id)
+    }
+
+    /// Whether any factor's symbol satisfies `pred`.
+    pub fn contains_symbol_where(&self, mut pred: impl FnMut(SymbolId) -> bool) -> bool {
+        self.factors.iter().any(|&(id, _)| pred(id))
+    }
+
+    /// Product of two monomials (exponents add).
+    pub fn mul(&self, rhs: &Monomial) -> Monomial {
+        let mut out = Vec::with_capacity(self.factors.len() + rhs.factors.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.factors.len() && j < rhs.factors.len() {
+            let (a, ea) = self.factors[i];
+            let (b, eb) = rhs.factors[j];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    out.push((a, ea));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((b, eb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((a, ea + eb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.factors[i..]);
+        out.extend_from_slice(&rhs.factors[j..]);
+        Monomial { factors: out }
+    }
+
+    /// Evaluates at a point assignment.
+    pub fn eval_f64(&self, mut value: impl FnMut(SymbolId) -> f64) -> f64 {
+        self.factors
+            .iter()
+            .map(|&(id, e)| value(id).powi(e as i32))
+            .product()
+    }
+
+    /// Evaluates over interval assignments, using the dependent power
+    /// operation per symbol (so `ε²` is `[0, 1]`, not `[-1, 1]`).
+    pub fn eval_interval(&self, mut range: impl FnMut(SymbolId) -> Interval) -> Interval {
+        let mut acc = Interval::point(1.0);
+        for &(id, e) in &self.factors {
+            acc *= range(id).powi(e);
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        for (i, &(id, e)) in self.factors.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            if e == 1 {
+                write!(f, "{id}")?;
+            } else {
+                write!(f, "{id}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolTable;
+
+    fn two_symbols() -> (SymbolId, SymbolId) {
+        let mut t = SymbolTable::new();
+        let x = t.add_uniform("x", 4).unwrap();
+        let y = t.add_uniform("y", 4).unwrap();
+        (x, y)
+    }
+
+    #[test]
+    fn canonical_form_merges_and_sorts() {
+        let (x, y) = two_symbols();
+        let m = Monomial::from_factors([(y, 1), (x, 2), (y, 0), (x, 1)]);
+        assert_eq!(m.exponent(x), 3);
+        assert_eq!(m.exponent(y), 1);
+        assert_eq!(m.degree(), 4);
+        let symbols: Vec<SymbolId> = m.symbols().collect();
+        assert_eq!(symbols, vec![x, y]);
+    }
+
+    #[test]
+    fn one_is_identity_for_mul() {
+        let (x, _) = two_symbols();
+        let m = Monomial::from_symbol(x);
+        assert_eq!(Monomial::one().mul(&m), m);
+        assert_eq!(m.mul(&Monomial::one()), m);
+        assert!(Monomial::one().is_one());
+        assert_eq!(Monomial::one().degree(), 0);
+    }
+
+    #[test]
+    fn mul_adds_exponents() {
+        let (x, y) = two_symbols();
+        let a = Monomial::from_factors([(x, 2)]);
+        let b = Monomial::from_factors([(x, 1), (y, 3)]);
+        let p = a.mul(&b);
+        assert_eq!(p.exponent(x), 3);
+        assert_eq!(p.exponent(y), 3);
+    }
+
+    #[test]
+    fn eval_f64_and_interval_agree_on_points() {
+        let (x, y) = two_symbols();
+        let m = Monomial::from_factors([(x, 2), (y, 1)]);
+        let v = m.eval_f64(|id| if id == x { 3.0 } else { -2.0 });
+        assert_eq!(v, -18.0);
+        let iv = m.eval_interval(|id| {
+            Interval::point(if id == x { 3.0 } else { -2.0 })
+        });
+        assert_eq!(iv, Interval::point(-18.0));
+    }
+
+    #[test]
+    fn interval_eval_uses_dependent_powers() {
+        let (x, _) = two_symbols();
+        let m = Monomial::from_factors([(x, 2)]);
+        let iv = m.eval_interval(|_| Interval::UNIT);
+        assert_eq!(iv, Interval::new(0.0, 1.0).unwrap());
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let (x, y) = two_symbols();
+        let mut monos = [Monomial::from_factors([(y, 1)]),
+            Monomial::one(),
+            Monomial::from_factors([(x, 2)]),
+            Monomial::from_factors([(x, 1)])];
+        monos.sort();
+        assert_eq!(monos[0], Monomial::one());
+    }
+
+    #[test]
+    fn display_formats() {
+        let (x, y) = two_symbols();
+        assert_eq!(format!("{}", Monomial::one()), "1");
+        let m = Monomial::from_factors([(x, 2), (y, 1)]);
+        assert_eq!(format!("{m}"), "ε0^2·ε1");
+    }
+}

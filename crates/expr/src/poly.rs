@@ -1,0 +1,467 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sna_interval::Interval;
+
+use crate::{Monomial, SymbolId, SymbolTable};
+
+/// A sparse multivariate polynomial `Σ c_m · m` over noise symbols.
+///
+/// `Poly` is the concrete realization of the paper's Eq. (1) numerator: the
+/// uncertainty of a value is an algebraic combination of noise symbols with
+/// real coefficients.  Because symbols are independent random variables with
+/// known PDFs, the mean and variance of a `Poly` are computable *exactly*
+/// from symbol moments, and guaranteed bounds come from interval evaluation.
+///
+/// # Example
+///
+/// ```
+/// use sna_expr::{Poly, SymbolTable};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut t = SymbolTable::new();
+/// let e1 = t.add_uniform("e1", 32)?;
+/// let e2 = t.add_uniform("e2", 32)?;
+/// // err = 0.5·ε₁ + 0.25·ε₂ + 0.125·ε₁ε₂
+/// let err = Poly::symbol(e1).scale(0.5)
+///     .add(&Poly::symbol(e2).scale(0.25))
+///     .add(&Poly::symbol(e1).mul(&Poly::symbol(e2)).scale(0.125));
+/// assert!(err.mean(&t).abs() < 1e-9);
+/// let var = err.variance(&t);
+/// // Var = 0.25/3 + 0.0625/3 + 0.015625/9
+/// assert!((var - (0.25 / 3.0 + 0.0625 / 3.0 + 0.015625 / 9.0)).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, f64>,
+}
+
+impl Poly {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: f64) -> Self {
+        let mut terms = BTreeMap::new();
+        if c != 0.0 {
+            terms.insert(Monomial::one(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial consisting of a single symbol.
+    pub fn symbol(id: SymbolId) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(Monomial::from_symbol(id), 1.0);
+        Poly { terms }
+    }
+
+    /// An affine combination `c + Σ coeffᵢ·εᵢ`.
+    pub fn affine(c: f64, terms: impl IntoIterator<Item = (SymbolId, f64)>) -> Self {
+        let mut p = Poly::constant(c);
+        for (id, coeff) in terms {
+            p.add_term(Monomial::from_symbol(id), coeff);
+        }
+        p
+    }
+
+    /// Builds a polynomial from explicit `(monomial, coefficient)` terms.
+    pub fn from_terms(terms: impl IntoIterator<Item = (Monomial, f64)>) -> Self {
+        let mut p = Poly::zero();
+        for (m, c) in terms {
+            p.add_term(m, c);
+        }
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Structure
+    // ------------------------------------------------------------------
+
+    /// Adds `c · m` into the polynomial.
+    pub fn add_term(&mut self, m: Monomial, c: f64) {
+        if c == 0.0 {
+            return;
+        }
+        match self.terms.entry(m) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                *e.get_mut() += c;
+                if *e.get() == 0.0 {
+                    e.remove();
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(c);
+            }
+        }
+    }
+
+    /// The coefficient of a monomial (0 when absent).
+    pub fn coefficient(&self, m: &Monomial) -> f64 {
+        self.terms.get(m).copied().unwrap_or(0.0)
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> f64 {
+        self.coefficient(&Monomial::one())
+    }
+
+    /// Whether the polynomial has no symbolic terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.keys().all(Monomial::is_one)
+    }
+
+    /// Whether the polynomial is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of terms.
+    pub fn n_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, f64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// The distinct symbols appearing in the polynomial, sorted.
+    pub fn symbols(&self) -> Vec<SymbolId> {
+        let mut out: Vec<SymbolId> = Vec::new();
+        for m in self.terms.keys() {
+            for s in m.symbols() {
+                if let Err(pos) = out.binary_search(&s) {
+                    out.insert(pos, s);
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// Sum of two polynomials.
+    pub fn add(&self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in rhs.terms() {
+            out.add_term(m.clone(), c);
+        }
+        out
+    }
+
+    /// Difference of two polynomials.
+    pub fn sub(&self, rhs: &Poly) -> Poly {
+        self.add(&rhs.neg())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Poly {
+        Poly {
+            terms: self.terms.iter().map(|(m, &c)| (m.clone(), -c)).collect(),
+        }
+    }
+
+    /// Multiplication by a scalar.
+    pub fn scale(&self, k: f64) -> Poly {
+        if k == 0.0 {
+            return Poly::zero();
+        }
+        Poly {
+            terms: self.terms.iter().map(|(m, &c)| (m.clone(), k * c)).collect(),
+        }
+    }
+
+    /// Translation by a scalar.
+    pub fn shift(&self, c: f64) -> Poly {
+        let mut out = self.clone();
+        out.add_term(Monomial::one(), c);
+        out
+    }
+
+    /// Product of two polynomials.
+    pub fn mul(&self, rhs: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (ma, ca) in self.terms() {
+            for (mb, cb) in rhs.terms() {
+                out.add_term(ma.mul(mb), ca * cb);
+            }
+        }
+        out
+    }
+
+    /// Square of the polynomial.
+    pub fn sqr(&self) -> Poly {
+        self.mul(self)
+    }
+
+    /// Splits into `(kept, dropped)` where `kept` holds terms of total
+    /// degree at most `max_degree`.
+    pub fn truncate_degree(&self, max_degree: u32) -> (Poly, Poly) {
+        let mut kept = Poly::zero();
+        let mut dropped = Poly::zero();
+        for (m, c) in self.terms() {
+            if m.degree() <= max_degree {
+                kept.add_term(m.clone(), c);
+            } else {
+                dropped.add_term(m.clone(), c);
+            }
+        }
+        (kept, dropped)
+    }
+
+    /// Splits into `(matching, rest)` where `matching` holds monomials
+    /// containing at least one symbol satisfying `pred`.
+    ///
+    /// Used to isolate the *error part* of a value polynomial: the monomials
+    /// touching at least one quantization-noise symbol.
+    pub fn partition(&self, mut pred: impl FnMut(SymbolId) -> bool) -> (Poly, Poly) {
+        let mut matching = Poly::zero();
+        let mut rest = Poly::zero();
+        for (m, c) in self.terms() {
+            if m.contains_symbol_where(&mut pred) {
+                matching.add_term(m.clone(), c);
+            } else {
+                rest.add_term(m.clone(), c);
+            }
+        }
+        (matching, rest)
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluates at a point assignment.
+    pub fn eval_f64(&self, mut value: impl FnMut(SymbolId) -> f64) -> f64 {
+        self.terms()
+            .map(|(m, c)| c * m.eval_f64(&mut value))
+            .sum()
+    }
+
+    /// Guaranteed range by interval evaluation (dependent powers within each
+    /// monomial; cross-monomial dependency is conservatively ignored).
+    pub fn eval_interval(&self, mut range: impl FnMut(SymbolId) -> Interval) -> Interval {
+        let mut acc = Interval::ZERO;
+        for (m, c) in self.terms() {
+            acc += m.eval_interval(&mut range).scale(c);
+        }
+        acc
+    }
+
+    // ------------------------------------------------------------------
+    // Moments (symbols independent, PDFs from the table)
+    // ------------------------------------------------------------------
+
+    /// Exact mean `E[p]` from symbol moments.
+    pub fn mean(&self, table: &SymbolTable) -> f64 {
+        self.terms()
+            .map(|(m, c)| {
+                c * m
+                    .factors()
+                    .map(|(id, e)| table.moment(id, e))
+                    .product::<f64>()
+            })
+            .sum()
+    }
+
+    /// Exact second raw moment `E[p²]`.
+    pub fn moment2(&self, table: &SymbolTable) -> f64 {
+        self.sqr().mean(table)
+    }
+
+    /// Exact variance `E[p²] - E[p]²`.
+    pub fn variance(&self, table: &SymbolTable) -> f64 {
+        let mean = self.mean(table);
+        (self.moment2(table) - mean * mean).max(0.0)
+    }
+
+    /// Noise power `E[p²]` — the metric constrained by the paper's
+    /// optimization tables.
+    pub fn noise_power(&self, table: &SymbolTable) -> f64 {
+        self.moment2(table)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.terms().enumerate() {
+            if i == 0 {
+                if m.is_one() {
+                    write!(f, "{c}")?;
+                } else {
+                    write!(f, "{c}·{m}")?;
+                }
+            } else if m.is_one() {
+                write!(f, " + {c}")?;
+            } else if c >= 0.0 {
+                write!(f, " + {c}·{m}")?;
+            } else {
+                write!(f, " - {}·{m}", -c)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table3() -> (SymbolTable, SymbolId, SymbolId, SymbolId) {
+        let mut t = SymbolTable::new();
+        let x = t.add_uniform("x", 128).unwrap();
+        let y = t.add_uniform("y", 128).unwrap();
+        let z = t.add_uniform("z", 128).unwrap();
+        (t, x, y, z)
+    }
+
+    #[test]
+    fn constant_and_zero() {
+        let z = Poly::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), 0);
+        let c = Poly::constant(2.5);
+        assert!(c.is_constant());
+        assert_eq!(c.constant_term(), 2.5);
+        assert_eq!(Poly::constant(0.0), Poly::zero());
+    }
+
+    #[test]
+    fn add_and_cancel() {
+        let (_, x, _, _) = table3();
+        let p = Poly::symbol(x).scale(2.0);
+        let q = Poly::symbol(x).scale(-2.0);
+        assert!(p.add(&q).is_zero());
+        let r = p.add(&Poly::constant(1.0));
+        assert_eq!(r.n_terms(), 2);
+        assert_eq!(r.constant_term(), 1.0);
+    }
+
+    #[test]
+    fn mul_expands_products() {
+        let (_, x, y, _) = table3();
+        // (1 + x)(1 - y) = 1 + x - y - xy
+        let p = Poly::affine(1.0, [(x, 1.0)]);
+        let q = Poly::affine(1.0, [(y, -1.0)]);
+        let r = p.mul(&q);
+        assert_eq!(r.n_terms(), 4);
+        assert_eq!(r.constant_term(), 1.0);
+        let xy = Monomial::from_factors([(x, 1), (y, 1)]);
+        assert_eq!(r.coefficient(&xy), -1.0);
+        assert_eq!(r.degree(), 2);
+    }
+
+    #[test]
+    fn eval_f64_matches_structure() {
+        let (_, x, y, _) = table3();
+        // p = 3 + 2x - xy²
+        let p = Poly::from_terms([
+            (Monomial::one(), 3.0),
+            (Monomial::from_symbol(x), 2.0),
+            (Monomial::from_factors([(x, 1), (y, 2)]), -1.0),
+        ]);
+        let v = p.eval_f64(|id| if id == x { 2.0 } else { 3.0 });
+        assert_eq!(v, 3.0 + 4.0 - 2.0 * 9.0);
+    }
+
+    #[test]
+    fn interval_eval_is_dependency_aware_per_monomial() {
+        let (_, x, _, _) = table3();
+        let p = Poly::from_terms([(Monomial::from_factors([(x, 2)]), 1.0)]);
+        assert_eq!(
+            p.eval_interval(|_| Interval::UNIT),
+            Interval::new(0.0, 1.0).unwrap()
+        );
+        // But x² - x is evaluated monomial-wise: [0,1] - [-1,1] = [-1, 2]
+        // (true range is [-1/4, 2]); conservative as documented.
+        let q = p.sub(&Poly::symbol(x));
+        assert_eq!(
+            q.eval_interval(|_| Interval::UNIT),
+            Interval::new(-1.0, 2.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn mean_and_variance_of_affine_form() {
+        let (t, x, y, _) = table3();
+        // p = 1 + 0.5x + 0.25y; Var = 0.25/3 + 0.0625/3.
+        let p = Poly::affine(1.0, [(x, 0.5), (y, 0.25)]);
+        assert!((p.mean(&t) - 1.0).abs() < 1e-9);
+        let expected = 0.25 / 3.0 + 0.0625 / 3.0;
+        assert!((p.variance(&t) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_of_product_of_symbols() {
+        let (t, x, y, _) = table3();
+        // Var(xy) = E[x²]E[y²] = 1/9 for independent centred uniforms.
+        let p = Poly::symbol(x).mul(&Poly::symbol(y));
+        assert!(p.mean(&t).abs() < 1e-9);
+        assert!((p.variance(&t) - 1.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_of_square_uses_second_moment() {
+        let (t, x, _, _) = table3();
+        let p = Poly::symbol(x).sqr();
+        assert!((p.mean(&t) - 1.0 / 3.0).abs() < 1e-6);
+        // E[x⁴] − E[x²]² = 1/5 − 1/9 = 4/45.
+        assert!((p.variance(&t) - 4.0 / 45.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn truncate_and_partition() {
+        let (_, x, y, z) = table3();
+        let p = Poly::from_terms([
+            (Monomial::one(), 1.0),
+            (Monomial::from_symbol(x), 2.0),
+            (Monomial::from_factors([(y, 1), (z, 1)]), 3.0),
+            (Monomial::from_factors([(x, 2), (y, 1)]), 4.0),
+        ]);
+        let (kept, dropped) = p.truncate_degree(1);
+        assert_eq!(kept.n_terms(), 2);
+        assert_eq!(dropped.n_terms(), 2);
+        assert_eq!(kept.add(&dropped), p);
+        // Partition by "is x".
+        let (with_x, without_x) = p.partition(|id| id == x);
+        assert_eq!(with_x.n_terms(), 2);
+        assert_eq!(without_x.n_terms(), 2);
+        assert_eq!(with_x.add(&without_x), p);
+    }
+
+    #[test]
+    fn symbols_are_deduplicated_and_sorted() {
+        let (_, x, y, _) = table3();
+        let p = Poly::from_terms([
+            (Monomial::from_factors([(y, 1), (x, 1)]), 1.0),
+            (Monomial::from_symbol(y), 2.0),
+        ]);
+        assert_eq!(p.symbols(), vec![x, y]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (_, x, _, _) = table3();
+        let p = Poly::affine(1.0, [(x, -2.0)]);
+        assert_eq!(format!("{p}"), "1 - 2·ε0");
+    }
+}

@@ -1,0 +1,302 @@
+use std::fmt;
+
+use sna_interval::Interval;
+
+use crate::{ExprError, Poly, SymbolId};
+
+/// A quotient of polynomials `num / den` — the full "fractional function of
+/// polynomials" of the paper's Eq. (1).
+///
+/// Rational forms arise as soon as a datapath contains division; they are
+/// closed under `+`, `-`, `*`, `/`.  Constant denominators are simplified
+/// away eagerly so that division-free datapaths stay in pure [`Poly`] form.
+///
+/// # Example
+///
+/// ```
+/// use sna_expr::{Poly, RationalFn, SymbolTable};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut t = SymbolTable::new();
+/// let x = t.add_uniform("x", 16)?;
+/// // r = (1 + x) / (3 + x): well-defined since 3 + x ∈ [2, 4].
+/// let r = RationalFn::from_poly(Poly::affine(1.0, [(x, 1.0)]))
+///     .div(&RationalFn::from_poly(Poly::affine(3.0, [(x, 1.0)])))?;
+/// let range = r.eval_interval(|_| sna_interval::Interval::UNIT)?;
+/// assert!(range.lo() <= 0.0 && range.hi() >= 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RationalFn {
+    num: Poly,
+    den: Poly,
+}
+
+impl RationalFn {
+    /// Wraps a polynomial as `p / 1`.
+    pub fn from_poly(num: Poly) -> Self {
+        RationalFn {
+            num,
+            den: Poly::constant(1.0),
+        }
+    }
+
+    /// A constant rational function.
+    pub fn constant(c: f64) -> Self {
+        RationalFn::from_poly(Poly::constant(c))
+    }
+
+    /// Builds `num / den`, simplifying a constant denominator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::DivisionByZero`] when `den` is the zero
+    /// polynomial.
+    pub fn new(num: Poly, den: Poly) -> Result<Self, ExprError> {
+        if den.is_zero() {
+            return Err(ExprError::DivisionByZero);
+        }
+        if den.is_constant() {
+            let c = den.constant_term();
+            return Ok(RationalFn::from_poly(num.scale(1.0 / c)));
+        }
+        Ok(RationalFn { num, den })
+    }
+
+    /// The numerator.
+    pub fn num(&self) -> &Poly {
+        &self.num
+    }
+
+    /// The denominator.
+    pub fn den(&self) -> &Poly {
+        &self.den
+    }
+
+    /// Whether the form is a plain polynomial (denominator is constant 1).
+    pub fn is_polynomial(&self) -> bool {
+        self.den.is_constant()
+    }
+
+    /// Extracts the polynomial when the denominator is constant.
+    pub fn as_poly(&self) -> Option<Poly> {
+        if self.den.is_constant() {
+            Some(self.num.scale(1.0 / self.den.constant_term()))
+        } else {
+            None
+        }
+    }
+
+    /// Sum: `a/b + c/d = (ad + cb) / bd`.
+    pub fn add(&self, rhs: &RationalFn) -> RationalFn {
+        if self.den == rhs.den {
+            return RationalFn {
+                num: self.num.add(&rhs.num),
+                den: self.den.clone(),
+            };
+        }
+        RationalFn {
+            num: self.num.mul(&rhs.den).add(&rhs.num.mul(&self.den)),
+            den: self.den.mul(&rhs.den),
+        }
+    }
+
+    /// Difference.
+    pub fn sub(&self, rhs: &RationalFn) -> RationalFn {
+        self.add(&rhs.neg())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> RationalFn {
+        RationalFn {
+            num: self.num.neg(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Product.
+    pub fn mul(&self, rhs: &RationalFn) -> RationalFn {
+        RationalFn {
+            num: self.num.mul(&rhs.num),
+            den: self.den.mul(&rhs.den),
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f64) -> RationalFn {
+        RationalFn {
+            num: self.num.scale(k),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Quotient: `(a/b) / (c/d) = ad / bc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::DivisionByZero`] when `rhs`'s numerator is the
+    /// zero polynomial.
+    pub fn div(&self, rhs: &RationalFn) -> Result<RationalFn, ExprError> {
+        if rhs.num.is_zero() {
+            return Err(ExprError::DivisionByZero);
+        }
+        let num = self.num.mul(&rhs.den);
+        let den = self.den.mul(&rhs.num);
+        RationalFn::new(num, den)
+    }
+
+    /// Evaluates at a point assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::DivisionByZero`] when the denominator evaluates
+    /// to zero.
+    pub fn eval_f64(&self, mut value: impl FnMut(SymbolId) -> f64) -> Result<f64, ExprError> {
+        let d = self.den.eval_f64(&mut value);
+        if d == 0.0 {
+            return Err(ExprError::DivisionByZero);
+        }
+        Ok(self.num.eval_f64(&mut value) / d)
+    }
+
+    /// Guaranteed range by interval evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::DivisionByZero`] when the denominator range
+    /// contains zero.
+    pub fn eval_interval(
+        &self,
+        mut range: impl FnMut(SymbolId) -> Interval,
+    ) -> Result<Interval, ExprError> {
+        let d = self.den.eval_interval(&mut range);
+        let n = self.num.eval_interval(&mut range);
+        n.checked_div(&d).map_err(|_| ExprError::DivisionByZero)
+    }
+
+    /// All symbols appearing in numerator or denominator.
+    pub fn symbols(&self) -> Vec<SymbolId> {
+        let mut s = self.num.symbols();
+        for id in self.den.symbols() {
+            if let Err(pos) = s.binary_search(&id) {
+                s.insert(pos, id);
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for RationalFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_polynomial() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "({}) / ({})", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolTable;
+
+    fn one_symbol() -> (SymbolTable, SymbolId) {
+        let mut t = SymbolTable::new();
+        let x = t.add_uniform("x", 16).unwrap();
+        (t, x)
+    }
+
+    #[test]
+    fn constant_denominator_simplifies() {
+        let (_, x) = one_symbol();
+        let r = RationalFn::new(Poly::symbol(x), Poly::constant(2.0)).unwrap();
+        assert!(r.is_polynomial());
+        let p = r.as_poly().unwrap();
+        assert_eq!(p.coefficient(&crate::Monomial::from_symbol(x)), 0.5);
+    }
+
+    #[test]
+    fn zero_denominator_is_rejected() {
+        let (_, x) = one_symbol();
+        assert!(matches!(
+            RationalFn::new(Poly::symbol(x), Poly::zero()),
+            Err(ExprError::DivisionByZero)
+        ));
+    }
+
+    #[test]
+    fn field_operations_agree_with_pointwise_math() {
+        let (_, x) = one_symbol();
+        // a = (1+x)/(3+x), b = x/2
+        let a = RationalFn::new(Poly::affine(1.0, [(x, 1.0)]), Poly::affine(3.0, [(x, 1.0)]))
+            .unwrap();
+        let b = RationalFn::from_poly(Poly::symbol(x).scale(0.5));
+        let s = a.add(&b);
+        let d = a.sub(&b);
+        let p = a.mul(&b);
+        let q = a.div(&b).unwrap();
+        for t in [-0.9, -0.3, 0.2, 0.8] {
+            let av = (1.0 + t) / (3.0 + t);
+            let bv = 0.5 * t;
+            let at = |_: SymbolId| t;
+            assert!((s.eval_f64(at).unwrap() - (av + bv)).abs() < 1e-12);
+            assert!((d.eval_f64(at).unwrap() - (av - bv)).abs() < 1e-12);
+            assert!((p.eval_f64(at).unwrap() - (av * bv)).abs() < 1e-12);
+            assert!((q.eval_f64(at).unwrap() - (av / bv)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_denominator_addition_stays_small() {
+        let (_, x) = one_symbol();
+        let den = Poly::affine(3.0, [(x, 1.0)]);
+        let a = RationalFn::new(Poly::constant(1.0), den.clone()).unwrap();
+        let b = RationalFn::new(Poly::symbol(x), den.clone()).unwrap();
+        let s = a.add(&b);
+        assert_eq!(s.den(), &den);
+    }
+
+    #[test]
+    fn interval_eval_rejects_zero_straddling_denominator() {
+        let (_, x) = one_symbol();
+        let r = RationalFn::new(Poly::constant(1.0), Poly::symbol(x)).unwrap();
+        assert!(matches!(
+            r.eval_interval(|_| Interval::UNIT),
+            Err(ExprError::DivisionByZero)
+        ));
+        let safe = RationalFn::new(Poly::constant(1.0), Poly::affine(3.0, [(x, 1.0)])).unwrap();
+        let range = safe.eval_interval(|_| Interval::UNIT).unwrap();
+        assert!((range.lo() - 0.25).abs() < 1e-12);
+        assert!((range.hi() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_by_zero_numerator_fails() {
+        let (_, x) = one_symbol();
+        let a = RationalFn::from_poly(Poly::symbol(x));
+        let zero = RationalFn::from_poly(Poly::zero());
+        assert!(matches!(a.div(&zero), Err(ExprError::DivisionByZero)));
+    }
+
+    #[test]
+    fn symbols_union_covers_num_and_den() {
+        let mut t = SymbolTable::new();
+        let x = t.add_uniform("x", 8).unwrap();
+        let y = t.add_uniform("y", 8).unwrap();
+        let r = RationalFn::new(Poly::symbol(x), Poly::affine(2.0, [(y, 1.0)])).unwrap();
+        assert_eq!(r.symbols(), vec![x, y]);
+    }
+
+    #[test]
+    fn point_eval_detects_zero_denominator() {
+        let (_, x) = one_symbol();
+        let r = RationalFn::new(Poly::constant(1.0), Poly::symbol(x)).unwrap();
+        assert!(matches!(
+            r.eval_f64(|_| 0.0),
+            Err(ExprError::DivisionByZero)
+        ));
+        assert!((r.eval_f64(|_| 0.5).unwrap() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,199 @@
+use std::cell::RefCell;
+use std::fmt;
+
+use sna_hist::{HistError, Histogram};
+
+/// Identifier of a noise symbol within a [`SymbolTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// The raw index into the owning table.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ε{}", self.0)
+    }
+}
+
+/// Metadata of one noise symbol: a human-readable name and its PDF.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymbolInfo {
+    name: String,
+    pdf: Histogram,
+}
+
+impl SymbolInfo {
+    /// The symbol's name (e.g. the datapath node that generated it).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The symbol's probability density.
+    pub fn pdf(&self) -> &Histogram {
+        &self.pdf
+    }
+}
+
+/// Registry of noise symbols with their PDFs and cached raw moments.
+///
+/// Symbols are assumed *mutually independent*; all moment computations in
+/// [`Poly`](crate::Poly) rely on `E[∏ εᵢ^kᵢ] = ∏ E[εᵢ^kᵢ]`.
+///
+/// # Example
+///
+/// ```
+/// use sna_expr::SymbolTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut table = SymbolTable::new();
+/// let e = table.add_uniform("quantizer-3", 32)?;
+/// assert_eq!(table.moment(e, 1), 0.0);                 // E[ε] = 0
+/// assert!((table.moment(e, 2) - 1.0 / 3.0).abs() < 1e-6); // E[ε²] = 1/3
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    symbols: Vec<SymbolInfo>,
+    /// Lazily grown per-symbol moment cache: `moments[i][k] = E[εᵢᵏ]`.
+    moments: RefCell<Vec<Vec<f64>>>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a symbol with an arbitrary PDF and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, pdf: Histogram) -> SymbolId {
+        let id = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(SymbolInfo {
+            name: name.into(),
+            pdf,
+        });
+        self.moments.borrow_mut().push(vec![1.0]);
+        id
+    }
+
+    /// Registers the standard SNA noise symbol: uniform on `[-1, 1]` with
+    /// `bins` histogram bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistError::ZeroBins`] if `bins == 0`.
+    pub fn add_uniform(
+        &mut self,
+        name: impl Into<String>,
+        bins: usize,
+    ) -> Result<SymbolId, HistError> {
+        Ok(self.add(name, Histogram::unit_symbol(bins)?))
+    }
+
+    /// Number of registered symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Metadata of symbol `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn info(&self, id: SymbolId) -> &SymbolInfo {
+        &self.symbols[id.0 as usize]
+    }
+
+    /// Iterates over `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &SymbolInfo)> {
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SymbolId(i as u32), s))
+    }
+
+    /// Raw moment `E[εᵏ]` of symbol `id` (cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn moment(&self, id: SymbolId, k: u32) -> f64 {
+        let idx = id.0 as usize;
+        let mut cache = self.moments.borrow_mut();
+        let entry = &mut cache[idx];
+        while entry.len() <= k as usize {
+            let next = entry.len() as u32;
+            entry.push(self.symbols[idx].pdf.moment(next));
+        }
+        entry[k as usize]
+    }
+
+    /// Replaces the PDF of an existing symbol (invalidates cached moments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn set_pdf(&mut self, id: SymbolId, pdf: Histogram) {
+        self.symbols[id.0 as usize].pdf = pdf;
+        self.moments.borrow_mut()[id.0 as usize] = vec![1.0];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_symbols() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        let a = t.add_uniform("a", 16).unwrap();
+        let b = t.add("b", Histogram::triangular(-1.0, 1.0, 16).unwrap());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.info(a).name(), "a");
+        assert_eq!(t.info(b).name(), "b");
+        assert_ne!(a, b);
+        assert_eq!(format!("{a}"), "ε0");
+    }
+
+    #[test]
+    fn uniform_moments_are_correct() {
+        let mut t = SymbolTable::new();
+        let e = t.add_uniform("e", 256).unwrap();
+        assert_eq!(t.moment(e, 0), 1.0);
+        assert!(t.moment(e, 1).abs() < 1e-9);
+        assert!((t.moment(e, 2) - 1.0 / 3.0).abs() < 1e-6);
+        assert!(t.moment(e, 3).abs() < 1e-9);
+        assert!((t.moment(e, 4) - 1.0 / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moments_are_cached_and_invalidated() {
+        let mut t = SymbolTable::new();
+        let e = t.add_uniform("e", 64).unwrap();
+        let m2 = t.moment(e, 2);
+        assert!((t.moment(e, 2) - m2).abs() < 1e-15);
+        // Replace with a non-centred PDF: mean moves away from zero.
+        t.set_pdf(e, Histogram::uniform(0.0, 1.0, 64).unwrap());
+        assert!((t.moment(e, 1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iter_visits_all_symbols() {
+        let mut t = SymbolTable::new();
+        t.add_uniform("x", 8).unwrap();
+        t.add_uniform("y", 8).unwrap();
+        let names: Vec<&str> = t.iter().map(|(_, s)| s.name()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

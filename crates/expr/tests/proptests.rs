@@ -1,0 +1,146 @@
+//! Property-based tests for the polynomial algebra.
+//!
+//! Invariants: ring axioms on sampled points, moment/evaluation
+//! consistency, soundness of interval enclosures, and partition/truncation
+//! completeness.
+
+use proptest::prelude::*;
+use sna_expr::{Monomial, Poly, SymbolId, SymbolTable};
+use sna_interval::Interval;
+
+const NSYM: usize = 4;
+
+fn table() -> (SymbolTable, Vec<SymbolId>) {
+    let mut t = SymbolTable::new();
+    let ids = (0..NSYM)
+        .map(|i| t.add_uniform(format!("s{i}"), 64).unwrap())
+        .collect();
+    (t, ids)
+}
+
+/// A random polynomial of bounded degree/terms over the table's symbols.
+fn poly_strategy() -> impl Strategy<Value = Poly> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0u32..3, NSYM),
+            -10.0..10.0f64,
+        ),
+        0..6,
+    )
+    .prop_map(|terms| {
+        let (_, ids) = table();
+        Poly::from_terms(terms.into_iter().map(|(exps, c)| {
+            (
+                Monomial::from_factors(ids.iter().copied().zip(exps)),
+                c,
+            )
+        }))
+    })
+}
+
+fn assignment_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0..1.0f64, NSYM)
+}
+
+fn eval(p: &Poly, point: &[f64]) -> f64 {
+    p.eval_f64(|id| point[id.index() as usize])
+}
+
+proptest! {
+    #[test]
+    fn addition_is_pointwise(a in poly_strategy(), b in poly_strategy(), x in assignment_strategy()) {
+        let s = a.add(&b);
+        let expect = eval(&a, &x) + eval(&b, &x);
+        prop_assert!((eval(&s, &x) - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn multiplication_is_pointwise(a in poly_strategy(), b in poly_strategy(), x in assignment_strategy()) {
+        let p = a.mul(&b);
+        let expect = eval(&a, &x) * eval(&b, &x);
+        prop_assert!((eval(&p, &x) - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn subtraction_of_self_is_zero(a in poly_strategy()) {
+        prop_assert!(a.sub(&a).is_zero());
+    }
+
+    #[test]
+    fn distributivity(a in poly_strategy(), b in poly_strategy(), c in poly_strategy(), x in assignment_strategy()) {
+        let left = a.mul(&b.add(&c));
+        let right = a.mul(&b).add(&a.mul(&c));
+        prop_assert!((eval(&left, &x) - eval(&right, &x)).abs()
+                     < 1e-6 * (1.0 + eval(&left, &x).abs()));
+    }
+
+    #[test]
+    fn interval_evaluation_encloses_point_evaluation(a in poly_strategy(), x in assignment_strategy()) {
+        let range = a.eval_interval(|_| Interval::UNIT);
+        let v = eval(&a, &x);
+        prop_assert!(range.lo() - 1e-9 <= v && v <= range.hi() + 1e-9,
+                     "{v} outside {range}");
+    }
+
+    #[test]
+    fn mean_is_within_interval_bounds(a in poly_strategy()) {
+        let (t, _) = table();
+        let mean = a.mean(&t);
+        let range = a.eval_interval(|_| Interval::UNIT);
+        prop_assert!(range.lo() - 1e-9 <= mean && mean <= range.hi() + 1e-9);
+    }
+
+    #[test]
+    fn variance_is_nonnegative_and_zero_for_constants(c in -5.0..5.0f64, a in poly_strategy()) {
+        let (t, _) = table();
+        prop_assert!(a.variance(&t) >= 0.0);
+        prop_assert!(Poly::constant(c).variance(&t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_partitions_terms(a in poly_strategy(), d in 0u32..4) {
+        let (kept, dropped) = a.truncate_degree(d);
+        prop_assert_eq!(kept.add(&dropped), a.clone());
+        prop_assert!(kept.degree() <= d || kept.is_zero());
+        for (m, _) in dropped.terms() {
+            prop_assert!(m.degree() > d);
+        }
+    }
+
+    #[test]
+    fn partition_is_complete(a in poly_strategy()) {
+        let (_, ids) = table();
+        let target = ids[0];
+        let (with, without) = a.partition(|s| s == target);
+        prop_assert_eq!(with.add(&without), a.clone());
+        for (m, _) in without.terms() {
+            prop_assert_eq!(m.exponent(target), 0);
+        }
+        for (m, _) in with.terms() {
+            prop_assert!(m.exponent(target) > 0);
+        }
+    }
+
+    #[test]
+    fn scale_is_linear_in_moments(a in poly_strategy(), k in -4.0..4.0f64) {
+        let (t, _) = table();
+        let scaled = a.scale(k);
+        prop_assert!((scaled.mean(&t) - k * a.mean(&t)).abs() < 1e-9 * (1.0 + a.mean(&t).abs()));
+        prop_assert!((scaled.variance(&t) - k * k * a.variance(&t)).abs()
+                     < 1e-6 * (1.0 + a.variance(&t)));
+    }
+
+    #[test]
+    fn monomial_mul_matches_pointwise(ea in proptest::collection::vec(0u32..4, NSYM),
+                                      eb in proptest::collection::vec(0u32..4, NSYM),
+                                      x in assignment_strategy()) {
+        let (_, ids) = table();
+        let ma = Monomial::from_factors(ids.iter().copied().zip(ea));
+        let mb = Monomial::from_factors(ids.iter().copied().zip(eb));
+        let prod = ma.mul(&mb);
+        let va = ma.eval_f64(|id| x[id.index() as usize]);
+        let vb = mb.eval_f64(|id| x[id.index() as usize]);
+        let vp = prod.eval_f64(|id| x[id.index() as usize]);
+        prop_assert!((vp - va * vb).abs() < 1e-9 * (1.0 + (va * vb).abs()));
+    }
+}

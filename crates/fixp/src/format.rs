@@ -1,0 +1,391 @@
+use std::fmt;
+
+use sna_interval::Interval;
+
+use crate::FixpError;
+
+/// Maximum supported word length.  48 bits keeps every representable value
+/// and every pairwise product exactly representable in the `i128`
+/// intermediates used by [`Fx`](crate::Fx), and exactly representable in
+/// `f64` (mantissa 53 bits) for interoperability.
+pub const MAX_WORD_LENGTH: u8 = 48;
+
+/// A signed two's-complement fixed-point format: `total_bits` in all (one of
+/// which is the sign), of which `frac_bits` are fractional.
+///
+/// Representable values are `m · 2^-frac_bits` for integer mantissas
+/// `m ∈ [-2^(total-1), 2^(total-1) - 1]`.
+///
+/// # Example
+///
+/// ```
+/// use sna_fixp::Format;
+///
+/// # fn main() -> Result<(), sna_fixp::FixpError> {
+/// let fmt = Format::new(16, 8)?; // Q7.8
+/// assert_eq!(fmt.resolution(), 1.0 / 256.0);
+/// assert_eq!(fmt.int_bits(), 7);
+/// assert!(fmt.max_value() > 127.99 && fmt.min_value() == -128.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Format {
+    total_bits: u8,
+    frac_bits: u8,
+}
+
+impl Format {
+    /// Creates a format with `total_bits` word length (including sign) and
+    /// `frac_bits` fractional bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixpError::InvalidFormat`] unless
+    /// `2 <= total_bits <= 48` and `frac_bits <= total_bits - 1`.
+    pub fn new(total_bits: u8, frac_bits: u8) -> Result<Self, FixpError> {
+        if !(2..=MAX_WORD_LENGTH).contains(&total_bits) || frac_bits > total_bits - 1 {
+            return Err(FixpError::InvalidFormat {
+                total_bits,
+                frac_bits,
+            });
+        }
+        Ok(Format {
+            total_bits,
+            frac_bits,
+        })
+    }
+
+    /// Chooses the format of width `total_bits` whose integer part is just
+    /// wide enough to hold `range`, maximizing fractional precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixpError::RangeTooWide`] when even `frac_bits == 0` cannot
+    /// cover the range, or [`FixpError::InvalidFormat`] for a bad width.
+    pub fn from_range(range: Interval, total_bits: u8) -> Result<Self, FixpError> {
+        if !(2..=MAX_WORD_LENGTH).contains(&total_bits) {
+            return Err(FixpError::InvalidFormat {
+                total_bits,
+                frac_bits: 0,
+            });
+        }
+        // Smallest i such that -2^i <= lo and hi <= 2^i (approximately; the
+        // asymmetric two's-complement range is honoured by the check below).
+        let mut int_bits = 0u8;
+        loop {
+            let frac = total_bits - 1 - int_bits;
+            let fmt = Format {
+                total_bits,
+                frac_bits: frac,
+            };
+            if fmt.min_value() <= range.lo() && range.hi() <= fmt.max_value() {
+                return Ok(fmt);
+            }
+            if int_bits == total_bits - 1 {
+                return Err(FixpError::RangeTooWide {
+                    lo: range.lo(),
+                    hi: range.hi(),
+                    total_bits,
+                });
+            }
+            int_bits += 1;
+        }
+    }
+
+    /// Total word length including the sign bit.
+    pub fn word_length(&self) -> u8 {
+        self.total_bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Number of integer bits (excluding sign).
+    pub fn int_bits(&self) -> u8 {
+        self.total_bits - 1 - self.frac_bits
+    }
+
+    /// The quantization step `2^-frac_bits`.
+    pub fn resolution(&self) -> f64 {
+        2.0f64.powi(-(self.frac_bits as i32))
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        (self.max_mantissa() as f64) * self.resolution()
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value(&self) -> f64 {
+        (self.min_mantissa() as f64) * self.resolution()
+    }
+
+    pub(crate) fn max_mantissa(&self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    pub(crate) fn min_mantissa(&self) -> i64 {
+        -(1i64 << (self.total_bits - 1))
+    }
+
+    /// Returns this format widened/narrowed to a new total word length,
+    /// keeping the integer part (so the same value range is covered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixpError::InvalidFormat`] when the integer part no longer
+    /// fits.
+    pub fn with_word_length(&self, total_bits: u8) -> Result<Format, FixpError> {
+        let int_bits = self.int_bits();
+        if total_bits < int_bits + 1 + 1 {
+            // Need at least sign + int bits + 0 frac, and >= 2 total.
+            return Err(FixpError::InvalidFormat {
+                total_bits,
+                frac_bits: 0,
+            });
+        }
+        Format::new(total_bits, total_bits - 1 - int_bits)
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits(), self.frac_bits())
+    }
+}
+
+/// Quantization (precision-loss) mode of a functional unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Rounding {
+    /// Round to nearest (ties away from zero) — error in `[-q/2, q/2]`.
+    #[default]
+    Nearest,
+    /// Truncate toward negative infinity (drop bits) — error in `(-q, 0]`.
+    Truncate,
+}
+
+/// Overflow mode of a functional unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Overflow {
+    /// Clamp to the representable range.
+    #[default]
+    Saturate,
+    /// Two's-complement wrap-around.
+    Wrap,
+}
+
+/// A complete quantization rule: format + rounding + overflow.
+///
+/// # Example
+///
+/// ```
+/// use sna_fixp::{Format, Overflow, Quantizer, Rounding};
+///
+/// # fn main() -> Result<(), sna_fixp::FixpError> {
+/// let fmt = Format::new(4, 0)?; // integers -8..=7
+/// let sat = Quantizer::new(fmt, Rounding::Nearest, Overflow::Saturate);
+/// assert_eq!(sat.quantize(100.0), 7.0);
+/// let wrap = Quantizer::new(fmt, Rounding::Nearest, Overflow::Wrap);
+/// assert_eq!(wrap.quantize(9.0), -7.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Quantizer {
+    /// Target format.
+    pub format: Format,
+    /// Precision-loss mode.
+    pub rounding: Rounding,
+    /// Overflow mode.
+    pub overflow: Overflow,
+}
+
+impl Quantizer {
+    /// Bundles a format with rounding and overflow modes.
+    pub fn new(format: Format, rounding: Rounding, overflow: Overflow) -> Self {
+        Quantizer {
+            format,
+            rounding,
+            overflow,
+        }
+    }
+
+    /// Quantizes a real value to the representable grid, returning the
+    /// represented value (exact in `f64` for word lengths ≤ 48).
+    pub fn quantize(&self, x: f64) -> f64 {
+        (self.mantissa_of(x) as f64) * self.format.resolution()
+    }
+
+    /// The mantissa the value maps to (rounding and overflow applied).
+    pub fn mantissa_of(&self, x: f64) -> i64 {
+        let scaled = x / self.format.resolution();
+        let m = match self.rounding {
+            Rounding::Nearest => scaled.round(),
+            Rounding::Truncate => scaled.floor(),
+        };
+        self.handle_overflow_f64(m)
+    }
+
+    pub(crate) fn handle_overflow_f64(&self, m: f64) -> i64 {
+        let max = self.format.max_mantissa();
+        let min = self.format.min_mantissa();
+        if m >= min as f64 && m <= max as f64 {
+            return m as i64;
+        }
+        match self.overflow {
+            Overflow::Saturate => {
+                if m > max as f64 {
+                    max
+                } else {
+                    min
+                }
+            }
+            Overflow::Wrap => {
+                let modulus = (max - min + 1) as f64; // 2^total
+                let wrapped = (m - min as f64).rem_euclid(modulus) + min as f64;
+                wrapped as i64
+            }
+        }
+    }
+
+    pub(crate) fn handle_overflow_i128(&self, m: i128) -> i64 {
+        let max = self.format.max_mantissa() as i128;
+        let min = self.format.min_mantissa() as i128;
+        if m >= min && m <= max {
+            return m as i64;
+        }
+        match self.overflow {
+            Overflow::Saturate => {
+                if m > max {
+                    max as i64
+                } else {
+                    min as i64
+                }
+            }
+            Overflow::Wrap => {
+                let modulus = max - min + 1;
+                ((m - min).rem_euclid(modulus) + min) as i64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_construction_and_validation() {
+        assert!(Format::new(8, 7).is_ok());
+        assert!(Format::new(8, 8).is_err());
+        assert!(Format::new(1, 0).is_err());
+        assert!(Format::new(49, 0).is_err());
+        let f = Format::new(16, 12).unwrap();
+        assert_eq!(f.word_length(), 16);
+        assert_eq!(f.frac_bits(), 12);
+        assert_eq!(f.int_bits(), 3);
+        assert_eq!(format!("{f}"), "Q3.12");
+    }
+
+    #[test]
+    fn representable_range() {
+        let f = Format::new(8, 4).unwrap(); // Q3.4
+        assert_eq!(f.resolution(), 0.0625);
+        assert_eq!(f.max_value(), 7.9375);
+        assert_eq!(f.min_value(), -8.0);
+    }
+
+    #[test]
+    fn from_range_maximizes_precision() {
+        let r = Interval::new(-1.0, 1.0).unwrap();
+        let f = Format::from_range(r, 8).unwrap();
+        // Needs 1 integer bit (since +1.0 > max of Q0.7 = 0.992…).
+        assert_eq!(f.int_bits(), 1);
+        let narrow = Interval::new(-0.5, 0.4).unwrap();
+        let f = Format::from_range(narrow, 8).unwrap();
+        assert_eq!(f.int_bits(), 0);
+        let wide = Interval::new(-1e9, 1e9).unwrap();
+        assert!(matches!(
+            Format::from_range(wide, 8),
+            Err(FixpError::RangeTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn with_word_length_preserves_int_bits() {
+        let f = Format::new(8, 4).unwrap();
+        let wide = f.with_word_length(16).unwrap();
+        assert_eq!(wide.int_bits(), 3);
+        assert_eq!(wide.frac_bits(), 12);
+        assert!(f.with_word_length(4).is_err()); // 3 int bits don't fit
+    }
+
+    #[test]
+    fn nearest_rounding() {
+        let q = Quantizer::new(
+            Format::new(8, 2).unwrap(),
+            Rounding::Nearest,
+            Overflow::Saturate,
+        );
+        assert_eq!(q.quantize(1.1), 1.0);
+        assert_eq!(q.quantize(1.13), 1.25);
+        assert_eq!(q.quantize(-1.13), -1.25);
+        // Exactly representable values pass through.
+        assert_eq!(q.quantize(2.75), 2.75);
+    }
+
+    #[test]
+    fn truncation_rounds_toward_negative_infinity() {
+        let q = Quantizer::new(
+            Format::new(8, 2).unwrap(),
+            Rounding::Truncate,
+            Overflow::Saturate,
+        );
+        assert_eq!(q.quantize(1.9), 1.75);
+        assert_eq!(q.quantize(-1.1), -1.25);
+        assert_eq!(q.quantize(-0.01), -0.25);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let q = Quantizer::new(
+            Format::new(6, 2).unwrap(), // range [-8, 7.75]
+            Rounding::Nearest,
+            Overflow::Saturate,
+        );
+        assert_eq!(q.quantize(100.0), 7.75);
+        assert_eq!(q.quantize(-100.0), -8.0);
+    }
+
+    #[test]
+    fn wrap_is_modular() {
+        let q = Quantizer::new(
+            Format::new(4, 0).unwrap(), // integers -8..=7
+            Rounding::Nearest,
+            Overflow::Wrap,
+        );
+        assert_eq!(q.quantize(8.0), -8.0);
+        assert_eq!(q.quantize(9.0), -7.0);
+        assert_eq!(q.quantize(-9.0), 7.0);
+        assert_eq!(q.quantize(16.0), 0.0);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let fmt = Format::new(12, 6).unwrap();
+        let qn = Quantizer::new(fmt, Rounding::Nearest, Overflow::Saturate);
+        let qt = Quantizer::new(fmt, Rounding::Truncate, Overflow::Saturate);
+        let step = fmt.resolution();
+        let mut x = -30.0;
+        while x < 30.0 {
+            let en = qn.quantize(x) - x;
+            assert!(en.abs() <= step / 2.0 + 1e-12, "nearest error at {x}");
+            let et = qt.quantize(x) - x;
+            assert!(et <= 0.0 + 1e-12 && et > -step - 1e-12, "trunc error at {x}");
+            x += 0.137;
+        }
+    }
+}

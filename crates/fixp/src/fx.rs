@@ -1,0 +1,348 @@
+use std::fmt;
+
+use crate::{FixpError, Format, Quantizer, Rounding};
+
+/// An exact fixed-point value: an integer mantissa tagged with its
+/// [`Format`].
+///
+/// All arithmetic goes through `i128` intermediates, so results are
+/// *bit-true*: no double rounding through `f64` can occur.  Binary
+/// operations let the caller pick the result quantizer, mirroring hardware
+/// where the output format of a functional unit is a design choice.
+///
+/// # Example
+///
+/// ```
+/// use sna_fixp::{Format, Fx, Overflow, Quantizer, Rounding};
+///
+/// # fn main() -> Result<(), sna_fixp::FixpError> {
+/// let fmt = Format::new(8, 4)?;
+/// let q = Quantizer::new(fmt, Rounding::Nearest, Overflow::Saturate);
+/// let a = Fx::from_f64(1.5, &q);
+/// let b = Fx::from_f64(2.25, &q);
+/// let sum = a.add(&b, &q);
+/// assert_eq!(sum.to_f64(), 3.75);
+/// let prod = a.mul(&b, &q);
+/// assert_eq!(prod.to_f64(), 3.375);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Fx {
+    mantissa: i64,
+    format: Format,
+}
+
+impl Fx {
+    /// The zero value in the given format.
+    pub fn zero(format: Format) -> Self {
+        Fx {
+            mantissa: 0,
+            format,
+        }
+    }
+
+    /// Quantizes an `f64` into a fixed-point value.
+    pub fn from_f64(x: f64, q: &Quantizer) -> Self {
+        Fx {
+            mantissa: q.mantissa_of(x),
+            format: q.format,
+        }
+    }
+
+    /// Builds a value from a raw mantissa.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixpError::InvalidFormat`] when the mantissa does not fit
+    /// the format.
+    pub fn from_mantissa(mantissa: i64, format: Format) -> Result<Self, FixpError> {
+        if mantissa < format.min_mantissa() || mantissa > format.max_mantissa() {
+            return Err(FixpError::InvalidFormat {
+                total_bits: format.word_length(),
+                frac_bits: format.frac_bits(),
+            });
+        }
+        Ok(Fx { mantissa, format })
+    }
+
+    /// The raw mantissa.
+    pub fn mantissa(&self) -> i64 {
+        self.mantissa
+    }
+
+    /// The format.
+    pub fn format(&self) -> Format {
+        self.format
+    }
+
+    /// The represented real value (exact for word lengths ≤ 48).
+    pub fn to_f64(&self) -> f64 {
+        self.mantissa as f64 * self.format.resolution()
+    }
+
+    /// Requantizes into a (possibly different) format.
+    pub fn requantize(&self, q: &Quantizer) -> Fx {
+        let shift = q.format.frac_bits() as i32 - self.format.frac_bits() as i32;
+        let scaled = shift_round(self.mantissa as i128, shift, q.rounding);
+        Fx {
+            mantissa: q.handle_overflow_i128(scaled),
+            format: q.format,
+        }
+    }
+
+    /// Exact sum, quantized by `q`.
+    pub fn add(&self, rhs: &Fx, q: &Quantizer) -> Fx {
+        let f = self.format.frac_bits().max(rhs.format.frac_bits());
+        let a = (self.mantissa as i128) << (f - self.format.frac_bits());
+        let b = (rhs.mantissa as i128) << (f - rhs.format.frac_bits());
+        let shift = q.format.frac_bits() as i32 - f as i32;
+        let m = shift_round(a + b, shift, q.rounding);
+        Fx {
+            mantissa: q.handle_overflow_i128(m),
+            format: q.format,
+        }
+    }
+
+    /// Exact difference, quantized by `q`.
+    pub fn sub(&self, rhs: &Fx, q: &Quantizer) -> Fx {
+        self.add(&rhs.neg_exact(), q)
+    }
+
+    /// Exact product, quantized by `q`.
+    pub fn mul(&self, rhs: &Fx, q: &Quantizer) -> Fx {
+        let prod = self.mantissa as i128 * rhs.mantissa as i128;
+        let f = self.format.frac_bits() as i32 + rhs.format.frac_bits() as i32;
+        let shift = q.format.frac_bits() as i32 - f;
+        let m = shift_round(prod, shift, q.rounding);
+        Fx {
+            mantissa: q.handle_overflow_i128(m),
+            format: q.format,
+        }
+    }
+
+    /// Quotient, quantized by `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixpError::DivisionByZero`] for a zero divisor.
+    pub fn div(&self, rhs: &Fx, q: &Quantizer) -> Result<Fx, FixpError> {
+        if rhs.mantissa == 0 {
+            return Err(FixpError::DivisionByZero);
+        }
+        // value = (ma / mb) · 2^(fb - fa); target mantissa at 2^-fr:
+        // m = round(ma · 2^(fb - fa + fr) / mb).
+        let exp =
+            rhs.format.frac_bits() as i32 - self.format.frac_bits() as i32 + q.format.frac_bits() as i32;
+        let (mut num, mut den) = (self.mantissa as i128, rhs.mantissa as i128);
+        if exp >= 0 {
+            num <<= exp as u32;
+        } else {
+            den <<= (-exp) as u32;
+        }
+        let m = div_round(num, den, q.rounding);
+        Ok(Fx {
+            mantissa: q.handle_overflow_i128(m),
+            format: q.format,
+        })
+    }
+
+    /// Exact negation in the same format (saturating on the most negative
+    /// mantissa, whose negation is not representable).
+    pub fn neg_exact(&self) -> Fx {
+        let m = if self.mantissa == self.format.min_mantissa() {
+            self.format.max_mantissa()
+        } else {
+            -self.mantissa
+        };
+        Fx {
+            mantissa: m,
+            format: self.format,
+        }
+    }
+
+    /// Negation quantized by `q` (honours `q`'s overflow mode).
+    pub fn neg(&self, q: &Quantizer) -> Fx {
+        let shift = q.format.frac_bits() as i32 - self.format.frac_bits() as i32;
+        let m = shift_round(-(self.mantissa as i128), shift, q.rounding);
+        Fx {
+            mantissa: q.handle_overflow_i128(m),
+            format: q.format,
+        }
+    }
+}
+
+impl fmt::Display for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+/// Shifts `m` by `shift` fractional places (`>0` = more precision, exact;
+/// `<0` = dropping bits, rounded per `rounding`).
+fn shift_round(m: i128, shift: i32, rounding: Rounding) -> i128 {
+    if shift >= 0 {
+        m << shift as u32
+    } else {
+        let s = (-shift) as u32;
+        match rounding {
+            Rounding::Truncate => m >> s, // arithmetic shift = floor
+            Rounding::Nearest => {
+                let half = 1i128 << (s - 1);
+                // Round half away from zero.
+                if m >= 0 {
+                    (m + half) >> s
+                } else {
+                    -((-m + half) >> s)
+                }
+            }
+        }
+    }
+}
+
+/// Division with floor (`Truncate`) or round-half-away (`Nearest`)
+/// semantics, exact in integer arithmetic.
+fn div_round(num: i128, den: i128, rounding: Rounding) -> i128 {
+    // Normalize so the divisor is positive; the quotient is unchanged.
+    let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+    let floor = num.div_euclid(den);
+    match rounding {
+        Rounding::Truncate => floor,
+        Rounding::Nearest => {
+            let rem = num - floor * den; // 0 <= rem < den
+            // Round half away from zero: the exact quotient is
+            // floor + rem/den; bump when rem/den >= 1/2 (for positive
+            // quotients) or > 1/2 (for negative ones, where "away from
+            // zero" means keeping the floor at exactly half).
+            let twice = 2 * rem;
+            let exact_is_negative = num < 0;
+            if twice > den || (twice == den && !exact_is_negative) {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Overflow;
+
+    fn q(total: u8, frac: u8) -> Quantizer {
+        Quantizer::new(
+            Format::new(total, frac).unwrap(),
+            Rounding::Nearest,
+            Overflow::Saturate,
+        )
+    }
+
+    fn qt(total: u8, frac: u8) -> Quantizer {
+        Quantizer::new(
+            Format::new(total, frac).unwrap(),
+            Rounding::Truncate,
+            Overflow::Saturate,
+        )
+    }
+
+    #[test]
+    fn round_trip_representable_values() {
+        let quant = q(16, 8);
+        for v in [-3.5, -0.00390625, 0.0, 1.25, 100.0] {
+            let fx = Fx::from_f64(v, &quant);
+            assert_eq!(fx.to_f64(), v.clamp(-128.0, 127.99609375));
+        }
+    }
+
+    #[test]
+    fn add_with_mixed_formats_is_exact() {
+        let qa = q(16, 8);
+        let qb = q(16, 4);
+        let a = Fx::from_f64(1.00390625, &qa); // 257/256
+        let b = Fx::from_f64(2.0625, &qb); // 33/16
+        let sum = a.add(&b, &q(24, 12));
+        assert_eq!(sum.to_f64(), 1.00390625 + 2.0625);
+    }
+
+    #[test]
+    fn mul_is_bit_true() {
+        let quant = q(16, 8);
+        let a = Fx::from_f64(1.5, &quant);
+        let b = Fx::from_f64(-2.25, &quant);
+        // Full product needs 16 fractional bits; target has 8 → rounding.
+        let p = a.mul(&b, &quant);
+        assert_eq!(p.to_f64(), -3.375);
+        // A product needing rounding: 0.00390625² = 2⁻¹⁶ rounds to 0 or 2⁻⁸.
+        let tiny = Fx::from_f64(0.00390625, &quant);
+        let p = tiny.mul(&tiny, &quant);
+        assert_eq!(p.to_f64(), 0.0); // 2⁻¹⁶ < half of 2⁻⁸
+    }
+
+    #[test]
+    fn truncation_biases_downward() {
+        let quant = qt(8, 2);
+        let a = Fx::from_f64(1.75, &q(8, 4));
+        // 1.75 is representable; requantize with truncation to Q5.2: exact.
+        assert_eq!(a.requantize(&quant).to_f64(), 1.75);
+        let b = Fx::from_f64(1.9375, &q(8, 4));
+        assert_eq!(b.requantize(&quant).to_f64(), 1.75);
+        let c = Fx::from_f64(-1.9375, &q(8, 4));
+        assert_eq!(c.requantize(&quant).to_f64(), -2.0);
+    }
+
+    #[test]
+    fn division_matches_reference() {
+        let quant = q(24, 12);
+        let a = Fx::from_f64(1.0, &quant);
+        let b = Fx::from_f64(3.0, &quant);
+        let r = a.div(&b, &quant).unwrap();
+        assert!((r.to_f64() - 1.0 / 3.0).abs() <= quant.format.resolution() / 2.0);
+        let neg = Fx::from_f64(-1.0, &quant);
+        let r = neg.div(&b, &quant).unwrap();
+        assert!((r.to_f64() + 1.0 / 3.0).abs() <= quant.format.resolution() / 2.0);
+        assert!(a.div(&Fx::zero(quant.format), &quant).is_err());
+    }
+
+    #[test]
+    fn saturation_on_overflowing_results() {
+        let quant = q(8, 4); // range [-8, 7.9375]
+        let a = Fx::from_f64(7.0, &quant);
+        let b = Fx::from_f64(5.0, &quant);
+        assert_eq!(a.add(&b, &quant).to_f64(), 7.9375);
+        assert_eq!(a.mul(&b, &quant).to_f64(), 7.9375);
+        let na = Fx::from_f64(-8.0, &quant);
+        assert_eq!(na.add(&na, &quant).to_f64(), -8.0);
+        // Negating the most negative value saturates.
+        assert_eq!(na.neg_exact().to_f64(), 7.9375);
+    }
+
+    #[test]
+    fn wrap_mode_wraps_sums() {
+        let fmt = Format::new(4, 0).unwrap();
+        let quant = Quantizer::new(fmt, Rounding::Nearest, Overflow::Wrap);
+        let a = Fx::from_f64(7.0, &quant);
+        let one = Fx::from_f64(1.0, &quant);
+        assert_eq!(a.add(&one, &quant).to_f64(), -8.0);
+    }
+
+    #[test]
+    fn from_mantissa_validates() {
+        let fmt = Format::new(8, 0).unwrap();
+        assert!(Fx::from_mantissa(127, fmt).is_ok());
+        assert!(Fx::from_mantissa(128, fmt).is_err());
+        assert!(Fx::from_mantissa(-128, fmt).is_ok());
+        assert!(Fx::from_mantissa(-129, fmt).is_err());
+    }
+
+    #[test]
+    fn nearest_rounding_of_shift_is_symmetric() {
+        // 1.5 ulp at the target resolution rounds away from zero both ways.
+        let src = q(16, 4);
+        let dst = q(16, 2);
+        let a = Fx::from_f64(0.375, &src); // 1.5 · 2⁻²
+        assert_eq!(a.requantize(&dst).to_f64(), 0.5);
+        let b = Fx::from_f64(-0.375, &src);
+        assert_eq!(b.requantize(&dst).to_f64(), -0.5);
+    }
+}

@@ -1,0 +1,325 @@
+//! Monte-Carlo measurement of fixed-point output error against the `f64`
+//! reference — the empirical ground truth ("Actual Values" in the paper's
+//! Table 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sna_dfg::{Dfg, Simulator};
+use sna_hist::Histogram;
+use sna_interval::Interval;
+
+use crate::{FixedSimulator, FixpError, WlConfig};
+
+/// Options for [`monte_carlo_error`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonteCarloOptions {
+    /// Number of random input vectors.
+    pub samples: usize,
+    /// RNG seed (runs are deterministic given a seed).
+    pub seed: u64,
+    /// Bins of the empirical error histogram.
+    pub bins: usize,
+    /// For sequential graphs: steps to simulate per sample trajectory
+    /// (errors are collected after `warmup` steps).
+    pub steps: usize,
+    /// For sequential graphs: steps to discard at the start of each
+    /// trajectory.
+    pub warmup: usize,
+}
+
+impl Default for MonteCarloOptions {
+    fn default() -> Self {
+        MonteCarloOptions {
+            samples: 100_000,
+            seed: 0x5eed_cafe,
+            bins: 64,
+            steps: 64,
+            warmup: 16,
+        }
+    }
+}
+
+/// Empirical error statistics of one output.
+#[derive(Clone, Debug)]
+pub struct OutputErrorStats {
+    /// Output name (as declared on the graph).
+    pub name: String,
+    /// Mean error.
+    pub mean: f64,
+    /// Error variance.
+    pub variance: f64,
+    /// Smallest observed error.
+    pub min: f64,
+    /// Largest observed error.
+    pub max: f64,
+    /// Mean squared error (noise power).
+    pub power: f64,
+    /// Histogram of the observed errors.
+    pub histogram: Histogram,
+}
+
+impl OutputErrorStats {
+    fn from_samples(name: &str, samples: &[f64], bins: usize) -> Result<Self, FixpError> {
+        if samples.is_empty() {
+            return Err(FixpError::NoSamples);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let variance = samples.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+        let power = samples.iter().map(|e| e * e).sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let histogram = Histogram::from_samples(samples.iter().copied(), bins)?;
+        Ok(OutputErrorStats {
+            name: name.to_string(),
+            mean,
+            variance,
+            min,
+            max,
+            power,
+            histogram,
+        })
+    }
+}
+
+/// Measures the output error `fixed − reference` of `dfg` under `config`
+/// with uniformly distributed random inputs drawn from `input_ranges`.
+///
+/// Combinational graphs get one evaluation per sample; sequential graphs
+/// are simulated for `opts.steps` cycles per sample with fresh random
+/// inputs each cycle, collecting errors after `opts.warmup` (fixed-point
+/// and reference simulators run in lock-step from reset).
+///
+/// # Errors
+///
+/// * [`FixpError::NoSamples`] when `opts.samples == 0`;
+/// * simulation failures are propagated (division by zero, input count).
+pub fn monte_carlo_error(
+    dfg: &Dfg,
+    config: &WlConfig,
+    input_ranges: &[Interval],
+    opts: &MonteCarloOptions,
+) -> Result<Vec<OutputErrorStats>, FixpError> {
+    if opts.samples == 0 {
+        return Err(FixpError::NoSamples);
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let n_out = dfg.outputs().len();
+    let mut errors: Vec<Vec<f64>> = vec![Vec::new(); n_out];
+    let mut inputs = vec![0.0; dfg.n_inputs()];
+
+    if dfg.is_combinational() {
+        for _ in 0..opts.samples {
+            draw(&mut rng, input_ranges, &mut inputs);
+            let reference = dfg.evaluate(&inputs)?;
+            let mut fixed_sim = FixedSimulator::new(dfg, config);
+            let fixed = fixed_sim.step(&inputs)?;
+            for (k, errs) in errors.iter_mut().enumerate() {
+                errs.push(fixed[k] - reference[k]);
+            }
+        }
+    } else {
+        // Spread the sample budget over trajectories.
+        let per_traj = (opts.steps - opts.warmup).max(1);
+        let trajectories = opts.samples.div_ceil(per_traj);
+        for _ in 0..trajectories {
+            let mut ref_sim = Simulator::new(dfg);
+            let mut fixed_sim = FixedSimulator::new(dfg, config);
+            for step in 0..opts.steps {
+                draw(&mut rng, input_ranges, &mut inputs);
+                let reference = ref_sim.step(&inputs)?;
+                let fixed = fixed_sim.step(&inputs)?;
+                if step >= opts.warmup {
+                    for (k, errs) in errors.iter_mut().enumerate() {
+                        errs.push(fixed[k] - reference[k]);
+                    }
+                }
+            }
+        }
+    }
+
+    dfg.outputs()
+        .iter()
+        .zip(errors.iter())
+        .map(|((name, _), errs)| OutputErrorStats::from_samples(name, errs, opts.bins))
+        .collect()
+}
+
+fn draw(rng: &mut StdRng, ranges: &[Interval], out: &mut [f64]) {
+    for (v, r) in out.iter_mut().zip(ranges.iter()) {
+        *v = if r.is_point() {
+            r.lo()
+        } else {
+            rng.gen_range(r.lo()..r.hi())
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Format, Overflow, Rounding};
+    use sna_dfg::DfgBuilder;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn rounding_error_statistics_match_theory() {
+        // y = x quantized to Q1.6: error ~ U[-q/2, q/2], var = q²/12.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        // A pass-through arithmetic node so the input quantization is the
+        // only error source: y = x + 0.
+        let zero = b.constant(0.0);
+        let y = b.add(x, zero);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let fmt = Format::new(8, 6).unwrap();
+        let cfg = WlConfig::uniform(&g, fmt, Rounding::Nearest, Overflow::Saturate);
+        let stats = monte_carlo_error(
+            &g,
+            &cfg,
+            &[iv(-1.0, 1.0)],
+            &MonteCarloOptions {
+                samples: 40_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = &stats[0];
+        let qstep = fmt.resolution();
+        assert!(s.mean.abs() < qstep / 10.0, "mean {}", s.mean);
+        let expected_var = qstep * qstep / 12.0;
+        assert!(
+            (s.variance - expected_var).abs() < 0.15 * expected_var,
+            "variance {} vs {expected_var}",
+            s.variance
+        );
+        assert!(s.min >= -qstep / 2.0 - 1e-12 && s.max <= qstep / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn truncation_biases_mean_negative() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let zero = b.constant(0.0);
+        let y = b.add(x, zero);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let fmt = Format::new(8, 6).unwrap();
+        let cfg = WlConfig::uniform(&g, fmt, Rounding::Truncate, Overflow::Saturate);
+        let stats = monte_carlo_error(
+            &g,
+            &cfg,
+            &[iv(-1.0, 1.0)],
+            &MonteCarloOptions {
+                samples: 20_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let q = fmt.resolution();
+        // Truncation error mean ≈ -q/2.
+        assert!(
+            (stats[0].mean + q / 2.0).abs() < q / 8.0,
+            "mean {}",
+            stats[0].mean
+        );
+    }
+
+    #[test]
+    fn error_grows_as_word_length_shrinks() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let t = b.mul_const(0.9, x);
+        let y = b.add(t, x);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let mut powers = Vec::new();
+        for w in [16u8, 12, 8] {
+            let cfg = WlConfig::from_ranges(&g, &[iv(-1.0, 1.0)], w).unwrap();
+            let stats = monte_carlo_error(
+                &g,
+                &cfg,
+                &[iv(-1.0, 1.0)],
+                &MonteCarloOptions {
+                    samples: 5_000,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            powers.push(stats[0].power);
+        }
+        assert!(powers[0] < powers[1] && powers[1] < powers[2]);
+        // Noise power scales roughly ×16 per 2 fewer fractional bits... at
+        // least two orders of magnitude across 8 bits.
+        assert!(powers[2] / powers[0] > 100.0);
+    }
+
+    #[test]
+    fn sequential_errors_are_collected_after_warmup() {
+        // One-pole IIR: errors accumulate through feedback.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let t = b.mul_const(0.5, fb);
+        let y = b.add(x, t);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let cfg = WlConfig::from_ranges(&g, &[iv(-1.0, 1.0)], 12).unwrap();
+        let stats = monte_carlo_error(
+            &g,
+            &cfg,
+            &[iv(-1.0, 1.0)],
+            &MonteCarloOptions {
+                samples: 4_000,
+                steps: 48,
+                warmup: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(stats[0].variance > 0.0);
+        // Deterministic across runs with the same seed.
+        let again = monte_carlo_error(
+            &g,
+            &cfg,
+            &[iv(-1.0, 1.0)],
+            &MonteCarloOptions {
+                samples: 4_000,
+                steps: 48,
+                warmup: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stats[0].variance, again[0].variance);
+    }
+
+    #[test]
+    fn zero_samples_is_rejected() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.neg(x);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let fmt = Format::new(8, 4).unwrap();
+        let cfg = WlConfig::uniform(&g, fmt, Rounding::Nearest, Overflow::Saturate);
+        assert!(matches!(
+            monte_carlo_error(
+                &g,
+                &cfg,
+                &[iv(-1.0, 1.0)],
+                &MonteCarloOptions {
+                    samples: 0,
+                    ..Default::default()
+                }
+            ),
+            Err(FixpError::NoSamples)
+        ));
+    }
+}

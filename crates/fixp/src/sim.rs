@@ -1,0 +1,459 @@
+use sna_dfg::{Dfg, DfgError, NodeId, Op, RangeOptions};
+use sna_interval::Interval;
+
+use crate::{FixpError, Format, Fx, Overflow, Quantizer, Rounding};
+
+/// A per-node fixed-point format assignment for a [`Dfg`] — the object the
+/// word-length optimizer mutates.
+///
+/// Every node carries a full [`Quantizer`] (format + rounding + overflow).
+/// The usual construction path is [`WlConfig::from_ranges`]: run range
+/// analysis, give every node the same word length `w`, and let each node's
+/// integer part be just wide enough for its range (fraction gets the rest).
+///
+/// # Example
+///
+/// ```
+/// use sna_dfg::DfgBuilder;
+/// use sna_fixp::WlConfig;
+/// use sna_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new();
+/// let x = b.input("x");
+/// let y = b.mul_const(0.5, x);
+/// b.output("y", y);
+/// let dfg = b.build()?;
+/// let cfg = WlConfig::from_ranges(&dfg, &[Interval::new(-1.0, 1.0)?], 8)?;
+/// assert_eq!(cfg.format(y).word_length(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct WlConfig {
+    quantizers: Vec<Quantizer>,
+}
+
+impl WlConfig {
+    /// Gives every node the same quantizer.
+    pub fn uniform(dfg: &Dfg, format: Format, rounding: Rounding, overflow: Overflow) -> Self {
+        WlConfig {
+            quantizers: vec![Quantizer::new(format, rounding, overflow); dfg.len()],
+        }
+    }
+
+    /// Uniform word length `w`, per-node integer bits from range analysis
+    /// (round-to-nearest, saturating).
+    ///
+    /// Uses the interval fixpoint where it converges and falls back to the
+    /// L1 impulse-response bound for linear feedback structures (see
+    /// [`sna_dfg::Dfg::ranges_auto`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates range-analysis failures ([`FixpError::Dfg`]) and format
+    /// failures when a node's range cannot fit in `w` bits
+    /// ([`FixpError::RangeTooWide`]).
+    pub fn from_ranges(dfg: &Dfg, input_ranges: &[Interval], w: u8) -> Result<Self, FixpError> {
+        let ranges = dfg.ranges_auto(
+            input_ranges,
+            &RangeOptions::default(),
+            &sna_dfg::LtiOptions::default(),
+        )?;
+        let quantizers = ranges
+            .iter()
+            .map(|&r| {
+                Format::from_range(r, w)
+                    .map(|f| Quantizer::new(f, Rounding::Nearest, Overflow::Saturate))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(WlConfig { quantizers })
+    }
+
+    /// Like [`WlConfig::from_ranges`] but with a per-node word-length
+    /// vector (`w[i]` for node `i`) — the optimizer's parameterization.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WlConfig::from_ranges`]; additionally
+    /// [`FixpError::InvalidFormat`] when `w.len() != dfg.len()`.
+    pub fn from_ranges_per_node(
+        dfg: &Dfg,
+        input_ranges: &[Interval],
+        w: &[u8],
+    ) -> Result<Self, FixpError> {
+        if w.len() != dfg.len() {
+            return Err(FixpError::InvalidFormat {
+                total_bits: 0,
+                frac_bits: 0,
+            });
+        }
+        let ranges = dfg.ranges_auto(
+            input_ranges,
+            &RangeOptions::default(),
+            &sna_dfg::LtiOptions::default(),
+        )?;
+        let quantizers = ranges
+            .iter()
+            .zip(w.iter())
+            .map(|(&r, &wi)| {
+                Format::from_range(r, wi)
+                    .map(|f| Quantizer::new(f, Rounding::Nearest, Overflow::Saturate))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(WlConfig { quantizers })
+    }
+
+    /// Builds a config from already-computed per-node value ranges and a
+    /// word-length vector — the constant-time path used inside
+    /// word-length-optimization loops.
+    ///
+    /// # Errors
+    ///
+    /// [`FixpError::InvalidFormat`] on length mismatch;
+    /// [`FixpError::RangeTooWide`] when a range does not fit its width.
+    pub fn from_precomputed_ranges(
+        node_ranges: &[Interval],
+        w: &[u8],
+    ) -> Result<Self, FixpError> {
+        if w.len() != node_ranges.len() {
+            return Err(FixpError::InvalidFormat {
+                total_bits: 0,
+                frac_bits: 0,
+            });
+        }
+        let quantizers = node_ranges
+            .iter()
+            .zip(w.iter())
+            .map(|(&r, &wi)| {
+                Format::from_range(r, wi)
+                    .map(|f| Quantizer::new(f, Rounding::Nearest, Overflow::Saturate))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(WlConfig { quantizers })
+    }
+
+    /// The quantizer of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the graph this config was built
+    /// for.
+    pub fn quantizer(&self, node: NodeId) -> &Quantizer {
+        &self.quantizers[node.index()]
+    }
+
+    /// The format of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn format(&self, node: NodeId) -> Format {
+        self.quantizers[node.index()].format
+    }
+
+    /// Replaces the quantizer of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixpError::InvalidFormat`] for an out-of-range node.
+    pub fn set_quantizer(&mut self, node: NodeId, q: Quantizer) -> Result<(), FixpError> {
+        match self.quantizers.get_mut(node.index()) {
+            Some(slot) => {
+                *slot = q;
+                Ok(())
+            }
+            None => Err(FixpError::InvalidFormat {
+                total_bits: 0,
+                frac_bits: 0,
+            }),
+        }
+    }
+
+    /// Changes only the word length of a node, preserving its integer part,
+    /// rounding and overflow modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixpError::InvalidFormat`] when the integer part does not
+    /// fit in `w` bits or the node is out of range.
+    pub fn set_word_length(&mut self, node: NodeId, w: u8) -> Result<(), FixpError> {
+        let q = *self
+            .quantizers
+            .get(node.index())
+            .ok_or(FixpError::InvalidFormat {
+                total_bits: 0,
+                frac_bits: 0,
+            })?;
+        let format = q.format.with_word_length(w)?;
+        self.quantizers[node.index()] = Quantizer::new(format, q.rounding, q.overflow);
+        Ok(())
+    }
+
+    /// Sets the rounding mode of every node.
+    pub fn set_rounding_all(&mut self, rounding: Rounding) {
+        for q in &mut self.quantizers {
+            q.rounding = rounding;
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.quantizers.len()
+    }
+
+    /// Whether the config is empty.
+    pub fn is_empty(&self) -> bool {
+        self.quantizers.is_empty()
+    }
+
+    /// Word lengths per node (the optimizer's decision vector).
+    pub fn word_lengths(&self) -> Vec<u8> {
+        self.quantizers
+            .iter()
+            .map(|q| q.format.word_length())
+            .collect()
+    }
+}
+
+/// Bit-true, cycle-accurate simulator of a [`Dfg`] under a [`WlConfig`].
+///
+/// Every node's result is requantized to that node's format immediately
+/// after the operation, matching hardware where each functional unit's
+/// output register has a fixed width.
+#[derive(Clone, Debug)]
+pub struct FixedSimulator<'a> {
+    dfg: &'a Dfg,
+    config: &'a WlConfig,
+    values: Vec<Fx>,
+}
+
+impl<'a> FixedSimulator<'a> {
+    /// Creates a simulator with all delay states at fixed-point zero.
+    pub fn new(dfg: &'a Dfg, config: &'a WlConfig) -> Self {
+        let values = (0..dfg.len())
+            .map(|i| Fx::zero(config.quantizers[i].format))
+            .collect();
+        FixedSimulator {
+            dfg,
+            config,
+            values,
+        }
+    }
+
+    /// Resets all delay state to zero.
+    pub fn reset(&mut self) {
+        for (i, v) in self.values.iter_mut().enumerate() {
+            *v = Fx::zero(self.config.quantizers[i].format);
+        }
+    }
+
+    /// The fixed-point value of every node after the last step.
+    pub fn values(&self) -> &[Fx] {
+        &self.values
+    }
+
+    /// Advances one cycle; inputs are quantized to their nodes' formats.
+    ///
+    /// # Errors
+    ///
+    /// * [`FixpError::Dfg`] wrapping [`DfgError::WrongInputCount`];
+    /// * [`FixpError::DivisionByZero`] when a fixed-point divisor is zero
+    ///   (which can happen even when the real divisor is not, after
+    ///   quantization).
+    pub fn step(&mut self, inputs: &[f64]) -> Result<Vec<f64>, FixpError> {
+        if inputs.len() != self.dfg.n_inputs() {
+            return Err(FixpError::Dfg(DfgError::WrongInputCount {
+                expected: self.dfg.n_inputs(),
+                got: inputs.len(),
+            }));
+        }
+        for &id in self.dfg.topo_order() {
+            let node = self.dfg.node(id);
+            let q = &self.config.quantizers[id.index()];
+            let v = match node.op() {
+                Op::Input(i) => Fx::from_f64(inputs[i], q),
+                Op::Const(c) => Fx::from_f64(c, q),
+                Op::Add => {
+                    let a = self.values[node.args()[0].index()];
+                    let b = self.values[node.args()[1].index()];
+                    a.add(&b, q)
+                }
+                Op::Sub => {
+                    let a = self.values[node.args()[0].index()];
+                    let b = self.values[node.args()[1].index()];
+                    a.sub(&b, q)
+                }
+                Op::Mul => {
+                    let a = self.values[node.args()[0].index()];
+                    let b = self.values[node.args()[1].index()];
+                    a.mul(&b, q)
+                }
+                Op::Div => {
+                    let a = self.values[node.args()[0].index()];
+                    let b = self.values[node.args()[1].index()];
+                    a.div(&b, q)?
+                }
+                Op::Neg => self.values[node.args()[0].index()].neg(q),
+                Op::Delay => unreachable!("delays are excluded from the topo order"),
+            };
+            self.values[id.index()] = v;
+        }
+        let outputs = self
+            .dfg
+            .outputs()
+            .iter()
+            .map(|&(_, id)| self.values[id.index()].to_f64())
+            .collect();
+        // Latch delay states, requantizing to the delay node's format.
+        let latches: Vec<(usize, Fx)> = self
+            .dfg
+            .delay_nodes()
+            .iter()
+            .map(|&d| {
+                let src = self.dfg.node(d).args()[0];
+                let q = &self.config.quantizers[d.index()];
+                (d.index(), self.values[src.index()].requantize(q))
+            })
+            .collect();
+        for (idx, v) in latches {
+            self.values[idx] = v;
+        }
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::DfgBuilder;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    fn scaled_sum() -> Dfg {
+        // y = 0.3·x1 + 0.6·x2
+        let mut b = DfgBuilder::new();
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let t1 = b.mul_const(0.3, x1);
+        let t2 = b.mul_const(0.6, x2);
+        let y = b.add(t1, t2);
+        b.output("y", y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn from_ranges_assigns_tight_integer_parts() {
+        let g = scaled_sum();
+        let cfg = WlConfig::from_ranges(&g, &[iv(-1.0, 1.0), iv(-1.0, 1.0)], 16).unwrap();
+        for (id, node) in g.nodes() {
+            let f = cfg.format(id);
+            assert_eq!(f.word_length(), 16, "node {id}");
+            // All signals fit in roughly [-1, 1]: at most 1 integer bit.
+            assert!(f.int_bits() <= 1, "node {id} ({:?}) got {f}", node.op());
+        }
+    }
+
+    #[test]
+    fn wide_word_lengths_track_reference_closely() {
+        let g = scaled_sum();
+        let cfg = WlConfig::from_ranges(&g, &[iv(-1.0, 1.0), iv(-1.0, 1.0)], 32).unwrap();
+        let mut sim = FixedSimulator::new(&g, &cfg);
+        let exact = g.evaluate(&[0.7, -0.2]).unwrap();
+        let fixed = sim.step(&[0.7, -0.2]).unwrap();
+        assert!((exact[0] - fixed[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn narrow_word_lengths_show_quantization_error() {
+        let g = scaled_sum();
+        let cfg = WlConfig::from_ranges(&g, &[iv(-1.0, 1.0), iv(-1.0, 1.0)], 6).unwrap();
+        let mut sim = FixedSimulator::new(&g, &cfg);
+        let exact = g.evaluate(&[0.7, -0.2]).unwrap();
+        let fixed = sim.step(&[0.7, -0.2]).unwrap();
+        let err = (exact[0] - fixed[0]).abs();
+        assert!(err > 1e-6, "expected visible quantization error");
+        // ...but bounded by a few quantization steps along the path.
+        assert!(err < 0.1, "error {err} unexpectedly large");
+    }
+
+    #[test]
+    fn per_node_word_lengths() {
+        let g = scaled_sum();
+        let w = vec![12u8; g.len()];
+        let cfg = WlConfig::from_ranges_per_node(&g, &[iv(-1.0, 1.0), iv(-1.0, 1.0)], &w).unwrap();
+        assert_eq!(cfg.word_lengths(), w);
+        assert!(WlConfig::from_ranges_per_node(&g, &[iv(-1.0, 1.0), iv(-1.0, 1.0)], &[8]).is_err());
+    }
+
+    #[test]
+    fn set_word_length_preserves_integer_part() {
+        let g = scaled_sum();
+        let mut cfg = WlConfig::from_ranges(&g, &[iv(-1.0, 1.0), iv(-1.0, 1.0)], 16).unwrap();
+        let (_, y) = g.outputs()[0].clone();
+        let int_bits = cfg.format(y).int_bits();
+        cfg.set_word_length(y, 10).unwrap();
+        assert_eq!(cfg.format(y).word_length(), 10);
+        assert_eq!(cfg.format(y).int_bits(), int_bits);
+    }
+
+    #[test]
+    fn sequential_accumulator_with_saturation() {
+        // acc[n] = acc[n-1] + x: saturates at the format maximum.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let prev = b.delay_placeholder();
+        let acc = b.add(x, prev);
+        b.bind_delay(prev, acc).unwrap();
+        b.output("acc", acc);
+        let g = b.build().unwrap();
+        let fmt = Format::new(6, 2).unwrap(); // range [-8, 7.75]
+        let cfg = WlConfig::uniform(&g, fmt, Rounding::Nearest, Overflow::Saturate);
+        let mut sim = FixedSimulator::new(&g, &cfg);
+        let mut last = 0.0;
+        for _ in 0..20 {
+            last = sim.step(&[1.0]).unwrap()[0];
+        }
+        assert_eq!(last, 7.75);
+    }
+
+    #[test]
+    fn fixed_division_by_quantized_zero() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = b.div(x, y);
+        b.output("q", q);
+        let g = b.build().unwrap();
+        let fmt = Format::new(8, 2).unwrap();
+        let cfg = WlConfig::uniform(&g, fmt, Rounding::Nearest, Overflow::Saturate);
+        let mut sim = FixedSimulator::new(&g, &cfg);
+        // 0.05 quantizes to 0 in Q5.2 → division by zero at runtime.
+        assert!(matches!(
+            sim.step(&[1.0, 0.05]),
+            Err(FixpError::DivisionByZero)
+        ));
+    }
+
+    #[test]
+    fn truncation_mode_biases_the_output() {
+        let g = scaled_sum();
+        let mut cfg = WlConfig::from_ranges(&g, &[iv(-1.0, 1.0), iv(-1.0, 1.0)], 8).unwrap();
+        cfg.set_rounding_all(Rounding::Truncate);
+        let mut sim = FixedSimulator::new(&g, &cfg);
+        // Truncation error is always <= 0 relative to the exact value at
+        // each node, so the output error accumulates negatively (both path
+        // gains are positive here).
+        let mut bias = 0.0;
+        let mut x = -0.9;
+        while x < 0.9 {
+            let exact = g.evaluate(&[x, -x]).unwrap()[0];
+            let fixed = sim.step(&[x, -x]).unwrap()[0];
+            bias += fixed - exact;
+            x += 0.1;
+        }
+        assert!(bias < 0.0);
+    }
+}

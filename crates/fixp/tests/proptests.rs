@@ -1,0 +1,119 @@
+//! Property-based tests for the fixed-point substrate.
+//!
+//! Invariants: quantization error bounds per rounding mode, bit-true `Fx`
+//! arithmetic against exact rational computation, saturation ordering,
+//! and format geometry.
+
+use proptest::prelude::*;
+use sna_fixp::{Format, Fx, Overflow, Quantizer, Rounding};
+
+fn format_strategy() -> impl Strategy<Value = Format> {
+    (2u8..32, 0u8..31)
+        .prop_filter_map("frac must fit", |(total, frac)| {
+            Format::new(total, frac.min(total - 1)).ok()
+        })
+}
+
+proptest! {
+    #[test]
+    fn nearest_error_is_at_most_half_step(fmt in format_strategy(), x in -1000.0..1000.0f64) {
+        let q = Quantizer::new(fmt, Rounding::Nearest, Overflow::Saturate);
+        let v = q.quantize(x);
+        if x >= fmt.min_value() && x <= fmt.max_value() {
+            prop_assert!((v - x).abs() <= fmt.resolution() / 2.0 + 1e-12,
+                         "x={x} v={v} fmt={fmt}");
+        } else {
+            // Saturated: clamped to the representable range.
+            prop_assert!(v == fmt.min_value() || v == fmt.max_value());
+        }
+    }
+
+    #[test]
+    fn truncation_never_rounds_up(fmt in format_strategy(), x in -1000.0..1000.0f64) {
+        let q = Quantizer::new(fmt, Rounding::Truncate, Overflow::Saturate);
+        let v = q.quantize(x);
+        if x >= fmt.min_value() && x <= fmt.max_value() {
+            prop_assert!(v <= x + 1e-12);
+            prop_assert!(x - v < fmt.resolution() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantization_is_idempotent(fmt in format_strategy(), x in -100.0..100.0f64) {
+        let q = Quantizer::new(fmt, Rounding::Nearest, Overflow::Saturate);
+        let once = q.quantize(x);
+        prop_assert_eq!(once, q.quantize(once));
+    }
+
+    #[test]
+    fn fx_add_is_exact_when_wide_enough(
+        a in -100i64..100, b in -100i64..100, frac in 0u8..8)
+    {
+        // Values on the grid of Q(15-frac).frac; a 32-bit result keeps all
+        // bits, so addition must be exact.
+        let fmt = Format::new(16, frac).unwrap();
+        let wide = Format::new(32, frac).unwrap();
+        let qn = Quantizer::new(fmt, Rounding::Nearest, Overflow::Saturate);
+        let qw = Quantizer::new(wide, Rounding::Nearest, Overflow::Saturate);
+        let fa = Fx::from_mantissa(a, fmt).unwrap();
+        let fb = Fx::from_mantissa(b, fmt).unwrap();
+        let sum = fa.add(&fb, &qw);
+        prop_assert_eq!(sum.to_f64(), fa.to_f64() + fb.to_f64());
+        let _ = qn;
+    }
+
+    #[test]
+    fn fx_mul_matches_rational_arithmetic(
+        a in -1000i64..1000, b in -1000i64..1000, fa in 0u8..10, fb in 0u8..10)
+    {
+        let fmt_a = Format::new(24, fa).unwrap();
+        let fmt_b = Format::new(24, fb).unwrap();
+        let out = Format::new(40, (fa + fb).min(39)).unwrap();
+        let q = Quantizer::new(out, Rounding::Nearest, Overflow::Saturate);
+        let x = Fx::from_mantissa(a, fmt_a).unwrap();
+        let y = Fx::from_mantissa(b, fmt_b).unwrap();
+        let p = x.mul(&y, &q);
+        // Exact product is on the grid of fa+fb ≤ out.frac bits: exact.
+        prop_assert_eq!(p.to_f64(), x.to_f64() * y.to_f64());
+    }
+
+    #[test]
+    fn saturation_clamps_in_order(fmt in format_strategy(), x in -1.0e6..1.0e6f64, y in -1.0e6..1.0e6f64) {
+        let q = Quantizer::new(fmt, Rounding::Nearest, Overflow::Saturate);
+        // Quantization with saturation preserves order.
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi) + 1e-12);
+    }
+
+    #[test]
+    fn wrap_is_periodic(x in -100.0..100.0f64) {
+        let fmt = Format::new(8, 2).unwrap(); // period 2^6 = 64 in value
+        let q = Quantizer::new(fmt, Rounding::Nearest, Overflow::Wrap);
+        let period = (fmt.max_value() - fmt.min_value()) + fmt.resolution();
+        let a = q.quantize(x);
+        let b = q.quantize(x + period);
+        prop_assert!((a - b).abs() < 1e-9, "x={x}: {a} vs {b}");
+    }
+
+    #[test]
+    fn format_geometry(fmt in format_strategy()) {
+        prop_assert_eq!(
+            fmt.int_bits() + fmt.frac_bits() + 1,
+            fmt.word_length()
+        );
+        prop_assert!(fmt.min_value() < 0.0);
+        prop_assert!(fmt.max_value() > 0.0);
+        // Asymmetric two's complement: |min| = max + resolution.
+        prop_assert!((fmt.min_value().abs() - fmt.max_value() - fmt.resolution()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requantize_to_same_format_is_identity(
+        m in -10_000i64..10_000, frac in 0u8..12)
+    {
+        let fmt = Format::new(20, frac).unwrap();
+        let q = Quantizer::new(fmt, Rounding::Nearest, Overflow::Saturate);
+        let v = Fx::from_mantissa(m, fmt).unwrap();
+        prop_assert_eq!(v.requantize(&q).mantissa(), m);
+    }
+}

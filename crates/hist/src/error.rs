@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by histogram constructors and operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HistError {
+    /// Requested a histogram or grid with zero bins.
+    ZeroBins,
+    /// The support interval is empty or inverted (`lo >= hi`).
+    EmptySupport {
+        /// Requested lower edge.
+        lo: f64,
+        /// Requested upper edge.
+        hi: f64,
+    },
+    /// A bound, probability or sample was NaN or infinite.
+    NonFinite {
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability mass was negative.
+    NegativeMass {
+        /// The offending value.
+        value: f64,
+    },
+    /// All probability mass was zero, so the histogram cannot be normalized.
+    ZeroTotalMass,
+    /// Division by a histogram whose support contains zero.
+    DivisionByZero {
+        /// Support of the denominator as `(lo, hi)`.
+        denominator: (f64, f64),
+    },
+    /// An affine transform with zero scale would collapse the support.
+    ZeroScale,
+    /// No samples were provided to a sample-based constructor.
+    NoSamples,
+}
+
+impl fmt::Display for HistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistError::ZeroBins => write!(f, "histogram requires at least one bin"),
+            HistError::EmptySupport { lo, hi } => {
+                write!(f, "histogram support is empty: [{lo}, {hi}]")
+            }
+            HistError::NonFinite { value } => {
+                write!(f, "histogram input is not finite: {value}")
+            }
+            HistError::NegativeMass { value } => {
+                write!(f, "probability mass is negative: {value}")
+            }
+            HistError::ZeroTotalMass => {
+                write!(f, "total probability mass is zero; cannot normalize")
+            }
+            HistError::DivisionByZero { denominator } => write!(
+                f,
+                "division by histogram with support [{}, {}] containing zero",
+                denominator.0, denominator.1
+            ),
+            HistError::ZeroScale => {
+                write!(f, "affine transform with zero scale collapses the support")
+            }
+            HistError::NoSamples => write!(f, "no samples provided"),
+        }
+    }
+}
+
+impl Error for HistError {}

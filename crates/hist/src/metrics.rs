@@ -1,0 +1,98 @@
+//! Distances between histograms, used to validate SNA results against
+//! Monte-Carlo ground truth.
+
+use crate::Histogram;
+
+impl Histogram {
+    /// Kolmogorov–Smirnov distance: `sup_x |F(x) - G(x)|`, evaluated on the
+    /// union of both bin-edge sets (where the piecewise-linear CDFs attain
+    /// their extrema).
+    pub fn kolmogorov_distance(&self, other: &Histogram) -> f64 {
+        let mut edges: Vec<f64> = self
+            .grid()
+            .edges()
+            .chain(other.grid().edges())
+            .collect();
+        edges.sort_by(|a, b| a.partial_cmp(b).expect("finite edges"));
+        edges
+            .iter()
+            .map(|&x| (self.cdf(x) - other.cdf(x)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total-variation distance `½ ∫ |f - g|`, computed on a common
+    /// refinement grid of `resolution` cells spanning both supports.
+    pub fn total_variation(&self, other: &Histogram, resolution: usize) -> f64 {
+        let lo = self.support().0.min(other.support().0);
+        let hi = self.support().1.max(other.support().1);
+        if hi <= lo || resolution == 0 {
+            return 0.0;
+        }
+        let dx = (hi - lo) / resolution as f64;
+        let mut acc = 0.0;
+        for i in 0..resolution {
+            let x = lo + (i as f64 + 0.5) * dx;
+            acc += (self.density(x) - other.density(x)).abs() * dx;
+        }
+        0.5 * acc
+    }
+
+    /// First-Wasserstein (earth mover's) distance `∫ |F(x) - G(x)| dx`
+    /// computed by trapezoidal quadrature over the joint support.
+    pub fn wasserstein_distance(&self, other: &Histogram, resolution: usize) -> f64 {
+        let lo = self.support().0.min(other.support().0);
+        let hi = self.support().1.max(other.support().1);
+        if hi <= lo || resolution == 0 {
+            return 0.0;
+        }
+        let dx = (hi - lo) / resolution as f64;
+        (0..=resolution)
+            .map(|i| {
+                let x = lo + i as f64 * dx;
+                let w = if i == 0 || i == resolution { 0.5 } else { 1.0 };
+                w * (self.cdf(x) - other.cdf(x)).abs() * dx
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_histograms_have_zero_distance() {
+        let h = Histogram::triangular(0.0, 1.0, 32).unwrap();
+        assert!(h.kolmogorov_distance(&h) < 1e-12);
+        assert!(h.total_variation(&h, 1000) < 1e-12);
+        assert!(h.wasserstein_distance(&h, 1000) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_histograms_have_maximal_tv() {
+        let a = Histogram::uniform(0.0, 1.0, 8).unwrap();
+        let b = Histogram::uniform(2.0, 3.0, 8).unwrap();
+        assert!((a.total_variation(&b, 3000) - 1.0).abs() < 1e-2);
+        assert!((a.kolmogorov_distance(&b) - 1.0).abs() < 1e-12);
+        // Wasserstein = distance between the means for translated copies.
+        assert!((a.wasserstein_distance(&b, 4000) - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn ks_detects_shape_differences() {
+        let u = Histogram::uniform(0.0, 1.0, 64).unwrap();
+        let t = Histogram::triangular(0.0, 1.0, 64).unwrap();
+        let d = u.kolmogorov_distance(&t);
+        assert!(d > 0.1 && d < 0.3, "unexpected KS distance {d}");
+    }
+
+    #[test]
+    fn distances_shrink_with_refinement() {
+        // A coarse approximation of a triangular density approaches the fine
+        // one as bins increase.
+        let fine = Histogram::triangular(0.0, 1.0, 256).unwrap();
+        let coarse = Histogram::triangular(0.0, 1.0, 8).unwrap();
+        let finer = Histogram::triangular(0.0, 1.0, 64).unwrap();
+        assert!(fine.kolmogorov_distance(&finer) < fine.kolmogorov_distance(&coarse));
+    }
+}

@@ -1,0 +1,139 @@
+//! Plain-text rendering of histograms, used by the repro binaries to emit
+//! the paper's Figure 1 and Figure 3 as terminal plots.
+
+use std::fmt::Write as _;
+
+use crate::Histogram;
+
+/// Options for [`Histogram::render_ascii`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RenderOptions {
+    /// Maximum bar length in characters.
+    pub bar_width: usize,
+    /// Print at most this many rows (bins are coarsened on overflow by
+    /// grouping adjacent bins).
+    pub max_rows: usize,
+    /// Show cumulative probability alongside each bar.
+    pub show_cdf: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            bar_width: 50,
+            max_rows: 32,
+            show_cdf: false,
+        }
+    }
+}
+
+impl Histogram {
+    /// Renders the histogram as an ASCII bar chart, one row per bin.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sna_hist::{Histogram, RenderOptions};
+    ///
+    /// # fn main() -> Result<(), sna_hist::HistError> {
+    /// let h = Histogram::triangular(-1.0, 1.0, 8)?;
+    /// let plot = h.render_ascii(&RenderOptions::default());
+    /// assert!(plot.lines().count() >= 8);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn render_ascii(&self, opts: &RenderOptions) -> String {
+        // Group bins when there are more than max_rows of them.
+        let group = self.n_bins().div_ceil(opts.max_rows.max(1));
+        let rows: Vec<(f64, f64, f64)> = self
+            .probs()
+            .chunks(group)
+            .enumerate()
+            .map(|(r, chunk)| {
+                let lo = self.grid().bin_lo(r * group);
+                let hi = lo + self.grid().bin_width() * chunk.len() as f64;
+                (lo, hi, chunk.iter().sum::<f64>())
+            })
+            .collect();
+        let peak = rows.iter().map(|r| r.2).fold(0.0, f64::max).max(1e-300);
+        let mut out = String::new();
+        let mut cum = 0.0;
+        for (lo, hi, p) in rows {
+            cum += p;
+            let bar_len = ((p / peak) * opts.bar_width as f64).round() as usize;
+            let bar: String = "█".repeat(bar_len);
+            if opts.show_cdf {
+                let _ = writeln!(
+                    out,
+                    "[{lo:>10.4}, {hi:>10.4})  {p:>8.5}  {cum:>7.4}  {bar}"
+                );
+            } else {
+                let _ = writeln!(out, "[{lo:>10.4}, {hi:>10.4})  {p:>8.5}  {bar}");
+            }
+        }
+        out
+    }
+
+    /// Returns `(bin midpoint, probability)` pairs — the series a plotting
+    /// tool would consume.
+    pub fn to_series(&self) -> Vec<(f64, f64)> {
+        (0..self.n_bins())
+            .map(|i| (self.grid().bin_mid(i), self.prob(i)))
+            .collect()
+    }
+
+    /// Returns `(bin midpoint, density)` pairs (probability / bin width).
+    pub fn to_density_series(&self) -> Vec<(f64, f64)> {
+        let w = self.grid().bin_width();
+        (0..self.n_bins())
+            .map(|i| (self.grid().bin_mid(i), self.prob(i) / w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_one_row_per_bin() {
+        let h = Histogram::uniform(0.0, 1.0, 8).unwrap();
+        let s = h.render_ascii(&RenderOptions::default());
+        assert_eq!(s.lines().count(), 8);
+        assert!(s.contains("█"));
+    }
+
+    #[test]
+    fn render_groups_when_too_many_bins() {
+        let h = Histogram::uniform(0.0, 1.0, 128).unwrap();
+        let opts = RenderOptions {
+            max_rows: 16,
+            ..RenderOptions::default()
+        };
+        let s = h.render_ascii(&opts);
+        assert_eq!(s.lines().count(), 16);
+    }
+
+    #[test]
+    fn cdf_column_reaches_one() {
+        let h = Histogram::triangular(0.0, 1.0, 8).unwrap();
+        let opts = RenderOptions {
+            show_cdf: true,
+            ..RenderOptions::default()
+        };
+        let s = h.render_ascii(&opts);
+        let last = s.lines().last().unwrap();
+        assert!(last.contains("1.0000"), "last row: {last}");
+    }
+
+    #[test]
+    fn series_round_trips_probabilities() {
+        let h = Histogram::triangular(-1.0, 1.0, 16).unwrap();
+        let series = h.to_series();
+        assert_eq!(series.len(), 16);
+        let total: f64 = series.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let dens = h.to_density_series();
+        assert!((dens[8].1 - h.density(dens[8].0)).abs() < 1e-12);
+    }
+}

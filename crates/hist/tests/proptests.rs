@@ -1,0 +1,162 @@
+//! Property-based tests for histogram arithmetic.
+//!
+//! Core invariants:
+//! * every operation conserves probability mass;
+//! * supports obey interval-arithmetic enclosure;
+//! * means are linear for `+`/`-` and multiplicative for independent `*`;
+//! * CDFs are monotone with correct limits.
+
+use proptest::prelude::*;
+use sna_hist::{DepositPolicy, Grid, Histogram, OpOptions};
+
+fn hist_strategy() -> impl Strategy<Value = Histogram> {
+    (
+        -100.0..100.0f64,
+        0.1..50.0f64,
+        2usize..24,
+        proptest::collection::vec(0.0..1.0f64, 24),
+    )
+        .prop_map(|(lo, width, bins, masses)| {
+            let grid = Grid::new(lo, lo + width, bins).unwrap();
+            let mut m: Vec<f64> = masses[..bins].to_vec();
+            // Ensure at least one bin carries mass.
+            if m.iter().all(|&x| x <= 0.0) {
+                m[0] = 1.0;
+            } else if m.iter().sum::<f64>() <= 0.0 {
+                m[0] += 1.0;
+            }
+            Histogram::from_masses(grid, m).unwrap()
+        })
+}
+
+proptest! {
+    #[test]
+    fn add_conserves_mass_and_mean(a in hist_strategy(), b in hist_strategy()) {
+        let s = a.add(&b).unwrap();
+        prop_assert!((s.total_mass() - 1.0).abs() < 1e-9);
+        prop_assert!((s.mean() - (a.mean() + b.mean())).abs()
+                     < 1e-6 * (1.0 + a.mean().abs() + b.mean().abs()) + s.grid().bin_width());
+    }
+
+    #[test]
+    fn sub_support_is_interval_difference(a in hist_strategy(), b in hist_strategy()) {
+        let d = a.sub(&b).unwrap();
+        let (alo, ahi) = a.support();
+        let (blo, bhi) = b.support();
+        let (dlo, dhi) = d.support();
+        prop_assert!((dlo - (alo - bhi)).abs() < 1e-9 * (1.0 + dlo.abs()));
+        prop_assert!((dhi - (ahi - blo)).abs() < 1e-9 * (1.0 + dhi.abs()));
+    }
+
+    #[test]
+    fn mul_conserves_mass(a in hist_strategy(), b in hist_strategy()) {
+        let p = a.mul(&b).unwrap();
+        prop_assert!((p.total_mass() - 1.0).abs() < 1e-9);
+        // Support must be contained in the interval product.
+        let sup = sna_interval::Interval::new(a.support().0, a.support().1).unwrap()
+            * sna_interval::Interval::new(b.support().0, b.support().1).unwrap();
+        let (plo, phi) = p.support();
+        prop_assert!(plo >= sup.lo() - 1e-6 * (1.0 + sup.lo().abs()));
+        prop_assert!(phi <= sup.hi() + 1e-6 * (1.0 + sup.hi().abs()));
+    }
+
+    #[test]
+    fn mul_mean_is_product_of_means(a in hist_strategy(), b in hist_strategy()) {
+        let p = a.mul(&b).unwrap();
+        let expected = a.mean() * b.mean();
+        // Uniform deposit keeps the mean exact up to output-grid resolution.
+        let tol = p.grid().bin_width() + 1e-6 * (1.0 + expected.abs());
+        prop_assert!((p.mean() - expected).abs() < tol,
+                     "mean {} vs expected {expected}", p.mean());
+    }
+
+    #[test]
+    fn cdf_is_monotone_with_correct_limits(h in hist_strategy(), xs in proptest::collection::vec(-200.0..200.0f64, 8)) {
+        let (lo, hi) = h.support();
+        prop_assert_eq!(h.cdf(lo - 1.0), 0.0);
+        prop_assert_eq!(h.cdf(hi + 1.0), 1.0);
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in sorted.windows(2) {
+            prop_assert!(h.cdf(w[0]) <= h.cdf(w[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(h in hist_strategy(), q in 0.01..0.99f64) {
+        let x = h.quantile(q);
+        prop_assert!((h.cdf(x) - q).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rebin_preserves_mass_and_approximate_mean(h in hist_strategy(), bins in 2usize..64) {
+        let (lo, hi) = h.support();
+        let pad = 0.1 * (hi - lo);
+        let grid = Grid::new(lo - pad, hi + pad, bins).unwrap();
+        let r = h.rebin(grid).unwrap();
+        prop_assert!((r.total_mass() - 1.0).abs() < 1e-9);
+        prop_assert!((r.mean() - h.mean()).abs()
+                     <= 0.51 * (r.grid().bin_width() + h.grid().bin_width()));
+    }
+
+    #[test]
+    fn neg_is_involutive(h in hist_strategy()) {
+        let round_trip = h.neg().neg();
+        prop_assert!((round_trip.mean() - h.mean()).abs() < 1e-9 * (1.0 + h.mean().abs()));
+        prop_assert!((round_trip.support().0 - h.support().0).abs() < 1e-9 * (1.0 + h.support().0.abs()));
+    }
+
+    #[test]
+    fn scale_scales_moments(h in hist_strategy(), k in prop_oneof![-10.0..-0.1f64, 0.1..10.0f64]) {
+        let s = h.scale(k).unwrap();
+        prop_assert!((s.mean() - k * h.mean()).abs() < 1e-6 * (1.0 + (k * h.mean()).abs()));
+        prop_assert!((s.variance() - k * k * h.variance()).abs()
+                     < 1e-6 * (1.0 + (k * k * h.variance()).abs()));
+    }
+
+    #[test]
+    fn sqr_support_is_dependent_square(h in hist_strategy()) {
+        let s = h.sqr().unwrap();
+        let iv = sna_interval::Interval::new(h.support().0, h.support().1).unwrap().sqr();
+        let (slo, shi) = s.support();
+        prop_assert!((slo - iv.lo()).abs() < 1e-6 * (1.0 + iv.lo().abs()));
+        prop_assert!((shi - iv.hi()).abs() < 1e-6 * (1.0 + iv.hi().abs()));
+        prop_assert!((s.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamp_conserves_mass(h in hist_strategy(), c in 0.05..0.45f64) {
+        let (lo, hi) = h.support();
+        let w = hi - lo;
+        let clamped = h.clamp(lo + c * w, hi - c * w).unwrap();
+        prop_assert!((clamped.total_mass() - 1.0).abs() < 1e-9);
+        prop_assert!(clamped.support().0 >= lo + c * w - 1e-9);
+        prop_assert!(clamped.support().1 <= hi - c * w + 1e-9);
+    }
+
+    #[test]
+    fn trim_tails_keeps_mass_fraction(h in hist_strategy()) {
+        if let Ok(t) = h.trim_tails(0.01) {
+            prop_assert!((t.total_mass() - 1.0).abs() < 1e-9);
+            let (tlo, thi) = t.support();
+            let (lo, hi) = h.support();
+            prop_assert!(tlo >= lo - 1e-12 && thi <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_and_uniform_add_agree_on_mass_and_support(a in hist_strategy(), b in hist_strategy()) {
+        let exact = a.add(&b).unwrap();
+        let uniform = a
+            .add_with(&b, &OpOptions::default().with_deposit(DepositPolicy::Uniform))
+            .unwrap();
+        prop_assert!((exact.total_mass() - uniform.total_mass()).abs() < 1e-9);
+        prop_assert!((exact.support().0 - uniform.support().0).abs() < 1e-9 * (1.0 + exact.support().0.abs()));
+        // The exact deposit never widens the spread beyond the uniform one,
+        // up to the O(w²) requantization of the shared output grid (each
+        // rebinned variance carries up to ~w²/6 of quantization error, so
+        // the difference is bounded by ~w²/3).
+        let w = exact.grid().bin_width();
+        prop_assert!(exact.variance() <= uniform.variance() + w * w / 3.0 + 1e-9);
+    }
+}

@@ -1,0 +1,317 @@
+//! Left-edge binding of operations to functional units and of values to
+//! registers.
+
+use sna_dfg::{Dfg, NodeId, Op};
+use sna_fixp::WlConfig;
+
+use crate::{FuKind, Schedule};
+
+/// One allocated functional unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuInstance {
+    /// Kind of the unit.
+    pub kind: FuKind,
+    /// Width: the widest operation bound to it.
+    pub width: u8,
+    /// Operations bound to this unit.
+    pub ops: Vec<NodeId>,
+}
+
+/// The complete binding: functional units, state/pipeline registers and an
+/// interconnect (mux) estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Binding {
+    /// Allocated functional units.
+    pub fus: Vec<FuInstance>,
+    /// `fu_of[i]` = index into `fus` for operation nodes.
+    pub fu_of: Vec<Option<usize>>,
+    /// Widths of allocated data registers (left-edge compacted lifetimes).
+    pub registers: Vec<u8>,
+    /// Number of 2:1 mux inputs implied by FU sharing.
+    pub mux_inputs: usize,
+}
+
+/// Binds scheduled operations to units (per kind, left-edge over start
+/// times) and values to registers (left-edge over lifetimes).
+pub fn bind(dfg: &Dfg, config: &WlConfig, schedule: &Schedule) -> Binding {
+    let view = dfg.combinational_view();
+
+    // ---- Functional units -------------------------------------------
+    let mut fus: Vec<FuInstance> = Vec::new();
+    let mut fu_of: Vec<Option<usize>> = vec![None; view.len()];
+    for kind in FuKind::ALL {
+        // Ops of this kind sorted by start cycle.
+        let mut ops: Vec<(u32, u32, NodeId)> = view
+            .nodes()
+            .filter_map(|(id, node)| {
+                let k = FuKind::for_op(node.op())?;
+                if k != kind {
+                    return None;
+                }
+                let (s, d) = schedule.slots[id.index()]?;
+                Some((s, s + d, id))
+            })
+            .collect();
+        ops.sort();
+        // Left edge with width affinity: among units free at the op's
+        // start, pick the one whose width matches best (prefer an
+        // already-wide-enough unit with least slack; otherwise the widest
+        // narrower one).  With several units this lets narrow operations
+        // congregate on narrow hardware — the paper's multiple-width
+        // datapath idea.
+        let mut unit_free: Vec<(u32, usize)> = Vec::new(); // (free_at, fu index)
+        for (start, end, id) in ops {
+            let w = config.format(id).word_length();
+            let best = unit_free
+                .iter()
+                .enumerate()
+                .filter(|(_, (free_at, _))| *free_at <= start)
+                .min_by_key(|(_, (_, fu_idx))| {
+                    let fw = fus[*fu_idx].width;
+                    if fw >= w {
+                        (fw - w) as i32 // fits: least waste first
+                    } else {
+                        1000 + (w - fw) as i32 // must grow: least growth
+                    }
+                })
+                .map(|(slot, _)| slot);
+            match best {
+                Some(slot) => {
+                    let fu_idx = unit_free[slot].1;
+                    unit_free[slot].0 = end;
+                    let fu = &mut fus[fu_idx];
+                    fu.width = fu.width.max(w);
+                    fu.ops.push(id);
+                    fu_of[id.index()] = Some(fu_idx);
+                }
+                None => {
+                    let fu_idx = fus.len();
+                    fus.push(FuInstance {
+                        kind,
+                        width: w,
+                        ops: vec![id],
+                    });
+                    unit_free.push((end, fu_idx));
+                    fu_of[id.index()] = Some(fu_idx);
+                }
+            }
+        }
+    }
+
+    // ---- Registers ----------------------------------------------------
+    // A value is alive from the end of its producing op to the latest
+    // start of a consumer; it needs a register if it crosses a cycle
+    // boundary.  Delay states always occupy a register for a full sample.
+    let horizon = schedule.length + 1;
+    let mut lifetimes: Vec<(u32, u32, u8)> = Vec::new();
+    for (id, node) in view.nodes() {
+        let width = config.format(id).word_length();
+        let def = match node.op() {
+            Op::Input(_) | Op::Const(_) => 0,
+            _ => schedule.end_of(id),
+        };
+        let last_use = view
+            .nodes()
+            .filter(|(_, n)| n.args().contains(&id))
+            .map(|(uid, _)| schedule.slots[uid.index()].map(|(s, _)| s).unwrap_or(0))
+            .max();
+        let is_output = view.outputs().iter().any(|&(_, o)| o == id);
+        let end = match (last_use, is_output) {
+            (Some(u), false) => u,
+            (Some(u), true) => u.max(horizon - 1),
+            (None, true) => horizon - 1,
+            (None, false) => def,
+        };
+        if matches!(node.op(), Op::Const(_)) {
+            continue; // constants are wired, not registered
+        }
+        if end > def || matches!(node.op(), Op::Input(_)) {
+            lifetimes.push((def, end.max(def + 1), width));
+        }
+    }
+    // Delay nodes of the original graph are state registers alive the
+    // whole sample; the combinational view turned them into inputs which
+    // the loop above already covers (inputs live from 0).
+
+    // Left-edge register allocation with width affinity (same best-fit
+    // rule as the functional units): narrow values pack into narrow
+    // registers so mixed word-length designs actually save register area.
+    lifetimes.sort();
+    let mut reg_free: Vec<(u32, u8)> = Vec::new(); // (free_at, width)
+    for (def, end, width) in lifetimes {
+        let best = reg_free
+            .iter()
+            .enumerate()
+            .filter(|(_, (free_at, _))| *free_at <= def)
+            .min_by_key(|(_, (_, w))| {
+                if *w >= width {
+                    (*w - width) as i32
+                } else {
+                    1000 + (width - *w) as i32
+                }
+            })
+            .map(|(slot, _)| slot);
+        match best {
+            Some(slot) => {
+                reg_free[slot].0 = end;
+                reg_free[slot].1 = reg_free[slot].1.max(width);
+            }
+            None => reg_free.push((end, width)),
+        }
+    }
+    let registers: Vec<u8> = reg_free.iter().map(|&(_, w)| w).collect();
+
+    // ---- Interconnect estimate ----------------------------------------
+    // Each FU sharing n ops needs an (n-way → tree of n-1 two-input) mux
+    // per operand port.
+    let mux_inputs: usize = fus
+        .iter()
+        .map(|fu| 2 * fu.ops.len().saturating_sub(1))
+        .sum();
+
+    Binding {
+        fus,
+        fu_of,
+        registers,
+        mux_inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule, ResourceSet, TechLibrary};
+    use sna_dfg::DfgBuilder;
+    use sna_fixp::{Format, Overflow, Rounding};
+
+    fn sample() -> (Dfg, WlConfig) {
+        // y = (a+b) * (c+d) + (a+c)
+        let mut bld = DfgBuilder::new();
+        let a = bld.input("a");
+        let b = bld.input("b");
+        let c = bld.input("c");
+        let d = bld.input("d");
+        let s1 = bld.add(a, b);
+        let s2 = bld.add(c, d);
+        let m = bld.mul(s1, s2);
+        let s3 = bld.add(a, c);
+        let y = bld.add(m, s3);
+        bld.output("y", y);
+        let g = bld.build().unwrap();
+        let cfg = WlConfig::uniform(
+            &g,
+            Format::new(16, 8).unwrap(),
+            Rounding::Nearest,
+            Overflow::Saturate,
+        );
+        (g, cfg)
+    }
+
+    #[test]
+    fn binding_respects_fu_exclusivity() {
+        let (g, cfg) = sample();
+        let tech = TechLibrary::st012();
+        let res = ResourceSet {
+            adders: 2,
+            ..Default::default()
+        };
+        let s = schedule(&g, &cfg, &tech, &res, 2.5).unwrap();
+        let b = bind(&g, &cfg, &s);
+        // No two ops on one FU may overlap in time.
+        for fu in &b.fus {
+            for (i, &op1) in fu.ops.iter().enumerate() {
+                for &op2 in fu.ops.iter().skip(i + 1) {
+                    let (s1, d1) = s.slots[op1.index()].unwrap();
+                    let (s2, d2) = s.slots[op2.index()].unwrap();
+                    assert!(s1 + d1 <= s2 || s2 + d2 <= s1, "{op1} and {op2} overlap");
+                }
+            }
+        }
+        // Adders allocated never exceed the constraint.
+        let adders = b.fus.iter().filter(|f| f.kind == FuKind::Adder).count();
+        assert!(adders <= 2);
+        // Every op got an FU.
+        for (id, node) in g.nodes() {
+            if FuKind::for_op(node.op()).is_some() {
+                assert!(b.fu_of[id.index()].is_some(), "op {id} unbound");
+            }
+        }
+    }
+
+    #[test]
+    fn serialized_schedule_uses_fewer_fus() {
+        let (g, cfg) = sample();
+        let tech = TechLibrary::st012();
+        let tight = schedule(
+            &g,
+            &cfg,
+            &tech,
+            &ResourceSet {
+                adders: 1,
+                ..Default::default()
+            },
+            2.5,
+        )
+        .unwrap();
+        let b = bind(&g, &cfg, &tight);
+        let adders = b.fus.iter().filter(|f| f.kind == FuKind::Adder).count();
+        assert_eq!(adders, 1);
+        // Sharing implies muxes.
+        assert!(b.mux_inputs > 0);
+    }
+
+    #[test]
+    fn fu_width_is_max_of_bound_ops() {
+        let mut bld = DfgBuilder::new();
+        let a = bld.input("a");
+        let b = bld.input("b");
+        let s1 = bld.add(a, b);
+        let s2 = bld.add(s1, a);
+        bld.output("y", s2);
+        let g = bld.build().unwrap();
+        let mut cfg = WlConfig::uniform(
+            &g,
+            Format::new(8, 4).unwrap(),
+            Rounding::Nearest,
+            Overflow::Saturate,
+        );
+        cfg.set_quantizer(
+            s2,
+            sna_fixp::Quantizer::new(
+                Format::new(24, 12).unwrap(),
+                Rounding::Nearest,
+                Overflow::Saturate,
+            ),
+        )
+        .unwrap();
+        let tech = TechLibrary::st012();
+        let s = schedule(
+            &g,
+            &cfg,
+            &tech,
+            &ResourceSet {
+                adders: 1,
+                ..Default::default()
+            },
+            5.0,
+        )
+        .unwrap();
+        let bnd = bind(&g, &cfg, &s);
+        let adder = bnd.fus.iter().find(|f| f.kind == FuKind::Adder).unwrap();
+        assert_eq!(adder.width, 24);
+        assert_eq!(adder.ops.len(), 2);
+    }
+
+    #[test]
+    fn registers_are_allocated_for_live_values() {
+        let (g, cfg) = sample();
+        let tech = TechLibrary::st012();
+        let s = schedule(&g, &cfg, &tech, &ResourceSet::default(), 2.5).unwrap();
+        let b = bind(&g, &cfg, &s);
+        // At least the four inputs are alive until their last consumer.
+        assert!(!b.registers.is_empty());
+        for &w in &b.registers {
+            assert!(w >= 8);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Implementation cost report: the three columns of the paper's
+//! Tables 3–6.
+
+use std::fmt;
+
+use sna_dfg::Dfg;
+use sna_fixp::WlConfig;
+
+use crate::{Binding, Schedule, TechLibrary};
+
+/// Area / power / latency of one implementation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostReport {
+    /// Total silicon area (µm²): functional units + registers + muxes.
+    pub area_um2: f64,
+    /// Average power (µW): dynamic (switching energy over the sample
+    /// period) + leakage (area-proportional).
+    pub power_uw: f64,
+    /// Latency of one sample/block computation in clock cycles.
+    pub latency_cycles: u32,
+    /// Functional-unit share of the area.
+    pub fu_area_um2: f64,
+    /// Register share of the area.
+    pub reg_area_um2: f64,
+    /// Interconnect (mux) share of the area.
+    pub mux_area_um2: f64,
+    /// Switching energy per sample (pJ).
+    pub energy_per_sample_pj: f64,
+}
+
+impl CostReport {
+    /// Computes the report from a schedule and binding.
+    pub fn from_implementation(
+        dfg: &Dfg,
+        config: &WlConfig,
+        tech: &TechLibrary,
+        schedule: &Schedule,
+        binding: &Binding,
+        clock_ns: f64,
+    ) -> CostReport {
+        let fu_area: f64 = binding
+            .fus
+            .iter()
+            .map(|fu| tech.fu_area(fu.kind, fu.width))
+            .sum();
+        let reg_area: f64 = binding
+            .registers
+            .iter()
+            .map(|&w| tech.register_area(w))
+            .sum();
+        let mux_width = binding
+            .fus
+            .iter()
+            .map(|fu| fu.width)
+            .max()
+            .unwrap_or(8);
+        let mux_area = binding.mux_inputs as f64 * tech.mux_area(mux_width);
+        let area = fu_area + reg_area + mux_area;
+
+        // Dynamic energy: every executed operation plus register traffic.
+        let view = dfg.combinational_view();
+        let op_energy: f64 = view
+            .nodes()
+            .filter_map(|(id, node)| {
+                let kind = crate::FuKind::for_op(node.op())?;
+                schedule.slots[id.index()]?;
+                Some(tech.fu_energy_pj(kind, config.format(id).word_length()))
+            })
+            .sum();
+        let reg_energy: f64 = binding
+            .registers
+            .iter()
+            .map(|&w| tech.reg_energy_per_bit * w as f64 * schedule.length as f64)
+            .sum();
+        let energy = op_energy + reg_energy;
+
+        let period_ns = schedule.length.max(1) as f64 * clock_ns;
+        // pJ / ns = mW; convert to µW.
+        let dynamic_uw = energy / period_ns * 1000.0;
+        let leakage_uw = area * tech.leakage_uw_per_um2;
+
+        CostReport {
+            area_um2: area,
+            power_uw: dynamic_uw + leakage_uw,
+            latency_cycles: schedule.length,
+            fu_area_um2: fu_area,
+            reg_area_um2: reg_area,
+            mux_area_um2: mux_area,
+            energy_per_sample_pj: energy,
+        }
+    }
+
+    /// Weighted scalar cost used by the multi-objective optimizer:
+    /// `wa·area + wp·power + wl·latency` (weights normalize units).
+    pub fn weighted(&self, wa: f64, wp: f64, wl: f64) -> f64 {
+        wa * self.area_um2 + wp * self.power_uw + wl * self.latency_cycles as f64
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area {:.0} µm² (FU {:.0} + reg {:.0} + mux {:.0}), power {:.1} µW, latency {} cycles",
+            self.area_um2,
+            self.fu_area_um2,
+            self.reg_area_um2,
+            self.mux_area_um2,
+            self.power_uw,
+            self.latency_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bind::bind, schedule, ResourceSet};
+    use sna_dfg::DfgBuilder;
+    use sna_fixp::{Format, Overflow, Rounding};
+    use sna_interval::Interval;
+
+    fn mac_chain(n: usize) -> Dfg {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let mut acc = b.mul_const(0.5, x);
+        for k in 0..n {
+            let t = b.mul_const(0.1 * (k as f64 + 1.0), x);
+            acc = b.add(acc, t);
+        }
+        b.output("y", acc);
+        b.build().unwrap()
+    }
+
+    fn cost_at(dfg: &Dfg, w: u8) -> CostReport {
+        let ranges = vec![Interval::new(-1.0, 1.0).unwrap(); dfg.n_inputs()];
+        let cfg = sna_fixp::WlConfig::from_ranges(dfg, &ranges, w).unwrap();
+        let tech = TechLibrary::st012();
+        let res = ResourceSet::default();
+        let s = schedule(dfg, &cfg, &tech, &res, 2.5).unwrap();
+        let b = bind(dfg, &cfg, &s);
+        CostReport::from_implementation(dfg, &cfg, &tech, &s, &b, 2.5)
+    }
+
+    #[test]
+    fn wider_words_cost_more() {
+        let g = mac_chain(6);
+        let c8 = cost_at(&g, 8);
+        let c16 = cost_at(&g, 16);
+        let c32 = cost_at(&g, 32);
+        assert!(c8.area_um2 < c16.area_um2 && c16.area_um2 < c32.area_um2);
+        assert!(c8.power_uw < c32.power_uw);
+        assert!(c8.latency_cycles <= c32.latency_cycles);
+        // Multiplier dominance makes area growth superlinear.
+        assert!(c32.area_um2 / c8.area_um2 > 3.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let g = mac_chain(4);
+        let c = cost_at(&g, 16);
+        assert!(
+            (c.fu_area_um2 + c.reg_area_um2 + c.mux_area_um2 - c.area_um2).abs() < 1e-9
+        );
+        assert!(c.energy_per_sample_pj > 0.0);
+    }
+
+    #[test]
+    fn weighted_cost_combines_objectives() {
+        let g = mac_chain(4);
+        let c = cost_at(&g, 16);
+        let area_only = c.weighted(1.0, 0.0, 0.0);
+        assert_eq!(area_only, c.area_um2);
+        let all = c.weighted(1.0, 1.0, 1.0);
+        assert!(all > area_only);
+    }
+
+    #[test]
+    fn magnitudes_are_in_the_papers_decade() {
+        // A multiplier-heavy design at W=16 should land in the 10³–10⁵ µm²
+        // and 10²–10⁵ µW decades the paper's tables inhabit.
+        let g = mac_chain(10);
+        let c = cost_at(&g, 16);
+        assert!(
+            c.area_um2 > 1.0e3 && c.area_um2 < 1.0e5,
+            "area {}",
+            c.area_um2
+        );
+        assert!(
+            c.power_uw > 1.0e2 && c.power_uw < 1.0e5,
+            "power {}",
+            c.power_uw
+        );
+        assert!(c.latency_cycles > 5 && c.latency_cycles < 500);
+    }
+
+    #[test]
+    fn parallel_ops_in_one_cycle_need_no_sharing() {
+        // Two independent multiplies scheduled in the same cycles cannot
+        // share a unit: two FUs, no muxes.
+        let mut bld = DfgBuilder::new();
+        let a = bld.input("a");
+        let b = bld.input("b");
+        let c = bld.input("c");
+        let d = bld.input("d");
+        let m1 = bld.mul(a, b);
+        let m2 = bld.mul(c, d);
+        bld.output("m1", m1);
+        bld.output("m2", m2);
+        let g = bld.build().unwrap();
+        let ranges = vec![Interval::new(-1.0, 1.0).unwrap(); 4];
+        let cfg = sna_fixp::WlConfig::from_ranges(&g, &ranges, 12).unwrap();
+        let tech = TechLibrary::st012();
+        let res = ResourceSet {
+            adders: 4,
+            multipliers: 4,
+            dividers: 1,
+        };
+        let s = schedule(&g, &cfg, &tech, &res, 2.5).unwrap();
+        let b = bind(&g, &cfg, &s);
+        let cst = CostReport::from_implementation(&g, &cfg, &tech, &s, &b, 2.5);
+        assert_eq!(cst.mux_area_um2, 0.0);
+        assert_eq!(b.fus.len(), 2);
+        let _ = format!("{cst}");
+    }
+
+    #[test]
+    fn uniform_wlconfig_is_accepted() {
+        let g = mac_chain(2);
+        let cfg = sna_fixp::WlConfig::uniform(
+            &g,
+            Format::new(12, 6).unwrap(),
+            Rounding::Nearest,
+            Overflow::Saturate,
+        );
+        let tech = TechLibrary::st012();
+        let s = schedule(&g, &cfg, &tech, &ResourceSet::default(), 2.5).unwrap();
+        let b = bind(&g, &cfg, &s);
+        let c = CostReport::from_implementation(&g, &cfg, &tech, &s, &b, 2.5);
+        assert!(c.area_um2 > 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+use sna_dfg::NodeId;
+
+/// Errors produced by the synthesis flow.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HlsError {
+    /// The resource set provides no unit of a kind the graph needs.
+    MissingResource {
+        /// The functional-unit kind with zero instances.
+        kind: crate::FuKind,
+    },
+    /// An operation cannot finish within any cycle budget (zero or negative
+    /// clock period, or pathological delay).
+    UnschedulableOp {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The clock period is not positive and finite.
+    InvalidClock {
+        /// The requested clock period in nanoseconds.
+        clock_ns: f64,
+    },
+    /// The word-length configuration does not cover this graph.
+    ConfigMismatch {
+        /// Nodes in the graph.
+        nodes: usize,
+        /// Nodes covered by the configuration.
+        config: usize,
+    },
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::MissingResource { kind } => {
+                write!(f, "no functional unit of kind {kind:?} available")
+            }
+            HlsError::UnschedulableOp { node } => {
+                write!(f, "operation at node {node} cannot be scheduled")
+            }
+            HlsError::InvalidClock { clock_ns } => {
+                write!(f, "invalid clock period: {clock_ns} ns")
+            }
+            HlsError::ConfigMismatch { nodes, config } => {
+                write!(
+                    f,
+                    "word-length config covers {config} nodes, graph has {nodes}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for HlsError {}

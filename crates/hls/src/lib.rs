@@ -1,0 +1,58 @@
+//! High-level synthesis substrate: technology models, scheduling, binding
+//! and cost reporting.
+//!
+//! The DAC'08 SNA paper embeds word-length optimization *inside* an HLS
+//! flow: every candidate word-length assignment is judged by the area,
+//! power and latency of an actual implementation (Tables 3–6).  The
+//! authors used ST 0.12 µm and an in-house tool; this crate provides the
+//! equivalent open substrate:
+//!
+//! * [`TechLibrary`] — word-length-parameterized area / delay / energy
+//!   models for adders, multipliers, dividers, registers and muxes,
+//!   calibrated to 0.12 µm-class magnitudes;
+//! * [`schedule`](Dfg-based list scheduling) — ASAP/ALAP mobility,
+//!   resource-constrained, multi-cycle operations;
+//! * binding — left-edge functional-unit and register allocation;
+//! * [`synthesize`] — the full flow, producing an [`Implementation`] with
+//!   a [`CostReport`] (area µm², power µW, latency cycles).
+//!
+//! # Example
+//!
+//! ```
+//! use sna_dfg::DfgBuilder;
+//! use sna_fixp::WlConfig;
+//! use sna_hls::{synthesize, SynthesisConstraints};
+//! use sna_interval::Interval;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DfgBuilder::new();
+//! let x = b.input("x");
+//! let t = b.mul_const(0.5, x);
+//! let y = b.add(t, x);
+//! b.output("y", y);
+//! let dfg = b.build()?;
+//! let ranges = [Interval::new(-1.0, 1.0)?];
+//! let cfg = WlConfig::from_ranges(&dfg, &ranges, 16)?;
+//! let imp = synthesize(&dfg, &cfg, &SynthesisConstraints::default())?;
+//! assert!(imp.cost.area_um2 > 0.0);
+//! assert!(imp.cost.latency_cycles >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bind;
+mod cost;
+mod error;
+mod schedule;
+mod synth;
+mod tech;
+
+pub use bind::{Binding, FuInstance};
+pub use cost::CostReport;
+pub use error::HlsError;
+pub use schedule::{schedule, ResourceSet, Schedule};
+pub use synth::{synthesize, Implementation, SynthesisConstraints};
+pub use tech::{FuKind, TechLibrary};

@@ -1,0 +1,392 @@
+//! Resource-constrained list scheduling with multi-cycle operations.
+//!
+//! Classic flow: ASAP and ALAP passes give every operation its mobility;
+//! the list scheduler then starts ready operations in least-mobility order
+//! whenever a functional unit of the right kind is free.  Sequential
+//! graphs are scheduled on their per-sample combinational view (delays are
+//! state registers, not datapath operations).
+
+use sna_dfg::{Dfg, NodeId};
+use sna_fixp::WlConfig;
+
+use crate::{FuKind, HlsError, TechLibrary};
+
+/// How many functional units of each kind the implementation may use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceSet {
+    /// Available adder/subtractor units.
+    pub adders: usize,
+    /// Available multipliers.
+    pub multipliers: usize,
+    /// Available dividers.
+    pub dividers: usize,
+}
+
+impl Default for ResourceSet {
+    fn default() -> Self {
+        ResourceSet {
+            adders: 1,
+            multipliers: 1,
+            dividers: 1,
+        }
+    }
+}
+
+impl ResourceSet {
+    /// Instances available for a kind.
+    pub fn count(&self, kind: FuKind) -> usize {
+        match kind {
+            FuKind::Adder => self.adders,
+            FuKind::Multiplier => self.multipliers,
+            FuKind::Divider => self.dividers,
+        }
+    }
+}
+
+/// A complete schedule: per-node start cycle and duration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schedule {
+    /// `slots[i] = Some((start, cycles))` for scheduled operations,
+    /// `None` for inputs/constants/delays.
+    pub slots: Vec<Option<(u32, u32)>>,
+    /// Total schedule length in cycles.
+    pub length: u32,
+}
+
+impl Schedule {
+    /// End cycle (exclusive) of a node's operation, 0 for non-operations.
+    pub fn end_of(&self, node: NodeId) -> u32 {
+        self.slots[node.index()]
+            .map(|(s, c)| s + c)
+            .unwrap_or(0)
+    }
+
+    /// Number of scheduled operations.
+    pub fn n_ops(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+}
+
+/// List-schedules the graph's combinational view under the given
+/// resources.
+///
+/// # Errors
+///
+/// * [`HlsError::ConfigMismatch`] when `config` does not cover the graph;
+/// * [`HlsError::InvalidClock`] for a non-positive clock;
+/// * [`HlsError::MissingResource`] when an op kind has zero instances.
+pub fn schedule(
+    dfg: &Dfg,
+    config: &WlConfig,
+    tech: &TechLibrary,
+    resources: &ResourceSet,
+    clock_ns: f64,
+) -> Result<Schedule, HlsError> {
+    if config.len() != dfg.len() {
+        return Err(HlsError::ConfigMismatch {
+            nodes: dfg.len(),
+            config: config.len(),
+        });
+    }
+    if !(clock_ns.is_finite() && clock_ns > 0.0) {
+        return Err(HlsError::InvalidClock { clock_ns });
+    }
+    let view = dfg.combinational_view();
+    let order = view.topo_order().to_vec();
+
+    // Per-node kind and duration.
+    let mut kind = vec![None; view.len()];
+    let mut dur = vec![0u32; view.len()];
+    for (id, node) in view.nodes() {
+        if let Some(k) = FuKind::for_op(node.op()) {
+            if resources.count(k) == 0 {
+                return Err(HlsError::MissingResource { kind: k });
+            }
+            kind[id.index()] = Some(k);
+            dur[id.index()] = tech.cycles(k, config.format(id).word_length(), clock_ns);
+        }
+    }
+
+    // ASAP.
+    let mut asap = vec![0u32; view.len()];
+    for &id in &order {
+        let node = view.node(id);
+        let ready = node
+            .args()
+            .iter()
+            .map(|a| asap[a.index()] + dur[a.index()])
+            .max()
+            .unwrap_or(0);
+        asap[id.index()] = ready;
+    }
+    let horizon: u32 = order
+        .iter()
+        .map(|id| asap[id.index()] + dur[id.index()])
+        .max()
+        .unwrap_or(0);
+
+    // ALAP within the unconstrained horizon.
+    let mut alap = vec![horizon; view.len()];
+    for &id in order.iter().rev() {
+        let node = view.node(id);
+        let latest = alap[id.index()] - dur[id.index()];
+        for a in node.args() {
+            alap[a.index()] = alap[a.index()].min(latest);
+        }
+    }
+
+    // List scheduling.
+    let mut start: Vec<Option<u32>> = vec![None; view.len()];
+    // Inputs/constants are available at cycle 0.
+    let mut unscheduled: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|id| kind[id.index()].is_some())
+        .collect();
+    // Mobility priority: smaller = more urgent.
+    unscheduled.sort_by_key(|id| alap[id.index()] - asap[id.index()]);
+
+    let mut busy_until: std::collections::HashMap<FuKind, Vec<u32>> = FuKind::ALL
+        .iter()
+        .map(|&k| (k, vec![0u32; resources.count(k)]))
+        .collect();
+    let mut cycle = 0u32;
+    let mut remaining = unscheduled.len();
+    let max_cycles = (horizon as u64 + 1) * (remaining as u64 + 1) + 16;
+    while remaining > 0 {
+        // Nodes whose predecessors are finished by `cycle`.
+        for &id in &unscheduled {
+            if start[id.index()].is_some() {
+                continue;
+            }
+            let node = view.node(id);
+            let ready = node.args().iter().all(|a| {
+                kind[a.index()].is_none()
+                    || start[a.index()]
+                        .map(|s| s + dur[a.index()] <= cycle)
+                        .unwrap_or(false)
+            });
+            if !ready {
+                continue;
+            }
+            let k = kind[id.index()].expect("unscheduled list holds ops only");
+            let pool = busy_until.get_mut(&k).expect("all kinds present");
+            if let Some(slot) = pool.iter_mut().find(|t| **t <= cycle) {
+                *slot = cycle + dur[id.index()];
+                start[id.index()] = Some(cycle);
+                remaining -= 1;
+            }
+        }
+        cycle += 1;
+        if u64::from(cycle) > max_cycles {
+            let stuck = unscheduled
+                .iter()
+                .find(|id| start[id.index()].is_none())
+                .copied()
+                .expect("some op remains");
+            return Err(HlsError::UnschedulableOp { node: stuck });
+        }
+    }
+
+    let mut slots = vec![None; view.len()];
+    let mut length = 1;
+    for &id in &unscheduled {
+        let s = start[id.index()].expect("all ops scheduled");
+        let d = dur[id.index()];
+        slots[id.index()] = Some((s, d));
+        length = length.max(s + d);
+    }
+    Ok(Schedule { slots, length })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::DfgBuilder;
+    use sna_fixp::{Format, Overflow, Rounding};
+
+    fn adder_tree(leaves: usize) -> Dfg {
+        let mut b = DfgBuilder::new();
+        let mut level: Vec<NodeId> = (0..leaves).map(|i| b.input(format!("x{i}"))).collect();
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(b.add(pair[0], pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        b.output("sum", level[0]);
+        b.build().unwrap()
+    }
+
+    fn uniform_cfg(dfg: &Dfg, w: u8, f: u8) -> WlConfig {
+        WlConfig::uniform(
+            dfg,
+            Format::new(w, f).unwrap(),
+            Rounding::Nearest,
+            Overflow::Saturate,
+        )
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let g = adder_tree(8);
+        let cfg = uniform_cfg(&g, 16, 8);
+        let s = schedule(
+            &g,
+            &cfg,
+            &TechLibrary::st012(),
+            &ResourceSet {
+                adders: 8,
+                ..Default::default()
+            },
+            2.5,
+        )
+        .unwrap();
+        for (id, node) in g.nodes() {
+            let Some((st, _)) = s.slots[id.index()] else {
+                continue;
+            };
+            for a in node.args() {
+                if let Some((sa, da)) = s.slots[a.index()] {
+                    assert!(sa + da <= st, "node {id} starts before its arg {a}");
+                }
+            }
+        }
+        // 7 adds, unlimited resources, single-cycle adds: depth 3.
+        assert_eq!(s.length, 3);
+        assert_eq!(s.n_ops(), 7);
+    }
+
+    #[test]
+    fn resource_constraints_serialize_ops() {
+        let g = adder_tree(8);
+        let cfg = uniform_cfg(&g, 16, 8);
+        let tech = TechLibrary::st012();
+        let one = schedule(
+            &g,
+            &cfg,
+            &tech,
+            &ResourceSet {
+                adders: 1,
+                ..Default::default()
+            },
+            2.5,
+        )
+        .unwrap();
+        // One adder, 7 single-cycle ops: exactly 7 cycles.
+        assert_eq!(one.length, 7);
+        let two = schedule(
+            &g,
+            &cfg,
+            &tech,
+            &ResourceSet {
+                adders: 2,
+                ..Default::default()
+            },
+            2.5,
+        )
+        .unwrap();
+        assert!(two.length < one.length);
+        // No cycle may have more concurrent adds than adders.
+        for cycle in 0..one.length {
+            let live = one
+                .slots
+                .iter()
+                .flatten()
+                .filter(|(s, d)| *s <= cycle && cycle < s + d)
+                .count();
+            assert!(live <= 1);
+        }
+    }
+
+    #[test]
+    fn multicycle_multipliers_stretch_the_schedule() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.mul(x, y);
+        b.output("m", m);
+        let g = b.build().unwrap();
+        let tech = TechLibrary::st012();
+        let narrow = schedule(
+            &g,
+            &uniform_cfg(&g, 8, 4),
+            &tech,
+            &ResourceSet::default(),
+            2.5,
+        )
+        .unwrap();
+        let wide = schedule(
+            &g,
+            &uniform_cfg(&g, 32, 16),
+            &tech,
+            &ResourceSet::default(),
+            2.5,
+        )
+        .unwrap();
+        assert!(wide.length > narrow.length);
+    }
+
+    #[test]
+    fn zero_resources_for_needed_kind_fails() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.mul(x, y);
+        b.output("m", m);
+        let g = b.build().unwrap();
+        let err = schedule(
+            &g,
+            &uniform_cfg(&g, 8, 4),
+            &TechLibrary::st012(),
+            &ResourceSet {
+                multipliers: 0,
+                ..Default::default()
+            },
+            2.5,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            HlsError::MissingResource {
+                kind: FuKind::Multiplier
+            }
+        ));
+    }
+
+    #[test]
+    fn invalid_clock_is_rejected() {
+        let g = adder_tree(2);
+        let cfg = uniform_cfg(&g, 8, 4);
+        assert!(matches!(
+            schedule(&g, &cfg, &TechLibrary::st012(), &ResourceSet::default(), 0.0),
+            Err(HlsError::InvalidClock { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_graphs_schedule_their_per_sample_view() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let d = b.delay(x);
+        let y = b.add(x, d);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let cfg = uniform_cfg(&g, 16, 8);
+        let s = schedule(
+            &g,
+            &cfg,
+            &TechLibrary::st012(),
+            &ResourceSet::default(),
+            2.5,
+        )
+        .unwrap();
+        // Only the add is an operation; the delay is a register.
+        assert_eq!(s.n_ops(), 1);
+    }
+}

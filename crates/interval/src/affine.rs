@@ -1,0 +1,401 @@
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+use crate::{Interval, IntervalError};
+
+/// Mints fresh affine noise-symbol identifiers.
+///
+/// Affine arithmetic tracks first-order correlations through shared symbol
+/// ids; every *non-linear* operation (multiplication, square, reciprocal)
+/// introduces a fresh symbol to carry its linearization error.  All forms
+/// participating in one computation must share one context so that fresh
+/// symbols never collide with existing ones.
+///
+/// # Example
+///
+/// ```
+/// use sna_interval::{AffineContext, Interval};
+///
+/// # fn main() -> Result<(), sna_interval::IntervalError> {
+/// let ctx = AffineContext::new();
+/// let x = ctx.from_interval(Interval::new(-1.0, 1.0)?);
+/// // x - x is exactly zero under AA (but [-2, 2] under IA):
+/// let z = x.clone() - x.clone();
+/// assert_eq!(z.to_interval(), Interval::new(0.0, 0.0)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct AffineContext {
+    next: Cell<u32>,
+}
+
+impl AffineContext {
+    /// Creates a context with no symbols allocated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh symbol id.
+    pub fn fresh_symbol(&self) -> u32 {
+        let id = self.next.get();
+        self.next.set(id + 1);
+        id
+    }
+
+    /// Number of symbols allocated so far.
+    pub fn symbol_count(&self) -> u32 {
+        self.next.get()
+    }
+
+    /// Creates an affine form spanning `interval` using one fresh symbol:
+    /// `mid + rad·ε`.
+    pub fn from_interval(&self, interval: Interval) -> AffineForm {
+        let mut terms = BTreeMap::new();
+        let rad = interval.rad();
+        let id = self.fresh_symbol();
+        if rad > 0.0 {
+            terms.insert(id, rad);
+        }
+        AffineForm {
+            center: interval.mid(),
+            terms,
+        }
+    }
+}
+
+/// An affine form `c₀ + Σᵢ cᵢ·εᵢ` with `εᵢ ∈ [-1, 1]`.
+///
+/// The symbols `εᵢ` are shared across forms created from the same
+/// [`AffineContext`]; linear operations combine coefficients exactly, so
+/// correlated uncertainty cancels (`x - x == 0`).  Non-linear operations are
+/// conservatively linearized, appending a fresh symbol bounding the residual.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AffineForm {
+    center: f64,
+    terms: BTreeMap<u32, f64>,
+}
+
+impl AffineForm {
+    /// Creates a constant (fully certain) affine form.
+    pub fn constant(c: f64) -> Self {
+        AffineForm {
+            center: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a form from explicit center and `(symbol, coefficient)` terms.
+    ///
+    /// Zero coefficients are dropped.
+    pub fn from_terms(center: f64, terms: impl IntoIterator<Item = (u32, f64)>) -> Self {
+        let terms = terms.into_iter().filter(|&(_, c)| c != 0.0).collect();
+        AffineForm { center, terms }
+    }
+
+    /// The central value `c₀`.
+    pub fn center(&self) -> f64 {
+        self.center
+    }
+
+    /// The coefficient of symbol `id` (0 if absent).
+    pub fn coefficient(&self, id: u32) -> f64 {
+        self.terms.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(symbol, coefficient)` pairs in symbol order.
+    pub fn terms(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.terms.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total deviation radius `Σ |cᵢ|`.
+    pub fn radius(&self) -> f64 {
+        self.terms.values().map(|c| c.abs()).sum()
+    }
+
+    /// The enclosing interval `[c₀ - radius, c₀ + radius]`.
+    pub fn to_interval(&self) -> Interval {
+        Interval::centered(self.center, self.radius())
+    }
+
+    /// Whether the form carries no uncertainty.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, k: f64) -> AffineForm {
+        AffineForm {
+            center: k * self.center,
+            terms: self
+                .terms
+                .iter()
+                .filter(|&(_, &c)| k * c != 0.0)
+                .map(|(&id, &c)| (id, k * c))
+                .collect(),
+        }
+    }
+
+    /// Adds a scalar.
+    pub fn shift(&self, c: f64) -> AffineForm {
+        AffineForm {
+            center: self.center + c,
+            terms: self.terms.clone(),
+        }
+    }
+
+    /// Affine image `a·x + b` (exact in AA).
+    pub fn affine(&self, a: f64, b: f64) -> AffineForm {
+        self.scale(a).shift(b)
+    }
+
+    /// Multiplication with conservative linearization.
+    ///
+    /// The bilinear residual `(Σ aᵢεᵢ)(Σ bᵢεᵢ)` is bounded by
+    /// `radius(a)·radius(b)` and attached to a fresh symbol from `ctx`.
+    pub fn mul(&self, rhs: &AffineForm, ctx: &AffineContext) -> AffineForm {
+        let mut terms: BTreeMap<u32, f64> = BTreeMap::new();
+        for (&id, &c) in &self.terms {
+            *terms.entry(id).or_insert(0.0) += rhs.center * c;
+        }
+        for (&id, &c) in &rhs.terms {
+            *terms.entry(id).or_insert(0.0) += self.center * c;
+        }
+        terms.retain(|_, c| *c != 0.0);
+        let residual = self.radius() * rhs.radius();
+        if residual > 0.0 {
+            terms.insert(ctx.fresh_symbol(), residual);
+        }
+        AffineForm {
+            center: self.center * rhs.center,
+            terms,
+        }
+    }
+
+    /// Dependent square with the standard tightened AA rule.
+    ///
+    /// Uses `x² = c₀² + 2c₀·(Σcᵢεᵢ) + r²·(ε_new + 1)/2`-style remainder
+    /// centering, which halves the residual compared to `mul(self, self)`
+    /// and keeps the lower bound non-negative when possible.
+    pub fn sqr(&self, ctx: &AffineContext) -> AffineForm {
+        let r = self.radius();
+        // (Σ cᵢ εᵢ)² ∈ [0, r²]; represent as r²/2 + (r²/2)·ε_new.
+        let mut terms: BTreeMap<u32, f64> = BTreeMap::new();
+        for (&id, &c) in &self.terms {
+            let v = 2.0 * self.center * c;
+            if v != 0.0 {
+                terms.insert(id, v);
+            }
+        }
+        let half = 0.5 * r * r;
+        if half > 0.0 {
+            terms.insert(ctx.fresh_symbol(), half);
+        }
+        AffineForm {
+            center: self.center * self.center + half,
+            terms,
+        }
+    }
+
+    /// Reciprocal `1/x` via the min-range linear approximation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntervalError::DivisionByZero`] if the enclosing interval of
+    /// `self` contains zero.
+    pub fn recip(&self, ctx: &AffineContext) -> Result<AffineForm, IntervalError> {
+        let range = self.to_interval();
+        if range.contains(0.0) {
+            return Err(IntervalError::DivisionByZero {
+                denominator: (range.lo(), range.hi()),
+            });
+        }
+        let (a, b) = (range.lo(), range.hi());
+        // Min-range approximation of f(x) = 1/x on [a, b] (sign-stable):
+        // slope = -1/b² (for a > 0), intercepts chosen to center the error.
+        let slope = -1.0 / (b * b);
+        let fa = 1.0 / a - slope * a;
+        let fb = 1.0 / b - slope * b;
+        let zeta = 0.5 * (fa + fb);
+        let delta = 0.5 * (fa - fb).abs();
+        let mut out = self.scale(slope).shift(zeta);
+        if delta > 0.0 {
+            out.terms.insert(ctx.fresh_symbol(), delta);
+        }
+        Ok(out)
+    }
+
+    /// Division `self / rhs` as `self · (1/rhs)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntervalError::DivisionByZero`] if `rhs` may be zero.
+    pub fn div(&self, rhs: &AffineForm, ctx: &AffineContext) -> Result<AffineForm, IntervalError> {
+        Ok(self.mul(&rhs.recip(ctx)?, ctx))
+    }
+
+    /// Number of non-zero noise terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+impl Default for AffineForm {
+    fn default() -> Self {
+        AffineForm::constant(0.0)
+    }
+}
+
+impl fmt::Display for AffineForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.center)?;
+        for (&id, &c) in &self.terms {
+            if c >= 0.0 {
+                write!(f, " + {c}·ε{id}")?;
+            } else {
+                write!(f, " - {}·ε{id}", -c)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Add for AffineForm {
+    type Output = AffineForm;
+    fn add(self, rhs: AffineForm) -> AffineForm {
+        let mut terms = self.terms;
+        for (id, c) in rhs.terms {
+            *terms.entry(id).or_insert(0.0) += c;
+        }
+        terms.retain(|_, c| *c != 0.0);
+        AffineForm {
+            center: self.center + rhs.center,
+            terms,
+        }
+    }
+}
+
+impl Sub for AffineForm {
+    type Output = AffineForm;
+    fn sub(self, rhs: AffineForm) -> AffineForm {
+        self + (-rhs)
+    }
+}
+
+impl Neg for AffineForm {
+    type Output = AffineForm;
+    fn neg(self) -> AffineForm {
+        AffineForm {
+            center: -self.center,
+            terms: self.terms.into_iter().map(|(id, c)| (id, -c)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn correlation_cancels() {
+        let ctx = AffineContext::new();
+        let x = ctx.from_interval(iv(-1.0, 1.0));
+        let z = x.clone() - x;
+        assert!(z.is_constant());
+        assert_eq!(z.to_interval(), iv(0.0, 0.0));
+    }
+
+    #[test]
+    fn addition_of_independent_forms() {
+        let ctx = AffineContext::new();
+        let x = ctx.from_interval(iv(0.0, 2.0));
+        let y = ctx.from_interval(iv(-1.0, 1.0));
+        let s = x + y;
+        assert_eq!(s.to_interval(), iv(-1.0, 3.0));
+    }
+
+    #[test]
+    fn scale_and_shift_are_exact() {
+        let ctx = AffineContext::new();
+        let x = ctx.from_interval(iv(-1.0, 1.0));
+        let y = x.affine(-3.0, 2.0);
+        assert_eq!(y.to_interval(), iv(-1.0, 5.0));
+        assert_eq!(y.center(), 2.0);
+    }
+
+    #[test]
+    fn multiplication_tracks_first_order_terms() {
+        let ctx = AffineContext::new();
+        let x = ctx.from_interval(iv(1.0, 3.0)); // 2 + ε0
+        let y = ctx.from_interval(iv(4.0, 6.0)); // 5 + ε1
+        let p = x.mul(&y, &ctx);
+        // Exact range is [4, 18]; AA gives 10 ± (5 + 2 + 1) = [2, 18].
+        assert_eq!(p.center(), 10.0);
+        assert_eq!(p.to_interval(), iv(2.0, 18.0));
+    }
+
+    #[test]
+    fn square_is_tighter_than_mul() {
+        let ctx = AffineContext::new();
+        let x = ctx.from_interval(iv(-1.0, 1.0));
+        let sq = x.sqr(&ctx);
+        // ε² ∈ [0, 1] represented exactly as 1/2 + (1/2)ε_new.
+        assert_eq!(sq.to_interval(), iv(0.0, 1.0));
+        let naive = x.mul(&x.clone(), &ctx);
+        assert_eq!(naive.to_interval(), iv(-1.0, 1.0));
+    }
+
+    #[test]
+    fn reciprocal_encloses_true_range() {
+        let ctx = AffineContext::new();
+        let x = ctx.from_interval(iv(2.0, 4.0));
+        let r = x.recip(&ctx).unwrap();
+        let range = r.to_interval();
+        assert!(range.lo() <= 0.25 && 0.5 <= range.hi());
+        // Min-range keeps the width at most twice the true width.
+        assert!(range.width() <= 2.0 * 0.25 + 1e-12);
+        // Division by a zero-straddling form fails.
+        let z = ctx.from_interval(iv(-1.0, 1.0));
+        assert!(z.recip(&ctx).is_err());
+    }
+
+    #[test]
+    fn division_combines_mul_and_recip() {
+        let ctx = AffineContext::new();
+        let x = ctx.from_interval(iv(1.0, 2.0));
+        let y = ctx.from_interval(iv(4.0, 5.0));
+        let q = x.div(&y, &ctx).unwrap();
+        let range = q.to_interval();
+        // True range is [0.2, 0.5].
+        assert!(range.lo() <= 0.2 + 1e-12 && 0.5 - 1e-12 <= range.hi());
+    }
+
+    #[test]
+    fn paper_table1_aa_row() {
+        // y = a x² + b x + c: the paper reports y = 6.5 + 16.5·ε ⇒ [-10, 23].
+        let ctx = AffineContext::new();
+        let x = ctx.from_interval(iv(-1.0, 1.0));
+        let a = ctx.from_interval(iv(9.0, 10.0));
+        let b = ctx.from_interval(iv(-6.0, -4.0));
+        let c = ctx.from_interval(iv(6.0, 7.0));
+        // Follow the paper's formulation: x² is a fresh symbol ε_new ∈ [-1,1]
+        // when computed as x·x (no dependency tracking across the product).
+        let x2 = x.mul(&x.clone(), &ctx);
+        let y = a.mul(&x2, &ctx) + b.mul(&x, &ctx) + c;
+        assert_eq!(y.center(), 6.5);
+        assert!((y.radius() - 16.5).abs() < 1e-12);
+        assert_eq!(y.to_interval(), iv(-10.0, 23.0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = AffineForm::from_terms(1.5, [(0, 0.5), (2, -0.25)]);
+        assert_eq!(format!("{f}"), "1.5 + 0.5·ε0 - 0.25·ε2");
+    }
+}

@@ -1,0 +1,578 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::IntervalError;
+
+/// A closed real interval `[lo, hi]` with `lo <= hi`, both finite.
+///
+/// `Interval` implements the classical interval-arithmetic operators.  The
+/// operator impls (`+`, `-`, `*`) are total; division by an interval that may
+/// contain zero must go through [`Interval::checked_div`].
+///
+/// # Example
+///
+/// ```
+/// use sna_interval::Interval;
+///
+/// # fn main() -> Result<(), sna_interval::IntervalError> {
+/// let x = Interval::new(1.0, 2.0)?;
+/// let y = Interval::new(-1.0, 3.0)?;
+/// assert_eq!(x + y, Interval::new(0.0, 5.0)?);
+/// assert_eq!(x * y, Interval::new(-2.0, 6.0)?);
+/// // Dependency blindness of IA:
+/// assert_eq!(x - x, Interval::new(-1.0, 1.0)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// The unit interval `[-1, 1]` in which every SNA noise symbol lives.
+    pub const UNIT: Interval = Interval { lo: -1.0, hi: 1.0 };
+
+    /// The degenerate interval `[0, 0]`.
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+
+    /// Creates an interval from ordered, finite bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntervalError::UnorderedBounds`] if `lo > hi` and
+    /// [`IntervalError::NonFiniteBound`] if either bound is NaN or infinite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, IntervalError> {
+        if !lo.is_finite() {
+            return Err(IntervalError::NonFiniteBound { value: lo });
+        }
+        if !hi.is_finite() {
+            return Err(IntervalError::NonFiniteBound { value: hi });
+        }
+        if lo > hi {
+            return Err(IntervalError::UnorderedBounds { lo, hi });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// Creates the degenerate interval `[x, x]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn point(x: f64) -> Self {
+        assert!(x.is_finite(), "point interval requires a finite value");
+        Interval { lo: x, hi: x }
+    }
+
+    /// Creates the symmetric interval `[-radius, radius]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn symmetric(radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "symmetric interval requires a finite non-negative radius"
+        );
+        Interval {
+            lo: -radius,
+            hi: radius,
+        }
+    }
+
+    /// Creates the interval `[mid - rad, mid + rad]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting bounds are not finite or `rad < 0`.
+    pub fn centered(mid: f64, rad: f64) -> Self {
+        assert!(rad >= 0.0, "radius must be non-negative");
+        let lo = mid - rad;
+        let hi = mid + rad;
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        Interval { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Midpoint `(lo + hi) / 2`.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Radius `(hi - lo) / 2`.
+    pub fn rad(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+
+    /// Width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Magnitude: `max(|lo|, |hi|)`, the largest absolute value contained.
+    pub fn mag(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Mignitude: the smallest absolute value contained (0 if the interval
+    /// straddles zero).
+    pub fn mig(&self) -> f64 {
+        if self.contains(0.0) {
+            0.0
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        }
+    }
+
+    /// Whether `x` lies inside the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether `other` is entirely contained in `self`.
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether the interval is a single point.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Convex hull of `self` and `other` (smallest interval containing both).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection of `self` and `other`, or `None` when disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Length of the overlap with `other` (0 when disjoint).
+    pub fn overlap_len(&self, other: &Interval) -> f64 {
+        (self.hi.min(other.hi) - self.lo.max(other.lo)).max(0.0)
+    }
+
+    /// Dependent square: the exact range of `x²` for `x` in the interval.
+    ///
+    /// Unlike `self * self` this accounts for the fact that both factors are
+    /// the *same* variable: `[-1, 1].sqr() == [0, 1]`, not `[-1, 1]`.
+    pub fn sqr(&self) -> Interval {
+        let a = self.lo * self.lo;
+        let b = self.hi * self.hi;
+        if self.contains(0.0) {
+            Interval {
+                lo: 0.0,
+                hi: a.max(b),
+            }
+        } else {
+            Interval {
+                lo: a.min(b),
+                hi: a.max(b),
+            }
+        }
+    }
+
+    /// Dependent integer power: the exact range of `xⁿ` for `x` in the
+    /// interval.
+    pub fn powi(&self, n: u32) -> Interval {
+        match n {
+            0 => Interval::point(1.0),
+            1 => *self,
+            _ if n.is_multiple_of(2) => {
+                let a = self.lo.powi(n as i32);
+                let b = self.hi.powi(n as i32);
+                if self.contains(0.0) {
+                    Interval {
+                        lo: 0.0,
+                        hi: a.max(b),
+                    }
+                } else {
+                    Interval {
+                        lo: a.min(b),
+                        hi: a.max(b),
+                    }
+                }
+            }
+            _ => {
+                // Odd power: monotone.
+                Interval {
+                    lo: self.lo.powi(n as i32),
+                    hi: self.hi.powi(n as i32),
+                }
+            }
+        }
+    }
+
+    /// Exact range of `|x|` for `x` in the interval.
+    pub fn abs(&self) -> Interval {
+        if self.lo >= 0.0 {
+            *self
+        } else if self.hi <= 0.0 {
+            Interval {
+                lo: -self.hi,
+                hi: -self.lo,
+            }
+        } else {
+            Interval {
+                lo: 0.0,
+                hi: self.mag(),
+            }
+        }
+    }
+
+    /// Scales by a scalar (`k * [lo, hi]`, handling negative `k`).
+    pub fn scale(&self, k: f64) -> Interval {
+        if k >= 0.0 {
+            Interval {
+                lo: k * self.lo,
+                hi: k * self.hi,
+            }
+        } else {
+            Interval {
+                lo: k * self.hi,
+                hi: k * self.lo,
+            }
+        }
+    }
+
+    /// Translates by a scalar (`[lo + c, hi + c]`).
+    pub fn shift(&self, c: f64) -> Interval {
+        Interval {
+            lo: self.lo + c,
+            hi: self.hi + c,
+        }
+    }
+
+    /// Affine image `a·x + b`.
+    pub fn affine(&self, a: f64, b: f64) -> Interval {
+        self.scale(a).shift(b)
+    }
+
+    /// Reciprocal `1 / x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntervalError::DivisionByZero`] if the interval contains
+    /// zero.
+    pub fn recip(&self) -> Result<Interval, IntervalError> {
+        if self.contains(0.0) {
+            return Err(IntervalError::DivisionByZero {
+                denominator: (self.lo, self.hi),
+            });
+        }
+        Ok(Interval {
+            lo: 1.0 / self.hi,
+            hi: 1.0 / self.lo,
+        })
+    }
+
+    /// Interval division `self / rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntervalError::DivisionByZero`] if `rhs` contains zero.
+    pub fn checked_div(&self, rhs: &Interval) -> Result<Interval, IntervalError> {
+        Ok(*self * rhs.recip()?)
+    }
+
+    /// Element-wise minimum range: exact range of `min(x, y)`.
+    pub fn min(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Element-wise maximum range: exact range of `max(x, y)`.
+    pub fn max(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Square root of a non-negative interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval contains negative values.
+    pub fn sqrt(&self) -> Interval {
+        assert!(self.lo >= 0.0, "sqrt of an interval with negative values");
+        Interval {
+            lo: self.lo.sqrt(),
+            hi: self.hi.sqrt(),
+        }
+    }
+
+    /// Linear interpolation: the point at parameter `t ∈ [0, 1]` between the
+    /// bounds.
+    pub fn lerp(&self, t: f64) -> f64 {
+        self.lo + t * (self.hi - self.lo)
+    }
+
+    /// Splits the interval into `n` equal sub-intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn split(&self, n: usize) -> Vec<Interval> {
+        assert!(n > 0, "cannot split into zero parts");
+        let w = self.width() / n as f64;
+        (0..n)
+            .map(|i| {
+                let lo = self.lo + i as f64 * w;
+                // Use the exact upper bound on the last piece to avoid
+                // accumulation error leaving a gap.
+                let hi = if i + 1 == n { self.hi } else { lo + w };
+                Interval { lo, hi }
+            })
+            .collect()
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::ZERO
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl From<f64> for Interval {
+    fn from(x: f64) -> Self {
+        Interval::point(x)
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
+    }
+}
+
+impl AddAssign for Interval {
+    fn add_assign(&mut self, rhs: Interval) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo - rhs.hi,
+            hi: self.hi - rhs.lo,
+        }
+    }
+}
+
+impl SubAssign for Interval {
+    fn sub_assign(&mut self, rhs: Interval) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        let c = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let mut lo = c[0];
+        let mut hi = c[0];
+        for &v in &c[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Interval { lo, hi }
+    }
+}
+
+impl MulAssign for Interval {
+    fn mul_assign(&mut self, rhs: Interval) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+}
+
+/// Total division operator.
+///
+/// # Panics
+///
+/// Panics if `rhs` contains zero; use [`Interval::checked_div`] to handle
+/// that case gracefully.
+impl Div for Interval {
+    type Output = Interval;
+    fn div(self, rhs: Interval) -> Interval {
+        self.checked_div(&rhs)
+            .expect("interval division by an interval containing zero")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_bounds() {
+        assert!(Interval::new(1.0, 0.0).is_err());
+        assert!(Interval::new(f64::NAN, 0.0).is_err());
+        assert!(Interval::new(0.0, f64::INFINITY).is_err());
+        assert!(Interval::new(-1.0, 1.0).is_ok());
+        assert!(Interval::new(2.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = iv(1.0, 2.0);
+        let b = iv(-3.0, 4.0);
+        assert_eq!(a + b, iv(-2.0, 6.0));
+        assert_eq!(a - b, iv(-3.0, 5.0));
+        assert_eq!(a * b, iv(-6.0, 8.0));
+        assert_eq!(-a, iv(-2.0, -1.0));
+    }
+
+    #[test]
+    fn multiplication_sign_cases() {
+        assert_eq!(iv(-2.0, -1.0) * iv(-4.0, -3.0), iv(3.0, 8.0));
+        assert_eq!(iv(-2.0, -1.0) * iv(3.0, 4.0), iv(-8.0, -3.0));
+        assert_eq!(iv(-1.0, 2.0) * iv(-3.0, 5.0), iv(-6.0, 10.0));
+        assert_eq!(iv(0.0, 0.0) * iv(-3.0, 5.0), iv(0.0, 0.0));
+    }
+
+    #[test]
+    fn division_excludes_zero_denominator() {
+        let a = iv(1.0, 2.0);
+        assert!(a.checked_div(&iv(-1.0, 1.0)).is_err());
+        assert_eq!(a.checked_div(&iv(2.0, 4.0)).unwrap(), iv(0.25, 1.0));
+        assert_eq!(a.checked_div(&iv(-4.0, -2.0)).unwrap(), iv(-1.0, -0.25));
+    }
+
+    #[test]
+    fn dependent_square_is_tight() {
+        assert_eq!(iv(-1.0, 1.0).sqr(), iv(0.0, 1.0));
+        assert_eq!(iv(-3.0, 2.0).sqr(), iv(0.0, 9.0));
+        assert_eq!(iv(2.0, 3.0).sqr(), iv(4.0, 9.0));
+        assert_eq!(iv(-3.0, -2.0).sqr(), iv(4.0, 9.0));
+        // Naive multiplication is strictly wider on sign-straddling input.
+        let x = iv(-1.0, 1.0);
+        assert_eq!(x * x, iv(-1.0, 1.0));
+    }
+
+    #[test]
+    fn dependent_powers() {
+        assert_eq!(iv(-2.0, 1.0).powi(0), Interval::point(1.0));
+        assert_eq!(iv(-2.0, 1.0).powi(1), iv(-2.0, 1.0));
+        assert_eq!(iv(-2.0, 1.0).powi(2), iv(0.0, 4.0));
+        assert_eq!(iv(-2.0, 1.0).powi(3), iv(-8.0, 1.0));
+        assert_eq!(iv(-2.0, -1.0).powi(4), iv(1.0, 16.0));
+    }
+
+    #[test]
+    fn abs_and_magnitudes() {
+        assert_eq!(iv(-3.0, 2.0).abs(), iv(0.0, 3.0));
+        assert_eq!(iv(1.0, 2.0).abs(), iv(1.0, 2.0));
+        assert_eq!(iv(-2.0, -1.0).abs(), iv(1.0, 2.0));
+        assert_eq!(iv(-3.0, 2.0).mag(), 3.0);
+        assert_eq!(iv(-3.0, 2.0).mig(), 0.0);
+        assert_eq!(iv(-3.0, -2.0).mig(), 2.0);
+    }
+
+    #[test]
+    fn hull_intersect_overlap() {
+        let a = iv(0.0, 2.0);
+        let b = iv(1.0, 3.0);
+        assert_eq!(a.hull(&b), iv(0.0, 3.0));
+        assert_eq!(a.intersect(&b), Some(iv(1.0, 2.0)));
+        assert_eq!(a.overlap_len(&b), 1.0);
+        let c = iv(5.0, 6.0);
+        assert_eq!(a.intersect(&c), None);
+        assert_eq!(a.overlap_len(&c), 0.0);
+    }
+
+    #[test]
+    fn scale_shift_affine() {
+        let a = iv(-1.0, 2.0);
+        assert_eq!(a.scale(3.0), iv(-3.0, 6.0));
+        assert_eq!(a.scale(-2.0), iv(-4.0, 2.0));
+        assert_eq!(a.shift(1.5), iv(0.5, 3.5));
+        assert_eq!(a.affine(-1.0, 1.0), iv(-1.0, 2.0));
+    }
+
+    #[test]
+    fn split_covers_whole_interval() {
+        let a = iv(0.0, 1.0);
+        let parts = a.split(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].lo(), 0.0);
+        assert_eq!(parts[3].hi(), 1.0);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].hi(), w[1].lo());
+        }
+    }
+
+    #[test]
+    fn min_max_envelopes() {
+        let a = iv(0.0, 3.0);
+        let b = iv(1.0, 2.0);
+        assert_eq!(a.min(&b), iv(0.0, 2.0));
+        assert_eq!(a.max(&b), iv(1.0, 3.0));
+    }
+
+    #[test]
+    fn paper_table1_ia_row() {
+        // y = a x^2 + b x + c over the paper's boxes gives [0, 23] under IA.
+        let x = iv(-1.0, 1.0);
+        let a = iv(9.0, 10.0);
+        let b = iv(-6.0, -4.0);
+        let c = iv(6.0, 7.0);
+        let y = a * x.sqr() + b * x + c;
+        assert_eq!(y, iv(0.0, 23.0));
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+use sna_core::SnaError;
+use sna_fixp::FixpError;
+use sna_hls::HlsError;
+
+/// Errors produced by the word-length optimizers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OptError {
+    /// Building the noise model or evaluating noise failed.
+    Sna(SnaError),
+    /// Constructing a word-length configuration failed.
+    Fixp(FixpError),
+    /// Synthesizing a candidate failed.
+    Hls(HlsError),
+    /// No feasible configuration exists within the word-length bounds
+    /// (budget unreachable even at the maximum width).
+    Infeasible {
+        /// The requested noise budget.
+        budget: f64,
+        /// The noise at the widest allowed configuration.
+        best_noise: f64,
+    },
+    /// The exhaustive search space exceeds the configured cap.
+    SearchSpaceTooLarge {
+        /// Candidate count.
+        candidates: u128,
+        /// Allowed maximum.
+        cap: u128,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Sna(e) => write!(f, "noise analysis failed: {e}"),
+            OptError::Fixp(e) => write!(f, "fixed-point configuration failed: {e}"),
+            OptError::Hls(e) => write!(f, "synthesis failed: {e}"),
+            OptError::Infeasible { budget, best_noise } => write!(
+                f,
+                "noise budget {budget:e} unreachable; best achievable is {best_noise:e}"
+            ),
+            OptError::SearchSpaceTooLarge { candidates, cap } => {
+                write!(f, "exhaustive search of {candidates} candidates exceeds cap {cap}")
+            }
+        }
+    }
+}
+
+impl Error for OptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OptError::Sna(e) => Some(e),
+            OptError::Fixp(e) => Some(e),
+            OptError::Hls(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnaError> for OptError {
+    fn from(e: SnaError) -> Self {
+        OptError::Sna(e)
+    }
+}
+
+impl From<FixpError> for OptError {
+    fn from(e: FixpError) -> Self {
+        OptError::Fixp(e)
+    }
+}
+
+impl From<HlsError> for OptError {
+    fn from(e: HlsError) -> Self {
+        OptError::Hls(e)
+    }
+}

@@ -1,0 +1,548 @@
+use sna_core::NaModel;
+use sna_dfg::{Dfg, LtiOptions, RangeOptions};
+use sna_fixp::WlConfig;
+use sna_hls::{synthesize, CostReport, FuKind, SynthesisConstraints};
+use sna_interval::Interval;
+
+use crate::OptError;
+
+/// Weights of the multi-objective cost `wa·area + wp·power + wl·latency`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostWeights {
+    /// Weight of area (µm²).
+    pub area: f64,
+    /// Weight of power (µW).
+    pub power: f64,
+    /// Weight of latency (cycles).
+    pub latency: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            area: 1.0,
+            power: 1.0,
+            latency: 1.0,
+        }
+    }
+}
+
+/// Word-length search bounds (per node, clamped from below by the node's
+/// integer-part requirement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WlBounds {
+    /// Smallest allowed word length.
+    pub min: u8,
+    /// Largest allowed word length.
+    pub max: u8,
+}
+
+impl Default for WlBounds {
+    fn default() -> Self {
+        WlBounds { min: 4, max: 40 }
+    }
+}
+
+/// A fully evaluated word-length configuration.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// The word length of every node.
+    pub word_lengths: Vec<u8>,
+    /// The corresponding fixed-point configuration.
+    pub config: WlConfig,
+    /// Implementation cost from the real HLS flow.
+    pub cost: CostReport,
+    /// Total output noise power under the NA model.
+    pub noise_power: f64,
+    /// The weighted scalar objective.
+    pub weighted_cost: f64,
+}
+
+/// The shared optimization context: prebuilt noise model, node ranges and
+/// cost proxy; individual algorithms live in sibling modules.
+#[derive(Debug)]
+pub struct Optimizer<'a> {
+    pub(crate) dfg: &'a Dfg,
+    pub(crate) constraints: SynthesisConstraints,
+    pub(crate) weights: CostWeights,
+    pub(crate) bounds: WlBounds,
+    pub(crate) model: NaModel,
+    pub(crate) node_ranges: Vec<Interval>,
+    /// Per-node lower bound: integer part must fit.
+    pub(crate) min_w: Vec<u8>,
+    /// Per-node integer bits implied by the value range.
+    pub(crate) int_bits: Vec<u8>,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Builds the context: range analysis, LTI noise model, per-node
+    /// minimum widths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates noise-model failures (nonlinear or unstable graphs).
+    pub fn new(
+        dfg: &'a Dfg,
+        input_ranges: &'a [Interval],
+        constraints: SynthesisConstraints,
+    ) -> Result<Self, OptError> {
+        let model = NaModel::build(dfg, input_ranges, &LtiOptions::default())?;
+        let node_ranges = dfg
+            .ranges_auto(input_ranges, &RangeOptions::default(), &LtiOptions::default())
+            .map_err(|e| OptError::Sna(sna_core::SnaError::Dfg(e)))?;
+        let bounds = WlBounds::default();
+        let min_w = node_ranges
+            .iter()
+            .map(|&r| {
+                (2..=bounds.max)
+                    .find(|&w| sna_fixp::Format::from_range(r, w).is_ok())
+                    .unwrap_or(bounds.max)
+                    .max(bounds.min)
+            })
+            .collect();
+        let int_bits = node_ranges
+            .iter()
+            .map(|&r| {
+                sna_fixp::Format::from_range(r, sna_fixp::MAX_WORD_LENGTH)
+                    .map(|f| f.int_bits())
+                    .unwrap_or(sna_fixp::MAX_WORD_LENGTH - 1)
+            })
+            .collect();
+        Ok(Optimizer {
+            dfg,
+            constraints,
+            weights: CostWeights::default(),
+            bounds,
+            model,
+            node_ranges,
+            min_w,
+            int_bits,
+        })
+    }
+
+    /// Widens exactness-preserving operations (add/sub/neg/delay) so their
+    /// fraction keeps every argument bit — used by allocators whose
+    /// per-node sensitivity model treats such nodes as noise-free.
+    pub(crate) fn widen_exact_nodes(&self, w: &mut [u8]) {
+        use sna_dfg::Op;
+        // Process in topological order so chains propagate.
+        for &id in self.dfg.topo_order() {
+            let node = self.dfg.node(id);
+            if !matches!(node.op(), Op::Add | Op::Sub | Op::Neg | Op::Delay) {
+                continue;
+            }
+            let needed_frac = node
+                .args()
+                .iter()
+                .map(|a| {
+                    let wa = w[a.index()];
+                    wa.saturating_sub(1).saturating_sub(self.int_bits[a.index()])
+                })
+                .max()
+                .unwrap_or(0);
+            let target = needed_frac + 1 + self.int_bits[id.index()];
+            w[id.index()] = w[id.index()]
+                .max(target.min(self.bounds.max))
+                .clamp(self.min_w[id.index()], self.bounds.max);
+        }
+        // Delay nodes are excluded from the combinational topo order; fix
+        // them afterwards (their arg is computed by then).
+        for &d in self.dfg.delay_nodes() {
+            let a = self.dfg.node(d).args()[0];
+            let frac = w[a.index()]
+                .saturating_sub(1)
+                .saturating_sub(self.int_bits[a.index()]);
+            let target = frac + 1 + self.int_bits[d.index()];
+            w[d.index()] = w[d.index()]
+                .max(target.min(self.bounds.max))
+                .clamp(self.min_w[d.index()], self.bounds.max);
+        }
+    }
+
+    /// Overrides the cost weights.
+    pub fn with_weights(mut self, weights: CostWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Overrides the word-length bounds (minimums are still clamped by the
+    /// per-node integer-part requirement).
+    pub fn with_bounds(mut self, bounds: WlBounds) -> Result<Self, OptError> {
+        self.bounds = bounds;
+        self.min_w = self
+            .node_ranges
+            .iter()
+            .map(|&r| {
+                (2..=bounds.max)
+                    .find(|&w| sna_fixp::Format::from_range(r, w).is_ok())
+                    .unwrap_or(bounds.max)
+                    .max(bounds.min)
+            })
+            .collect();
+        Ok(self)
+    }
+
+    /// The prebuilt noise model.
+    pub fn model(&self) -> &NaModel {
+        &self.model
+    }
+
+    /// Per-node minimum feasible word lengths.
+    pub fn min_word_lengths(&self) -> &[u8] {
+        &self.min_w
+    }
+
+    // ------------------------------------------------------------------
+    // Inner-loop primitives shared by the algorithms
+    // ------------------------------------------------------------------
+
+    /// Noise power of a word-length vector (fast path).
+    pub(crate) fn noise_of(&self, w: &[u8]) -> Result<f64, OptError> {
+        let cfg = WlConfig::from_precomputed_ranges(&self.node_ranges, w)?;
+        Ok(self.model.total_power(self.dfg, &cfg))
+    }
+
+    /// Per-node noise sensitivity `cᵢ` measured at configuration `at`:
+    /// the noise contribution of node `i` behaves as `cᵢ·4^(−wᵢ)` under
+    /// the uniform-quantization model, so one probe per node suffices.
+    pub(crate) fn sensitivities(&self, at: &[u8]) -> Result<Vec<f64>, OptError> {
+        let base = self.noise_of(at)?;
+        let mut probe = at.to_vec();
+        let mut c = vec![0.0; at.len()];
+        for i in 0..at.len() {
+            if at[i] <= self.min_w[i] {
+                continue;
+            }
+            probe[i] -= 1;
+            let dn = (self.noise_of(&probe)? - base).max(0.0);
+            // dn = cᵢ·(4^−(w−1) − 4^−w) = 3·cᵢ·4^−w.
+            c[i] = dn / 3.0 * 4f64.powi(at[i] as i32);
+            probe[i] += 1;
+        }
+        Ok(c)
+    }
+
+    /// Implementation-cost proxy used for move ranking.
+    ///
+    /// Mirrors the real cost structure: functional units are *shared*, so
+    /// the FU area of each kind is set by the widest operation bound to
+    /// it; registers and switching energy accrue per node; latency is the
+    /// serialized multi-cycle estimate per kind.  Monotone in every `wᵢ`.
+    pub fn proxy_cost(&self, w: &[u8]) -> f64 {
+        let tech = &self.constraints.tech;
+        let clock = self.constraints.clock_ns;
+        let mut widths: [Vec<u8>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut cycles = [0u64; 3];
+        let mut reg_area = 0.0;
+        let mut energy_pj = 0.0;
+        for (id, node) in self.dfg.nodes() {
+            let wi = w[id.index()];
+            // Constants are wired, not registered (matches the binder).
+            if !matches!(node.op(), sna_dfg::Op::Const(_)) {
+                reg_area += tech.register_area(wi);
+            }
+            if let Some(kind) = FuKind::for_op(node.op()) {
+                let k = kind as usize;
+                widths[k].push(wi);
+                cycles[k] += u64::from(tech.cycles(kind, wi, clock));
+                energy_pj += tech.fu_energy_pj(kind, wi);
+            }
+        }
+        let mut fu_area = 0.0;
+        let mut latency = 1u64;
+        for kind in FuKind::ALL {
+            let k = kind as usize;
+            if widths[k].is_empty() {
+                continue;
+            }
+            widths[k].sort_unstable_by(|a, b| b.cmp(a));
+            // With `n` width-affine units, unit `i` serves roughly the
+            // i-th descending width quantile of the operations.
+            let n = self
+                .constraints
+                .resources
+                .count(kind)
+                .max(1)
+                .min(widths[k].len());
+            for i in 0..n {
+                let idx = i * widths[k].len() / n;
+                fu_area += tech.fu_area(kind, widths[k][idx]);
+            }
+            latency = latency.max(cycles[k].div_ceil(n as u64));
+        }
+        let area = fu_area + reg_area;
+        // Same unit convention as CostReport: pJ / ns × 1000 = µW.
+        let power_uw =
+            energy_pj / (latency as f64 * clock) * 1000.0 + area * tech.leakage_uw_per_um2;
+        self.weights.area * area
+            + self.weights.power * power_uw
+            + self.weights.latency * latency as f64
+    }
+
+    /// Full evaluation: real synthesis + noise.
+    pub(crate) fn evaluate(&self, w: Vec<u8>) -> Result<Evaluation, OptError> {
+        let config = WlConfig::from_precomputed_ranges(&self.node_ranges, &w)?;
+        let imp = synthesize(self.dfg, &config, &self.constraints)?;
+        let noise_power = self.model.total_power(self.dfg, &config);
+        let weighted_cost = imp.cost.weighted(
+            self.weights.area,
+            self.weights.power,
+            self.weights.latency,
+        );
+        Ok(Evaluation {
+            word_lengths: w,
+            config,
+            cost: imp.cost,
+            noise_power,
+            weighted_cost,
+        })
+    }
+
+    /// Clamps a uniform target to each node's feasible minimum.
+    pub(crate) fn uniform_vector(&self, w: u8) -> Vec<u8> {
+        self.min_w
+            .iter()
+            .map(|&m| w.clamp(m, self.bounds.max))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Baselines
+    // ------------------------------------------------------------------
+
+    /// The uniform-word-length reference design (the "Fixed WL" column of
+    /// the paper's tables).  Nodes whose integer part does not fit in `w`
+    /// are widened to their minimum.
+    ///
+    /// # Errors
+    ///
+    /// Synthesis failures are propagated.
+    pub fn uniform(&self, w: u8) -> Result<Evaluation, OptError> {
+        self.evaluate(self.uniform_vector(w))
+    }
+
+    /// Exhaustive search over `w0 ± radius` per node (proxy-ranked,
+    /// real-synthesis result).  Only for small graphs.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::SearchSpaceTooLarge`] when the candidate count exceeds
+    /// `cap`; [`OptError::Infeasible`] when nothing meets the budget.
+    pub fn exhaustive(
+        &self,
+        budget: f64,
+        w0: u8,
+        radius: u8,
+        cap: u128,
+    ) -> Result<Evaluation, OptError> {
+        let base = self.uniform_vector(w0);
+        let levels: Vec<Vec<u8>> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let lo = b.saturating_sub(radius).max(self.min_w[i]);
+                let hi = (b + radius).min(self.bounds.max);
+                (lo..=hi).collect()
+            })
+            .collect();
+        let candidates: u128 = levels.iter().map(|l| l.len() as u128).product();
+        if candidates > cap {
+            return Err(OptError::SearchSpaceTooLarge { candidates, cap });
+        }
+        let mut idx = vec![0usize; levels.len()];
+        let mut w: Vec<u8> = levels.iter().map(|l| l[0]).collect();
+        let mut best: Option<(f64, Vec<u8>)> = None;
+        loop {
+            let noise = self.noise_of(&w)?;
+            if noise <= budget {
+                let proxy = self.proxy_cost(&w);
+                if best.as_ref().map(|(c, _)| proxy < *c).unwrap_or(true) {
+                    best = Some((proxy, w.clone()));
+                }
+            }
+            // Odometer.
+            let mut k = 0;
+            loop {
+                if k == levels.len() {
+                    let (_, w) = best.ok_or(OptError::Infeasible {
+                        budget,
+                        best_noise: f64::INFINITY,
+                    })?;
+                    return self.evaluate(w);
+                }
+                idx[k] += 1;
+                if idx[k] < levels[k].len() {
+                    w[k] = levels[k][idx[k]];
+                    break;
+                }
+                idx[k] = 0;
+                w[k] = levels[k][0];
+                k += 1;
+            }
+        }
+    }
+
+    /// Grouped greedy (Kum/Sung-style): one shared word length per node
+    /// class (inputs, constants, adders, multipliers, dividers, delays),
+    /// trimmed greedily under the budget.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::Infeasible`] when even the widest configuration misses
+    /// the budget.
+    pub fn group_greedy(&self, budget: f64, start_w: u8) -> Result<Evaluation, OptError> {
+        use sna_dfg::Op;
+        let group_of = |op: Op| -> usize {
+            match op {
+                Op::Input(_) => 0,
+                Op::Const(_) => 1,
+                Op::Add | Op::Sub | Op::Neg => 2,
+                Op::Mul => 3,
+                Op::Div => 4,
+                Op::Delay => 5,
+            }
+        };
+        let groups: Vec<usize> = self.dfg.nodes().map(|(_, n)| group_of(n.op())).collect();
+        let n_groups = 6;
+        let mut gw = vec![start_w.min(self.bounds.max); n_groups];
+        let expand = |gw: &[u8], this: &Self| -> Vec<u8> {
+            groups
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| gw[g].clamp(this.min_w[i], this.bounds.max))
+                .collect()
+        };
+        let mut w = expand(&gw, self);
+        if self.noise_of(&w)? > budget {
+            return Err(OptError::Infeasible {
+                budget,
+                best_noise: self.noise_of(&w)?,
+            });
+        }
+        loop {
+            let mut best: Option<(f64, usize)> = None;
+            let current_proxy = self.proxy_cost(&w);
+            for g in 0..n_groups {
+                if gw[g] == 0 {
+                    continue;
+                }
+                let mut trial = gw.clone();
+                trial[g] -= 1;
+                let tw = expand(&trial, self);
+                if tw == w {
+                    continue; // clamped away: no actual change
+                }
+                if self.noise_of(&tw)? > budget {
+                    continue;
+                }
+                let gain = current_proxy - self.proxy_cost(&tw);
+                if gain > 0.0 && best.as_ref().map(|(bg, _)| gain > *bg).unwrap_or(true) {
+                    best = Some((gain, g));
+                }
+            }
+            match best {
+                Some((_, g)) => {
+                    gw[g] -= 1;
+                    w = expand(&gw, self);
+                }
+                None => return self.evaluate(w),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::DfgBuilder;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    fn small_design() -> (Dfg, Vec<Interval>) {
+        // y = 0.3·x1 + 0.6·x2 + 0.05·x3
+        let mut b = DfgBuilder::new();
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let x3 = b.input("x3");
+        let t1 = b.mul_const(0.3, x1);
+        let t2 = b.mul_const(0.6, x2);
+        let t3 = b.mul_const(0.05, x3);
+        let s1 = b.add(t1, t2);
+        let y = b.add(s1, t3);
+        b.output("y", y);
+        (
+            b.build().unwrap(),
+            vec![iv(-1.0, 1.0), iv(-1.0, 1.0), iv(-1.0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn uniform_reference_is_feasible_and_monotone() {
+        let (g, r) = small_design();
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        let e8 = opt.uniform(8).unwrap();
+        let e16 = opt.uniform(16).unwrap();
+        assert!(e16.noise_power < e8.noise_power);
+        assert!(e16.cost.area_um2 > e8.cost.area_um2);
+        // Noise drops ~2^-2W: 8 extra bits ⇒ ×≈1/65536; allow slack for
+        // the coefficient-rounding terms.
+        assert!(e8.noise_power / e16.noise_power > 1.0e3);
+    }
+
+    #[test]
+    fn exhaustive_beats_or_matches_uniform() {
+        let (g, r) = small_design();
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        let fixed = opt.uniform(10).unwrap();
+        let best = opt
+            .exhaustive(fixed.noise_power, 10, 1, 10_000_000)
+            .unwrap();
+        assert!(best.noise_power <= fixed.noise_power * (1.0 + 1e-12));
+        let fixed_proxy = opt.proxy_cost(&fixed.word_lengths);
+        let best_proxy = opt.proxy_cost(&best.word_lengths);
+        assert!(best_proxy <= fixed_proxy + 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_respects_cap() {
+        let (g, r) = small_design();
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        assert!(matches!(
+            opt.exhaustive(1.0, 10, 4, 10),
+            Err(OptError::SearchSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn group_greedy_meets_budget() {
+        let (g, r) = small_design();
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        let fixed = opt.uniform(10).unwrap();
+        let grouped = opt.group_greedy(fixed.noise_power, 18).unwrap();
+        assert!(grouped.noise_power <= fixed.noise_power * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn infeasible_budget_is_reported() {
+        let (g, r) = small_design();
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        assert!(matches!(
+            opt.group_greedy(1e-300, 12),
+            Err(OptError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn min_word_lengths_fit_ranges() {
+        let (g, r) = small_design();
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        for (i, &m) in opt.min_word_lengths().iter().enumerate() {
+            assert!(
+                sna_fixp::Format::from_range(opt.node_ranges[i], m).is_ok(),
+                "node {i} min {m}"
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Analytic sensitivity allocation (Han/Evans-style).
+//!
+//! With the uniform-quantization model, node `i` at width `wᵢ` contributes
+//! `cᵢ·4^(−wᵢ)` to the output noise power, where `cᵢ` folds the
+//! quantization-step scaling and the L2 transfer gain.  Minimizing a
+//! linearized cost `Σ sᵢ·wᵢ` under `Σ cᵢ·4^(−wᵢ) ≤ B` gives the
+//! closed-form waterfilling solution
+//!
+//! ```text
+//! wᵢ = log₄(λ·ln4·cᵢ / sᵢ)
+//! ```
+//!
+//! with `λ` found by bisection.  After integer rounding, a repair pass
+//! adds bits where they buy the most noise until the budget holds.
+
+use crate::{Evaluation, OptError, Optimizer};
+
+impl Optimizer<'_> {
+    /// Analytic waterfilling allocation under a noise budget.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::Infeasible`] when the budget is unreachable within the
+    /// bounds; evaluation failures are propagated.
+    pub fn waterfill(&self, budget: f64) -> Result<Evaluation, OptError> {
+        let n = self.dfg.len();
+        // Sensitivities cᵢ measured empirically from the model: noise
+        // delta when node i moves from wide to wide-1 ≈ (3/4)·cᵢ·4^(−w).
+        let wide = self.uniform_vector(self.bounds.max);
+        let base_noise = self.noise_of(&wide)?;
+        if base_noise > budget {
+            return Err(OptError::Infeasible {
+                budget,
+                best_noise: base_noise,
+            });
+        }
+        let c = self.sensitivities(&wide)?;
+        let mut probe = wide.clone();
+        // Cost slopes sᵢ: proxy delta per bit at the wide point.
+        let mut s = vec![0.0f64; n];
+        let base_proxy = self.proxy_cost(&wide);
+        for i in 0..n {
+            if wide[i] <= self.min_w[i] {
+                s[i] = f64::INFINITY; // pinned nodes never move
+                continue;
+            }
+            probe[i] -= 1;
+            s[i] = (base_proxy - self.proxy_cost(&probe)).max(1e-12);
+            probe[i] += 1;
+        }
+
+        // Bisection on log₄λ; larger λ ⇒ wider words ⇒ less noise.
+        let assign = |lambda_log4: f64, this: &Self| -> Vec<u8> {
+            let mut w: Vec<u8> = (0..n)
+                .map(|i| {
+                    if !s[i].is_finite() {
+                        // Pinned at the minimum (cannot widen anyway).
+                        return this.min_w[i];
+                    }
+                    if c[i] <= 0.0 {
+                        // No measurable sensitivity: either truly exact
+                        // (adders — fixed below) or a constant whose
+                        // rounding error is not a smooth function of width
+                        // — keep it wide, the final trim pass shrinks it.
+                        return this.bounds.max;
+                    }
+                    let ideal =
+                        lambda_log4 + ((4f64.ln()) * c[i] / s[i]).log(4.0);
+                    (ideal.ceil().clamp(0.0, 64.0) as u8)
+                        .clamp(this.min_w[i], this.bounds.max)
+                })
+                .collect();
+            // Zero-sensitivity exact ops (adders etc.) must keep all
+            // argument bits, otherwise the separable model's premise
+            // collapses.
+            this.widen_exact_nodes(&mut w);
+            w
+        };
+        let (mut lo, mut hi) = (-32.0f64, 64.0f64);
+        // Ensure the high end is feasible.
+        if self.noise_of(&assign(hi, self))? > budget {
+            return Err(OptError::Infeasible {
+                budget,
+                best_noise: self.noise_of(&assign(hi, self))?,
+            });
+        }
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.noise_of(&assign(mid, self))? <= budget {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let mut w = assign(hi, self);
+
+        // Repair: if rounding left us above budget, widen the node with
+        // the best noise reduction per cost until feasible.
+        let mut guard = 0;
+        while self.noise_of(&w)? > budget {
+            let noise = self.noise_of(&w)?;
+            let mut best: Option<(f64, usize)> = None;
+            for i in 0..n {
+                if w[i] >= self.bounds.max {
+                    continue;
+                }
+                w[i] += 1;
+                let dn = noise - self.noise_of(&w)?;
+                w[i] -= 1;
+                if dn > 0.0 {
+                    let score = dn / s[i].max(1e-12);
+                    if best.as_ref().map(|(sc, _)| score > *sc).unwrap_or(true) {
+                        best = Some((score, i));
+                    }
+                }
+            }
+            match best {
+                Some((_, i)) => w[i] += 1,
+                None => {
+                    return Err(OptError::Infeasible {
+                        budget,
+                        best_noise: noise,
+                    })
+                }
+            }
+            guard += 1;
+            if guard > 64 * n {
+                return Err(OptError::Infeasible {
+                    budget,
+                    best_noise: noise,
+                });
+            }
+        }
+        // Final trim: nodes the analytic formula kept conservatively wide
+        // (constants, rounding slack) shed bits while the budget holds.
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                while w[i] > self.min_w[i] {
+                    w[i] -= 1;
+                    if self.noise_of(&w)? <= budget {
+                        changed = true;
+                    } else {
+                        w[i] += 1;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.evaluate(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Optimizer;
+    use sna_dfg::DfgBuilder;
+    use sna_hls::SynthesisConstraints;
+    use sna_interval::Interval;
+
+    #[test]
+    fn waterfill_meets_budget() {
+        let mut b = DfgBuilder::new();
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let t1 = b.mul_const(0.8, x1);
+        let t2 = b.mul_const(0.01, x2);
+        let y = b.add(t1, t2);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let r = vec![
+            Interval::new(-1.0, 1.0).unwrap(),
+            Interval::new(-1.0, 1.0).unwrap(),
+        ];
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        let fixed = opt.uniform(12).unwrap();
+        let wf = opt.waterfill(fixed.noise_power).unwrap();
+        assert!(wf.noise_power <= fixed.noise_power * (1.0 + 1e-12));
+        // High-gain path keeps at least as many bits as the low-gain one.
+        let hot = wf.word_lengths[t1.index()];
+        let cold = wf.word_lengths[t2.index()];
+        assert!(hot >= cold, "hot {hot} < cold {cold}");
+    }
+
+    #[test]
+    fn waterfill_is_not_wasteful() {
+        // At a loose budget the allocation should sit well below max.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.mul_const(0.5, x);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let r = vec![Interval::new(-1.0, 1.0).unwrap()];
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        let loose = opt.uniform(6).unwrap();
+        let wf = opt.waterfill(loose.noise_power).unwrap();
+        assert!(wf.word_lengths.iter().all(|&w| w < 20));
+    }
+}

@@ -1,0 +1,70 @@
+//! # sna — Symbolic Noise Analysis for computational hardware optimization
+//!
+//! A from-scratch Rust reproduction of Ahmadi & Zwolinski, *"Symbolic Noise
+//! Analysis Approach to Computational Hardware Optimization"* (DAC 2008):
+//! finite-precision errors modelled as noise symbols with histogram PDFs,
+//! propagated symbolically through datapaths, and used to drive
+//! noise-constrained word-length optimization inside a high-level synthesis
+//! flow.
+//!
+//! This facade re-exports the workspace crates as modules:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`interval`] | interval + affine arithmetic (the IA/AA baselines) |
+//! | [`hist`] | histogram PDFs and Berleant-style histogram arithmetic |
+//! | [`expr`] | noise symbols, multivariate polynomials, rational forms |
+//! | [`dfg`] | dataflow graphs, simulation, range/LTI analysis |
+//! | [`fixp`] | fixed-point formats, bit-true simulation, Monte Carlo |
+//! | [`core`] | the SNA engines + classical NA baseline |
+//! | [`hls`] | technology models, scheduling, binding, cost reports |
+//! | [`designs`] | the paper's six case-study datapaths |
+//! | [`opt`] | noise-constrained word-length optimizers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sna::core::{EngineKind, SnaAnalysis};
+//! use sna::dfg::DfgBuilder;
+//! use sna::fixp::WlConfig;
+//! use sna::interval::Interval;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A toy datapath: y = 0.3·x1 + 0.6·x2.
+//! let mut b = DfgBuilder::new();
+//! let x1 = b.input("x1");
+//! let x2 = b.input("x2");
+//! let t1 = b.mul_const(0.3, x1);
+//! let t2 = b.mul_const(0.6, x2);
+//! let y = b.add(t1, t2);
+//! b.output("y", y);
+//! let dfg = b.build()?;
+//!
+//! // 12-bit implementation, ranges [-1, 1].
+//! let ranges = vec![Interval::new(-1.0, 1.0)?; 2];
+//! let cfg = WlConfig::from_ranges(&dfg, &ranges, 12)?;
+//!
+//! // Symbolic noise analysis: full error PDF + exact moments + bounds.
+//! let reports = SnaAnalysis::new(&dfg, &cfg, &ranges)
+//!     .engine(EngineKind::Auto)
+//!     .bins(64)
+//!     .run()?;
+//! let noise = &reports[0].1;
+//! println!("error ∈ [{:.2e}, {:.2e}], σ = {:.2e}",
+//!          noise.support.0, noise.support.1, noise.std_dev());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sna_core as core;
+pub use sna_designs as designs;
+pub use sna_dfg as dfg;
+pub use sna_expr as expr;
+pub use sna_fixp as fixp;
+pub use sna_hist as hist;
+pub use sna_hls as hls;
+pub use sna_interval as interval;
+pub use sna_opt as opt;
