@@ -1,0 +1,70 @@
+//! Front-end throughput: lex + parse + lower for `.sna` sources — the
+//! per-request cost every future batch/server mode pays before any
+//! analysis runs.
+//!
+//! Benchmarked on the largest shipped example (`fir.sna`, 99 nodes) and
+//! on synthetically scaled FIR programs (256/1024 taps) to expose the
+//! scaling behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fir_example_source() -> String {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join("fir.sna");
+    std::fs::read_to_string(path).expect("fir.sna exists")
+}
+
+/// A synthetic direct-form FIR of `taps` taps, mirroring `fir.sna`.
+fn synthetic_fir(taps: usize) -> String {
+    let mut out = String::from("input x in [-1, 1];\n");
+    for k in 1..taps {
+        let prev = if k == 1 {
+            "x".to_string()
+        } else {
+            format!("x{}", k - 1)
+        };
+        out.push_str(&format!("x{k} = delay {prev};\n"));
+    }
+    out.push_str("y = 0.125*x");
+    for k in 1..taps {
+        out.push_str(&format!("\n  + 0.125*x{k}"));
+    }
+    out.push_str(";\noutput y;\n");
+    out
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let source = fir_example_source();
+    let mut group = c.benchmark_group("lang_fir25");
+    group.sample_size(20);
+    group.bench_function("lex", |b| {
+        b.iter(|| std::hint::black_box(sna_lang::lex(&source).unwrap()))
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| std::hint::black_box(sna_lang::parse(&source).unwrap()))
+    });
+    let program = sna_lang::parse(&source).unwrap();
+    group.bench_function("lower", |b| {
+        b.iter(|| std::hint::black_box(sna_lang::lower(&program).unwrap()))
+    });
+    group.bench_function("compile", |b| {
+        b.iter(|| std::hint::black_box(sna_lang::compile(&source).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_compile_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lang_compile_scaling");
+    group.sample_size(10);
+    for taps in [256usize, 1024] {
+        let source = synthetic_fir(taps);
+        group.bench_with_input(BenchmarkId::from_parameter(taps), &source, |b, src| {
+            b.iter(|| std::hint::black_box(sna_lang::compile(src).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_stages, bench_compile_scaling);
+criterion_main!(benches);

@@ -16,7 +16,10 @@ fn main() -> Result<(), sna_bench::Error> {
     );
     println!(
         "{:<8} | y ∈ [{:.4}, {:.4}]  (g = {})",
-        "SNA", t.sna.lo(), t.sna.hi(), t.sna_granularity
+        "SNA",
+        t.sna.lo(),
+        t.sna.hi(),
+        t.sna_granularity
     );
     println!("\npaper:   IA [0, 23] · AA 6.5 ± 16.5 · true range [5, 23]");
     Ok(())

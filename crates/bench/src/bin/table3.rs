@@ -4,6 +4,9 @@
 fn main() -> Result<(), sna_bench::Error> {
     let design = sna_designs::diff_eq18();
     let rows = sna_bench::design_table(&design, &[8, 16, 24, 32])?;
-    print!("{}", sna_bench::render_design_table("Design I (order-18 difference equation)", &rows));
+    print!(
+        "{}",
+        sna_bench::render_design_table("Design I (order-18 difference equation)", &rows)
+    );
     Ok(())
 }

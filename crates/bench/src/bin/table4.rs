@@ -4,6 +4,9 @@
 fn main() -> Result<(), sna_bench::Error> {
     let design = sna_designs::fir25();
     let rows = sna_bench::design_table(&design, &[8, 16, 24, 32])?;
-    print!("{}", sna_bench::render_design_table("Design II (FIR-25)", &rows));
+    print!(
+        "{}",
+        sna_bench::render_design_table("Design II (FIR-25)", &rows)
+    );
     Ok(())
 }

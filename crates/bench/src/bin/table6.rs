@@ -4,6 +4,9 @@
 fn main() -> Result<(), sna_bench::Error> {
     let design = sna_designs::dct4x4();
     let rows = sna_bench::design_table(&design, &[8, 16, 24, 32])?;
-    print!("{}", sna_bench::render_design_table("Design IV (DCT 4x4)", &rows));
+    print!(
+        "{}",
+        sna_bench::render_design_table("Design IV (DCT 4x4)", &rows)
+    );
     Ok(())
 }

@@ -88,7 +88,8 @@ pub fn table1(sna_granularity: usize) -> Result<Table1, Error> {
     let x2 = xa.mul(&xa.clone(), &ctx);
     let y = fa.mul(&x2, &ctx) + fb.mul(&xa, &ctx) + fc;
 
-    let report = CartesianEngine::new(256).analyze(&quadratic_inputs(sna_granularity)?, quadratic_fn)?;
+    let report =
+        CartesianEngine::new(256).analyze(&quadratic_inputs(sna_granularity)?, quadratic_fn)?;
     Ok(Table1 {
         ia,
         aa_center: y.center(),

@@ -1,0 +1,262 @@
+//! Shared plumbing for the `sna` subcommands: error type, argument
+//! helpers, program loading, and the report formatting used by more than
+//! one command.
+
+use std::fmt;
+use std::path::Path;
+
+use sna_core::NoiseReport;
+use sna_dfg::Dfg;
+use sna_fixp::WlConfig;
+use sna_hist::RenderOptions;
+use sna_interval::Interval;
+use sna_lang::{render_all, Lowered};
+
+use crate::json::Json;
+
+/// A CLI failure: what to print on stderr, and the exit code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad command line; prints usage advice. Exit code 2.
+    Usage(String),
+    /// Source diagnostics (already rendered) or runtime failures. Exit
+    /// code 1.
+    Failed(String),
+}
+
+impl CliError {
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Failed(_) => 1,
+        }
+    }
+
+    /// Convenience for `Failed` with a formatted message.
+    pub fn failed(message: impl Into<String>) -> Self {
+        CliError::Failed(message.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Failed(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Output format selector (`--format`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Format {
+    /// Prose + tables for terminals.
+    #[default]
+    Human,
+    /// A single JSON document on stdout.
+    Json,
+}
+
+/// Reads and compiles a `.sna` file, rendering diagnostics on failure.
+pub fn load(path: &str) -> Result<(Lowered, String), CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| CliError::failed(format!("cannot read `{path}`: {e}")))?;
+    let origin = Path::new(path)
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    match sna_lang::compile(&source) {
+        Ok(lowered) => Ok((lowered, source)),
+        Err(diags) => Err(CliError::Failed(render_all(&diags, &source, &origin))),
+    }
+}
+
+/// Simple flag cursor over the argument list.
+pub struct Args<'a> {
+    argv: &'a [String],
+    pos: usize,
+    file: Option<&'a str>,
+}
+
+impl<'a> Args<'a> {
+    /// Wraps the arguments following the subcommand name.
+    pub fn new(argv: &'a [String]) -> Self {
+        Args {
+            argv,
+            pos: 0,
+            file: None,
+        }
+    }
+
+    /// Steps to the next flag, collecting the single positional argument
+    /// (the file) along the way. Returns `None` when exhausted.
+    pub fn next_flag(&mut self) -> Option<&'a str> {
+        while self.pos < self.argv.len() {
+            let arg = self.argv[self.pos].as_str();
+            self.pos += 1;
+            if let Some(flag) = arg.strip_prefix("--") {
+                return Some(flag);
+            }
+            if self.file.replace(arg).is_some() {
+                // Second positional: report through the usage path.
+                return Some("__extra_positional__");
+            }
+        }
+        None
+    }
+
+    /// The value following the current flag.
+    pub fn value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        if self.pos < self.argv.len() && !self.argv[self.pos].starts_with("--") {
+            let v = self.argv[self.pos].as_str();
+            self.pos += 1;
+            Ok(v)
+        } else {
+            Err(CliError::Usage(format!("--{flag} needs a value")))
+        }
+    }
+
+    /// Parses the current flag's value.
+    pub fn parse_value<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, CliError> {
+        let raw = self.value(flag)?;
+        raw.parse()
+            .map_err(|_| CliError::Usage(format!("--{flag}: cannot parse `{raw}`")))
+    }
+
+    /// The positional file argument, required.
+    pub fn file(&self, usage: &str) -> Result<&'a str, CliError> {
+        self.file
+            .ok_or_else(|| CliError::Usage(format!("missing <file>.sna argument\nusage: {usage}")))
+    }
+}
+
+/// Parses `--format` values.
+pub fn parse_format(raw: &str) -> Result<Format, CliError> {
+    match raw {
+        "human" => Ok(Format::Human),
+        "json" => Ok(Format::Json),
+        other => Err(CliError::Usage(format!(
+            "--format must be `human` or `json`, got `{other}`"
+        ))),
+    }
+}
+
+/// Rejects unknown flags uniformly (also catches stray positionals).
+pub fn unknown_flag(flag: &str, usage: &str) -> CliError {
+    if flag == "__extra_positional__" {
+        CliError::Usage(format!("more than one <file> given\nusage: {usage}"))
+    } else {
+        CliError::Usage(format!("unknown flag `--{flag}`\nusage: {usage}"))
+    }
+}
+
+/// Builds the word-length configuration every analysis shares.
+pub fn config_for(lowered: &Lowered, bits: u8) -> Result<WlConfig, CliError> {
+    WlConfig::from_ranges(&lowered.dfg, &lowered.input_ranges, bits)
+        .map_err(|e| CliError::failed(format!("cannot build a {bits}-bit configuration: {e}")))
+}
+
+/// The combinational per-sample view of a sequential graph, with the
+/// delay-state inputs appended and their value ranges derived from range
+/// analysis of the original graph.
+pub fn combinational_with_ranges(lowered: &Lowered) -> Result<(Dfg, Vec<Interval>), CliError> {
+    if lowered.dfg.is_combinational() {
+        return Ok((lowered.dfg.clone(), lowered.input_ranges.clone()));
+    }
+    let node_ranges = lowered
+        .dfg
+        .ranges_auto(
+            &lowered.input_ranges,
+            &sna_dfg::RangeOptions::default(),
+            &sna_dfg::LtiOptions::default(),
+        )
+        .map_err(|e| CliError::failed(format!("range analysis failed: {e}")))?;
+    let mut ranges = lowered.input_ranges.clone();
+    ranges.extend(
+        lowered
+            .dfg
+            .delay_nodes()
+            .iter()
+            .map(|d| node_ranges[d.index()]),
+    );
+    Ok((lowered.dfg.combinational_view(), ranges))
+}
+
+/// One noise report as a JSON object.
+pub fn report_json(name: &str, report: &NoiseReport, include_pdf: bool) -> Json {
+    let mut fields = vec![
+        ("output".to_string(), Json::str(name)),
+        ("mean".to_string(), Json::Num(report.mean)),
+        ("variance".to_string(), Json::Num(report.variance)),
+        ("std_dev".to_string(), Json::Num(report.std_dev())),
+        ("power".to_string(), Json::Num(report.power)),
+        (
+            "support".to_string(),
+            Json::pair(report.support.0, report.support.1),
+        ),
+    ];
+    let (lo95, hi95) = report.credible_interval(0.95);
+    fields.push(("credible95".to_string(), Json::pair(lo95, hi95)));
+    match &report.histogram {
+        Some(h) if include_pdf => {
+            fields.push((
+                "histogram".to_string(),
+                Json::Obj(vec![
+                    ("bins".to_string(), Json::int(h.n_bins())),
+                    ("lo".to_string(), Json::Num(h.grid().lo())),
+                    ("hi".to_string(), Json::Num(h.grid().hi())),
+                    (
+                        "masses".to_string(),
+                        Json::Arr(h.probs().iter().map(|&m| Json::Num(m)).collect()),
+                    ),
+                ]),
+            ));
+        }
+        Some(h) => {
+            fields.push((
+                "histogram".to_string(),
+                Json::Obj(vec![
+                    ("bins".to_string(), Json::int(h.n_bins())),
+                    ("lo".to_string(), Json::Num(h.grid().lo())),
+                    ("hi".to_string(), Json::Num(h.grid().hi())),
+                ]),
+            ));
+        }
+        None => fields.push(("histogram".to_string(), Json::Null)),
+    }
+    Json::Obj(fields)
+}
+
+/// One noise report in terminal form, optionally with the ASCII PDF.
+pub fn report_human(name: &str, report: &NoiseReport, plot: bool) -> String {
+    let (lo95, hi95) = report.credible_interval(0.95);
+    let mut out = format!(
+        "output `{name}`\n  mean      {:>13.6e}\n  variance  {:>13.6e}\n  \
+         std dev   {:>13.6e}\n  power     {:>13.6e}\n  bounds    [{:.6e}, {:.6e}]\n  \
+         95% cred. [{:.6e}, {:.6e}]\n",
+        report.mean,
+        report.variance,
+        report.std_dev(),
+        report.power,
+        report.support.0,
+        report.support.1,
+        lo95,
+        hi95,
+    );
+    if plot {
+        if let Some(h) = &report.histogram {
+            out.push_str("  pdf:\n");
+            let rendered = h.render_ascii(&RenderOptions {
+                bar_width: 40,
+                max_rows: 16,
+                show_cdf: false,
+            });
+            for line in rendered.lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}

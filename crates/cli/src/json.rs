@@ -1,0 +1,160 @@
+//! A minimal JSON document model and serializer.
+//!
+//! The workspace has no serde (offline build — see `shims/README.md`), and
+//! the CLI only ever *emits* JSON, so a tiny value tree plus a writer is
+//! the whole requirement. Output is deterministic: object keys keep
+//! insertion order.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number; non-finite values serialize as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for integer counts.
+    pub fn int(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// A `[lo, hi]` pair.
+    pub fn pair(lo: f64, hi: f64) -> Json {
+        Json::Arr(vec![Json::Num(lo), Json::Num(hi)])
+    }
+
+    fn write(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) if !v.is_finite() => f.write_str("null"),
+            Json::Num(v) => write!(f, "{v}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) if items.is_empty() => f.write_str("[]"),
+            Json::Arr(items) => {
+                // Scalar-only arrays print on one line.
+                if items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)))
+                {
+                    f.write_str("[")?;
+                    for (k, item) in items.iter().enumerate() {
+                        if k > 0 {
+                            f.write_str(", ")?;
+                        }
+                        item.write(f, indent)?;
+                    }
+                    return f.write_str("]");
+                }
+                f.write_str("[\n")?;
+                for (k, item) in items.iter().enumerate() {
+                    write!(f, "{}", "  ".repeat(indent + 1))?;
+                    item.write(f, indent + 1)?;
+                    if k + 1 < items.len() {
+                        f.write_str(",")?;
+                    }
+                    f.write_str("\n")?;
+                }
+                write!(f, "{}]", "  ".repeat(indent))
+            }
+            Json::Obj(fields) if fields.is_empty() => f.write_str("{}"),
+            Json::Obj(fields) => {
+                f.write_str("{\n")?;
+                for (k, (key, value)) in fields.iter().enumerate() {
+                    write!(f, "{}", "  ".repeat(indent + 1))?;
+                    write_escaped(f, key)?;
+                    f.write_str(": ")?;
+                    value.write(f, indent + 1)?;
+                    if k + 1 < fields.len() {
+                        f.write_str(",")?;
+                    }
+                    f.write_str("\n")?;
+                }
+                write!(f, "{}}}", "  ".repeat(indent))
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_nesting() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::str("fir")),
+            ("ok".into(), Json::Bool(true)),
+            ("bits".into(), Json::int(8)),
+            ("support".into(), Json::pair(-0.5, 0.5)),
+            ("nested".into(), Json::Obj(vec![("x".into(), Json::Null)])),
+        ]);
+        let text = doc.to_string();
+        assert!(text.contains("\"name\": \"fir\""));
+        assert!(text.contains("\"support\": [-0.5, 0.5]"));
+        assert!(text.contains("\"x\": null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::str("a\"b\\c\nd");
+        assert_eq!(s.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn output_is_valid_enough_to_hand_check() {
+        let doc = Json::Arr(vec![
+            Json::Obj(vec![("k".into(), Json::int(1))]),
+            Json::Obj(vec![("k".into(), Json::int(2))]),
+        ]);
+        let text = doc.to_string();
+        assert_eq!(text.matches("\"k\"").count(), 2);
+        assert!(text.starts_with("[\n"));
+        assert!(text.ends_with(']'));
+    }
+}

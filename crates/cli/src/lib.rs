@@ -1,0 +1,79 @@
+//! `sna-cli` — the `sna` command-line tool.
+//!
+//! One binary drives the whole analyze → optimize → synthesize pipeline
+//! of the DAC'08 reproduction over textual `.sna` datapaths (see the
+//! `sna-lang` crate for the language):
+//!
+//! ```text
+//! sna parse    <file>.sna [--dot | --canon] [--format human|json]
+//! sna analyze  <file>.sna [--engine auto|na|dfg|lti|symbolic|cartesian]
+//!                         [--bits N] [--bins N] [--format human|json]
+//! sna optimize <file>.sna [--method greedy|waterfill|anneal|group-greedy|
+//!                          exhaustive|uniform|all]
+//!                         [--ref-bits W] [--budget X] [--start W]
+//!                         [--radius R] [--format human|json]
+//! sna synth    <file>.sna [--bits N] [--clock NS] [--format human|json]
+//! ```
+//!
+//! # Examples
+//!
+//! ```text
+//! $ sna analyze examples/fir.sna --engine dfg --bits 8 --format json
+//! $ sna optimize examples/diffeq.sna --method all --ref-bits 12
+//! $ sna synth examples/rgb.sna --bits 10
+//! $ sna parse examples/quadratic.sna --dot | dot -Tsvg > quadratic.svg
+//! ```
+//!
+//! All commands exit 0 on success, 1 on analysis/compile failures (with
+//! caret-style diagnostics on stderr), and 2 on usage errors. The library
+//! surface ([`run`]) returns the rendered output instead of printing, so
+//! integration tests drive the CLI in-process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze_cmd;
+mod common;
+mod json;
+mod optimize_cmd;
+mod parse_cmd;
+mod synth_cmd;
+
+pub use common::CliError;
+pub use json::Json;
+
+const USAGE: &str = "usage: sna <parse|analyze|optimize|synth> <file>.sna [options]\n\
+                     \n\
+                     commands:\n\
+                     \x20 parse     validate a .sna file; dump a summary, DOT, or canonical form\n\
+                     \x20 analyze   per-output noise reports (engines: auto, na, dfg, lti,\n\
+                     \x20           symbolic, cartesian)\n\
+                     \x20 optimize  noise-constrained word-length search (greedy, waterfill,\n\
+                     \x20           anneal, group-greedy, exhaustive, uniform, all)\n\
+                     \x20 synth     schedule + bind + cost report for one configuration\n\
+                     \n\
+                     run `sna <command>` with no arguments for command-specific usage";
+
+/// Dispatches a full argument vector (without the program name) and
+/// returns what should be printed on stdout.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for malformed invocations (exit code 2),
+/// [`CliError::Failed`] for compile/analysis failures (exit code 1).
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(command) = argv.first() else {
+        return Err(CliError::Usage(USAGE.to_string()));
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "parse" => parse_cmd::run(rest),
+        "analyze" => analyze_cmd::run(rest),
+        "optimize" => optimize_cmd::run(rest),
+        "synth" => synth_cmd::run(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}

@@ -1,0 +1,31 @@
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match sna_cli::run(&argv) {
+        Ok(output) => {
+            // Write directly (not println!) so a closed pipe — e.g.
+            // `sna ... | head` — ends the program quietly instead of
+            // panicking on EPIPE.
+            let mut stdout = std::io::stdout().lock();
+            let newline = if output.ends_with('\n') || output.is_empty() {
+                ""
+            } else {
+                "\n"
+            };
+            match write!(stdout, "{output}{newline}").and_then(|()| stdout.flush()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error writing output: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(e.exit_code() as u8)
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! `sna synth` — run the HLS flow (schedule, bind, cost) for one
+//! word-length configuration of a `.sna` datapath.
+
+use sna_hls::{synthesize, SynthesisConstraints};
+
+use crate::common::{config_for, load, parse_format, unknown_flag, Args, CliError, Format};
+use crate::json::Json;
+
+const USAGE: &str = "sna synth <file>.sna [--bits N] [--clock NS] [--format human|json]";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let mut args = Args::new(argv);
+    let mut format = Format::Human;
+    let mut bits: u8 = 12;
+    let mut clock: f64 = SynthesisConstraints::default().clock_ns;
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "format" => format = parse_format(args.value("format")?)?,
+            "bits" => bits = args.parse_value("bits")?,
+            "clock" => clock = args.parse_value("clock")?,
+            other => return Err(unknown_flag(other, USAGE)),
+        }
+    }
+    let path = args.file(USAGE)?;
+    let (lowered, _) = load(path)?;
+
+    let config = config_for(&lowered, bits)?;
+    let constraints = SynthesisConstraints {
+        clock_ns: clock,
+        ..SynthesisConstraints::default()
+    };
+    let imp = synthesize(&lowered.dfg, &config, &constraints)
+        .map_err(|e| CliError::failed(format!("synthesis failed: {e}")))?;
+    let cost = &imp.cost;
+
+    Ok(match format {
+        Format::Human => format!(
+            "{path}: {bits}-bit implementation @ {clock} ns clock\n\
+             \n\
+             area      {:>10.1} µm²  (FUs {:.1}, registers {:.1}, muxes {:.1})\n\
+             power     {:>10.1} µW\n\
+             latency   {:>10} cycles\n\
+             energy    {:>10.2} pJ/sample\n\
+             schedule  {:>10} scheduled op(s)\n",
+            cost.area_um2,
+            cost.fu_area_um2,
+            cost.reg_area_um2,
+            cost.mux_area_um2,
+            cost.power_uw,
+            cost.latency_cycles,
+            cost.energy_per_sample_pj,
+            imp.schedule.n_ops(),
+        ),
+        Format::Json => Json::Obj(vec![
+            ("command".into(), Json::str("synth")),
+            ("file".into(), Json::str(path)),
+            ("bits".into(), Json::int(bits as usize)),
+            ("clock_ns".into(), Json::Num(clock)),
+            (
+                "cost".into(),
+                Json::Obj(vec![
+                    ("area_um2".into(), Json::Num(cost.area_um2)),
+                    ("fu_area_um2".into(), Json::Num(cost.fu_area_um2)),
+                    ("reg_area_um2".into(), Json::Num(cost.reg_area_um2)),
+                    ("mux_area_um2".into(), Json::Num(cost.mux_area_um2)),
+                    ("power_uw".into(), Json::Num(cost.power_uw)),
+                    (
+                        "latency_cycles".into(),
+                        Json::int(cost.latency_cycles as usize),
+                    ),
+                    (
+                        "energy_per_sample_pj".into(),
+                        Json::Num(cost.energy_per_sample_pj),
+                    ),
+                ]),
+            ),
+            ("scheduled_ops".into(), Json::int(imp.schedule.n_ops())),
+        ])
+        .to_string(),
+    })
+}

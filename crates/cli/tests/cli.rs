@@ -1,0 +1,213 @@
+//! In-process integration tests for the `sna` CLI: every subcommand is
+//! driven through `sna_cli::run`, against both inline programs and the
+//! shipped `examples/*.sna` files.
+
+use std::path::PathBuf;
+
+use sna_cli::{run, CliError};
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+/// Path to a shipped example, independent of the test's working dir.
+fn example(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Writes an inline program to a temp file and returns its path.
+fn temp_program(tag: &str, source: &str) -> String {
+    let path = std::env::temp_dir().join(format!("sna-cli-test-{tag}.sna"));
+    std::fs::write(&path, source).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_and_usage_errors() {
+    assert!(run(&argv(&["help"])).unwrap().contains("sna <parse"));
+    match run(&argv(&[])) {
+        Err(e @ CliError::Usage(_)) => assert_eq!(e.exit_code(), 2),
+        other => panic!("unexpected {other:?}"),
+    }
+    match run(&argv(&["frobnicate"])) {
+        Err(CliError::Usage(m)) => assert!(m.contains("unknown command")),
+        other => panic!("unexpected {other:?}"),
+    }
+    match run(&argv(&["analyze", "--bits"])) {
+        Err(CliError::Usage(m)) => assert!(m.contains("--bits needs a value")),
+        other => panic!("unexpected {other:?}"),
+    }
+    match run(&argv(&["analyze", "x.sna", "--engine", "warp"])) {
+        Err(CliError::Usage(m)) => assert!(m.contains("unknown engine")),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn parse_reports_structure_in_both_formats() {
+    let file = temp_program(
+        "parse",
+        "input x in [-2, 2];\ny = 0.5*x + delay y;\noutput y;\n",
+    );
+    let human = run(&argv(&["parse", &file])).unwrap();
+    assert!(human.contains("sequential"), "{human}");
+    assert!(human.contains("input  x in [-2, 2]"), "{human}");
+    let json = run(&argv(&["parse", &file, "--format", "json"])).unwrap();
+    assert!(json.contains("\"delays\": 1"), "{json}");
+    assert!(json.contains("\"is_combinational\": false"), "{json}");
+}
+
+#[test]
+fn parse_dot_and_canonical_dumps() {
+    let file = temp_program("dot", "input x;\noutput y = x * x;\n");
+    let dot = run(&argv(&["parse", &file, "--dot"])).unwrap();
+    assert!(dot.starts_with("digraph"), "{dot}");
+    let canon = run(&argv(&["parse", &file, "--canon"])).unwrap();
+    assert_eq!(canon, "input x;\noutput y = x * x;\n");
+}
+
+#[test]
+fn parse_dump_flags_reject_contradictory_combinations() {
+    let file = temp_program("combo", "input x;\noutput y = -x;\n");
+    match run(&argv(&["parse", &file, "--dot", "--canon"])) {
+        Err(CliError::Usage(m)) => assert!(m.contains("mutually exclusive"), "{m}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    match run(&argv(&["parse", &file, "--canon", "--format", "json"])) {
+        Err(CliError::Usage(m)) => assert!(m.contains("cannot combine"), "{m}"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn analyze_emits_noise_reports_on_the_acceptance_command() {
+    // The ISSUE acceptance criterion, in-process:
+    // `sna analyze examples/fir.sna --engine dfg --bits 8 --format json`.
+    let out = run(&argv(&[
+        "analyze",
+        &example("fir.sna"),
+        "--engine",
+        "dfg",
+        "--bits",
+        "8",
+        "--format",
+        "json",
+    ]))
+    .unwrap();
+    for key in [
+        "\"variance\"",
+        "\"support\"",
+        "\"histogram\"",
+        "\"masses\"",
+        "\"quantization-noise\"",
+    ] {
+        assert!(out.contains(key), "missing {key} in {out}");
+    }
+}
+
+#[test]
+fn analyze_runs_every_engine_on_a_suitable_example() {
+    for (engine, file) in [
+        ("auto", "fir.sna"),
+        ("na", "diffeq.sna"),
+        ("dfg", "rgb.sna"),
+        ("lti", "fir.sna"),
+        ("symbolic", "quadratic.sna"),
+        ("cartesian", "quadratic.sna"),
+    ] {
+        let out = run(&argv(&[
+            "analyze",
+            &example(file),
+            "--engine",
+            engine,
+            "--bins",
+            "32",
+        ]))
+        .unwrap_or_else(|e| panic!("{engine} on {file}: {e}"));
+        assert!(out.contains("output `"), "{engine}: {out}");
+    }
+}
+
+#[test]
+fn analyze_combinational_engines_handle_feedback_via_the_view() {
+    let file = temp_program("iir", "input x;\nt = delay y;\ny = x + 0.5*t;\noutput y;\n");
+    let out = run(&argv(&[
+        "analyze", &file, "--engine", "dfg", "--bits", "10",
+    ]))
+    .unwrap();
+    assert!(out.contains("output `y`"), "{out}");
+}
+
+#[test]
+fn optimize_greedy_meets_the_reference_budget() {
+    let out = run(&argv(&[
+        "optimize",
+        &example("rgb.sna"),
+        "--format",
+        "json",
+    ]))
+    .unwrap();
+    assert!(out.contains("\"budget\""), "{out}");
+    assert!(out.contains("\"greedy\""), "{out}");
+    assert!(out.contains("\"word_lengths\""), "{out}");
+}
+
+#[test]
+fn optimize_falls_back_to_histogram_noise_for_nonlinear_graphs() {
+    let out = run(&argv(&[
+        "optimize",
+        &example("quadratic.sna"),
+        "--method",
+        "waterfill",
+        "--ref-bits",
+        "10",
+    ]))
+    .unwrap();
+    assert!(out.contains("waterfill"), "{out}");
+}
+
+#[test]
+fn synth_reports_costs_in_both_formats() {
+    let human = run(&argv(&["synth", &example("quadratic.sna"), "--bits", "10"])).unwrap();
+    assert!(human.contains("µm²"), "{human}");
+    assert!(human.contains("latency"), "{human}");
+    let json = run(&argv(&[
+        "synth",
+        &example("quadratic.sna"),
+        "--bits",
+        "10",
+        "--format",
+        "json",
+    ]))
+    .unwrap();
+    assert!(json.contains("\"area_um2\""), "{json}");
+    assert!(json.contains("\"latency_cycles\""), "{json}");
+}
+
+#[test]
+fn diagnostics_render_carets_with_file_location() {
+    let file = temp_program("bad", "input x;\ny = x +;\noutput y;\n");
+    match run(&argv(&["parse", &file])) {
+        Err(e @ CliError::Failed(_)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("expected an expression"), "{msg}");
+            assert!(msg.contains("-->"), "{msg}");
+            assert!(msg.contains(":2:8"), "{msg}");
+            assert!(msg.contains('^'), "{msg}");
+            assert_eq!(e.exit_code(), 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn missing_file_is_a_runtime_failure() {
+    match run(&argv(&["synth", "/nonexistent/x.sna"])) {
+        Err(CliError::Failed(m)) => assert!(m.contains("cannot read"), "{m}"),
+        other => panic!("unexpected {other:?}"),
+    }
+}

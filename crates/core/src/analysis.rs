@@ -100,8 +100,13 @@ impl<'a> SnaAnalysis<'a> {
         match self.engine {
             EngineKind::Auto => {
                 if self.dfg.is_linear() {
-                    LtiEngine::build(self.dfg, self.input_ranges, &LtiOptions::default(), self.bins)?
-                        .analyze(self.dfg, self.config)
+                    LtiEngine::build(
+                        self.dfg,
+                        self.input_ranges,
+                        &LtiOptions::default(),
+                        self.bins,
+                    )?
+                    .analyze(self.dfg, self.config)
                 } else if self.dfg.is_combinational() {
                     DfgEngine::new(EngineOptions::default().with_bins(self.bins)).analyze(
                         self.dfg,
@@ -114,10 +119,13 @@ impl<'a> SnaAnalysis<'a> {
             }
             EngineKind::Dfg => DfgEngine::new(EngineOptions::default().with_bins(self.bins))
                 .analyze(self.dfg, self.config, self.input_ranges),
-            EngineKind::Lti => {
-                LtiEngine::build(self.dfg, self.input_ranges, &LtiOptions::default(), self.bins)?
-                    .analyze(self.dfg, self.config)
-            }
+            EngineKind::Lti => LtiEngine::build(
+                self.dfg,
+                self.input_ranges,
+                &LtiOptions::default(),
+                self.bins,
+            )?
+            .analyze(self.dfg, self.config),
             EngineKind::Symbolic => {
                 let res = SymbolicEngine::new(SymbolicOptions {
                     symbol_bins: self.bins,

@@ -30,7 +30,12 @@ impl UncertainInput {
     /// # Errors
     ///
     /// Propagates histogram construction failures.
-    pub fn uniform(name: impl Into<String>, lo: f64, hi: f64, bins: usize) -> Result<Self, SnaError> {
+    pub fn uniform(
+        name: impl Into<String>,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Result<Self, SnaError> {
         Ok(UncertainInput {
             name: name.into(),
             pdf: Histogram::uniform(lo, hi, bins)?,
@@ -227,8 +232,16 @@ mod tests {
                 .analyze(&quadratic_inputs(g), quadratic)
                 .unwrap();
             // Bounds always enclose the true range.
-            assert!(report.support.0 <= 5.0 + 1e-9, "g={g}: {:?}", report.support);
-            assert!(report.support.1 >= 23.0 - 1e-9, "g={g}: {:?}", report.support);
+            assert!(
+                report.support.0 <= 5.0 + 1e-9,
+                "g={g}: {:?}",
+                report.support
+            );
+            assert!(
+                report.support.1 >= 23.0 - 1e-9,
+                "g={g}: {:?}",
+                report.support
+            );
             widths.push(report.support.1 - report.support.0);
         }
         for w in widths.windows(2) {
@@ -295,13 +308,13 @@ mod tests {
     fn custom_pdfs_shift_the_output() {
         // A triangular x concentrates mass near 0 ⇒ y concentrates near c.
         let g = 16;
-        let tri = UncertainInput::with_pdf(
-            "x",
-            sna_hist::Histogram::triangular(-1.0, 1.0, g).unwrap(),
-        );
+        let tri =
+            UncertainInput::with_pdf("x", sna_hist::Histogram::triangular(-1.0, 1.0, g).unwrap());
         let mut inputs = quadratic_inputs(g);
         inputs[0] = tri;
-        let report = CartesianEngine::new(64).analyze(&inputs, quadratic).unwrap();
+        let report = CartesianEngine::new(64)
+            .analyze(&inputs, quadratic)
+            .unwrap();
         let uniform_report = CartesianEngine::new(64)
             .analyze(&quadratic_inputs(g), quadratic)
             .unwrap();

@@ -296,21 +296,30 @@ impl DfgEngine {
                     (Value::Const(c), Value::Const(rounded - c))
                 }
                 Op::Add => {
-                    let (a, b) = (&states[node.args()[0].index()], &states[node.args()[1].index()]);
+                    let (a, b) = (
+                        &states[node.args()[0].index()],
+                        &states[node.args()[1].index()],
+                    );
                     (
                         a.value.add(&b.value, &op_opts)?,
                         a.error.add(&b.error, &op_opts)?,
                     )
                 }
                 Op::Sub => {
-                    let (a, b) = (&states[node.args()[0].index()], &states[node.args()[1].index()]);
+                    let (a, b) = (
+                        &states[node.args()[0].index()],
+                        &states[node.args()[1].index()],
+                    );
                     (
                         a.value.sub(&b.value, &op_opts)?,
                         a.error.sub(&b.error, &op_opts)?,
                     )
                 }
                 Op::Mul => {
-                    let (a, b) = (&states[node.args()[0].index()], &states[node.args()[1].index()]);
+                    let (a, b) = (
+                        &states[node.args()[0].index()],
+                        &states[node.args()[1].index()],
+                    );
                     let value = a.value.mul(&b.value, &op_opts)?;
                     // (va+ea)(vb+eb) − va·vb = va·eb + vb·ea + ea·eb.
                     let t1 = a.value.mul(&b.error, &op_opts)?;
@@ -320,7 +329,10 @@ impl DfgEngine {
                     (value, error)
                 }
                 Op::Div => {
-                    let (a, b) = (&states[node.args()[0].index()], &states[node.args()[1].index()]);
+                    let (a, b) = (
+                        &states[node.args()[0].index()],
+                        &states[node.args()[1].index()],
+                    );
                     let value = a.value.div(&b.value, &op_opts)?;
                     // First-order: e ≈ ea/vb − va·eb/vb².
                     let t1 = a.error.div(&b.value, &op_opts)?;
@@ -418,7 +430,11 @@ mod tests {
         let mut cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
         cfg.set_rounding_all(Rounding::Truncate);
         let r = &DfgEngine::default().analyze(&g, &cfg, &ranges).unwrap()[0].1;
-        assert!(r.mean < 0.0, "truncation bias should be negative: {}", r.mean);
+        assert!(
+            r.mean < 0.0,
+            "truncation bias should be negative: {}",
+            r.mean
+        );
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl NaModel {
     ///
     /// * [`SnaError::Dfg`] wrapping `NonlinearNode` for nonlinear graphs,
     ///   `UnstableImpulse` for unstable feedback, or range failures.
-    pub fn build(dfg: &Dfg, input_ranges: &[Interval], opts: &LtiOptions) -> Result<Self, SnaError> {
+    pub fn build(
+        dfg: &Dfg,
+        input_ranges: &[Interval],
+        opts: &LtiOptions,
+    ) -> Result<Self, SnaError> {
         dfg.require_linear()?;
         let ranges = dfg.ranges_auto(input_ranges, &RangeOptions::default(), opts)?;
         let mut gains = Vec::with_capacity(dfg.len());

@@ -127,8 +127,10 @@ impl SymbolicEngine {
                     let value = if r.is_point() {
                         Poly::constant(r.lo())
                     } else {
-                        let sym = table
-                            .add_uniform(format!("in:{}", dfg.input_names()[i]), self.opts.symbol_bins)?;
+                        let sym = table.add_uniform(
+                            format!("in:{}", dfg.input_names()[i]),
+                            self.opts.symbol_bins,
+                        )?;
                         Poly::affine(r.mid(), [(sym, r.rad())])
                     };
                     (value, Poly::zero())
@@ -249,7 +251,11 @@ impl SymbolicEngine {
 
     /// Builds the output PDF by term-wise histogram evaluation and
     /// convolution.  Returns `None` for a deterministic (constant) error.
-    fn convolve_pdf(&self, poly: &Poly, table: &SymbolTable) -> Result<Option<Histogram>, SnaError> {
+    fn convolve_pdf(
+        &self,
+        poly: &Poly,
+        table: &SymbolTable,
+    ) -> Result<Option<Histogram>, SnaError> {
         let opts = OpOptions::default()
             .with_out_bins(self.opts.out_bins)
             .with_deposit(DepositPolicy::Exact);
@@ -265,17 +271,15 @@ impl SymbolicEngine {
             let mut mh: Option<Histogram> = None;
             for (sym, e) in mono.factors() {
                 let base = table.info(sym).pdf();
-                let powed = if e == 1 {
-                    base.clone()
-                } else {
-                    base.powi(e)?
-                };
+                let powed = if e == 1 { base.clone() } else { base.powi(e)? };
                 mh = Some(match mh {
                     None => powed,
                     Some(h) => h.mul_with(&powed, &mul_opts)?,
                 });
             }
-            let term = mh.expect("non-constant monomial has factors").scale(coeff)?;
+            let term = mh
+                .expect("non-constant monomial has factors")
+                .scale(coeff)?;
             acc = Some(match acc {
                 None => term,
                 Some(h) => h.add_with(&term, &opts)?,
@@ -320,7 +324,9 @@ mod tests {
         let g = weighted_sum();
         let ranges = [iv(-1.0, 1.0), iv(-1.0, 1.0)];
         let cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
-        let res = SymbolicEngine::default().analyze(&g, &cfg, &ranges).unwrap();
+        let res = SymbolicEngine::default()
+            .analyze(&g, &cfg, &ranges)
+            .unwrap();
         let err = &res.error_polys[0];
         assert!(err.degree() <= 2, "error poly degree {}", err.degree());
         // Error must not be identically zero and must have bounded range.
@@ -334,7 +340,9 @@ mod tests {
         let g = weighted_sum();
         let ranges = [iv(-1.0, 1.0), iv(-1.0, 1.0)];
         let cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
-        let res = SymbolicEngine::default().analyze(&g, &cfg, &ranges).unwrap();
+        let res = SymbolicEngine::default()
+            .analyze(&g, &cfg, &ranges)
+            .unwrap();
         let predicted = &res.reports[0].1;
         let measured = &monte_carlo_error(
             &g,
@@ -358,7 +366,9 @@ mod tests {
         let ranges = [iv(-1.0, 1.0), iv(-1.0, 1.0)];
         let mut cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
         cfg.set_rounding_all(Rounding::Truncate);
-        let res = SymbolicEngine::default().analyze(&g, &cfg, &ranges).unwrap();
+        let res = SymbolicEngine::default()
+            .analyze(&g, &cfg, &ranges)
+            .unwrap();
         assert!(res.reports[0].1.mean < 0.0);
     }
 
@@ -373,7 +383,9 @@ mod tests {
         let g = b.build().unwrap();
         let ranges = [iv(-1.0, 1.0)];
         let cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
-        let res = SymbolicEngine::default().analyze(&g, &cfg, &ranges).unwrap();
+        let res = SymbolicEngine::default()
+            .analyze(&g, &cfg, &ranges)
+            .unwrap();
         let predicted = &res.reports[0].1;
         let measured = &monte_carlo_error(
             &g,
@@ -430,7 +442,9 @@ mod tests {
         let g = b.build().unwrap();
         let ranges = [iv(-1.0, 1.0)];
         let cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
-        let res = SymbolicEngine::default().analyze(&g, &cfg, &ranges).unwrap();
+        let res = SymbolicEngine::default()
+            .analyze(&g, &cfg, &ranges)
+            .unwrap();
         assert!(res.reports[0].1.variance > 0.0);
     }
 

@@ -24,8 +24,7 @@ pub fn dct4_coefficients() -> [[f64; 4]; 4] {
             std::f64::consts::FRAC_1_SQRT_2
         };
         for (n, v) in row.iter_mut().enumerate() {
-            *v = alpha
-                * ((2.0 * n as f64 + 1.0) * k as f64 * std::f64::consts::PI / 8.0).cos();
+            *v = alpha * ((2.0 * n as f64 + 1.0) * k as f64 * std::f64::consts::PI / 8.0).cos();
         }
     }
     c
@@ -143,8 +142,8 @@ mod tests {
     fn dfg_matches_reference() {
         let d = dct4x4();
         let x: [f64; 16] = [
-            12.0, -30.0, 55.0, 7.0, -100.0, 23.0, 0.0, 64.0, 127.0, -128.0, 5.0, -5.0, 90.0,
-            -64.0, 33.0, -17.0,
+            12.0, -30.0, 55.0, 7.0, -100.0, 23.0, 0.0, 64.0, 127.0, -128.0, 5.0, -5.0, 90.0, -64.0,
+            33.0, -17.0,
         ];
         let got = d.dfg.evaluate(&x).unwrap();
         let want = dct4x4_reference(&x);
@@ -169,8 +168,7 @@ mod tests {
     fn energy_is_preserved() {
         let d = dct4x4();
         let x: [f64; 16] = [
-            1.0, 2.0, 3.0, 4.0, -4.0, -3.0, -2.0, -1.0, 10.0, 0.0, -10.0, 5.0, 6.0, 7.0, -8.0,
-            9.0,
+            1.0, 2.0, 3.0, 4.0, -4.0, -3.0, -2.0, -1.0, 10.0, 0.0, -10.0, 5.0, 6.0, 7.0, -8.0, 9.0,
         ];
         let got = d.dfg.evaluate(&x).unwrap();
         let ein: f64 = x.iter().map(|v| v * v).sum();

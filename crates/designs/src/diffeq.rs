@@ -23,7 +23,10 @@ use crate::Design;
 ///
 /// Panics if `order` is zero or odd.
 pub fn diff_eq_coefficients(order: usize) -> (Vec<f64>, f64) {
-    assert!(order > 0 && order.is_multiple_of(2), "order must be even and positive");
+    assert!(
+        order > 0 && order.is_multiple_of(2),
+        "order must be even and positive"
+    );
     let pairs = order / 2;
     // D(z) = Π (1 − 2 rᵢ cosθᵢ z⁻¹ + rᵢ² z⁻²), expanded by convolution.
     let mut poly = vec![1.0];

@@ -44,10 +44,7 @@ pub fn fft8() -> Design {
             2 => {
                 // W = −j: t = −j·x = (x.im, −x.re).
                 let nre = b.neg(x.re);
-                Cx {
-                    re: x.im,
-                    im: nre,
-                }
+                Cx { re: x.im, im: nre }
             }
             1 | 3 => {
                 // W₈¹ = (1 − j)/√2, W₈³ = −(1 + j)/√2.
@@ -220,6 +217,10 @@ mod tests {
         let got = run_dfg(&d, &x);
         let ein: f64 = x.iter().map(|&(r, i)| r * r + i * i).sum();
         let eout: f64 = got.iter().map(|&(r, i)| r * r + i * i).sum();
-        assert!((eout - 8.0 * ein).abs() < 1e-9, "Parseval: {eout} vs {}", 8.0 * ein);
+        assert!(
+            (eout - 8.0 * ein).abs() < 1e-9,
+            "Parseval: {eout} vs {}",
+            8.0 * ein
+        );
     }
 }

@@ -8,8 +8,7 @@ use sna_interval::Interval;
 use crate::Design;
 
 /// The four input ranges `(x, a, b, c)` of the quadratic example.
-pub const QUADRATIC_RANGES: [(f64, f64); 4] =
-    [(-1.0, 1.0), (9.0, 10.0), (-6.0, -4.0), (6.0, 7.0)];
+pub const QUADRATIC_RANGES: [(f64, f64); 4] = [(-1.0, 1.0), (9.0, 10.0), (-6.0, -4.0), (6.0, 7.0)];
 
 /// Builds the quadratic example as a DFG with uncertain inputs
 /// `x, a, b, c` (all coefficients are inputs, matching the paper where

@@ -247,10 +247,7 @@ mod tests {
         let x = b.input("x");
         b.output("y", x);
         b.output("y", x);
-        assert!(matches!(
-            b.build(),
-            Err(DfgError::DuplicateOutput { .. })
-        ));
+        assert!(matches!(b.build(), Err(DfgError::DuplicateOutput { .. })));
     }
 
     #[test]

@@ -114,9 +114,15 @@ impl<'a> Simulator<'a> {
             let v = match node.op() {
                 Op::Input(i) => inputs[i],
                 Op::Const(c) => c,
-                Op::Add => self.values[node.args()[0].index()] + self.values[node.args()[1].index()],
-                Op::Sub => self.values[node.args()[0].index()] - self.values[node.args()[1].index()],
-                Op::Mul => self.values[node.args()[0].index()] * self.values[node.args()[1].index()],
+                Op::Add => {
+                    self.values[node.args()[0].index()] + self.values[node.args()[1].index()]
+                }
+                Op::Sub => {
+                    self.values[node.args()[0].index()] - self.values[node.args()[1].index()]
+                }
+                Op::Mul => {
+                    self.values[node.args()[0].index()] * self.values[node.args()[1].index()]
+                }
                 Op::Div => {
                     let d = self.values[node.args()[1].index()];
                     if d == 0.0 {
@@ -221,9 +227,7 @@ mod tests {
     fn accumulator_integrates() {
         let g = accumulator();
         let mut sim = Simulator::new(&g);
-        let out = sim
-            .run(&[vec![1.0], vec![2.0], vec![3.0]])
-            .unwrap();
+        let out = sim.run(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
         assert_eq!(out, vec![vec![1.0], vec![3.0], vec![6.0]]);
         sim.reset();
         assert_eq!(sim.step(&[5.0]).unwrap(), vec![5.0]);

@@ -176,10 +176,7 @@ impl Dfg {
 
     /// Iterates over `(id, node)` pairs in id order.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (NodeId(i), n))
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
     }
 
     /// Declared outputs as `(name, node)` pairs.
@@ -236,12 +233,7 @@ impl Dfg {
         let mut depth = vec![0usize; self.nodes.len()];
         for &id in &self.topo {
             let n = &self.nodes[id.0];
-            let base = n
-                .args
-                .iter()
-                .map(|a| depth[a.0])
-                .max()
-                .unwrap_or(0);
+            let base = n.args.iter().map(|a| depth[a.0]).max().unwrap_or(0);
             depth[id.0] = base + usize::from(n.op.is_arithmetic());
         }
         self.outputs

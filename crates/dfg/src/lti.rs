@@ -469,7 +469,10 @@ mod tests {
             let o = sim.step(&[v]).unwrap()[0];
             worst = worst.max(o.abs());
         }
-        assert!(out.hi() >= worst && out.lo() <= -worst, "range {out} vs ±{worst}");
+        assert!(
+            out.hi() >= worst && out.lo() <= -worst,
+            "range {out} vs ±{worst}"
+        );
         // Centered input ⇒ roughly symmetric range.
         assert!((out.hi() + out.lo()).abs() < 1e-6 * out.hi().abs());
     }

@@ -132,10 +132,7 @@ impl Dfg {
     ///   [`Dfg::combinational_view`] first);
     /// * [`DfgError::WrongInputCount`] / [`DfgError::RangeDivisionByZero`]
     ///   as for the interval engine.
-    pub fn ranges_affine(
-        &self,
-        input_ranges: &[Interval],
-    ) -> Result<Vec<AffineForm>, DfgError> {
+    pub fn ranges_affine(&self, input_ranges: &[Interval]) -> Result<Vec<AffineForm>, DfgError> {
         if !self.is_combinational() {
             return Err(DfgError::NonlinearNode {
                 node: self.delay_nodes()[0],
@@ -148,10 +145,7 @@ impl Dfg {
             });
         }
         let ctx = AffineContext::new();
-        let inputs: Vec<AffineForm> = input_ranges
-            .iter()
-            .map(|&r| ctx.from_interval(r))
-            .collect();
+        let inputs: Vec<AffineForm> = input_ranges.iter().map(|&r| ctx.from_interval(r)).collect();
         let mut forms = vec![AffineForm::constant(0.0); self.len()];
         for &id in self.topo_order() {
             let node = self.node(id);
@@ -232,14 +226,12 @@ pub(crate) fn first_nonlinear_node(dfg: &Dfg) -> Option<NodeId> {
     let dep = signal_dependent(dfg);
     for (id, node) in dfg.nodes() {
         match node.op() {
-            Op::Mul
-                if dep[node.args()[0].index()] && dep[node.args()[1].index()] => {
-                    return Some(id);
-                }
-            Op::Div
-                if dep[node.args()[1].index()] => {
-                    return Some(id);
-                }
+            Op::Mul if dep[node.args()[0].index()] && dep[node.args()[1].index()] => {
+                return Some(id);
+            }
+            Op::Div if dep[node.args()[1].index()] => {
+                return Some(id);
+            }
             _ => {}
         }
     }

@@ -203,9 +203,7 @@ mod tests {
         let m = Monomial::from_factors([(x, 2), (y, 1)]);
         let v = m.eval_f64(|id| if id == x { 3.0 } else { -2.0 });
         assert_eq!(v, -18.0);
-        let iv = m.eval_interval(|id| {
-            Interval::point(if id == x { 3.0 } else { -2.0 })
-        });
+        let iv = m.eval_interval(|id| Interval::point(if id == x { 3.0 } else { -2.0 }));
         assert_eq!(iv, Interval::point(-18.0));
     }
 
@@ -220,10 +218,12 @@ mod tests {
     #[test]
     fn ordering_is_total_and_stable() {
         let (x, y) = two_symbols();
-        let mut monos = [Monomial::from_factors([(y, 1)]),
+        let mut monos = [
+            Monomial::from_factors([(y, 1)]),
             Monomial::one(),
             Monomial::from_factors([(x, 2)]),
-            Monomial::from_factors([(x, 1)])];
+            Monomial::from_factors([(x, 1)]),
+        ];
         monos.sort();
         assert_eq!(monos[0], Monomial::one());
     }

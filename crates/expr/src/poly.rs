@@ -183,7 +183,11 @@ impl Poly {
             return Poly::zero();
         }
         Poly {
-            terms: self.terms.iter().map(|(m, &c)| (m.clone(), k * c)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, &c)| (m.clone(), k * c))
+                .collect(),
         }
     }
 
@@ -249,9 +253,7 @@ impl Poly {
 
     /// Evaluates at a point assignment.
     pub fn eval_f64(&self, mut value: impl FnMut(SymbolId) -> f64) -> f64 {
-        self.terms()
-            .map(|(m, c)| c * m.eval_f64(&mut value))
-            .sum()
+        self.terms().map(|(m, c)| c * m.eval_f64(&mut value)).sum()
     }
 
     /// Guaranteed range by interval evaluation (dependent powers within each

@@ -230,8 +230,8 @@ mod tests {
     fn field_operations_agree_with_pointwise_math() {
         let (_, x) = one_symbol();
         // a = (1+x)/(3+x), b = x/2
-        let a = RationalFn::new(Poly::affine(1.0, [(x, 1.0)]), Poly::affine(3.0, [(x, 1.0)]))
-            .unwrap();
+        let a =
+            RationalFn::new(Poly::affine(1.0, [(x, 1.0)]), Poly::affine(3.0, [(x, 1.0)])).unwrap();
         let b = RationalFn::from_poly(Poly::symbol(x).scale(0.5));
         let s = a.add(&b);
         let d = a.sub(&b);

@@ -21,20 +21,16 @@ fn table() -> (SymbolTable, Vec<SymbolId>) {
 /// A random polynomial of bounded degree/terms over the table's symbols.
 fn poly_strategy() -> impl Strategy<Value = Poly> {
     proptest::collection::vec(
-        (
-            proptest::collection::vec(0u32..3, NSYM),
-            -10.0..10.0f64,
-        ),
+        (proptest::collection::vec(0u32..3, NSYM), -10.0..10.0f64),
         0..6,
     )
     .prop_map(|terms| {
         let (_, ids) = table();
-        Poly::from_terms(terms.into_iter().map(|(exps, c)| {
-            (
-                Monomial::from_factors(ids.iter().copied().zip(exps)),
-                c,
-            )
-        }))
+        Poly::from_terms(
+            terms
+                .into_iter()
+                .map(|(exps, c)| (Monomial::from_factors(ids.iter().copied().zip(exps)), c)),
+        )
     })
 }
 

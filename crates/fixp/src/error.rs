@@ -46,10 +46,9 @@ impl fmt::Display for FixpError {
                 f,
                 "invalid fixed-point format: {total_bits} total bits, {frac_bits} fractional"
             ),
-            FixpError::RangeTooWide { lo, hi, total_bits } => write!(
-                f,
-                "range [{lo}, {hi}] does not fit in {total_bits} bits"
-            ),
+            FixpError::RangeTooWide { lo, hi, total_bits } => {
+                write!(f, "range [{lo}, {hi}] does not fit in {total_bits} bits")
+            }
             FixpError::DivisionByZero => write!(f, "fixed-point division by zero"),
             FixpError::Dfg(e) => write!(f, "graph error: {e}"),
             FixpError::Hist(e) => write!(f, "histogram error: {e}"),

@@ -384,7 +384,10 @@ mod tests {
             let en = qn.quantize(x) - x;
             assert!(en.abs() <= step / 2.0 + 1e-12, "nearest error at {x}");
             let et = qt.quantize(x) - x;
-            assert!(et <= 0.0 + 1e-12 && et > -step - 1e-12, "trunc error at {x}");
+            assert!(
+                et <= 0.0 + 1e-12 && et > -step - 1e-12,
+                "trunc error at {x}"
+            );
             x += 0.137;
         }
     }

@@ -132,8 +132,8 @@ impl Fx {
         }
         // value = (ma / mb) · 2^(fb - fa); target mantissa at 2^-fr:
         // m = round(ma · 2^(fb - fa + fr) / mb).
-        let exp =
-            rhs.format.frac_bits() as i32 - self.format.frac_bits() as i32 + q.format.frac_bits() as i32;
+        let exp = rhs.format.frac_bits() as i32 - self.format.frac_bits() as i32
+            + q.format.frac_bits() as i32;
         let (mut num, mut den) = (self.mantissa as i128, rhs.mantissa as i128);
         if exp >= 0 {
             num <<= exp as u32;
@@ -210,10 +210,10 @@ fn div_round(num: i128, den: i128, rounding: Rounding) -> i128 {
         Rounding::Truncate => floor,
         Rounding::Nearest => {
             let rem = num - floor * den; // 0 <= rem < den
-            // Round half away from zero: the exact quotient is
-            // floor + rem/den; bump when rem/den >= 1/2 (for positive
-            // quotients) or > 1/2 (for negative ones, where "away from
-            // zero" means keeping the floor at exactly half).
+                                         // Round half away from zero: the exact quotient is
+                                         // floor + rem/den; bump when rem/den >= 1/2 (for positive
+                                         // quotients) or > 1/2 (for negative ones, where "away from
+                                         // zero" means keeping the floor at exactly half).
             let twice = 2 * rem;
             let exact_is_negative = num < 0;
             if twice > den || (twice == den && !exact_is_negative) {

@@ -112,10 +112,7 @@ impl WlConfig {
     ///
     /// [`FixpError::InvalidFormat`] on length mismatch;
     /// [`FixpError::RangeTooWide`] when a range does not fit its width.
-    pub fn from_precomputed_ranges(
-        node_ranges: &[Interval],
-        w: &[u8],
-    ) -> Result<Self, FixpError> {
+    pub fn from_precomputed_ranges(node_ranges: &[Interval], w: &[u8]) -> Result<Self, FixpError> {
         if w.len() != node_ranges.len() {
             return Err(FixpError::InvalidFormat {
                 total_bits: 0,

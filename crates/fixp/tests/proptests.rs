@@ -8,10 +8,9 @@ use proptest::prelude::*;
 use sna_fixp::{Format, Fx, Overflow, Quantizer, Rounding};
 
 fn format_strategy() -> impl Strategy<Value = Format> {
-    (2u8..32, 0u8..31)
-        .prop_filter_map("frac must fit", |(total, frac)| {
-            Format::new(total, frac.min(total - 1)).ok()
-        })
+    (2u8..32, 0u8..31).prop_filter_map("frac must fit", |(total, frac)| {
+        Format::new(total, frac.min(total - 1)).ok()
+    })
 }
 
 proptest! {

@@ -256,7 +256,10 @@ impl Histogram {
         let first = self.probs.iter().position(|&p| p > eps);
         let last = self.probs.iter().rposition(|&p| p > eps);
         match (first, last) {
-            (Some(a), Some(b)) => (self.grid.bin_lo(a), self.grid.bin_lo(b) + self.grid.bin_width()),
+            (Some(a), Some(b)) => (
+                self.grid.bin_lo(a),
+                self.grid.bin_lo(b) + self.grid.bin_width(),
+            ),
             _ => self.support(),
         }
     }
@@ -425,11 +428,7 @@ impl Histogram {
     /// count.
     pub fn coarsen(&self, factor: usize) -> Result<Histogram, HistError> {
         let grid = self.grid.coarsen(factor)?;
-        let probs = self
-            .probs
-            .chunks(factor)
-            .map(|c| c.iter().sum())
-            .collect();
+        let probs = self.probs.chunks(factor).map(|c| c.iter().sum()).collect();
         Ok(Histogram { grid, probs })
     }
 
@@ -728,7 +727,9 @@ mod tests {
         let h = Histogram::triangular(0.0, 4.0, 64).unwrap();
         let n = 10_000;
         let dx = 4.0 / n as f64;
-        let integral: f64 = (0..n).map(|i| h.density(i as f64 * dx + dx / 2.0) * dx).sum();
+        let integral: f64 = (0..n)
+            .map(|i| h.density(i as f64 * dx + dx / 2.0) * dx)
+            .sum();
         assert!(close(integral, 1.0, 1e-6));
     }
 
@@ -744,19 +745,15 @@ mod tests {
     #[test]
     fn deposit_point_interval_lands_in_single_bin() {
         let g = Grid::new(0.0, 1.0, 4).unwrap();
-        let h =
-            Histogram::from_interval_masses(g, [(Interval::point(0.6), 1.0)]).unwrap();
+        let h = Histogram::from_interval_masses(g, [(Interval::point(0.6), 1.0)]).unwrap();
         assert_eq!(h.prob(2), 1.0);
     }
 
     #[test]
     fn deposit_clamps_out_of_range_mass() {
         let g = Grid::new(0.0, 1.0, 4).unwrap();
-        let h = Histogram::from_interval_masses(
-            g,
-            [(Interval::new(-1.0, 2.0).unwrap(), 1.0)],
-        )
-        .unwrap();
+        let h =
+            Histogram::from_interval_masses(g, [(Interval::new(-1.0, 2.0).unwrap(), 1.0)]).unwrap();
         assert!(close(h.total_mass(), 1.0, 1e-12));
         // 1/3 below, 1/3 inside, 1/3 above.
         assert!(h.prob(0) > 0.33);

@@ -8,11 +8,7 @@ impl Histogram {
     /// union of both bin-edge sets (where the piecewise-linear CDFs attain
     /// their extrema).
     pub fn kolmogorov_distance(&self, other: &Histogram) -> f64 {
-        let mut edges: Vec<f64> = self
-            .grid()
-            .edges()
-            .chain(other.grid().edges())
-            .collect();
+        let mut edges: Vec<f64> = self.grid().edges().chain(other.grid().edges()).collect();
         edges.sort_by(|a, b| a.partial_cmp(b).expect("finite edges"));
         edges
             .iter()

@@ -204,7 +204,9 @@ impl Histogram {
             Some(g) => g,
             None => {
                 let sup = f(self.grid().support(), rhs.grid().support());
-                let bins = opts.out_bins.unwrap_or_else(|| self.n_bins().max(rhs.n_bins()));
+                let bins = opts
+                    .out_bins
+                    .unwrap_or_else(|| self.n_bins().max(rhs.n_bins()));
                 Grid::over(sup, bins)?
             }
         };
@@ -241,7 +243,9 @@ impl Histogram {
             Some(g) => g,
             None => {
                 let sup = self.grid().support() + rhs_support;
-                let bins = opts.out_bins.unwrap_or_else(|| self.n_bins().max(rhs.n_bins()));
+                let bins = opts
+                    .out_bins
+                    .unwrap_or_else(|| self.n_bins().max(rhs.n_bins()));
                 Grid::over(sup, bins)?
             }
         };
@@ -561,7 +565,10 @@ mod tests {
         let b = Histogram::uniform(0.0, 1.0, 8).unwrap();
         let exact = a.add(&b).unwrap();
         let blurred = a
-            .add_with(&b, &OpOptions::default().with_deposit(DepositPolicy::Uniform))
+            .add_with(
+                &b,
+                &OpOptions::default().with_deposit(DepositPolicy::Uniform),
+            )
             .unwrap();
         assert!(blurred.variance() >= exact.variance());
     }

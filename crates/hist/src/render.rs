@@ -63,10 +63,7 @@ impl Histogram {
             let bar_len = ((p / peak) * opts.bar_width as f64).round() as usize;
             let bar: String = "█".repeat(bar_len);
             if opts.show_cdf {
-                let _ = writeln!(
-                    out,
-                    "[{lo:>10.4}, {hi:>10.4})  {p:>8.5}  {cum:>7.4}  {bar}"
-                );
+                let _ = writeln!(out, "[{lo:>10.4}, {hi:>10.4})  {p:>8.5}  {cum:>7.4}  {bar}");
             } else {
                 let _ = writeln!(out, "[{lo:>10.4}, {hi:>10.4})  {p:>8.5}  {bar}");
             }

@@ -48,12 +48,7 @@ impl CostReport {
             .iter()
             .map(|&w| tech.register_area(w))
             .sum();
-        let mux_width = binding
-            .fus
-            .iter()
-            .map(|fu| fu.width)
-            .max()
-            .unwrap_or(8);
+        let mux_width = binding.fus.iter().map(|fu| fu.width).max().unwrap_or(8);
         let mux_area = binding.mux_inputs as f64 * tech.mux_area(mux_width);
         let area = fu_area + reg_area + mux_area;
 
@@ -159,9 +154,7 @@ mod tests {
     fn breakdown_sums_to_total() {
         let g = mac_chain(4);
         let c = cost_at(&g, 16);
-        assert!(
-            (c.fu_area_um2 + c.reg_area_um2 + c.mux_area_um2 - c.area_um2).abs() < 1e-9
-        );
+        assert!((c.fu_area_um2 + c.reg_area_um2 + c.mux_area_um2 - c.area_um2).abs() < 1e-9);
         assert!(c.energy_per_sample_pj > 0.0);
     }
 

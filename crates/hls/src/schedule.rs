@@ -56,9 +56,7 @@ pub struct Schedule {
 impl Schedule {
     /// End cycle (exclusive) of a node's operation, 0 for non-operations.
     pub fn end_of(&self, node: NodeId) -> u32 {
-        self.slots[node.index()]
-            .map(|(s, c)| s + c)
-            .unwrap_or(0)
+        self.slots[node.index()].map(|(s, c)| s + c).unwrap_or(0)
     }
 
     /// Number of scheduled operations.
@@ -364,7 +362,13 @@ mod tests {
         let g = adder_tree(2);
         let cfg = uniform_cfg(&g, 8, 4);
         assert!(matches!(
-            schedule(&g, &cfg, &TechLibrary::st012(), &ResourceSet::default(), 0.0),
+            schedule(
+                &g,
+                &cfg,
+                &TechLibrary::st012(),
+                &ResourceSet::default(),
+                0.0
+            ),
             Err(HlsError::InvalidClock { .. })
         ));
     }

@@ -125,7 +125,7 @@ impl TechLibrary {
     /// with [`TechLibrary::st012`] at 8 bits.
     pub fn st012_partitioned() -> Self {
         TechLibrary {
-            mult_area_per_bit: 208.0,  // = 26·8: agrees with the array at w=8
+            mult_area_per_bit: 208.0, // = 26·8: agrees with the array at w=8
             mult_area_per_bit2: 0.0,
             div_area_per_bit: 272.0,
             div_area_per_bit2: 0.0,
@@ -162,9 +162,7 @@ impl TechLibrary {
         let w = w as f64;
         match kind {
             FuKind::Adder => self.adder_energy_per_bit * w,
-            FuKind::Multiplier => {
-                self.mult_energy_per_bit * w + self.mult_energy_per_bit2 * w * w
-            }
+            FuKind::Multiplier => self.mult_energy_per_bit * w + self.mult_energy_per_bit2 * w * w,
             FuKind::Divider => self.div_energy_per_bit * w + self.div_energy_per_bit2 * w * w,
         }
     }
@@ -236,9 +234,7 @@ mod tests {
     #[test]
     fn energy_ordering() {
         let t = TechLibrary::st012();
-        assert!(
-            t.fu_energy_pj(FuKind::Adder, 16) < t.fu_energy_pj(FuKind::Multiplier, 16)
-        );
+        assert!(t.fu_energy_pj(FuKind::Adder, 16) < t.fu_energy_pj(FuKind::Multiplier, 16));
         // Energy grows superlinearly for multipliers.
         let e8 = t.fu_energy_pj(FuKind::Multiplier, 8);
         let e16 = t.fu_energy_pj(FuKind::Multiplier, 16);

@@ -1,0 +1,107 @@
+use std::fmt;
+
+use crate::Span;
+
+/// A compiler diagnostic: a message anchored to a span of the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic as a caret-style snippet:
+    ///
+    /// ```text
+    /// error: expected `;` after statement
+    ///  --> fir.sna:3:12
+    ///   |
+    /// 3 | t = 0.3 * x
+    ///   |            ^
+    /// ```
+    ///
+    /// `origin` is the file name (or any label) shown in the location
+    /// line.
+    pub fn render(&self, source: &str, origin: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        let line_text = source.lines().nth(line - 1).unwrap_or("");
+        let gutter = line.to_string();
+        let pad = " ".repeat(gutter.len());
+        // Caret width: the part of the span that lies on the first line,
+        // at least one caret, measured in characters.
+        let line_start = self.span.start - (col - 1).min(self.span.start);
+        let span_on_line = self
+            .span
+            .end
+            .min(line_start + line_text.len())
+            .saturating_sub(self.span.start)
+            .max(1);
+        let width = source
+            .get(self.span.start..self.span.start + span_on_line)
+            .map(|s| s.chars().count().max(1))
+            .unwrap_or(1);
+        format!(
+            "error: {msg}\n{pad}--> {origin}:{line}:{col}\n\
+             {pad} |\n{gutter} | {line_text}\n{pad} | {caret_pad}{carets}",
+            msg = self.message,
+            caret_pad = " ".repeat(col - 1),
+            carets = "^".repeat(width),
+        )
+    }
+}
+
+/// `Display` shows the message and byte span only; use
+/// [`Diagnostic::render`] for the caret snippet.
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at {})", self.message, self.span)
+    }
+}
+
+/// Renders a batch of diagnostics, one snippet per entry.
+pub fn render_all(diagnostics: &[Diagnostic], source: &str, origin: &str) -> String {
+    diagnostics
+        .iter()
+        .map(|d| d.render(source, origin))
+        .collect::<Vec<_>>()
+        .join("\n\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "input x;\nt = 0.3 * ;\noutput t;";
+        let at = src.find('*').unwrap() + 2;
+        let d = Diagnostic::new("expected an expression", Span::new(at, at + 1));
+        let out = d.render(src, "test.sna");
+        assert!(out.contains("error: expected an expression"), "{out}");
+        assert!(out.contains("test.sna:2:11"), "{out}");
+        assert!(out.contains("t = 0.3 * ;"), "{out}");
+        let caret_line = out.lines().last().unwrap();
+        assert_eq!(
+            caret_line.find('^').unwrap(),
+            caret_line.find('|').unwrap() + 11 + 1
+        );
+    }
+
+    #[test]
+    fn multi_char_spans_get_wide_carets() {
+        let src = "output nope;";
+        let d = Diagnostic::new("undefined name `nope`", Span::new(7, 11));
+        let out = d.render(src, "x.sna");
+        assert!(out.contains("^^^^"), "{out}");
+    }
+}

@@ -1,0 +1,83 @@
+//! `sna-lang` — the textual datapath DSL of the SNA toolchain.
+//!
+//! Every workload this reproduction can analyze used to require hand-coded
+//! Rust against [`sna_dfg::DfgBuilder`]. This crate turns any filter,
+//! transform or feedback datapath into a few lines of text:
+//!
+//! ```text
+//! # A one-pole low-pass filter.
+//! input x in [-1, 1];
+//! t = 0.3 * x;
+//! y_prev = delay y;        # feedback: `y` is defined below
+//! y = t + 0.5 * y_prev;
+//! output y;
+//! ```
+//!
+//! [`compile`] turns that source into a [`Lowered`] — a validated
+//! [`sna_dfg::Dfg`] plus per-input ranges — ready for every analysis
+//! entry point in the workspace (`SnaAnalysis`, `Optimizer`,
+//! `synthesize`, `monte_carlo_error`). The `sna` CLI (crate `sna-cli`)
+//! wraps exactly this pipeline.
+//!
+//! # Grammar
+//!
+//! ```text
+//! program  := stmt*
+//! stmt     := input | binding | output
+//! input    := "input" IDENT ("in" "[" signed "," signed "]")? ";"
+//! binding  := IDENT "=" expr ";"
+//! output   := "output" IDENT ("=" expr)? ";"
+//!
+//! expr     := term (("+" | "-") term)*          // left-associative
+//! term     := unary (("*" | "/") unary)*        // left-associative
+//! unary    := "-" unary | "delay" unary | primary
+//! primary  := NUMBER | IDENT | "(" expr ")"
+//! signed   := "-"? NUMBER
+//!
+//! NUMBER   := [0-9]+ ("." [0-9]+)? ([eE] [+-]? [0-9]+)?
+//! IDENT    := [A-Za-z_][A-Za-z0-9_]*            // except keywords
+//! ```
+//!
+//! Comments run from `#` or `//` to end of line. The four keywords are
+//! `input`, `output`, `in` and `delay`.
+//!
+//! # Semantics
+//!
+//! * Every operator maps 1:1 onto an [`sna_dfg::Op`]: `+` → `Add`, `-` →
+//!   `Sub`, `*` → `Mul`, `/` → `Div`, unary `-` → `Neg`, `delay` →
+//!   `Delay`, literals → `Const`, `input` → `Input`. Unary minus on a
+//!   literal folds into the constant (`-0.5 * x` is one `Const` and one
+//!   `Mul`, exactly like `DfgBuilder::mul_const(-0.5, x)`).
+//! * Names must be defined before use, with one exception: the direct
+//!   operand of `delay` may be defined *later*, which expresses feedback
+//!   and lowers to `delay_placeholder`/`bind_delay`. Every cycle must
+//!   pass through a `delay` — the builder rejects anything else.
+//! * `name = other_name;` is a pure alias (no node is created).
+//! * Inputs take their declared `[lo, hi]` range, defaulting to
+//!   `[-1, 1]`; ranges reach the analyses via [`Lowered::input_ranges`]
+//!   in declaration order.
+//! * `output name = expr;` both declares the output and binds `name`.
+//!
+//! # Diagnostics
+//!
+//! All phases report [`Diagnostic`]s carrying byte spans;
+//! [`Diagnostic::render`] produces caret-style snippets with line and
+//! column numbers. The parser recovers at `;`, so one run reports
+//! multiple errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod diag;
+mod lower;
+mod parser;
+mod span;
+mod token;
+
+pub use ast::{BinaryOp, Expr, ExprKind, Ident, InputRange, Program, Stmt, UnaryOp};
+pub use diag::{render_all, Diagnostic};
+pub use lower::{compile, lower, Lowered};
+pub use parser::parse;
+pub use span::Span;
+pub use token::{lex, Token, TokenKind};

@@ -1,0 +1,385 @@
+use std::collections::HashMap;
+
+use sna_dfg::{Dfg, DfgBuilder, NodeId};
+use sna_interval::Interval;
+
+use crate::ast::{BinaryOp, Expr, ExprKind, Program, Stmt, UnaryOp};
+use crate::{Diagnostic, Span};
+
+/// The product of lowering: a validated graph plus per-input ranges, in
+/// input-declaration order — exactly the pair every analysis entry point
+/// (`SnaAnalysis`, `Optimizer`, `synthesize`, `monte_carlo_error`) takes.
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    /// The validated dataflow graph.
+    pub dfg: Dfg,
+    /// Value range of each input, in input order (defaults to `[-1, 1]`).
+    pub input_ranges: Vec<Interval>,
+}
+
+/// Lowers a parsed program onto [`DfgBuilder`].
+///
+/// Names resolve in statement order; a name may only be referenced
+/// *before* its definition as the direct operand of `delay`, which is the
+/// textual form of feedback and lowers to
+/// [`DfgBuilder::delay_placeholder`] + [`DfgBuilder::bind_delay`].
+///
+/// # Errors
+///
+/// Spanned diagnostics for: duplicate definitions, undefined references,
+/// empty/invalid input ranges, duplicate or missing outputs, and any
+/// graph-validation failure surfaced by [`DfgBuilder::build`].
+pub fn lower(program: &Program) -> Result<Lowered, Vec<Diagnostic>> {
+    Lowering::default().run(program)
+}
+
+/// Parses and lowers in one call — the usual entry point.
+///
+/// # Errors
+///
+/// See [`parse`](crate::parse) and [`lower`].
+pub fn compile(source: &str) -> Result<Lowered, Vec<Diagnostic>> {
+    lower(&crate::parse(source)?)
+}
+
+#[derive(Default)]
+struct Lowering {
+    builder: DfgBuilder,
+    env: HashMap<String, NodeId>,
+    /// Definition site of each name (for duplicate-definition notes).
+    def_spans: HashMap<String, Span>,
+    input_ranges: Vec<Interval>,
+    /// Forward references created by `delay name`: placeholder node plus
+    /// the name and span to resolve once all statements are lowered.
+    pending: Vec<(String, NodeId, Span)>,
+    outputs: Vec<String>,
+    errors: Vec<Diagnostic>,
+}
+
+impl Lowering {
+    fn run(mut self, program: &Program) -> Result<Lowered, Vec<Diagnostic>> {
+        for stmt in &program.stmts {
+            self.stmt(stmt);
+        }
+        // Bind the feedback placeholders now that every name is defined.
+        for (name, placeholder, span) in std::mem::take(&mut self.pending) {
+            match self.env.get(&name) {
+                Some(&source) => {
+                    self.builder
+                        .bind_delay(placeholder, source)
+                        .expect("placeholder ids are valid and bound once");
+                }
+                None => self.errors.push(Diagnostic::new(
+                    format!("undefined name `{name}` (referenced through `delay`)"),
+                    span,
+                )),
+            }
+        }
+        if self.outputs.is_empty() {
+            self.errors.push(Diagnostic::new(
+                "program declares no outputs (add `output <name>;`)",
+                Span::point(0),
+            ));
+        }
+        if !self.errors.is_empty() {
+            return Err(self.errors);
+        }
+        match self.builder.build() {
+            Ok(dfg) => Ok(Lowered {
+                dfg,
+                input_ranges: self.input_ranges,
+            }),
+            Err(e) => Err(vec![Diagnostic::new(
+                format!("invalid datapath: {e}"),
+                Span::point(0),
+            )]),
+        }
+    }
+
+    fn define(&mut self, name: &crate::ast::Ident, node: NodeId) {
+        if self.def_spans.contains_key(&name.name) {
+            self.errors.push(Diagnostic::new(
+                format!("`{}` is defined twice", name.name),
+                name.span,
+            ));
+            return;
+        }
+        self.def_spans.insert(name.name.clone(), name.span);
+        self.env.insert(name.name.clone(), node);
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Input { name, range } => {
+                let interval = match range {
+                    Some(r) => match Interval::new(r.lo, r.hi) {
+                        Ok(iv) => iv,
+                        Err(e) => {
+                            self.errors
+                                .push(Diagnostic::new(format!("invalid input range: {e}"), r.span));
+                            Interval::UNIT
+                        }
+                    },
+                    None => Interval::UNIT,
+                };
+                let node = self.builder.input(name.name.clone());
+                self.input_ranges.push(interval);
+                self.define(name, node);
+            }
+            Stmt::Let { name, expr } => {
+                let node = self.expr(expr);
+                // Name the node when this statement created it (pure
+                // aliases `a = b;` must not rename `b`'s node).
+                if !matches!(expr.kind, ExprKind::Var(_)) {
+                    let _ = self.builder.name(node, name.name.clone());
+                }
+                self.define(name, node);
+            }
+            Stmt::Output { name, expr } => {
+                let node = match expr {
+                    Some(e) => {
+                        let node = self.expr(e);
+                        if !matches!(e.kind, ExprKind::Var(_)) {
+                            let _ = self.builder.name(node, name.name.clone());
+                        }
+                        self.define(name, node);
+                        node
+                    }
+                    None => match self.env.get(&name.name) {
+                        Some(&node) => node,
+                        None => {
+                            self.errors.push(Diagnostic::new(
+                                format!("undefined name `{}`", name.name),
+                                name.span,
+                            ));
+                            return;
+                        }
+                    },
+                };
+                if self.outputs.contains(&name.name) {
+                    self.errors.push(Diagnostic::new(
+                        format!("output `{}` is declared twice", name.name),
+                        name.span,
+                    ));
+                    return;
+                }
+                self.outputs.push(name.name.clone());
+                self.builder.output(name.name.clone(), node);
+            }
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) -> NodeId {
+        match &expr.kind {
+            ExprKind::Number(v) => self.builder.constant(*v),
+            ExprKind::Var(name) => match self.env.get(name) {
+                Some(&node) => node,
+                None => {
+                    self.errors.push(Diagnostic::new(
+                        format!(
+                            "undefined name `{name}` (only `delay {name}` may refer to a \
+                             name defined later)"
+                        ),
+                        expr.span,
+                    ));
+                    // Recovery placeholder so lowering can continue.
+                    self.builder.constant(0.0)
+                }
+            },
+            ExprKind::Unary { op, operand } => match op {
+                UnaryOp::Neg => {
+                    let inner = self.expr(operand);
+                    self.builder.neg(inner)
+                }
+                UnaryOp::Delay => {
+                    // `delay name` with `name` not yet defined is the
+                    // feedback form: create a placeholder bound after all
+                    // statements.
+                    if let ExprKind::Var(name) = &operand.kind {
+                        if !self.env.contains_key(name) {
+                            let placeholder = self.builder.delay_placeholder();
+                            self.pending.push((name.clone(), placeholder, operand.span));
+                            return placeholder;
+                        }
+                    }
+                    let inner = self.expr(operand);
+                    self.builder.delay(inner)
+                }
+            },
+            ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.expr(lhs);
+                let r = self.expr(rhs);
+                match op {
+                    BinaryOp::Add => self.builder.add(l, r),
+                    BinaryOp::Sub => self.builder.sub(l, r),
+                    BinaryOp::Mul => self.builder.mul(l, r),
+                    BinaryOp::Div => self.builder.div(l, r),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::{Op, Simulator};
+
+    fn compile_ok(src: &str) -> Lowered {
+        match compile(src) {
+            Ok(l) => l,
+            Err(e) => panic!("compile failed: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn lowers_the_issue_example_with_feedback() {
+        let l = compile_ok(
+            "input x in [-1, 1];\n\
+             t = 0.3*x;\n\
+             y_prev = delay y;\n\
+             y = t + 0.5*y_prev;\n\
+             output y;\n",
+        );
+        let c = l.dfg.op_counts();
+        assert_eq!(c.inputs, 1);
+        assert_eq!(c.delays, 1);
+        assert_eq!(c.muls, 2);
+        assert_eq!(c.adds, 1);
+        assert_eq!(c.consts, 2);
+        assert!(!l.dfg.is_combinational());
+        // y[n] = 0.3 x[n] + 0.5 y[n-1]
+        let mut sim = Simulator::new(&l.dfg);
+        assert_eq!(sim.step(&[1.0]).unwrap(), vec![0.3]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.15]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.075]);
+    }
+
+    #[test]
+    fn every_op_variant_is_expressible() {
+        let l = compile_ok(
+            "input a;\n\
+             input b in [0.5, 2];\n\
+             s = a + b;\n\
+             d = a - b;\n\
+             p = a * b;\n\
+             q = a / b;\n\
+             n = -s;\n\
+             z = delay p;\n\
+             k = 2.5;\n\
+             y = s + d + p + q + n + z + k;\n\
+             output y;\n",
+        );
+        let c = l.dfg.op_counts();
+        assert_eq!(c.inputs, 2);
+        assert_eq!(c.adds, 7);
+        assert_eq!(c.subs, 1);
+        assert_eq!(c.muls, 1);
+        assert_eq!(c.divs, 1);
+        assert_eq!(c.negs, 1);
+        assert_eq!(c.delays, 1);
+        assert_eq!(c.consts, 1);
+        assert_eq!(l.input_ranges[0], Interval::UNIT);
+        assert_eq!(l.input_ranges[1], Interval::new(0.5, 2.0).unwrap());
+    }
+
+    #[test]
+    fn aliases_do_not_create_nodes() {
+        let l = compile_ok("input x;\ny = x;\noutput y;\n");
+        assert_eq!(l.dfg.len(), 1);
+        assert_eq!(l.dfg.node(l.dfg.outputs()[0].1).op(), Op::Input(0));
+    }
+
+    #[test]
+    fn named_outputs_with_inline_expressions() {
+        let l = compile_ok("input x;\noutput y = 2 * x;\noutput z = y + 1;\n");
+        assert_eq!(l.dfg.outputs().len(), 2);
+        assert_eq!(l.dfg.outputs()[0].0, "y");
+        assert_eq!(l.dfg.evaluate(&[3.0]).unwrap(), vec![6.0, 7.0]);
+    }
+
+    #[test]
+    fn undefined_name_is_a_spanned_error() {
+        let src = "input x;\ny = x + oops;\noutput y;\n";
+        let errs = compile(src).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("undefined name `oops`"));
+        assert_eq!(&src[errs[0].span.start..errs[0].span.end], "oops");
+    }
+
+    #[test]
+    fn forward_reference_outside_delay_is_rejected() {
+        let errs = compile("input x;\ny = z + x;\nz = x;\noutput y;\n").unwrap_err();
+        assert!(errs[0].message.contains("undefined name `z`"));
+        assert!(errs[0].message.contains("delay"));
+    }
+
+    #[test]
+    fn unresolved_delay_target_is_reported() {
+        let errs = compile("input x;\ny = x + delay ghost;\noutput y;\n").unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(
+            errs[0].message.contains("undefined name `ghost`"),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_definitions_and_outputs_are_rejected() {
+        let errs = compile("input x;\nx = 1;\noutput x;\n").unwrap_err();
+        assert!(errs[0].message.contains("defined twice"));
+        let errs = compile("input x;\noutput x;\noutput x;\n").unwrap_err();
+        assert!(errs[0].message.contains("declared twice"));
+    }
+
+    #[test]
+    fn empty_range_is_rejected_with_the_range_span() {
+        let src = "input x in [2, 1];\noutput x;\n";
+        let errs = compile(src).unwrap_err();
+        assert!(errs[0].message.contains("invalid input range"));
+        assert_eq!(&src[errs[0].span.start..errs[0].span.end], "[2, 1]");
+    }
+
+    #[test]
+    fn missing_outputs_are_rejected() {
+        let errs = compile("input x;\ny = x + 1;\n").unwrap_err();
+        assert!(errs[0].message.contains("no outputs"));
+    }
+
+    #[test]
+    fn delay_of_expression_lowers_inline() {
+        let l = compile_ok("input x;\ny = delay (x + 1);\noutput y;\n");
+        let c = l.dfg.op_counts();
+        assert_eq!(c.delays, 1);
+        assert_eq!(c.adds, 1);
+        let mut sim = Simulator::new(&l.dfg);
+        assert_eq!(sim.step(&[5.0]).unwrap(), vec![0.0]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![6.0]);
+    }
+
+    #[test]
+    fn delay_chain_feedback_matches_designs_idiom() {
+        // Two-tap feedback like the diff-eq builders: taps of y.
+        let l = compile_ok(
+            "input x;\n\
+             t1 = delay y;\n\
+             t2 = delay t1;\n\
+             y = x + 0.5*t1 + 0.25*t2;\n\
+             output y;\n",
+        );
+        assert_eq!(l.dfg.op_counts().delays, 2);
+        let mut sim = Simulator::new(&l.dfg);
+        assert_eq!(sim.step(&[1.0]).unwrap(), vec![1.0]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.5]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.5]);
+    }
+
+    #[test]
+    fn self_delay_is_legal_and_silent() {
+        // `s = delay s` is a register feeding itself: constant zero.
+        let l = compile_ok("input x;\ns = delay s;\ny = x + s;\noutput y;\n");
+        let mut sim = Simulator::new(&l.dfg);
+        assert_eq!(sim.step(&[3.0]).unwrap(), vec![3.0]);
+        assert_eq!(sim.step(&[4.0]).unwrap(), vec![4.0]);
+    }
+}

@@ -1,0 +1,427 @@
+use crate::ast::{BinaryOp, Expr, ExprKind, Ident, InputRange, Program, Stmt, UnaryOp};
+use crate::token::{lex, Token, TokenKind};
+use crate::Diagnostic;
+
+/// Parses `.sna` source into a [`Program`].
+///
+/// The parser recovers at statement boundaries (`;`), so several errors
+/// can be reported in one pass.
+///
+/// # Errors
+///
+/// All lexical and syntactic diagnostics collected, each with a span.
+pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
+    let tokens = lex(source)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        errors: Vec::new(),
+    };
+    let program = p.program();
+    if p.errors.is_empty() {
+        Ok(program)
+    } else {
+        Err(p.errors)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    errors: Vec<Diagnostic>,
+}
+
+/// Signals "diagnostic already recorded; unwind to statement level".
+struct Recover;
+
+type PResult<T> = Result<T, Recover>;
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error_here(&mut self, message: impl Into<String>) -> Recover {
+        let span = self.peek().span;
+        self.errors.push(Diagnostic::new(message, span));
+        Recover
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> PResult<Token> {
+        if self.at(kind) {
+            Ok(self.advance())
+        } else {
+            let found = self.peek().kind.describe();
+            Err(self.error_here(format!("expected {what}, found {found}")))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> PResult<Ident> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let span = self.advance().span;
+                Ok(Ident { name, span })
+            }
+            other => Err(self.error_here(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    /// Skips ahead to just past the next `;` (or to EOF) after an error.
+    fn recover_to_semi(&mut self) {
+        loop {
+            match self.peek().kind {
+                TokenKind::Semi => {
+                    self.advance();
+                    return;
+                }
+                TokenKind::Eof => return,
+                _ => {
+                    self.advance();
+                }
+            }
+        }
+    }
+
+    fn program(&mut self) -> Program {
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            match self.statement() {
+                Ok(stmt) => stmts.push(stmt),
+                Err(Recover) => self.recover_to_semi(),
+            }
+        }
+        Program { stmts }
+    }
+
+    fn statement(&mut self) -> PResult<Stmt> {
+        match self.peek().kind {
+            TokenKind::KwInput => self.input_stmt(),
+            TokenKind::KwOutput => self.output_stmt(),
+            TokenKind::Ident(_) => self.let_stmt(),
+            _ => {
+                let found = self.peek().kind.describe();
+                Err(self.error_here(format!(
+                    "expected a statement (`input`, `output`, or `name = ...`), found {found}"
+                )))
+            }
+        }
+    }
+
+    /// `input NAME (in [num, num])? ;`
+    fn input_stmt(&mut self) -> PResult<Stmt> {
+        self.advance(); // `input`
+        let name = self.expect_ident("an input name")?;
+        let range = if self.at(&TokenKind::KwIn) {
+            self.advance();
+            let open = self.expect(&TokenKind::LBracket, "`[` to open the range")?;
+            let lo = self.signed_number("the range's lower bound")?;
+            self.expect(&TokenKind::Comma, "`,` between the range bounds")?;
+            let hi = self.signed_number("the range's upper bound")?;
+            let close = self.expect(&TokenKind::RBracket, "`]` to close the range")?;
+            Some(InputRange {
+                lo,
+                hi,
+                span: open.span.to(close.span),
+            })
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi, "`;` after the input declaration")?;
+        Ok(Stmt::Input { name, range })
+    }
+
+    /// `output NAME (= expr)? ;`
+    fn output_stmt(&mut self) -> PResult<Stmt> {
+        self.advance(); // `output`
+        let name = self.expect_ident("an output name")?;
+        let expr = if self.eat(&TokenKind::Eq) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi, "`;` after the output declaration")?;
+        Ok(Stmt::Output { name, expr })
+    }
+
+    /// `NAME = expr ;`
+    fn let_stmt(&mut self) -> PResult<Stmt> {
+        let name = self.expect_ident("a name")?;
+        self.expect(&TokenKind::Eq, "`=` after the name")?;
+        let expr = self.expr()?;
+        self.expect(&TokenKind::Semi, "`;` after the statement")?;
+        Ok(Stmt::Let { name, expr })
+    }
+
+    /// A possibly-signed numeric literal (used only in range annotations).
+    fn signed_number(&mut self, what: &str) -> PResult<f64> {
+        let negate = self.eat(&TokenKind::Minus);
+        match self.peek().kind {
+            TokenKind::Number(v) => {
+                self.advance();
+                Ok(if negate { -v } else { v })
+            }
+            _ => {
+                let found = self.peek().kind.describe();
+                Err(self.error_here(format!("expected {what} (a number), found {found}")))
+            }
+        }
+    }
+
+    /// `expr := term (('+'|'-') term)*`
+    fn expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.term()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+    }
+
+    /// `term := unary (('*'|'/') unary)*`
+    fn term(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+    }
+
+    /// `unary := '-' unary | 'delay' unary | primary`
+    fn unary(&mut self) -> PResult<Expr> {
+        match self.peek().kind {
+            TokenKind::Minus => {
+                let minus = self.advance();
+                let operand = self.unary()?;
+                let span = minus.span.to(operand.span);
+                // Fold `-literal` into the literal so negative
+                // coefficients lower to a single constant node.
+                if let ExprKind::Number(v) = operand.kind {
+                    return Ok(Expr {
+                        kind: ExprKind::Number(-v),
+                        span,
+                    });
+                }
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnaryOp::Neg,
+                        operand: Box::new(operand),
+                    },
+                    span,
+                })
+            }
+            TokenKind::KwDelay => {
+                let kw = self.advance();
+                let operand = self.unary()?;
+                let span = kw.span.to(operand.span);
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnaryOp::Delay,
+                        operand: Box::new(operand),
+                    },
+                    span,
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    /// `primary := NUMBER | IDENT | '(' expr ')'`
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(v) => {
+                let span = self.advance().span;
+                Ok(Expr {
+                    kind: ExprKind::Number(v),
+                    span,
+                })
+            }
+            TokenKind::Ident(name) => {
+                let span = self.advance().span;
+                Ok(Expr {
+                    kind: ExprKind::Var(name),
+                    span,
+                })
+            }
+            TokenKind::LParen => {
+                let open = self.advance();
+                let inner = self.expr()?;
+                let close = self.expect(&TokenKind::RParen, "`)` to close the parenthesis")?;
+                Ok(Expr {
+                    kind: inner.kind,
+                    span: open.span.to(close.span),
+                })
+            }
+            other => Err(self.error_here(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Span;
+
+    fn parse_one(src: &str) -> Stmt {
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts.len(), 1, "{src}");
+        p.stmts.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parses_the_issue_example() {
+        let src = "input x in [-1, 1];\n\
+                   t = 0.3*x;\n\
+                   y_prev = delay y;\n\
+                   y = t + 0.5*y_prev;\n\
+                   output y;\n";
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts.len(), 5);
+        match &p.stmts[0] {
+            Stmt::Input { name, range } => {
+                assert_eq!(name.name, "x");
+                let r = range.as_ref().unwrap();
+                assert_eq!((r.lo, r.hi), (-1.0, 1.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.stmts[2] {
+            Stmt::Let { name, expr } => {
+                assert_eq!(name.name, "y_prev");
+                assert_eq!(expr.to_string(), "delay y");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let s = parse_one("y = (a + b) * c - d / -e;");
+        match s {
+            Stmt::Let { expr, .. } => {
+                assert_eq!(expr.to_string(), "(a + b) * c - d / -e");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let s = parse_one("y = -0.5 * x;");
+        match s {
+            Stmt::Let { expr, .. } => match expr.kind {
+                ExprKind::Binary { op, lhs, .. } => {
+                    assert_eq!(op, BinaryOp::Mul);
+                    assert_eq!(lhs.kind, ExprKind::Number(-0.5));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_with_inline_expression() {
+        let s = parse_one("output y = a + 1;");
+        match s {
+            Stmt::Output { name, expr } => {
+                assert_eq!(name.name, "y");
+                assert_eq!(expr.unwrap().to_string(), "a + 1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_multiple_errors_with_recovery() {
+        let errs = parse("t = ;\nu = 1 +;\nv = 2;").unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs[0].message.contains("expected an expression"));
+        assert!(errs[1].message.contains("expected an expression"));
+    }
+
+    #[test]
+    fn error_spans_point_at_the_offender() {
+        let src = "y = 1 + ;";
+        let errs = parse(src).unwrap_err();
+        assert_eq!(errs[0].span, Span::new(8, 9));
+    }
+
+    #[test]
+    fn missing_semicolon_is_reported() {
+        let errs = parse("y = 1").unwrap_err();
+        assert!(errs[0].message.contains("`;`"), "{:?}", errs[0]);
+    }
+
+    #[test]
+    fn input_range_variants() {
+        assert!(matches!(
+            parse_one("input x;"),
+            Stmt::Input { range: None, .. }
+        ));
+        let errs = parse("input x in [1 2];").unwrap_err();
+        assert!(errs[0].message.contains("`,`"));
+    }
+
+    #[test]
+    fn spans_cover_expressions() {
+        let src = "y = a + b * c;";
+        let p = parse(src).unwrap();
+        match &p.stmts[0] {
+            Stmt::Let { expr, .. } => {
+                assert_eq!(&src[expr.span.start..expr.span.end], "a + b * c");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

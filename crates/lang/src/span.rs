@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// A byte range into a source string.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at one offset.
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Resolves this span against its source: `(line, column)` of the
+    /// start, both 1-based, measured in characters.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let upto = &source[..self.start.min(source.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto
+            .rfind('\n')
+            .map(|nl| upto[nl + 1..].chars().count() + 1)
+            .unwrap_or_else(|| upto.chars().count() + 1);
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_resolution() {
+        let src = "ab\ncdef\ng";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(1, 2).line_col(src), (1, 2));
+        assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
+        assert_eq!(Span::new(6, 7).line_col(src), (2, 4));
+        assert_eq!(Span::new(8, 9).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn joins_cover_both() {
+        let a = Span::new(3, 5);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+}

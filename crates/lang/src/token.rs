@@ -1,0 +1,318 @@
+use std::fmt;
+
+use crate::{Diagnostic, Span};
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token's kind (and payload, for identifiers and numbers).
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The kinds of token in the `.sna` language.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier (not one of the keywords).
+    Ident(String),
+    /// A numeric literal (always finite).
+    Number(f64),
+    /// `input`
+    KwInput,
+    /// `output`
+    KwOutput,
+    /// `in`
+    KwIn,
+    /// `delay`
+    KwDelay,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable name used in "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Number(v) => format!("number `{v}`"),
+            TokenKind::KwInput => "keyword `input`".to_string(),
+            TokenKind::KwOutput => "keyword `output`".to_string(),
+            TokenKind::KwIn => "keyword `in`".to_string(),
+            TokenKind::KwDelay => "keyword `delay`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Slash => "`/`".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::LBracket => "`[`".to_string(),
+            TokenKind::RBracket => "`]`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Semi => "`;`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Tokenizes `source`, returning the token stream (terminated by
+/// [`TokenKind::Eof`]) or the lexical errors.
+///
+/// Comments run from `#` or `//` to the end of the line. Numbers are
+/// unsigned decimal literals with optional fraction and exponent —
+/// negative constants are produced by the parser's unary minus.
+///
+/// # Errors
+///
+/// One [`Diagnostic`] per unexpected character or malformed/overflowing
+/// number literal.
+pub fn lex(source: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut errors = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => i = end_of_line(bytes, i),
+            b'/' if bytes.get(i + 1) == Some(&b'/') => i = end_of_line(bytes, i),
+            b'+' => i = punct(&mut tokens, TokenKind::Plus, i),
+            b'-' => i = punct(&mut tokens, TokenKind::Minus, i),
+            b'*' => i = punct(&mut tokens, TokenKind::Star, i),
+            b'/' => i = punct(&mut tokens, TokenKind::Slash, i),
+            b'=' => i = punct(&mut tokens, TokenKind::Eq, i),
+            b'(' => i = punct(&mut tokens, TokenKind::LParen, i),
+            b')' => i = punct(&mut tokens, TokenKind::RParen, i),
+            b'[' => i = punct(&mut tokens, TokenKind::LBracket, i),
+            b']' => i = punct(&mut tokens, TokenKind::RBracket, i),
+            b',' => i = punct(&mut tokens, TokenKind::Comma, i),
+            b';' => i = punct(&mut tokens, TokenKind::Semi, i),
+            b'0'..=b'9' => {
+                let start = i;
+                i = scan_number(bytes, i);
+                let text = &source[start..i];
+                match text.parse::<f64>() {
+                    Ok(v) if v.is_finite() => tokens.push(Token {
+                        kind: TokenKind::Number(v),
+                        span: Span::new(start, i),
+                    }),
+                    _ => errors.push(Diagnostic::new(
+                        format!("number literal `{text}` does not fit a finite f64"),
+                        Span::new(start, i),
+                    )),
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let kind = match text {
+                    "input" => TokenKind::KwInput,
+                    "output" => TokenKind::KwOutput,
+                    "in" => TokenKind::KwIn,
+                    "delay" => TokenKind::KwDelay,
+                    _ => TokenKind::Ident(text.to_string()),
+                };
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                // Take one whole UTF-8 character for the error span.
+                let ch_len = source[i..].chars().next().map_or(1, char::len_utf8);
+                errors.push(Diagnostic::new(
+                    format!("unexpected character `{}`", &source[i..i + ch_len]),
+                    Span::new(i, i + ch_len),
+                ));
+                i += ch_len;
+            }
+        }
+    }
+
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::point(source.len()),
+    });
+    if errors.is_empty() {
+        Ok(tokens)
+    } else {
+        Err(errors)
+    }
+}
+
+fn punct(tokens: &mut Vec<Token>, kind: TokenKind, at: usize) -> usize {
+    tokens.push(Token {
+        kind,
+        span: Span::new(at, at + 1),
+    });
+    at + 1
+}
+
+fn end_of_line(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+/// Scans `[0-9]+ ('.' [0-9]+)? ([eE] [+-]? [0-9]+)?` starting at a digit.
+fn scan_number(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_readme_example() {
+        let ks = kinds("input x in [-1, 1]; t = 0.3*x;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::KwInput,
+                TokenKind::Ident("x".into()),
+                TokenKind::KwIn,
+                TokenKind::LBracket,
+                TokenKind::Minus,
+                TokenKind::Number(1.0),
+                TokenKind::Comma,
+                TokenKind::Number(1.0),
+                TokenKind::RBracket,
+                TokenKind::Semi,
+                TokenKind::Ident("t".into()),
+                TokenKind::Eq,
+                TokenKind::Number(0.3),
+                TokenKind::Star,
+                TokenKind::Ident("x".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_fractions() {
+        assert_eq!(
+            kinds("1 2.5 1e3 4.25e-2 7E+1"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(1e3),
+                TokenKind::Number(4.25e-2),
+                TokenKind::Number(7e1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dangling_dot_is_not_part_of_a_number() {
+        // `1.` lexes as number then error for `.` (no trailing-dot floats).
+        assert!(lex("x = 1.;").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("# full line\nx // tail\n y"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn delay_is_a_keyword_but_delayed_is_not() {
+        assert_eq!(
+            kinds("delay delayed"),
+            vec![
+                TokenKind::KwDelay,
+                TokenKind::Ident("delayed".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn huge_literals_are_rejected() {
+        let err = lex("x = 1e999;").unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].message.contains("finite"));
+    }
+
+    #[test]
+    fn unexpected_characters_are_reported_with_spans() {
+        let err = lex("x = @;").unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].span, Span::new(4, 5));
+    }
+
+    #[test]
+    fn spans_cover_the_token_text() {
+        let toks = lex("alpha = 10.5;").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 5));
+        assert_eq!(toks[2].span, Span::new(8, 12));
+    }
+}

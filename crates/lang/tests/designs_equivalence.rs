@@ -1,0 +1,125 @@
+//! The shipped `examples/*.sna` sources must lower to graphs *equivalent*
+//! to the hand-coded `sna_designs` builders: identical operation counts,
+//! identical input ranges, and **bit-identical** simulation traces (the
+//! `.sna` files carry shortest-round-trip literals and reproduce the
+//! builders' operation trees, so `==` holds — no tolerances).
+
+use sna_designs::Design;
+use sna_dfg::Simulator;
+use sna_lang::Lowered;
+
+fn compile_example(name: &str) -> Lowered {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    match sna_lang::compile(&source) {
+        Ok(lowered) => lowered,
+        Err(diags) => panic!(
+            "{name} does not compile:\n{}",
+            sna_lang::render_all(&diags, &source, name)
+        ),
+    }
+}
+
+/// Deterministic input sequence in the design's input ranges (an LCG, so
+/// both graphs see byte-identical stimuli).
+fn stimuli(design: &Design, steps: usize) -> Vec<Vec<f64>> {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next01 = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..steps)
+        .map(|_| {
+            design
+                .input_ranges
+                .iter()
+                .map(|r| r.lo() + next01() * (r.hi() - r.lo()))
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_equivalent(name: &str, lowered: &Lowered, design: &Design) {
+    assert_eq!(
+        lowered.dfg.op_counts(),
+        design.dfg.op_counts(),
+        "{name}: operation counts differ"
+    );
+    assert_eq!(
+        lowered.input_ranges, design.input_ranges,
+        "{name}: input ranges differ"
+    );
+    assert_eq!(
+        lowered.dfg.outputs().len(),
+        design.dfg.outputs().len(),
+        "{name}: output counts differ"
+    );
+    for ((got, _), (want, _)) in lowered.dfg.outputs().iter().zip(design.dfg.outputs()) {
+        assert_eq!(got, want, "{name}: output names differ");
+    }
+
+    let frames = stimuli(design, 100);
+    let mut sim_lowered = Simulator::new(&lowered.dfg);
+    let mut sim_design = Simulator::new(&design.dfg);
+    for (step, frame) in frames.iter().enumerate() {
+        let got = sim_lowered.step(frame).unwrap();
+        let want = sim_design.step(frame).unwrap();
+        assert_eq!(got, want, "{name}: traces diverge at step {step}");
+    }
+}
+
+#[test]
+fn fir_sna_matches_the_fir25_builder() {
+    let lowered = compile_example("fir.sna");
+    let design = sna_designs::fir25();
+    assert_equivalent("fir.sna", &lowered, &design);
+    let c = lowered.dfg.op_counts();
+    assert_eq!((c.muls, c.adds, c.delays), (25, 24, 24));
+}
+
+#[test]
+fn diffeq_sna_matches_the_diff_eq18_builder() {
+    let lowered = compile_example("diffeq.sna");
+    let design = sna_designs::diff_eq18();
+    assert_equivalent("diffeq.sna", &lowered, &design);
+    let c = lowered.dfg.op_counts();
+    assert_eq!((c.muls, c.adds, c.delays), (19, 18, 18));
+    assert!(!lowered.dfg.is_combinational());
+    assert!(lowered.dfg.is_linear());
+}
+
+#[test]
+fn quadratic_sna_matches_the_quadratic_builder() {
+    let lowered = compile_example("quadratic.sna");
+    let design = sna_designs::quadratic();
+    assert_equivalent("quadratic.sna", &lowered, &design);
+    assert!(!lowered.dfg.is_linear());
+}
+
+#[test]
+fn rgb_sna_matches_the_rgb_to_ycrcb_builder() {
+    let lowered = compile_example("rgb.sna");
+    let design = sna_designs::rgb_to_ycrcb();
+    assert_equivalent("rgb.sna", &lowered, &design);
+    let c = lowered.dfg.op_counts();
+    assert_eq!((c.muls, c.adds), (9, 8));
+    assert_eq!(lowered.dfg.outputs().len(), 3);
+}
+
+#[test]
+fn diffeq_sna_settles_to_unit_dc_gain() {
+    // Sanity beyond equivalence: the textual filter is still the paper's
+    // stable unit-DC-gain design.
+    let lowered = compile_example("diffeq.sna");
+    let mut sim = Simulator::new(&lowered.dfg);
+    let mut last = 0.0;
+    for _ in 0..2000 {
+        last = sim.step(&[1.0]).unwrap()[0];
+    }
+    assert!((last - 1.0).abs() < 1e-6, "settled at {last}");
+}

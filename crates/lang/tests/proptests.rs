@@ -1,0 +1,278 @@
+//! Property-based tests for the DSL pipeline.
+//!
+//! The central invariant is the round trip: pretty-printing a random
+//! program and re-parsing it must reproduce the same canonical form, and
+//! lowering both must produce structurally identical graphs with
+//! bit-identical simulation traces.
+
+use proptest::prelude::*;
+use sna_lang::{
+    compile, lower, parse, BinaryOp, Expr, ExprKind, Ident, InputRange, Program, Span, Stmt,
+    UnaryOp,
+};
+
+// ----------------------------------------------------------------------
+// Random program generation (seed-driven, so it composes with the
+// proptest strategies without needing recursive combinators)
+// ----------------------------------------------------------------------
+
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// Dyadic rationals keep the printed forms short; any f64 would
+    /// round-trip, this just keeps failure output readable.
+    fn number(&mut self) -> f64 {
+        (self.below(4001) as f64 - 2000.0) / 16.0
+    }
+}
+
+fn ident(name: &str) -> Ident {
+    Ident {
+        name: name.to_string(),
+        span: Span::default(),
+    }
+}
+
+fn expr(kind: ExprKind) -> Expr {
+    Expr {
+        kind,
+        span: Span::default(),
+    }
+}
+
+/// A random expression over `names`, with all six operators reachable.
+fn random_expr(g: &mut Gen, names: &[String], depth: usize) -> Expr {
+    if depth == 0 || g.below(3) == 0 {
+        return if names.is_empty() || g.below(2) == 0 {
+            expr(ExprKind::Number(g.number()))
+        } else {
+            let k = g.below(names.len() as u64) as usize;
+            expr(ExprKind::Var(names[k].clone()))
+        };
+    }
+    match g.below(6) {
+        0..=3 => {
+            let op = match g.below(4) {
+                0 => BinaryOp::Add,
+                1 => BinaryOp::Sub,
+                2 => BinaryOp::Mul,
+                _ => BinaryOp::Div,
+            };
+            let lhs = random_expr(g, names, depth - 1);
+            let rhs = random_expr(g, names, depth - 1);
+            expr(ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        }
+        4 => {
+            let operand = random_expr(g, names, depth - 1);
+            // `-literal` folds to a literal at parse time; fold here too
+            // so printing stays canonical.
+            if let ExprKind::Number(v) = operand.kind {
+                expr(ExprKind::Number(-v))
+            } else {
+                expr(ExprKind::Unary {
+                    op: UnaryOp::Neg,
+                    operand: Box::new(operand),
+                })
+            }
+        }
+        _ => {
+            let operand = random_expr(g, names, depth - 1);
+            expr(ExprKind::Unary {
+                op: UnaryOp::Delay,
+                operand: Box::new(operand),
+            })
+        }
+    }
+}
+
+/// A random well-formed program: inputs (some with ranges), straight-line
+/// bindings, optional `delay`-feedback, one or two outputs.
+fn random_program(seed: u64) -> Program {
+    let mut g = Gen::new(seed);
+    let mut stmts = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+
+    let n_inputs = 1 + g.below(3) as usize;
+    for k in 0..n_inputs {
+        let name = format!("x{k}");
+        let range = if g.below(2) == 0 {
+            let lo = -(1.0 + g.below(8) as f64) / 2.0;
+            let hi = (1.0 + g.below(8) as f64) / 2.0;
+            Some(InputRange {
+                lo,
+                hi,
+                span: Span::default(),
+            })
+        } else {
+            None
+        };
+        stmts.push(Stmt::Input {
+            name: ident(&name),
+            range,
+        });
+        names.push(name);
+    }
+
+    // Optional feedback: a forward `delay` reference to the final `out`.
+    let feedback = g.below(2) == 0;
+    if feedback {
+        stmts.push(Stmt::Let {
+            name: ident("fb"),
+            expr: expr(ExprKind::Unary {
+                op: UnaryOp::Delay,
+                operand: Box::new(expr(ExprKind::Var("out".into()))),
+            }),
+        });
+        names.push("fb".into());
+    }
+
+    let n_lets = g.below(5) as usize;
+    for k in 0..n_lets {
+        let name = format!("v{k}");
+        let e = random_expr(&mut g, &names, 3);
+        // `v = w;` aliases are legal but print-canonical only when the
+        // alias target is not itself renamed; keep them (they round-trip).
+        stmts.push(Stmt::Let {
+            name: ident(&name),
+            expr: e,
+        });
+        names.push(name);
+    }
+
+    // The mandatory output closes any feedback loop.
+    let closing = random_expr(&mut g, &names, 2);
+    let closing = if feedback {
+        // Keep the loop gain bounded so traces stay finite: out depends
+        // on fb through a contracting multiply.
+        expr(ExprKind::Binary {
+            op: BinaryOp::Add,
+            lhs: Box::new(expr(ExprKind::Binary {
+                op: BinaryOp::Mul,
+                lhs: Box::new(expr(ExprKind::Number(0.25))),
+                rhs: Box::new(expr(ExprKind::Var("fb".into()))),
+            })),
+            rhs: Box::new(closing),
+        })
+    } else {
+        closing
+    };
+    stmts.push(Stmt::Output {
+        name: ident("out"),
+        expr: Some(closing),
+    });
+    if g.below(2) == 0 {
+        let e = random_expr(&mut g, &names, 2);
+        stmts.push(Stmt::Output {
+            name: ident("out2"),
+            expr: Some(e),
+        });
+    }
+    Program { stmts }
+}
+
+/// Division can produce non-finite values or simulator errors (division
+/// by zero); compare traces bit-for-bit and stop at the first error —
+/// both graphs must fail identically.
+fn trace_bits(dfg: &sna_dfg::Dfg, frames: &[Vec<f64>]) -> Vec<Result<Vec<u64>, String>> {
+    let mut sim = sna_dfg::Simulator::new(dfg);
+    let mut out = Vec::new();
+    for frame in frames {
+        match sim.step(frame) {
+            Ok(values) => out.push(Ok(values.into_iter().map(f64::to_bits).collect())),
+            Err(e) => {
+                out.push(Err(e.to_string()));
+                break;
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_printing_reaches_a_fixpoint_after_one_parse(seed in 0u64..1_000_000_000) {
+        let program = random_program(seed);
+        let printed = program.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: canonical form does not parse: {e:?}\n{printed}"));
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    #[test]
+    fn lowering_is_invariant_under_the_round_trip(seed in 0u64..1_000_000_000) {
+        let program = random_program(seed);
+        let printed = program.to_string();
+        let original = lower(&program);
+        let reparsed = compile(&printed);
+        match (original, reparsed) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.dfg.op_counts(), b.dfg.op_counts(), "seed {}", seed);
+                prop_assert_eq!(a.dfg.len(), b.dfg.len(), "seed {}", seed);
+                prop_assert_eq!(&a.input_ranges, &b.input_ranges, "seed {}", seed);
+                let mut g = Gen::new(seed ^ 0xdead_beef);
+                let frames: Vec<Vec<f64>> = (0..20)
+                    .map(|_| (0..a.dfg.n_inputs()).map(|_| g.number() / 100.0).collect())
+                    .collect();
+                prop_assert_eq!(
+                    trace_bits(&a.dfg, &frames),
+                    trace_bits(&b.dfg, &frames),
+                    "seed {}",
+                    seed
+                );
+            }
+            (Err(ea), Err(eb)) => {
+                // Both reject (e.g. a randomly-degenerate program): the
+                // round trip must at least agree on rejection.
+                prop_assert_eq!(ea.len(), eb.len(), "seed {}", seed);
+            }
+            (a, b) => panic!("seed {seed}: lowering disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn random_numbers_round_trip_exactly(bits in 0u64..u64::MAX) {
+        // Any finite f64 literal printed canonically must re-parse to the
+        // same bits (the foundation of the designs-equivalence tests).
+        let v = f64::from_bits(bits);
+        if v.is_finite() && v >= 0.0 {
+            let src = format!("input x;\noutput y = x + {v};\n");
+            let lowered = compile(&src).unwrap();
+            let consts: Vec<f64> = lowered
+                .dfg
+                .nodes()
+                .filter_map(|(_, n)| match n.op() {
+                    sna_dfg::Op::Const(c) => Some(c),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(consts.len(), 1);
+            prop_assert_eq!(consts[0].to_bits(), v.to_bits());
+        }
+    }
+}

@@ -176,8 +176,6 @@ mod tests {
     fn infeasible_start_is_rejected() {
         let (g, r) = setup();
         let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
-        assert!(opt
-            .anneal(1e-300, 12, &AnnealOptions::default())
-            .is_err());
+        assert!(opt.anneal(1e-300, 12, &AnnealOptions::default()).is_err());
     }
 }

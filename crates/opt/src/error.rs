@@ -42,7 +42,10 @@ impl fmt::Display for OptError {
                 "noise budget {budget:e} unreachable; best achievable is {best_noise:e}"
             ),
             OptError::SearchSpaceTooLarge { candidates, cap } => {
-                write!(f, "exhaustive search of {candidates} candidates exceeds cap {cap}")
+                write!(
+                    f,
+                    "exhaustive search of {candidates} candidates exceeds cap {cap}"
+                )
             }
         }
     }

@@ -161,11 +161,7 @@ impl Optimizer<'_> {
 
     /// The narrowest uniform configuration meeting the budget, if any
     /// exists at or below `start_w`.
-    fn best_feasible_uniform(
-        &self,
-        budget: f64,
-        start_w: u8,
-    ) -> Result<Option<Vec<u8>>, OptError> {
+    fn best_feasible_uniform(&self, budget: f64, start_w: u8) -> Result<Option<Vec<u8>>, OptError> {
         let mut best = None;
         for w in (self.bounds.min..=start_w).rev() {
             let v = self.uniform_vector(w);

@@ -1,10 +1,28 @@
-use sna_core::NaModel;
+use sna_core::{DfgEngine, EngineOptions, NaModel};
 use sna_dfg::{Dfg, LtiOptions, RangeOptions};
 use sna_fixp::WlConfig;
 use sna_hls::{synthesize, CostReport, FuKind, SynthesisConstraints};
 use sna_interval::Interval;
 
 use crate::OptError;
+
+/// How candidate noise is evaluated inside the search loops.
+///
+/// Linear graphs (with or without feedback) use the precomputed
+/// [`NaModel`] — `O(#nodes)` per candidate. Nonlinear *combinational*
+/// graphs fall back to the histogram-propagation [`DfgEngine`], which is
+/// slower per candidate but assumption-free — this is the paper's "SNA
+/// inside the optimization loop" configuration.
+#[derive(Debug)]
+enum NoiseModel {
+    /// Precomputed LTI moment model (linear graphs).
+    Na(NaModel),
+    /// Per-candidate histogram propagation (nonlinear combinational).
+    Hist {
+        /// Histogram resolution per operation.
+        bins: usize,
+    },
+}
 
 /// Weights of the multi-objective cost `wa·area + wp·power + wl·latency`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,7 +84,8 @@ pub struct Optimizer<'a> {
     pub(crate) constraints: SynthesisConstraints,
     pub(crate) weights: CostWeights,
     pub(crate) bounds: WlBounds,
-    pub(crate) model: NaModel,
+    model: NoiseModel,
+    input_ranges: &'a [Interval],
     pub(crate) node_ranges: Vec<Interval>,
     /// Per-node lower bound: integer part must fit.
     pub(crate) min_w: Vec<u8>,
@@ -75,20 +94,35 @@ pub struct Optimizer<'a> {
 }
 
 impl<'a> Optimizer<'a> {
-    /// Builds the context: range analysis, LTI noise model, per-node
-    /// minimum widths.
+    /// Builds the context: range analysis, noise model, per-node minimum
+    /// widths.
+    ///
+    /// Linear graphs get the fast precomputed [`NaModel`]; nonlinear
+    /// *combinational* graphs fall back to per-candidate [`DfgEngine`]
+    /// histogram propagation (see [`Optimizer::na_model`]).
     ///
     /// # Errors
     ///
-    /// Propagates noise-model failures (nonlinear or unstable graphs).
+    /// Propagates noise-model failures (nonlinear *sequential* graphs,
+    /// unstable feedback, range failures).
     pub fn new(
         dfg: &'a Dfg,
         input_ranges: &'a [Interval],
         constraints: SynthesisConstraints,
     ) -> Result<Self, OptError> {
-        let model = NaModel::build(dfg, input_ranges, &LtiOptions::default())?;
+        let model = match NaModel::build(dfg, input_ranges, &LtiOptions::default()) {
+            Ok(model) => NoiseModel::Na(model),
+            // The histogram engine needs no linearity but cannot cross
+            // delays; sequential nonlinear graphs keep the error.
+            Err(_) if !dfg.is_linear() && dfg.is_combinational() => NoiseModel::Hist { bins: 64 },
+            Err(e) => return Err(e.into()),
+        };
         let node_ranges = dfg
-            .ranges_auto(input_ranges, &RangeOptions::default(), &LtiOptions::default())
+            .ranges_auto(
+                input_ranges,
+                &RangeOptions::default(),
+                &LtiOptions::default(),
+            )
             .map_err(|e| OptError::Sna(sna_core::SnaError::Dfg(e)))?;
         let bounds = WlBounds::default();
         let min_w = node_ranges
@@ -114,6 +148,7 @@ impl<'a> Optimizer<'a> {
             weights: CostWeights::default(),
             bounds,
             model,
+            input_ranges,
             node_ranges,
             min_w,
             int_bits,
@@ -136,7 +171,8 @@ impl<'a> Optimizer<'a> {
                 .iter()
                 .map(|a| {
                     let wa = w[a.index()];
-                    wa.saturating_sub(1).saturating_sub(self.int_bits[a.index()])
+                    wa.saturating_sub(1)
+                        .saturating_sub(self.int_bits[a.index()])
                 })
                 .max()
                 .unwrap_or(0);
@@ -182,9 +218,13 @@ impl<'a> Optimizer<'a> {
         Ok(self)
     }
 
-    /// The prebuilt noise model.
-    pub fn model(&self) -> &NaModel {
-        &self.model
+    /// The prebuilt NA moment model, when the graph is linear; `None`
+    /// when the histogram fallback is in use.
+    pub fn na_model(&self) -> Option<&NaModel> {
+        match &self.model {
+            NoiseModel::Na(model) => Some(model),
+            NoiseModel::Hist { .. } => None,
+        }
     }
 
     /// Per-node minimum feasible word lengths.
@@ -199,7 +239,22 @@ impl<'a> Optimizer<'a> {
     /// Noise power of a word-length vector (fast path).
     pub(crate) fn noise_of(&self, w: &[u8]) -> Result<f64, OptError> {
         let cfg = WlConfig::from_precomputed_ranges(&self.node_ranges, w)?;
-        Ok(self.model.total_power(self.dfg, &cfg))
+        self.noise_of_config(&cfg)
+    }
+
+    /// Total output noise power of a configuration under the active model.
+    fn noise_of_config(&self, cfg: &WlConfig) -> Result<f64, OptError> {
+        match &self.model {
+            NoiseModel::Na(model) => Ok(model.total_power(self.dfg, cfg)),
+            NoiseModel::Hist { bins } => {
+                let reports = DfgEngine::new(EngineOptions::default().with_bins(*bins)).analyze(
+                    self.dfg,
+                    cfg,
+                    self.input_ranges,
+                )?;
+                Ok(reports.iter().map(|(_, r)| r.power).sum())
+            }
+        }
     }
 
     /// Per-node noise sensitivity `cᵢ` measured at configuration `at`:
@@ -283,12 +338,10 @@ impl<'a> Optimizer<'a> {
     pub(crate) fn evaluate(&self, w: Vec<u8>) -> Result<Evaluation, OptError> {
         let config = WlConfig::from_precomputed_ranges(&self.node_ranges, &w)?;
         let imp = synthesize(self.dfg, &config, &self.constraints)?;
-        let noise_power = self.model.total_power(self.dfg, &config);
-        let weighted_cost = imp.cost.weighted(
-            self.weights.area,
-            self.weights.power,
-            self.weights.latency,
-        );
+        let noise_power = self.noise_of_config(&config)?;
+        let weighted_cost =
+            imp.cost
+                .weighted(self.weights.area, self.weights.power, self.weights.latency);
         Ok(Evaluation {
             word_lengths: w,
             config,
@@ -532,6 +585,44 @@ mod tests {
             opt.group_greedy(1e-300, 12),
             Err(OptError::Infeasible { .. })
         ));
+    }
+
+    #[test]
+    fn nonlinear_combinational_uses_the_histogram_fallback() {
+        // y = x·x + 0.5·x — nonlinear, so the NA model cannot build; the
+        // optimizer must still work via DfgEngine noise evaluation.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let sq = b.mul(x, x);
+        let t = b.mul_const(0.5, x);
+        let y = b.add(sq, t);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let r = vec![iv(-1.0, 1.0)];
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        assert!(opt.na_model().is_none());
+        let fixed = opt.uniform(10).unwrap();
+        assert!(fixed.noise_power > 0.0);
+        let tuned = opt.greedy(fixed.noise_power, 14).unwrap();
+        assert!(tuned.noise_power <= fixed.noise_power * (1.0 + 1e-12));
+        let fixed_proxy = opt.proxy_cost(&fixed.word_lengths);
+        let tuned_proxy = opt.proxy_cost(&tuned.word_lengths);
+        assert!(tuned_proxy <= fixed_proxy * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn nonlinear_sequential_still_errors() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let sq = b.mul(fb, fb);
+        let scaled = b.mul_const(0.1, sq);
+        let y = b.add(x, scaled);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let r = vec![iv(-0.5, 0.5)];
+        assert!(Optimizer::new(&g, &r, SynthesisConstraints::default()).is_err());
     }
 
     #[test]

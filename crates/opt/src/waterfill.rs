@@ -64,10 +64,8 @@ impl Optimizer<'_> {
                         // — keep it wide, the final trim pass shrinks it.
                         return this.bounds.max;
                     }
-                    let ideal =
-                        lambda_log4 + ((4f64.ln()) * c[i] / s[i]).log(4.0);
-                    (ideal.ceil().clamp(0.0, 64.0) as u8)
-                        .clamp(this.min_w[i], this.bounds.max)
+                    let ideal = lambda_log4 + ((4f64.ln()) * c[i] / s[i]).log(4.0);
+                    (ideal.ceil().clamp(0.0, 64.0) as u8).clamp(this.min_w[i], this.bounds.max)
                 })
                 .collect();
             // Zero-sensitivity exact ops (adders etc.) must keep all

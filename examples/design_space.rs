@@ -40,9 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Pick the cheapest point above 60 dB SQNR and refine it.
-    if let Some(e) = front.iter().find(|e| {
-        10.0 * (signal_power / e.noise_power).log10() >= 60.0
-    }) {
+    if let Some(e) = front
+        .iter()
+        .find(|e| 10.0 * (signal_power / e.noise_power).log10() >= 60.0)
+    {
         let w = *e.word_lengths.iter().max().unwrap();
         println!("\ncheapest ≥60 dB point: W = {w}; optimizing at its noise budget…");
         let tuned = opt.greedy(e.noise_power, w + 6)?;

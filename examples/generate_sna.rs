@@ -1,0 +1,76 @@
+//! Regenerates the `.sna` sources under `examples/` for the paper designs
+//! whose coefficients are computed (FIR windowed sinc, diff-eq poles):
+//!
+//! ```text
+//! cargo run --example generate_sna
+//! ```
+//!
+//! Literals are printed with `{}` (shortest round-trip form), so the
+//! generated text re-parses to bit-identical constants and the lowered
+//! graphs simulate exactly like the `sna::designs` builders — the
+//! equivalence tests in `crates/lang/tests/designs_equivalence.rs` hold
+//! to `==`, not to a tolerance.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use sna::designs::{diff_eq_coefficients, fir_coefficients};
+
+fn fir_sna(taps: usize) -> String {
+    let h = fir_coefficients(taps);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Design II — {taps}-tap direct-form low-pass FIR (windowed sinc, unit DC gain).\n\
+         # Matches sna::designs::fir({taps}); regenerate with `cargo run --example generate_sna`.\n\
+         input x in [-1, 1];"
+    )
+    .unwrap();
+    for k in 1..taps {
+        let prev = if k == 1 {
+            "x".to_string()
+        } else {
+            format!("x{}", k - 1)
+        };
+        writeln!(out, "x{k} = delay {prev};").unwrap();
+    }
+    write!(out, "y = {}*x", h[0]).unwrap();
+    for (k, &hk) in h[1..].iter().enumerate() {
+        write!(out, "\n  + {}*x{}", hk, k + 1).unwrap();
+    }
+    out.push_str(";\noutput y;\n");
+    out
+}
+
+fn diffeq_sna(order: usize) -> String {
+    let (d, b0) = diff_eq_coefficients(order);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Design I — order-{order} difference equation y[n] = b0·x[n] − Σ dk·y[n−k]\n\
+         # (stable poles, unit DC gain). Matches sna::designs::diff_eq({order});\n\
+         # regenerate with `cargo run --example generate_sna`.\n\
+         input x in [-1, 1];\n\
+         g = {b0}*x;"
+    )
+    .unwrap();
+    writeln!(out, "t1 = delay y;").unwrap();
+    for k in 2..=order {
+        writeln!(out, "t{k} = delay t{};", k - 1).unwrap();
+    }
+    write!(out, "y = g").unwrap();
+    for (k, &dk) in d.iter().enumerate() {
+        write!(out, "\n  + {}*t{}", -dk, k + 1).unwrap();
+    }
+    out.push_str(";\noutput y;\n");
+    out
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    for (name, text) in [("fir.sna", fir_sna(25)), ("diffeq.sna", diffeq_sna(18))] {
+        let path = dir.join(name);
+        std::fs::write(&path, &text).expect("write .sna file");
+        println!("wrote {} ({} bytes)", path.display(), text.len());
+    }
+}

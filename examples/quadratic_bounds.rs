@@ -39,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let aa_c = ctx.from_interval(c);
     let x2 = xa.mul(&xa.clone(), &ctx);
     let y = aa_a.mul(&x2, &ctx) + aa_b.mul(&xa, &ctx) + aa_c;
-    println!("AA : y = {:.1} ± {:.1}  ⇒  y ∈ {}", y.center(), y.radius(), y.to_interval());
+    println!(
+        "AA : y = {:.1} ± {:.1}  ⇒  y ∈ {}",
+        y.center(),
+        y.radius(),
+        y.to_interval()
+    );
 
     // SNA at increasing granularity (Table 2).
     println!("\nSNA (Cartesian histogram method):");

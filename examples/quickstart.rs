@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ranges = vec![Interval::new(-1.0, 1.0)?; 3];
 
     println!("datapath: y = 0.3·x1 + 0.6·x2 − 0.1·x3, inputs ∈ [-1, 1]\n");
-    println!("{:>4} | {:>12} | {:>12} | {:>24}", "W", "mean", "std dev", "guaranteed bounds");
+    println!(
+        "{:>4} | {:>12} | {:>12} | {:>24}",
+        "W", "mean", "std dev", "guaranteed bounds"
+    );
     println!("{}", "-".repeat(64));
     for w in [8u8, 12, 16] {
         let cfg = WlConfig::from_ranges(&dfg, &ranges, w)?;

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the surface this workspace's benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size` /
+//! `bench_with_input` / `bench_function`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Reporting is plain
+//! wall-clock text (mean / min per iteration) — no statistics, plots or
+//! baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` if they wish.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and min per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, recording mean and min per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also primes caches and lazy statics).
+        black_box(f());
+        // Calibrate: grow the batch until one batch takes ≥ ~1 ms.
+        let mut batch = 1usize;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt / batch as u32);
+            iters += batch as u64;
+            if total > Duration::from_millis(500) {
+                break;
+            }
+        }
+        self.result = Some((total / iters.max(1) as u32, min));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((mean, min)) => println!(
+                "bench {:<40} mean {:>12?}  min {:>12?}",
+                format!("{}/{}", self.name, label),
+                mean,
+                min
+            ),
+            None => println!("bench {}/{label}: no measurement", self.name),
+        }
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = id.label.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure under a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = id.into().label.clone();
+        self.run(&label, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 10,
+            _criterion: self,
+        };
+        g.run(name, f);
+        drop(g);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_produces_runner() {
+        benches();
+    }
+}
