@@ -1,5 +1,5 @@
-//! `sna analyze` — run a noise analysis engine over a `.sna` datapath and
-//! report per-output [`NoiseReport`]s.
+//! `sna analyze` — run a noise analysis engine over one or many `.sna`
+//! datapaths and report per-output [`NoiseReport`]s.
 //!
 //! Engines `auto`, `na`, `lti` work on the graph as written (including
 //! linear feedback). `dfg` and `symbolic` are combinational engines: on a
@@ -8,83 +8,65 @@
 //! `cartesian` runs the paper's Section-4 exact algorithm on the *value*
 //! uncertainty of the inputs — it characterizes the output PDF rather
 //! than quantization noise.
+//!
+//! With several files (or `--manifest`) the command runs in batch mode:
+//! the files fan out across `--jobs` workers sharing one compile cache,
+//! per-file output is byte-identical to the single-file invocation, and a
+//! trailing summary line reports counts, cache hits, and timing.
 
-use sna_core::{CartesianEngine, EngineKind, NoiseReport, SnaAnalysis, UncertainInput};
-use sna_dfg::RangeOptions;
-use sna_interval::Interval;
-use sna_lang::Lowered;
+use sna_core::NoiseReport;
+use sna_service::exec::{self, AnalyzeEngine, AnalyzeParams};
+use sna_service::Json;
 
 use crate::common::{
-    combinational_with_ranges, config_for, load, parse_format, report_human, report_json,
-    unknown_flag, Args, CliError, Format,
+    collect_files, parse_format, parse_jobs, report_human, run_batch, unknown_flag, Args, CliError,
+    Format,
 };
-use crate::json::Json;
 
-const USAGE: &str = "sna analyze <file>.sna [--engine auto|na|dfg|lti|symbolic|cartesian] \
+const USAGE: &str = "sna analyze <file>.sna... [--manifest list.txt] [--jobs N] \
+                     [--engine auto|na|dfg|lti|symbolic|cartesian] \
                      [--bits N] [--bins N] [--format human|json]";
-
-/// The engine selector, including the non-`SnaAnalysis` Cartesian engine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Engine {
-    Auto,
-    Na,
-    Dfg,
-    Lti,
-    Symbolic,
-    Cartesian,
-}
-
-impl Engine {
-    fn parse(raw: &str) -> Result<Self, CliError> {
-        Ok(match raw {
-            "auto" => Engine::Auto,
-            "na" => Engine::Na,
-            "dfg" => Engine::Dfg,
-            "lti" => Engine::Lti,
-            "symbolic" => Engine::Symbolic,
-            "cartesian" => Engine::Cartesian,
-            other => {
-                return Err(CliError::Usage(format!(
-                    "unknown engine `{other}` (expected auto, na, dfg, lti, symbolic or cartesian)"
-                )))
-            }
-        })
-    }
-
-    fn name(self) -> &'static str {
-        match self {
-            Engine::Auto => "auto",
-            Engine::Na => "na",
-            Engine::Dfg => "dfg",
-            Engine::Lti => "lti",
-            Engine::Symbolic => "symbolic",
-            Engine::Cartesian => "cartesian",
-        }
-    }
-}
 
 /// Runs the subcommand.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
-    let mut args = Args::new(argv);
+    let mut args = Args::new_multi(argv);
     let mut format = Format::Human;
-    let mut engine = Engine::Auto;
+    let mut engine = AnalyzeEngine::Auto;
     let mut bits: u8 = 12;
     let mut bins: usize = 64;
+    let mut jobs: usize = sna_service::default_jobs();
+    let mut manifest: Option<String> = None;
     while let Some(flag) = args.next_flag() {
         match flag {
             "format" => format = parse_format(args.value("format")?)?,
-            "engine" => engine = Engine::parse(args.value("engine")?)?,
+            "engine" => {
+                engine = AnalyzeEngine::parse(args.value("engine")?).map_err(CliError::Usage)?;
+            }
             "bits" => bits = args.parse_value("bits")?,
             "bins" => bins = args.parse_value("bins")?,
+            "jobs" => jobs = parse_jobs(&mut args)?,
+            "manifest" => manifest = Some(args.value("manifest")?.to_string()),
             other => return Err(unknown_flag(other, USAGE)),
         }
     }
-    let path = args.file(USAGE)?;
-    let (lowered, _) = load(path)?;
+    let (files, batch) = collect_files(args.files(), manifest.as_deref(), USAGE)?;
+    let params = AnalyzeParams { engine, bits, bins };
+    run_batch("analyze", files, batch, jobs, format, |path, entry| {
+        let reports = exec::analyze(entry, &params).map_err(CliError::Failed)?;
+        Ok(render(path, engine, bits, bins, format, &reports))
+    })
+}
 
-    let reports = analyze(&lowered, engine, bits, bins)?;
-
-    Ok(match format {
+/// One file's output — exactly the historical single-file form.
+fn render(
+    path: &str,
+    engine: AnalyzeEngine,
+    bits: u8,
+    bins: usize,
+    format: Format,
+    reports: &[(String, NoiseReport)],
+) -> String {
+    match format {
         Format::Human => {
             let mut out = format!(
                 "{path}: engine {} · {} bits · {} bins\n",
@@ -92,10 +74,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 bits,
                 bins
             );
-            if engine == Engine::Cartesian {
+            if engine == AnalyzeEngine::Cartesian {
                 out.push_str("(value-uncertainty PDF of the outputs, not quantization noise)\n");
             }
-            for (name, report) in &reports {
+            for (name, report) in reports {
                 out.push('\n');
                 out.push_str(&report_human(name, report, true));
             }
@@ -109,7 +91,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             ("bins".into(), Json::int(bins)),
             (
                 "kind".into(),
-                Json::str(if engine == Engine::Cartesian {
+                Json::str(if engine == AnalyzeEngine::Cartesian {
                     "value-pdf"
                 } else {
                     "quantization-noise"
@@ -120,127 +102,11 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 Json::Arr(
                     reports
                         .iter()
-                        .map(|(name, r)| report_json(name, r, true))
+                        .map(|(name, r)| exec::report_json(name, r, true))
                         .collect(),
                 ),
             ),
         ])
         .to_string(),
-    })
-}
-
-fn analyze(
-    lowered: &Lowered,
-    engine: Engine,
-    bits: u8,
-    bins: usize,
-) -> Result<Vec<(String, NoiseReport)>, CliError> {
-    match engine {
-        Engine::Cartesian => cartesian(lowered, bins),
-        Engine::Auto | Engine::Na | Engine::Lti => {
-            let kind = match engine {
-                Engine::Auto => EngineKind::Auto,
-                Engine::Na => EngineKind::Na,
-                _ => EngineKind::Lti,
-            };
-            let config = config_for(lowered, bits)?;
-            SnaAnalysis::new(&lowered.dfg, &config, &lowered.input_ranges)
-                .engine(kind)
-                .bins(bins)
-                .run()
-                .map_err(|e| CliError::failed(format!("analysis failed: {e}")))
-        }
-        Engine::Dfg | Engine::Symbolic => {
-            // Combinational engines: analyze the per-sample view.
-            let kind = if engine == Engine::Dfg {
-                EngineKind::Dfg
-            } else {
-                EngineKind::Symbolic
-            };
-            let (view, ranges) = combinational_with_ranges(lowered)?;
-            let config = sna_fixp::WlConfig::from_ranges(&view, &ranges, bits)
-                .map_err(|e| CliError::failed(format!("cannot build configuration: {e}")))?;
-            SnaAnalysis::new(&view, &config, &ranges)
-                .engine(kind)
-                .bins(bins)
-                .run()
-                .map_err(|e| CliError::failed(format!("analysis failed: {e}")))
-        }
     }
-}
-
-/// The Section-4 exact algorithm over the inputs' value uncertainty.
-fn cartesian(lowered: &Lowered, bins: usize) -> Result<Vec<(String, NoiseReport)>, CliError> {
-    if !lowered.dfg.is_combinational() {
-        return Err(CliError::failed(
-            "the cartesian engine handles combinational datapaths only \
-             (this one contains delays)",
-        ));
-    }
-    let inputs: Vec<UncertainInput> = lowered
-        .dfg
-        .input_names()
-        .iter()
-        .zip(&lowered.input_ranges)
-        .map(|(name, range)| {
-            UncertainInput::uniform(name.clone(), range.lo(), range.hi(), bins)
-                .map_err(|e| CliError::failed(format!("input `{name}`: {e}")))
-        })
-        .collect::<Result<_, _>>()?;
-    // Fail early (and only once) if interval evaluation cannot cover the
-    // full input box — sub-boxes are subsets, so they inherit success.
-    let full: Vec<_> = lowered.input_ranges.clone();
-    lowered
-        .dfg
-        .output_ranges(&full, &RangeOptions::default())
-        .map_err(|e| CliError::failed(format!("interval evaluation failed: {e}")))?;
-
-    let engine = CartesianEngine::new(bins.max(2) * 2);
-    // The engine sweeps every input sub-box once *per analyzed output*,
-    // and each interval evaluation computes all outputs at once. Memoize
-    // the per-sub-box output vector (bounded) so multi-output datapaths
-    // pay for one sweep's worth of interval evaluations, not k.
-    const MEMO_CAP: usize = 1 << 20;
-    let multi_output = lowered.dfg.outputs().len() > 1;
-    let memo: std::cell::RefCell<std::collections::HashMap<Vec<u64>, Vec<Interval>>> =
-        std::cell::RefCell::new(std::collections::HashMap::new());
-    let eval_outputs = |ranges: &[Interval]| -> Vec<Interval> {
-        let compute = || {
-            lowered
-                .dfg
-                .output_ranges(ranges, &RangeOptions::default())
-                .expect("sub-box of a checked input box evaluates")
-                .into_iter()
-                .map(|(_, iv)| iv)
-                .collect::<Vec<_>>()
-        };
-        if !multi_output {
-            return compute();
-        }
-        let key: Vec<u64> = ranges
-            .iter()
-            .flat_map(|r| [r.lo().to_bits(), r.hi().to_bits()])
-            .collect();
-        if let Some(cached) = memo.borrow().get(&key) {
-            return cached.clone();
-        }
-        let value = compute();
-        let mut memo = memo.borrow_mut();
-        if memo.len() < MEMO_CAP {
-            memo.insert(key, value.clone());
-        }
-        value
-    };
-    lowered
-        .dfg
-        .outputs()
-        .iter()
-        .enumerate()
-        .map(|(k, (name, _))| {
-            let report = engine
-                .analyze(&inputs, |ranges| eval_outputs(ranges)[k])
-                .map_err(|e| CliError::failed(format!("cartesian analysis failed: {e}")))?;
-            Ok((name.clone(), report))
-        })
-        .collect()
 }

@@ -1,18 +1,16 @@
 //! Shared plumbing for the `sna` subcommands: error type, argument
-//! helpers, program loading, and the report formatting used by more than
-//! one command.
+//! helpers, program loading, batch fan-out, and the report formatting
+//! used by more than one command.
 
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 use sna_core::NoiseReport;
-use sna_dfg::Dfg;
-use sna_fixp::WlConfig;
 use sna_hist::RenderOptions;
-use sna_interval::Interval;
 use sna_lang::{render_all, Lowered};
-
-use crate::json::Json;
+use sna_service::{CompileCache, CompiledEntry, Json};
 
 /// A CLI failure: what to print on stderr, and the exit code.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,43 +51,74 @@ pub enum Format {
     /// Prose + tables for terminals.
     #[default]
     Human,
-    /// A single JSON document on stdout.
+    /// A single JSON document on stdout (per file, in batch mode).
     Json,
+}
+
+/// The diagnostics origin for a path: its file name.
+fn origin_of(path: &str) -> String {
+    Path::new(path)
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
 }
 
 /// Reads and compiles a `.sna` file, rendering diagnostics on failure.
 pub fn load(path: &str) -> Result<(Lowered, String), CliError> {
     let source = std::fs::read_to_string(path)
         .map_err(|e| CliError::failed(format!("cannot read `{path}`: {e}")))?;
-    let origin = Path::new(path)
-        .file_name()
-        .map(|f| f.to_string_lossy().into_owned())
-        .unwrap_or_else(|| path.to_string());
     match sna_lang::compile(&source) {
         Ok(lowered) => Ok((lowered, source)),
-        Err(diags) => Err(CliError::Failed(render_all(&diags, &source, &origin))),
+        Err(diags) => Err(CliError::Failed(render_all(
+            &diags,
+            &source,
+            &origin_of(path),
+        ))),
     }
+}
+
+/// Reads a `.sna` file and compiles it through the shared cache —
+/// repeated paths (and repeated *contents*) in one batch compile once.
+pub fn load_cached(cache: &CompileCache, path: &str) -> Result<Arc<CompiledEntry>, CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| CliError::failed(format!("cannot read `{path}`: {e}")))?;
+    cache
+        .get_or_compile(&source)
+        .map(|(entry, _)| entry)
+        .map_err(|diags| CliError::Failed(render_all(&diags, &source, &origin_of(path))))
 }
 
 /// Simple flag cursor over the argument list.
 pub struct Args<'a> {
     argv: &'a [String],
     pos: usize,
-    file: Option<&'a str>,
+    files: Vec<&'a str>,
+    /// Whether more than one positional (file) argument is legal.
+    allow_many: bool,
 }
 
 impl<'a> Args<'a> {
-    /// Wraps the arguments following the subcommand name.
+    /// Wraps the arguments following a single-file subcommand's name.
     pub fn new(argv: &'a [String]) -> Self {
         Args {
             argv,
             pos: 0,
-            file: None,
+            files: Vec::new(),
+            allow_many: false,
         }
     }
 
-    /// Steps to the next flag, collecting the single positional argument
-    /// (the file) along the way. Returns `None` when exhausted.
+    /// Wraps the arguments of a batch-capable subcommand: any number of
+    /// positional files.
+    pub fn new_multi(argv: &'a [String]) -> Self {
+        Args {
+            allow_many: true,
+            ..Args::new(argv)
+        }
+    }
+
+    /// Steps to the next flag, collecting positional arguments (the
+    /// files) along the way. Returns `None` when exhausted.
     pub fn next_flag(&mut self) -> Option<&'a str> {
         while self.pos < self.argv.len() {
             let arg = self.argv[self.pos].as_str();
@@ -97,7 +126,8 @@ impl<'a> Args<'a> {
             if let Some(flag) = arg.strip_prefix("--") {
                 return Some(flag);
             }
-            if self.file.replace(arg).is_some() {
+            self.files.push(arg);
+            if !self.allow_many && self.files.len() > 1 {
                 // Second positional: report through the usage path.
                 return Some("__extra_positional__");
             }
@@ -125,9 +155,27 @@ impl<'a> Args<'a> {
 
     /// The positional file argument, required.
     pub fn file(&self, usage: &str) -> Result<&'a str, CliError> {
-        self.file
+        self.files
+            .first()
+            .copied()
             .ok_or_else(|| CliError::Usage(format!("missing <file>.sna argument\nusage: {usage}")))
     }
+
+    /// All positional file arguments, in order (may be empty when a
+    /// manifest supplies the files).
+    pub fn files(&self) -> &[&'a str] {
+        &self.files
+    }
+}
+
+/// Parses and validates a `--jobs` value (shared by every batch-capable
+/// subcommand).
+pub fn parse_jobs(args: &mut Args) -> Result<usize, CliError> {
+    let jobs: usize = args.parse_value("jobs")?;
+    if jobs == 0 {
+        return Err(CliError::Usage("--jobs must be at least 1".to_string()));
+    }
+    Ok(jobs)
 }
 
 /// Parses `--format` values.
@@ -150,81 +198,142 @@ pub fn unknown_flag(flag: &str, usage: &str) -> CliError {
     }
 }
 
-/// Builds the word-length configuration every analysis shares.
-pub fn config_for(lowered: &Lowered, bits: u8) -> Result<WlConfig, CliError> {
-    WlConfig::from_ranges(&lowered.dfg, &lowered.input_ranges, bits)
-        .map_err(|e| CliError::failed(format!("cannot build a {bits}-bit configuration: {e}")))
-}
-
-/// The combinational per-sample view of a sequential graph, with the
-/// delay-state inputs appended and their value ranges derived from range
-/// analysis of the original graph.
-pub fn combinational_with_ranges(lowered: &Lowered) -> Result<(Dfg, Vec<Interval>), CliError> {
-    if lowered.dfg.is_combinational() {
-        return Ok((lowered.dfg.clone(), lowered.input_ranges.clone()));
+/// The file list of a batch-capable subcommand: the positionals plus the
+/// optional manifest (one path per line; blank lines and `#` comments
+/// skipped). The boolean is `true` when the invocation is *batch mode* —
+/// more than one file, or any manifest — which switches on per-file
+/// error recovery and the trailing summary.
+pub fn collect_files(
+    positionals: &[&str],
+    manifest: Option<&str>,
+    usage: &str,
+) -> Result<(Vec<String>, bool), CliError> {
+    let mut files: Vec<String> = positionals.iter().map(|s| s.to_string()).collect();
+    if let Some(path) = manifest {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::failed(format!("cannot read manifest `{path}`: {e}")))?;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            files.push(line.to_string());
+        }
     }
-    let node_ranges = lowered
-        .dfg
-        .ranges_auto(
-            &lowered.input_ranges,
-            &sna_dfg::RangeOptions::default(),
-            &sna_dfg::LtiOptions::default(),
-        )
-        .map_err(|e| CliError::failed(format!("range analysis failed: {e}")))?;
-    let mut ranges = lowered.input_ranges.clone();
-    ranges.extend(
-        lowered
-            .dfg
-            .delay_nodes()
-            .iter()
-            .map(|d| node_ranges[d.index()]),
-    );
-    Ok((lowered.dfg.combinational_view(), ranges))
+    if files.is_empty() {
+        return Err(CliError::Usage(format!(
+            "missing <file>.sna argument\nusage: {usage}"
+        )));
+    }
+    let batch = manifest.is_some() || files.len() > 1;
+    Ok((files, batch))
 }
 
-/// One noise report as a JSON object.
-pub fn report_json(name: &str, report: &NoiseReport, include_pdf: bool) -> Json {
-    let mut fields = vec![
-        ("output".to_string(), Json::str(name)),
-        ("mean".to_string(), Json::Num(report.mean)),
-        ("variance".to_string(), Json::Num(report.variance)),
-        ("std_dev".to_string(), Json::Num(report.std_dev())),
-        ("power".to_string(), Json::Num(report.power)),
-        (
-            "support".to_string(),
-            Json::pair(report.support.0, report.support.1),
-        ),
-    ];
-    let (lo95, hi95) = report.credible_interval(0.95);
-    fields.push(("credible95".to_string(), Json::pair(lo95, hi95)));
-    match &report.histogram {
-        Some(h) if include_pdf => {
-            fields.push((
-                "histogram".to_string(),
+/// Fans `per_file` out over `files` on `jobs` workers through one shared
+/// [`CompileCache`], concatenating the per-file outputs in input order.
+///
+/// Single-file invocations (`batch == false`) behave exactly like the
+/// historical CLI: the file's output alone, errors propagated with exit
+/// code 1. In batch mode each file's failure is reported inline (and as
+/// an `"error"` document under `--format json`), the remaining files
+/// still run, and a trailing summary line reports file/ok/err counts,
+/// cache hit/miss counts, and total/cached time.
+pub fn run_batch<F>(
+    command: &str,
+    files: Vec<String>,
+    batch: bool,
+    jobs: usize,
+    format: Format,
+    per_file: F,
+) -> Result<String, CliError>
+where
+    F: Fn(&str, &Arc<CompiledEntry>) -> Result<String, CliError> + Sync,
+{
+    let cache = CompileCache::new();
+    let started = Instant::now();
+    let n_files = files.len();
+    let outcomes: Vec<(String, Result<String, CliError>, f64)> =
+        sna_service::run_ordered(files, jobs, |_, path| {
+            let job_started = Instant::now();
+            let result = load_cached(&cache, &path).and_then(|entry| per_file(&path, &entry));
+            let elapsed_ms = job_started.elapsed().as_secs_f64() * 1e3;
+            (path, result, elapsed_ms)
+        });
+    if !batch {
+        let (_, result, _) = outcomes.into_iter().next().expect("one file");
+        return result;
+    }
+
+    let stats = cache.stats();
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let ok = outcomes.iter().filter(|(_, r, _)| r.is_ok()).count();
+    let errors = n_files - ok;
+    let mut out = String::new();
+    for (path, result, _) in &outcomes {
+        match result {
+            Ok(text) => {
+                out.push_str(text);
+                if !text.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+            Err(e) => match format {
+                Format::Human => {
+                    out.push_str(&format!("{e}\n"));
+                }
+                Format::Json => {
+                    // Self-describing error documents: consumers must be
+                    // able to attribute a failure to its file without
+                    // counting positions against the input list.
+                    let doc = Json::Obj(vec![
+                        ("command".into(), Json::str(command)),
+                        ("file".into(), Json::str(path.clone())),
+                        ("error".into(), Json::str(e.to_string())),
+                    ]);
+                    out.push_str(&doc.to_string());
+                    out.push('\n');
+                }
+            },
+        }
+        if format == Format::Human {
+            out.push('\n');
+        }
+    }
+    let job_ms: f64 = outcomes.iter().map(|(_, _, ms)| ms).sum();
+    match format {
+        Format::Human => {
+            out.push_str(&format!(
+                "batch: {n_files} file(s) · {ok} ok · {errors} err · {jobs} job(s) · \
+                 cache {} hit(s) / {} miss(es) · {total_ms:.1} ms wall ({job_ms:.1} ms in jobs)\n",
+                stats.hits, stats.misses
+            ));
+        }
+        Format::Json => {
+            let summary = Json::Obj(vec![(
+                "summary".into(),
                 Json::Obj(vec![
-                    ("bins".to_string(), Json::int(h.n_bins())),
-                    ("lo".to_string(), Json::Num(h.grid().lo())),
-                    ("hi".to_string(), Json::Num(h.grid().hi())),
+                    ("command".into(), Json::str(command)),
+                    ("files".into(), Json::int(n_files)),
+                    ("ok".into(), Json::int(ok)),
+                    ("errors".into(), Json::int(errors)),
+                    ("jobs".into(), Json::int(jobs)),
                     (
-                        "masses".to_string(),
-                        Json::Arr(h.probs().iter().map(|&m| Json::Num(m)).collect()),
+                        "cache_hits".into(),
+                        Json::int(usize::try_from(stats.hits).unwrap_or(usize::MAX)),
                     ),
+                    (
+                        "cache_misses".into(),
+                        Json::int(usize::try_from(stats.misses).unwrap_or(usize::MAX)),
+                    ),
+                    ("total_ms".into(), Json::Num(total_ms)),
+                    ("job_ms".into(), Json::Num(job_ms)),
                 ]),
-            ));
+            )]);
+            out.push_str(&summary.to_compact());
+            out.push('\n');
         }
-        Some(h) => {
-            fields.push((
-                "histogram".to_string(),
-                Json::Obj(vec![
-                    ("bins".to_string(), Json::int(h.n_bins())),
-                    ("lo".to_string(), Json::Num(h.grid().lo())),
-                    ("hi".to_string(), Json::Num(h.grid().hi())),
-                ]),
-            ));
-        }
-        None => fields.push(("histogram".to_string(), Json::Null)),
     }
-    Json::Obj(fields)
+    Ok(out)
 }
 
 /// One noise report in terminal form, optionally with the ASCII PDF.

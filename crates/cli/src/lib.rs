@@ -2,27 +2,41 @@
 //!
 //! One binary drives the whole analyze → optimize → synthesize pipeline
 //! of the DAC'08 reproduction over textual `.sna` datapaths (see the
-//! `sna-lang` crate for the language):
+//! `sna-lang` crate for the language), plus the batch and server modes
+//! built on the `sna-service` execution layer:
 //!
 //! ```text
 //! sna parse    <file>.sna [--dot | --canon] [--format human|json]
-//! sna analyze  <file>.sna [--engine auto|na|dfg|lti|symbolic|cartesian]
+//! sna analyze  <file>.sna... [--manifest list.txt] [--jobs N]
+//!                         [--engine auto|na|dfg|lti|symbolic|cartesian]
 //!                         [--bits N] [--bins N] [--format human|json]
-//! sna optimize <file>.sna [--method greedy|waterfill|anneal|group-greedy|
+//! sna optimize <file>.sna... [--manifest list.txt] [--jobs N]
+//!                         [--method greedy|waterfill|anneal|group-greedy|
 //!                          exhaustive|uniform|all]
 //!                         [--ref-bits W] [--budget X] [--start W]
 //!                         [--radius R] [--format human|json]
 //! sna synth    <file>.sna [--bits N] [--clock NS] [--format human|json]
+//! sna serve    [--listen addr:port] [--max-conns N]
 //! ```
 //!
 //! # Examples
 //!
 //! ```text
 //! $ sna analyze examples/fir.sna --engine dfg --bits 8 --format json
+//! $ sna analyze examples/*.sna --jobs 4 --format json
 //! $ sna optimize examples/diffeq.sna --method all --ref-bits 12
 //! $ sna synth examples/rgb.sna --bits 10
-//! $ sna parse examples/quadratic.sna --dot | dot -Tsvg > quadratic.svg
+//! $ echo '{"cmd":"analyze","path":"examples/fir.sna"}' | sna serve
 //! ```
+//!
+//! `analyze` and `optimize` accept many files (and/or a `--manifest`
+//! file listing one path per line). In batch mode the files fan out
+//! across `--jobs` worker threads sharing one compile cache; per-file
+//! output is byte-identical to the single-file invocation, failures are
+//! reported inline without stopping the batch, and a trailing summary
+//! line carries file/ok/err counts, cache hits/misses, and timing.
+//! `serve` keeps that cache alive across requests — the line-oriented
+//! JSON protocol is documented in `crates/service/README.md`.
 //!
 //! All commands exit 0 on success, 1 on analysis/compile failures (with
 //! caret-style diagnostics on stderr), and 2 on usage errors. The library
@@ -34,23 +48,25 @@
 
 mod analyze_cmd;
 mod common;
-mod json;
 mod optimize_cmd;
 mod parse_cmd;
+mod serve_cmd;
 mod synth_cmd;
 
 pub use common::CliError;
-pub use json::Json;
+pub use sna_service::Json;
 
-const USAGE: &str = "usage: sna <parse|analyze|optimize|synth> <file>.sna [options]\n\
+const USAGE: &str = "usage: sna <parse|analyze|optimize|synth|serve> [<file>.sna...] [options]\n\
                      \n\
                      commands:\n\
                      \x20 parse     validate a .sna file; dump a summary, DOT, or canonical form\n\
                      \x20 analyze   per-output noise reports (engines: auto, na, dfg, lti,\n\
-                     \x20           symbolic, cartesian)\n\
+                     \x20           symbolic, cartesian); many files fan out across --jobs workers\n\
                      \x20 optimize  noise-constrained word-length search (greedy, waterfill,\n\
                      \x20           anneal, group-greedy, exhaustive, uniform, all)\n\
                      \x20 synth     schedule + bind + cost report for one configuration\n\
+                     \x20 serve     long-running line-oriented JSON server (stdin/stdout or\n\
+                     \x20           --listen addr:port) with compiled-model caching\n\
                      \n\
                      run `sna <command>` with no arguments for command-specific usage";
 
@@ -71,6 +87,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "analyze" => analyze_cmd::run(rest),
         "optimize" => optimize_cmd::run(rest),
         "synth" => synth_cmd::run(rest),
+        "serve" => serve_cmd::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"

@@ -1,99 +1,54 @@
-//! `sna optimize` — noise-constrained word-length optimization of a
-//! `.sna` datapath with the five `sna_opt::Optimizer` search methods.
+//! `sna optimize` — noise-constrained word-length optimization of one or
+//! many `.sna` datapaths with the five `sna_opt::Optimizer` search
+//! methods.
 //!
 //! The budget defaults to the noise power of the uniform `--ref-bits`
 //! reference design (the paper's "Fixed WL" column); `--budget` overrides
 //! it with an explicit noise power. `--method all` runs every budgeted
-//! method and prints a comparison.
+//! method and prints a comparison. Several files (or `--manifest`) run in
+//! batch mode across `--jobs` workers with a trailing summary line.
 
-use sna_hls::SynthesisConstraints;
-use sna_opt::{AnnealOptions, Evaluation, Optimizer};
+use sna_opt::Evaluation;
+use sna_service::exec::{self, OptimizeParams};
+use sna_service::Json;
 
-use crate::common::{load, parse_format, unknown_flag, Args, CliError, Format};
-use crate::json::Json;
+use crate::common::{
+    collect_files, parse_format, parse_jobs, run_batch, unknown_flag, Args, CliError, Format,
+};
 
-const USAGE: &str = "sna optimize <file>.sna \
+const USAGE: &str = "sna optimize <file>.sna... [--manifest list.txt] [--jobs N] \
                      [--method greedy|waterfill|anneal|group-greedy|exhaustive|uniform|all] \
                      [--ref-bits W] [--budget X] [--start W] [--radius R] [--format human|json]";
 
-const METHODS: [&str; 5] = [
-    "greedy",
-    "waterfill",
-    "anneal",
-    "group-greedy",
-    "exhaustive",
-];
-
-/// `--method all` runs the methods that scale to real designs;
-/// `exhaustive` is opt-in because its search space is exponential in the
-/// node count.
-const ALL_METHODS: [&str; 4] = ["greedy", "waterfill", "anneal", "group-greedy"];
-
 /// Runs the subcommand.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
-    let mut args = Args::new(argv);
+    let mut args = Args::new_multi(argv);
     let mut format = Format::Human;
-    let mut method = "greedy".to_string();
-    let mut ref_bits: u8 = 12;
-    let mut budget: Option<f64> = None;
-    let mut start: u8 = 16;
-    let mut radius: u8 = 1;
+    let mut params = OptimizeParams::default();
+    let mut jobs: usize = sna_service::default_jobs();
+    let mut manifest: Option<String> = None;
     while let Some(flag) = args.next_flag() {
         match flag {
             "format" => format = parse_format(args.value("format")?)?,
-            "method" => method = args.value("method")?.to_string(),
-            "ref-bits" => ref_bits = args.parse_value("ref-bits")?,
-            "budget" => budget = Some(args.parse_value("budget")?),
-            "start" => start = args.parse_value("start")?,
-            "radius" => radius = args.parse_value("radius")?,
+            "method" => params.method = args.value("method")?.to_string(),
+            "ref-bits" => params.ref_bits = args.parse_value("ref-bits")?,
+            "budget" => params.budget = Some(args.parse_value("budget")?),
+            "start" => params.start = args.parse_value("start")?,
+            "radius" => params.radius = args.parse_value("radius")?,
+            "jobs" => jobs = parse_jobs(&mut args)?,
+            "manifest" => manifest = Some(args.value("manifest")?.to_string()),
             other => return Err(unknown_flag(other, USAGE)),
         }
     }
-    if method != "all" && method != "uniform" && !METHODS.contains(&method.as_str()) {
-        return Err(CliError::Usage(format!(
-            "unknown method `{method}`\nusage: {USAGE}"
-        )));
-    }
-    let path = args.file(USAGE)?;
-    let (lowered, _) = load(path)?;
-
-    let optimizer = Optimizer::new(
-        &lowered.dfg,
-        &lowered.input_ranges,
-        SynthesisConstraints::default(),
-    )
-    .map_err(|e| CliError::failed(format!("cannot build the optimizer: {e}")))?;
-
-    // The reference design also supplies the default budget.
-    let reference = optimizer
-        .uniform(ref_bits)
-        .map_err(|e| CliError::failed(format!("reference synthesis failed: {e}")))?;
-    let budget = budget.unwrap_or(reference.noise_power);
-
-    let mut results: Vec<(String, Evaluation)> = Vec::new();
-    let run_one = |name: &str, optimizer: &Optimizer| -> Result<Evaluation, CliError> {
-        let r = match name {
-            "uniform" => optimizer.uniform(start),
-            "greedy" => optimizer.greedy(budget, start),
-            "waterfill" => optimizer.waterfill(budget),
-            "anneal" => optimizer.anneal(budget, start, &AnnealOptions::default()),
-            "group-greedy" => optimizer.group_greedy(budget, start),
-            "exhaustive" => optimizer.exhaustive(budget, ref_bits, radius, 2_000_000),
-            _ => unreachable!("validated above"),
-        };
-        r.map_err(|e| CliError::failed(format!("method `{name}` failed: {e}")))
-    };
-    if method == "all" {
-        for name in ALL_METHODS {
-            results.push((name.to_string(), run_one(name, &optimizer)?));
-        }
-    } else {
-        results.push((method.clone(), run_one(&method, &optimizer)?));
-    }
-
-    Ok(match format {
-        Format::Human => human(path, budget, &reference, &results),
-        Format::Json => json(path, budget, &reference, &results).to_string(),
+    exec::validate_method(&params.method)
+        .map_err(|e| CliError::Usage(format!("{e}\nusage: {USAGE}")))?;
+    let (files, batch) = collect_files(args.files(), manifest.as_deref(), USAGE)?;
+    run_batch("optimize", files, batch, jobs, format, |path, entry| {
+        let out = exec::optimize(&entry.lowered, &params).map_err(CliError::Failed)?;
+        Ok(match format {
+            Format::Human => human(path, out.budget, &out.reference, &out.results),
+            Format::Json => json(path, out.budget, &out.reference, &out.results).to_string(),
+        })
     })
 }
 
@@ -129,52 +84,18 @@ fn human(
     out
 }
 
-fn eval_json(e: &Evaluation) -> Json {
-    Json::Obj(vec![
-        (
-            "word_lengths".into(),
-            Json::Arr(
-                e.word_lengths
-                    .iter()
-                    .map(|&w| Json::int(w as usize))
-                    .collect(),
-            ),
-        ),
-        ("noise_power".into(), Json::Num(e.noise_power)),
-        ("weighted_cost".into(), Json::Num(e.weighted_cost)),
-        (
-            "cost".into(),
-            Json::Obj(vec![
-                ("area_um2".into(), Json::Num(e.cost.area_um2)),
-                ("power_uw".into(), Json::Num(e.cost.power_uw)),
-                (
-                    "latency_cycles".into(),
-                    Json::int(e.cost.latency_cycles as usize),
-                ),
-                ("fu_area_um2".into(), Json::Num(e.cost.fu_area_um2)),
-                ("reg_area_um2".into(), Json::Num(e.cost.reg_area_um2)),
-                ("mux_area_um2".into(), Json::Num(e.cost.mux_area_um2)),
-                (
-                    "energy_per_sample_pj".into(),
-                    Json::Num(e.cost.energy_per_sample_pj),
-                ),
-            ]),
-        ),
-    ])
-}
-
 fn json(path: &str, budget: f64, reference: &Evaluation, results: &[(String, Evaluation)]) -> Json {
     Json::Obj(vec![
         ("command".into(), Json::str("optimize")),
         ("file".into(), Json::str(path)),
         ("budget".into(), Json::Num(budget)),
-        ("reference".into(), eval_json(reference)),
+        ("reference".into(), exec::eval_json(reference)),
         (
             "results".into(),
             Json::Obj(
                 results
                     .iter()
-                    .map(|(name, e)| (name.clone(), eval_json(e)))
+                    .map(|(name, e)| (name.clone(), exec::eval_json(e)))
                     .collect(),
             ),
         ),

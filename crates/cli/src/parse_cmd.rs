@@ -2,9 +2,9 @@
 //! canonical source form.
 
 use sna_lang::Lowered;
+use sna_service::{exec, Json};
 
 use crate::common::{load, parse_format, unknown_flag, Args, CliError, Format};
-use crate::json::Json;
 
 const USAGE: &str = "sna parse <file>.sna [--dot | --canon] [--format human|json]";
 
@@ -94,55 +94,11 @@ fn human(path: &str, lowered: &Lowered) -> String {
 }
 
 fn json(path: &str, lowered: &Lowered) -> Json {
-    let dfg = &lowered.dfg;
-    let c = dfg.op_counts();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("command".into(), Json::str("parse")),
         ("file".into(), Json::str(path)),
         ("ok".into(), Json::Bool(true)),
-        (
-            "inputs".into(),
-            Json::Arr(
-                dfg.input_names()
-                    .iter()
-                    .zip(&lowered.input_ranges)
-                    .map(|(name, range)| {
-                        Json::Obj(vec![
-                            ("name".into(), Json::str(name.clone())),
-                            ("range".into(), Json::pair(range.lo(), range.hi())),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-        (
-            "outputs".into(),
-            Json::Arr(
-                dfg.outputs()
-                    .iter()
-                    .map(|(name, _)| Json::str(name.clone()))
-                    .collect(),
-            ),
-        ),
-        (
-            "op_counts".into(),
-            Json::Obj(vec![
-                ("inputs".into(), Json::int(c.inputs)),
-                ("consts".into(), Json::int(c.consts)),
-                ("adds".into(), Json::int(c.adds)),
-                ("subs".into(), Json::int(c.subs)),
-                ("muls".into(), Json::int(c.muls)),
-                ("divs".into(), Json::int(c.divs)),
-                ("negs".into(), Json::int(c.negs)),
-                ("delays".into(), Json::int(c.delays)),
-            ]),
-        ),
-        ("nodes".into(), Json::int(dfg.len())),
-        ("depth".into(), Json::int(dfg.depth())),
-        ("is_linear".into(), Json::Bool(dfg.is_linear())),
-        (
-            "is_combinational".into(),
-            Json::Bool(dfg.is_combinational()),
-        ),
-    ])
+    ];
+    fields.extend(exec::parse_facts_json(lowered));
+    Json::Obj(fields)
 }

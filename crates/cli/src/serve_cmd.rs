@@ -1,0 +1,69 @@
+//! `sna serve` — the long-running server mode.
+//!
+//! By default the line-oriented JSON protocol runs over stdin/stdout:
+//! one request per line, one compact JSON response per line (see
+//! `crates/service/README.md` for the schema). With `--listen addr:port`
+//! the same protocol runs over TCP, one thread per connection, all
+//! connections sharing one compile cache — so a model built for one
+//! client serves every later request for the same datapath.
+
+use std::sync::Arc;
+
+use sna_service::CompileCache;
+
+use crate::common::{unknown_flag, Args, CliError};
+
+const USAGE: &str = "sna serve [--listen addr:port] [--max-conns N]";
+
+/// Runs the subcommand. Returns only when the input reaches EOF
+/// (stdin/stdout mode) or `--max-conns` connections have been served.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let mut args = Args::new(argv);
+    let mut listen: Option<String> = None;
+    let mut max_conns: Option<u64> = None;
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "listen" => listen = Some(args.value("listen")?.to_string()),
+            "max-conns" => max_conns = Some(args.parse_value("max-conns")?),
+            other => return Err(unknown_flag(other, USAGE)),
+        }
+    }
+    if let Some(stray) = args.files().first() {
+        return Err(CliError::Usage(format!(
+            "serve takes no file argument (got `{stray}`); send requests over the protocol\n\
+             usage: {USAGE}"
+        )));
+    }
+    if max_conns.is_some() && listen.is_none() {
+        return Err(CliError::Usage(format!(
+            "--max-conns only applies with --listen\nusage: {USAGE}"
+        )));
+    }
+
+    match listen {
+        None => {
+            let cache = CompileCache::new();
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let report = sna_service::serve(stdin.lock(), stdout.lock(), &cache)
+                .map_err(|e| CliError::failed(format!("serve failed: {e}")))?;
+            let stats = cache.stats();
+            // The protocol owns stdout; the sign-off goes to stderr.
+            eprintln!(
+                "served {} request(s), {} error(s) · cache {} hit(s) / {} miss(es)",
+                report.requests, report.errors, stats.hits, stats.misses
+            );
+            Ok(String::new())
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .map_err(|e| CliError::failed(format!("cannot listen on `{addr}`: {e}")))?;
+            let local = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+            eprintln!("sna serve: listening on {local}");
+            let cache = Arc::new(CompileCache::new());
+            sna_service::serve_tcp(&listener, &cache, max_conns)
+                .map_err(|e| CliError::failed(format!("serve failed: {e}")))?;
+            Ok(String::new())
+        }
+    }
+}

@@ -1,10 +1,10 @@
 //! `sna synth` — run the HLS flow (schedule, bind, cost) for one
 //! word-length configuration of a `.sna` datapath.
 
-use sna_hls::{synthesize, SynthesisConstraints};
+use sna_hls::SynthesisConstraints;
+use sna_service::{exec, Json};
 
-use crate::common::{config_for, load, parse_format, unknown_flag, Args, CliError, Format};
-use crate::json::Json;
+use crate::common::{load, parse_format, unknown_flag, Args, CliError, Format};
 
 const USAGE: &str = "sna synth <file>.sna [--bits N] [--clock NS] [--format human|json]";
 
@@ -25,13 +25,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let path = args.file(USAGE)?;
     let (lowered, _) = load(path)?;
 
-    let config = config_for(&lowered, bits)?;
-    let constraints = SynthesisConstraints {
-        clock_ns: clock,
-        ..SynthesisConstraints::default()
-    };
-    let imp = synthesize(&lowered.dfg, &config, &constraints)
-        .map_err(|e| CliError::failed(format!("synthesis failed: {e}")))?;
+    let imp = exec::synth(&lowered, bits, clock).map_err(CliError::Failed)?;
     let cost = &imp.cost;
 
     Ok(match format {
@@ -57,24 +51,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             ("file".into(), Json::str(path)),
             ("bits".into(), Json::int(bits as usize)),
             ("clock_ns".into(), Json::Num(clock)),
-            (
-                "cost".into(),
-                Json::Obj(vec![
-                    ("area_um2".into(), Json::Num(cost.area_um2)),
-                    ("fu_area_um2".into(), Json::Num(cost.fu_area_um2)),
-                    ("reg_area_um2".into(), Json::Num(cost.reg_area_um2)),
-                    ("mux_area_um2".into(), Json::Num(cost.mux_area_um2)),
-                    ("power_uw".into(), Json::Num(cost.power_uw)),
-                    (
-                        "latency_cycles".into(),
-                        Json::int(cost.latency_cycles as usize),
-                    ),
-                    (
-                        "energy_per_sample_pj".into(),
-                        Json::Num(cost.energy_per_sample_pj),
-                    ),
-                ]),
-            ),
+            ("cost".into(), exec::cost_json(cost)),
             ("scheduled_ops".into(), Json::int(imp.schedule.n_ops())),
         ])
         .to_string(),

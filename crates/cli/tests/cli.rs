@@ -211,3 +211,154 @@ fn missing_file_is_a_runtime_failure() {
         other => panic!("unexpected {other:?}"),
     }
 }
+
+/// The ISSUE acceptance criterion: batch `analyze` over all the shipped
+/// examples produces byte-identical per-file JSON to N single-file
+/// invocations, plus one trailing summary line.
+#[test]
+fn batch_analyze_matches_single_invocations_byte_for_byte() {
+    let files: Vec<String> = ["diffeq.sna", "fir.sna", "quadratic.sna", "rgb.sna"]
+        .iter()
+        .map(|n| example(n))
+        .collect();
+
+    let mut singles = String::new();
+    for f in &files {
+        let out = run(&argv(&["analyze", f, "--format", "json"])).unwrap();
+        singles.push_str(&out);
+        if !out.ends_with('\n') {
+            singles.push('\n');
+        }
+    }
+
+    let mut batch_argv = vec!["analyze".to_string()];
+    batch_argv.extend(files.iter().cloned());
+    batch_argv.extend(["--format", "json", "--jobs", "4"].map(String::from));
+    let batch = run(&batch_argv).unwrap();
+
+    let summary_at = batch.rfind("{\"summary\"").expect("summary line present");
+    let (body, summary) = batch.split_at(summary_at);
+    let summary = summary.trim_end();
+    assert_eq!(body, singles, "per-file JSON must be byte-identical");
+    assert!(summary.starts_with("{\"summary\":"), "{summary}");
+    assert!(summary.contains("\"files\":4"), "{summary}");
+    assert!(summary.contains("\"ok\":4"), "{summary}");
+    assert!(summary.contains("\"cache_misses\":4"), "{summary}");
+    assert!(summary.contains("\"total_ms\":"), "{summary}");
+}
+
+#[test]
+fn batch_analyze_dedupes_repeated_files_through_the_cache() {
+    let file = example("rgb.sna");
+    let out = run(&argv(&[
+        "analyze", &file, &file, &file, "--format", "json", "--jobs", "2",
+    ]))
+    .unwrap();
+    let summary = out.lines().last().unwrap();
+    assert!(summary.contains("\"files\":3"), "{summary}");
+    assert!(summary.contains("\"cache_hits\":2"), "{summary}");
+    assert!(summary.contains("\"cache_misses\":1"), "{summary}");
+    // Three identical documents precede the summary.
+    assert_eq!(out.matches("\"command\": \"analyze\"").count(), 3);
+}
+
+#[test]
+fn batch_mode_recovers_per_file_and_counts_errors() {
+    let good = example("quadratic.sna");
+    let bad = temp_program("batch-bad", "input x;\ny = ;\noutput y;\n");
+    let out = run(&argv(&["analyze", &good, &bad, "--format", "json"])).unwrap();
+    assert!(
+        out.contains("\"reports\""),
+        "good file still analyzed: {out}"
+    );
+    assert!(out.contains("\"error\""), "bad file reported inline: {out}");
+    assert!(
+        out.lines().last().unwrap().contains("\"errors\":1"),
+        "{out}"
+    );
+
+    // Human format: diagnostics inline, summary line at the end.
+    let human = run(&argv(&["analyze", &good, &bad])).unwrap();
+    assert!(human.contains("expected an expression"), "{human}");
+    assert!(
+        human.lines().last().unwrap().starts_with("batch:"),
+        "{human}"
+    );
+}
+
+#[test]
+fn manifests_supply_batch_files() {
+    let manifest_path = std::env::temp_dir().join("sna-cli-test-manifest.txt");
+    std::fs::write(
+        &manifest_path,
+        format!(
+            "# the two sequential examples\n{}\n\n{}\n",
+            example("fir.sna"),
+            example("diffeq.sna")
+        ),
+    )
+    .unwrap();
+    let out = run(&argv(&[
+        "analyze",
+        "--manifest",
+        &manifest_path.to_string_lossy(),
+        "--format",
+        "json",
+    ]))
+    .unwrap();
+    assert!(out.lines().last().unwrap().contains("\"files\":2"), "{out}");
+    // A one-file manifest is still batch mode (summary present).
+    std::fs::write(&manifest_path, example("rgb.sna")).unwrap();
+    let out = run(&argv(&[
+        "analyze",
+        "--manifest",
+        &manifest_path.to_string_lossy(),
+    ]))
+    .unwrap();
+    assert!(out.lines().last().unwrap().starts_with("batch:"), "{out}");
+}
+
+#[test]
+fn batch_optimize_carries_the_same_plumbing() {
+    let out = run(&argv(&[
+        "optimize",
+        &example("rgb.sna"),
+        &example("quadratic.sna"),
+        "--method",
+        "waterfill",
+        "--format",
+        "json",
+        "--jobs",
+        "2",
+    ]))
+    .unwrap();
+    assert_eq!(out.matches("\"command\": \"optimize\"").count(), 2);
+    let summary = out.lines().last().unwrap();
+    assert!(summary.contains("\"command\":\"optimize\""), "{summary}");
+    assert!(summary.contains("\"ok\":2"), "{summary}");
+}
+
+#[test]
+fn jobs_flag_is_validated() {
+    match run(&argv(&["analyze", "x.sna", "--jobs", "0"])) {
+        Err(CliError::Usage(m)) => assert!(m.contains("--jobs"), "{m}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    match run(&argv(&["analyze", "x.sna", "--jobs", "many"])) {
+        Err(CliError::Usage(m)) => assert!(m.contains("cannot parse"), "{m}"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn serve_rejects_stray_arguments_but_appears_in_help() {
+    match run(&argv(&["serve", "x.sna"])) {
+        Err(CliError::Usage(m)) => assert!(m.contains("no file argument"), "{m}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    match run(&argv(&["serve", "--max-conns", "3"])) {
+        Err(CliError::Usage(m)) => assert!(m.contains("--listen"), "{m}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(run(&argv(&["help"])).unwrap().contains("serve"));
+}

@@ -62,6 +62,7 @@ pub struct SnaAnalysis<'a> {
     input_ranges: &'a [Interval],
     engine: EngineKind,
     bins: usize,
+    na_model: Option<&'a NaModel>,
 }
 
 impl<'a> SnaAnalysis<'a> {
@@ -74,12 +75,23 @@ impl<'a> SnaAnalysis<'a> {
             input_ranges,
             engine: EngineKind::Auto,
             bins: 64,
+            na_model: None,
         }
     }
 
     /// Selects the engine.
     pub fn engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Supplies a prebuilt [`NaModel`] for the `Na` engine, skipping the
+    /// model build — the expensive one-off — so repeated evaluations (a
+    /// server loop, a word-length search) pay only the `O(#sources)`
+    /// evaluation. The model must have been built from the same graph and
+    /// input ranges.
+    pub fn with_na_model(mut self, model: &'a NaModel) -> Self {
+        self.na_model = Some(model);
         self
     }
 
@@ -135,10 +147,14 @@ impl<'a> SnaAnalysis<'a> {
                 .analyze(self.dfg, self.config, self.input_ranges)?;
                 Ok(res.reports)
             }
-            EngineKind::Na => {
-                let model = NaModel::build(self.dfg, self.input_ranges, &LtiOptions::default())?;
-                Ok(model.evaluate(self.dfg, self.config))
-            }
+            EngineKind::Na => match self.na_model {
+                Some(model) => Ok(model.evaluate(self.dfg, self.config)),
+                None => {
+                    let model =
+                        NaModel::build(self.dfg, self.input_ranges, &LtiOptions::default())?;
+                    Ok(model.evaluate(self.dfg, self.config))
+                }
+            },
         }
     }
 }
@@ -221,6 +237,48 @@ mod tests {
         let cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
         let r = SnaAnalysis::new(&g, &cfg, &ranges).run().unwrap();
         assert!(r[0].1.variance > 0.0);
+    }
+
+    #[test]
+    fn prebuilt_na_model_reproduces_the_built_in_na_path_exactly() {
+        let g = linear_tree();
+        let ranges = [iv(-1.0, 1.0), iv(-1.0, 1.0)];
+        let cfg = WlConfig::from_ranges(&g, &ranges, 10).unwrap();
+        let fresh = SnaAnalysis::new(&g, &cfg, &ranges)
+            .engine(EngineKind::Na)
+            .run()
+            .unwrap();
+        let model = NaModel::build(&g, &ranges, &sna_dfg::LtiOptions::default()).unwrap();
+        for _ in 0..3 {
+            let reused = SnaAnalysis::new(&g, &cfg, &ranges)
+                .engine(EngineKind::Na)
+                .with_na_model(&model)
+                .run()
+                .unwrap();
+            assert_eq!(fresh.len(), reused.len());
+            for ((n1, r1), (n2, r2)) in fresh.iter().zip(&reused) {
+                assert_eq!(n1, n2);
+                assert_eq!(r1.mean.to_bits(), r2.mean.to_bits());
+                assert_eq!(r1.variance.to_bits(), r2.variance.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn engine_types_are_send_and_sync() {
+        // The service layer shares compiled graphs and models across a
+        // thread pool behind `Arc`s; that is only sound if these stay
+        // `Send + Sync`. A compile-time check, phrased as a test.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Dfg>();
+        assert_send_sync::<WlConfig>();
+        assert_send_sync::<NaModel>();
+        assert_send_sync::<crate::NoiseReport>();
+        assert_send_sync::<crate::LtiEngine>();
+        assert_send_sync::<crate::DfgEngine>();
+        assert_send_sync::<crate::SymbolicEngine>();
+        assert_send_sync::<crate::CartesianEngine>();
+        assert_send_sync::<SnaAnalysis<'static>>();
     }
 
     #[test]

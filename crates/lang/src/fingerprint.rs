@@ -1,0 +1,76 @@
+//! Content fingerprints for compiled-model caching.
+//!
+//! A cache that keys on raw source bytes misses whenever two requests
+//! differ only in whitespace or comments. The canonical pretty-printer
+//! already normalizes both away, so hashing the canonical rendering gives
+//! a *semantic* key: two sources that parse to the same program share one
+//! fingerprint, and therefore one cached model.
+
+use crate::ast::Program;
+use crate::Diagnostic;
+
+/// 64-bit FNV-1a. Small, dependency-free, and stable across runs and
+/// platforms — exactly what an offline build can promise for cache keys.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// The fingerprint of a parsed program: FNV-1a over its canonical
+/// rendering. Whitespace- and comment-insensitive by construction.
+#[must_use]
+pub fn canonical_fingerprint(program: &Program) -> u64 {
+    fnv1a_64(program.to_string().as_bytes())
+}
+
+/// Parses `source` and returns its canonical fingerprint.
+///
+/// # Errors
+///
+/// The parser's diagnostics, unchanged — a source that does not parse has
+/// no canonical form to fingerprint.
+pub fn source_fingerprint(source: &str) -> Result<u64, Vec<Diagnostic>> {
+    Ok(canonical_fingerprint(&crate::parse(source)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Reference values of the FNV-1a 64-bit test suite.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn formatting_and_comments_do_not_change_the_fingerprint() {
+        let a = "input x in [-1, 1];\ny = 0.5*x;\noutput y;\n";
+        let b = "# a comment\ninput   x in [ -1 , 1 ];\n\n\ny = 0.5 * x; // same\noutput y;";
+        assert_eq!(
+            source_fingerprint(a).unwrap(),
+            source_fingerprint(b).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_programs_differ() {
+        let a = source_fingerprint("input x;\noutput y = 0.5*x;\n").unwrap();
+        let b = source_fingerprint("input x;\noutput y = 0.25*x;\n").unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parse_failures_surface_diagnostics() {
+        assert!(source_fingerprint("input x;\ny = ;\n").is_err());
+    }
+}

@@ -47,7 +47,10 @@
 //!   `Sub`, `*` → `Mul`, `/` → `Div`, unary `-` → `Neg`, `delay` →
 //!   `Delay`, literals → `Const`, `input` → `Input`. Unary minus on a
 //!   literal folds into the constant (`-0.5 * x` is one `Const` and one
-//!   `Mul`, exactly like `DfgBuilder::mul_const(-0.5, x)`).
+//!   `Mul`, exactly like `DfgBuilder::mul_const(-0.5, x)`). Identical
+//!   literals within one datapath share a single `Const` node (compared
+//!   by bit pattern, so `-0.0` and `0.0` stay distinct) — symmetric
+//!   filter coefficients do not inflate the node count.
 //! * Names must be defined before use, with one exception: the direct
 //!   operand of `delay` may be defined *later*, which expresses feedback
 //!   and lowers to `delay_placeholder`/`bind_delay`. Every cycle must
@@ -70,6 +73,7 @@
 
 mod ast;
 mod diag;
+mod fingerprint;
 mod lower;
 mod parser;
 mod span;
@@ -77,6 +81,7 @@ mod token;
 
 pub use ast::{BinaryOp, Expr, ExprKind, Ident, InputRange, Program, Stmt, UnaryOp};
 pub use diag::{render_all, Diagnostic};
+pub use fingerprint::{canonical_fingerprint, fnv1a_64, source_fingerprint};
 pub use lower::{compile, lower, Lowered};
 pub use parser::parse;
 pub use span::Span;

@@ -48,6 +48,11 @@ struct Lowering {
     env: HashMap<String, NodeId>,
     /// Definition site of each name (for duplicate-definition notes).
     def_spans: HashMap<String, Span>,
+    /// One `Const` node per distinct literal value (keyed by bit pattern,
+    /// so `-0.0` and `0.0` stay distinct): repeated coefficients — ubiquitous
+    /// in symmetric filters — share a node instead of multiplying the
+    /// constant count.
+    consts: HashMap<u64, NodeId>,
     input_ranges: Vec<Interval>,
     /// Forward references created by `delay name`: placeholder node plus
     /// the name and span to resolve once all statements are lowered.
@@ -108,6 +113,25 @@ impl Lowering {
         self.env.insert(name.name.clone(), node);
     }
 
+    /// The `Const` node for `value`, creating it on first use.
+    fn const_node(&mut self, value: f64) -> NodeId {
+        *self
+            .consts
+            .entry(value.to_bits())
+            .or_insert_with(|| self.builder.constant(value))
+    }
+
+    /// Whether lowering `expr` reuses an existing node instead of creating
+    /// one — a plain alias of a name, or a literal whose `Const` node
+    /// already exists. Such statements must not (re)name the shared node.
+    fn reuses_node(&self, expr: &Expr) -> bool {
+        match &expr.kind {
+            ExprKind::Var(_) => true,
+            ExprKind::Number(v) => self.consts.contains_key(&v.to_bits()),
+            _ => false,
+        }
+    }
+
     fn stmt(&mut self, stmt: &Stmt) {
         match stmt {
             Stmt::Input { name, range } => {
@@ -127,10 +151,12 @@ impl Lowering {
                 self.define(name, node);
             }
             Stmt::Let { name, expr } => {
-                let node = self.expr(expr);
                 // Name the node when this statement created it (pure
-                // aliases `a = b;` must not rename `b`'s node).
-                if !matches!(expr.kind, ExprKind::Var(_)) {
+                // aliases `a = b;` and re-bound literals must not rename
+                // the shared node).
+                let fresh = !self.reuses_node(expr);
+                let node = self.expr(expr);
+                if fresh {
                     let _ = self.builder.name(node, name.name.clone());
                 }
                 self.define(name, node);
@@ -138,8 +164,9 @@ impl Lowering {
             Stmt::Output { name, expr } => {
                 let node = match expr {
                     Some(e) => {
+                        let fresh = !self.reuses_node(e);
                         let node = self.expr(e);
-                        if !matches!(e.kind, ExprKind::Var(_)) {
+                        if fresh {
                             let _ = self.builder.name(node, name.name.clone());
                         }
                         self.define(name, node);
@@ -171,7 +198,7 @@ impl Lowering {
 
     fn expr(&mut self, expr: &Expr) -> NodeId {
         match &expr.kind {
-            ExprKind::Number(v) => self.builder.constant(*v),
+            ExprKind::Number(v) => self.const_node(*v),
             ExprKind::Var(name) => match self.env.get(name) {
                 Some(&node) => node,
                 None => {
@@ -372,6 +399,48 @@ mod tests {
         assert_eq!(sim.step(&[1.0]).unwrap(), vec![1.0]);
         assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.5]);
         assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.5]);
+    }
+
+    #[test]
+    fn repeated_literals_share_one_const_node() {
+        // A symmetric 3-tap FIR: 0.25 appears twice, 0.5 once.
+        let l = compile_ok(
+            "input x;\n\
+             x1 = delay x;\n\
+             x2 = delay x1;\n\
+             y = 0.25*x + 0.5*x1 + 0.25*x2;\n\
+             output y;\n",
+        );
+        let c = l.dfg.op_counts();
+        assert_eq!(c.consts, 2, "identical literals must dedupe");
+        assert_eq!((c.muls, c.adds, c.delays), (3, 2, 2));
+        let mut sim = Simulator::new(&l.dfg);
+        assert_eq!(sim.step(&[1.0]).unwrap(), vec![0.25]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.5]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.25]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.0]);
+    }
+
+    #[test]
+    fn negative_zero_stays_distinct_from_zero() {
+        let l = compile_ok("input x;\ny = 0.0*x + -0.0*x;\noutput y;\n");
+        assert_eq!(l.dfg.op_counts().consts, 2);
+    }
+
+    #[test]
+    fn rebinding_an_existing_literal_does_not_rename_the_shared_node() {
+        // `k = 2.5;` reuses the Const created for the first `2.5` and so
+        // must not steal its name; both uses still evaluate correctly.
+        let l = compile_ok(
+            "input x;\n\
+             a = 2.5*x;\n\
+             k = 2.5;\n\
+             y = a + k;\n\
+             output y;\n",
+        );
+        let c = l.dfg.op_counts();
+        assert_eq!(c.consts, 1);
+        assert_eq!(l.dfg.evaluate(&[2.0]).unwrap(), vec![7.5]);
     }
 
     #[test]

@@ -44,11 +44,48 @@ fn stimuli(design: &Design, steps: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// Number of *distinct* constant values (by bit pattern) in a graph —
+/// what the lowerer's constant dedup leaves behind.
+fn distinct_consts(dfg: &sna_dfg::Dfg) -> usize {
+    dfg.nodes()
+        .filter_map(|(_, n)| match n.op() {
+            sna_dfg::Op::Const(v) => Some(v.to_bits()),
+            _ => None,
+        })
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+}
+
 fn assert_equivalent(name: &str, lowered: &Lowered, design: &Design) {
+    // The builders emit one `Const` per `mul_const` call; the lowerer
+    // dedupes identical literals. Everything else must match exactly, and
+    // the lowered constant count must equal the number of *distinct*
+    // constants in the builder graph.
+    let got = lowered.dfg.op_counts();
+    let want = design.dfg.op_counts();
     assert_eq!(
-        lowered.dfg.op_counts(),
-        design.dfg.op_counts(),
+        got.consts,
+        distinct_consts(&design.dfg),
+        "{name}: constant count is not the deduped builder count"
+    );
+    assert_eq!(got.consts, distinct_consts(&lowered.dfg));
+    assert_eq!(
+        (got.inputs, got.adds, got.subs, got.muls, got.divs, got.negs, got.delays),
+        (
+            want.inputs,
+            want.adds,
+            want.subs,
+            want.muls,
+            want.divs,
+            want.negs,
+            want.delays
+        ),
         "{name}: operation counts differ"
+    );
+    assert_eq!(
+        lowered.dfg.len(),
+        design.dfg.len() - (want.consts - got.consts),
+        "{name}: node count is not builder count minus deduped constants"
     );
     assert_eq!(
         lowered.input_ranges, design.input_ranges,

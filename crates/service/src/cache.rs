@@ -1,0 +1,289 @@
+//! The hash-keyed compile cache: the piece that turns "every invocation
+//! re-lexes, re-lowers, and rebuilds the model" into "the first request
+//! pays, every repeat goes straight to evaluation".
+//!
+//! Two key levels:
+//!
+//! * **source text** — the raw bytes, hashed by the map. The fast path: a
+//!   repeat of the identical text hits without parsing anything.
+//! * **canonical form** — the parsed program's canonical rendering (whose
+//!   FNV-1a hash is the entry's reported fingerprint). Sources that
+//!   differ only in whitespace or comments share one entry; the second
+//!   spelling pays one parse, then aliases the existing compiled model.
+//!
+//! Both levels compare the full key text on lookup, so a hash collision
+//! can never hand one program another program's model.
+//!
+//! Entries hold the lowered [`Dfg`](sna_dfg::Dfg) behind an `Arc` and
+//! build the [`NaModel`] lazily (first `na_model()` call), also behind an
+//! `Arc` — both are `Send + Sync` (asserted in `sna-core`'s tests), so a
+//! worker pool or one thread per connection can share them freely.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sna_core::NaModel;
+use sna_dfg::LtiOptions;
+use sna_lang::{fnv1a_64, Diagnostic, Lowered};
+
+/// One compiled program: the lowered graph plus the lazily built,
+/// shareable NA model.
+#[derive(Debug)]
+pub struct CompiledEntry {
+    /// The validated graph and input ranges, shared across threads.
+    pub lowered: Arc<Lowered>,
+    /// Canonical fingerprint of the program this was compiled from.
+    pub fingerprint: u64,
+    na_model: OnceLock<Result<Arc<NaModel>, String>>,
+}
+
+impl CompiledEntry {
+    /// Wraps an already compiled program (used both by the cache and by
+    /// uncached single-shot paths that still want lazy model sharing).
+    #[must_use]
+    pub fn new(lowered: Lowered, fingerprint: u64) -> Self {
+        CompiledEntry {
+            lowered: Arc::new(lowered),
+            fingerprint,
+            na_model: OnceLock::new(),
+        }
+    }
+
+    /// The NA model for this program, built on first use and shared
+    /// afterwards. The build is the expensive one-off (impulse-response
+    /// analysis per potential noise source); evaluation against a
+    /// word-length configuration is `O(#sources)`.
+    ///
+    /// # Errors
+    ///
+    /// The model build's failure, rendered (e.g. the graph is nonlinear);
+    /// the error is cached too, so repeat requests fail fast.
+    pub fn na_model(&self) -> Result<Arc<NaModel>, String> {
+        self.na_model
+            .get_or_init(|| {
+                NaModel::build(
+                    &self.lowered.dfg,
+                    &self.lowered.input_ranges,
+                    &LtiOptions::default(),
+                )
+                .map(Arc::new)
+                .map_err(|e| format!("cannot build the NA model: {e}"))
+            })
+            .clone()
+    }
+
+    /// Whether the NA model has been built (hit/miss accounting for
+    /// callers that report model-level caching).
+    #[must_use]
+    pub fn na_model_built(&self) -> bool {
+        self.na_model.get().is_some()
+    }
+}
+
+/// How a [`CompileCache::get_or_compile`] call was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// Raw source bytes seen before; nothing was parsed.
+    SourceHit,
+    /// New spelling of a known program; one parse, no lowering or model
+    /// build.
+    CanonHit,
+    /// Fully compiled on this call.
+    Miss,
+}
+
+impl Lookup {
+    /// `true` for either hit flavour.
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        !matches!(self, Lookup::Miss)
+    }
+
+    /// Protocol wire word: `"hit"` / `"canon-hit"` / `"miss"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lookup::SourceHit => "hit",
+            Lookup::CanonHit => "canon-hit",
+            Lookup::Miss => "miss",
+        }
+    }
+}
+
+/// Cache counters, as reported in batch summaries and `stats` requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (either key level).
+    pub hits: u64,
+    /// Lookups that compiled.
+    pub misses: u64,
+    /// Distinct compiled programs currently held.
+    pub entries: usize,
+}
+
+#[derive(Default)]
+struct State {
+    /// Keyed by the raw source text. Full-text keys (not bare hashes):
+    /// the map's own hashing gives the fast path, and key equality makes
+    /// a hash collision between two different programs impossible —
+    /// which matters once untrusted TCP clients share the cache.
+    by_source: HashMap<String, Arc<CompiledEntry>>,
+    /// Keyed by the canonical rendering, same full-text reasoning.
+    by_canon: HashMap<String, Arc<CompiledEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A thread-safe source → compiled-model cache.
+///
+/// Compilation runs *outside* the lock: concurrent misses on the same new
+/// source may compile twice, but the first insert wins, every caller
+/// receives the same shared entry, and only the winner counts as a miss —
+/// the lock is only ever held for map operations, never for parsing or
+/// model building.
+#[derive(Default)]
+pub struct CompileCache {
+    state: Mutex<State>,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The compiled entry for `source`, compiling it if unseen.
+    ///
+    /// # Errors
+    ///
+    /// The compiler's diagnostics for sources that do not parse or lower.
+    /// Failures are not cached (they are cheap to reproduce and carry
+    /// spans into the offending text).
+    pub fn get_or_compile(
+        &self,
+        source: &str,
+    ) -> Result<(Arc<CompiledEntry>, Lookup), Vec<Diagnostic>> {
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            if let Some(entry) = state.by_source.get(source).cloned() {
+                state.hits += 1;
+                return Ok((entry, Lookup::SourceHit));
+            }
+        }
+
+        // Parse outside the lock; the canonical rendering may still
+        // alias an entry compiled from a different spelling.
+        let program = sna_lang::parse(source)?;
+        let canon = program.to_string();
+        let fingerprint = fnv1a_64(canon.as_bytes());
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            if let Some(entry) = state.by_canon.get(&canon).cloned() {
+                state.by_source.insert(source.to_string(), entry.clone());
+                state.hits += 1;
+                return Ok((entry, Lookup::CanonHit));
+            }
+        }
+
+        let lowered = sna_lang::lower(&program)?;
+        let entry = Arc::new(CompiledEntry::new(lowered, fingerprint));
+        let mut state = self.state.lock().expect("cache lock");
+        // A racing thread may have inserted the same program meanwhile;
+        // the first insert wins (so every caller shares one allocation)
+        // and counts as the one miss — the losers found an entry, which
+        // is a hit however the work raced.
+        match state.by_canon.entry(canon) {
+            std::collections::hash_map::Entry::Occupied(existing) => {
+                let entry = existing.get().clone();
+                state.by_source.insert(source.to_string(), entry.clone());
+                state.hits += 1;
+                Ok((entry, Lookup::CanonHit))
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(entry.clone());
+                state.by_source.insert(source.to_string(), entry.clone());
+                state.misses += 1;
+                Ok((entry, Lookup::Miss))
+            }
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("cache lock");
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            entries: state.by_canon.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "input x in [-1, 1];\ny = 0.5*x;\noutput y;\n";
+
+    #[test]
+    fn repeat_sources_hit_and_share_the_entry() {
+        let cache = CompileCache::new();
+        let (first, l1) = cache.get_or_compile(SRC).unwrap();
+        let (second, l2) = cache.get_or_compile(SRC).unwrap();
+        assert_eq!(l1, Lookup::Miss);
+        assert_eq!(l2, Lookup::SourceHit);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn reformatted_source_aliases_via_the_canonical_fingerprint() {
+        let cache = CompileCache::new();
+        let (first, _) = cache.get_or_compile(SRC).unwrap();
+        let respelled = "# comment\ninput x in [ -1, 1 ];\n\ny = 0.5 * x;\noutput y;";
+        let (second, lookup) = cache.get_or_compile(respelled).unwrap();
+        assert_eq!(lookup, Lookup::CanonHit);
+        assert!(Arc::ptr_eq(&first, &second));
+        // The alias is remembered: the respelled text now hits on bytes.
+        let (_, lookup) = cache.get_or_compile(respelled).unwrap();
+        assert_eq!(lookup, Lookup::SourceHit);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn na_model_is_built_once_and_shared() {
+        let cache = CompileCache::new();
+        let (entry, _) = cache.get_or_compile(SRC).unwrap();
+        assert!(!entry.na_model_built());
+        let a = entry.na_model().unwrap();
+        assert!(entry.na_model_built());
+        let b = entry.na_model().unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn nonlinear_graphs_report_a_model_error_without_poisoning_compile() {
+        let cache = CompileCache::new();
+        let (entry, _) = cache.get_or_compile("input x;\noutput y = x*x;\n").unwrap();
+        assert!(entry.na_model().is_err());
+        // The compiled graph is still usable for other engines.
+        assert!(entry.lowered.dfg.is_combinational());
+    }
+
+    #[test]
+    fn compile_errors_are_reported_not_cached() {
+        let cache = CompileCache::new();
+        assert!(cache.get_or_compile("input x;\ny = ;\n").is_err());
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 0);
+    }
+}

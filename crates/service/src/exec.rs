@@ -1,0 +1,646 @@
+//! Request execution: one function per verb (`parse` is pure shaping and
+//! lives with the protocol; `analyze`, `optimize`, `synth` live here),
+//! shared between the CLI subcommands and the server loop so both front
+//! ends produce identical numbers — and identical JSON — for the same
+//! request.
+//!
+//! Everything here takes a [`CompiledEntry`] (or the [`Lowered`] inside
+//! it) and plain parameter structs; errors are rendered strings, which
+//! the CLI wraps in its exit-code-bearing error type and the server ships
+//! in `"error"` fields.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use sna_core::{CartesianEngine, EngineKind, NoiseReport, SnaAnalysis, UncertainInput};
+use sna_dfg::{Dfg, RangeOptions};
+use sna_fixp::WlConfig;
+use sna_hls::{synthesize, Implementation, SynthesisConstraints};
+use sna_interval::Interval;
+use sna_lang::Lowered;
+use sna_opt::{AnnealOptions, Evaluation, Optimizer};
+
+use crate::cache::CompiledEntry;
+use crate::json::Json;
+
+/// The analysis engine selector, including the non-`SnaAnalysis`
+/// Cartesian engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AnalyzeEngine {
+    /// LTI for sequential linear graphs, DFG histograms otherwise.
+    #[default]
+    Auto,
+    /// Classical NA baseline (moments only, no PDF) — served from the
+    /// cached model when one is available.
+    Na,
+    /// Op-by-op histogram propagation.
+    Dfg,
+    /// LTI gains + CLT shaping.
+    Lti,
+    /// Polynomial propagation.
+    Symbolic,
+    /// The paper's Section-4 exact algorithm over value uncertainty.
+    Cartesian,
+}
+
+impl AnalyzeEngine {
+    /// Parses the `--engine` / `"engine"` selector.
+    ///
+    /// # Errors
+    ///
+    /// A usage-style message listing the accepted names.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        Ok(match raw {
+            "auto" => AnalyzeEngine::Auto,
+            "na" => AnalyzeEngine::Na,
+            "dfg" => AnalyzeEngine::Dfg,
+            "lti" => AnalyzeEngine::Lti,
+            "symbolic" => AnalyzeEngine::Symbolic,
+            "cartesian" => AnalyzeEngine::Cartesian,
+            other => {
+                return Err(format!(
+                    "unknown engine `{other}` (expected auto, na, dfg, lti, symbolic or cartesian)"
+                ))
+            }
+        })
+    }
+
+    /// The selector's wire/CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalyzeEngine::Auto => "auto",
+            AnalyzeEngine::Na => "na",
+            AnalyzeEngine::Dfg => "dfg",
+            AnalyzeEngine::Lti => "lti",
+            AnalyzeEngine::Symbolic => "symbolic",
+            AnalyzeEngine::Cartesian => "cartesian",
+        }
+    }
+}
+
+/// Parameters of an `analyze` request, with the CLI's defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyzeParams {
+    /// Engine selector.
+    pub engine: AnalyzeEngine,
+    /// Uniform word length of the analyzed configuration.
+    pub bits: u8,
+    /// Histogram resolution.
+    pub bins: usize,
+}
+
+impl Default for AnalyzeParams {
+    fn default() -> Self {
+        AnalyzeParams {
+            engine: AnalyzeEngine::Auto,
+            bits: 12,
+            bins: 64,
+        }
+    }
+}
+
+/// Builds the word-length configuration every analysis shares.
+///
+/// # Errors
+///
+/// Range analysis / configuration failures, rendered.
+pub fn config_for(lowered: &Lowered, bits: u8) -> Result<WlConfig, String> {
+    WlConfig::from_ranges(&lowered.dfg, &lowered.input_ranges, bits)
+        .map_err(|e| format!("cannot build a {bits}-bit configuration: {e}"))
+}
+
+/// The combinational per-sample view of a sequential graph, with the
+/// delay-state inputs appended and their value ranges derived from range
+/// analysis of the original graph.
+///
+/// # Errors
+///
+/// Range analysis failures, rendered.
+pub fn combinational_with_ranges(lowered: &Lowered) -> Result<(Dfg, Vec<Interval>), String> {
+    if lowered.dfg.is_combinational() {
+        return Ok((lowered.dfg.clone(), lowered.input_ranges.clone()));
+    }
+    let node_ranges = lowered
+        .dfg
+        .ranges_auto(
+            &lowered.input_ranges,
+            &sna_dfg::RangeOptions::default(),
+            &sna_dfg::LtiOptions::default(),
+        )
+        .map_err(|e| format!("range analysis failed: {e}"))?;
+    let mut ranges = lowered.input_ranges.clone();
+    ranges.extend(
+        lowered
+            .dfg
+            .delay_nodes()
+            .iter()
+            .map(|d| node_ranges[d.index()]),
+    );
+    Ok((lowered.dfg.combinational_view(), ranges))
+}
+
+/// Hard ceiling on histogram resolution. Several engines are quadratic
+/// (or, for `cartesian`, exponential in the input count) in the bin
+/// count, and the allocation itself must not be attacker-sized: one
+/// huge-`bins` request through `sna serve` would otherwise abort the
+/// whole process.
+pub const MAX_BINS: usize = 4096;
+
+/// Runs an analysis request against a compiled entry. The `na` engine
+/// evaluates the entry's cached [`NaModel`](sna_core::NaModel), building
+/// it on first use — the step the cache exists to amortize.
+///
+/// # Errors
+///
+/// Engine or configuration failures, rendered; `bins` outside
+/// `1..=`[`MAX_BINS`] is rejected up front.
+pub fn analyze(
+    entry: &CompiledEntry,
+    params: &AnalyzeParams,
+) -> Result<Vec<(String, NoiseReport)>, String> {
+    let lowered = &entry.lowered;
+    let AnalyzeParams { engine, bits, bins } = *params;
+    if bins == 0 || bins > MAX_BINS {
+        return Err(format!("bins must be in 1..={MAX_BINS}, got {bins}"));
+    }
+    match engine {
+        AnalyzeEngine::Cartesian => cartesian(lowered, bins),
+        AnalyzeEngine::Na => {
+            let model = entry.na_model()?;
+            let config = config_for(lowered, bits)?;
+            SnaAnalysis::new(&lowered.dfg, &config, &lowered.input_ranges)
+                .engine(EngineKind::Na)
+                .with_na_model(&model)
+                .bins(bins)
+                .run()
+                .map_err(|e| format!("analysis failed: {e}"))
+        }
+        AnalyzeEngine::Auto | AnalyzeEngine::Lti => {
+            let kind = match engine {
+                AnalyzeEngine::Auto => EngineKind::Auto,
+                _ => EngineKind::Lti,
+            };
+            let config = config_for(lowered, bits)?;
+            SnaAnalysis::new(&lowered.dfg, &config, &lowered.input_ranges)
+                .engine(kind)
+                .bins(bins)
+                .run()
+                .map_err(|e| format!("analysis failed: {e}"))
+        }
+        AnalyzeEngine::Dfg | AnalyzeEngine::Symbolic => {
+            // Combinational engines: analyze the per-sample view.
+            let kind = if engine == AnalyzeEngine::Dfg {
+                EngineKind::Dfg
+            } else {
+                EngineKind::Symbolic
+            };
+            let (view, ranges) = combinational_with_ranges(lowered)?;
+            let config = WlConfig::from_ranges(&view, &ranges, bits)
+                .map_err(|e| format!("cannot build configuration: {e}"))?;
+            SnaAnalysis::new(&view, &config, &ranges)
+                .engine(kind)
+                .bins(bins)
+                .run()
+                .map_err(|e| format!("analysis failed: {e}"))
+        }
+    }
+}
+
+/// The Section-4 exact algorithm over the inputs' value uncertainty.
+fn cartesian(lowered: &Lowered, bins: usize) -> Result<Vec<(String, NoiseReport)>, String> {
+    if !lowered.dfg.is_combinational() {
+        return Err("the cartesian engine handles combinational datapaths only \
+             (this one contains delays)"
+            .to_string());
+    }
+    let inputs: Vec<UncertainInput> = lowered
+        .dfg
+        .input_names()
+        .iter()
+        .zip(&lowered.input_ranges)
+        .map(|(name, range)| {
+            UncertainInput::uniform(name.clone(), range.lo(), range.hi(), bins)
+                .map_err(|e| format!("input `{name}`: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    // Fail early (and only once) if interval evaluation cannot cover the
+    // full input box — sub-boxes are subsets, so they inherit success.
+    let full: Vec<_> = lowered.input_ranges.clone();
+    lowered
+        .dfg
+        .output_ranges(&full, &RangeOptions::default())
+        .map_err(|e| format!("interval evaluation failed: {e}"))?;
+
+    let engine = CartesianEngine::new(bins.max(2) * 2);
+    // The engine sweeps every input sub-box once *per analyzed output*,
+    // and each interval evaluation computes all outputs at once. Memoize
+    // the per-sub-box output vector (bounded) so multi-output datapaths
+    // pay for one sweep's worth of interval evaluations, not k.
+    const MEMO_CAP: usize = 1 << 20;
+    let multi_output = lowered.dfg.outputs().len() > 1;
+    let memo: RefCell<HashMap<Vec<u64>, Vec<Interval>>> = RefCell::new(HashMap::new());
+    let eval_outputs = |ranges: &[Interval]| -> Vec<Interval> {
+        let compute = || {
+            lowered
+                .dfg
+                .output_ranges(ranges, &RangeOptions::default())
+                .expect("sub-box of a checked input box evaluates")
+                .into_iter()
+                .map(|(_, iv)| iv)
+                .collect::<Vec<_>>()
+        };
+        if !multi_output {
+            return compute();
+        }
+        let key: Vec<u64> = ranges
+            .iter()
+            .flat_map(|r| [r.lo().to_bits(), r.hi().to_bits()])
+            .collect();
+        if let Some(cached) = memo.borrow().get(&key) {
+            return cached.clone();
+        }
+        let value = compute();
+        let mut memo = memo.borrow_mut();
+        if memo.len() < MEMO_CAP {
+            memo.insert(key, value.clone());
+        }
+        value
+    };
+    lowered
+        .dfg
+        .outputs()
+        .iter()
+        .enumerate()
+        .map(|(k, (name, _))| {
+            let report = engine
+                .analyze(&inputs, |ranges| eval_outputs(ranges)[k])
+                .map_err(|e| format!("cartesian analysis failed: {e}"))?;
+            Ok((name.clone(), report))
+        })
+        .collect()
+}
+
+/// The word-length search methods (`exhaustive` is opt-in because its
+/// search space is exponential in the node count).
+pub const METHODS: [&str; 5] = [
+    "greedy",
+    "waterfill",
+    "anneal",
+    "group-greedy",
+    "exhaustive",
+];
+
+/// `--method all` runs the methods that scale to real designs.
+pub const ALL_METHODS: [&str; 4] = ["greedy", "waterfill", "anneal", "group-greedy"];
+
+/// Validates a method selector (including `all` and `uniform`).
+///
+/// # Errors
+///
+/// A usage-style message for unknown methods.
+pub fn validate_method(method: &str) -> Result<(), String> {
+    if method == "all" || method == "uniform" || METHODS.contains(&method) {
+        Ok(())
+    } else {
+        Err(format!("unknown method `{method}`"))
+    }
+}
+
+/// Parameters of an `optimize` request, with the CLI's defaults.
+#[derive(Clone, Debug)]
+pub struct OptimizeParams {
+    /// Search method (one of [`METHODS`], `uniform`, or `all`).
+    pub method: String,
+    /// Uniform word length of the reference design supplying the default
+    /// budget.
+    pub ref_bits: u8,
+    /// Explicit noise-power budget (defaults to the reference design's).
+    pub budget: Option<f64>,
+    /// Starting word length for the descent methods.
+    pub start: u8,
+    /// Search radius of the exhaustive method.
+    pub radius: u8,
+}
+
+impl Default for OptimizeParams {
+    fn default() -> Self {
+        OptimizeParams {
+            method: "greedy".to_string(),
+            ref_bits: 12,
+            budget: None,
+            start: 16,
+            radius: 1,
+        }
+    }
+}
+
+/// The product of an `optimize` request.
+#[derive(Clone, Debug)]
+pub struct OptimizeOutcome {
+    /// The noise budget actually used.
+    pub budget: f64,
+    /// The uniform reference design.
+    pub reference: Evaluation,
+    /// Per-method results, in run order.
+    pub results: Vec<(String, Evaluation)>,
+}
+
+/// Runs a word-length optimization request.
+///
+/// # Errors
+///
+/// Optimizer construction or per-method failures, rendered.
+pub fn optimize(lowered: &Lowered, params: &OptimizeParams) -> Result<OptimizeOutcome, String> {
+    validate_method(&params.method)?;
+    let optimizer = Optimizer::new(
+        &lowered.dfg,
+        &lowered.input_ranges,
+        SynthesisConstraints::default(),
+    )
+    .map_err(|e| format!("cannot build the optimizer: {e}"))?;
+
+    // The reference design also supplies the default budget.
+    let reference = optimizer
+        .uniform(params.ref_bits)
+        .map_err(|e| format!("reference synthesis failed: {e}"))?;
+    let budget = params.budget.unwrap_or(reference.noise_power);
+
+    let run_one = |name: &str| -> Result<Evaluation, String> {
+        let r = match name {
+            "uniform" => optimizer.uniform(params.start),
+            "greedy" => optimizer.greedy(budget, params.start),
+            "waterfill" => optimizer.waterfill(budget),
+            "anneal" => optimizer.anneal(budget, params.start, &AnnealOptions::default()),
+            "group-greedy" => optimizer.group_greedy(budget, params.start),
+            "exhaustive" => optimizer.exhaustive(budget, params.ref_bits, params.radius, 2_000_000),
+            _ => unreachable!("validated above"),
+        };
+        r.map_err(|e| format!("method `{name}` failed: {e}"))
+    };
+    let mut results: Vec<(String, Evaluation)> = Vec::new();
+    if params.method == "all" {
+        for name in ALL_METHODS {
+            results.push((name.to_string(), run_one(name)?));
+        }
+    } else {
+        results.push((params.method.clone(), run_one(&params.method)?));
+    }
+    Ok(OptimizeOutcome {
+        budget,
+        reference,
+        results,
+    })
+}
+
+/// Runs the HLS flow for one uniform configuration.
+///
+/// # Errors
+///
+/// Configuration or synthesis failures, rendered.
+pub fn synth(lowered: &Lowered, bits: u8, clock_ns: f64) -> Result<Implementation, String> {
+    let config = config_for(lowered, bits)?;
+    let constraints = SynthesisConstraints {
+        clock_ns,
+        ..SynthesisConstraints::default()
+    };
+    synthesize(&lowered.dfg, &config, &constraints).map_err(|e| format!("synthesis failed: {e}"))
+}
+
+/// The structural facts of a compiled program as JSON fields (the body
+/// both the CLI's `parse --format json` and the server's `parse` result
+/// share).
+#[must_use]
+pub fn parse_facts_json(lowered: &Lowered) -> Vec<(String, Json)> {
+    let dfg = &lowered.dfg;
+    let c = dfg.op_counts();
+    vec![
+        (
+            "inputs".into(),
+            Json::Arr(
+                dfg.input_names()
+                    .iter()
+                    .zip(&lowered.input_ranges)
+                    .map(|(name, range)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(name.clone())),
+                            ("range".into(), Json::pair(range.lo(), range.hi())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "outputs".into(),
+            Json::Arr(
+                dfg.outputs()
+                    .iter()
+                    .map(|(name, _)| Json::str(name.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "op_counts".into(),
+            Json::Obj(vec![
+                ("inputs".into(), Json::int(c.inputs)),
+                ("consts".into(), Json::int(c.consts)),
+                ("adds".into(), Json::int(c.adds)),
+                ("subs".into(), Json::int(c.subs)),
+                ("muls".into(), Json::int(c.muls)),
+                ("divs".into(), Json::int(c.divs)),
+                ("negs".into(), Json::int(c.negs)),
+                ("delays".into(), Json::int(c.delays)),
+            ]),
+        ),
+        ("nodes".into(), Json::int(dfg.len())),
+        ("depth".into(), Json::int(dfg.depth())),
+        ("is_linear".into(), Json::Bool(dfg.is_linear())),
+        (
+            "is_combinational".into(),
+            Json::Bool(dfg.is_combinational()),
+        ),
+    ]
+}
+
+/// One noise report as a JSON object (the shape both the CLI's `--format
+/// json` and the server's `result.reports` use).
+#[must_use]
+pub fn report_json(name: &str, report: &NoiseReport, include_pdf: bool) -> Json {
+    let mut fields = vec![
+        ("output".to_string(), Json::str(name)),
+        ("mean".to_string(), Json::Num(report.mean)),
+        ("variance".to_string(), Json::Num(report.variance)),
+        ("std_dev".to_string(), Json::Num(report.std_dev())),
+        ("power".to_string(), Json::Num(report.power)),
+        (
+            "support".to_string(),
+            Json::pair(report.support.0, report.support.1),
+        ),
+    ];
+    let (lo95, hi95) = report.credible_interval(0.95);
+    fields.push(("credible95".to_string(), Json::pair(lo95, hi95)));
+    match &report.histogram {
+        Some(h) if include_pdf => {
+            fields.push((
+                "histogram".to_string(),
+                Json::Obj(vec![
+                    ("bins".to_string(), Json::int(h.n_bins())),
+                    ("lo".to_string(), Json::Num(h.grid().lo())),
+                    ("hi".to_string(), Json::Num(h.grid().hi())),
+                    (
+                        "masses".to_string(),
+                        Json::Arr(h.probs().iter().map(|&m| Json::Num(m)).collect()),
+                    ),
+                ]),
+            ));
+        }
+        Some(h) => {
+            fields.push((
+                "histogram".to_string(),
+                Json::Obj(vec![
+                    ("bins".to_string(), Json::int(h.n_bins())),
+                    ("lo".to_string(), Json::Num(h.grid().lo())),
+                    ("hi".to_string(), Json::Num(h.grid().hi())),
+                ]),
+            ));
+        }
+        None => fields.push(("histogram".to_string(), Json::Null)),
+    }
+    Json::Obj(fields)
+}
+
+/// One optimizer evaluation as a JSON object (shape shared by the CLI's
+/// `optimize --format json` and the server's `result`).
+#[must_use]
+pub fn eval_json(e: &Evaluation) -> Json {
+    Json::Obj(vec![
+        (
+            "word_lengths".into(),
+            Json::Arr(
+                e.word_lengths
+                    .iter()
+                    .map(|&w| Json::int(w as usize))
+                    .collect(),
+            ),
+        ),
+        ("noise_power".into(), Json::Num(e.noise_power)),
+        ("weighted_cost".into(), Json::Num(e.weighted_cost)),
+        (
+            "cost".into(),
+            Json::Obj(vec![
+                ("area_um2".into(), Json::Num(e.cost.area_um2)),
+                ("power_uw".into(), Json::Num(e.cost.power_uw)),
+                (
+                    "latency_cycles".into(),
+                    Json::int(e.cost.latency_cycles as usize),
+                ),
+                ("fu_area_um2".into(), Json::Num(e.cost.fu_area_um2)),
+                ("reg_area_um2".into(), Json::Num(e.cost.reg_area_um2)),
+                ("mux_area_um2".into(), Json::Num(e.cost.mux_area_um2)),
+                (
+                    "energy_per_sample_pj".into(),
+                    Json::Num(e.cost.energy_per_sample_pj),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// A synthesis cost report as a JSON object (shape shared by the CLI's
+/// `synth --format json` and the server's `result.cost`).
+#[must_use]
+pub fn cost_json(cost: &sna_hls::CostReport) -> Json {
+    Json::Obj(vec![
+        ("area_um2".into(), Json::Num(cost.area_um2)),
+        ("fu_area_um2".into(), Json::Num(cost.fu_area_um2)),
+        ("reg_area_um2".into(), Json::Num(cost.reg_area_um2)),
+        ("mux_area_um2".into(), Json::Num(cost.mux_area_um2)),
+        ("power_uw".into(), Json::Num(cost.power_uw)),
+        (
+            "latency_cycles".into(),
+            Json::int(cost.latency_cycles as usize),
+        ),
+        (
+            "energy_per_sample_pj".into(),
+            Json::Num(cost.energy_per_sample_pj),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(source: &str) -> CompiledEntry {
+        let program = sna_lang::parse(source).unwrap();
+        let fp = sna_lang::canonical_fingerprint(&program);
+        CompiledEntry::new(sna_lang::lower(&program).unwrap(), fp)
+    }
+
+    #[test]
+    fn na_analysis_through_the_cached_model_matches_a_fresh_build() {
+        let src = "input x in [-1, 1];\nt = delay y;\ny = 0.4*x + 0.5*t;\noutput y;\n";
+        let e = entry(src);
+        let params = AnalyzeParams {
+            engine: AnalyzeEngine::Na,
+            ..AnalyzeParams::default()
+        };
+        let first = analyze(&e, &params).unwrap();
+        assert!(e.na_model_built());
+        let again = analyze(&e, &params).unwrap();
+        assert_eq!(first.len(), again.len());
+        for ((n1, r1), (n2, r2)) in first.iter().zip(&again) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1.variance.to_bits(), r2.variance.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_engine_answers_on_a_suitable_graph() {
+        let comb = entry("input x in [-1, 1];\noutput y = 0.5*x + 0.25*x;\n");
+        for engine in [
+            AnalyzeEngine::Auto,
+            AnalyzeEngine::Na,
+            AnalyzeEngine::Dfg,
+            AnalyzeEngine::Lti,
+            AnalyzeEngine::Symbolic,
+            AnalyzeEngine::Cartesian,
+        ] {
+            let params = AnalyzeParams {
+                engine,
+                bits: 10,
+                bins: 32,
+            };
+            let reports =
+                analyze(&comb, &params).unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+            assert_eq!(reports[0].0, "y");
+        }
+    }
+
+    #[test]
+    fn optimize_runs_and_respects_the_reference_budget() {
+        let e = entry("input x in [-1, 1];\noutput y = 0.5*x + 0.25*x;\n");
+        let out = optimize(&e.lowered, &OptimizeParams::default()).unwrap();
+        assert_eq!(out.results[0].0, "greedy");
+        assert!(out.results[0].1.noise_power <= out.budget * 1.000001);
+    }
+
+    #[test]
+    fn synth_produces_costs() {
+        let e = entry("input x;\noutput y = 0.5*x;\n");
+        let imp = synth(&e.lowered, 10, SynthesisConstraints::default().clock_ns).unwrap();
+        assert!(imp.cost.area_um2 > 0.0);
+    }
+
+    #[test]
+    fn selector_parsing_round_trips_and_rejects_unknowns() {
+        for name in ["auto", "na", "dfg", "lti", "symbolic", "cartesian"] {
+            assert_eq!(AnalyzeEngine::parse(name).unwrap().name(), name);
+        }
+        assert!(AnalyzeEngine::parse("warp").is_err());
+        assert!(validate_method("greedy").is_ok());
+        assert!(validate_method("all").is_ok());
+        assert!(validate_method("uniform").is_ok());
+        assert!(validate_method("magic").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! `sna-service` — the batch + server execution layer of the SNA
+//! toolchain.
+//!
+//! The paper's economics are: building a noise model is the one-off cost,
+//! evaluating it is `O(#sources)`. This crate is where that asymmetry
+//! becomes operational. It provides the pieces both the batched CLI
+//! (`sna analyze a.sna b.sna …`) and the long-running server (`sna
+//! serve`) stand on:
+//!
+//! * [`CompileCache`] — a hash-keyed source → compiled-model cache.
+//!   Raw-byte FNV for the fast path, the canonical fingerprint from
+//!   `sna-lang` for spelling-insensitive aliasing; entries share the
+//!   lowered [`Dfg`](sna_dfg::Dfg) and the lazily built
+//!   [`NaModel`](sna_core::NaModel) behind `Arc`s.
+//! * [`run_ordered`] — a std-only worker pool (`std::thread` + channels;
+//!   the build environment has no network, so no tokio) that fans a job
+//!   list across cores and collects results in input order, keeping
+//!   batch output byte-stable.
+//! * [`exec`] — one function per verb (`analyze`, `optimize`, `synth`),
+//!   shared by the CLI subcommands and the server so both produce
+//!   identical numbers and identical JSON for the same request.
+//! * [`serve`] / [`serve_tcp`] — the line-oriented JSON protocol:
+//!   one request per line in, one compact JSON response per line out,
+//!   with per-request cache hit/miss and timing. Documented in
+//!   `crates/service/README.md`.
+//! * [`Json`] — the document model, writer (pretty + compact) and parser
+//!   the protocol and the CLI share. It moved here from `crates/cli`,
+//!   which re-exports it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+pub mod exec;
+mod json;
+mod pool;
+mod proto;
+
+pub use cache::{CacheStats, CompileCache, CompiledEntry, Lookup};
+pub use json::Json;
+pub use pool::{default_jobs, run_ordered};
+pub use proto::{handle_line, handle_line_untrusted, serve, serve_tcp, ServeReport};

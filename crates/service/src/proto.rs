@@ -1,0 +1,570 @@
+//! The line-oriented JSON wire protocol and the serve loop.
+//!
+//! One request per line in, one response per line out (compact JSON, no
+//! interior newlines). The same handler backs `sna serve` on
+//! stdin/stdout, `--listen addr:port` over TCP (one thread per
+//! connection, all sharing one [`CompileCache`]), and the in-process
+//! tests. See `crates/service/README.md` for the full request/response
+//! schema.
+//!
+//! Malformed input — unparsable JSON, a missing `cmd`, a bad parameter —
+//! answers with an `"ok": false` response on the same line; the server
+//! never dies on bad input.
+
+use std::io::{self, BufRead, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sna_lang::render_all;
+
+use crate::cache::{CompileCache, Lookup};
+use crate::exec::{self, AnalyzeEngine, AnalyzeParams, OptimizeParams};
+use crate::json::Json;
+
+/// What a serve loop processed, for the caller's logging.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Lines answered (including error responses).
+    pub requests: u64,
+    /// Responses with `"ok": false`.
+    pub errors: u64,
+}
+
+/// Who is on the other end of the transport — controls which request
+/// fields are honoured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Peer {
+    /// The operator's own pipe (stdin/stdout): `path` may read files.
+    Trusted,
+    /// A network client: `path` is refused — a remote peer must not be
+    /// able to read (and, via diagnostics, exfiltrate) server-side files.
+    Untrusted,
+}
+
+/// Handles one request line from the operator's own transport
+/// (stdin/stdout) and returns the full response document. The `path`
+/// request field is honoured; for network-facing handling use
+/// [`handle_line_untrusted`].
+#[must_use]
+pub fn handle_line(cache: &CompileCache, line: &str) -> Json {
+    handle(cache, line, Peer::Trusted)
+}
+
+/// Like [`handle_line`], but refuses `path` requests — the handler
+/// behind every TCP connection.
+#[must_use]
+pub fn handle_line_untrusted(cache: &CompileCache, line: &str) -> Json {
+    handle(cache, line, Peer::Untrusted)
+}
+
+fn handle(cache: &CompileCache, line: &str, peer: Peer) -> Json {
+    let started = Instant::now();
+    let doc = match Json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return error_response(None, format!("malformed request: {e}")),
+    };
+    let id = doc.get("id").cloned();
+    let Some(cmd) = doc.get("cmd").and_then(Json::as_str) else {
+        return error_response(id, "request needs a string `cmd` field".to_string());
+    };
+    match dispatch(cache, cmd, &doc, peer) {
+        Ok((result, lookup)) => {
+            let mut fields = Vec::new();
+            if let Some(id) = id {
+                fields.push(("id".to_string(), id));
+            }
+            fields.push(("ok".to_string(), Json::Bool(true)));
+            fields.push(("cmd".to_string(), Json::str(cmd)));
+            if let Some(lookup) = lookup {
+                fields.push(("cache".to_string(), Json::str(lookup.as_str())));
+            }
+            fields.push((
+                "elapsed_us".to_string(),
+                Json::int(usize::try_from(started.elapsed().as_micros()).unwrap_or(usize::MAX)),
+            ));
+            fields.push(("result".to_string(), result));
+            Json::Obj(fields)
+        }
+        Err(message) => error_response(id, message),
+    }
+}
+
+fn error_response(id: Option<Json>, message: String) -> Json {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_string(), id));
+    }
+    fields.push(("ok".to_string(), Json::Bool(false)));
+    fields.push(("error".to_string(), Json::Str(message)));
+    Json::Obj(fields)
+}
+
+/// Runs one verb; `Ok` carries the `result` payload plus the cache
+/// outcome when the verb compiled something.
+fn dispatch(
+    cache: &CompileCache,
+    cmd: &str,
+    doc: &Json,
+    peer: Peer,
+) -> Result<(Json, Option<Lookup>), String> {
+    if cmd == "stats" {
+        let s = cache.stats();
+        return Ok((
+            Json::Obj(vec![
+                (
+                    "hits".into(),
+                    Json::int(usize::try_from(s.hits).unwrap_or(usize::MAX)),
+                ),
+                (
+                    "misses".into(),
+                    Json::int(usize::try_from(s.misses).unwrap_or(usize::MAX)),
+                ),
+                ("entries".into(), Json::int(s.entries)),
+            ]),
+            None,
+        ));
+    }
+    if !matches!(cmd, "parse" | "analyze" | "optimize" | "synth") {
+        return Err(format!(
+            "unknown cmd `{cmd}` (expected parse, analyze, optimize, synth or stats)"
+        ));
+    }
+
+    let (source, origin) = request_source(doc, peer)?;
+    let (entry, lookup) = cache
+        .get_or_compile(&source)
+        .map_err(|diags| render_all(&diags, &source, &origin))?;
+
+    let result = match cmd {
+        "parse" => Json::Obj(exec::parse_facts_json(&entry.lowered)),
+        "analyze" => {
+            let params = AnalyzeParams {
+                engine: match doc.get("engine").map(|v| field_str(v, "engine")) {
+                    Some(raw) => AnalyzeEngine::parse(raw?)?,
+                    None => AnalyzeEngine::Auto,
+                },
+                bits: u8_field(doc, "bits", 12)?,
+                bins: usize_field(doc, "bins", 64)?,
+            };
+            let include_pdf = match doc.get("pdf") {
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| "`pdf` must be a boolean".to_string())?,
+                None => true,
+            };
+            let reports = exec::analyze(&entry, &params)?;
+            Json::Obj(vec![
+                ("engine".into(), Json::str(params.engine.name())),
+                ("bits".into(), Json::int(params.bits as usize)),
+                ("bins".into(), Json::int(params.bins)),
+                (
+                    "kind".into(),
+                    Json::str(if params.engine == AnalyzeEngine::Cartesian {
+                        "value-pdf"
+                    } else {
+                        "quantization-noise"
+                    }),
+                ),
+                (
+                    "reports".into(),
+                    Json::Arr(
+                        reports
+                            .iter()
+                            .map(|(name, r)| exec::report_json(name, r, include_pdf))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+        "optimize" => {
+            let params = OptimizeParams {
+                method: match doc.get("method") {
+                    Some(v) => field_str(v, "method")?.to_string(),
+                    None => "greedy".to_string(),
+                },
+                ref_bits: u8_field(doc, "ref_bits", 12)?,
+                budget: match doc.get("budget") {
+                    Some(v) => Some(
+                        v.as_f64()
+                            .ok_or_else(|| "`budget` must be a number".to_string())?,
+                    ),
+                    None => None,
+                },
+                start: u8_field(doc, "start", 16)?,
+                radius: u8_field(doc, "radius", 1)?,
+            };
+            let out = exec::optimize(&entry.lowered, &params)?;
+            Json::Obj(vec![
+                ("budget".into(), Json::Num(out.budget)),
+                ("reference".into(), exec::eval_json(&out.reference)),
+                (
+                    "results".into(),
+                    Json::Obj(
+                        out.results
+                            .iter()
+                            .map(|(name, e)| (name.clone(), exec::eval_json(e)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+        "synth" => {
+            let bits = u8_field(doc, "bits", 12)?;
+            let clock = match doc.get("clock") {
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| "`clock` must be a number".to_string())?,
+                None => sna_hls::SynthesisConstraints::default().clock_ns,
+            };
+            let imp = exec::synth(&entry.lowered, bits, clock)?;
+            Json::Obj(vec![
+                ("bits".into(), Json::int(bits as usize)),
+                ("clock_ns".into(), Json::Num(clock)),
+                ("cost".into(), exec::cost_json(&imp.cost)),
+                ("scheduled_ops".into(), Json::int(imp.schedule.n_ops())),
+            ])
+        }
+        _ => unreachable!("verbs matched above"),
+    };
+    Ok((result, Some(lookup)))
+}
+
+/// The program text of a request: inline `source`, or `path` read from
+/// disk (trusted transports only). The second element is the origin used
+/// in diagnostics.
+fn request_source(doc: &Json, peer: Peer) -> Result<(String, String), String> {
+    if let Some(v) = doc.get("source") {
+        return Ok((field_str(v, "source")?.to_string(), "request".to_string()));
+    }
+    if let Some(v) = doc.get("path") {
+        if peer == Peer::Untrusted {
+            return Err(
+                "`path` is not available over TCP (it reads server-side files); \
+                 send the program inline via `source`"
+                    .to_string(),
+            );
+        }
+        let path = field_str(v, "path")?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        return Ok((text, path.to_string()));
+    }
+    Err("request needs a `source` (inline text) or `path` (file) field".to_string())
+}
+
+fn field_str<'a>(value: &'a Json, key: &str) -> Result<&'a str, String> {
+    value
+        .as_str()
+        .ok_or_else(|| format!("`{key}` must be a string"))
+}
+
+fn u8_field(doc: &Json, key: &str, default: u8) -> Result<u8, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| format!("`{key}` must be a number"))?;
+            if n.fract() == 0.0 && (0.0..=255.0).contains(&n) {
+                Ok(n as u8)
+            } else {
+                Err(format!("`{key}` must be an integer in 0..=255"))
+            }
+        }
+    }
+}
+
+fn usize_field(doc: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| format!("`{key}` must be a number"))?;
+            if n.fract() == 0.0 && n >= 0.0 && n <= usize::MAX as f64 {
+                Ok(n as usize)
+            } else {
+                Err(format!("`{key}` must be a non-negative integer"))
+            }
+        }
+    }
+}
+
+/// Serves the line protocol until EOF: one compact JSON response per
+/// request line, flushed immediately so pipes and sockets see answers
+/// without buffering delays. Empty lines are ignored. The peer is
+/// trusted (`path` requests read files) — this is the stdin/stdout
+/// transport behind `sna serve`.
+///
+/// # Errors
+///
+/// Only transport failures (reading the input, writing the output);
+/// protocol-level problems become `"ok": false` responses.
+pub fn serve<R: BufRead, W: Write>(
+    reader: R,
+    mut writer: W,
+    cache: &CompileCache,
+) -> io::Result<ServeReport> {
+    serve_peer(reader, &mut writer, cache, Peer::Trusted)
+}
+
+/// Upper bound on one request line. Real `.sna` sources are kilobytes;
+/// the bound exists so a peer streaming bytes with no newline cannot
+/// grow the line buffer until the process is OOM-killed.
+pub const MAX_LINE_BYTES: u64 = 1 << 20;
+
+fn serve_peer<R: BufRead, W: Write>(
+    mut reader: R,
+    writer: &mut W,
+    cache: &CompileCache,
+    peer: Peer,
+) -> io::Result<ServeReport> {
+    let mut report = ServeReport::default();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Cap each line read: without the bound a newline-less stream
+        // accumulates into one unbounded String.
+        let n = io::Read::take(&mut reader, MAX_LINE_BYTES).read_line(&mut line)?;
+        if n == 0 {
+            break; // EOF
+        }
+        if !line.ends_with('\n') && n as u64 == MAX_LINE_BYTES {
+            // Oversized request: answer once and hang up — the rest of
+            // the stream is the middle of the same over-long line.
+            let response =
+                error_response(None, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+            report.requests += 1;
+            report.errors += 1;
+            writer.write_all(response.to_compact().as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            break;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle(cache, line.trim_end_matches(['\n', '\r']), peer);
+        report.requests += 1;
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            report.errors += 1;
+        }
+        writer.write_all(response.to_compact().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(report)
+}
+
+/// Serves the same protocol over TCP: one thread per connection, all
+/// sharing `cache`, every peer untrusted (`path` requests refused).
+/// With `max_conns` set, returns after that many connections have been
+/// accepted *and served* (used by tests and smoke scripts); with
+/// `None`, accepts forever and detaches connection threads as it goes.
+///
+/// # Errors
+///
+/// Accept failures. Per-connection I/O errors only end that connection.
+pub fn serve_tcp(
+    listener: &TcpListener,
+    cache: &Arc<CompileCache>,
+    max_conns: Option<u64>,
+) -> io::Result<()> {
+    if max_conns == Some(0) {
+        return Ok(());
+    }
+    let mut handles = Vec::new();
+    let mut accepted = 0u64;
+    for stream in listener.incoming() {
+        let mut stream = stream?;
+        let cache = Arc::clone(cache);
+        let handle = std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(r) => io::BufReader::new(r),
+                Err(_) => return,
+            };
+            // A dropped connection mid-response is the client's problem,
+            // not the server's: ignore the per-connection result.
+            let _ = serve_peer(reader, &mut stream, &cache, Peer::Untrusted);
+        });
+        if max_conns.is_some() {
+            // Bounded runs join every connection before returning.
+            handles.push(handle);
+        }
+        // Unbounded runs detach: holding JoinHandles forever would leak
+        // memory linearly with connections served.
+        accepted += 1;
+        if let Some(max) = max_conns {
+            if accepted >= max {
+                break;
+            }
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "input x in [-1, 1];\\noutput y = 0.5*x;\\n";
+
+    fn request(fields: &str) -> String {
+        format!("{{{fields}}}")
+    }
+
+    #[test]
+    fn analyze_request_answers_with_reports_and_cache_state() {
+        let cache = CompileCache::new();
+        let line = request(&format!(
+            r#""id": 1, "cmd": "analyze", "source": "{SRC}", "bits": 8"#
+        ));
+        let first = handle_line(&cache, &line);
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(first.get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(first.get("id").unwrap().as_f64(), Some(1.0));
+        assert!(first.get("result").unwrap().get("reports").is_some());
+        let second = handle_line(&cache, &line);
+        assert_eq!(second.get("cache").unwrap().as_str(), Some("hit"));
+    }
+
+    #[test]
+    fn malformed_lines_and_unknown_cmds_answer_with_errors() {
+        let cache = CompileCache::new();
+        let bad = handle_line(&cache, "this is not json");
+        assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+        assert!(bad
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("malformed"));
+
+        let unknown = handle_line(&cache, r#"{"id": 9, "cmd": "frobnicate", "source": "x"}"#);
+        assert_eq!(unknown.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(unknown.get("id").unwrap().as_f64(), Some(9.0));
+        assert!(unknown
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown cmd"));
+
+        let no_source = handle_line(&cache, r#"{"cmd": "parse"}"#);
+        assert!(no_source
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("`source`"));
+    }
+
+    #[test]
+    fn compile_diagnostics_travel_in_the_error_field() {
+        let cache = CompileCache::new();
+        let resp = handle_line(
+            &cache,
+            r#"{"cmd": "parse", "source": "input x;\ny = ;\noutput y;\n"}"#,
+        );
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        let error = resp.get("error").unwrap().as_str().unwrap();
+        assert!(error.contains("expected an expression"), "{error}");
+    }
+
+    #[test]
+    fn stats_requests_report_cache_counters() {
+        let cache = CompileCache::new();
+        let line = request(&format!(r#""cmd": "synth", "source": "{SRC}", "bits": 10"#));
+        let _ = handle_line(&cache, &line);
+        let _ = handle_line(&cache, &line);
+        let stats = handle_line(&cache, r#"{"cmd": "stats"}"#);
+        let result = stats.get("result").unwrap();
+        assert_eq!(result.get("hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(result.get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(result.get("entries").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn oversized_bins_are_rejected_instead_of_aborting_the_process() {
+        let cache = CompileCache::new();
+        let resp = handle_line(
+            &cache,
+            &request(&format!(
+                r#""cmd": "analyze", "source": "{SRC}", "bins": 40000000000"#
+            )),
+        );
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        assert!(
+            resp.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("bins"),
+            "{resp}"
+        );
+        // A zero is equally out of range.
+        let resp = handle_line(
+            &cache,
+            &request(&format!(
+                r#""cmd": "analyze", "source": "{SRC}", "bins": 0"#
+            )),
+        );
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn untrusted_peers_cannot_read_files_via_path() {
+        let cache = CompileCache::new();
+        let line = r#"{"cmd": "parse", "path": "/etc/hostname"}"#;
+        let resp = handle_line_untrusted(&cache, line);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        assert!(
+            resp.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("not available over TCP"),
+            "{resp}"
+        );
+        // Inline source still works for the same peer.
+        let ok = handle_line_untrusted(
+            &cache,
+            &request(&format!(r#""cmd": "parse", "source": "{SRC}""#)),
+        );
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parameter_validation_is_spelled_out() {
+        let cache = CompileCache::new();
+        let resp = handle_line(
+            &cache,
+            &request(&format!(
+                r#""cmd": "analyze", "source": "{SRC}", "bits": 4096"#
+            )),
+        );
+        assert!(resp
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("0..=255"));
+        let resp = handle_line(
+            &cache,
+            &request(&format!(
+                r#""cmd": "analyze", "source": "{SRC}", "engine": "warp""#
+            )),
+        );
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        assert!(resp
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown engine"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Protocol round-trips: a scripted client feeds request lines through
+//! [`sna_service::serve`] exactly as `sna serve` does over stdin/stdout
+//! (the CLI passes locked stdio to this same function), and over a real
+//! TCP socket via [`sna_service::serve_tcp`]. Every response line must
+//! parse as JSON; malformed requests must answer with an error instead
+//! of killing the server.
+
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::sync::Arc;
+
+use sna_service::{serve, serve_tcp, CompileCache, Json};
+
+const SRC: &str = r"input x in [-1, 1];\ny = 0.5*x;\noutput y;\n";
+
+fn run_session(lines: &[String]) -> (Vec<Json>, sna_service::ServeReport) {
+    let input = lines.join("\n") + "\n";
+    let cache = CompileCache::new();
+    let mut output = Vec::new();
+    let report = serve(Cursor::new(input.into_bytes()), &mut output, &cache).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    let responses = text
+        .lines()
+        .map(|line| Json::parse(line).unwrap_or_else(|e| panic!("unparsable response {line}: {e}")))
+        .collect();
+    (responses, report)
+}
+
+#[test]
+fn full_round_trip_covers_every_verb_and_reports_cache_transitions() {
+    let lines = vec![
+        format!(r#"{{"id": 1, "cmd": "parse", "source": "{SRC}"}}"#),
+        format!(r#"{{"id": 2, "cmd": "analyze", "source": "{SRC}", "bits": 8, "pdf": false}}"#),
+        format!(r#"{{"id": 3, "cmd": "analyze", "source": "{SRC}", "bits": 8, "pdf": false}}"#),
+        format!(r#"{{"id": 4, "cmd": "optimize", "source": "{SRC}", "method": "waterfill"}}"#),
+        format!(r#"{{"id": 5, "cmd": "synth", "source": "{SRC}", "bits": 10}}"#),
+        r#"{"id": 6, "cmd": "stats"}"#.to_string(),
+    ];
+    let (responses, report) = run_session(&lines);
+    assert_eq!(responses.len(), 6);
+    assert_eq!(report.requests, 6);
+    assert_eq!(report.errors, 0);
+
+    for (k, resp) in responses.iter().enumerate() {
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        assert_eq!(resp.get("id").and_then(Json::as_f64), Some((k + 1) as f64));
+        assert!(resp.get("elapsed_us").is_some());
+    }
+    // parse → structural facts; it also warms the cache (miss)…
+    let parse = responses[0].get("result").unwrap();
+    assert_eq!(
+        parse.get("is_combinational").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        responses[0].get("cache").and_then(Json::as_str),
+        Some("miss")
+    );
+    // …so both analyzes hit, and the repeat returns identical reports.
+    assert_eq!(
+        responses[1].get("cache").and_then(Json::as_str),
+        Some("hit")
+    );
+    assert_eq!(
+        responses[2].get("cache").and_then(Json::as_str),
+        Some("hit")
+    );
+    assert_eq!(
+        responses[1].get("result").unwrap().to_compact(),
+        responses[2].get("result").unwrap().to_compact(),
+        "cached analyze must be bit-identical to the cold one"
+    );
+    // optimize → word lengths under budget
+    let opt = responses[3].get("result").unwrap();
+    assert!(opt.get("budget").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(opt.get("results").unwrap().get("waterfill").is_some());
+    // synth → a cost report
+    let synth = responses[4].get("result").unwrap();
+    assert!(
+        synth
+            .get("cost")
+            .unwrap()
+            .get("area_um2")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    // stats → one entry, exactly one miss for the shared source
+    let stats = responses[5].get("result").unwrap();
+    assert_eq!(stats.get("entries").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(stats.get("misses").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(stats.get("hits").and_then(Json::as_f64), Some(4.0));
+}
+
+#[test]
+fn malformed_requests_get_json_errors_and_the_server_keeps_serving() {
+    let lines = vec![
+        "this is not json at all".to_string(),
+        r#"{"cmd": 42}"#.to_string(),
+        r#"{"id": "later", "cmd": "analyze"}"#.to_string(),
+        format!(r#"{{"cmd": "analyze", "source": "{SRC}", "engine": "warp"}}"#),
+        r#"{"cmd": "parse", "source": "input x;\noutput y = x +;\n"}"#.to_string(),
+        // After five bad requests, a good one still works.
+        format!(r#"{{"id": "ok", "cmd": "parse", "source": "{SRC}"}}"#),
+    ];
+    let (responses, report) = run_session(&lines);
+    assert_eq!(responses.len(), 6);
+    assert_eq!(report.errors, 5);
+
+    for resp in &responses[..5] {
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{resp}"
+        );
+        assert!(resp.get("error").and_then(Json::as_str).is_some(), "{resp}");
+    }
+    assert!(responses[0]
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("malformed request"));
+    assert!(responses[2]
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("`source`"));
+    // The id travels even on errors, so clients can correlate.
+    assert_eq!(responses[2].get("id").and_then(Json::as_str), Some("later"));
+    // Compile diagnostics arrive rendered, with their caret snippet.
+    assert!(responses[4]
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains('^'));
+
+    let last = &responses[5];
+    assert_eq!(last.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(last.get("id").and_then(Json::as_str), Some("ok"));
+}
+
+#[test]
+fn empty_lines_are_ignored_not_answered() {
+    let cache = CompileCache::new();
+    let mut output = Vec::new();
+    let input = "\n\n{\"cmd\": \"stats\"}\n   \n".to_string();
+    let report = serve(Cursor::new(input.into_bytes()), &mut output, &cache).unwrap();
+    assert_eq!(report.requests, 1);
+    assert_eq!(String::from_utf8(output).unwrap().lines().count(), 1);
+}
+
+#[test]
+fn oversized_request_lines_get_one_error_then_hangup_not_oom() {
+    let cache = CompileCache::new();
+    let mut output = Vec::new();
+    // 2 MiB of bytes with no newline: past the 1 MiB line bound.
+    let input = vec![b'a'; 2 << 20];
+    let report = serve(Cursor::new(input), &mut output, &cache).unwrap();
+    assert_eq!(report.requests, 1);
+    assert_eq!(report.errors, 1);
+    let text = String::from_utf8(output).unwrap();
+    assert_eq!(text.lines().count(), 1);
+    let resp = Json::parse(text.trim()).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(resp
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("exceeds"));
+}
+
+#[test]
+fn max_conns_zero_returns_without_accepting() {
+    let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(_) => return,
+    };
+    let cache = Arc::new(CompileCache::new());
+    // Must return immediately — no client ever connects.
+    serve_tcp(&listener, &cache, Some(0)).unwrap();
+}
+
+#[test]
+fn tcp_round_trip_shares_the_cache_across_connections() {
+    let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        // Sandboxed environments may forbid binding; the stdio transport
+        // above already covers the protocol itself.
+        Err(e) => {
+            eprintln!("skipping TCP round-trip (bind failed: {e})");
+            return;
+        }
+    };
+    let addr = listener.local_addr().unwrap();
+    let cache = Arc::new(CompileCache::new());
+    let server = {
+        let cache = Arc::clone(&cache);
+        std::thread::spawn(move || serve_tcp(&listener, &cache, Some(2)).unwrap())
+    };
+
+    let mut lookups = Vec::new();
+    for _ in 0..2 {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        writeln!(
+            stream,
+            r#"{{"cmd": "analyze", "source": "{SRC}", "bits": 8, "pdf": false}}"#
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = Json::parse(line.trim()).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        lookups.push(
+            resp.get("cache")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string(),
+        );
+        // Closing the stream ends this connection's serve loop.
+    }
+    server.join().unwrap();
+    assert_eq!(
+        lookups,
+        ["miss", "hit"],
+        "second connection must reuse the model"
+    );
+    assert_eq!(cache.stats().entries, 1);
+}

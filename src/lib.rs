@@ -20,6 +20,8 @@
 //! | [`hls`] | technology models, scheduling, binding, cost reports |
 //! | [`designs`] | the paper's six case-study datapaths |
 //! | [`opt`] | noise-constrained word-length optimizers |
+//! | [`lang`] | the textual `.sna` datapath DSL |
+//! | [`service`] | batch/server execution: compile cache, worker pool, wire protocol |
 //!
 //! # Quickstart
 //!
@@ -67,4 +69,6 @@ pub use sna_fixp as fixp;
 pub use sna_hist as hist;
 pub use sna_hls as hls;
 pub use sna_interval as interval;
+pub use sna_lang as lang;
 pub use sna_opt as opt;
+pub use sna_service as service;
