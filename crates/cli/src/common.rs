@@ -12,14 +12,20 @@ use sna_hist::RenderOptions;
 use sna_lang::{render_all, Lowered};
 use sna_service::{CompileCache, CompiledEntry, Json};
 
-/// A CLI failure: what to print on stderr, and the exit code.
+/// A CLI failure: what to print, and the exit code.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CliError {
-    /// Bad command line; prints usage advice. Exit code 2.
+    /// Bad command line; prints usage advice on stderr. Exit code 2.
     Usage(String),
-    /// Source diagnostics (already rendered) or runtime failures. Exit
-    /// code 1.
+    /// Source diagnostics (already rendered) or runtime failures; prints
+    /// on stderr. Exit code 1.
     Failed(String),
+    /// A batch where at least one file failed. The payload is the full
+    /// batch output (per-file documents, inline errors, and the trailing
+    /// summary) and belongs on *stdout* exactly as on success — only the
+    /// exit code (1) differs, so scripts and CI can detect partial
+    /// failure without parsing the summary line.
+    BatchFailed(String),
 }
 
 impl CliError {
@@ -27,7 +33,7 @@ impl CliError {
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Usage(_) => 2,
-            CliError::Failed(_) => 1,
+            CliError::Failed(_) | CliError::BatchFailed(_) => 1,
         }
     }
 
@@ -35,12 +41,22 @@ impl CliError {
     pub fn failed(message: impl Into<String>) -> Self {
         CliError::Failed(message.into())
     }
+
+    /// For [`CliError::BatchFailed`], the batch output that belongs on
+    /// stdout; `None` for the stderr-bound variants.
+    #[must_use]
+    pub fn stdout_output(&self) -> Option<&str> {
+        match self {
+            CliError::BatchFailed(out) => Some(out),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::Usage(m) | CliError::Failed(m) => f.write_str(m),
+            CliError::Usage(m) | CliError::Failed(m) | CliError::BatchFailed(m) => f.write_str(m),
         }
     }
 }
@@ -237,7 +253,9 @@ pub fn collect_files(
 /// code 1. In batch mode each file's failure is reported inline (and as
 /// an `"error"` document under `--format json`), the remaining files
 /// still run, and a trailing summary line reports file/ok/err counts,
-/// cache hit/miss counts, and total/cached time.
+/// cache hit/miss counts, and total/cached time. A batch with any failed
+/// file returns [`CliError::BatchFailed`] carrying that same output, so
+/// the process exits 1 while stdout stays identical to the all-ok case.
 pub fn run_batch<F>(
     command: &str,
     files: Vec<String>,
@@ -332,6 +350,9 @@ where
             out.push_str(&summary.to_compact());
             out.push('\n');
         }
+    }
+    if errors > 0 {
+        return Err(CliError::BatchFailed(out));
     }
     Ok(out)
 }

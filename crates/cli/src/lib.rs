@@ -39,9 +39,12 @@
 //! JSON protocol is documented in `crates/service/README.md`.
 //!
 //! All commands exit 0 on success, 1 on analysis/compile failures (with
-//! caret-style diagnostics on stderr), and 2 on usage errors. The library
-//! surface ([`run`]) returns the rendered output instead of printing, so
-//! integration tests drive the CLI in-process.
+//! caret-style diagnostics on stderr), and 2 on usage errors. A batch
+//! where some files failed also exits 1 — its full output (per-file
+//! documents, inline errors, summary) still goes to stdout, so scripts
+//! detect partial failure from the exit code without parsing the
+//! summary. The library surface ([`run`]) returns the rendered output
+//! instead of printing, so integration tests drive the CLI in-process.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,7 +79,9 @@ const USAGE: &str = "usage: sna <parse|analyze|optimize|synth|serve> [<file>.sna
 /// # Errors
 ///
 /// [`CliError::Usage`] for malformed invocations (exit code 2),
-/// [`CliError::Failed`] for compile/analysis failures (exit code 1).
+/// [`CliError::Failed`] for compile/analysis failures (exit code 1),
+/// [`CliError::BatchFailed`] for a batch with at least one failed file
+/// (exit code 1; the payload is the full batch output, stdout-bound).
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let Some(command) = argv.first() else {
         return Err(CliError::Usage(USAGE.to_string()));

@@ -1,31 +1,41 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
+/// Writes command output to stdout. Write directly (not println!) so a
+/// closed pipe — e.g. `sna ... | head` — ends the program quietly
+/// instead of panicking on EPIPE.
+fn write_stdout(output: &str) -> ExitCode {
+    let mut stdout = std::io::stdout().lock();
+    let newline = if output.ends_with('\n') || output.is_empty() {
+        ""
+    } else {
+        "\n"
+    };
+    match write!(stdout, "{output}{newline}").and_then(|()| stdout.flush()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error writing output: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match sna_cli::run(&argv) {
-        Ok(output) => {
-            // Write directly (not println!) so a closed pipe — e.g.
-            // `sna ... | head` — ends the program quietly instead of
-            // panicking on EPIPE.
-            let mut stdout = std::io::stdout().lock();
-            let newline = if output.ends_with('\n') || output.is_empty() {
-                ""
-            } else {
-                "\n"
-            };
-            match write!(stdout, "{output}{newline}").and_then(|()| stdout.flush()) {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("error writing output: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
+        Ok(output) => write_stdout(&output),
         Err(e) => {
-            eprintln!("{e}");
-            ExitCode::from(e.exit_code() as u8)
+            // A partially failed batch still prints its full output on
+            // stdout — only the exit code marks the failure. Everything
+            // else reports on stderr.
+            match e.stdout_output() {
+                Some(output) => {
+                    let _ = write_stdout(output);
+                }
+                None => eprintln!("{e}"),
+            }
+            ExitCode::from(u8::try_from(e.exit_code()).unwrap_or(1))
         }
     }
 }

@@ -266,7 +266,11 @@ fn batch_analyze_dedupes_repeated_files_through_the_cache() {
 fn batch_mode_recovers_per_file_and_counts_errors() {
     let good = example("quadratic.sna");
     let bad = temp_program("batch-bad", "input x;\ny = ;\noutput y;\n");
-    let out = run(&argv(&["analyze", &good, &bad, "--format", "json"])).unwrap();
+    // A partially failed batch exits 1 (`BatchFailed`) but still carries
+    // the full per-file output + summary for stdout.
+    let err = run(&argv(&["analyze", &good, &bad, "--format", "json"])).unwrap_err();
+    assert_eq!(err.exit_code(), 1);
+    let out = err.stdout_output().expect("batch output").to_string();
     assert!(
         out.contains("\"reports\""),
         "good file still analyzed: {out}"
@@ -278,12 +282,16 @@ fn batch_mode_recovers_per_file_and_counts_errors() {
     );
 
     // Human format: diagnostics inline, summary line at the end.
-    let human = run(&argv(&["analyze", &good, &bad])).unwrap();
+    let err = run(&argv(&["analyze", &good, &bad])).unwrap_err();
+    let human = err.stdout_output().expect("batch output").to_string();
     assert!(human.contains("expected an expression"), "{human}");
     assert!(
         human.lines().last().unwrap().starts_with("batch:"),
         "{human}"
     );
+
+    // An all-ok batch still succeeds.
+    assert!(run(&argv(&["analyze", &good, &good])).is_ok());
 }
 
 #[test]

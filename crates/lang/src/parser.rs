@@ -15,6 +15,7 @@ pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
     let mut p = Parser {
         tokens,
         pos: 0,
+        depth: 0,
         errors: Vec::new(),
     };
     let program = p.program();
@@ -25,9 +26,18 @@ pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
     }
 }
 
+/// The deepest expression nesting accepted. The expression grammar
+/// recurses per level (`(`-chains through `primary`, `-`/`delay`-chains
+/// through `unary`), and the server feeds this parser untrusted source
+/// text: without a bound, a megabyte of `((((…` or `----…` overflows the
+/// parsing thread's stack and aborts the process. Real datapaths nest a
+/// few levels.
+const MAX_EXPR_DEPTH: usize = 256;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
     errors: Vec<Diagnostic>,
 }
 
@@ -235,7 +245,23 @@ impl Parser {
     }
 
     /// `unary := '-' unary | 'delay' unary | primary`
+    ///
+    /// Every nesting level of the expression grammar passes through here
+    /// (parenthesised sub-expressions via `primary`, operator chains
+    /// directly), so this is the one recursion-depth checkpoint.
     fn unary(&mut self) -> PResult<Expr> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(self.error_here(format!(
+                "expression nesting is deeper than {MAX_EXPR_DEPTH} levels"
+            )));
+        }
+        self.depth += 1;
+        let result = self.unary_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn unary_inner(&mut self) -> PResult<Expr> {
         match self.peek().kind {
             TokenKind::Minus => {
                 let minus = self.advance();
@@ -411,6 +437,37 @@ mod tests {
         ));
         let errs = parse("input x in [1 2];").unwrap_err();
         assert!(errs[0].message.contains("`,`"));
+    }
+
+    #[test]
+    fn pathological_nesting_is_a_diagnostic_not_a_stack_overflow() {
+        // A megabyte of `(` (as the server may receive from an untrusted
+        // peer) must report, not recurse per byte until the stack dies.
+        for deep in [
+            format!("y = {}x{};", "(".repeat(1 << 20), ")".repeat(1 << 20)),
+            format!("y = {}x;", "-".repeat(1 << 20)),
+            format!("y = {}x;", "delay ".repeat(1 << 19)),
+        ] {
+            let errs = parse(&deep).unwrap_err();
+            assert!(
+                errs.iter().any(|e| e.message.contains("nesting")),
+                "{:?}",
+                errs.first()
+            );
+        }
+        // Recovery still works: a later statement parses after the
+        // too-deep one is skipped.
+        let src = format!("y = {}x;\nz = 1;", "-".repeat(1 << 12));
+        let errs = parse(&src).unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+    }
+
+    #[test]
+    fn realistic_nesting_stays_accepted() {
+        let src = format!("y = {}x{};", "(".repeat(100), ")".repeat(100));
+        assert!(parse(&src).is_ok());
+        let src = format!("y = {}x;", "-".repeat(200));
+        assert!(parse(&src).is_ok());
     }
 
     #[test]

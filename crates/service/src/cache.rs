@@ -119,6 +119,43 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct compiled programs currently held.
     pub entries: usize,
+    /// Capacity sweeps: times the maps were cleared because a limit in
+    /// [`CacheLimits`] would have been exceeded.
+    pub evictions: u64,
+}
+
+/// Growth bounds for a [`CompileCache`].
+///
+/// The cache is shared with untrusted TCP peers, who can stream an
+/// endless supply of *distinct* valid programs (each request line up to
+/// 1 MiB); without bounds the key maps and their compiled models grow
+/// until the server is OOM-killed. When inserting a *newly compiled*
+/// program would push the cache past either limit, the whole cache is
+/// cleared first (one "eviction" in [`CacheStats`]) — crude next to an
+/// LRU, but memory stays bounded, the hot set re-warms in one round of
+/// misses, and in-flight `Arc`s keep their entries alive regardless.
+/// Hit-path alias registration (a new spelling of a cached program)
+/// never sweeps: past the byte cap the spelling simply stays
+/// unrecorded, so cheap hit traffic cannot evict other clients'
+/// entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheLimits {
+    /// Maximum distinct compiled programs held at once.
+    pub max_entries: usize,
+    /// Maximum total bytes across all key texts (raw sources + canonical
+    /// renderings). Bounds the alias map, which can grow without adding
+    /// entries — every whitespace respelling of one program is a new
+    /// up-to-1-MiB source key.
+    pub max_key_bytes: usize,
+}
+
+impl Default for CacheLimits {
+    fn default() -> Self {
+        CacheLimits {
+            max_entries: 256,
+            max_key_bytes: 64 << 20,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -130,8 +167,38 @@ struct State {
     by_source: HashMap<String, Arc<CompiledEntry>>,
     /// Keyed by the canonical rendering, same full-text reasoning.
     by_canon: HashMap<String, Arc<CompiledEntry>>,
+    /// Total bytes across both maps' keys, compared against
+    /// [`CacheLimits::max_key_bytes`].
+    key_bytes: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl State {
+    /// Clears everything if adding one more compiled program with
+    /// `incoming` key bytes would exceed a limit. Only the miss path
+    /// calls this — the caller has just paid a full compile, so a peer
+    /// cannot trigger sweeps with cheap requests.
+    fn make_room(&mut self, limits: &CacheLimits, incoming: usize) {
+        let over_entries = self.by_canon.len() >= limits.max_entries;
+        let over_bytes = self.key_bytes.saturating_add(incoming) > limits.max_key_bytes;
+        if over_entries || over_bytes {
+            self.by_source.clear();
+            self.by_canon.clear();
+            self.key_bytes = 0;
+            self.evictions += 1;
+        }
+    }
+
+    /// Registers `source` as an alias for `entry`, with byte accounting
+    /// (a racing thread may have inserted the same key already).
+    fn insert_source(&mut self, source: &str, entry: Arc<CompiledEntry>) {
+        if !self.by_source.contains_key(source) {
+            self.key_bytes += source.len();
+            self.by_source.insert(source.to_string(), entry);
+        }
+    }
 }
 
 /// A thread-safe source → compiled-model cache.
@@ -141,16 +208,29 @@ struct State {
 /// receives the same shared entry, and only the winner counts as a miss —
 /// the lock is only ever held for map operations, never for parsing or
 /// model building.
+///
+/// Growth is bounded by [`CacheLimits`] (see there for the policy); the
+/// defaults suit a long-running server on untrusted input.
 #[derive(Default)]
 pub struct CompileCache {
     state: Mutex<State>,
+    limits: CacheLimits,
 }
 
 impl CompileCache {
-    /// An empty cache.
+    /// An empty cache with the default [`CacheLimits`].
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache with explicit growth bounds.
+    #[must_use]
+    pub fn with_limits(limits: CacheLimits) -> Self {
+        CompileCache {
+            state: Mutex::default(),
+            limits,
+        }
     }
 
     /// The compiled entry for `source`, compiling it if unseen.
@@ -180,7 +260,17 @@ impl CompileCache {
         {
             let mut state = self.state.lock().expect("cache lock");
             if let Some(entry) = state.by_canon.get(&canon).cloned() {
-                state.by_source.insert(source.to_string(), entry.clone());
+                // Record the spelling as an alias only while it fits the
+                // byte budget. Never sweep on this path: hit requests are
+                // cheap for the peer, so sweeping here would let an
+                // attacker spam respellings of one cached program to
+                // evict every other client's entries without ever paying
+                // a compile. Past the cap the spelling simply stays
+                // unrecorded and keeps resolving through its canonical
+                // form (one parse per request).
+                if state.key_bytes.saturating_add(source.len()) <= self.limits.max_key_bytes {
+                    state.insert_source(source, entry.clone());
+                }
                 state.hits += 1;
                 return Ok((entry, Lookup::CanonHit));
             }
@@ -188,7 +278,9 @@ impl CompileCache {
 
         let lowered = sna_lang::lower(&program)?;
         let entry = Arc::new(CompiledEntry::new(lowered, fingerprint));
+        let canon_len = canon.len();
         let mut state = self.state.lock().expect("cache lock");
+        state.make_room(&self.limits, canon_len + source.len());
         // A racing thread may have inserted the same program meanwhile;
         // the first insert wins (so every caller shares one allocation)
         // and counts as the one miss — the losers found an entry, which
@@ -196,13 +288,14 @@ impl CompileCache {
         match state.by_canon.entry(canon) {
             std::collections::hash_map::Entry::Occupied(existing) => {
                 let entry = existing.get().clone();
-                state.by_source.insert(source.to_string(), entry.clone());
+                state.insert_source(source, entry.clone());
                 state.hits += 1;
                 Ok((entry, Lookup::CanonHit))
             }
             std::collections::hash_map::Entry::Vacant(slot) => {
                 slot.insert(entry.clone());
-                state.by_source.insert(source.to_string(), entry.clone());
+                state.key_bytes += canon_len;
+                state.insert_source(source, entry.clone());
                 state.misses += 1;
                 Ok((entry, Lookup::Miss))
             }
@@ -217,6 +310,7 @@ impl CompileCache {
             hits: state.hits,
             misses: state.misses,
             entries: state.by_canon.len(),
+            evictions: state.evictions,
         }
     }
 }
@@ -240,7 +334,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                entries: 1
+                entries: 1,
+                evictions: 0
             }
         );
     }
@@ -277,6 +372,67 @@ mod tests {
         assert!(entry.na_model().is_err());
         // The compiled graph is still usable for other engines.
         assert!(entry.lowered.dfg.is_combinational());
+    }
+
+    /// A distinct single-output program per index.
+    fn program(i: usize) -> String {
+        format!("input x in [-1, 1];\ny = 0.{i}*x + {i};\noutput y;\n")
+    }
+
+    #[test]
+    fn entry_cap_bounds_the_cache_and_counts_sweeps() {
+        let cache = CompileCache::with_limits(CacheLimits {
+            max_entries: 4,
+            ..CacheLimits::default()
+        });
+        for i in 1..=20 {
+            let (entry, lookup) = cache.get_or_compile(&program(i)).unwrap();
+            assert_eq!(lookup, Lookup::Miss);
+            assert!(entry.lowered.dfg.is_combinational());
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 4, "{stats:?}");
+        assert_eq!(stats.evictions, 4, "{stats:?}");
+        // The cache still works after sweeping: a repeat of the last
+        // program hits, a repeat of a swept one recompiles.
+        assert!(cache.get_or_compile(&program(20)).unwrap().1.is_hit());
+        assert_eq!(cache.get_or_compile(&program(1)).unwrap().1, Lookup::Miss);
+    }
+
+    #[test]
+    fn key_byte_cap_stops_alias_growth_without_sweeping() {
+        // One program, many spellings: every spelling is a new source
+        // key, so the byte cap must stop alias recording — but hit
+        // requests must never sweep the cache out from under other
+        // clients (a peer could otherwise evict everything by spamming
+        // cheap respellings of one cached program).
+        let cache = CompileCache::with_limits(CacheLimits {
+            max_entries: 1024,
+            max_key_bytes: 4096,
+        });
+        let (first, _) = cache.get_or_compile(SRC).unwrap();
+        let mut spellings = Vec::new();
+        for i in 0..200 {
+            let respelled = format!("# pad {i} {}\n{SRC}", "x".repeat(64));
+            let (entry, lookup) = cache.get_or_compile(&respelled).unwrap();
+            assert!(Arc::ptr_eq(&first, &entry));
+            assert!(lookup.is_hit());
+            spellings.push(respelled);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0, "{stats:?}");
+        assert_eq!(stats.entries, 1, "{stats:?}");
+        // Alias recording stopped at the cap: an early spelling was
+        // remembered (byte-level hit), a late one was not — it still
+        // resolves, but through the canonical form each time.
+        assert_eq!(
+            cache.get_or_compile(&spellings[0]).unwrap().1,
+            Lookup::SourceHit
+        );
+        assert_eq!(
+            cache.get_or_compile(&spellings[199]).unwrap().1,
+            Lookup::CanonHit
+        );
     }
 
     #[test]

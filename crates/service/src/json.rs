@@ -143,6 +143,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -233,11 +234,19 @@ impl fmt::Display for Json {
     }
 }
 
+/// The deepest container nesting the parser accepts. The reader recurses
+/// per level, and the wire protocol feeds it untrusted TCP input: without
+/// a bound, a 1 MiB line of `[[[[…` overflows the handler thread's stack,
+/// which aborts the whole process. Real requests nest a handful of
+/// levels.
+const MAX_DEPTH: usize = 128;
+
 /// Recursive-descent reader over the raw bytes (JSON's structural
 /// characters are all ASCII; string contents pass through as UTF-8).
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -283,12 +292,28 @@ impl Parser<'_> {
         }
     }
 
+    /// Depth accounting for both container forms; a failed parse aborts
+    /// outright, so only success paths unwind the counter.
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -304,6 +329,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -313,10 +339,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -327,6 +355,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -357,16 +386,24 @@ impl Parser<'_> {
                         Some(b'u') => {
                             self.pos += 1;
                             let hi = self.hex4()?;
-                            // Combine a surrogate pair when one follows;
-                            // lone surrogates become U+FFFD.
+                            // Combine a surrogate pair when a low
+                            // surrogate follows; lone surrogates become
+                            // U+FFFD and a non-surrogate second escape is
+                            // rewound so it decodes on its own.
                             let c = if (0xd800..0xdc00).contains(&hi) {
+                                let mark = self.pos;
                                 if self.bytes[self.pos..].starts_with(b"\\u") {
                                     self.pos += 2;
                                     let lo = self.hex4()?;
-                                    let code = 0x10000
-                                        + ((u32::from(hi) - 0xd800) << 10)
-                                        + (u32::from(lo) - 0xdc00);
-                                    char::from_u32(code).unwrap_or('\u{fffd}')
+                                    if (0xdc00..0xe000).contains(&lo) {
+                                        let code = 0x10000
+                                            + ((u32::from(hi) - 0xd800) << 10)
+                                            + (u32::from(lo) - 0xdc00);
+                                        char::from_u32(code).unwrap_or('\u{fffd}')
+                                    } else {
+                                        self.pos = mark;
+                                        '\u{fffd}'
+                                    }
                                 } else {
                                     '\u{fffd}'
                                 }
@@ -523,6 +560,54 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth_instead_of_overflowing_the_stack() {
+        // An adversarial line of `[[[[…` must produce an error, not
+        // recurse once per byte until the thread's stack overflows
+        // (which would abort the whole server).
+        let deep = "[".repeat(1 << 20);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let objs = "{\"k\":".repeat(1 << 18);
+        assert!(Json::parse(&objs).unwrap_err().contains("nesting"));
+
+        // Reasonable nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        assert!(Json::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn surrogate_escapes_decode_pairs_and_replace_lone_halves() {
+        // A proper pair decodes to the astral code point.
+        let parsed = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("😀"));
+        // A high surrogate followed by a non-surrogate escape: U+FFFD,
+        // then the second escape decodes on its own (the unchecked
+        // `lo - 0xdc00` used to underflow here).
+        let parsed = Json::parse(r#""\ud800\u0041""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("\u{fffd}A"));
+        // Lone halves — trailing, unescaped follower, or low-first —
+        // become U+FFFD.
+        assert_eq!(
+            Json::parse(r#""\ud800""#).unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+        assert_eq!(
+            Json::parse(r#""\ud800A""#).unwrap().as_str(),
+            Some("\u{fffd}A")
+        );
+        assert_eq!(
+            Json::parse(r#""\udc00""#).unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+        // High surrogate, then a complete pair: the stray one is
+        // replaced, the pair still combines.
+        let parsed = Json::parse(r#""\ud800\ud83d\ude00""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("\u{fffd}😀"));
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod json;
 mod pool;
 mod proto;
 
-pub use cache::{CacheStats, CompileCache, CompiledEntry, Lookup};
+pub use cache::{CacheLimits, CacheStats, CompileCache, CompiledEntry, Lookup};
 pub use json::Json;
 pub use pool::{default_jobs, run_ordered};
 pub use proto::{handle_line, handle_line_untrusted, serve, serve_tcp, ServeReport};

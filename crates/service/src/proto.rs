@@ -121,6 +121,10 @@ fn dispatch(
                     Json::int(usize::try_from(s.misses).unwrap_or(usize::MAX)),
                 ),
                 ("entries".into(), Json::int(s.entries)),
+                (
+                    "evictions".into(),
+                    Json::int(usize::try_from(s.evictions).unwrap_or(usize::MAX)),
+                ),
             ]),
             None,
         ));
@@ -486,6 +490,7 @@ mod tests {
         assert_eq!(result.get("hits").unwrap().as_f64(), Some(1.0));
         assert_eq!(result.get("misses").unwrap().as_f64(), Some(1.0));
         assert_eq!(result.get("entries").unwrap().as_f64(), Some(1.0));
+        assert_eq!(result.get("evictions").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]
@@ -514,6 +519,40 @@ mod tests {
             )),
         );
         assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn pathological_nesting_answers_with_an_error_not_an_abort() {
+        let cache = CompileCache::new();
+        // A line of `[[[[…` (well under MAX_LINE_BYTES) must get an
+        // error response, not overflow the handler's stack.
+        let deep_json = "[".repeat(200_000);
+        let resp = handle_line_untrusted(&cache, &deep_json);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        assert!(
+            resp.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("nesting"),
+            "{resp}"
+        );
+        // Same for a deeply nested `.sna` expression inside a valid
+        // request: a compile diagnostic, not a crash.
+        let line = format!(
+            r#"{{"cmd": "parse", "source": "y = {}x;"}}"#,
+            "-".repeat(100_000)
+        );
+        let resp = handle_line_untrusted(&cache, &line);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        assert!(
+            resp.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("nesting"),
+            "{resp}"
+        );
     }
 
     #[test]
