@@ -18,7 +18,8 @@ use crate::common::{
 
 const USAGE: &str = "sna optimize <file>.sna... [--manifest list.txt] [--jobs N] \
                      [--method greedy|waterfill|anneal|group-greedy|exhaustive|uniform|all] \
-                     [--ref-bits W] [--budget X] [--start W] [--radius R] [--format human|json]";
+                     [--ref-bits W] [--budget X] [--start W] [--radius R] \
+                     [--restarts N] [--threads N] [--format human|json]";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
@@ -35,6 +36,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             "budget" => params.budget = Some(args.parse_value("budget")?),
             "start" => params.start = args.parse_value("start")?,
             "radius" => params.radius = args.parse_value("radius")?,
+            "restarts" => params.restarts = args.parse_value("restarts")?,
+            "threads" => params.threads = args.parse_value("threads")?,
             "jobs" => jobs = parse_jobs(&mut args)?,
             "manifest" => manifest = Some(args.value("manifest")?.to_string()),
             other => return Err(unknown_flag(other, USAGE)),

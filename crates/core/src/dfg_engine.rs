@@ -267,9 +267,6 @@ impl DfgEngine {
                 got: input_ranges.len(),
             }));
         }
-        let op_opts = OpOptions::default()
-            .with_out_bins(self.opts.bins)
-            .with_deposit(self.opts.deposit);
         let mut states: Vec<Uncertain> = vec![
             Uncertain {
                 value: Value::zero(),
@@ -278,11 +275,49 @@ impl DfgEngine {
             dfg.len()
         ];
         for &id in dfg.topo_order() {
+            states[id.index()] = self.node_state(dfg, config, input_ranges, id, &states)?;
+        }
+        Ok(states)
+    }
+
+    /// Computes the state of a single node from the (already computed)
+    /// states of its arguments — the one-node step of [`propagate`],
+    /// exposed so incremental evaluators can re-propagate just the
+    /// downstream cone of a changed node.
+    ///
+    /// `states` must hold valid entries for every argument of `id`; the
+    /// result is bit-identical to what a full [`propagate`] would place at
+    /// `id` under the same configuration.
+    ///
+    /// [`propagate`]: DfgEngine::propagate
+    ///
+    /// # Errors
+    ///
+    /// [`SnaError::SequentialGraph`] for a delay node (its value is
+    /// state, not a combinational function of its argument); histogram
+    /// failures otherwise, as in [`DfgEngine::analyze`].
+    pub fn node_state(
+        &self,
+        dfg: &Dfg,
+        config: &WlConfig,
+        input_ranges: &[Interval],
+        id: sna_dfg::NodeId,
+        states: &[Uncertain],
+    ) -> Result<Uncertain, SnaError> {
+        let op_opts = OpOptions::default()
+            .with_out_bins(self.opts.bins)
+            .with_deposit(self.opts.deposit);
+        {
             let node = dfg.node(id);
             let q = config.quantizer(id);
             let (value, mut error) = match node.op() {
                 Op::Input(i) => {
-                    let r = input_ranges[i];
+                    let r = *input_ranges.get(i).ok_or(SnaError::Dfg(
+                        sna_dfg::DfgError::WrongInputCount {
+                            expected: dfg.n_inputs(),
+                            got: input_ranges.len(),
+                        },
+                    ))?;
                     let value = if r.is_point() {
                         Value::Const(r.lo())
                     } else {
@@ -345,7 +380,9 @@ impl DfgEngine {
                     let a = &states[node.args()[0].index()];
                     (a.value.neg(), a.error.neg())
                 }
-                Op::Delay => unreachable!("combinational graph"),
+                // Never reached from `propagate` (the topo order excludes
+                // delays); external callers get the contract error.
+                Op::Delay => return Err(SnaError::SequentialGraph),
             };
             // Convolve in this node's own quantization noise when its
             // format loses precision.
@@ -358,9 +395,8 @@ impl DfgEngine {
                 )?);
                 error = error.add(&noise, &op_opts)?;
             }
-            states[id.index()] = Uncertain { value, error };
+            Ok(Uncertain { value, error })
         }
-        Ok(states)
     }
 }
 
@@ -521,6 +557,34 @@ mod tests {
             "var {} vs {expected}",
             r.variance
         );
+    }
+
+    #[test]
+    fn node_state_rejects_delay_nodes() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let d = b.delay(x);
+        let y = b.add(x, d);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let cfg = WlConfig::uniform(
+            &g,
+            Format::new(8, 6).unwrap(),
+            Rounding::Nearest,
+            Overflow::Saturate,
+        );
+        let engine = DfgEngine::default();
+        let states = vec![
+            Uncertain {
+                value: Value::zero(),
+                error: Value::zero(),
+            };
+            g.len()
+        ];
+        assert!(matches!(
+            engine.node_state(&g, &cfg, &[iv(-1.0, 1.0)], d, &states),
+            Err(SnaError::SequentialGraph)
+        ));
     }
 
     #[test]

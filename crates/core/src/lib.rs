@@ -71,7 +71,7 @@ pub use cartesian::{CartesianEngine, UncertainInput};
 pub use dfg_engine::{DfgEngine, EngineOptions, Uncertain, Value};
 pub use error::SnaError;
 pub use lti_engine::LtiEngine;
-pub use na::NaModel;
+pub use na::{CoeffKind, CoeffSite, NaModel};
 pub use report::NoiseReport;
 pub use sources::{noise_sources, IntroducesNoise, NoiseSource};
 pub use symbolic::{SymbolicEngine, SymbolicOptions, SymbolicResult};

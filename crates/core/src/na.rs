@@ -30,7 +30,7 @@ use crate::{NoiseReport, SnaError};
 
 /// How a rounded constant perturbs a consumer site.
 #[derive(Clone, Copy, Debug, PartialEq)]
-enum CoeffKind {
+pub enum CoeffKind {
     /// `(c+ec)·x − c·x = ec·x` at a multiplier.
     MulFactor,
     /// `x/(c+ec) − x/c = x·(1/(c+ec) − 1/c)` at a divider.
@@ -38,8 +38,12 @@ enum CoeffKind {
 }
 
 /// A site where a rounded constant interacts bilinearly with a signal.
+///
+/// Exposed so incremental evaluators can recompute exactly the pseudo
+/// source affected by one constant's word-length change instead of
+/// re-collecting every source.
 #[derive(Clone, Copy, Debug)]
-struct CoeffSite {
+pub struct CoeffSite {
     const_node: NodeId,
     constant: f64,
     /// The multiplier/divider whose gains the error propagates through.
@@ -48,6 +52,44 @@ struct CoeffSite {
     /// Uniform-signal model of the other operand: midpoint and radius.
     other_mid: f64,
     other_rad: f64,
+}
+
+impl CoeffSite {
+    /// The constant node whose rounding drives this pseudo source.
+    pub fn const_node(&self) -> NodeId {
+        self.const_node
+    }
+
+    /// The multiplier/divider through whose gains the error propagates.
+    pub fn site(&self) -> NodeId {
+        self.site
+    }
+
+    /// The effective coefficient perturbation under quantizer `q`:
+    /// `ec` for a multiplier factor, `1/(c+ec) − 1/c` for a divisor.
+    pub fn delta(&self, q: &sna_fixp::Quantizer) -> f64 {
+        match self.kind {
+            CoeffKind::MulFactor => q.quantize(self.constant) - self.constant,
+            CoeffKind::DivDenominator => {
+                let rounded = q.quantize(self.constant);
+                if rounded == 0.0 || self.constant == 0.0 {
+                    0.0
+                } else {
+                    1.0 / rounded - 1.0 / self.constant
+                }
+            }
+        }
+    }
+
+    /// The pseudo source injected at [`CoeffSite::site`] for perturbation
+    /// `delta`: mean `delta·mid(x)`, half-width `|delta|·rad(x)`.
+    pub fn source_for_delta(&self, delta: f64) -> NoiseSource {
+        NoiseSource {
+            node: self.site,
+            offset: delta * self.other_mid,
+            half_width: delta.abs() * self.other_rad,
+        }
+    }
 }
 
 /// Precomputed noise-transfer gains for every potential noise source of a
@@ -134,9 +176,20 @@ impl NaModel {
         &self.output_names
     }
 
+    /// Number of outputs the per-node gains refer to.
+    pub fn n_outputs(&self) -> usize {
+        self.output_names.len()
+    }
+
     /// The gains from one node, when it was analyzed.
     pub fn gains_from(&self, node: NodeId) -> Option<&ImpulseGains> {
         self.gains.get(node.index()).and_then(|g| g.as_ref())
+    }
+
+    /// The constant-coefficient interaction sites, in inventory order —
+    /// the per-node terms incremental evaluators key their updates on.
+    pub fn coeff_sites(&self) -> &[CoeffSite] {
+        &self.coeff_sites
     }
 
     /// All *random* bounded sources under `config`, each attached to the
@@ -154,26 +207,11 @@ impl NaModel {
             out.push(NoiseSource::for_quantizer(id, config.quantizer(id)));
         }
         for cs in &self.coeff_sites {
-            let q = config.quantizer(cs.const_node);
-            let delta = match cs.kind {
-                CoeffKind::MulFactor => q.quantize(cs.constant) - cs.constant,
-                CoeffKind::DivDenominator => {
-                    let rounded = q.quantize(cs.constant);
-                    if rounded == 0.0 || cs.constant == 0.0 {
-                        0.0
-                    } else {
-                        1.0 / rounded - 1.0 / cs.constant
-                    }
-                }
-            };
+            let delta = cs.delta(config.quantizer(cs.const_node));
             if delta == 0.0 {
                 continue;
             }
-            out.push(NoiseSource {
-                node: cs.site,
-                offset: delta * cs.other_mid,
-                half_width: delta.abs() * cs.other_rad,
-            });
+            out.push(cs.source_for_delta(delta));
         }
         out
     }

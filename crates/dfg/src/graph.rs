@@ -276,6 +276,52 @@ impl Dfg {
         }
     }
 
+    /// The downstream cone of `id`: every node whose value can change when
+    /// `id`'s value (or output format) changes, `id` included, in
+    /// evaluation order.
+    ///
+    /// Reachability follows *all* consumer edges — including the
+    /// sequential edge into a delay — so the cone is the full region an
+    /// incremental analysis must re-propagate after a single-node change.
+    /// Combinational nodes appear in [`Dfg::topo_order`] position; delay
+    /// nodes (whose value is state, recomputed at cycle boundaries) are
+    /// appended afterwards in id order.
+    ///
+    /// Cost is `O(#nodes + #edges)` per call; callers that need many cones
+    /// should cache the results.
+    pub fn downstream_cone(&self, id: NodeId) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut reachable = vec![false; n];
+        reachable[id.0] = true;
+        // Id order is not an evaluation order (a delay's argument may have
+        // a larger id), so sweep to a fixpoint; combinational edges
+        // resolve in one forward pass and each extra pass crosses at
+        // least one delay, so this terminates quickly.
+        loop {
+            let mut changed = false;
+            for (i, node) in self.nodes.iter().enumerate() {
+                if reachable[i] {
+                    continue;
+                }
+                if node.args.iter().any(|a| reachable[a.0]) {
+                    reachable[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut cone: Vec<NodeId> = self
+            .topo
+            .iter()
+            .copied()
+            .filter(|t| reachable[t.0])
+            .collect();
+        cone.extend(self.delays.iter().copied().filter(|d| reachable[d.0]));
+        cone
+    }
+
     /// Validates that `id` belongs to this graph.
     ///
     /// # Errors
@@ -416,6 +462,73 @@ mod tests {
         let y = crate::Simulator::new(&g).step(&[2.0]).unwrap();
         let yv = c.evaluate(&[2.0, 0.0]).unwrap();
         assert_eq!(y, yv);
+    }
+
+    #[test]
+    fn downstream_cone_follows_all_consumer_edges() {
+        let g = fir2();
+        // Node ids in build order: x=0, xd=1 (delay), c=2, t=3 (mul),
+        // y=4 (add).
+        let cone_of = |i: usize| {
+            let mut v: Vec<usize> = g
+                .downstream_cone(NodeId(i))
+                .iter()
+                .map(|n| n.index())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        // x feeds the delay (sequential edge), the mul via the delay, and
+        // the add directly: everything is downstream.
+        assert_eq!(cone_of(0), vec![0, 1, 3, 4]);
+        // The constant only feeds mul -> add.
+        assert_eq!(cone_of(2), vec![2, 3, 4]);
+        // The output add reaches only itself.
+        assert_eq!(cone_of(4), vec![4]);
+    }
+
+    #[test]
+    fn downstream_cone_is_in_evaluation_order() {
+        let g = fir2();
+        let pos: Vec<usize> = {
+            let mut pos = vec![usize::MAX; g.len()];
+            for (k, id) in g.topo_order().iter().enumerate() {
+                pos[id.index()] = k;
+            }
+            pos
+        };
+        for (id, _) in g.nodes() {
+            let cone = g.downstream_cone(id);
+            let combinational: Vec<usize> = cone
+                .iter()
+                .filter(|n| g.node(**n).op() != Op::Delay)
+                .map(|n| pos[n.index()])
+                .collect();
+            assert!(
+                combinational.windows(2).all(|w| w[0] < w[1]),
+                "cone of {id} not topo-sorted"
+            );
+            assert!(cone.contains(&id));
+        }
+    }
+
+    #[test]
+    fn downstream_cone_through_feedback_reaches_the_loop() {
+        // y = x + 0.5·y[n-1]: the constant's cone crosses the delay and
+        // covers the whole loop body.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let t = b.mul_const(0.5, fb);
+        let y = b.add(x, t);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let cone = g.downstream_cone(x);
+        // x -> add -> delay -> mul -> add: all of the loop is reachable.
+        assert!(cone.len() >= 4, "cone {cone:?}");
+        assert!(cone.contains(&fb));
+        assert!(cone.contains(&y));
     }
 
     #[test]

@@ -4,17 +4,26 @@
 //! The walk is feasibility-preserving: candidate configurations violating
 //! the noise budget are rejected outright, so every visited point is a
 //! valid design.  The objective is the cost proxy; the best-ever point is
-//! synthesized for real at the end.
+//! synthesized for real at the end.  Every proposal is a
+//! single-coordinate [`crate::NoiseEval`] move — O(1) on linear graphs —
+//! and independent restarts fan out across std threads.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::optimizer::default_threads;
 use crate::{Evaluation, OptError, Optimizer};
+
+/// A finished walk: best-ever proxy cost and its width vector.
+type WalkResult = Result<(f64, Vec<u8>), OptError>;
+
+/// A worker's best walk, tagged with its restart index for tie-breaking.
+type PartialBest = Result<Option<(f64, u64, Vec<u8>)>, OptError>;
 
 /// Annealing schedule parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AnnealOptions {
-    /// Proposal count.
+    /// Proposal count (per restart).
     pub iterations: usize,
     /// Initial temperature as a fraction of the starting proxy cost.
     pub initial_temp_fraction: f64,
@@ -22,6 +31,10 @@ pub struct AnnealOptions {
     pub cooling: f64,
     /// RNG seed (runs are deterministic given a seed).
     pub seed: u64,
+    /// Independent restarts, run in parallel with seeds `seed`,
+    /// `seed + 1`, …; the best result (ties to the lowest restart index)
+    /// wins, so the outcome does not depend on the worker count.
+    pub restarts: usize,
 }
 
 impl Default for AnnealOptions {
@@ -31,6 +44,7 @@ impl Default for AnnealOptions {
             initial_temp_fraction: 0.05,
             cooling: 0.999,
             seed: 0xA11EA1,
+            restarts: 1,
         }
     }
 }
@@ -49,16 +63,77 @@ impl Optimizer<'_> {
         start_w: u8,
         opts: &AnnealOptions,
     ) -> Result<Evaluation, OptError> {
+        let restarts = opts.restarts.max(1);
+        let best = if restarts == 1 {
+            self.anneal_walk(budget, start_w, opts, 0)?
+        } else {
+            // Every walk costs the same iteration count, so static
+            // striding (worker `t` runs restarts `t, t+workers, …`)
+            // partitions the work evenly with no shared state; partial
+            // bests merge by `(cost, restart index)`, making the winner
+            // independent of worker count and scheduling.
+            let workers = restarts.min(default_threads());
+            let partials: Vec<PartialBest> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            let mut best: Option<(f64, u64, Vec<u8>)> = None;
+                            let mut r = t as u64;
+                            while (r as usize) < restarts {
+                                let (cost, w) = self.anneal_walk(budget, start_w, opts, r)?;
+                                if best.as_ref().map(|(c, _, _)| cost < *c).unwrap_or(true) {
+                                    best = Some((cost, r, w));
+                                }
+                                r += workers as u64;
+                            }
+                            Ok(best)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("anneal worker panicked"))
+                    .collect()
+            });
+            let mut best: Option<(f64, u64, Vec<u8>)> = None;
+            for partial in partials {
+                if let Some((cost, r, w)) = partial? {
+                    let better = best
+                        .as_ref()
+                        .map(|(c, br, _)| cost < *c || (cost == *c && r < *br))
+                        .unwrap_or(true);
+                    if better {
+                        best = Some((cost, r, w));
+                    }
+                }
+            }
+            let (cost, _, w) = best.expect("restarts >= 1");
+            (cost, w)
+        };
+        self.evaluate(best.1)
+    }
+
+    /// One annealing walk with seed `opts.seed + restart`, returning the
+    /// best-ever `(proxy cost, widths)`.
+    fn anneal_walk(
+        &self,
+        budget: f64,
+        start_w: u8,
+        opts: &AnnealOptions,
+        restart: u64,
+    ) -> WalkResult {
         let mut w = self.uniform_vector(start_w);
-        let noise = self.noise_of(&w)?;
+        let mut ev = self.evaluator(&w)?;
+        let noise = ev.power();
         if noise > budget {
             return Err(OptError::Infeasible {
                 budget,
                 best_noise: noise,
             });
         }
-        let mut rng = StdRng::seed_from_u64(opts.seed);
-        let mut cost = self.proxy_cost(&w);
+        let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(restart));
+        let mut scratch = self.proxy_scratch();
+        let mut cost = self.proxy_cost_with(&w, &mut scratch);
         let mut best = (cost, w.clone());
         let mut temp = cost * opts.initial_temp_fraction;
         for _ in 0..opts.iterations {
@@ -74,13 +149,13 @@ impl Optimizer<'_> {
                 temp *= opts.cooling;
                 continue;
             }
-            w[i] = new;
-            if self.noise_of(&w)? > budget {
-                w[i] = old;
+            if ev.set(i, new)? > budget {
+                ev.undo();
                 temp *= opts.cooling;
                 continue;
             }
-            let trial_cost = self.proxy_cost(&w);
+            w[i] = new;
+            let trial_cost = self.proxy_cost_with(&w, &mut scratch);
             let delta = trial_cost - cost;
             let accept = delta <= 0.0 || {
                 let p = (-delta / temp.max(1e-12)).exp();
@@ -93,10 +168,11 @@ impl Optimizer<'_> {
                 }
             } else {
                 w[i] = old;
+                ev.undo();
             }
             temp *= opts.cooling;
         }
-        self.evaluate(best.1)
+        Ok(best)
     }
 }
 
@@ -170,6 +246,40 @@ mod tests {
             )
             .unwrap();
         assert!(c.noise_power <= fixed.noise_power * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn parallel_restarts_match_the_best_serial_restart() {
+        let (g, r) = setup();
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        let fixed = opt.uniform(10).unwrap();
+        let multi = AnnealOptions {
+            iterations: 500,
+            seed: 7,
+            restarts: 4,
+            ..Default::default()
+        };
+        let a = opt.anneal(fixed.noise_power, 14, &multi).unwrap();
+        let b = opt.anneal(fixed.noise_power, 14, &multi).unwrap();
+        // Restart fan-out is deterministic across runs (and therefore
+        // across scheduling orders).
+        assert_eq!(a.word_lengths, b.word_lengths);
+        // The multi-restart result is never worse than the single-restart
+        // walk with the same base seed.
+        let single = opt
+            .anneal(
+                fixed.noise_power,
+                14,
+                &AnnealOptions {
+                    iterations: 500,
+                    seed: 7,
+                    restarts: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(opt.proxy_cost(&a.word_lengths) <= opt.proxy_cost(&single.word_lengths) + 1e-9);
+        assert!(a.noise_power <= fixed.noise_power * (1.0 + 1e-12));
     }
 
     #[test]

@@ -29,6 +29,21 @@ pub enum OptError {
         /// Allowed maximum.
         cap: u128,
     },
+    /// An incremental-evaluator move named a node outside the graph or a
+    /// width outside the optimizer's search range.
+    InvalidMove {
+        /// The targeted node index.
+        node: usize,
+        /// The requested width.
+        width: u8,
+    },
+    /// A width vector's length does not match the graph's node count.
+    WrongWidthCount {
+        /// Nodes in the graph.
+        expected: usize,
+        /// Widths supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for OptError {
@@ -47,6 +62,14 @@ impl fmt::Display for OptError {
                     "exhaustive search of {candidates} candidates exceeds cap {cap}"
                 )
             }
+            OptError::InvalidMove { node, width } => write!(
+                f,
+                "move to width {width} at node {node} is outside the search range"
+            ),
+            OptError::WrongWidthCount { expected, got } => write!(
+                f,
+                "width vector has {got} entries but the graph has {expected} nodes"
+            ),
         }
     }
 }

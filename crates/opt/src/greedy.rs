@@ -6,7 +6,7 @@
 //! emerge naturally: bits survive only where the noise transfer gain makes
 //! them worth their area.
 
-use crate::{Evaluation, OptError, Optimizer};
+use crate::{Evaluation, NoiseEval, OptError, Optimizer};
 
 impl Optimizer<'_> {
     /// Greedy descent under a noise budget, starting from the uniform
@@ -19,7 +19,8 @@ impl Optimizer<'_> {
     /// are propagated.
     pub fn greedy(&self, budget: f64, start_w: u8) -> Result<Evaluation, OptError> {
         let mut w = self.uniform_vector(start_w);
-        let start_noise = self.noise_of(&w)?;
+        let mut ev = self.evaluator(&w)?;
+        let start_noise = ev.power();
         if start_noise > budget {
             return Err(OptError::Infeasible {
                 budget,
@@ -28,19 +29,20 @@ impl Optimizer<'_> {
         }
         // Analytic per-node sensitivities make the move ranking
         // noise-aware without per-candidate noise evaluations.
-        let sens = self.sensitivities(&w)?;
+        let sens = self.sensitivities_with(&mut ev)?;
+        let mut scratch = self.proxy_scratch();
         loop {
             // Rank candidate single-bit trims by proxy gain per unit of
             // estimated noise increase; spend exact noise evaluations only
             // to find the best feasible one.
-            let current_proxy = self.proxy_cost(&w);
+            let current_proxy = self.proxy_cost_with(&w, &mut scratch);
             let mut cands: Vec<(f64, usize)> = Vec::with_capacity(w.len());
             for i in 0..w.len() {
                 if w[i] <= self.min_w[i] {
                     continue;
                 }
                 w[i] -= 1;
-                let gain = current_proxy - self.proxy_cost(&w);
+                let gain = current_proxy - self.proxy_cost_with(&w, &mut scratch);
                 w[i] += 1;
                 if gain > 0.0 {
                     let dn_est = 3.0 * sens[i] * 4f64.powi(-(w[i] as i32));
@@ -50,12 +52,12 @@ impl Optimizer<'_> {
             cands.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
             let mut accepted = false;
             for &(_, i) in &cands {
-                w[i] -= 1;
-                if self.noise_of(&w)? <= budget {
+                if ev.set(i, w[i] - 1)? <= budget {
+                    w[i] -= 1;
                     accepted = true;
                     break;
                 }
-                w[i] += 1;
+                ev.undo();
             }
             if !accepted {
                 break;
@@ -65,7 +67,7 @@ impl Optimizer<'_> {
         // widen one node (buying noise headroom on a sensitive path) to
         // narrow another (cashing it in where bits are cheap).
         let trimmed_only = w.clone();
-        self.refine_pairs(budget, &mut w)?;
+        self.refine_pairs(budget, &mut w, &mut ev)?;
         // Pick the best candidate by *real* synthesized weighted cost: the
         // refined configuration, the purely-trimmed one (pair refinement
         // trades proxy terms that the binder may model differently), and
@@ -93,15 +95,24 @@ impl Optimizer<'_> {
     /// most noise headroom per bit, which is then spent narrowing
     /// *low*-sensitivity nodes.  Each accepted pair strictly reduces the
     /// proxy while keeping the budget, so the search terminates.
-    fn refine_pairs(&self, budget: f64, w: &mut [u8]) -> Result<(), OptError> {
+    ///
+    /// `ev` must be positioned at `w`; it tracks every move and ends
+    /// positioned at the refined `w`.
+    fn refine_pairs(
+        &self,
+        budget: f64,
+        w: &mut [u8],
+        ev: &mut NoiseEval<'_>,
+    ) -> Result<(), OptError> {
         let n = w.len();
-        let sens = self.sensitivities(w)?;
+        let sens = self.sensitivities_with(ev)?;
+        let mut scratch = self.proxy_scratch();
         // Proposal shortlists, refreshed each round.
         let k = 24.min(n);
         let max_rounds = 16 * n;
         let mut eval_budget: u64 = 200_000;
         for _ in 0..max_rounds {
-            let current = self.proxy_cost(w);
+            let current = self.proxy_cost_with(w, &mut scratch);
             // j candidates: most noise headroom freed per +1 bit.
             let mut js: Vec<usize> = (0..n).filter(|&j| w[j] < self.bounds.max).collect();
             js.sort_by(|&a, &b| {
@@ -122,6 +133,7 @@ impl Optimizer<'_> {
             let mut improved = false;
             'outer: for &j in &js {
                 w[j] += 1;
+                ev.set(j, w[j])?;
                 for &i in &is {
                     if i == j || w[i] <= self.min_w[i] {
                         continue;
@@ -132,25 +144,33 @@ impl Optimizer<'_> {
                     while w[i] > self.min_w[i] {
                         if eval_budget == 0 {
                             // Out of evaluations: roll back and stop.
-                            w[i] = original;
+                            if w[i] != original {
+                                w[i] = original;
+                                ev.set(i, original)?;
+                            }
                             w[j] -= 1;
+                            ev.set(j, w[j])?;
                             return Ok(());
                         }
                         eval_budget -= 1;
-                        w[i] -= 1;
-                        if self.noise_of(w)? > budget {
-                            w[i] += 1;
+                        if ev.set(i, w[i] - 1)? > budget {
+                            ev.undo();
                             break;
                         }
+                        w[i] -= 1;
                         accepted = true;
                     }
-                    if accepted && self.proxy_cost(w) < current {
+                    if accepted && self.proxy_cost_with(w, &mut scratch) < current {
                         improved = true;
                         break 'outer;
                     }
-                    w[i] = original;
+                    if w[i] != original {
+                        w[i] = original;
+                        ev.set(i, original)?;
+                    }
                 }
                 w[j] -= 1;
+                ev.set(j, w[j])?;
             }
             if !improved {
                 return Ok(());

@@ -18,9 +18,14 @@
 //! | [`Optimizer::group_greedy`] | one shared width per node class (Kum/Sung grouping) | coarse baseline |
 //! | [`Optimizer::exhaustive`] | full search over a small neighbourhood | optimality reference on toy designs |
 //!
-//! Inner-loop noise evaluations use the precomputed [`sna_core::NaModel`]
-//! (`O(#nodes)` per candidate); implementation costs use a per-node proxy
-//! for move ranking and the real HLS flow for reported numbers.
+//! Inner-loop noise evaluations go through the incremental [`NoiseEval`]
+//! state machine: O(1) coordinate moves against the precomputed
+//! [`sna_core::NaModel`] gain terms on linear graphs, cone-limited
+//! histogram re-propagation with memoization on the nonlinear fallback
+//! (see the [`eval`](NoiseEval) module docs for the complexity model).
+//! Implementation costs use a per-node proxy for move ranking and the
+//! real HLS flow for reported numbers.  Exhaustive odometer chunks and
+//! annealing restarts fan out across std threads.
 //!
 //! # Example
 //!
@@ -52,6 +57,7 @@
 
 mod anneal;
 mod error;
+mod eval;
 mod greedy;
 mod optimizer;
 mod pareto;
@@ -59,5 +65,6 @@ mod waterfill;
 
 pub use anneal::AnnealOptions;
 pub use error::OptError;
+pub use eval::NoiseEval;
 pub use optimizer::{CostWeights, Evaluation, Optimizer, WlBounds};
 pub use pareto::pareto_front;

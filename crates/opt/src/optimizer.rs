@@ -4,7 +4,16 @@ use sna_fixp::WlConfig;
 use sna_hls::{synthesize, CostReport, FuKind, SynthesisConstraints};
 use sna_interval::Interval;
 
+use crate::eval::{EvalShared, NaShared, NoiseEval};
 use crate::OptError;
+
+/// Default worker count for the parallel searches: available hardware
+/// parallelism with a fallback of 1.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// How candidate noise is evaluated inside the search loops.
 ///
@@ -85,12 +94,53 @@ pub struct Optimizer<'a> {
     pub(crate) weights: CostWeights,
     pub(crate) bounds: WlBounds,
     model: NoiseModel,
-    input_ranges: &'a [Interval],
+    pub(crate) input_ranges: &'a [Interval],
     pub(crate) node_ranges: Vec<Interval>,
     /// Per-node lower bound: integer part must fit.
     pub(crate) min_w: Vec<u8>,
     /// Per-node integer bits implied by the value range.
     pub(crate) int_bits: Vec<u8>,
+    /// Precomputed structure shared by every incremental evaluator.
+    pub(crate) eval_shared: EvalShared,
+    /// Per-`FuKind` node partition + register/energy inventory for the
+    /// cost proxy, computed once instead of per call.
+    proxy_static: ProxyStatic,
+}
+
+/// The node partition behind [`Optimizer::proxy_cost`]: which nodes bind
+/// to which functional-unit kind, and which carry registers.
+#[derive(Debug)]
+struct ProxyStatic {
+    /// Node indices per [`FuKind`], in node-id order.
+    fu_nodes: [Vec<u32>; 3],
+    /// Nodes that occupy a register (everything but constants), id order.
+    reg_nodes: Vec<u32>,
+}
+
+impl ProxyStatic {
+    fn build(dfg: &Dfg) -> Self {
+        let mut fu_nodes: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut reg_nodes = Vec::new();
+        for (id, node) in dfg.nodes() {
+            if !matches!(node.op(), sna_dfg::Op::Const(_)) {
+                reg_nodes.push(id.index() as u32);
+            }
+            if let Some(kind) = FuKind::for_op(node.op()) {
+                fu_nodes[kind as usize].push(id.index() as u32);
+            }
+        }
+        ProxyStatic {
+            fu_nodes,
+            reg_nodes,
+        }
+    }
+}
+
+/// Reusable width buffers for [`Optimizer::proxy_cost_with`] — the hot
+/// ranking loops allocate these once instead of three `Vec`s per call.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ProxyScratch {
+    widths: [Vec<u8>; 3],
 }
 
 impl<'a> Optimizer<'a> {
@@ -142,6 +192,13 @@ impl<'a> Optimizer<'a> {
                     .unwrap_or(sna_fixp::MAX_WORD_LENGTH - 1)
             })
             .collect();
+        let eval_shared = match &model {
+            NoiseModel::Na(m) => EvalShared::Na(NaShared::build(dfg, m)),
+            NoiseModel::Hist { bins } => EvalShared::Hist {
+                bins: *bins,
+                shared: std::sync::OnceLock::new(),
+            },
+        };
         Ok(Optimizer {
             dfg,
             constraints,
@@ -152,6 +209,8 @@ impl<'a> Optimizer<'a> {
             node_ranges,
             min_w,
             int_bits,
+            eval_shared,
+            proxy_static: ProxyStatic::build(dfg),
         })
     }
 
@@ -236,8 +295,27 @@ impl<'a> Optimizer<'a> {
     // Inner-loop primitives shared by the algorithms
     // ------------------------------------------------------------------
 
-    /// Noise power of a word-length vector (fast path).
-    pub(crate) fn noise_of(&self, w: &[u8]) -> Result<f64, OptError> {
+    /// An incremental evaluator positioned at `w` — the object the search
+    /// loops move instead of paying [`Optimizer::noise_of`] per candidate
+    /// (see [`NoiseEval`] for the complexity model).
+    ///
+    /// # Errors
+    ///
+    /// Format-table construction and (histogram backend) the initial full
+    /// propagation can fail; failures are propagated.
+    pub fn evaluator(&self, w: &[u8]) -> Result<NoiseEval<'_>, OptError> {
+        NoiseEval::from_optimizer(self, w)
+    }
+
+    /// Noise power of a word-length vector, evaluated *from scratch* —
+    /// the reference implementation the incremental [`NoiseEval`] is
+    /// equivalence-tested against, and the right call for one-off
+    /// evaluations outside a search loop.
+    ///
+    /// # Errors
+    ///
+    /// Configuration construction and noise-model failures are propagated.
+    pub fn noise_of(&self, w: &[u8]) -> Result<f64, OptError> {
         let cfg = WlConfig::from_precomputed_ranges(&self.node_ranges, w)?;
         self.noise_of_config(&cfg)
     }
@@ -257,24 +335,41 @@ impl<'a> Optimizer<'a> {
         }
     }
 
-    /// Per-node noise sensitivity `cᵢ` measured at configuration `at`:
-    /// the noise contribution of node `i` behaves as `cᵢ·4^(−wᵢ)` under
-    /// the uniform-quantization model, so one probe per node suffices.
-    pub(crate) fn sensitivities(&self, at: &[u8]) -> Result<Vec<f64>, OptError> {
-        let base = self.noise_of(at)?;
-        let mut probe = at.to_vec();
+    /// Per-node noise sensitivity `cᵢ` measured at the evaluator's
+    /// current configuration: the noise contribution of node `i` behaves
+    /// as `cᵢ·4^(−wᵢ)` under the uniform-quantization model, so one probe
+    /// per node suffices.
+    ///
+    /// On the NA path each probe is *analytic* — an `O(fan-out)`
+    /// re-pricing of the moved node's precomputed gain terms — instead of
+    /// the former n+1 full model evaluations; the histogram path probes
+    /// via cone-limited re-propagation.  The evaluator must already be
+    /// positioned at the probe point; its position is preserved.
+    pub(crate) fn sensitivities_with(&self, ev: &mut NoiseEval<'_>) -> Result<Vec<f64>, OptError> {
+        let at = ev.widths().to_vec();
+        let base = ev.power();
+        // Deltas below the float resolution of the total are incremental
+        // bookkeeping dust, not signal: a from-scratch pair of sums would
+        // cancel them to exactly 0, and downstream allocators branch on
+        // zero sensitivity.
+        let floor = base.abs() * 1e-13;
         let mut c = vec![0.0; at.len()];
         for i in 0..at.len() {
             if at[i] <= self.min_w[i] {
                 continue;
             }
-            probe[i] -= 1;
-            let dn = (self.noise_of(&probe)? - base).max(0.0);
+            let dn = ev.probe(i, at[i] - 1)? - base;
+            let dn = if dn <= floor { 0.0 } else { dn };
             // dn = cᵢ·(4^−(w−1) − 4^−w) = 3·cᵢ·4^−w.
             c[i] = dn / 3.0 * 4f64.powi(at[i] as i32);
-            probe[i] += 1;
         }
         Ok(c)
+    }
+
+    /// A fresh scratch buffer for [`Optimizer::proxy_cost_with`]; hot
+    /// loops (and each search thread) hold one across calls.
+    pub(crate) fn proxy_scratch(&self) -> ProxyScratch {
+        ProxyScratch::default()
     }
 
     /// Implementation-cost proxy used for move ranking.
@@ -284,20 +379,27 @@ impl<'a> Optimizer<'a> {
     /// it; registers and switching energy accrue per node; latency is the
     /// serialized multi-cycle estimate per kind.  Monotone in every `wᵢ`.
     pub fn proxy_cost(&self, w: &[u8]) -> f64 {
+        self.proxy_cost_with(w, &mut self.proxy_scratch())
+    }
+
+    /// [`Optimizer::proxy_cost`] over the precomputed node partition,
+    /// reusing the caller's scratch buffers — no allocation per call.
+    pub(crate) fn proxy_cost_with(&self, w: &[u8], scratch: &mut ProxyScratch) -> f64 {
         let tech = &self.constraints.tech;
         let clock = self.constraints.clock_ns;
-        let mut widths: [Vec<u8>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let widths = &mut scratch.widths;
         let mut cycles = [0u64; 3];
         let mut reg_area = 0.0;
         let mut energy_pj = 0.0;
-        for (id, node) in self.dfg.nodes() {
-            let wi = w[id.index()];
-            // Constants are wired, not registered (matches the binder).
-            if !matches!(node.op(), sna_dfg::Op::Const(_)) {
-                reg_area += tech.register_area(wi);
-            }
-            if let Some(kind) = FuKind::for_op(node.op()) {
-                let k = kind as usize;
+        // Constants are wired, not registered (matches the binder).
+        for &i in &self.proxy_static.reg_nodes {
+            reg_area += tech.register_area(w[i as usize]);
+        }
+        for kind in FuKind::ALL {
+            let k = kind as usize;
+            widths[k].clear();
+            for &i in &self.proxy_static.fu_nodes[k] {
+                let wi = w[i as usize];
                 widths[k].push(wi);
                 cycles[k] += u64::from(tech.cycles(kind, wi, clock));
                 energy_pj += tech.fu_energy_pj(kind, wi);
@@ -375,7 +477,9 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Exhaustive search over `w0 ± radius` per node (proxy-ranked,
-    /// real-synthesis result).  Only for small graphs.
+    /// real-synthesis result).  Only for small graphs.  Candidates are
+    /// evaluated across all available threads; see
+    /// [`Optimizer::exhaustive_threaded`].
     ///
     /// # Errors
     ///
@@ -387,6 +491,31 @@ impl<'a> Optimizer<'a> {
         w0: u8,
         radius: u8,
         cap: u128,
+    ) -> Result<Evaluation, OptError> {
+        self.exhaustive_threaded(budget, w0, radius, cap, default_threads())
+    }
+
+    /// [`Optimizer::exhaustive`] with an explicit worker count.
+    ///
+    /// The odometer's candidate space is split into `threads` contiguous
+    /// chunks of linear indices; each worker walks its chunk with an
+    /// incremental [`NoiseEval`] (odometer steps amortize to O(1)
+    /// coordinate moves per candidate) and reports its best feasible
+    /// `(proxy, index, widths)`.  The merge prefers lower proxy cost and
+    /// breaks ties by candidate index, which makes the winner identical
+    /// for every thread count — including `threads == 1`, the serial
+    /// order of the classic implementation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Optimizer::exhaustive`].
+    pub fn exhaustive_threaded(
+        &self,
+        budget: f64,
+        w0: u8,
+        radius: u8,
+        cap: u128,
+        threads: usize,
     ) -> Result<Evaluation, OptError> {
         let base = self.uniform_vector(w0);
         let levels: Vec<Vec<u8>> = base
@@ -402,37 +531,97 @@ impl<'a> Optimizer<'a> {
         if candidates > cap {
             return Err(OptError::SearchSpaceTooLarge { candidates, cap });
         }
-        let mut idx = vec![0usize; levels.len()];
-        let mut w: Vec<u8> = levels.iter().map(|l| l[0]).collect();
-        let mut best: Option<(f64, Vec<u8>)> = None;
-        loop {
-            let noise = self.noise_of(&w)?;
-            if noise <= budget {
-                let proxy = self.proxy_cost(&w);
-                if best.as_ref().map(|(c, _)| proxy < *c).unwrap_or(true) {
-                    best = Some((proxy, w.clone()));
-                }
-            }
-            // Odometer.
-            let mut k = 0;
+        let workers = threads.clamp(1, 64).min(candidates.max(1) as usize);
+        let levels = &levels;
+        // Decodes a linear candidate index into per-node level indices
+        // (coordinate 0 is the fastest-cycling digit, as in the serial
+        // odometer).
+        let decode = |mut c: u128| -> Vec<usize> {
+            levels
+                .iter()
+                .map(|l| {
+                    let d = (c % l.len() as u128) as usize;
+                    c /= l.len() as u128;
+                    d
+                })
+                .collect()
+        };
+        type Best = Option<(f64, u128, Vec<u8>)>;
+        let chunk = |t: usize| -> (u128, u128) {
+            let t = t as u128;
+            let n = workers as u128;
+            (candidates * t / n, candidates * (t + 1) / n)
+        };
+        let run_chunk = |lo: u128, hi: u128| -> Result<Best, OptError> {
+            let mut idx = decode(lo);
+            let mut w: Vec<u8> = idx.iter().zip(levels).map(|(&d, l)| l[d]).collect();
+            let mut ev = self.evaluator(&w)?;
+            let mut scratch = self.proxy_scratch();
+            let mut best: Best = None;
+            let mut c = lo;
             loop {
-                if k == levels.len() {
-                    let (_, w) = best.ok_or(OptError::Infeasible {
-                        budget,
-                        best_noise: f64::INFINITY,
-                    })?;
-                    return self.evaluate(w);
+                if ev.power() <= budget {
+                    let proxy = self.proxy_cost_with(&w, &mut scratch);
+                    if best.as_ref().map(|(p, _, _)| proxy < *p).unwrap_or(true) {
+                        best = Some((proxy, c, w.clone()));
+                    }
                 }
-                idx[k] += 1;
-                if idx[k] < levels[k].len() {
-                    w[k] = levels[k][idx[k]];
-                    break;
+                c += 1;
+                if c == hi {
+                    return Ok(best);
                 }
-                idx[k] = 0;
-                w[k] = levels[k][0];
-                k += 1;
+                // Odometer advance; `c < candidates` guarantees a carry
+                // never runs off the last digit.
+                let mut k = 0;
+                loop {
+                    idx[k] += 1;
+                    if idx[k] < levels[k].len() {
+                        w[k] = levels[k][idx[k]];
+                        ev.set(k, w[k])?;
+                        break;
+                    }
+                    idx[k] = 0;
+                    if w[k] != levels[k][0] {
+                        w[k] = levels[k][0];
+                        ev.set(k, w[k])?;
+                    }
+                    k += 1;
+                }
             }
-        }
+        };
+        let merged: Result<Best, OptError> = if workers == 1 {
+            run_chunk(0, candidates)
+        } else {
+            // Mirrors `sna_service::run_ordered`: scoped std threads, the
+            // results merged deterministically in chunk order.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|t| {
+                        let (lo, hi) = chunk(t);
+                        scope.spawn(move || run_chunk(lo, hi))
+                    })
+                    .collect();
+                let mut best: Best = None;
+                for h in handles {
+                    let partial = h.join().expect("exhaustive worker panicked")?;
+                    if let Some((proxy, c, w)) = partial {
+                        let better = best
+                            .as_ref()
+                            .map(|(bp, bc, _)| proxy < *bp || (proxy == *bp && c < *bc))
+                            .unwrap_or(true);
+                        if better {
+                            best = Some((proxy, c, w));
+                        }
+                    }
+                }
+                Ok(best)
+            })
+        };
+        let (_, _, w) = merged?.ok_or(OptError::Infeasible {
+            budget,
+            best_noise: f64::INFINITY,
+        })?;
+        self.evaluate(w)
     }
 
     /// Grouped greedy (Kum/Sung-style): one shared word length per node
@@ -466,15 +655,18 @@ impl<'a> Optimizer<'a> {
                 .collect()
         };
         let mut w = expand(&gw, self);
-        if self.noise_of(&w)? > budget {
+        let mut ev = self.evaluator(&w)?;
+        let start_noise = ev.power();
+        if start_noise > budget {
             return Err(OptError::Infeasible {
                 budget,
-                best_noise: self.noise_of(&w)?,
+                best_noise: start_noise,
             });
         }
+        let mut scratch = self.proxy_scratch();
         loop {
             let mut best: Option<(f64, usize)> = None;
-            let current_proxy = self.proxy_cost(&w);
+            let current_proxy = self.proxy_cost_with(&w, &mut scratch);
             for g in 0..n_groups {
                 if gw[g] == 0 {
                     continue;
@@ -485,10 +677,20 @@ impl<'a> Optimizer<'a> {
                 if tw == w {
                     continue; // clamped away: no actual change
                 }
-                if self.noise_of(&tw)? > budget {
+                // Group moves are a handful of coordinate deltas: walk the
+                // evaluator there and back instead of re-evaluating from
+                // scratch.
+                let noise = ev.set_vector(&tw)?;
+                let feasible = noise <= budget;
+                let gain = if feasible {
+                    current_proxy - self.proxy_cost_with(&tw, &mut scratch)
+                } else {
+                    0.0
+                };
+                ev.set_vector(&w)?;
+                if !feasible {
                     continue;
                 }
-                let gain = current_proxy - self.proxy_cost(&tw);
                 if gain > 0.0 && best.as_ref().map(|(bg, _)| gain > *bg).unwrap_or(true) {
                     best = Some((gain, g));
                 }
@@ -497,6 +699,7 @@ impl<'a> Optimizer<'a> {
                 Some((_, g)) => {
                     gw[g] -= 1;
                     w = expand(&gw, self);
+                    ev.set_vector(&w)?;
                 }
                 None => return self.evaluate(w),
             }

@@ -27,25 +27,27 @@ impl Optimizer<'_> {
         // Sensitivities cᵢ measured empirically from the model: noise
         // delta when node i moves from wide to wide-1 ≈ (3/4)·cᵢ·4^(−w).
         let wide = self.uniform_vector(self.bounds.max);
-        let base_noise = self.noise_of(&wide)?;
+        let mut ev = self.evaluator(&wide)?;
+        let base_noise = ev.power();
         if base_noise > budget {
             return Err(OptError::Infeasible {
                 budget,
                 best_noise: base_noise,
             });
         }
-        let c = self.sensitivities(&wide)?;
+        let c = self.sensitivities_with(&mut ev)?;
         let mut probe = wide.clone();
+        let mut scratch = self.proxy_scratch();
         // Cost slopes sᵢ: proxy delta per bit at the wide point.
         let mut s = vec![0.0f64; n];
-        let base_proxy = self.proxy_cost(&wide);
+        let base_proxy = self.proxy_cost_with(&wide, &mut scratch);
         for i in 0..n {
             if wide[i] <= self.min_w[i] {
                 s[i] = f64::INFINITY; // pinned nodes never move
                 continue;
             }
             probe[i] -= 1;
-            s[i] = (base_proxy - self.proxy_cost(&probe)).max(1e-12);
+            s[i] = (base_proxy - self.proxy_cost_with(&probe, &mut scratch)).max(1e-12);
             probe[i] += 1;
         }
 
@@ -75,36 +77,36 @@ impl Optimizer<'_> {
             w
         };
         let (mut lo, mut hi) = (-32.0f64, 64.0f64);
-        // Ensure the high end is feasible.
-        if self.noise_of(&assign(hi, self))? > budget {
+        // Ensure the high end is feasible (evaluated once — the former
+        // code here paid the full evaluation twice on the error path).
+        let hi_noise = ev.set_vector(&assign(hi, self))?;
+        if hi_noise > budget {
             return Err(OptError::Infeasible {
                 budget,
-                best_noise: self.noise_of(&assign(hi, self))?,
+                best_noise: hi_noise,
             });
         }
         for _ in 0..64 {
             let mid = 0.5 * (lo + hi);
-            if self.noise_of(&assign(mid, self))? <= budget {
+            if ev.set_vector(&assign(mid, self))? <= budget {
                 hi = mid;
             } else {
                 lo = mid;
             }
         }
         let mut w = assign(hi, self);
+        let mut noise = ev.set_vector(&w)?;
 
         // Repair: if rounding left us above budget, widen the node with
         // the best noise reduction per cost until feasible.
         let mut guard = 0;
-        while self.noise_of(&w)? > budget {
-            let noise = self.noise_of(&w)?;
+        while noise > budget {
             let mut best: Option<(f64, usize)> = None;
             for i in 0..n {
                 if w[i] >= self.bounds.max {
                     continue;
                 }
-                w[i] += 1;
-                let dn = noise - self.noise_of(&w)?;
-                w[i] -= 1;
+                let dn = noise - ev.probe(i, w[i] + 1)?;
                 if dn > 0.0 {
                     let score = dn / s[i].max(1e-12);
                     if best.as_ref().map(|(sc, _)| score > *sc).unwrap_or(true) {
@@ -113,7 +115,10 @@ impl Optimizer<'_> {
                 }
             }
             match best {
-                Some((_, i)) => w[i] += 1,
+                Some((_, i)) => {
+                    w[i] += 1;
+                    noise = ev.set(i, w[i])?;
+                }
                 None => {
                     return Err(OptError::Infeasible {
                         budget,
@@ -133,13 +138,14 @@ impl Optimizer<'_> {
         // (constants, rounding slack) shed bits while the budget holds.
         loop {
             let mut changed = false;
+            #[allow(clippy::needless_range_loop)] // `w[i]` is mutated in the loop body
             for i in 0..n {
                 while w[i] > self.min_w[i] {
-                    w[i] -= 1;
-                    if self.noise_of(&w)? <= budget {
+                    if ev.set(i, w[i] - 1)? <= budget {
+                        w[i] -= 1;
                         changed = true;
                     } else {
-                        w[i] += 1;
+                        ev.undo();
                         break;
                     }
                 }

@@ -321,6 +321,12 @@ pub struct OptimizeParams {
     pub start: u8,
     /// Search radius of the exhaustive method.
     pub radius: u8,
+    /// Independent annealing restarts (run in parallel, deterministic
+    /// winner).
+    pub restarts: usize,
+    /// Worker threads for the parallel searches (exhaustive chunks,
+    /// anneal restarts); 0 means available parallelism.
+    pub threads: usize,
 }
 
 impl Default for OptimizeParams {
@@ -331,6 +337,8 @@ impl Default for OptimizeParams {
             budget: None,
             start: 16,
             radius: 1,
+            restarts: 1,
+            threads: 0,
         }
     }
 }
@@ -371,9 +379,29 @@ pub fn optimize(lowered: &Lowered, params: &OptimizeParams) -> Result<OptimizeOu
             "uniform" => optimizer.uniform(params.start),
             "greedy" => optimizer.greedy(budget, params.start),
             "waterfill" => optimizer.waterfill(budget),
-            "anneal" => optimizer.anneal(budget, params.start, &AnnealOptions::default()),
+            "anneal" => optimizer.anneal(
+                budget,
+                params.start,
+                &AnnealOptions {
+                    restarts: params.restarts.max(1),
+                    ..AnnealOptions::default()
+                },
+            ),
             "group-greedy" => optimizer.group_greedy(budget, params.start),
-            "exhaustive" => optimizer.exhaustive(budget, params.ref_bits, params.radius, 2_000_000),
+            "exhaustive" => {
+                let threads = if params.threads == 0 {
+                    crate::default_jobs()
+                } else {
+                    params.threads
+                };
+                optimizer.exhaustive_threaded(
+                    budget,
+                    params.ref_bits,
+                    params.radius,
+                    2_000_000,
+                    threads,
+                )
+            }
             _ => unreachable!("validated above"),
         };
         r.map_err(|e| format!("method `{name}` failed: {e}"))

@@ -197,6 +197,10 @@ fn dispatch(
                 },
                 start: u8_field(doc, "start", 16)?,
                 radius: u8_field(doc, "radius", 1)?,
+                // Bounded: these fan out server-side work, so an untrusted
+                // peer must not pick arbitrary values.
+                restarts: bounded_usize_field(doc, "restarts", 1, 64)?,
+                threads: bounded_usize_field(doc, "threads", 0, 64)?,
             };
             let out = exec::optimize(&entry.lowered, &params)?;
             Json::Obj(vec![
@@ -261,6 +265,24 @@ fn field_str<'a>(value: &'a Json, key: &str) -> Result<&'a str, String> {
     value
         .as_str()
         .ok_or_else(|| format!("`{key}` must be a string"))
+}
+
+/// An integer field clamped into `0..=cap` (parallelism knobs: a remote
+/// peer must not spawn unbounded server-side work).
+fn bounded_usize_field(doc: &Json, key: &str, default: usize, cap: usize) -> Result<usize, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| format!("`{key}` must be a number"))?;
+            if n.fract() == 0.0 && (0.0..=cap as f64).contains(&n) {
+                Ok(n as usize)
+            } else {
+                Err(format!("`{key}` must be an integer in 0..={cap}"))
+            }
+        }
+    }
 }
 
 fn u8_field(doc: &Json, key: &str, default: u8) -> Result<u8, String> {
