@@ -16,12 +16,12 @@
 
 use sna_core::NoiseReport;
 use sna_service::exec::{self, AnalyzeEngine, AnalyzeParams};
-use sna_service::Json;
 
 use crate::common::{
     collect_files, parse_format, parse_jobs, report_human, run_batch, unknown_flag, Args, CliError,
     Format,
 };
+use crate::Json;
 
 const USAGE: &str = "sna analyze <file>.sna... [--manifest list.txt] [--jobs N] \
                      [--engine auto|na|dfg|lti|symbolic|cartesian] \

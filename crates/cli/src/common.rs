@@ -10,7 +10,9 @@ use std::time::Instant;
 use sna_core::NoiseReport;
 use sna_hist::RenderOptions;
 use sna_lang::{render_all, Lowered};
-use sna_service::{CompileCache, CompiledEntry, Json};
+use sna_service::{CompileCache, CompiledEntry};
+
+use crate::Json;
 
 /// A CLI failure: what to print, and the exit code.
 #[derive(Clone, Debug, PartialEq, Eq)]

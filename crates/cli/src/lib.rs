@@ -57,6 +57,10 @@ mod serve_cmd;
 mod synth_cmd;
 
 pub use common::CliError;
+/// The JSON document model, re-exported from `sna-service` — the single
+/// authority for JSON in this workspace. Every CLI module consumes this
+/// re-export (`crate::Json`); there are no private copies or conversion
+/// shims.
 pub use sna_service::Json;
 
 const USAGE: &str = "usage: sna <parse|analyze|optimize|synth|serve> [<file>.sna...] [options]\n\

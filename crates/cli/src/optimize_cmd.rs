@@ -10,11 +10,11 @@
 
 use sna_opt::Evaluation;
 use sna_service::exec::{self, OptimizeParams};
-use sna_service::Json;
 
 use crate::common::{
     collect_files, parse_format, parse_jobs, run_batch, unknown_flag, Args, CliError, Format,
 };
+use crate::Json;
 
 const USAGE: &str = "sna optimize <file>.sna... [--manifest list.txt] [--jobs N] \
                      [--method greedy|waterfill|anneal|group-greedy|exhaustive|uniform|all] \
@@ -47,7 +47,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         .map_err(|e| CliError::Usage(format!("{e}\nusage: {USAGE}")))?;
     let (files, batch) = collect_files(args.files(), manifest.as_deref(), USAGE)?;
     run_batch("optimize", files, batch, jobs, format, |path, entry| {
-        let out = exec::optimize(&entry.lowered, &params).map_err(CliError::Failed)?;
+        let out = exec::optimize(&entry.session, &params).map_err(CliError::Failed)?;
         Ok(match format {
             Format::Human => human(path, out.budget, &out.reference, &out.results),
             Format::Json => json(path, out.budget, &out.reference, &out.results).to_string(),

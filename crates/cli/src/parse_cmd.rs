@@ -2,9 +2,10 @@
 //! canonical source form.
 
 use sna_lang::Lowered;
-use sna_service::{exec, Json};
+use sna_service::exec;
 
 use crate::common::{load, parse_format, unknown_flag, Args, CliError, Format};
+use crate::Json;
 
 const USAGE: &str = "sna parse <file>.sna [--dot | --canon] [--format human|json]";
 
@@ -99,6 +100,6 @@ fn json(path: &str, lowered: &Lowered) -> Json {
         ("file".into(), Json::str(path)),
         ("ok".into(), Json::Bool(true)),
     ];
-    fields.extend(exec::parse_facts_json(lowered));
+    fields.extend(exec::parse_facts_json(&lowered.dfg, &lowered.input_ranges));
     Json::Obj(fields)
 }

@@ -1,10 +1,12 @@
 //! `sna synth` — run the HLS flow (schedule, bind, cost) for one
 //! word-length configuration of a `.sna` datapath.
 
+use sna_core::Session;
 use sna_hls::SynthesisConstraints;
-use sna_service::{exec, Json};
+use sna_service::exec;
 
 use crate::common::{load, parse_format, unknown_flag, Args, CliError, Format};
+use crate::Json;
 
 const USAGE: &str = "sna synth <file>.sna [--bits N] [--clock NS] [--format human|json]";
 
@@ -24,8 +26,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     }
     let path = args.file(USAGE)?;
     let (lowered, _) = load(path)?;
+    let session = Session::new(lowered.dfg, lowered.input_ranges)
+        .map_err(|e| CliError::failed(e.to_string()))?;
 
-    let imp = exec::synth(&lowered, bits, clock).map_err(CliError::Failed)?;
+    let imp = exec::synth(&session, bits, clock).map_err(CliError::Failed)?;
     let cost = &imp.cost;
 
     Ok(match format {

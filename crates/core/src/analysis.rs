@@ -1,30 +1,73 @@
 //! High-level facade: pick an engine (or let the analysis pick one) and
 //! get per-output [`NoiseReport`]s.
+//!
+//! [`SnaAnalysis`] predates the [`Session`](crate::Session) API and is
+//! kept as a thin facade over it — new code should open a `Session` and
+//! send [`AnalysisRequest`](crate::AnalysisRequest)s instead.
 
-use sna_dfg::{Dfg, LtiOptions};
+use sna_dfg::Dfg;
 use sna_fixp::WlConfig;
 use sna_interval::Interval;
 
-use crate::{
-    DfgEngine, EngineOptions, LtiEngine, NaModel, NoiseReport, SnaError, SymbolicEngine,
-    SymbolicOptions,
-};
+use crate::engine::{AnalysisRequest, WlChoice};
+use crate::{NaModel, NoiseReport, Session, SnaError};
 
 /// Which analysis engine to run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Choose automatically: LTI for sequential linear graphs, the DFG
     /// histogram engine otherwise.
     #[default]
     Auto,
-    /// Op-by-op histogram propagation ([`DfgEngine`]).
+    /// Op-by-op histogram propagation ([`crate::DfgEngine`]).
     Dfg,
-    /// LTI gains + CLT shaping ([`LtiEngine`]); linear graphs only.
+    /// LTI gains + CLT shaping ([`crate::LtiEngine`]); linear graphs only.
     Lti,
-    /// Polynomial propagation ([`SymbolicEngine`]); combinational only.
+    /// Polynomial propagation ([`crate::SymbolicEngine`]); combinational
+    /// only.
     Symbolic,
     /// Classical NA baseline (moments only, no PDF).
     Na,
+    /// The paper's Section-4 exact algorithm over the inputs' *value*
+    /// uncertainty ([`crate::CartesianEngine`]); characterizes the output
+    /// PDF rather than quantization noise.
+    Cartesian,
+}
+
+impl EngineKind {
+    /// Parses the `--engine` / `"engine"` selector.
+    ///
+    /// # Errors
+    ///
+    /// A usage-style message listing the accepted names.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        Ok(match raw {
+            "auto" => EngineKind::Auto,
+            "na" => EngineKind::Na,
+            "dfg" => EngineKind::Dfg,
+            "lti" => EngineKind::Lti,
+            "symbolic" => EngineKind::Symbolic,
+            "cartesian" => EngineKind::Cartesian,
+            other => {
+                return Err(format!(
+                    "unknown engine `{other}` (expected auto, na, dfg, lti, symbolic or cartesian)"
+                ))
+            }
+        })
+    }
+
+    /// The selector's wire/CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Auto => "auto",
+            EngineKind::Na => "na",
+            EngineKind::Dfg => "dfg",
+            EngineKind::Lti => "lti",
+            EngineKind::Symbolic => "symbolic",
+            EngineKind::Cartesian => "cartesian",
+        }
+    }
 }
 
 /// One-stop analysis builder.
@@ -101,61 +144,28 @@ impl<'a> SnaAnalysis<'a> {
         self
     }
 
-    /// Runs the analysis.
+    /// Runs the analysis through a one-shot [`Session`].
     ///
     /// # Errors
     ///
     /// Propagates the selected engine's failures; `Auto` falls back from
-    /// LTI to the DFG engine on the combinational view when the graph is
-    /// nonlinear.
+    /// LTI to the DFG engine when the graph is nonlinear combinational.
     pub fn run(self) -> Result<Vec<(String, NoiseReport)>, SnaError> {
-        match self.engine {
-            EngineKind::Auto => {
-                if self.dfg.is_linear() {
-                    LtiEngine::build(
-                        self.dfg,
-                        self.input_ranges,
-                        &LtiOptions::default(),
-                        self.bins,
-                    )?
-                    .analyze(self.dfg, self.config)
-                } else if self.dfg.is_combinational() {
-                    DfgEngine::new(EngineOptions::default().with_bins(self.bins)).analyze(
-                        self.dfg,
-                        self.config,
-                        self.input_ranges,
-                    )
-                } else {
-                    Err(SnaError::SequentialGraph)
-                }
+        // The one capability a session does not model: evaluating a
+        // caller-owned prebuilt NA model.
+        if self.engine == EngineKind::Na {
+            if let Some(model) = self.na_model {
+                return Ok(model.evaluate(self.dfg, self.config));
             }
-            EngineKind::Dfg => DfgEngine::new(EngineOptions::default().with_bins(self.bins))
-                .analyze(self.dfg, self.config, self.input_ranges),
-            EngineKind::Lti => LtiEngine::build(
-                self.dfg,
-                self.input_ranges,
-                &LtiOptions::default(),
-                self.bins,
-            )?
-            .analyze(self.dfg, self.config),
-            EngineKind::Symbolic => {
-                let res = SymbolicEngine::new(SymbolicOptions {
-                    symbol_bins: self.bins,
-                    out_bins: self.bins * 2,
-                    ..Default::default()
-                })
-                .analyze(self.dfg, self.config, self.input_ranges)?;
-                Ok(res.reports)
-            }
-            EngineKind::Na => match self.na_model {
-                Some(model) => Ok(model.evaluate(self.dfg, self.config)),
-                None => {
-                    let model =
-                        NaModel::build(self.dfg, self.input_ranges, &LtiOptions::default())?;
-                    Ok(model.evaluate(self.dfg, self.config))
-                }
-            },
         }
+        let session = Session::new(self.dfg.clone(), self.input_ranges.to_vec())?;
+        let req = AnalysisRequest {
+            engine: self.engine,
+            words: WlChoice::Config(self.config.clone()),
+            bins: self.bins,
+            include_pdf: true,
+        };
+        Ok(session.analyze(&req)?.reports)
     }
 }
 

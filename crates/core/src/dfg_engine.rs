@@ -168,6 +168,104 @@ pub struct Uncertain {
     pub error: Value,
 }
 
+/// A concurrent memo of per-node histogram states, keyed by
+/// `(bins, node, widths of the node's upstream cone)`.
+///
+/// The key stores the widths themselves (not a hash), so a hit is
+/// guaranteed to be the exact configuration and the returned state is
+/// bit-equal to a recomputation.  The map sits behind an `RwLock` so the
+/// evaluators of a multi-threaded nonlinear word-length search (annealing
+/// restarts, exhaustive odometer chunks) — and successive searches over
+/// one compiled session — share hits instead of each keeping a private
+/// memo.  Entries are only ever *valid for one graph instance*: states
+/// depend on constant values, so a coefficient swap needs a fresh memo.
+#[derive(Debug, Default)]
+pub struct HistMemo {
+    map: std::sync::RwLock<std::collections::HashMap<MemoKey, Uncertain>>,
+}
+
+/// A memo key: `(bins, node, widths of the node's upstream cone)`.
+pub type MemoKey = (u32, u32, Vec<u8>);
+
+/// Entries kept before [`HistMemo`] sweeps itself clear (bounds memory on
+/// long searches; the hot working set re-warms in one round of misses).
+const HIST_MEMO_CAP: usize = 16_384;
+
+impl HistMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized state for a `(bins, node, upstream widths)` key, if
+    /// present.
+    #[must_use]
+    pub fn get(&self, bins: u32, node: u32, widths: &[u8]) -> Option<Uncertain> {
+        self.map
+            .read()
+            .expect("memo lock")
+            .get(&(bins, node, widths.to_vec()))
+            .cloned()
+    }
+
+    /// Hot-path lookup: consumes the already-built widths key and, on a
+    /// miss, hands it back so the caller can [`HistMemo::insert_key`]
+    /// without a second allocation.
+    ///
+    /// # Errors
+    ///
+    /// The assembled key, on a miss.
+    pub fn lookup(&self, bins: u32, node: u32, widths: Vec<u8>) -> Result<Uncertain, MemoKey> {
+        let key = (bins, node, widths);
+        match self.map.read().expect("memo lock").get(&key) {
+            Some(state) => Ok(state.clone()),
+            None => Err(key),
+        }
+    }
+
+    /// Records a computed state (first writer wins; the cap triggers a
+    /// clear-all sweep before insertion).
+    pub fn insert(&self, bins: u32, node: u32, widths: Vec<u8>, state: Uncertain) {
+        self.insert_key((bins, node, widths), state);
+    }
+
+    /// [`HistMemo::insert`] for a key handed back by
+    /// [`HistMemo::lookup`].
+    pub fn insert_key(&self, key: MemoKey, state: Uncertain) {
+        let mut map = self.map.write().expect("memo lock");
+        if map.len() >= HIST_MEMO_CAP {
+            map.clear();
+        }
+        map.entry(key).or_insert(state);
+    }
+
+    /// Bulk first-writer-wins insertion under one lock acquisition — the
+    /// evaluator-construction path, where every thread of a parallel
+    /// search seeds the same start-point states.
+    pub fn insert_many(&self, entries: impl IntoIterator<Item = (MemoKey, Uncertain)>) {
+        let mut map = self.map.write().expect("memo lock");
+        for (key, state) in entries {
+            if map.len() >= HIST_MEMO_CAP {
+                map.clear();
+            }
+            map.entry(key).or_insert(state);
+        }
+    }
+
+    /// Number of memoized states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.read().expect("memo lock").len()
+    }
+
+    /// Whether the memo holds no states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Options for [`DfgEngine`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineOptions {

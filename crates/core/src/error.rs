@@ -34,6 +34,27 @@ pub enum SnaError {
         /// Provided number.
         got: usize,
     },
+    /// A coefficient vector does not match the graph's constant slots
+    /// (see [`crate::Session::with_coefficients`]).
+    WrongCoefficientCount {
+        /// Number of `Const` nodes in the graph.
+        expected: usize,
+        /// Provided number of coefficients.
+        got: usize,
+    },
+    /// The selected engine handles combinational datapaths only.
+    CombinationalOnly {
+        /// The engine's wire/CLI name.
+        engine: &'static str,
+    },
+    /// An input declaration cannot be turned into the engine's input
+    /// model (e.g. a degenerate uncertainty range).
+    InvalidInput {
+        /// The input's name.
+        name: String,
+        /// The underlying failure, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for SnaError {
@@ -51,6 +72,22 @@ impl fmt::Display for SnaError {
             }
             SnaError::WrongInputCount { expected, got } => {
                 write!(f, "expected {expected} uncertain inputs, got {got}")
+            }
+            SnaError::WrongCoefficientCount { expected, got } => {
+                write!(
+                    f,
+                    "the graph has {expected} constant slot(s), got {got} coefficient(s)"
+                )
+            }
+            SnaError::CombinationalOnly { engine } => {
+                write!(
+                    f,
+                    "the {engine} engine handles combinational datapaths only \
+                     (this one contains delays)"
+                )
+            }
+            SnaError::InvalidInput { name, message } => {
+                write!(f, "input `{name}`: {message}")
             }
         }
     }

@@ -59,19 +59,23 @@
 mod analysis;
 mod cartesian;
 mod dfg_engine;
+pub mod engine;
 mod error;
 mod lti_engine;
 mod na;
 mod report;
+mod session;
 mod sources;
 mod symbolic;
 
 pub use analysis::{EngineKind, SnaAnalysis};
 pub use cartesian::{CartesianEngine, UncertainInput};
-pub use dfg_engine::{DfgEngine, EngineOptions, Uncertain, Value};
+pub use dfg_engine::{DfgEngine, EngineOptions, HistMemo, Uncertain, Value};
+pub use engine::{AnalysisReport, AnalysisRequest, Engine, ReportKind, WlChoice};
 pub use error::SnaError;
 pub use lti_engine::LtiEngine;
-pub use na::{CoeffKind, CoeffSite, NaModel};
+pub use na::{CoeffKind, CoeffSite, GainPatch, NaModel};
 pub use report::NoiseReport;
+pub use session::{PerSample, Session, SessionStats};
 pub use sources::{noise_sources, IntroducesNoise, NoiseSource};
 pub use symbolic::{SymbolicEngine, SymbolicOptions, SymbolicResult};

@@ -27,7 +27,7 @@ use crate::{NaModel, NoiseReport, SnaError};
 /// SNA engine for linear (possibly sequential) datapaths.
 #[derive(Clone, Debug)]
 pub struct LtiEngine {
-    model: NaModel,
+    model: std::sync::Arc<NaModel>,
     bins: usize,
 }
 
@@ -44,15 +44,23 @@ impl LtiEngine {
         opts: &LtiOptions,
         bins: usize,
     ) -> Result<Self, SnaError> {
-        Ok(LtiEngine {
-            model: NaModel::build(dfg, input_ranges, opts)?,
+        Ok(Self::from_model(
+            std::sync::Arc::new(NaModel::build(dfg, input_ranges, opts)?),
             bins,
-        })
+        ))
+    }
+
+    /// Wraps an already built (and possibly shared) gain model — the path
+    /// a [`crate::Session`] takes so the expensive impulse analysis is
+    /// paid once per compiled program, not once per engine.
+    #[must_use]
+    pub fn from_model(model: std::sync::Arc<NaModel>, bins: usize) -> Self {
+        LtiEngine { model, bins }
     }
 
     /// Access to the underlying gain model.
     pub fn model(&self) -> &NaModel {
-        &self.model
+        self.model.as_ref()
     }
 
     /// Analyzes output noise under `config`: exact moments + shaped PDF.

@@ -92,12 +92,36 @@ impl CoeffSite {
     }
 }
 
+/// Outcome counters of [`NaModel::patched`]: how each source's gains
+/// were obtained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GainPatch {
+    /// Sources whose gains were re-simulated (forward impulse analysis).
+    pub rebuilt: usize,
+    /// Sources whose gains were *derived* from neighbouring stored
+    /// response sequences by the consumer recurrence — no simulation.
+    pub derived: usize,
+    /// Sources whose gains were cloned from the donor unchanged.
+    pub reused: usize,
+}
+
+/// Budget (in `f64`s) for the stored impulse-response sequences of one
+/// model. Within it, coefficient swaps can derive changed gains by the
+/// consumer recurrence instead of re-simulating; past it, later sources
+/// simply fall back to forward simulation when patched.
+const MAX_RESPONSE_FLOATS: usize = 1 << 18;
+
 /// Precomputed noise-transfer gains for every potential noise source of a
 /// linear datapath, plus the coefficient-site inventory.
 #[derive(Clone, Debug)]
 pub struct NaModel {
     /// `gains[i]` = impulse gains from node `i`, for analyzed nodes.
     gains: Vec<Option<ImpulseGains>>,
+    /// `responses[i][k]` = the raw impulse-response sequence from node
+    /// `i` to output `k`, kept while the model is under
+    /// [`MAX_RESPONSE_FLOATS`] — the material incremental coefficient
+    /// updates recombine.
+    responses: Vec<Option<Vec<Vec<f64>>>>,
     output_names: Vec<String>,
     coeff_sites: Vec<CoeffSite>,
 }
@@ -117,17 +141,58 @@ impl NaModel {
     ) -> Result<Self, SnaError> {
         dfg.require_linear()?;
         let ranges = dfg.ranges_auto(input_ranges, &RangeOptions::default(), opts)?;
+        Self::build_with_ranges(dfg, &ranges, opts)
+    }
+
+    /// [`NaModel::build`] over precomputed per-node ranges — the path for
+    /// callers (a [`crate::Session`], an optimizer) that already ran range
+    /// analysis and must not pay for (or drift from) a second run.  With
+    /// `node_ranges` equal to `ranges_auto`'s output this is bit-identical
+    /// to [`NaModel::build`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NaModel::build`], minus the range-analysis failures.
+    pub fn build_with_ranges(
+        dfg: &Dfg,
+        node_ranges: &[Interval],
+        opts: &LtiOptions,
+    ) -> Result<Self, SnaError> {
+        dfg.require_linear()?;
         let mut gains = Vec::with_capacity(dfg.len());
+        let mut responses = Vec::with_capacity(dfg.len());
+        let mut stored_floats = 0usize;
         for (id, node) in dfg.nodes() {
-            let relevant = node.op().is_arithmetic()
-                || matches!(node.op(), Op::Input(_) | Op::Const(_) | Op::Delay);
-            if relevant {
-                gains.push(Some(dfg.impulse_gains(id, opts)?));
+            if Self::analyzed(node.op()) {
+                let (g, seqs) = dfg.impulse_response(id, opts)?;
+                gains.push(Some(g));
+                let floats: usize = seqs.iter().map(Vec::len).sum();
+                if stored_floats + floats <= MAX_RESPONSE_FLOATS {
+                    stored_floats += floats;
+                    responses.push(Some(seqs));
+                } else {
+                    responses.push(None);
+                }
             } else {
                 gains.push(None);
+                responses.push(None);
             }
         }
-        // Inventory of constant-coefficient interaction sites.
+        Ok(NaModel {
+            gains,
+            responses,
+            output_names: dfg.outputs().iter().map(|(n, _)| n.clone()).collect(),
+            coeff_sites: Self::collect_coeff_sites(dfg, node_ranges),
+        })
+    }
+
+    /// Whether a node's op gets impulse gains.
+    fn analyzed(op: Op) -> bool {
+        op.is_arithmetic() || matches!(op, Op::Input(_) | Op::Const(_) | Op::Delay)
+    }
+
+    /// Inventory of constant-coefficient interaction sites.
+    fn collect_coeff_sites(dfg: &Dfg, ranges: &[Interval]) -> Vec<CoeffSite> {
         let mut coeff_sites = Vec::new();
         for (site, node) in dfg.nodes() {
             match node.op() {
@@ -164,11 +229,189 @@ impl NaModel {
                 _ => {}
             }
         }
-        Ok(NaModel {
+        coeff_sites
+    }
+
+    /// Rebuilds the model for a coefficient-swapped copy of the graph it
+    /// was built from, recomputing impulse gains only where the swap
+    /// could have changed them (`dirty[i]` true) and cloning the rest —
+    /// the gain-level reuse behind [`crate::Session::with_coefficients`].
+    ///
+    /// Dirty sources are recomputed two ways, cheapest first:
+    ///
+    /// 1. **Consumer recurrence** — for a linear graph, the response from
+    ///    node `i` decomposes over its consumers:
+    ///    `h_i[t] = Σ_comb w(j)·h_j[t] + Σ_delay h_d[t−1] (+ δ[t] if i is
+    ///    an output)`, where `w(j)` is the consumer's local coefficient
+    ///    (±1 for add/sub/neg, `c` for a constant multiplier, `1/c` for a
+    ///    constant divisor).  When every consumer edge has such a
+    ///    constant weight and the consumers' response *sequences* are
+    ///    stored, the dirty source's new response is recombined in
+    ///    `O(T·fan-out)` flops — no simulation.  This covers the
+    ///    dominant case (the delay chain feeding a retuned tap).
+    /// 2. **Forward simulation** — everything else (the changed constant
+    ///    itself, signal-dependent consumer weights, missing sequences,
+    ///    cyclic dirty regions) re-runs the impulse analysis.
+    ///
+    /// `dfg` must have the same shape as the original graph (same nodes,
+    /// edges, outputs) with only `Const` values differing, and `dirty`
+    /// must cover every source whose transfer path crosses a changed
+    /// local coefficient (see `Session` for the sound over-approximation).
+    /// The coefficient-site inventory is always rebuilt from
+    /// `node_ranges`.  Recurrence-derived aggregates match forward
+    /// simulation to float accuracy (well inside the 1e-12 equivalence
+    /// bound), and on exactly-decaying responses (feed-forward graphs)
+    /// they are exact.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NaModel::build_with_ranges`].
+    pub fn patched(
+        &self,
+        dfg: &Dfg,
+        node_ranges: &[Interval],
+        opts: &LtiOptions,
+        dirty: &[bool],
+    ) -> Result<(Self, GainPatch), SnaError> {
+        dfg.require_linear()?;
+        let n = dfg.len();
+        let n_out = dfg.outputs().len();
+        let mut patch = GainPatch::default();
+
+        // Consumer edges with constant weights, and per-source
+        // recurrence eligibility.
+        let (edges, eligible) = consumer_edges(dfg);
+        // Which outputs a node feeds *directly* (the δ[t] term).
+        let mut output_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, (_, id)) in dfg.outputs().iter().enumerate() {
+            output_of[id.index()].push(k);
+        }
+
+        // Seed the new response store with the clean sources' sequences,
+        // keeping the same storage budget the builder enforces (patched
+        // models live long in shape-tier caches).
+        let mut responses: Vec<Option<Vec<Vec<f64>>>> = (0..n)
+            .map(|i| {
+                let clean = !dirty.get(i).copied().unwrap_or(true);
+                if clean {
+                    self.responses[i].clone()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut stored_floats: usize = responses
+            .iter()
+            .flatten()
+            .flat_map(|seqs| seqs.iter().map(Vec::len))
+            .sum();
+        let store =
+            |slot: &mut Option<Vec<Vec<f64>>>, seqs: Vec<Vec<f64>>, stored_floats: &mut usize| {
+                let floats: usize = seqs.iter().map(Vec::len).sum();
+                if *stored_floats + floats <= MAX_RESPONSE_FLOATS {
+                    *stored_floats += floats;
+                    *slot = Some(seqs);
+                }
+            };
+        let mut gains: Vec<Option<ImpulseGains>> = (0..n)
+            .map(|i| {
+                let clean = !dirty.get(i).copied().unwrap_or(true);
+                if clean {
+                    self.gains[i].clone()
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // Recurrence passes: derive every dirty source whose consumers'
+        // sequences are all available, repeating until a pass makes no
+        // progress (cyclic or ineligible leftovers fall through to
+        // simulation).
+        let analyzed: Vec<bool> = dfg.nodes().map(|(_, nd)| Self::analyzed(nd.op())).collect();
+        loop {
+            let mut progressed = false;
+            for i in 0..n {
+                if gains[i].is_some() || !analyzed[i] || !eligible[i] {
+                    continue;
+                }
+                let ready = edges[i]
+                    .iter()
+                    .all(|(j, _)| responses[*j as usize].is_some());
+                if !ready {
+                    continue;
+                }
+                let mut seqs: Vec<Vec<f64>> = Vec::with_capacity(n_out);
+                let mut per_output = Vec::with_capacity(n_out);
+                for k in 0..n_out {
+                    let mut len = if output_of[i].contains(&k) { 1 } else { 0 };
+                    for (j, w) in &edges[i] {
+                        let consumer = responses[*j as usize].as_ref().expect("checked ready");
+                        let l = consumer[k].len() + usize::from(matches!(w, EdgeW::Delayed));
+                        len = len.max(l);
+                    }
+                    let mut h = vec![0.0; len];
+                    for (j, w) in &edges[i] {
+                        let consumer = responses[*j as usize].as_ref().expect("checked ready");
+                        match w {
+                            EdgeW::Comb(c) => {
+                                for (t, &v) in consumer[k].iter().enumerate() {
+                                    h[t] += c * v;
+                                }
+                            }
+                            EdgeW::Delayed => {
+                                for (t, &v) in consumer[k].iter().enumerate() {
+                                    h[t + 1] += v;
+                                }
+                            }
+                        }
+                    }
+                    if output_of[i].contains(&k) {
+                        h[0] += 1.0;
+                    }
+                    let mut g = sna_dfg::OutputGain::default();
+                    for &v in &h {
+                        g.l1 += v.abs();
+                        g.l2_squared += v * v;
+                        g.dc += v;
+                    }
+                    per_output.push(g);
+                    seqs.push(h);
+                }
+                gains[i] = Some(ImpulseGains {
+                    source: NodeId::from_index(i),
+                    per_output,
+                });
+                store(&mut responses[i], seqs, &mut stored_floats);
+                patch.derived += 1;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Whatever the recurrence could not reach re-simulates.
+        for i in 0..n {
+            if !analyzed[i] {
+                continue;
+            }
+            if gains[i].is_none() {
+                let (g, seqs) = dfg.impulse_response(NodeId::from_index(i), opts)?;
+                gains[i] = Some(g);
+                store(&mut responses[i], seqs, &mut stored_floats);
+                patch.rebuilt += 1;
+            }
+        }
+        patch.reused = analyzed.iter().filter(|&&a| a).count() - patch.rebuilt - patch.derived;
+
+        let model = NaModel {
             gains,
-            output_names: dfg.outputs().iter().map(|(n, _)| n.clone()).collect(),
-            coeff_sites,
-        })
+            responses,
+            output_names: dfg.outputs().iter().map(|(nm, _)| nm.clone()).collect(),
+            coeff_sites: Self::collect_coeff_sites(dfg, node_ranges),
+        };
+        Ok((model, patch))
     }
 
     /// Names of the outputs the gains refer to.
@@ -291,6 +534,71 @@ impl NaModel {
             .map(|(_, r)| r.power)
             .sum()
     }
+}
+
+/// One consumer edge of the impulse-response recurrence.
+#[derive(Clone, Copy, Debug)]
+enum EdgeW {
+    /// Combinational edge with a constant weight (`±1`, `c`, `1/c`).
+    Comb(f64),
+    /// The sequential edge into a delay: contributes the consumer's
+    /// response shifted one step later.
+    Delayed,
+}
+
+/// Builds, per node, the consumer edges with constant recurrence weights,
+/// plus a per-node eligibility flag (`false` where some consumer edge's
+/// weight is signal- or value-trajectory-dependent: the signal operand is
+/// not a literal constant, or the node is a divisor — whose perturbation
+/// is a secant, not a linear coefficient).
+fn consumer_edges(dfg: &Dfg) -> (Vec<Vec<(u32, EdgeW)>>, Vec<bool>) {
+    let n = dfg.len();
+    let mut edges: Vec<Vec<(u32, EdgeW)>> = vec![Vec::new(); n];
+    let mut eligible = vec![true; n];
+    for (j, node) in dfg.nodes() {
+        let ji = j.index() as u32;
+        let args = node.args();
+        match node.op() {
+            Op::Add => {
+                for &a in args {
+                    edges[a.index()].push((ji, EdgeW::Comb(1.0)));
+                }
+            }
+            Op::Sub => {
+                edges[args[0].index()].push((ji, EdgeW::Comb(1.0)));
+                edges[args[1].index()].push((ji, EdgeW::Comb(-1.0)));
+            }
+            Op::Neg => edges[args[0].index()].push((ji, EdgeW::Comb(-1.0))),
+            Op::Delay => edges[args[0].index()].push((ji, EdgeW::Delayed)),
+            Op::Mul => {
+                for (slot, &a) in args.iter().enumerate() {
+                    let other = args[1 - slot];
+                    if let Op::Const(c) = dfg.node(other).op() {
+                        edges[a.index()].push((ji, EdgeW::Comb(c)));
+                    } else {
+                        // The edge weight is the other operand's value
+                        // trajectory — not a constant.
+                        eligible[a.index()] = false;
+                    }
+                }
+            }
+            Op::Div => {
+                if let Op::Const(c) = dfg.node(args[1]).op() {
+                    if c != 0.0 {
+                        edges[args[0].index()].push((ji, EdgeW::Comb(1.0 / c)));
+                    } else {
+                        eligible[args[0].index()] = false;
+                    }
+                } else {
+                    eligible[args[0].index()] = false;
+                }
+                // A divisor perturbation acts through a secant of 1/x.
+                eligible[args[1].index()] = false;
+            }
+            Op::Input(_) | Op::Const(_) => {}
+        }
+    }
+    (edges, eligible)
 }
 
 #[cfg(test)]

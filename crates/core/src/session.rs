@@ -1,0 +1,885 @@
+//! The [`Session`]: one compiled program, its whole artifact chain, and
+//! coefficient-level incremental recompilation.
+//!
+//! A session owns the compiled artifacts the engines and the optimizer
+//! share — graph, per-node ranges, the NA gain model, the per-sample
+//! combinational view, built LTI engines, and the concurrent histogram
+//! memo — behind lazily built, `Arc`-shared stages:
+//!
+//! ```text
+//!            Dfg + input ranges                 (Session::new)
+//!                    │
+//!                    ▼
+//!            node ranges  ───────────────┐      (lazy; counted)
+//!                    │                   │
+//!         ┌──────────┼──────────┐        │
+//!         ▼          ▼          ▼        ▼
+//!      NaModel   per-sample   WlConfig  coeff sites
+//!         │        view       (per request)
+//!         ▼
+//!     LtiEngine (per bins)         histogram memo (shared, concurrent)
+//! ```
+//!
+//! [`Session::with_coefficients`] is the incremental-recompilation seam:
+//! a "same shape, new constants" update — the inner loop of design-space
+//! exploration — patches the built stages instead of rebuilding them.
+//! Lowering never reruns (the graph skeleton is cloned with constants
+//! swapped), range analysis re-evaluates only the downstream cones of
+//! the changed constants, and the NA model re-simulates impulse gains
+//! only for sources whose transfer path crosses a changed coefficient,
+//! cloning every other gain from the donor model.  Stage-build counters
+//! ([`Session::stats`]) make the reuse observable and testable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use sna_dfg::{Dfg, DfgError, LtiOptions, NodeId, Op, RangeOptions};
+use sna_fixp::WlConfig;
+use sna_interval::Interval;
+
+use crate::engine::{AnalysisReport, AnalysisRequest, WlChoice};
+use crate::{EngineKind, HistMemo, LtiEngine, NaModel, SnaError};
+
+/// How the node-range stage was computed (needed to patch it the same
+/// way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RangeMethod {
+    /// Interval fixpoint ([`Dfg::ranges_interval`]).
+    Interval,
+    /// LTI impulse-based ranges ([`Dfg::ranges_lti`]) — the fallback for
+    /// linear feedback whose interval iteration diverges.
+    Lti,
+}
+
+/// The node-range stage: per-node value intervals plus provenance.
+#[derive(Debug)]
+struct RangeStage {
+    ranges: Arc<Vec<Interval>>,
+    method: RangeMethod,
+}
+
+/// The per-sample stage of a sequential graph: the combinational view
+/// with delay-state inputs appended, plus their value ranges.
+#[derive(Debug)]
+pub struct PerSample {
+    /// The combinational view ([`Dfg::combinational_view`]).
+    pub view: Dfg,
+    /// Input ranges of the view: the original inputs followed by the
+    /// delay-state ranges from range analysis of the original graph.
+    pub ranges: Vec<Interval>,
+}
+
+/// Stage-build counters, shared across a session and every
+/// coefficient-swapped descendant (so tests can assert that a swap did
+/// *not* trigger full rebuilds).
+#[derive(Debug, Default)]
+struct Counters {
+    range_builds: AtomicU64,
+    range_patches: AtomicU64,
+    na_builds: AtomicU64,
+    na_patches: AtomicU64,
+    gains_rebuilt: AtomicU64,
+    gains_derived: AtomicU64,
+    gains_reused: AtomicU64,
+    view_builds: AtomicU64,
+    lti_builds: AtomicU64,
+}
+
+/// A snapshot of a session family's stage-build counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Full range analyses run.
+    pub range_builds: u64,
+    /// Cone-limited (or fallback) range re-evaluations from
+    /// [`Session::with_coefficients`].
+    pub range_patches: u64,
+    /// Full NA gain-model builds (one impulse analysis per source).
+    pub na_builds: u64,
+    /// Gain-model patches from [`Session::with_coefficients`].
+    pub na_patches: u64,
+    /// Impulse analyses re-simulated across all patches.
+    pub gains_rebuilt: u64,
+    /// Impulse responses derived from stored sequences by the consumer
+    /// recurrence (no simulation) across all patches.
+    pub gains_derived: u64,
+    /// Impulse analyses cloned from a donor model across all patches.
+    pub gains_reused: u64,
+    /// Per-sample combinational views built.
+    pub view_builds: u64,
+    /// LTI engines built (one per requested bin count).
+    pub lti_builds: u64,
+}
+
+/// Built LTI engines kept per session before the per-bins map is swept.
+const LTI_CACHE_CAP: usize = 8;
+
+/// One compiled program and its lazily built, shareable artifact chain
+/// (stage graph in the source module's header docs and in
+/// `crates/core/README.md`). All stages are `Arc`-shared and
+/// thread-safe: a server can hand one session to many worker threads,
+/// and an optimizer takes its model and memo from here instead of
+/// rebuilding them.
+#[derive(Debug)]
+pub struct Session {
+    dfg: Arc<Dfg>,
+    input_ranges: Arc<Vec<Interval>>,
+    counters: Arc<Counters>,
+    ranges: OnceLock<Result<RangeStage, SnaError>>,
+    na: OnceLock<Result<Arc<NaModel>, SnaError>>,
+    per_sample: OnceLock<Result<Arc<PerSample>, SnaError>>,
+    lti: Mutex<std::collections::HashMap<usize, Arc<LtiEngine>>>,
+    hist_memo: Arc<HistMemo>,
+}
+
+impl Session {
+    /// Opens a session over a compiled graph and its input ranges.
+    ///
+    /// Nothing is analyzed yet; stages build on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`SnaError::Dfg`] wrapping `WrongInputCount` when the range count
+    /// does not match the graph's inputs.
+    pub fn new(dfg: Dfg, input_ranges: Vec<Interval>) -> Result<Self, SnaError> {
+        if input_ranges.len() != dfg.n_inputs() {
+            return Err(SnaError::Dfg(DfgError::WrongInputCount {
+                expected: dfg.n_inputs(),
+                got: input_ranges.len(),
+            }));
+        }
+        Ok(Session {
+            dfg: Arc::new(dfg),
+            input_ranges: Arc::new(input_ranges),
+            counters: Arc::new(Counters::default()),
+            ranges: OnceLock::new(),
+            na: OnceLock::new(),
+            per_sample: OnceLock::new(),
+            lti: Mutex::new(std::collections::HashMap::new()),
+            hist_memo: Arc::new(HistMemo::new()),
+        })
+    }
+
+    /// The compiled graph.
+    #[must_use]
+    pub fn dfg(&self) -> &Dfg {
+        &self.dfg
+    }
+
+    /// The declared input ranges, in input order.
+    #[must_use]
+    pub fn input_ranges(&self) -> &[Interval] {
+        &self.input_ranges
+    }
+
+    /// The graph's coefficient vector: every `Const` value in
+    /// [`Dfg::const_nodes`] order — the argument shape
+    /// [`Session::with_coefficients`] expects back.
+    #[must_use]
+    pub fn coefficients(&self) -> Vec<f64> {
+        self.dfg.const_values()
+    }
+
+    /// The session-owned concurrent histogram memo, shared with every
+    /// evaluator derived from this session (see
+    /// [`HistMemo`]).
+    #[must_use]
+    pub fn hist_memo(&self) -> &Arc<HistMemo> {
+        &self.hist_memo
+    }
+
+    /// A snapshot of the stage-build counters of this session *family*
+    /// (counters are shared with coefficient-swapped descendants).
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        let c = &self.counters;
+        SessionStats {
+            range_builds: c.range_builds.load(Ordering::Relaxed),
+            range_patches: c.range_patches.load(Ordering::Relaxed),
+            na_builds: c.na_builds.load(Ordering::Relaxed),
+            na_patches: c.na_patches.load(Ordering::Relaxed),
+            gains_rebuilt: c.gains_rebuilt.load(Ordering::Relaxed),
+            gains_derived: c.gains_derived.load(Ordering::Relaxed),
+            gains_reused: c.gains_reused.load(Ordering::Relaxed),
+            view_builds: c.view_builds.load(Ordering::Relaxed),
+            lti_builds: c.lti_builds.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lazily built stages
+    // ------------------------------------------------------------------
+
+    fn ranges_stage(&self) -> Result<(Arc<Vec<Interval>>, RangeMethod), SnaError> {
+        let stage = self.ranges.get_or_init(|| {
+            self.counters.range_builds.fetch_add(1, Ordering::Relaxed);
+            match self
+                .dfg
+                .ranges_interval(&self.input_ranges, &RangeOptions::default())
+            {
+                Ok(r) => Ok(RangeStage {
+                    ranges: Arc::new(r),
+                    method: RangeMethod::Interval,
+                }),
+                Err(DfgError::RangeDivergence { .. }) if self.dfg.is_linear() => self
+                    .dfg
+                    .ranges_lti(&self.input_ranges, &LtiOptions::default())
+                    .map(|r| RangeStage {
+                        ranges: Arc::new(r),
+                        method: RangeMethod::Lti,
+                    })
+                    .map_err(SnaError::Dfg),
+                Err(e) => Err(SnaError::Dfg(e)),
+            }
+        });
+        match stage {
+            Ok(s) => Ok((Arc::clone(&s.ranges), s.method)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Per-node value ranges (the mirror of
+    /// [`Dfg::ranges_auto`] with the default options), built once and
+    /// shared.
+    ///
+    /// # Errors
+    ///
+    /// Range-analysis failures, cached: repeated calls fail fast.
+    pub fn node_ranges(&self) -> Result<Arc<Vec<Interval>>, SnaError> {
+        self.ranges_stage().map(|(r, _)| r)
+    }
+
+    /// The NA gain model, built once (per coefficient set) and shared.
+    ///
+    /// # Errors
+    ///
+    /// [`NaModel::build`]'s failures (nonlinear graphs, unstable
+    /// feedback), cached.
+    pub fn na_model(&self) -> Result<Arc<NaModel>, SnaError> {
+        self.na
+            .get_or_init(|| {
+                // Linearity first, so nonlinear graphs keep the
+                // `NonlinearNode` diagnostic even when their range
+                // analysis would also fail.
+                self.dfg.require_linear()?;
+                let (ranges, _) = self.ranges_stage()?;
+                self.counters.na_builds.fetch_add(1, Ordering::Relaxed);
+                NaModel::build_with_ranges(&self.dfg, &ranges, &LtiOptions::default()).map(Arc::new)
+            })
+            .clone()
+    }
+
+    /// Whether the NA gain model stage has been built (or failed) —
+    /// hit/miss accounting for callers that report model-level caching.
+    #[must_use]
+    pub fn na_model_built(&self) -> bool {
+        self.na.get().is_some()
+    }
+
+    /// The per-sample combinational view of a sequential graph (delays
+    /// become state inputs ranged by range analysis), built once and
+    /// shared. Combinational graphs get a cheap passthrough copy.
+    ///
+    /// # Errors
+    ///
+    /// Range-analysis failures.
+    pub fn per_sample(&self) -> Result<Arc<PerSample>, SnaError> {
+        self.per_sample
+            .get_or_init(|| {
+                let mut ranges = (*self.input_ranges).clone();
+                if !self.dfg.is_combinational() {
+                    let (node_ranges, _) = self.ranges_stage()?;
+                    ranges.extend(
+                        self.dfg
+                            .delay_nodes()
+                            .iter()
+                            .map(|d| node_ranges[d.index()]),
+                    );
+                }
+                self.counters.view_builds.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::new(PerSample {
+                    view: self.dfg.combinational_view(),
+                    ranges,
+                }))
+            })
+            .clone()
+    }
+
+    /// The per-sample view plus a word-length configuration for it — the
+    /// preamble shared by every combinational engine analyzing a
+    /// sequential graph. Only [`WlChoice::Uniform`] can be remapped onto
+    /// the derived graph (it has extra state-input nodes).
+    ///
+    /// # Errors
+    ///
+    /// [`SnaError::SequentialGraph`] for non-uniform word lengths;
+    /// range-analysis / format failures otherwise.
+    pub fn per_sample_config(
+        &self,
+        words: &WlChoice,
+    ) -> Result<(Arc<PerSample>, WlConfig), SnaError> {
+        let Some(bits) = words.uniform_bits() else {
+            return Err(SnaError::SequentialGraph);
+        };
+        let ps = self.per_sample()?;
+        let config = WlConfig::from_ranges(&ps.view, &ps.ranges, bits)?;
+        Ok((ps, config))
+    }
+
+    /// The LTI engine at a given histogram resolution, built from the
+    /// shared gain model and cached per `bins`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::na_model`].
+    pub fn lti_engine(&self, bins: usize) -> Result<Arc<LtiEngine>, SnaError> {
+        {
+            let cache = self.lti.lock().expect("lti cache lock");
+            if let Some(engine) = cache.get(&bins) {
+                return Ok(Arc::clone(engine));
+            }
+        }
+        let model = self.na_model()?;
+        let engine = Arc::new(LtiEngine::from_model(model, bins));
+        let mut cache = self.lti.lock().expect("lti cache lock");
+        if cache.len() >= LTI_CACHE_CAP {
+            cache.clear();
+        }
+        let entry = cache.entry(bins).or_insert_with(|| {
+            self.counters.lti_builds.fetch_add(1, Ordering::Relaxed);
+            engine
+        });
+        Ok(Arc::clone(entry))
+    }
+
+    /// A word-length configuration for this graph under `choice`,
+    /// built from the cached node ranges (bit-identical to
+    /// `WlConfig::from_ranges` on the same graph).
+    ///
+    /// # Errors
+    ///
+    /// Range-analysis and format-construction failures.
+    pub fn wl_config(&self, choice: &WlChoice) -> Result<WlConfig, SnaError> {
+        match choice {
+            WlChoice::Config(cfg) => Ok(cfg.clone()),
+            WlChoice::Uniform(w) => {
+                let ranges = self.node_ranges()?;
+                WlConfig::from_precomputed_ranges(&ranges, &vec![*w; self.dfg.len()])
+                    .map_err(SnaError::Fixp)
+            }
+            WlChoice::PerNode(w) => {
+                let ranges = self.node_ranges()?;
+                WlConfig::from_precomputed_ranges(&ranges, w).map_err(SnaError::Fixp)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Analysis dispatch
+    // ------------------------------------------------------------------
+
+    /// Resolves [`EngineKind::Auto`] against this graph's structure:
+    /// LTI for linear graphs (with or without feedback), histogram
+    /// propagation for nonlinear combinational graphs.
+    ///
+    /// # Errors
+    ///
+    /// [`SnaError::SequentialGraph`] for nonlinear sequential graphs,
+    /// which no engine handles.
+    pub fn resolve_engine(&self, kind: EngineKind) -> Result<EngineKind, SnaError> {
+        match kind {
+            EngineKind::Auto => {
+                if self.dfg.is_linear() {
+                    Ok(EngineKind::Lti)
+                } else if self.dfg.is_combinational() {
+                    Ok(EngineKind::Dfg)
+                } else {
+                    Err(SnaError::SequentialGraph)
+                }
+            }
+            concrete => Ok(concrete),
+        }
+    }
+
+    /// Runs one analysis request through the [`crate::engine::Engine`]
+    /// trait, resolving `Auto`, and wraps the result with provenance and
+    /// timing.
+    ///
+    /// # Errors
+    ///
+    /// The selected engine's failures.
+    pub fn analyze(&self, req: &AnalysisRequest) -> Result<AnalysisReport, SnaError> {
+        let started = Instant::now();
+        let kind = self.resolve_engine(req.engine)?;
+        let engine = kind.engine().expect("resolved kinds are concrete");
+        let mut reports = engine.run(self, req)?;
+        if !req.include_pdf {
+            for (_, report) in &mut reports {
+                report.histogram = None;
+            }
+        }
+        Ok(AnalysisReport {
+            engine: kind,
+            kind: engine.report_kind(),
+            reports,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Coefficient-level incremental recompilation
+    // ------------------------------------------------------------------
+
+    /// A new session for "the same shape with these constants", reusing
+    /// every artifact the swap cannot have invalidated.
+    ///
+    /// `coeffs` replaces the graph's `Const` values in
+    /// [`Dfg::const_nodes`] order (compare [`Session::coefficients`]).
+    /// Lowering never reruns — the graph skeleton is cloned with the
+    /// values patched in.  If the donor's range stage is built, ranges
+    /// are re-evaluated only inside the union downstream cone of the
+    /// changed constants; if the donor's NA model is built, impulse
+    /// gains are re-simulated only for sources whose transfer path
+    /// crosses a changed local coefficient (a multiplier/divider whose
+    /// constant-driven operand changed value) and cloned otherwise.
+    /// Histogram state (the memo, LTI shapes, the per-sample view) is
+    /// value-dependent and starts fresh.
+    ///
+    /// The returned session shares this session's stage counters, so
+    /// [`Session::stats`] observes what was skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`SnaError::WrongCoefficientCount`] for a mis-sized vector.
+    /// Patch failures (e.g. ranges diverging under the new constants)
+    /// are *not* errors here: the affected stage is left unbuilt and
+    /// reports its failure lazily, exactly like a cold session.
+    pub fn with_coefficients(&self, coeffs: &[f64]) -> Result<Session, SnaError> {
+        let const_nodes = self.dfg.const_nodes();
+        if coeffs.len() != const_nodes.len() {
+            return Err(SnaError::WrongCoefficientCount {
+                expected: const_nodes.len(),
+                got: coeffs.len(),
+            });
+        }
+        let old = self.dfg.const_values();
+        let changed: Vec<NodeId> = const_nodes
+            .iter()
+            .zip(old.iter().zip(coeffs))
+            .filter(|(_, (o, n))| o.to_bits() != n.to_bits())
+            .map(|(&id, _)| id)
+            .collect();
+        if changed.is_empty() {
+            // Identical coefficients: share everything, including built
+            // stages and the histogram memo.
+            return Ok(self.shallow_clone());
+        }
+        let dfg = Arc::new(
+            self.dfg
+                .with_const_values(coeffs)
+                .expect("slot count checked above"),
+        );
+        let session = Session {
+            dfg,
+            input_ranges: Arc::clone(&self.input_ranges),
+            counters: Arc::clone(&self.counters),
+            ranges: OnceLock::new(),
+            na: OnceLock::new(),
+            per_sample: OnceLock::new(),
+            lti: Mutex::new(std::collections::HashMap::new()),
+            hist_memo: Arc::new(HistMemo::new()),
+        };
+
+        // Patch the range stage off the donor's, when it exists.
+        if let Some(Ok(base)) = self.ranges.get() {
+            if let Some(stage) = session.patched_ranges(base, &changed) {
+                self.counters.range_patches.fetch_add(1, Ordering::Relaxed);
+                let _ = session.ranges.set(Ok(stage));
+            }
+        }
+
+        // Patch the gain model off the donor's, when both it and the new
+        // range stage exist.
+        if let Some(Ok(donor)) = self.na.get() {
+            if let Some(Ok(stage)) = session.ranges.get() {
+                let dirty = dirty_gain_sources(&session.dfg, &changed);
+                if let Ok((model, patch)) =
+                    donor.patched(&session.dfg, &stage.ranges, &LtiOptions::default(), &dirty)
+                {
+                    self.counters.na_patches.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .gains_rebuilt
+                        .fetch_add(patch.rebuilt as u64, Ordering::Relaxed);
+                    self.counters
+                        .gains_derived
+                        .fetch_add(patch.derived as u64, Ordering::Relaxed);
+                    self.counters
+                        .gains_reused
+                        .fetch_add(patch.reused as u64, Ordering::Relaxed);
+                    let _ = session.na.set(Ok(Arc::new(model)));
+                }
+            }
+        }
+        Ok(session)
+    }
+
+    /// Re-evaluates the donor's range stage under this session's
+    /// constants, mirroring how the donor computed it. `None` means the
+    /// patch failed; the stage stays unbuilt and rebuilds (and
+    /// re-reports its failure) lazily.
+    fn patched_ranges(&self, base: &RangeStage, changed: &[NodeId]) -> Option<RangeStage> {
+        match base.method {
+            RangeMethod::Interval => match self.dfg.ranges_interval_patched(
+                &self.input_ranges,
+                &RangeOptions::default(),
+                &base.ranges,
+                changed,
+            ) {
+                Ok(r) => Some(RangeStage {
+                    ranges: Arc::new(r),
+                    method: RangeMethod::Interval,
+                }),
+                // The swap may push a stable loop over the interval
+                // engine's divergence edge; mirror `ranges_auto`'s LTI
+                // fallback.
+                Err(DfgError::RangeDivergence { .. }) if self.dfg.is_linear() => self
+                    .dfg
+                    .ranges_lti(&self.input_ranges, &LtiOptions::default())
+                    .ok()
+                    .map(|r| RangeStage {
+                        ranges: Arc::new(r),
+                        method: RangeMethod::Lti,
+                    }),
+                Err(_) => None,
+            },
+            // Impulse-based ranges are global in the coefficients; the
+            // patch is a full (cheap relative to gains) re-run.
+            RangeMethod::Lti => self
+                .dfg
+                .ranges_lti(&self.input_ranges, &LtiOptions::default())
+                .ok()
+                .map(|r| RangeStage {
+                    ranges: Arc::new(r),
+                    method: RangeMethod::Lti,
+                }),
+        }
+    }
+
+    /// A new handle onto the same compiled state (all stages shared).
+    fn shallow_clone(&self) -> Session {
+        let clone = Session {
+            dfg: Arc::clone(&self.dfg),
+            input_ranges: Arc::clone(&self.input_ranges),
+            counters: Arc::clone(&self.counters),
+            ranges: OnceLock::new(),
+            na: OnceLock::new(),
+            per_sample: OnceLock::new(),
+            lti: Mutex::new(self.lti.lock().expect("lti cache lock").clone()),
+            hist_memo: Arc::clone(&self.hist_memo),
+        };
+        if let Some(stage) = self.ranges.get() {
+            let copied = match stage {
+                Ok(s) => Ok(RangeStage {
+                    ranges: Arc::clone(&s.ranges),
+                    method: s.method,
+                }),
+                Err(e) => Err(e.clone()),
+            };
+            let _ = clone.ranges.set(copied);
+        }
+        if let Some(model) = self.na.get() {
+            let _ = clone.na.set(model.clone());
+        }
+        if let Some(ps) = self.per_sample.get() {
+            let _ = clone.per_sample.set(ps.clone());
+        }
+        clone
+    }
+}
+
+/// The sources whose impulse gains a coefficient swap can change: a
+/// source is dirty iff some path from it to an output crosses a
+/// multiplier/divider whose *constant-driven* operand changed value.
+///
+/// Sound over-approximation: `carriers` = constant-driven nodes inside
+/// the downstream cone of the changed constants (their zero-input values
+/// shifted); `sites` = `Mul`/`Div` nodes with a carrier operand (their
+/// local linear coefficient changed); dirty = everything strictly
+/// upstream of a site (the injection must *enter* the site — injections
+/// at or below a site's output never see its coefficient).
+fn dirty_gain_sources(dfg: &Dfg, changed: &[NodeId]) -> Vec<bool> {
+    let dep = dfg.signal_dependent_mask();
+    let down = dfg.downstream_mask(changed);
+    let sites: Vec<NodeId> = dfg
+        .nodes()
+        .filter(|(_, node)| matches!(node.op(), Op::Mul | Op::Div))
+        .filter(|(_, node)| {
+            node.args()
+                .iter()
+                .any(|a| down[a.index()] && !dep[a.index()])
+        })
+        .map(|(id, _)| id)
+        .collect();
+    dfg.upstream_of(&sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReportKind;
+    use sna_dfg::DfgBuilder;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    /// A 3-tap symmetric FIR (deduped end coefficients).
+    fn fir3() -> (Dfg, Vec<Interval>) {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let x1 = b.delay(x);
+        let x2 = b.delay(x1);
+        let c_end = b.constant(0.25);
+        let c_mid = b.constant(0.5);
+        let t0 = b.mul(c_end, x);
+        let t1 = b.mul(c_mid, x1);
+        let t2 = b.mul(c_end, x2);
+        let s = b.add(t0, t1);
+        let y = b.add(s, t2);
+        b.output("y", y);
+        (b.build().unwrap(), vec![iv(-1.0, 1.0)])
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<HistMemo>();
+    }
+
+    #[test]
+    fn stages_build_once_and_share() {
+        let (g, r) = fir3();
+        let s = Session::new(g, r).unwrap();
+        assert_eq!(s.stats(), SessionStats::default());
+        let r1 = s.node_ranges().unwrap();
+        let r2 = s.node_ranges().unwrap();
+        assert!(Arc::ptr_eq(&r1, &r2));
+        let m1 = s.na_model().unwrap();
+        let m2 = s.na_model().unwrap();
+        assert!(Arc::ptr_eq(&m1, &m2));
+        let e1 = s.lti_engine(64).unwrap();
+        let e2 = s.lti_engine(64).unwrap();
+        assert!(Arc::ptr_eq(&e1, &e2));
+        let stats = s.stats();
+        assert_eq!(stats.range_builds, 1);
+        assert_eq!(stats.na_builds, 1);
+        assert_eq!(stats.lti_builds, 1);
+    }
+
+    #[test]
+    fn session_analysis_matches_direct_engine_calls() {
+        let (g, r) = fir3();
+        let s = Session::new(g.clone(), r.clone()).unwrap();
+        let req = AnalysisRequest {
+            engine: EngineKind::Na,
+            words: WlChoice::Uniform(10),
+            bins: 64,
+            include_pdf: true,
+        };
+        let via_session = s.analyze(&req).unwrap();
+        assert_eq!(via_session.engine, EngineKind::Na);
+        assert_eq!(via_session.kind, ReportKind::QuantizationNoise);
+        let model = NaModel::build(&g, &r, &LtiOptions::default()).unwrap();
+        let cfg = WlConfig::from_ranges(&g, &r, 10).unwrap();
+        let direct = model.evaluate(&g, &cfg);
+        assert_eq!(via_session.reports.len(), direct.len());
+        for ((n1, a), (n2, b)) in via_session.reports.iter().zip(&direct) {
+            assert_eq!(n1, n2);
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(a.variance.to_bits(), b.variance.to_bits());
+        }
+    }
+
+    #[test]
+    fn include_pdf_false_strips_histograms() {
+        let (g, r) = fir3();
+        let s = Session::new(g, r).unwrap();
+        let mut req = AnalysisRequest {
+            engine: EngineKind::Lti,
+            words: WlChoice::Uniform(10),
+            bins: 32,
+            include_pdf: true,
+        };
+        let with = s.analyze(&req).unwrap();
+        assert!(with.reports[0].1.histogram.is_some());
+        req.include_pdf = false;
+        let without = s.analyze(&req).unwrap();
+        assert!(without.reports[0].1.histogram.is_none());
+        // Moments are unaffected.
+        assert_eq!(
+            with.reports[0].1.variance.to_bits(),
+            without.reports[0].1.variance.to_bits()
+        );
+    }
+
+    #[test]
+    fn auto_resolves_by_structure() {
+        let (g, r) = fir3();
+        let s = Session::new(g, r).unwrap();
+        assert_eq!(s.resolve_engine(EngineKind::Auto).unwrap(), EngineKind::Lti);
+        assert_eq!(s.resolve_engine(EngineKind::Dfg).unwrap(), EngineKind::Dfg);
+
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.mul(x, x);
+        b.output("y", y);
+        let s = Session::new(b.build().unwrap(), vec![iv(-1.0, 1.0)]).unwrap();
+        assert_eq!(s.resolve_engine(EngineKind::Auto).unwrap(), EngineKind::Dfg);
+    }
+
+    #[test]
+    fn with_coefficients_skips_lowering_and_full_range_reanalysis() {
+        let (g, r) = fir3();
+        let s = Session::new(g, r).unwrap();
+        // Build the chain cold.
+        s.na_model().unwrap();
+        let before = s.stats();
+        assert_eq!(
+            (before.range_builds, before.na_builds, before.range_patches),
+            (1, 1, 0)
+        );
+
+        // Swap one coefficient (the middle tap).
+        let mut coeffs = s.coefficients();
+        assert_eq!(coeffs, vec![0.25, 0.5]);
+        coeffs[1] = 0.4;
+        let swapped = s.with_coefficients(&coeffs).unwrap();
+        assert_eq!(swapped.coefficients(), vec![0.25, 0.4]);
+
+        let after = swapped.stats();
+        // No new full builds: lowering is structurally impossible to
+        // re-run here, and range analysis + the gain model were patched.
+        assert_eq!(after.range_builds, 1, "{after:?}");
+        assert_eq!(after.na_builds, 1, "{after:?}");
+        assert_eq!(after.range_patches, 1, "{after:?}");
+        assert_eq!(after.na_patches, 1, "{after:?}");
+        assert!(after.gains_reused > 0, "{after:?}");
+        // The delay-chain sources upstream of the retuned tap are
+        // derived by the consumer recurrence, not re-simulated.
+        assert!(after.gains_derived > 0, "{after:?}");
+        assert!(
+            after.gains_rebuilt <= 1,
+            "only the changed constant itself may need a forward sim: {after:?}"
+        );
+        // The stages really are present without further building.
+        assert!(swapped.ranges.get().is_some());
+        assert!(swapped.na.get().is_some());
+    }
+
+    #[test]
+    fn coefficient_swap_matches_a_cold_session() {
+        let (g, r) = fir3();
+        let s = Session::new(g.clone(), r.clone()).unwrap();
+        s.na_model().unwrap();
+        let mut coeffs = s.coefficients();
+        coeffs[0] = 0.3;
+        coeffs[1] = 0.45;
+        let swapped = s.with_coefficients(&coeffs).unwrap();
+
+        let cold = Session::new(g.with_const_values(&coeffs).unwrap(), r).unwrap();
+        let req = AnalysisRequest {
+            engine: EngineKind::Na,
+            words: WlChoice::Uniform(12),
+            bins: 64,
+            include_pdf: true,
+        };
+        let a = swapped.analyze(&req).unwrap();
+        let b = cold.analyze(&req).unwrap();
+        for ((n1, ra), (n2, rb)) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(n1, n2);
+            let tol = 1e-12 * rb.variance.abs().max(1e-300);
+            assert!(
+                (ra.variance - rb.variance).abs() <= tol,
+                "variance {} vs {}",
+                ra.variance,
+                rb.variance
+            );
+            assert!((ra.mean - rb.mean).abs() <= 1e-12 * rb.mean.abs().max(1e-30));
+        }
+    }
+
+    #[test]
+    fn identical_coefficients_share_everything() {
+        let (g, r) = fir3();
+        let s = Session::new(g, r).unwrap();
+        s.na_model().unwrap();
+        let same = s.with_coefficients(&s.coefficients()).unwrap();
+        assert!(Arc::ptr_eq(&s.dfg, &same.dfg));
+        assert!(Arc::ptr_eq(s.hist_memo(), same.hist_memo()));
+        let (m1, m2) = (s.na_model().unwrap(), same.na_model().unwrap());
+        assert!(Arc::ptr_eq(&m1, &m2));
+        assert_eq!(s.stats().na_builds, 1);
+    }
+
+    #[test]
+    fn wrong_coefficient_count_is_reported() {
+        let (g, r) = fir3();
+        let s = Session::new(g, r).unwrap();
+        assert!(matches!(
+            s.with_coefficients(&[0.1]),
+            Err(SnaError::WrongCoefficientCount {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn dirty_sources_exclude_paths_below_the_changed_coefficient() {
+        let (g, _) = fir3();
+        // Change the middle-tap constant (node order: x=0, x1=1, x2=2,
+        // c_end=3, c_mid=4, t0=5, t1=6, t2=7, s=8, y=9).
+        let dirty = dirty_gain_sources(&g, &[NodeId::from_index(4)]);
+        // Upstream of the t1 multiplier: x, x1, and c_mid itself.
+        assert!(dirty[0] && dirty[1] && dirty[4]);
+        // The adder chain and the other taps' multipliers inject below
+        // the changed coefficient: clean.
+        assert!(!dirty[5] && !dirty[6] && !dirty[7] && !dirty[8] && !dirty[9]);
+        // The untouched end coefficient is clean too.
+        assert!(!dirty[3]);
+    }
+
+    #[test]
+    fn additive_constant_swaps_invalidate_no_gains() {
+        // y = 0.5·x + c: changing c shifts values but no transfer path
+        // coefficient, so every gain is reusable.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let t = b.mul_const(0.5, x);
+        let c = b.constant(0.25);
+        let y = b.add(t, c);
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let s = Session::new(g, vec![iv(-1.0, 1.0)]).unwrap();
+        s.na_model().unwrap();
+        let mut coeffs = s.coefficients();
+        // coefficients in id order: [0.5 (mul), 0.25 (additive)].
+        coeffs[1] = 0.3;
+        let swapped = s.with_coefficients(&coeffs).unwrap();
+        let stats = swapped.stats();
+        assert_eq!(stats.gains_rebuilt, 0, "{stats:?}");
+        assert!(stats.gains_reused > 0, "{stats:?}");
+        // And the reports still track the new constant exactly.
+        let req = AnalysisRequest {
+            engine: EngineKind::Na,
+            words: WlChoice::Uniform(6),
+            bins: 32,
+            include_pdf: true,
+        };
+        let a = swapped.analyze(&req).unwrap();
+        let cold = Session::new(swapped.dfg().clone(), swapped.input_ranges().to_vec()).unwrap();
+        let b = cold.analyze(&req).unwrap();
+        assert_eq!(a.reports[0].1.mean.to_bits(), b.reports[0].1.mean.to_bits());
+    }
+}

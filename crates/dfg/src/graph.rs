@@ -290,9 +290,29 @@ impl Dfg {
     /// Cost is `O(#nodes + #edges)` per call; callers that need many cones
     /// should cache the results.
     pub fn downstream_cone(&self, id: NodeId) -> Vec<NodeId> {
+        let reachable = self.downstream_mask(&[id]);
+        let mut cone: Vec<NodeId> = self
+            .topo
+            .iter()
+            .copied()
+            .filter(|t| reachable[t.0])
+            .collect();
+        cone.extend(self.delays.iter().copied().filter(|d| reachable[d.0]));
+        cone
+    }
+
+    /// The union downstream cone of several roots, as a per-node mask —
+    /// the region a multi-node change (e.g. a coefficient swap touching
+    /// several constants) must re-analyze.
+    ///
+    /// Follows the same edges as [`Dfg::downstream_cone`], including the
+    /// sequential edge into a delay.
+    pub fn downstream_mask(&self, roots: &[NodeId]) -> Vec<bool> {
         let n = self.nodes.len();
         let mut reachable = vec![false; n];
-        reachable[id.0] = true;
+        for r in roots {
+            reachable[r.0] = true;
+        }
         // Id order is not an evaluation order (a delay's argument may have
         // a larger id), so sweep to a fixpoint; combinational edges
         // resolve in one forward pass and each extra pass crosses at
@@ -312,14 +332,138 @@ impl Dfg {
                 break;
             }
         }
-        let mut cone: Vec<NodeId> = self
-            .topo
+        reachable
+    }
+
+    /// The upstream closure of `targets`: every node from which some
+    /// target is reachable through at least one edge (delay edges
+    /// included).  The targets themselves are *not* marked unless they
+    /// feed another target — this is "who can influence a target's
+    /// operands", the invalidation set for gain reuse when a local
+    /// coefficient at a target changes.
+    pub fn upstream_of(&self, targets: &[NodeId]) -> Vec<bool> {
+        let n = self.nodes.len();
+        let mut is_target = vec![false; n];
+        for t in targets {
+            is_target[t.0] = true;
+        }
+        let mut reaches = vec![false; n];
+        // reaches[i] ⇔ some consumer j of i has reaches[j] or is a target.
+        loop {
+            let mut changed = false;
+            for (j, node) in self.nodes.iter().enumerate() {
+                if !(reaches[j] || is_target[j]) {
+                    continue;
+                }
+                for a in &node.args {
+                    if !reaches[a.0] {
+                        reaches[a.0] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        reaches
+    }
+
+    /// The ids of every `Const` node, in id order — the coefficient slots
+    /// of [`Dfg::with_const_values`].
+    pub fn const_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| matches!(n.op(), Op::Const(_)))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The current constant values, in [`Dfg::const_nodes`] order — the
+    /// graph's coefficient vector.
+    pub fn const_values(&self) -> Vec<f64> {
+        self.nodes
             .iter()
-            .copied()
-            .filter(|t| reachable[t.0])
-            .collect();
-        cone.extend(self.delays.iter().copied().filter(|d| reachable[d.0]));
-        cone
+            .filter_map(|n| match n.op {
+                Op::Const(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A copy of the graph with every `Const` value replaced, in
+    /// [`Dfg::const_nodes`] order — the "same shape, new coefficients"
+    /// skeleton reuse behind incremental recompilation.  Everything
+    /// structural (node ids, arguments, names, topological order, delay
+    /// inventory, outputs) is preserved verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`DfgError::WrongInputCount`] when `values.len()` differs from the
+    /// number of constant nodes (reusing the counting error shape: the
+    /// expected/got pair names the constant slots).
+    pub fn with_const_values(&self, values: &[f64]) -> Result<Dfg, DfgError> {
+        let n_consts = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Const(_)))
+            .count();
+        if values.len() != n_consts {
+            return Err(DfgError::WrongInputCount {
+                expected: n_consts,
+                got: values.len(),
+            });
+        }
+        let mut patched = self.clone();
+        let mut next = values.iter();
+        for node in &mut patched.nodes {
+            if matches!(node.op, Op::Const(_)) {
+                node.op = Op::Const(*next.next().expect("counted above"));
+            }
+        }
+        Ok(patched)
+    }
+
+    /// A canonical text rendering of the graph's *shape*: every node's
+    /// operation (with `Const` **values masked out**), arguments and
+    /// name, plus the declared outputs.  Two graphs share a signature
+    /// exactly when one is [`Dfg::with_const_values`] of the other — the
+    /// key of coefficient-level skeleton caches.
+    ///
+    /// Input ranges are not part of the graph and must be appended by
+    /// the caller when they matter for the cached artifact.
+    #[must_use]
+    pub fn shape_signature(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(self.nodes.len() * 16);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let _ = write!(out, "n{i} ");
+            match node.op {
+                Op::Input(k) => {
+                    let _ = write!(out, "in{k}");
+                }
+                Op::Const(_) => out.push_str("const#"), // value masked
+                _ => out.push_str(node.op.mnemonic()),
+            }
+            for a in &node.args {
+                let _ = write!(out, " n{}", a.0);
+            }
+            if let Some(name) = &node.name {
+                let _ = write!(out, " \"{name}\"");
+            }
+            out.push('\n');
+        }
+        for (name, id) in &self.outputs {
+            let _ = writeln!(out, "out \"{name}\" n{}", id.0);
+        }
+        out
+    }
+
+    /// Per-node signal dependence: `true` for nodes whose value depends
+    /// (transitively, through combinational edges or delays) on some
+    /// input.  The complement — constant-driven nodes — is exactly the
+    /// set whose values shift when only coefficients change.
+    pub fn signal_dependent_mask(&self) -> Vec<bool> {
+        crate::range::signal_dependent(self)
     }
 
     /// Validates that `id` belongs to this graph.
@@ -529,6 +673,59 @@ mod tests {
         assert!(cone.len() >= 4, "cone {cone:?}");
         assert!(cone.contains(&fb));
         assert!(cone.contains(&y));
+    }
+
+    #[test]
+    fn const_values_round_trip_through_with_const_values() {
+        let g = fir2();
+        assert_eq!(g.const_values(), vec![0.5]);
+        assert_eq!(g.const_nodes().len(), 1);
+        let patched = g.with_const_values(&[0.25]).unwrap();
+        assert_eq!(patched.const_values(), vec![0.25]);
+        // Structure is untouched: same ids, args, topo order, outputs.
+        assert_eq!(patched.len(), g.len());
+        assert_eq!(patched.topo_order(), g.topo_order());
+        assert_eq!(patched.delay_nodes(), g.delay_nodes());
+        assert_eq!(patched.outputs(), g.outputs());
+        // And the new coefficient is live.
+        let mut sim = crate::Simulator::new(&patched);
+        assert_eq!(sim.step(&[1.0]).unwrap(), vec![1.0]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.25]);
+        // Wrong slot count is rejected.
+        assert!(matches!(
+            g.with_const_values(&[0.1, 0.2]),
+            Err(DfgError::WrongInputCount { .. })
+        ));
+    }
+
+    #[test]
+    fn downstream_mask_unions_roots() {
+        let g = fir2();
+        // Roots {c=2, x=0}: everything but nothing extra beyond the two
+        // single-root cones.
+        let mask = g.downstream_mask(&[NodeId(2), NodeId(0)]);
+        let expect: Vec<usize> = vec![0, 1, 2, 3, 4];
+        let got: Vec<usize> = (0..g.len()).filter(|&i| mask[i]).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn upstream_of_marks_strict_influencers() {
+        let g = fir2();
+        // Node ids: x=0, xd=1 (delay), c=2, t=3 (mul), y=4 (add).
+        let up = g.upstream_of(&[NodeId(3)]);
+        // x (via the delay), the delay, and the constant can influence the
+        // mul's operands; the mul itself and the add cannot.
+        assert!(up[0] && up[1] && up[2]);
+        assert!(!up[3] && !up[4]);
+    }
+
+    #[test]
+    fn signal_dependent_mask_separates_constant_driven_nodes() {
+        let g = fir2();
+        let dep = g.signal_dependent_mask();
+        assert!(dep[0] && dep[1] && dep[3] && dep[4]);
+        assert!(!dep[2], "the constant is not signal dependent");
     }
 
     #[test]

@@ -94,6 +94,30 @@ impl Dfg {
         source: NodeId,
         opts: &LtiOptions,
     ) -> Result<ImpulseGains, DfgError> {
+        // One simulation core ([`Dfg::impulse_response`]) serves both
+        // entry points, so the aggregates cannot drift apart.
+        self.impulse_response(source, opts).map(|(g, _)| g)
+    }
+
+    /// Like [`Dfg::impulse_gains`], but also returns the raw per-output
+    /// impulse-response *sequences* `h[k]` (one `Vec<f64>` per declared
+    /// output, step-major truncated at the decay point).  The aggregate
+    /// gains are accumulated by the identical code path, so they are
+    /// bit-identical to [`Dfg::impulse_gains`]'s.
+    ///
+    /// Callers that keep the sequences (e.g. a gain model supporting
+    /// incremental coefficient updates) can recombine them without
+    /// re-simulating.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dfg::impulse_gains`].
+    #[allow(clippy::type_complexity)]
+    pub fn impulse_response(
+        &self,
+        source: NodeId,
+        opts: &LtiOptions,
+    ) -> Result<(ImpulseGains, Vec<Vec<f64>>), DfgError> {
         self.require_linear()?;
         self.check_node(source)?;
         let zeros = vec![0.0; self.n_inputs()];
@@ -105,6 +129,7 @@ impl Dfg {
         sim.inject(source, 1.0)?;
         let n_out = self.outputs().len();
         let mut gains = vec![OutputGain::default(); n_out];
+        let mut seqs: Vec<Vec<f64>> = vec![Vec::new(); n_out];
         let mut quiet = 0usize;
         for step in 0..opts.max_steps {
             let out = sim.step(&zeros)?;
@@ -115,26 +140,32 @@ impl Dfg {
                 g.l1 += h.abs();
                 g.l2_squared += h * h;
                 g.dc += h;
+                seqs[k].push(h);
                 increment += h.abs();
             }
             let scale: f64 = gains.iter().map(|g| g.l1).sum::<f64>().max(1e-300);
             if increment / scale < opts.tolerance {
                 quiet += 1;
                 if quiet >= opts.settle_steps {
-                    return Ok(ImpulseGains {
-                        source,
-                        per_output: gains,
-                    });
+                    return Ok((
+                        ImpulseGains {
+                            source,
+                            per_output: gains,
+                        },
+                        seqs,
+                    ));
                 }
             } else {
                 quiet = 0;
             }
-            // Early exit for combinational graphs: one step says it all.
             if self.is_combinational() && step == 0 {
-                return Ok(ImpulseGains {
-                    source,
-                    per_output: gains,
-                });
+                return Ok((
+                    ImpulseGains {
+                        source,
+                        per_output: gains,
+                    },
+                    seqs,
+                ));
             }
         }
         Err(DfgError::UnstableImpulse {

@@ -107,6 +107,19 @@ pub enum Stmt {
         /// The defining expression.
         expr: Expr,
     },
+    /// `let name = number;` — a *named constant binding*.  Semantically a
+    /// plain binding to a literal, but syntactically marked: the one
+    /// obvious mutation site of a coefficient-swept design (see
+    /// `Session::with_coefficients` in `sna-core`).  Lowers to the same
+    /// deduped `Const` node a bare literal would.
+    ConstLet {
+        /// The bound name.
+        name: Ident,
+        /// The constant value (sign folded in at parse time).
+        value: f64,
+        /// Source range of the value literal.
+        value_span: Span,
+    },
     /// `output name;` or `output name = expr;` — declares an output. The
     /// second form also binds `name` like a `let`.
     Output {
@@ -205,6 +218,11 @@ impl fmt::Display for Stmt {
                 None => write!(f, "input {};", name.name),
             },
             Stmt::Let { name, expr } => write!(f, "{} = {expr};", name.name),
+            Stmt::ConstLet { name, value, .. } => {
+                write!(f, "let {} = ", name.name)?;
+                fmt_number(*value, f)?;
+                f.write_str(";")
+            }
             Stmt::Output { name, expr } => match expr {
                 Some(e) => write!(f, "output {} = {e};", name.name),
                 None => write!(f, "output {};", name.name),

@@ -23,8 +23,9 @@
 //!
 //! ```text
 //! program  := stmt*
-//! stmt     := input | binding | output
+//! stmt     := input | constlet | binding | output
 //! input    := "input" IDENT ("in" "[" signed "," signed "]")? ";"
+//! constlet := "let" IDENT "=" signed ";"
 //! binding  := IDENT "=" expr ";"
 //! output   := "output" IDENT ("=" expr)? ";"
 //!
@@ -38,8 +39,14 @@
 //! IDENT    := [A-Za-z_][A-Za-z0-9_]*            // except keywords
 //! ```
 //!
-//! Comments run from `#` or `//` to end of line. The four keywords are
-//! `input`, `output`, `in` and `delay`.
+//! Comments run from `#` or `//` to end of line. The five keywords are
+//! `input`, `output`, `in`, `delay` and `let`.
+//!
+//! `let k = 0.70710678;` is a *named constant binding*: semantically the
+//! same as `k = 0.70710678;` (it lowers to the shared, deduped `Const`
+//! node), but it marks the one obvious mutation site of a
+//! coefficient-swept design — the values `Session::with_coefficients`
+//! swaps without recompiling.
 //!
 //! # Semantics
 //!

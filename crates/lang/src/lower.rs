@@ -8,13 +8,49 @@ use crate::{Diagnostic, Span};
 
 /// The product of lowering: a validated graph plus per-input ranges, in
 /// input-declaration order — exactly the pair every analysis entry point
-/// (`SnaAnalysis`, `Optimizer`, `synthesize`, `monte_carlo_error`) takes.
+/// (`Session`, `SnaAnalysis`, `Optimizer`, `synthesize`,
+/// `monte_carlo_error`) takes.
 #[derive(Clone, Debug)]
 pub struct Lowered {
     /// The validated dataflow graph.
     pub dfg: Dfg,
     /// Value range of each input, in input order (defaults to `[-1, 1]`).
     pub input_ranges: Vec<Interval>,
+}
+
+impl Lowered {
+    /// The full-text *shape key* of the compiled program: the graph's
+    /// canonical shape rendering with every `Const` **value masked out**
+    /// ([`Dfg::shape_signature`]) plus the declared input ranges.
+    ///
+    /// Two programs share a shape key exactly when they lower to graphs
+    /// that differ only in constant values — the precondition for
+    /// mapping one onto the other's cached skeleton via
+    /// `Session::with_coefficients` instead of recompiling.  (Constant
+    /// *dedup* is value-keyed, so programs that merge literals
+    /// differently get different keys — the alias is sound by
+    /// construction.)
+    #[must_use]
+    pub fn shape_key(&self) -> String {
+        use std::fmt::Write;
+        let mut key = self.dfg.shape_signature();
+        for r in &self.input_ranges {
+            let _ = writeln!(
+                key,
+                "range {:016x} {:016x}",
+                r.lo().to_bits(),
+                r.hi().to_bits()
+            );
+        }
+        key
+    }
+
+    /// FNV-1a hash of [`Lowered::shape_key`] — the coefficient-normalized
+    /// fingerprint tier of the compile cache.
+    #[must_use]
+    pub fn shape_fingerprint(&self) -> u64 {
+        crate::fnv1a_64(self.shape_key().as_bytes())
+    }
 }
 
 /// Lowers a parsed program onto [`DfgBuilder`].
@@ -156,6 +192,17 @@ impl Lowering {
                 // the shared node).
                 let fresh = !self.reuses_node(expr);
                 let node = self.expr(expr);
+                if fresh {
+                    let _ = self.builder.name(node, name.name.clone());
+                }
+                self.define(name, node);
+            }
+            Stmt::ConstLet { name, value, .. } => {
+                // Same dedup as a bare literal: the first binding of a
+                // value creates (and names) the shared `Const` node,
+                // later re-binds must not rename it.
+                let fresh = !self.consts.contains_key(&value.to_bits());
+                let node = self.const_node(*value);
                 if fresh {
                     let _ = self.builder.name(node, name.name.clone());
                 }
@@ -441,6 +488,77 @@ mod tests {
         let c = l.dfg.op_counts();
         assert_eq!(c.consts, 1);
         assert_eq!(l.dfg.evaluate(&[2.0]).unwrap(), vec![7.5]);
+    }
+
+    #[test]
+    fn let_bindings_lower_to_named_deduped_consts() {
+        let l = compile_ok(
+            "input x;\n\
+             let k = 0.65328125;\n\
+             y = k*x + 0.65328125;\n\
+             output y;\n",
+        );
+        let c = l.dfg.op_counts();
+        assert_eq!(c.consts, 1, "the let and the literal share one node");
+        let (id, node) = l
+            .dfg
+            .nodes()
+            .find(|(_, n)| matches!(n.op(), Op::Const(_)))
+            .unwrap();
+        assert_eq!(node.name(), Some("k"), "the let names the shared node");
+        assert!(matches!(l.dfg.node(id).op(), Op::Const(v) if v == 0.65328125));
+        let y = 0.65328125 * 2.0 + 0.65328125;
+        assert_eq!(l.dfg.evaluate(&[2.0]).unwrap(), vec![y]);
+    }
+
+    #[test]
+    fn let_accepts_negative_literals_and_rejects_expressions() {
+        let l = compile_ok("input x;\nlet g = -0.5;\noutput y = g*x;\n");
+        assert_eq!(l.dfg.evaluate(&[2.0]).unwrap(), vec![-1.0]);
+        let errs = crate::parse("let k = 1 + 2;").unwrap_err();
+        assert!(errs[0].message.contains("named constant"), "{:?}", errs[0]);
+        let errs = crate::parse("let k = x;").unwrap_err();
+        assert!(errs[0].message.contains("named constant"), "{:?}", errs[0]);
+    }
+
+    #[test]
+    fn let_re_binding_an_existing_literal_does_not_rename_it() {
+        let l = compile_ok(
+            "input x;\n\
+             a = 2.5*x;\n\
+             let k = 2.5;\n\
+             y = a + k;\n\
+             output y;\n",
+        );
+        assert_eq!(l.dfg.op_counts().consts, 1);
+        assert_eq!(l.dfg.evaluate(&[2.0]).unwrap(), vec![7.5]);
+    }
+
+    #[test]
+    fn let_canonical_form_round_trips() {
+        let src = "input x;\nlet k = -0.25;\ny = k * x;\noutput y;\n";
+        let program = crate::parse(src).unwrap();
+        let canon = program.to_string();
+        assert!(canon.contains("let k = -0.25;"), "{canon}");
+        let reparsed = crate::parse(&canon).unwrap();
+        assert_eq!(reparsed.to_string(), canon);
+    }
+
+    #[test]
+    fn shape_fingerprints_mask_constants_only() {
+        let base = compile_ok("input x;\nlet k = 0.25;\noutput y = k*x;\n");
+        let swapped = compile_ok("input x;\nlet k = 0.75;\noutput y = k*x;\n");
+        let reshaped = compile_ok("input x;\nlet k = 0.25;\noutput y = k*x + x;\n");
+        let renamed = compile_ok("input x;\nlet q = 0.25;\noutput y = q*x;\n");
+        let reranged = compile_ok("input x in [-2, 2];\nlet k = 0.25;\noutput y = k*x;\n");
+        assert_eq!(base.shape_fingerprint(), swapped.shape_fingerprint());
+        assert_eq!(base.shape_key(), swapped.shape_key());
+        assert_ne!(base.shape_fingerprint(), reshaped.shape_fingerprint());
+        assert_ne!(base.shape_fingerprint(), renamed.shape_fingerprint());
+        assert_ne!(base.shape_fingerprint(), reranged.shape_fingerprint());
+        // The coefficient vectors map slot for slot.
+        assert_eq!(base.dfg.const_values(), vec![0.25]);
+        assert_eq!(swapped.dfg.const_values(), vec![0.75]);
     }
 
     #[test]

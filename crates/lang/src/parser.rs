@@ -128,11 +128,13 @@ impl Parser {
         match self.peek().kind {
             TokenKind::KwInput => self.input_stmt(),
             TokenKind::KwOutput => self.output_stmt(),
+            TokenKind::KwLet => self.const_let_stmt(),
             TokenKind::Ident(_) => self.let_stmt(),
             _ => {
                 let found = self.peek().kind.describe();
                 Err(self.error_here(format!(
-                    "expected a statement (`input`, `output`, or `name = ...`), found {found}"
+                    "expected a statement (`input`, `output`, `let`, or `name = ...`), \
+                     found {found}"
                 )))
             }
         }
@@ -172,6 +174,43 @@ impl Parser {
         };
         self.expect(&TokenKind::Semi, "`;` after the output declaration")?;
         Ok(Stmt::Output { name, expr })
+    }
+
+    /// `let NAME = '-'? NUMBER ;` — a named constant binding.
+    fn const_let_stmt(&mut self) -> PResult<Stmt> {
+        self.advance(); // `let`
+        let name = self.expect_ident("a constant name after `let`")?;
+        self.expect(&TokenKind::Eq, "`=` after the constant name")?;
+        let start = self.peek().span;
+        let negate = self.eat(&TokenKind::Minus);
+        let value = match self.peek().kind {
+            TokenKind::Number(v) => {
+                let end = self.advance().span;
+                Some((if negate { -v } else { v }, start.to(end)))
+            }
+            _ => None,
+        };
+        let Some((value, value_span)) = value else {
+            let found = self.peek().kind.describe();
+            return Err(self.error_here(format!(
+                "`let` binds a named constant — expected a number, found {found}"
+            )));
+        };
+        if matches!(
+            self.peek().kind,
+            TokenKind::Plus | TokenKind::Minus | TokenKind::Star | TokenKind::Slash
+        ) {
+            return Err(self.error_here(
+                "`let` binds a named constant (a single number) — bind an expression \
+                 with `name = ...;` instead",
+            ));
+        }
+        self.expect(&TokenKind::Semi, "`;` after the constant binding")?;
+        Ok(Stmt::ConstLet {
+            name,
+            value,
+            value_span,
+        })
     }
 
     /// `NAME = expr ;`

@@ -26,6 +26,8 @@ pub enum TokenKind {
     KwIn,
     /// `delay`
     KwDelay,
+    /// `let`
+    KwLet,
     /// `+`
     Plus,
     /// `-`
@@ -62,6 +64,7 @@ impl TokenKind {
             TokenKind::KwOutput => "keyword `output`".to_string(),
             TokenKind::KwIn => "keyword `in`".to_string(),
             TokenKind::KwDelay => "keyword `delay`".to_string(),
+            TokenKind::KwLet => "keyword `let`".to_string(),
             TokenKind::Plus => "`+`".to_string(),
             TokenKind::Minus => "`-`".to_string(),
             TokenKind::Star => "`*`".to_string(),
@@ -144,6 +147,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
                     "output" => TokenKind::KwOutput,
                     "in" => TokenKind::KwIn,
                     "delay" => TokenKind::KwDelay,
+                    "let" => TokenKind::KwLet,
                     _ => TokenKind::Ident(text.to_string()),
                 };
                 tokens.push(Token {

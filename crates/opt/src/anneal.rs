@@ -35,6 +35,11 @@ pub struct AnnealOptions {
     /// `seed + 1`, …; the best result (ties to the lowest restart index)
     /// wins, so the outcome does not depend on the worker count.
     pub restarts: usize,
+    /// Worker-thread cap for the parallel restarts; `0` means available
+    /// parallelism. The result is identical for every value (the merge
+    /// is worker-count independent) — this only bounds concurrency,
+    /// e.g. for a server enforcing a client-supplied `threads` knob.
+    pub threads: usize,
 }
 
 impl Default for AnnealOptions {
@@ -45,6 +50,7 @@ impl Default for AnnealOptions {
             cooling: 0.999,
             seed: 0xA11EA1,
             restarts: 1,
+            threads: 0,
         }
     }
 }
@@ -72,7 +78,12 @@ impl Optimizer<'_> {
             // partitions the work evenly with no shared state; partial
             // bests merge by `(cost, restart index)`, making the winner
             // independent of worker count and scheduling.
-            let workers = restarts.min(default_threads());
+            let cap = if opts.threads == 0 {
+                default_threads()
+            } else {
+                opts.threads
+            };
+            let workers = restarts.min(cap.max(1));
             let partials: Vec<PartialBest> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|t| {

@@ -25,9 +25,13 @@
 //!   re-propagates only `i`'s downstream cone
 //!   ([`sna_dfg::Dfg::downstream_cone`]), reusing every histogram outside
 //!   the cone.  Recomputed states are additionally memoized per
-//!   `(node, upstream-width-fingerprint)`, so neighbouring candidates in
-//!   greedy/annealing walks (probe, undo, re-probe) hit the memo instead
-//!   of redoing `O(bins²)` convolutions.  Cone recomputation performs the
+//!   `(bins, node, upstream widths)` in a **shared concurrent**
+//!   [`HistMemo`] owned by the optimizer (or, through
+//!   `Optimizer::from_session`, by the compiled session), so neighbouring
+//!   candidates in greedy/annealing walks (probe, undo, re-probe) hit the
+//!   memo instead of redoing `O(bins²)` convolutions — including across
+//!   the per-thread evaluators of parallel searches and across successive
+//!   searches over one compiled program.  Cone recomputation performs the
 //!   identical float operations as a full propagation, so results are
 //!   bit-equal to the scratch path.
 //!
@@ -35,9 +39,11 @@
 //! pre-move state exactly (saved contributions / saved cone states), which
 //! is the probe-shaped access pattern of every optimizer in this crate.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use sna_core::{CoeffSite, DfgEngine, EngineOptions, NaModel, NoiseSource, Uncertain, Value};
+use sna_core::{
+    CoeffSite, DfgEngine, EngineOptions, HistMemo, NaModel, NoiseSource, Uncertain, Value,
+};
 use sna_dfg::{Dfg, NodeId, Op};
 use sna_fixp::{Format, Overflow, Quantizer, Rounding, WlConfig};
 use sna_interval::Interval;
@@ -46,9 +52,6 @@ use crate::{OptError, Optimizer};
 
 /// Moves between full rebuilds of the NA running totals (drift control).
 const REBUILD_PERIOD: u32 = 1024;
-
-/// Histogram-state memo entries kept before the memo is swept.
-const MEMO_CAP: usize = 16_384;
 
 // ----------------------------------------------------------------------
 // Shared precomputed structure (built once per Optimizer)
@@ -68,6 +71,10 @@ pub(crate) enum EvalShared {
     Hist {
         /// Histogram resolution.
         bins: usize,
+        /// The concurrent state memo every evaluator shares — session- or
+        /// optimizer-owned, so parallel searches (and repeated searches
+        /// over one compiled program) hit each other's entries.
+        memo: Arc<HistMemo>,
         /// The cone structure, built on first use (thread-safe).
         shared: std::sync::OnceLock<HistShared>,
     },
@@ -450,8 +457,8 @@ impl<'a> NaEval<'a> {
 // Histogram backend
 // ----------------------------------------------------------------------
 
-/// Cone-limited histogram re-propagation with a per-`(node, upstream
-/// widths)` memo.
+/// Cone-limited histogram re-propagation with a shared, concurrent
+/// per-`(node, upstream widths)` memo (see [`HistMemo`]).
 #[derive(Debug)]
 struct HistEval<'a> {
     engine: DfgEngine,
@@ -464,10 +471,11 @@ struct HistEval<'a> {
     states: Vec<Uncertain>,
     power: f64,
     undo: Option<HistUndo>,
-    /// `(node, widths of its upstream cone)` → computed state.  The key
-    /// stores the widths themselves (not a hash), so a memo hit is
-    /// guaranteed to be the exact configuration.
-    memo: HashMap<(u32, Vec<u8>), Uncertain>,
+    /// The shared concurrent memo (session- or optimizer-owned): every
+    /// evaluator derived from the same optimizer — including the
+    /// per-thread evaluators of parallel searches — reads and feeds one
+    /// map, so neighbouring candidates hit across threads.
+    memo: Arc<HistMemo>,
 }
 
 #[derive(Debug)]
@@ -484,6 +492,7 @@ impl<'a> HistEval<'a> {
         dfg: &'a Dfg,
         input_ranges: &'a [Interval],
         shared: &'a HistShared,
+        memo: Arc<HistMemo>,
         table: QuantTable,
         node_ranges: &[Interval],
         w: Vec<u8>,
@@ -502,26 +511,30 @@ impl<'a> HistEval<'a> {
             states,
             power: 0.0,
             undo: None,
-            memo: HashMap::new(),
+            memo,
         };
         ev.power = ev.output_power();
         // Seed the memo with the initial states so the first probes around
-        // the start point already reuse them.
-        for (id, _) in ev.dfg.nodes() {
-            let key = ev.memo_key(id.index());
-            ev.memo.insert(key, ev.states[id.index()].clone());
-        }
+        // the start point already reuse them — one bulk insertion (first
+        // writer wins when several thread evaluators start at the same
+        // point, so the duplicates cost one lock acquisition, not n).
+        let bins = ev.shared.bins as u32;
+        ev.memo.insert_many(ev.dfg.nodes().map(|(id, _)| {
+            (
+                (bins, id.index() as u32, ev.memo_widths(id.index())),
+                ev.states[id.index()].clone(),
+            )
+        }));
         Ok(ev)
     }
 
     /// The widths of `i`'s upstream cone (`i` included) — exactly the
     /// inputs its state depends on, so equal keys imply bit-equal states.
-    fn memo_key(&self, i: usize) -> (u32, Vec<u8>) {
-        let widths = self.shared.upstream[i]
+    fn memo_widths(&self, i: usize) -> Vec<u8> {
+        self.shared.upstream[i]
             .iter()
             .map(|&m| self.w[m as usize])
-            .collect();
-        (i as u32, widths)
+            .collect()
     }
 
     fn output_power(&self) -> f64 {
@@ -548,14 +561,12 @@ impl<'a> HistEval<'a> {
         self.cfg
             .set_quantizer(NodeId::from_index(i), *self.table.quantizer(i, w))
             .map_err(OptError::Fixp)?;
-        if self.memo.len() > MEMO_CAP {
-            self.memo.clear();
-        }
+        let bins = self.shared.bins as u32;
         for &node in cone {
-            let key = self.memo_key(node.index());
-            let state = match self.memo.get(&key) {
-                Some(s) => s.clone(),
-                None => {
+            let widths = self.memo_widths(node.index());
+            let state = match self.memo.lookup(bins, node.index() as u32, widths) {
+                Ok(s) => s,
+                Err(key) => {
                     let s = match self.engine.node_state(
                         self.dfg,
                         &self.cfg,
@@ -579,7 +590,7 @@ impl<'a> HistEval<'a> {
                             return Err(e.into());
                         }
                     };
-                    self.memo.insert(key, s.clone());
+                    self.memo.insert_key(key, s.clone());
                     s
                 }
             };
@@ -664,12 +675,13 @@ impl<'a> NoiseEval<'a> {
             (EvalShared::Na(shared), Some(model)) => {
                 Backend::Na(NaEval::new(opt.dfg, model, shared, table, w.to_vec()))
             }
-            (EvalShared::Hist { bins, shared }, _) => {
+            (EvalShared::Hist { bins, memo, shared }, _) => {
                 let shared = shared.get_or_init(|| HistShared::build(opt.dfg, *bins));
                 Backend::Hist(HistEval::new(
                     opt.dfg,
                     opt.input_ranges,
                     shared,
+                    Arc::clone(memo),
                     table,
                     &opt.node_ranges,
                     w.to_vec(),
@@ -703,11 +715,11 @@ impl<'a> NoiseEval<'a> {
     ///
     /// # Errors
     ///
-    /// [`OptError::Fixp`] for a node index outside the graph or a width
-    /// outside the optimizer's `[min_w, bounds.max]` search range (the
-    /// position is unchanged); histogram-propagation failures are
-    /// propagated (the evaluator rolls back to its pre-move state first).
-    /// Within the search range the NA backend cannot fail.
+    /// [`OptError::InvalidMove`] for a node index outside the graph or a
+    /// width outside the optimizer's `[min_w, bounds.max]` search range
+    /// (the position is unchanged); histogram-propagation failures are
+    /// propagated (the evaluator rolls back to its pre-move state
+    /// first). Within the search range the NA backend cannot fail.
     pub fn set(&mut self, i: usize, w: u8) -> Result<f64, OptError> {
         let supported = match &self.backend {
             Backend::Na(e) => e.table.supports(i, w),

@@ -1,4 +1,6 @@
-use sna_core::{DfgEngine, EngineOptions, NaModel};
+use std::sync::Arc;
+
+use sna_core::{DfgEngine, EngineOptions, HistMemo, NaModel, Session};
 use sna_dfg::{Dfg, LtiOptions, RangeOptions};
 use sna_fixp::WlConfig;
 use sna_hls::{synthesize, CostReport, FuKind, SynthesisConstraints};
@@ -24,8 +26,9 @@ pub(crate) fn default_threads() -> usize {
 /// inside the optimization loop" configuration.
 #[derive(Debug)]
 enum NoiseModel {
-    /// Precomputed LTI moment model (linear graphs).
-    Na(NaModel),
+    /// Precomputed LTI moment model (linear graphs) — `Arc`-shared so a
+    /// [`Session`]'s cached model is reused without cloning the gains.
+    Na(Arc<NaModel>),
     /// Per-candidate histogram propagation (nonlinear combinational).
     Hist {
         /// Histogram resolution per operation.
@@ -161,7 +164,7 @@ impl<'a> Optimizer<'a> {
         constraints: SynthesisConstraints,
     ) -> Result<Self, OptError> {
         let model = match NaModel::build(dfg, input_ranges, &LtiOptions::default()) {
-            Ok(model) => NoiseModel::Na(model),
+            Ok(model) => NoiseModel::Na(Arc::new(model)),
             // The histogram engine needs no linearity but cannot cross
             // delays; sequential nonlinear graphs keep the error.
             Err(_) if !dfg.is_linear() && dfg.is_combinational() => NoiseModel::Hist { bins: 64 },
@@ -174,6 +177,59 @@ impl<'a> Optimizer<'a> {
                 &LtiOptions::default(),
             )
             .map_err(|e| OptError::Sna(sna_core::SnaError::Dfg(e)))?;
+        Self::assemble(
+            dfg,
+            input_ranges,
+            node_ranges,
+            model,
+            Arc::new(HistMemo::new()),
+            constraints,
+        )
+    }
+
+    /// Builds the context *on top of a compiled [`Session`]*: the noise
+    /// model, node ranges and histogram memo come from the session's
+    /// shared artifact chain instead of being rebuilt — the wiring the
+    /// service and CLI use so "compile once, then optimize" pays the
+    /// impulse-response analysis exactly once.
+    ///
+    /// Results are identical to [`Optimizer::new`] over the same graph
+    /// and ranges (the session computes the same artifacts).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Optimizer::new`].
+    pub fn from_session(
+        session: &'a Session,
+        constraints: SynthesisConstraints,
+    ) -> Result<Self, OptError> {
+        let dfg = session.dfg();
+        let model = match session.na_model() {
+            Ok(model) => NoiseModel::Na(model),
+            Err(_) if !dfg.is_linear() && dfg.is_combinational() => NoiseModel::Hist { bins: 64 },
+            Err(e) => return Err(e.into()),
+        };
+        let node_ranges = (*session.node_ranges().map_err(OptError::Sna)?).clone();
+        Self::assemble(
+            dfg,
+            session.input_ranges(),
+            node_ranges,
+            model,
+            Arc::clone(session.hist_memo()),
+            constraints,
+        )
+    }
+
+    /// Shared tail of the constructors: per-node bounds, evaluator
+    /// structure, cost-proxy partition.
+    fn assemble(
+        dfg: &'a Dfg,
+        input_ranges: &'a [Interval],
+        node_ranges: Vec<Interval>,
+        model: NoiseModel,
+        hist_memo: Arc<HistMemo>,
+        constraints: SynthesisConstraints,
+    ) -> Result<Self, OptError> {
         let bounds = WlBounds::default();
         let min_w = node_ranges
             .iter()
@@ -196,6 +252,7 @@ impl<'a> Optimizer<'a> {
             NoiseModel::Na(m) => EvalShared::Na(NaShared::build(dfg, m)),
             NoiseModel::Hist { bins } => EvalShared::Hist {
                 bins: *bins,
+                memo: hist_memo,
                 shared: std::sync::OnceLock::new(),
             },
         };
@@ -826,6 +883,61 @@ mod tests {
         let g = b.build().unwrap();
         let r = vec![iv(-0.5, 0.5)];
         assert!(Optimizer::new(&g, &r, SynthesisConstraints::default()).is_err());
+    }
+
+    #[test]
+    fn from_session_matches_standalone_construction() {
+        let (g, r) = small_design();
+        let session = Session::new(g.clone(), r.clone()).unwrap();
+        let shared = Optimizer::from_session(&session, SynthesisConstraints::default()).unwrap();
+        let standalone = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        // The session's model is reused, not rebuilt.
+        assert_eq!(session.stats().na_builds, 1);
+        let w = shared.uniform_vector(10);
+        assert_eq!(
+            shared.noise_of(&w).unwrap().to_bits(),
+            standalone.noise_of(&w).unwrap().to_bits()
+        );
+        let a = shared
+            .greedy(shared.uniform(10).unwrap().noise_power, 14)
+            .unwrap();
+        let b = standalone
+            .greedy(standalone.uniform(10).unwrap().noise_power, 14)
+            .unwrap();
+        assert_eq!(a.word_lengths, b.word_lengths);
+        assert_eq!(a.noise_power.to_bits(), b.noise_power.to_bits());
+    }
+
+    #[test]
+    fn session_evaluators_share_one_histogram_memo() {
+        // Nonlinear: y = x·x (histogram fallback).
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let sq = b.mul(x, x);
+        b.output("y", sq);
+        let g = b.build().unwrap();
+        let r = vec![iv(-1.0, 1.0)];
+        let session = Session::new(g, r).unwrap();
+        let opt = Optimizer::from_session(&session, SynthesisConstraints::default()).unwrap();
+        assert!(opt.na_model().is_none());
+        let start = opt.uniform_vector(12);
+
+        let mut ev1 = opt.evaluator(&start).unwrap();
+        let p1 = ev1.probe(0, 10).unwrap();
+        let populated = session.hist_memo().len();
+        assert!(populated > 0, "first evaluator feeds the shared memo");
+
+        // A second evaluator (as a parallel search thread would create)
+        // replays the same probe entirely from the shared memo.
+        let mut ev2 = opt.evaluator(&start).unwrap();
+        let before = session.hist_memo().len();
+        let p2 = ev2.probe(0, 10).unwrap();
+        assert_eq!(p1.to_bits(), p2.to_bits());
+        assert_eq!(
+            session.hist_memo().len(),
+            before,
+            "replayed probe added no new states"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! re-lexes, re-lowers, and rebuilds the model" into "the first request
 //! pays, every repeat goes straight to evaluation".
 //!
-//! Two key levels:
+//! Three key levels:
 //!
 //! * **source text** — the raw bytes, hashed by the map. The fast path: a
 //!   repeat of the identical text hits without parsing anything.
@@ -10,42 +10,62 @@
 //!   FNV-1a hash is the entry's reported fingerprint). Sources that
 //!   differ only in whitespace or comments share one entry; the second
 //!   spelling pays one parse, then aliases the existing compiled model.
+//! * **shape** — the lowered graph with `Const` values masked
+//!   ([`Lowered::shape_key`]). A program that differs from a cached one
+//!   *only in coefficient values* — the inner loop of design-space
+//!   exploration — pays parse + lower, then maps onto the cached entry's
+//!   skeleton via [`Session::with_coefficients`]: range analysis re-runs
+//!   only in the changed constants' cones and unaffected impulse gains
+//!   are cloned instead of re-simulated.
 //!
-//! Both levels compare the full key text on lookup, so a hash collision
+//! All levels compare the full key text on lookup, so a hash collision
 //! can never hand one program another program's model.
 //!
-//! Entries hold the lowered [`Dfg`](sna_dfg::Dfg) behind an `Arc` and
-//! build the [`NaModel`] lazily (first `na_model()` call), also behind an
-//! `Arc` — both are `Send + Sync` (asserted in `sna-core`'s tests), so a
-//! worker pool or one thread per connection can share them freely.
+//! Entries hold a [`Session`] — graph, ranges, gain model, histogram
+//! memo — behind an `Arc`; every stage is `Send + Sync`, so a worker
+//! pool or one thread per connection can share them freely.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
-use sna_core::NaModel;
-use sna_dfg::LtiOptions;
+use sna_core::{NaModel, Session};
 use sna_lang::{fnv1a_64, Diagnostic, Lowered};
 
-/// One compiled program: the lowered graph plus the lazily built,
-/// shareable NA model.
+/// One compiled program: the shared [`Session`] holding its artifact
+/// chain, plus the cache's identifying fingerprints.
 #[derive(Debug)]
 pub struct CompiledEntry {
-    /// The validated graph and input ranges, shared across threads.
-    pub lowered: Arc<Lowered>,
+    /// The compiled session (graph, ranges, models), shared across
+    /// threads.
+    pub session: Arc<Session>,
     /// Canonical fingerprint of the program this was compiled from.
     pub fingerprint: u64,
-    na_model: OnceLock<Result<Arc<NaModel>, String>>,
+    /// Coefficient-normalized shape fingerprint
+    /// ([`Lowered::shape_fingerprint`]).
+    pub shape_fingerprint: u64,
 }
 
 impl CompiledEntry {
     /// Wraps an already compiled program (used both by the cache and by
-    /// uncached single-shot paths that still want lazy model sharing).
+    /// uncached single-shot paths that still want lazy artifact sharing).
     #[must_use]
     pub fn new(lowered: Lowered, fingerprint: u64) -> Self {
+        let shape_fingerprint = lowered.shape_fingerprint();
+        let session = Session::new(lowered.dfg, lowered.input_ranges)
+            .expect("lowering guarantees input/range consistency");
         CompiledEntry {
-            lowered: Arc::new(lowered),
+            session: Arc::new(session),
             fingerprint,
-            na_model: OnceLock::new(),
+            shape_fingerprint,
+        }
+    }
+
+    /// Wraps a session produced by coefficient-level reuse.
+    fn from_session(session: Session, fingerprint: u64, shape_fingerprint: u64) -> Self {
+        CompiledEntry {
+            session: Arc::new(session),
+            fingerprint,
+            shape_fingerprint,
         }
     }
 
@@ -59,24 +79,16 @@ impl CompiledEntry {
     /// The model build's failure, rendered (e.g. the graph is nonlinear);
     /// the error is cached too, so repeat requests fail fast.
     pub fn na_model(&self) -> Result<Arc<NaModel>, String> {
-        self.na_model
-            .get_or_init(|| {
-                NaModel::build(
-                    &self.lowered.dfg,
-                    &self.lowered.input_ranges,
-                    &LtiOptions::default(),
-                )
-                .map(Arc::new)
-                .map_err(|e| format!("cannot build the NA model: {e}"))
-            })
-            .clone()
+        self.session
+            .na_model()
+            .map_err(|e| format!("cannot build the NA model: {e}"))
     }
 
     /// Whether the NA model has been built (hit/miss accounting for
     /// callers that report model-level caching).
     #[must_use]
     pub fn na_model_built(&self) -> bool {
-        self.na_model.get().is_some()
+        self.session.na_model_built()
     }
 }
 
@@ -88,23 +100,29 @@ pub enum Lookup {
     /// New spelling of a known program; one parse, no lowering or model
     /// build.
     CanonHit,
+    /// A new program whose graph *shape* matches a cached one (only
+    /// constant values differ): parse + lower ran, but ranges and gains
+    /// were patched off the cached skeleton instead of rebuilt.
+    ShapeHit,
     /// Fully compiled on this call.
     Miss,
 }
 
 impl Lookup {
-    /// `true` for either hit flavour.
+    /// `true` for any hit flavour.
     #[must_use]
     pub fn is_hit(self) -> bool {
         !matches!(self, Lookup::Miss)
     }
 
-    /// Protocol wire word: `"hit"` / `"canon-hit"` / `"miss"`.
+    /// Protocol wire word: `"hit"` / `"canon-hit"` / `"shape-hit"` /
+    /// `"miss"`.
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             Lookup::SourceHit => "hit",
             Lookup::CanonHit => "canon-hit",
+            Lookup::ShapeHit => "shape-hit",
             Lookup::Miss => "miss",
         }
     }
@@ -113,9 +131,12 @@ impl Lookup {
 /// Cache counters, as reported in batch summaries and `stats` requests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache (either key level).
+    /// Lookups answered from the cache (any key level, shape included).
     pub hits: u64,
-    /// Lookups that compiled.
+    /// The subset of `hits` answered through the shape tier (coefficient
+    /// swap onto a cached skeleton).
+    pub shape_hits: u64,
+    /// Lookups that compiled from scratch.
     pub misses: u64,
     /// Distinct compiled programs currently held.
     pub entries: usize,
@@ -167,18 +188,24 @@ struct State {
     by_source: HashMap<String, Arc<CompiledEntry>>,
     /// Keyed by the canonical rendering, same full-text reasoning.
     by_canon: HashMap<String, Arc<CompiledEntry>>,
-    /// Total bytes across both maps' keys, compared against
+    /// Keyed by the const-masked shape rendering
+    /// ([`Lowered::shape_key`]), same full-text reasoning. Holds the
+    /// *first* entry compiled with each shape — the skeleton donor for
+    /// coefficient swaps.
+    by_shape: HashMap<String, Arc<CompiledEntry>>,
+    /// Total bytes across all maps' keys, compared against
     /// [`CacheLimits::max_key_bytes`].
     key_bytes: usize,
     hits: u64,
+    shape_hits: u64,
     misses: u64,
     evictions: u64,
 }
 
 impl State {
     /// Clears everything if adding one more compiled program with
-    /// `incoming` key bytes would exceed a limit. Only the miss path
-    /// calls this — the caller has just paid a full compile, so a peer
+    /// `incoming` key bytes would exceed a limit. Only the compile paths
+    /// call this — the caller has just paid at least a lower, so a peer
     /// cannot trigger sweeps with cheap requests.
     fn make_room(&mut self, limits: &CacheLimits, incoming: usize) {
         let over_entries = self.by_canon.len() >= limits.max_entries;
@@ -186,6 +213,7 @@ impl State {
         if over_entries || over_bytes {
             self.by_source.clear();
             self.by_canon.clear();
+            self.by_shape.clear();
             self.key_bytes = 0;
             self.evictions += 1;
         }
@@ -277,8 +305,61 @@ impl CompileCache {
         }
 
         let lowered = sna_lang::lower(&program)?;
-        let entry = Arc::new(CompiledEntry::new(lowered, fingerprint));
         let canon_len = canon.len();
+        let shape_key = lowered.shape_key();
+        let shape_fingerprint = lowered.shape_fingerprint();
+
+        // Shape tier: a cached program with the same const-masked shape
+        // absorbs this one as a coefficient swap — ranges and gains are
+        // patched off its skeleton instead of rebuilt.
+        let donor = {
+            let state = self.state.lock().expect("cache lock");
+            state.by_shape.get(&shape_key).cloned()
+        };
+        if let Some(donor) = donor {
+            if let Ok(session) = donor.session.with_coefficients(&lowered.dfg.const_values()) {
+                let entry = Arc::new(CompiledEntry::from_session(
+                    session,
+                    fingerprint,
+                    shape_fingerprint,
+                ));
+                let mut state = self.state.lock().expect("cache lock");
+                // Never sweep on this path: a shape hit is cheap for the
+                // peer (the donor absorbed the expensive stages), so
+                // sweeping here would let an attacker stream coefficient
+                // respins of one cached shape to evict every other
+                // client's fully compiled programs. Past a limit the
+                // variant is served but simply stays unregistered.
+                let over_entries = state.by_canon.len() >= self.limits.max_entries;
+                let over_bytes = state.key_bytes.saturating_add(canon_len + source.len())
+                    > self.limits.max_key_bytes;
+                if over_entries || over_bytes {
+                    state.hits += 1;
+                    state.shape_hits += 1;
+                    return Ok((entry, Lookup::ShapeHit));
+                }
+                return match state.by_canon.entry(canon) {
+                    std::collections::hash_map::Entry::Occupied(existing) => {
+                        // A racer registered the identical program while
+                        // we patched; share its entry.
+                        let entry = existing.get().clone();
+                        state.insert_source(source, entry.clone());
+                        state.hits += 1;
+                        Ok((entry, Lookup::CanonHit))
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(entry.clone());
+                        state.key_bytes += canon_len;
+                        state.insert_source(source, entry.clone());
+                        state.hits += 1;
+                        state.shape_hits += 1;
+                        Ok((entry, Lookup::ShapeHit))
+                    }
+                };
+            }
+        }
+
+        let entry = Arc::new(CompiledEntry::new(lowered, fingerprint));
         let mut state = self.state.lock().expect("cache lock");
         state.make_room(&self.limits, canon_len + source.len());
         // A racing thread may have inserted the same program meanwhile;
@@ -296,6 +377,14 @@ impl CompileCache {
                 slot.insert(entry.clone());
                 state.key_bytes += canon_len;
                 state.insert_source(source, entry.clone());
+                // Register the new shape's skeleton donor (first
+                // occupant wins) while it fits the byte budget.
+                if !state.by_shape.contains_key(&shape_key)
+                    && state.key_bytes.saturating_add(shape_key.len()) <= self.limits.max_key_bytes
+                {
+                    state.key_bytes += shape_key.len();
+                    state.by_shape.insert(shape_key, entry.clone());
+                }
                 state.misses += 1;
                 Ok((entry, Lookup::Miss))
             }
@@ -308,6 +397,7 @@ impl CompileCache {
         let state = self.state.lock().expect("cache lock");
         CacheStats {
             hits: state.hits,
+            shape_hits: state.shape_hits,
             misses: state.misses,
             entries: state.by_canon.len(),
             evictions: state.evictions,
@@ -333,6 +423,7 @@ mod tests {
             cache.stats(),
             CacheStats {
                 hits: 1,
+                shape_hits: 0,
                 misses: 1,
                 entries: 1,
                 evictions: 0
@@ -371,12 +462,96 @@ mod tests {
         let (entry, _) = cache.get_or_compile("input x;\noutput y = x*x;\n").unwrap();
         assert!(entry.na_model().is_err());
         // The compiled graph is still usable for other engines.
-        assert!(entry.lowered.dfg.is_combinational());
+        assert!(entry.session.dfg().is_combinational());
     }
 
-    /// A distinct single-output program per index.
+    #[test]
+    fn coefficient_swaps_hit_the_shape_tier() {
+        let cache = CompileCache::new();
+        let base = "input x in [-1, 1];\nlet k = 0.5;\noutput y = k*x;\n";
+        let (first, l0) = cache.get_or_compile(base).unwrap();
+        assert_eq!(l0, Lookup::Miss);
+        // Warm the expensive stage so the swap has something to reuse.
+        first.na_model().unwrap();
+
+        let swapped = "input x in [-1, 1];\nlet k = 0.25;\noutput y = k*x;\n";
+        let (second, lookup) = cache.get_or_compile(swapped).unwrap();
+        assert_eq!(lookup, Lookup::ShapeHit);
+        assert_eq!(second.shape_fingerprint, first.shape_fingerprint);
+        assert_ne!(second.fingerprint, first.fingerprint);
+        assert_eq!(second.session.coefficients(), vec![0.25]);
+        // The patched model is already in place — no rebuild on use.
+        assert!(second.na_model_built());
+        let stats = cache.stats();
+        assert_eq!(stats.shape_hits, 1, "{stats:?}");
+        assert_eq!(stats.hits, 1, "{stats:?}");
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.entries, 2, "{stats:?}");
+
+        // The swapped spelling is now cached in its own right.
+        let (_, l2) = cache.get_or_compile(swapped).unwrap();
+        assert_eq!(l2, Lookup::SourceHit);
+
+        // A genuinely different shape misses.
+        let reshaped = "input x in [-1, 1];\nlet k = 0.5;\noutput y = k*x + x;\n";
+        assert_eq!(cache.get_or_compile(reshaped).unwrap().1, Lookup::Miss);
+    }
+
+    #[test]
+    fn shape_hit_analyses_match_a_cold_compile() {
+        let base = "input x in [-1, 1];\n\
+                    x1 = delay x;\n\
+                    x2 = delay x1;\n\
+                    let a = 0.25;\n\
+                    let b = 0.5;\n\
+                    y = a*x + b*x1 + a*x2;\n\
+                    output y;\n";
+        let swapped = base.replace("0.25", "0.3").replace("0.5", "0.45");
+
+        let warm = CompileCache::new();
+        let (e0, _) = warm.get_or_compile(base).unwrap();
+        e0.na_model().unwrap();
+        let (via_shape, lookup) = warm.get_or_compile(&swapped).unwrap();
+        assert_eq!(lookup, Lookup::ShapeHit);
+
+        let cold = CompileCache::new();
+        let (scratch, _) = cold.get_or_compile(&swapped).unwrap();
+
+        let cfg_a = via_shape
+            .session
+            .wl_config(&sna_core::WlChoice::Uniform(12))
+            .unwrap();
+        let cfg_b = scratch
+            .session
+            .wl_config(&sna_core::WlChoice::Uniform(12))
+            .unwrap();
+        let a = via_shape
+            .na_model()
+            .unwrap()
+            .evaluate(via_shape.session.dfg(), &cfg_a);
+        let b = scratch
+            .na_model()
+            .unwrap()
+            .evaluate(scratch.session.dfg(), &cfg_b);
+        for ((n1, ra), (n2, rb)) in a.iter().zip(&b) {
+            assert_eq!(n1, n2);
+            let tol = 1e-12 * rb.variance.abs().max(1e-300);
+            assert!(
+                (ra.variance - rb.variance).abs() <= tol,
+                "variance {} vs {}",
+                ra.variance,
+                rb.variance
+            );
+        }
+    }
+
+    /// A *structurally* distinct single-output program per index (the
+    /// shapes differ, so none of these can shape-alias another).
     fn program(i: usize) -> String {
-        format!("input x in [-1, 1];\ny = 0.{i}*x + {i};\noutput y;\n")
+        format!(
+            "input x in [-1, 1];\ny = 0.5*x{};\noutput y;\n",
+            " + x".repeat(i)
+        )
     }
 
     #[test]
@@ -388,7 +563,7 @@ mod tests {
         for i in 1..=20 {
             let (entry, lookup) = cache.get_or_compile(&program(i)).unwrap();
             assert_eq!(lookup, Lookup::Miss);
-            assert!(entry.lowered.dfg.is_combinational());
+            assert!(entry.session.dfg().is_combinational());
         }
         let stats = cache.stats();
         assert!(stats.entries <= 4, "{stats:?}");

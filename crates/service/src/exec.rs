@@ -4,80 +4,25 @@
 //! ends produce identical numbers — and identical JSON — for the same
 //! request.
 //!
-//! Everything here takes a [`CompiledEntry`] (or the [`Lowered`] inside
-//! it) and plain parameter structs; errors are rendered strings, which
-//! the CLI wraps in its exit-code-bearing error type and the server ships
-//! in `"error"` fields.
+//! Everything here takes a [`CompiledEntry`] (whose [`Session`] holds
+//! the artifact chain) and plain parameter structs; errors are rendered
+//! strings, which the CLI wraps in its exit-code-bearing error type and
+//! the server ships in `"error"` fields.  Analysis requests go through
+//! the unified `sna_core::engine` surface — this layer no longer
+//! hand-rolls engine dispatch.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-
-use sna_core::{CartesianEngine, EngineKind, NoiseReport, SnaAnalysis, UncertainInput};
-use sna_dfg::{Dfg, RangeOptions};
-use sna_fixp::WlConfig;
+use sna_core::{
+    AnalysisReport, AnalysisRequest, EngineKind, NoiseReport, Session, SnaError, WlChoice,
+};
 use sna_hls::{synthesize, Implementation, SynthesisConstraints};
-use sna_interval::Interval;
-use sna_lang::Lowered;
 use sna_opt::{AnnealOptions, Evaluation, Optimizer};
 
 use crate::cache::CompiledEntry;
 use crate::json::Json;
 
-/// The analysis engine selector, including the non-`SnaAnalysis`
-/// Cartesian engine.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum AnalyzeEngine {
-    /// LTI for sequential linear graphs, DFG histograms otherwise.
-    #[default]
-    Auto,
-    /// Classical NA baseline (moments only, no PDF) — served from the
-    /// cached model when one is available.
-    Na,
-    /// Op-by-op histogram propagation.
-    Dfg,
-    /// LTI gains + CLT shaping.
-    Lti,
-    /// Polynomial propagation.
-    Symbolic,
-    /// The paper's Section-4 exact algorithm over value uncertainty.
-    Cartesian,
-}
-
-impl AnalyzeEngine {
-    /// Parses the `--engine` / `"engine"` selector.
-    ///
-    /// # Errors
-    ///
-    /// A usage-style message listing the accepted names.
-    pub fn parse(raw: &str) -> Result<Self, String> {
-        Ok(match raw {
-            "auto" => AnalyzeEngine::Auto,
-            "na" => AnalyzeEngine::Na,
-            "dfg" => AnalyzeEngine::Dfg,
-            "lti" => AnalyzeEngine::Lti,
-            "symbolic" => AnalyzeEngine::Symbolic,
-            "cartesian" => AnalyzeEngine::Cartesian,
-            other => {
-                return Err(format!(
-                    "unknown engine `{other}` (expected auto, na, dfg, lti, symbolic or cartesian)"
-                ))
-            }
-        })
-    }
-
-    /// The selector's wire/CLI name.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            AnalyzeEngine::Auto => "auto",
-            AnalyzeEngine::Na => "na",
-            AnalyzeEngine::Dfg => "dfg",
-            AnalyzeEngine::Lti => "lti",
-            AnalyzeEngine::Symbolic => "symbolic",
-            AnalyzeEngine::Cartesian => "cartesian",
-        }
-    }
-}
+/// The analysis engine selector — the unified [`EngineKind`] from
+/// `sna-core` (kept under its historical service-layer name).
+pub type AnalyzeEngine = EngineKind;
 
 /// Parameters of an `analyze` request, with the CLI's defaults.
 #[derive(Clone, Copy, Debug)]
@@ -100,46 +45,6 @@ impl Default for AnalyzeParams {
     }
 }
 
-/// Builds the word-length configuration every analysis shares.
-///
-/// # Errors
-///
-/// Range analysis / configuration failures, rendered.
-pub fn config_for(lowered: &Lowered, bits: u8) -> Result<WlConfig, String> {
-    WlConfig::from_ranges(&lowered.dfg, &lowered.input_ranges, bits)
-        .map_err(|e| format!("cannot build a {bits}-bit configuration: {e}"))
-}
-
-/// The combinational per-sample view of a sequential graph, with the
-/// delay-state inputs appended and their value ranges derived from range
-/// analysis of the original graph.
-///
-/// # Errors
-///
-/// Range analysis failures, rendered.
-pub fn combinational_with_ranges(lowered: &Lowered) -> Result<(Dfg, Vec<Interval>), String> {
-    if lowered.dfg.is_combinational() {
-        return Ok((lowered.dfg.clone(), lowered.input_ranges.clone()));
-    }
-    let node_ranges = lowered
-        .dfg
-        .ranges_auto(
-            &lowered.input_ranges,
-            &sna_dfg::RangeOptions::default(),
-            &sna_dfg::LtiOptions::default(),
-        )
-        .map_err(|e| format!("range analysis failed: {e}"))?;
-    let mut ranges = lowered.input_ranges.clone();
-    ranges.extend(
-        lowered
-            .dfg
-            .delay_nodes()
-            .iter()
-            .map(|d| node_ranges[d.index()]),
-    );
-    Ok((lowered.dfg.combinational_view(), ranges))
-}
-
 /// Hard ceiling on histogram resolution. Several engines are quadratic
 /// (or, for `cartesian`, exponential in the input count) in the bin
 /// count, and the allocation itself must not be attacker-sized: one
@@ -147,138 +52,54 @@ pub fn combinational_with_ranges(lowered: &Lowered) -> Result<(Dfg, Vec<Interval
 /// whole process.
 pub const MAX_BINS: usize = 4096;
 
-/// Runs an analysis request against a compiled entry. The `na` engine
-/// evaluates the entry's cached [`NaModel`](sna_core::NaModel), building
-/// it on first use — the step the cache exists to amortize.
+/// Renders an analysis failure. Self-describing diagnostics keep their
+/// exact wording; everything else gets the generic prefix.
+fn render_analysis_error(e: &SnaError) -> String {
+    match e {
+        SnaError::CombinationalOnly { .. } | SnaError::InvalidInput { .. } => e.to_string(),
+        other => format!("analysis failed: {other}"),
+    }
+}
+
+/// Runs an analysis request against a compiled entry through the unified
+/// `Session`/`Engine` surface, returning the full structured report
+/// (provenance + timing included).
 ///
 /// # Errors
 ///
 /// Engine or configuration failures, rendered; `bins` outside
 /// `1..=`[`MAX_BINS`] is rejected up front.
-pub fn analyze(
+pub fn analyze_report(
     entry: &CompiledEntry,
     params: &AnalyzeParams,
-) -> Result<Vec<(String, NoiseReport)>, String> {
-    let lowered = &entry.lowered;
+) -> Result<AnalysisReport, String> {
     let AnalyzeParams { engine, bits, bins } = *params;
     if bins == 0 || bins > MAX_BINS {
         return Err(format!("bins must be in 1..={MAX_BINS}, got {bins}"));
     }
-    match engine {
-        AnalyzeEngine::Cartesian => cartesian(lowered, bins),
-        AnalyzeEngine::Na => {
-            let model = entry.na_model()?;
-            let config = config_for(lowered, bits)?;
-            SnaAnalysis::new(&lowered.dfg, &config, &lowered.input_ranges)
-                .engine(EngineKind::Na)
-                .with_na_model(&model)
-                .bins(bins)
-                .run()
-                .map_err(|e| format!("analysis failed: {e}"))
-        }
-        AnalyzeEngine::Auto | AnalyzeEngine::Lti => {
-            let kind = match engine {
-                AnalyzeEngine::Auto => EngineKind::Auto,
-                _ => EngineKind::Lti,
-            };
-            let config = config_for(lowered, bits)?;
-            SnaAnalysis::new(&lowered.dfg, &config, &lowered.input_ranges)
-                .engine(kind)
-                .bins(bins)
-                .run()
-                .map_err(|e| format!("analysis failed: {e}"))
-        }
-        AnalyzeEngine::Dfg | AnalyzeEngine::Symbolic => {
-            // Combinational engines: analyze the per-sample view.
-            let kind = if engine == AnalyzeEngine::Dfg {
-                EngineKind::Dfg
-            } else {
-                EngineKind::Symbolic
-            };
-            let (view, ranges) = combinational_with_ranges(lowered)?;
-            let config = WlConfig::from_ranges(&view, &ranges, bits)
-                .map_err(|e| format!("cannot build configuration: {e}"))?;
-            SnaAnalysis::new(&view, &config, &ranges)
-                .engine(kind)
-                .bins(bins)
-                .run()
-                .map_err(|e| format!("analysis failed: {e}"))
-        }
-    }
+    let req = AnalysisRequest {
+        engine,
+        words: WlChoice::Uniform(bits),
+        bins,
+        include_pdf: true,
+    };
+    entry
+        .session
+        .analyze(&req)
+        .map_err(|e| render_analysis_error(&e))
 }
 
-/// The Section-4 exact algorithm over the inputs' value uncertainty.
-fn cartesian(lowered: &Lowered, bins: usize) -> Result<Vec<(String, NoiseReport)>, String> {
-    if !lowered.dfg.is_combinational() {
-        return Err("the cartesian engine handles combinational datapaths only \
-             (this one contains delays)"
-            .to_string());
-    }
-    let inputs: Vec<UncertainInput> = lowered
-        .dfg
-        .input_names()
-        .iter()
-        .zip(&lowered.input_ranges)
-        .map(|(name, range)| {
-            UncertainInput::uniform(name.clone(), range.lo(), range.hi(), bins)
-                .map_err(|e| format!("input `{name}`: {e}"))
-        })
-        .collect::<Result<_, _>>()?;
-    // Fail early (and only once) if interval evaluation cannot cover the
-    // full input box — sub-boxes are subsets, so they inherit success.
-    let full: Vec<_> = lowered.input_ranges.clone();
-    lowered
-        .dfg
-        .output_ranges(&full, &RangeOptions::default())
-        .map_err(|e| format!("interval evaluation failed: {e}"))?;
-
-    let engine = CartesianEngine::new(bins.max(2) * 2);
-    // The engine sweeps every input sub-box once *per analyzed output*,
-    // and each interval evaluation computes all outputs at once. Memoize
-    // the per-sub-box output vector (bounded) so multi-output datapaths
-    // pay for one sweep's worth of interval evaluations, not k.
-    const MEMO_CAP: usize = 1 << 20;
-    let multi_output = lowered.dfg.outputs().len() > 1;
-    let memo: RefCell<HashMap<Vec<u64>, Vec<Interval>>> = RefCell::new(HashMap::new());
-    let eval_outputs = |ranges: &[Interval]| -> Vec<Interval> {
-        let compute = || {
-            lowered
-                .dfg
-                .output_ranges(ranges, &RangeOptions::default())
-                .expect("sub-box of a checked input box evaluates")
-                .into_iter()
-                .map(|(_, iv)| iv)
-                .collect::<Vec<_>>()
-        };
-        if !multi_output {
-            return compute();
-        }
-        let key: Vec<u64> = ranges
-            .iter()
-            .flat_map(|r| [r.lo().to_bits(), r.hi().to_bits()])
-            .collect();
-        if let Some(cached) = memo.borrow().get(&key) {
-            return cached.clone();
-        }
-        let value = compute();
-        let mut memo = memo.borrow_mut();
-        if memo.len() < MEMO_CAP {
-            memo.insert(key, value.clone());
-        }
-        value
-    };
-    lowered
-        .dfg
-        .outputs()
-        .iter()
-        .enumerate()
-        .map(|(k, (name, _))| {
-            let report = engine
-                .analyze(&inputs, |ranges| eval_outputs(ranges)[k])
-                .map_err(|e| format!("cartesian analysis failed: {e}"))?;
-            Ok((name.clone(), report))
-        })
-        .collect()
+/// [`analyze_report`] reduced to the per-output reports — the historical
+/// shape most callers want.
+///
+/// # Errors
+///
+/// Same as [`analyze_report`].
+pub fn analyze(
+    entry: &CompiledEntry,
+    params: &AnalyzeParams,
+) -> Result<Vec<(String, NoiseReport)>, String> {
+    analyze_report(entry, params).map(|r| r.reports)
 }
 
 /// The word-length search methods (`exhaustive` is opt-in because its
@@ -356,17 +177,19 @@ pub struct OptimizeOutcome {
 
 /// Runs a word-length optimization request.
 ///
+/// The optimizer is built *on top of the session*: the NA gain model,
+/// node ranges and histogram memo come from the shared artifact chain,
+/// so a server (or batch) that analyzed a program first never rebuilds
+/// them to optimize it — and repeated optimize requests share the
+/// nonlinear searches' histogram memo.
+///
 /// # Errors
 ///
 /// Optimizer construction or per-method failures, rendered.
-pub fn optimize(lowered: &Lowered, params: &OptimizeParams) -> Result<OptimizeOutcome, String> {
+pub fn optimize(session: &Session, params: &OptimizeParams) -> Result<OptimizeOutcome, String> {
     validate_method(&params.method)?;
-    let optimizer = Optimizer::new(
-        &lowered.dfg,
-        &lowered.input_ranges,
-        SynthesisConstraints::default(),
-    )
-    .map_err(|e| format!("cannot build the optimizer: {e}"))?;
+    let optimizer = Optimizer::from_session(session, SynthesisConstraints::default())
+        .map_err(|e| format!("cannot build the optimizer: {e}"))?;
 
     // The reference design also supplies the default budget.
     let reference = optimizer
@@ -384,6 +207,11 @@ pub fn optimize(lowered: &Lowered, params: &OptimizeParams) -> Result<OptimizeOu
                 params.start,
                 &AnnealOptions {
                     restarts: params.restarts.max(1),
+                    // Honour the request's thread bound here too — the
+                    // knob exists so a server can cap client-driven
+                    // parallelism, and anneal restarts are exactly such
+                    // fan-out.
+                    threads: params.threads,
                     ..AnnealOptions::default()
                 },
             ),
@@ -426,21 +254,25 @@ pub fn optimize(lowered: &Lowered, params: &OptimizeParams) -> Result<OptimizeOu
 /// # Errors
 ///
 /// Configuration or synthesis failures, rendered.
-pub fn synth(lowered: &Lowered, bits: u8, clock_ns: f64) -> Result<Implementation, String> {
-    let config = config_for(lowered, bits)?;
+pub fn synth(session: &Session, bits: u8, clock_ns: f64) -> Result<Implementation, String> {
+    let config = session
+        .wl_config(&WlChoice::Uniform(bits))
+        .map_err(|e| format!("cannot build a {bits}-bit configuration: {e}"))?;
     let constraints = SynthesisConstraints {
         clock_ns,
         ..SynthesisConstraints::default()
     };
-    synthesize(&lowered.dfg, &config, &constraints).map_err(|e| format!("synthesis failed: {e}"))
+    synthesize(session.dfg(), &config, &constraints).map_err(|e| format!("synthesis failed: {e}"))
 }
 
 /// The structural facts of a compiled program as JSON fields (the body
 /// both the CLI's `parse --format json` and the server's `parse` result
 /// share).
 #[must_use]
-pub fn parse_facts_json(lowered: &Lowered) -> Vec<(String, Json)> {
-    let dfg = &lowered.dfg;
+pub fn parse_facts_json(
+    dfg: &sna_dfg::Dfg,
+    input_ranges: &[sna_interval::Interval],
+) -> Vec<(String, Json)> {
     let c = dfg.op_counts();
     vec![
         (
@@ -448,7 +280,7 @@ pub fn parse_facts_json(lowered: &Lowered) -> Vec<(String, Json)> {
             Json::Arr(
                 dfg.input_names()
                     .iter()
-                    .zip(&lowered.input_ranges)
+                    .zip(input_ranges)
                     .map(|(name, range)| {
                         Json::Obj(vec![
                             ("name".into(), Json::str(name.clone())),
@@ -648,7 +480,7 @@ mod tests {
     #[test]
     fn optimize_runs_and_respects_the_reference_budget() {
         let e = entry("input x in [-1, 1];\noutput y = 0.5*x + 0.25*x;\n");
-        let out = optimize(&e.lowered, &OptimizeParams::default()).unwrap();
+        let out = optimize(&e.session, &OptimizeParams::default()).unwrap();
         assert_eq!(out.results[0].0, "greedy");
         assert!(out.results[0].1.noise_power <= out.budget * 1.000001);
     }
@@ -656,8 +488,18 @@ mod tests {
     #[test]
     fn synth_produces_costs() {
         let e = entry("input x;\noutput y = 0.5*x;\n");
-        let imp = synth(&e.lowered, 10, SynthesisConstraints::default().clock_ns).unwrap();
+        let imp = synth(&e.session, 10, SynthesisConstraints::default().clock_ns).unwrap();
         assert!(imp.cost.area_um2 > 0.0);
+    }
+
+    #[test]
+    fn analyze_report_carries_provenance_and_timing() {
+        let e = entry("input x in [-1, 1];\noutput y = 0.5*x + 0.25*x;\n");
+        let report = analyze_report(&e, &AnalyzeParams::default()).unwrap();
+        // Auto on a linear combinational graph resolves to LTI.
+        assert_eq!(report.engine, EngineKind::Lti);
+        assert_eq!(report.kind.as_str(), "quantization-noise");
+        assert_eq!(report.reports[0].0, "y");
     }
 
     #[test]

@@ -117,6 +117,10 @@ fn dispatch(
                     Json::int(usize::try_from(s.hits).unwrap_or(usize::MAX)),
                 ),
                 (
+                    "shape_hits".into(),
+                    Json::int(usize::try_from(s.shape_hits).unwrap_or(usize::MAX)),
+                ),
+                (
                     "misses".into(),
                     Json::int(usize::try_from(s.misses).unwrap_or(usize::MAX)),
                 ),
@@ -141,7 +145,10 @@ fn dispatch(
         .map_err(|diags| render_all(&diags, &source, &origin))?;
 
     let result = match cmd {
-        "parse" => Json::Obj(exec::parse_facts_json(&entry.lowered)),
+        "parse" => Json::Obj(exec::parse_facts_json(
+            entry.session.dfg(),
+            entry.session.input_ranges(),
+        )),
         "analyze" => {
             let params = AnalyzeParams {
                 engine: match doc.get("engine").map(|v| field_str(v, "engine")) {
@@ -202,7 +209,7 @@ fn dispatch(
                 restarts: bounded_usize_field(doc, "restarts", 1, 64)?,
                 threads: bounded_usize_field(doc, "threads", 0, 64)?,
             };
-            let out = exec::optimize(&entry.lowered, &params)?;
+            let out = exec::optimize(&entry.session, &params)?;
             Json::Obj(vec![
                 ("budget".into(), Json::Num(out.budget)),
                 ("reference".into(), exec::eval_json(&out.reference)),
@@ -225,7 +232,7 @@ fn dispatch(
                     .ok_or_else(|| "`clock` must be a number".to_string())?,
                 None => sna_hls::SynthesisConstraints::default().clock_ns,
             };
-            let imp = exec::synth(&entry.lowered, bits, clock)?;
+            let imp = exec::synth(&entry.session, bits, clock)?;
             Json::Obj(vec![
                 ("bits".into(), Json::int(bits as usize)),
                 ("clock_ns".into(), Json::Num(clock)),

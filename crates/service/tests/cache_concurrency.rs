@@ -9,11 +9,14 @@ use std::sync::Arc;
 
 use sna_service::{CompileCache, CompiledEntry, Lookup};
 
-/// A family of distinct one-pole filters (distinct coefficient per k).
+/// A family of *structurally* distinct one-pole filters (`k` extra
+/// feed-forward taps) — none of them can shape-alias another, so every
+/// first compile is a deterministic miss. Coefficient-only families go
+/// through the shape tier instead (tested separately below).
 fn source(k: usize) -> String {
     format!(
-        "input x in [-1, 1];\nt = delay y;\ny = 0.{k}*x + 0.5*t;\noutput y;\n",
-        k = k + 1
+        "input x in [-1, 1];\nt = delay y;\ny = 0.3*x + 0.5*t{};\noutput y;\n",
+        " + x".repeat(k)
     )
 }
 
@@ -67,6 +70,38 @@ fn n_threads_on_same_and_distinct_sources_share_entries_and_balance_counters() {
     assert_eq!(stats.entries, DISTINCT);
     assert_eq!(stats.hits + stats.misses, (THREADS * ITERS) as u64);
     assert_eq!(stats.misses, DISTINCT as u64);
+}
+
+#[test]
+fn concurrent_coefficient_swaps_ride_the_shape_tier() {
+    // One warm skeleton, then many threads requesting coefficient-only
+    // variants: every variant must come back consistent, and none may
+    // charge a full-compile miss (the donor absorbs them all).
+    let cache = CompileCache::new();
+    let base = "input x in [-1, 1];\nlet k = 0.5;\noutput y = k*x;\n";
+    let (donor, _) = cache.get_or_compile(base).unwrap();
+    donor.na_model().unwrap();
+
+    let variant = |k: usize| format!("input x in [-1, 1];\nlet k = 0.5{k};\noutput y = k*x;\n");
+    let donor_shape = donor.shape_fingerprint;
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let cache = &cache;
+            let variant = &variant;
+            scope.spawn(move || {
+                for i in 0..20 {
+                    let (entry, lookup) = cache.get_or_compile(&variant((t + i) % 4 + 1)).unwrap();
+                    assert!(lookup.is_hit(), "coefficient variants never fully compile");
+                    assert_eq!(entry.shape_fingerprint, donor_shape);
+                    assert!(entry.na_model_built() || entry.na_model().is_ok());
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "{stats:?}");
+    assert!(stats.shape_hits >= 4, "{stats:?}");
+    assert_eq!(stats.entries, 5, "{stats:?}");
 }
 
 #[test]

@@ -26,9 +26,8 @@
 //! # Quickstart
 //!
 //! ```
-//! use sna::core::{EngineKind, SnaAnalysis};
+//! use sna::core::{AnalysisRequest, EngineKind, Session, WlChoice};
 //! use sna::dfg::DfgBuilder;
-//! use sna::fixp::WlConfig;
 //! use sna::interval::Interval;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -42,18 +41,28 @@
 //! b.output("y", y);
 //! let dfg = b.build()?;
 //!
-//! // 12-bit implementation, ranges [-1, 1].
+//! // One session per compiled datapath: ranges, gain models and views
+//! // build lazily and are shared across requests.
 //! let ranges = vec![Interval::new(-1.0, 1.0)?; 2];
-//! let cfg = WlConfig::from_ranges(&dfg, &ranges, 12)?;
+//! let session = Session::new(dfg, ranges)?;
 //!
-//! // Symbolic noise analysis: full error PDF + exact moments + bounds.
-//! let reports = SnaAnalysis::new(&dfg, &cfg, &ranges)
-//!     .engine(EngineKind::Auto)
-//!     .bins(64)
-//!     .run()?;
-//! let noise = &reports[0].1;
-//! println!("error ∈ [{:.2e}, {:.2e}], σ = {:.2e}",
+//! // Symbolic noise analysis at 12 bits: full error PDF + exact
+//! // moments + bounds, plus which engine actually ran and the timing.
+//! let report = session.analyze(&AnalysisRequest {
+//!     engine: EngineKind::Auto,
+//!     words: WlChoice::Uniform(12),
+//!     bins: 64,
+//!     include_pdf: true,
+//! })?;
+//! let noise = &report.reports[0].1;
+//! println!("[{}] error ∈ [{:.2e}, {:.2e}], σ = {:.2e}",
+//!          report.engine.name(),
 //!          noise.support.0, noise.support.1, noise.std_dev());
+//!
+//! // Coefficient-level incremental recompilation: same shape, new
+//! // constants — lowering and unaffected gains are reused.
+//! let swapped = session.with_coefficients(&[0.25, 0.65])?;
+//! assert_eq!(swapped.coefficients(), vec![0.25, 0.65]);
 //! # Ok(())
 //! # }
 //! ```
