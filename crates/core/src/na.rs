@@ -435,6 +435,32 @@ impl NaModel {
         &self.coeff_sites
     }
 
+    /// The storage budget (in `f64`s) for a model's impulse-response
+    /// sequences. Sources whose sequences did not fit fall back to
+    /// forward simulation when the model is [`NaModel::patched`].
+    pub const RESPONSE_FLOAT_BUDGET: usize = MAX_RESPONSE_FLOATS;
+
+    /// Total `f64`s of impulse-response sequences this model stores
+    /// (always within [`NaModel::RESPONSE_FLOAT_BUDGET`]).
+    pub fn stored_response_floats(&self) -> usize {
+        self.responses
+            .iter()
+            .flatten()
+            .flat_map(|seqs| seqs.iter().map(Vec::len))
+            .sum()
+    }
+
+    /// Analyzed sources whose response sequences were *dropped* by the
+    /// storage budget — each will re-simulate instead of recombining
+    /// when a coefficient swap dirties it.
+    pub fn budgeted_out_sources(&self) -> usize {
+        self.gains
+            .iter()
+            .zip(&self.responses)
+            .filter(|(g, r)| g.is_some() && r.is_none())
+            .count()
+    }
+
     /// All *random* bounded sources under `config`, each attached to the
     /// node whose gains it propagates through: the precision-losing
     /// quantization sites plus the coefficient pseudo-sources.

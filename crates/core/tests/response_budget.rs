@@ -1,0 +1,96 @@
+//! Regression coverage for the `MAX_RESPONSE_FLOATS` storage budget
+//! (ROADMAP follow-on): a model too large to keep all impulse-response
+//! sequences must still patch correctly through
+//! `Session::with_coefficients` — the budgeted-out sources fall back to
+//! forward simulation, and the patched analysis agrees with a
+//! from-scratch compile within 1e-12.
+
+use sna_core::{AnalysisRequest, EngineKind, NaModel, Session, WlChoice};
+use sna_dfg::DfgBuilder;
+use sna_interval::Interval;
+
+/// A tapped-delay-line with enough (source × output) response mass to
+/// overflow the storage budget: a 160-deep chain feeding 32 scaled
+/// outputs.
+fn oversized() -> (sna_dfg::Dfg, Vec<Interval>) {
+    let mut b = DfgBuilder::new();
+    let x = b.input("x");
+    let taps = b.delay_chain(x, 160);
+    for k in 0..32 {
+        let c = b.constant(0.015625 + k as f64 * 0.001953125);
+        let m = b.mul(c, taps[5 * k + 4]);
+        b.output(format!("o{k}"), m);
+    }
+    (b.build().unwrap(), vec![Interval::new(-1.0, 1.0).unwrap()])
+}
+
+#[test]
+fn oversized_models_cross_the_response_budget() {
+    let (g, r) = oversized();
+    let s = Session::new(g, r).unwrap();
+    let model = s.na_model().unwrap();
+    assert!(
+        model.stored_response_floats() <= NaModel::RESPONSE_FLOAT_BUDGET,
+        "stored {} floats, budget {}",
+        model.stored_response_floats(),
+        NaModel::RESPONSE_FLOAT_BUDGET
+    );
+    assert!(
+        model.budgeted_out_sources() > 0,
+        "the test graph must actually cross the budget \
+         (stored {} floats over {} sources)",
+        model.stored_response_floats(),
+        model.budgeted_out_sources()
+    );
+}
+
+#[test]
+fn budgeted_fallback_patch_matches_a_from_scratch_compile() {
+    let (g, r) = oversized();
+    let s = Session::new(g.clone(), r.clone()).unwrap();
+    s.na_model().unwrap();
+
+    // Retune coefficients at both ends of the chain: the deep one's
+    // dirty cone reaches sources whose response sequences were dropped
+    // by the budget, forcing the forward-simulation fallback.
+    let mut coeffs = s.coefficients();
+    let last = coeffs.len() - 1;
+    coeffs[0] *= 1.5;
+    coeffs[last] *= 0.5;
+    let patched = s.with_coefficients(&coeffs).unwrap();
+
+    let stats = patched.stats();
+    assert_eq!(stats.na_patches, 1, "{stats:?}");
+    assert_eq!(stats.na_builds, 1, "no full rebuild: {stats:?}");
+    assert!(
+        stats.gains_rebuilt > 0,
+        "the budget fallback must re-simulate some sources: {stats:?}"
+    );
+
+    let cold = Session::new(g.with_const_values(&coeffs).unwrap(), r).unwrap();
+    let req = AnalysisRequest {
+        engine: EngineKind::Na,
+        words: WlChoice::Uniform(12),
+        bins: 32,
+        include_pdf: false,
+    };
+    let a = patched.analyze(&req).unwrap();
+    let b = cold.analyze(&req).unwrap();
+    assert_eq!(a.reports.len(), b.reports.len());
+    for ((n1, ra), (n2, rb)) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(n1, n2);
+        let tol = 1e-12 * rb.variance.abs().max(1e-300);
+        assert!(
+            (ra.variance - rb.variance).abs() <= tol,
+            "{n1}: variance {} vs {}",
+            ra.variance,
+            rb.variance
+        );
+        assert!(
+            (ra.mean - rb.mean).abs() <= 1e-12 * rb.mean.abs().max(1e-30),
+            "{n1}: mean {} vs {}",
+            ra.mean,
+            rb.mean
+        );
+    }
+}

@@ -1,3 +1,5 @@
+use sna_interval::Interval;
+
 use crate::graph::{combinational_topo, Node};
 use crate::{Dfg, DfgError, NodeId, Op};
 
@@ -31,6 +33,8 @@ pub struct DfgBuilder {
     input_names: Vec<String>,
     /// Delay nodes created via `delay_placeholder` that still need binding.
     pending_delays: Vec<NodeId>,
+    /// Declared range overrides, `(node, interval)` in declaration order.
+    overrides: Vec<(NodeId, Interval)>,
 }
 
 impl DfgBuilder {
@@ -166,6 +170,23 @@ impl DfgBuilder {
         self.outputs.push((name.into(), node));
     }
 
+    /// Declares a range override for a node: every range engine will
+    /// report `interval` for it instead of the computed range — the
+    /// designer-knowledge escape hatch behind the DSL's
+    /// `range [lo, hi]` clause.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::UnknownNode`] for a foreign id.
+    pub fn override_range(&mut self, node: NodeId, interval: Interval) -> Result<(), DfgError> {
+        if node.0 >= self.nodes.len() {
+            return Err(DfgError::UnknownNode { node });
+        }
+        self.overrides.retain(|(n, _)| *n != node);
+        self.overrides.push((node, interval));
+        Ok(())
+    }
+
     /// Number of nodes created so far.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -208,12 +229,24 @@ impl DfgBuilder {
             .filter(|(_, n)| n.op == Op::Delay)
             .map(|(i, _)| NodeId(i))
             .collect();
+        let mut overrides = vec![
+            None;
+            if self.overrides.is_empty() {
+                0
+            } else {
+                self.nodes.len()
+            }
+        ];
+        for (node, interval) in self.overrides {
+            overrides[node.0] = Some(interval);
+        }
         Ok(Dfg {
             nodes: self.nodes,
             outputs: self.outputs,
             input_names: self.input_names,
             topo,
             delays,
+            overrides,
         })
     }
 }

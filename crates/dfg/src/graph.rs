@@ -1,5 +1,7 @@
 use std::fmt;
 
+use sna_interval::Interval;
+
 use crate::DfgError;
 
 /// Identifier of a node within a [`Dfg`].
@@ -152,6 +154,11 @@ pub struct Dfg {
     pub(crate) topo: Vec<NodeId>,
     /// All delay nodes, in id order.
     pub(crate) delays: Vec<NodeId>,
+    /// Per-node range overrides (the DSL's `range [lo, hi]` clause):
+    /// every range engine reports the declared interval for an
+    /// overridden node instead of its computed one.  Empty when no node
+    /// is overridden.
+    pub(crate) overrides: Vec<Option<Interval>>,
 }
 
 impl Dfg {
@@ -207,6 +214,19 @@ impl Dfg {
     /// Whether the graph is purely combinational (no delays).
     pub fn is_combinational(&self) -> bool {
         self.delays.is_empty()
+    }
+
+    /// The declared range override of a node (the DSL's
+    /// `range [lo, hi]` clause), if any.  Every range engine in this
+    /// crate reports the override for such a node instead of its
+    /// computed range.
+    pub fn range_override(&self, id: NodeId) -> Option<Interval> {
+        self.overrides.get(id.0).copied().flatten()
+    }
+
+    /// Whether any node carries a range override.
+    pub fn has_range_overrides(&self) -> bool {
+        self.overrides.iter().any(Option::is_some)
     }
 
     /// Counts nodes per operation kind.
@@ -273,6 +293,9 @@ impl Dfg {
             input_names,
             topo,
             delays: Vec::new(),
+            // A delay's override becomes its state input's override: the
+            // per-sample view reports the same per-node ranges.
+            overrides: self.overrides.clone(),
         }
     }
 
@@ -454,6 +477,18 @@ impl Dfg {
         }
         for (name, id) in &self.outputs {
             let _ = writeln!(out, "out \"{name}\" n{}", id.0);
+        }
+        // Range overrides change every downstream analysis, so two
+        // shapes that differ only in overrides must not alias.
+        for (i, ov) in self.overrides.iter().enumerate() {
+            if let Some(r) = ov {
+                let _ = writeln!(
+                    out,
+                    "override n{i} {:016x} {:016x}",
+                    r.lo().to_bits(),
+                    r.hi().to_bits()
+                );
+            }
         }
         out
     }

@@ -237,6 +237,11 @@ impl Dfg {
     /// `range(n) = center(n) ± Σᵢ l1ᵢ(n)·rad(inputᵢ)` where `center` is the
     /// settled response to all inputs held at their midpoints.
     ///
+    /// A node carrying a [range override](Dfg::range_override) reports
+    /// the declared interval instead of its L1 bound (the override pins
+    /// that node's reported range; other nodes keep their global
+    /// impulse-based bounds).
+    ///
     /// # Errors
     ///
     /// * [`DfgError::NonlinearNode`] for nonlinear graphs;
@@ -302,7 +307,11 @@ impl Dfg {
         Ok(center
             .iter()
             .zip(rad.iter())
-            .map(|(&c, &r)| Interval::centered(c, r))
+            .enumerate()
+            .map(|(i, (&c, &r))| {
+                self.range_override(NodeId(i))
+                    .unwrap_or_else(|| Interval::centered(c, r))
+            })
             .collect())
     }
 

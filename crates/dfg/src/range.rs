@@ -40,6 +40,11 @@ impl Dfg {
     /// ranges start at `[0, 0]` (the reset state) and are widened with the
     /// hull of their source's range until stable.
     ///
+    /// Nodes carrying a [range override](Dfg::range_override) report the
+    /// declared interval instead of the computed one; overridden delays
+    /// are pinned (never widened), which can make otherwise-divergent
+    /// feedback converge.
+    ///
     /// # Errors
     ///
     /// * [`DfgError::WrongInputCount`] for a mis-sized range slice;
@@ -58,6 +63,14 @@ impl Dfg {
             });
         }
         let mut ranges = vec![Interval::ZERO; self.len()];
+        // Overridden delays are pinned at their declared range from the
+        // start (the reset state is inside or outside — the override
+        // wins either way).
+        for &d in self.delay_nodes() {
+            if let Some(r) = self.range_override(d) {
+                ranges[d.index()] = r;
+            }
+        }
         let iterations = if self.is_combinational() {
             1
         } else {
@@ -85,7 +98,7 @@ impl Dfg {
                     Op::Neg => -ranges[node.args()[0].index()],
                     Op::Delay => continue,
                 };
-                ranges[id.index()] = v;
+                ranges[id.index()] = self.range_override(id).unwrap_or(v);
             }
             // Unbounded feedback blows ranges up geometrically; declare
             // divergence as soon as a bound stops being finite.
@@ -100,6 +113,9 @@ impl Dfg {
             // fixpoint is reached exactly when no delay grows materially.
             let mut changed = false;
             for &d in self.delay_nodes() {
+                if self.range_override(d).is_some() {
+                    continue; // pinned by the override
+                }
                 let src = self.node(d).args()[0];
                 let widened = ranges[d.index()].hull(&ranges[src.index()]);
                 if !widened.width().is_finite() {
@@ -161,10 +177,11 @@ impl Dfg {
         }
         let in_cone = self.downstream_mask(dirty_roots);
         let mut ranges = base.to_vec();
-        // In-cone delays restart from the reset state, mirroring scratch.
+        // In-cone delays restart from the reset state, mirroring scratch;
+        // overridden delays stay pinned at their declared range instead.
         for &d in self.delay_nodes() {
             if in_cone[d.index()] {
-                ranges[d.index()] = Interval::ZERO;
+                ranges[d.index()] = self.range_override(d).unwrap_or(Interval::ZERO);
             }
         }
         let cone_has_delay = self.delay_nodes().iter().any(|d| in_cone[d.index()]);
@@ -197,7 +214,7 @@ impl Dfg {
                     Op::Neg => -ranges[node.args()[0].index()],
                     Op::Delay => continue,
                 };
-                ranges[id.index()] = v;
+                ranges[id.index()] = self.range_override(id).unwrap_or(v);
             }
             if ranges
                 .iter()
@@ -207,7 +224,7 @@ impl Dfg {
             }
             let mut changed = false;
             for &d in self.delay_nodes() {
-                if !in_cone[d.index()] {
+                if !in_cone[d.index()] || self.range_override(d).is_some() {
                     continue;
                 }
                 let src = self.node(d).args()[0];
@@ -235,6 +252,11 @@ impl Dfg {
 
     /// Computes per-node ranges with affine arithmetic (combinational
     /// graphs only); returns the affine form of every node.
+    ///
+    /// A node carrying a [range override](Dfg::range_override) is
+    /// replaced by a fresh independent form over the declared interval
+    /// (correlations through it are deliberately cut — the override is
+    /// the designer's bound, not a derived one).
     ///
     /// # Errors
     ///
@@ -281,7 +303,10 @@ impl Dfg {
                 Op::Neg => -forms[node.args()[0].index()].clone(),
                 Op::Delay => unreachable!("combinational graph"),
             };
-            forms[id.index()] = v;
+            forms[id.index()] = match self.range_override(id) {
+                Some(r) => ctx.from_interval(r),
+                None => v,
+            };
         }
         Ok(forms)
     }
@@ -560,6 +585,111 @@ mod tests {
         b.output("y", q);
         let g = b.build().unwrap();
         assert_eq!(first_nonlinear_node(&g), Some(q));
+    }
+
+    #[test]
+    fn overrides_replace_computed_ranges_and_propagate_downstream() {
+        // y = 2·(x + x): IA computes x+x as [-2, 2]; an override pins it
+        // to [-1, 1] and downstream sees the override.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let s = b.add(x, x);
+        let y = b.mul_const(2.0, s);
+        b.output("y", y);
+        b.override_range(s, iv(-1.0, 1.0)).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.has_range_overrides());
+        assert_eq!(g.range_override(s), Some(iv(-1.0, 1.0)));
+        let r = g
+            .ranges_interval(&[iv(-1.0, 1.0)], &RangeOptions::default())
+            .unwrap();
+        assert_eq!(r[s.index()], iv(-1.0, 1.0));
+        assert_eq!(r[y.index()], iv(-2.0, 2.0));
+        // Affine analysis respects it too (as a fresh independent form).
+        let aa = g.ranges_affine(&[iv(-1.0, 1.0)]).unwrap();
+        assert_eq!(aa[s.index()].to_interval(), iv(-1.0, 1.0));
+    }
+
+    #[test]
+    fn overridden_delay_pins_divergent_feedback() {
+        // y = x + 1.5·y[n-1] diverges — unless the designer bounds the
+        // feedback state.
+        let mk = |with_override: bool| {
+            let mut b = DfgBuilder::new();
+            let x = b.input("x");
+            let fb = b.delay_placeholder();
+            let amp = b.mul_const(1.5, fb);
+            let y = b.add(x, amp);
+            b.bind_delay(fb, y).unwrap();
+            b.output("y", y);
+            if with_override {
+                b.override_range(fb, iv(-2.0, 2.0)).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let opts = RangeOptions::default();
+        assert!(matches!(
+            mk(false).ranges_interval(&[iv(-1.0, 1.0)], &opts),
+            Err(DfgError::RangeDivergence { .. })
+        ));
+        let g = mk(true);
+        let r = g.ranges_interval(&[iv(-1.0, 1.0)], &opts).unwrap();
+        let (_, yid) = g.outputs()[0].clone();
+        // y = x + 1.5·[-2, 2] = [-4, 4].
+        assert_eq!(r[yid.index()], iv(-4.0, 4.0));
+    }
+
+    #[test]
+    fn patched_ranges_respect_overrides_bit_for_bit() {
+        // A FIR tap with an overridden accumulator: patching a swapped
+        // coefficient must agree with scratch exactly.
+        let mk = |c: f64| {
+            let mut b = DfgBuilder::new();
+            let x = b.input("x");
+            let x1 = b.delay(x);
+            let t = b.mul_const(c, x1);
+            let y = b.add(x, t);
+            b.override_range(y, iv(-1.25, 1.25)).unwrap();
+            b.output("y", y);
+            (b.build().unwrap(), y)
+        };
+        let (g, _) = mk(0.5);
+        let inputs = [iv(-1.0, 1.0)];
+        let opts = RangeOptions::default();
+        let base = g.ranges_interval(&inputs, &opts).unwrap();
+        let swapped = g.with_const_values(&[0.25]).unwrap();
+        assert_eq!(
+            swapped.range_override(g.outputs()[0].1),
+            Some(iv(-1.25, 1.25)),
+            "with_const_values keeps overrides"
+        );
+        let scratch = swapped.ranges_interval(&inputs, &opts).unwrap();
+        let root = swapped.const_nodes()[0];
+        let patched = swapped
+            .ranges_interval_patched(&inputs, &opts, &base, &[root])
+            .unwrap();
+        for (i, (s, p)) in scratch.iter().zip(&patched).enumerate() {
+            assert_eq!(s.lo().to_bits(), p.lo().to_bits(), "node {i} lo");
+            assert_eq!(s.hi().to_bits(), p.hi().to_bits(), "node {i} hi");
+        }
+    }
+
+    #[test]
+    fn lti_ranges_respect_overrides() {
+        // Stable feedback via the LTI bound, with the accumulator pinned.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let half = b.mul_const(0.5, fb);
+        let y = b.add(x, half);
+        b.bind_delay(fb, y).unwrap();
+        b.override_range(y, iv(-1.5, 1.5)).unwrap();
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let r = g
+            .ranges_lti(&[iv(-1.0, 1.0)], &crate::LtiOptions::default())
+            .unwrap();
+        assert_eq!(r[y.index()], iv(-1.5, 1.5));
     }
 
     #[test]

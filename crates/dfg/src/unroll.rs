@@ -17,7 +17,13 @@ impl Dfg {
     /// * delays: step `0` reads the reset state (constant 0); step `t`
     ///   reads the delay's source value from step `t-1`;
     /// * outputs: `steps` copies of each original output, named
-    ///   `"<name>@<t>"`.
+    ///   `"<name>@<t>"`;
+    /// * range overrides: carried onto each step's copy of an
+    ///   overridden *combinational* node. Overrides on delay nodes are
+    ///   dropped (delay copies are aliases of other steps' nodes and
+    ///   the shared reset constant — pinning those would corrupt
+    ///   non-overridden ranges); only the sequential engines honor
+    ///   delay-state overrides.
     ///
     /// # Errors
     ///
@@ -34,6 +40,17 @@ impl Dfg {
         for t in 0..steps {
             let mut ids = vec![NodeId::from_index(usize::MAX); self.len()];
             // Delays first: they depend only on the previous step.
+            //
+            // A range override on a *delay* node is deliberately NOT
+            // carried here: the delay's copy is a bare alias of the
+            // previous step's source copy (or the shared reset
+            // constant), so applying the override would pin a node the
+            // designer never claimed anything about — narrowing input
+            // copies or the reset constant below values the simulator
+            // actually produces. Delay-state overrides are honored by
+            // the sequential engines ([`Dfg::ranges_interval`] and the
+            // LTI bound); the unrolled transient view has no node of
+            // its own to attach them to.
             for &d in self.delay_nodes() {
                 let src = self.node(d).args()[0];
                 let value = if t == 0 {
@@ -58,6 +75,12 @@ impl Dfg {
                 };
                 if let Some(name) = node.name() {
                     let _ = b.name(new_id, format!("{name}@{t}"));
+                }
+                // Each step's copy of an overridden combinational node
+                // keeps the declared range (each copy is a node of its
+                // own; see the delay caveat above).
+                if let Some(r) = self.range_override(id) {
+                    let _ = b.override_range(new_id, r);
                 }
                 ids[id.index()] = new_id;
             }
@@ -124,6 +147,72 @@ mod tests {
     fn zero_steps_is_rejected() {
         let g = one_pole();
         assert!(matches!(g.unroll(0), Err(DfgError::NoOutputs)));
+    }
+
+    #[test]
+    fn combinational_overrides_are_carried_per_step_copy() {
+        use sna_interval::Interval;
+        let iv = |lo: f64, hi: f64| Interval::new(lo, hi).unwrap();
+
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let s = b.mul_const(0.5, x);
+        let d = b.delay(s);
+        let y = b.add(s, d);
+        b.override_range(s, iv(-0.25, 0.25)).unwrap();
+        b.output("y", y);
+        let g = b.build().unwrap();
+        let u = g.unroll(2).unwrap();
+        let muls: Vec<NodeId> = u
+            .nodes()
+            .filter(|(_, n)| n.op() == Op::Mul)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(muls.len(), 2);
+        for m in muls {
+            assert_eq!(u.range_override(m), Some(iv(-0.25, 0.25)));
+        }
+    }
+
+    #[test]
+    fn delay_overrides_never_leak_onto_aliased_copies() {
+        use sna_interval::Interval;
+        let iv = |lo: f64, hi: f64| Interval::new(lo, hi).unwrap();
+
+        // d1 = delay x; d2 = delay d1 with the *d2 node* overridden to
+        // [0.5, 1]. In the unrolled graph d2's copies alias the shared
+        // reset constant (t ≤ 1) and x input copies (t ≥ 2); pinning
+        // those would exclude values the simulator actually produces
+        // (y@0 is exactly 0). The override is a sequential-engine
+        // claim and must be dropped here.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let d1 = b.delay(x);
+        let d2 = b.delay(d1);
+        let y = b.add(d1, d2);
+        b.override_range(d2, iv(0.5, 1.0)).unwrap();
+        b.output("y", y);
+        let g = b.build().unwrap();
+
+        let u = g.unroll(3).unwrap();
+        assert!(
+            !u.has_range_overrides(),
+            "no unrolled node may inherit the delay-state override"
+        );
+        let ranges = u
+            .ranges_interval(&[iv(-1.0, 1.0); 3], &crate::RangeOptions::default())
+            .unwrap();
+        // y@0 = 0 exactly (both states are reset zeros); y@1 = x@0.
+        let (_, y0) = &u.outputs()[0];
+        assert_eq!(ranges[y0.index()], iv(0.0, 0.0));
+        let (_, y1) = &u.outputs()[1];
+        assert_eq!(ranges[y1.index()], iv(-1.0, 1.0));
+        // The sequential engine still honors the claim on the graph
+        // itself.
+        let seq = g
+            .ranges_interval(&[iv(-1.0, 1.0)], &crate::RangeOptions::default())
+            .unwrap();
+        assert_eq!(seq[d2.index()], iv(0.5, 1.0));
     }
 
     #[test]

@@ -62,6 +62,17 @@ pub struct Expr {
     pub span: Span,
 }
 
+/// The payload of an `x[...]` reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// `x[i]` — element `i` of a vector input bank.
+    Element(usize),
+    /// `x[n-k]` — the signal `k` samples ago (`x[n]` is `k == 0`, the
+    /// current sample). Lowers onto the shared, deduped delay chain of
+    /// `x`.
+    Tap(usize),
+}
+
 /// Expression shapes.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ExprKind {
@@ -71,6 +82,14 @@ pub enum ExprKind {
     Number(f64),
     /// A reference to a named value.
     Var(String),
+    /// `base[i]` (vector-element reference) or `base[n-k]` (tap-index
+    /// sugar for the deduped delay chain of `base`).
+    Index {
+        /// The indexed name.
+        base: String,
+        /// Which element or tap.
+        index: IndexKind,
+    },
     /// `-e` or `delay e`.
     Unary {
         /// The operator.
@@ -94,18 +113,30 @@ pub enum ExprKind {
 pub enum Stmt {
     /// `input x in [lo, hi];` — declares an external input. Without the
     /// range annotation the input defaults to `[-1, 1]`.
+    ///
+    /// `input x[8] in [lo, hi];` declares a *bank* of 8 inputs, each
+    /// with the same range, addressable as `x[0]` … `x[7]`.
     Input {
         /// The input's name.
         name: Ident,
+        /// Bank width for `input x[8];` (with the span of the `[8]`
+        /// text); `None` declares a plain scalar input.
+        width: Option<(usize, Span)>,
         /// Optional `[lo, hi]` annotation (with its span).
         range: Option<InputRange>,
     },
     /// `name = expr;` — binds a name to the value of an expression.
+    ///
+    /// `name = expr range [lo, hi];` additionally *overrides* range
+    /// analysis at the bound node: every engine reports the declared
+    /// interval for it instead of the computed one.
     Let {
         /// The bound name.
         name: Ident,
         /// The defining expression.
         expr: Expr,
+        /// Optional `range [lo, hi]` override clause.
+        range: Option<InputRange>,
     },
     /// `let name = number;` — a *named constant binding*.  Semantically a
     /// plain binding to a literal, but syntactically marked: the one
@@ -121,12 +152,16 @@ pub enum Stmt {
         value_span: Span,
     },
     /// `output name;` or `output name = expr;` — declares an output. The
-    /// second form also binds `name` like a `let`.
+    /// second form also binds `name` like a `let`, and accepts the same
+    /// `range [lo, hi]` override clause.
     Output {
         /// The output's name.
         name: Ident,
         /// Present in the `output name = expr;` form.
         expr: Option<Expr>,
+        /// Optional `range [lo, hi]` override clause (only legal in the
+        /// `= expr` form).
+        range: Option<InputRange>,
     },
 }
 
@@ -163,6 +198,11 @@ impl Expr {
         match &self.kind {
             ExprKind::Number(v) => fmt_number(*v, f),
             ExprKind::Var(name) => f.write_str(name),
+            ExprKind::Index { base, index } => match index {
+                IndexKind::Element(i) => write!(f, "{base}[{i}]"),
+                IndexKind::Tap(0) => write!(f, "{base}[n]"),
+                IndexKind::Tap(k) => write!(f, "{base}[n-{k}]"),
+            },
             ExprKind::Unary { op, operand } => {
                 // Unary binds tighter than any binary operator.
                 let needs_parens = min_prec > 3;
@@ -204,27 +244,51 @@ impl fmt::Display for Expr {
     }
 }
 
+/// Prints ` range [lo, hi]` when a clause is present.
+fn fmt_range_clause(range: &Option<InputRange>, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if let Some(r) = range {
+        f.write_str(" range [")?;
+        fmt_number(r.lo, f)?;
+        f.write_str(", ")?;
+        fmt_number(r.hi, f)?;
+        f.write_str("]")?;
+    }
+    Ok(())
+}
+
 impl fmt::Display for Stmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Stmt::Input { name, range } => match range {
-                Some(r) => {
-                    write!(f, "input {} in [", name.name)?;
+            Stmt::Input { name, width, range } => {
+                write!(f, "input {}", name.name)?;
+                if let Some((w, _)) = width {
+                    write!(f, "[{w}]")?;
+                }
+                if let Some(r) = range {
+                    f.write_str(" in [")?;
                     fmt_number(r.lo, f)?;
                     f.write_str(", ")?;
                     fmt_number(r.hi, f)?;
-                    f.write_str("];")
+                    f.write_str("]")?;
                 }
-                None => write!(f, "input {};", name.name),
-            },
-            Stmt::Let { name, expr } => write!(f, "{} = {expr};", name.name),
+                f.write_str(";")
+            }
+            Stmt::Let { name, expr, range } => {
+                write!(f, "{} = {expr}", name.name)?;
+                fmt_range_clause(range, f)?;
+                f.write_str(";")
+            }
             Stmt::ConstLet { name, value, .. } => {
                 write!(f, "let {} = ", name.name)?;
                 fmt_number(*value, f)?;
                 f.write_str(";")
             }
-            Stmt::Output { name, expr } => match expr {
-                Some(e) => write!(f, "output {} = {e};", name.name),
+            Stmt::Output { name, expr, range } => match expr {
+                Some(e) => {
+                    write!(f, "output {} = {e}", name.name)?;
+                    fmt_range_clause(range, f)?;
+                    f.write_str(";")
+                }
                 None => write!(f, "output {};", name.name),
             },
         }
@@ -317,5 +381,53 @@ mod tests {
         };
         assert_eq!(neg_sum.to_string(), "-(a + b)");
         assert_eq!(num(-0.5).to_string(), "-0.5");
+    }
+
+    #[test]
+    fn index_and_range_forms_print_canonically() {
+        let elem = Expr {
+            kind: ExprKind::Index {
+                base: "v".into(),
+                index: IndexKind::Element(3),
+            },
+            span: Span::default(),
+        };
+        assert_eq!(elem.to_string(), "v[3]");
+        let tap = |k: usize| Expr {
+            kind: ExprKind::Index {
+                base: "x".into(),
+                index: IndexKind::Tap(k),
+            },
+            span: Span::default(),
+        };
+        assert_eq!(tap(0).to_string(), "x[n]");
+        assert_eq!(tap(2).to_string(), "x[n-2]");
+
+        let stmt = Stmt::Let {
+            name: Ident {
+                name: "acc".into(),
+                span: Span::default(),
+            },
+            expr: bin(BinaryOp::Add, var("a"), var("b")),
+            range: Some(InputRange {
+                lo: -0.5,
+                hi: 1.25,
+                span: Span::default(),
+            }),
+        };
+        assert_eq!(stmt.to_string(), "acc = a + b range [-0.5, 1.25];");
+        let bank = Stmt::Input {
+            name: Ident {
+                name: "v".into(),
+                span: Span::default(),
+            },
+            width: Some((4, Span::default())),
+            range: Some(InputRange {
+                lo: -1.0,
+                hi: 1.0,
+                span: Span::default(),
+            }),
+        };
+        assert_eq!(bank.to_string(), "input v[4] in [-1, 1];");
     }
 }

@@ -24,29 +24,54 @@
 //! ```text
 //! program  := stmt*
 //! stmt     := input | constlet | binding | output
-//! input    := "input" IDENT ("in" "[" signed "," signed "]")? ";"
+//! input    := "input" IDENT ("[" INT "]")? ("in" "[" signed "," signed "]")? ";"
 //! constlet := "let" IDENT "=" signed ";"
-//! binding  := IDENT "=" expr ";"
-//! output   := "output" IDENT ("=" expr)? ";"
+//! binding  := IDENT "=" expr override? ";"
+//! output   := "output" IDENT ("=" expr override?)? ";"
+//! override := "range" "[" signed "," signed "]"
 //!
 //! expr     := term (("+" | "-") term)*          // left-associative
 //! term     := unary (("*" | "/") unary)*        // left-associative
 //! unary    := "-" unary | "delay" unary | primary
-//! primary  := NUMBER | IDENT | "(" expr ")"
+//! primary  := NUMBER | IDENT index? | "(" expr ")"
+//! index    := "[" (INT | "n" ("-" INT)?) "]"
 //! signed   := "-"? NUMBER
 //!
 //! NUMBER   := [0-9]+ ("." [0-9]+)? ([eE] [+-]? [0-9]+)?
+//! INT      := [0-9]+
 //! IDENT    := [A-Za-z_][A-Za-z0-9_]*            // except keywords
 //! ```
 //!
-//! Comments run from `#` or `//` to end of line. The five keywords are
-//! `input`, `output`, `in`, `delay` and `let`.
+//! Comments run from `#` or `//` to end of line. The six keywords are
+//! `input`, `output`, `in`, `delay`, `let` and `range`.
 //!
 //! `let k = 0.70710678;` is a *named constant binding*: semantically the
 //! same as `k = 0.70710678;` (it lowers to the shared, deduped `Const`
 //! node), but it marks the one obvious mutation site of a
 //! coefficient-swept design — the values `Session::with_coefficients`
 //! swaps without recompiling.
+//!
+//! `input v[8] in [-1, 1];` declares a *vector input bank*: eight
+//! inputs addressable as `v[0]` … `v[7]`, each with the declared range.
+//!
+//! `x[n-3]` is *tap-index sugar*: the value of `x` three samples ago.
+//! Taps of one source share a single deduped delay chain (`x[n-1]` and
+//! `x[n-3]` together create three delay nodes, not four), and a tap of
+//! a name defined later expresses feedback exactly like `delay name`.
+//! `x[n]` is the current sample.
+//!
+//! `acc = a + b range [-1, 1];` *overrides range analysis* at the bound
+//! node: the range engines behind every analysis path — the interval
+//! fixpoint, its cone-limited incremental patch, the LTI L1 fallback,
+//! affine analysis, and the per-sample combinational view (where a
+//! delay's override becomes its state input's) — report the declared
+//! interval for `acc` instead of the computed one.  This is the escape
+//! hatch for designer knowledge interval arithmetic cannot see, and a
+//! way to bound feedback state that would otherwise diverge.  (The one
+//! exception is the standalone `Dfg::unroll` transient view, which
+//! carries overrides per step for computed nodes but drops delay-state
+//! overrides — see its docs.)  Full reference in
+//! `crates/lang/README.md`.
 //!
 //! # Semantics
 //!
@@ -86,10 +111,10 @@ mod parser;
 mod span;
 mod token;
 
-pub use ast::{BinaryOp, Expr, ExprKind, Ident, InputRange, Program, Stmt, UnaryOp};
+pub use ast::{BinaryOp, Expr, ExprKind, Ident, IndexKind, InputRange, Program, Stmt, UnaryOp};
 pub use diag::{render_all, Diagnostic};
 pub use fingerprint::{canonical_fingerprint, fnv1a_64, source_fingerprint};
-pub use lower::{compile, lower, Lowered};
-pub use parser::parse;
+pub use lower::{compile, lower, Lowered, MAX_PROGRAM_INPUTS, MAX_SUGAR_DELAYS};
+pub use parser::{parse, MAX_TAP_DEPTH, MAX_VECTOR_WIDTH};
 pub use span::Span;
 pub use token::{lex, Token, TokenKind};

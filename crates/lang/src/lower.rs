@@ -3,8 +3,19 @@ use std::collections::HashMap;
 use sna_dfg::{Dfg, DfgBuilder, NodeId};
 use sna_interval::Interval;
 
-use crate::ast::{BinaryOp, Expr, ExprKind, Program, Stmt, UnaryOp};
+use crate::ast::{BinaryOp, Expr, ExprKind, IndexKind, InputRange, Program, Stmt, UnaryOp};
 use crate::{Diagnostic, Span};
+
+/// Total delay nodes tap-index sugar may create in one program. Each
+/// reference is already depth-capped by the parser
+/// ([`crate::parser::MAX_TAP_DEPTH`]); this bounds the *sum* over all
+/// sources, so a small untrusted source cannot amplify into millions of
+/// nodes.
+pub const MAX_SUGAR_DELAYS: usize = 16_384;
+
+/// Total input nodes (scalars plus vector-bank elements) one program may
+/// declare; same amplification reasoning as [`MAX_SUGAR_DELAYS`].
+pub const MAX_PROGRAM_INPUTS: usize = 16_384;
 
 /// The product of lowering: a validated graph plus per-input ranges, in
 /// input-declaration order — exactly the pair every analysis entry point
@@ -89,9 +100,19 @@ struct Lowering {
     /// in symmetric filters — share a node instead of multiplying the
     /// constant count.
     consts: HashMap<u64, NodeId>,
+    /// Vector input banks: name → element nodes (`x[0]` … `x[w-1]`).
+    vectors: HashMap<String, Vec<NodeId>>,
+    /// The shared delay chain of each tapped source: `taps[s][k-1]` is
+    /// `s[n-k]`. All tap references of one source share one chain, so
+    /// `x[n-3]` after `x[n-1]` adds two delays, not three.
+    taps: HashMap<String, Vec<NodeId>>,
+    /// Delay nodes created by tap sugar so far (bounded by
+    /// [`MAX_SUGAR_DELAYS`]).
+    sugar_delays: usize,
     input_ranges: Vec<Interval>,
-    /// Forward references created by `delay name`: placeholder node plus
-    /// the name and span to resolve once all statements are lowered.
+    /// Forward references created by `delay name` or a tap of a
+    /// not-yet-defined source: placeholder node plus the name and span to
+    /// resolve once all statements are lowered.
     pending: Vec<(String, NodeId, Span)>,
     outputs: Vec<String>,
     errors: Vec<Diagnostic>,
@@ -110,8 +131,15 @@ impl Lowering {
                         .bind_delay(placeholder, source)
                         .expect("placeholder ids are valid and bound once");
                 }
+                None if self.vectors.contains_key(&name) => self.errors.push(Diagnostic::new(
+                    format!(
+                        "`{name}` is a vector input bank — bind an element to a name \
+                         (`e = {name}[0];`) before delaying or tapping it"
+                    ),
+                    span,
+                )),
                 None => self.errors.push(Diagnostic::new(
-                    format!("undefined name `{name}` (referenced through `delay`)"),
+                    format!("undefined name `{name}` (referenced through `delay` or a tap index)"),
                     span,
                 )),
             }
@@ -137,16 +165,24 @@ impl Lowering {
         }
     }
 
-    fn define(&mut self, name: &crate::ast::Ident, node: NodeId) {
+    /// Records the definition site of `name`, reporting a duplicate.
+    /// Returns `false` (without recording) when the name already exists.
+    fn claim(&mut self, name: &crate::ast::Ident) -> bool {
         if self.def_spans.contains_key(&name.name) {
             self.errors.push(Diagnostic::new(
                 format!("`{}` is defined twice", name.name),
                 name.span,
             ));
-            return;
+            return false;
         }
         self.def_spans.insert(name.name.clone(), name.span);
-        self.env.insert(name.name.clone(), node);
+        true
+    }
+
+    fn define(&mut self, name: &crate::ast::Ident, node: NodeId) {
+        if self.claim(name) {
+            self.env.insert(name.name.clone(), node);
+        }
     }
 
     /// The `Const` node for `value`, creating it on first use.
@@ -158,19 +194,161 @@ impl Lowering {
     }
 
     /// Whether lowering `expr` reuses an existing node instead of creating
-    /// one — a plain alias of a name, or a literal whose `Const` node
-    /// already exists. Such statements must not (re)name the shared node.
+    /// one — a plain alias of a name, a literal whose `Const` node
+    /// already exists, or an index reference (vector elements and tap
+    /// chains are shared infrastructure). Such statements must not
+    /// (re)name the shared node, and cannot carry a `range` override.
     fn reuses_node(&self, expr: &Expr) -> bool {
         match &expr.kind {
-            ExprKind::Var(_) => true,
+            ExprKind::Var(_) | ExprKind::Index { .. } => true,
             ExprKind::Number(v) => self.consts.contains_key(&v.to_bits()),
             _ => false,
         }
     }
 
+    /// Resolves a scalar name reference, with recovery.
+    fn resolve_var(&mut self, name: &str, span: Span) -> NodeId {
+        if let Some(&node) = self.env.get(name) {
+            return node;
+        }
+        if self.vectors.contains_key(name) {
+            self.errors.push(Diagnostic::new(
+                format!("`{name}` is a vector input bank — reference an element like `{name}[0]`"),
+                span,
+            ));
+        } else {
+            self.errors.push(Diagnostic::new(
+                format!(
+                    "undefined name `{name}` (only `delay {name}` or a tap index like \
+                     `{name}[n-1]` may refer to a name defined later)"
+                ),
+                span,
+            ));
+        }
+        // Recovery placeholder so lowering can continue.
+        self.builder.constant(0.0)
+    }
+
+    /// Grows the shared delay chain of `base` to at least `k` taps, so a
+    /// later `base[n-k]` resolves to `taps[base][k-1]`.
+    ///
+    /// Chains are *hoisted*: every statement's tap references are
+    /// collected before its expression is lowered, in reference order,
+    /// so the created delay nodes occupy exactly the node ids a
+    /// hand-written `x1 = delay x; x2 = delay x1; …` preamble would —
+    /// the invariant the differential (sugared vs. desugared) test suite
+    /// pins byte-for-byte.
+    fn ensure_taps(&mut self, base: &str, k: usize, span: Span) {
+        if self.vectors.contains_key(base) {
+            self.errors.push(Diagnostic::new(
+                format!(
+                    "`{base}` is a vector input bank — bind an element to a name \
+                     (`e = {base}[0];`) before tapping it"
+                ),
+                span,
+            ));
+            return;
+        }
+        let have = self.taps.get(base).map_or(0, Vec::len);
+        if k > have && self.sugar_delays + (k - have) > MAX_SUGAR_DELAYS {
+            self.errors.push(Diagnostic::new(
+                format!(
+                    "tap indices would create more than {MAX_SUGAR_DELAYS} delay nodes \
+                     in total"
+                ),
+                span,
+            ));
+            return;
+        }
+        for _ in have..k {
+            let prev = self.taps.get(base).and_then(|chain| chain.last().copied());
+            let node = match prev {
+                Some(prev) => self.builder.delay(prev),
+                None => match self.env.get(base) {
+                    Some(&src) => self.builder.delay(src),
+                    None => {
+                        // Tap of a name defined later: the feedback form,
+                        // rooted at a placeholder bound after all
+                        // statements (exactly like `delay name`).
+                        let placeholder = self.builder.delay_placeholder();
+                        self.pending.push((base.to_string(), placeholder, span));
+                        placeholder
+                    }
+                },
+            };
+            self.sugar_delays += 1;
+            self.taps.entry(base.to_string()).or_default().push(node);
+        }
+    }
+
+    /// Pre-pass over a statement's expression: create/extend the delay
+    /// chains its tap references need (see [`Lowering::ensure_taps`]).
+    fn hoist_taps(&mut self, expr: &Expr) {
+        match &expr.kind {
+            ExprKind::Index {
+                base,
+                index: IndexKind::Tap(k),
+            } if *k >= 1 => self.ensure_taps(base, *k, expr.span),
+            ExprKind::Unary { operand, .. } => self.hoist_taps(operand),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.hoist_taps(lhs);
+                self.hoist_taps(rhs);
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies a `range [lo, hi]` override clause to the node a binding
+    /// just produced. Rejected on literal bindings (a constant's range
+    /// *is* its value, and `Const` nodes are deduped — an override on
+    /// the first use of a literal would silently leak into every later
+    /// use) and on bindings that reuse a shared node (alias, re-bound
+    /// literal, index reference), where overriding would retroactively
+    /// change every other use.
+    fn apply_range_clause(
+        &mut self,
+        name: &str,
+        node: NodeId,
+        expr: &Expr,
+        fresh: bool,
+        clause: &InputRange,
+    ) {
+        if matches!(expr.kind, ExprKind::Number(_)) {
+            self.errors.push(Diagnostic::new(
+                format!(
+                    "a `range` override cannot attach to the constant binding `{name}` — a \
+                     literal's range is its value, and the shared `Const` node may be \
+                     reused by other statements"
+                ),
+                clause.span,
+            ));
+            return;
+        }
+        if !fresh {
+            self.errors.push(Diagnostic::new(
+                format!(
+                    "a `range` override needs a node of its own — `{name}` re-binds an \
+                     existing node (alias, shared literal, or index reference)"
+                ),
+                clause.span,
+            ));
+            return;
+        }
+        match Interval::new(clause.lo, clause.hi) {
+            Ok(interval) => self
+                .builder
+                .override_range(node, interval)
+                .expect("the binding's node id is from this builder"),
+            Err(e) => self.errors.push(Diagnostic::new(
+                format!("invalid range override: {e}"),
+                clause.span,
+            )),
+        }
+    }
+
     fn stmt(&mut self, stmt: &Stmt) {
         match stmt {
-            Stmt::Input { name, range } => {
+            Stmt::Input { name, width, range } => {
                 let interval = match range {
                     Some(r) => match Interval::new(r.lo, r.hi) {
                         Ok(iv) => iv,
@@ -182,18 +360,48 @@ impl Lowering {
                     },
                     None => Interval::UNIT,
                 };
-                let node = self.builder.input(name.name.clone());
-                self.input_ranges.push(interval);
-                self.define(name, node);
+                let declared = width.as_ref().map_or(1, |(w, _)| *w);
+                if self.input_ranges.len() + declared > MAX_PROGRAM_INPUTS {
+                    self.errors.push(Diagnostic::new(
+                        format!("program declares more than {MAX_PROGRAM_INPUTS} inputs"),
+                        name.span,
+                    ));
+                    return;
+                }
+                match width {
+                    None => {
+                        let node = self.builder.input(name.name.clone());
+                        self.input_ranges.push(interval);
+                        self.define(name, node);
+                    }
+                    Some((w, _)) => {
+                        if !self.claim(name) {
+                            return;
+                        }
+                        // A bank of `w` inputs named `name[0]` …
+                        // `name[w-1]`, all with the declared range.
+                        let bank: Vec<NodeId> = (0..*w)
+                            .map(|i| {
+                                self.input_ranges.push(interval);
+                                self.builder.input(format!("{}[{i}]", name.name))
+                            })
+                            .collect();
+                        self.vectors.insert(name.name.clone(), bank);
+                    }
+                }
             }
-            Stmt::Let { name, expr } => {
+            Stmt::Let { name, expr, range } => {
+                self.hoist_taps(expr);
                 // Name the node when this statement created it (pure
-                // aliases `a = b;` and re-bound literals must not rename
-                // the shared node).
+                // aliases `a = b;`, re-bound literals and index
+                // references must not rename the shared node).
                 let fresh = !self.reuses_node(expr);
                 let node = self.expr(expr);
                 if fresh {
                     let _ = self.builder.name(node, name.name.clone());
+                }
+                if let Some(clause) = range {
+                    self.apply_range_clause(&name.name, node, expr, fresh, clause);
                 }
                 self.define(name, node);
             }
@@ -208,13 +416,17 @@ impl Lowering {
                 }
                 self.define(name, node);
             }
-            Stmt::Output { name, expr } => {
+            Stmt::Output { name, expr, range } => {
                 let node = match expr {
                     Some(e) => {
+                        self.hoist_taps(e);
                         let fresh = !self.reuses_node(e);
                         let node = self.expr(e);
                         if fresh {
                             let _ = self.builder.name(node, name.name.clone());
+                        }
+                        if let Some(clause) = range {
+                            self.apply_range_clause(&name.name, node, e, fresh, clause);
                         }
                         self.define(name, node);
                         node
@@ -246,19 +458,38 @@ impl Lowering {
     fn expr(&mut self, expr: &Expr) -> NodeId {
         match &expr.kind {
             ExprKind::Number(v) => self.const_node(*v),
-            ExprKind::Var(name) => match self.env.get(name) {
-                Some(&node) => node,
-                None => {
-                    self.errors.push(Diagnostic::new(
-                        format!(
-                            "undefined name `{name}` (only `delay {name}` may refer to a \
-                             name defined later)"
-                        ),
-                        expr.span,
-                    ));
-                    // Recovery placeholder so lowering can continue.
-                    self.builder.constant(0.0)
-                }
+            ExprKind::Var(name) => self.resolve_var(name, expr.span),
+            ExprKind::Index { base, index } => match index {
+                IndexKind::Element(i) => match self.vectors.get(base) {
+                    Some(bank) if *i < bank.len() => bank[*i],
+                    Some(bank) => {
+                        let w = bank.len();
+                        self.errors.push(Diagnostic::new(
+                            format!(
+                                "element index {i} is out of bounds for the vector input \
+                                 `{base}[{w}]`"
+                            ),
+                            expr.span,
+                        ));
+                        self.builder.constant(0.0)
+                    }
+                    None => {
+                        self.errors.push(Diagnostic::new(
+                            format!("`{base}` is not a vector input bank"),
+                            expr.span,
+                        ));
+                        self.builder.constant(0.0)
+                    }
+                },
+                // `x[n]` is the current sample: a plain reference.
+                IndexKind::Tap(0) => self.resolve_var(base, expr.span),
+                IndexKind::Tap(k) => match self.taps.get(base).and_then(|c| c.get(*k - 1)) {
+                    Some(&tap) => tap,
+                    // The hoisting pre-pass already diagnosed why the
+                    // chain is missing (vector bank, cap exceeded);
+                    // recover without a duplicate error.
+                    None => self.builder.constant(0.0),
+                },
             },
             ExprKind::Unary { op, operand } => match op {
                 UnaryOp::Neg => {
@@ -559,6 +790,262 @@ mod tests {
         // The coefficient vectors map slot for slot.
         assert_eq!(base.dfg.const_values(), vec![0.25]);
         assert_eq!(swapped.dfg.const_values(), vec![0.75]);
+    }
+
+    #[test]
+    fn vector_inputs_declare_a_bank_of_ranged_elements() {
+        let l = compile_ok(
+            "input v[3] in [-2, 2];\n\
+             input x;\n\
+             y = v[0] + v[1] + v[2] + x;\n\
+             output y;\n",
+        );
+        let c = l.dfg.op_counts();
+        assert_eq!(c.inputs, 4);
+        assert_eq!(
+            l.dfg.input_names(),
+            &["v[0]", "v[1]", "v[2]", "x"].map(String::from)
+        );
+        assert_eq!(l.input_ranges[0], Interval::new(-2.0, 2.0).unwrap());
+        assert_eq!(l.input_ranges[2], Interval::new(-2.0, 2.0).unwrap());
+        assert_eq!(l.input_ranges[3], Interval::UNIT);
+        assert_eq!(l.dfg.evaluate(&[1.0, 2.0, 3.0, 4.0]).unwrap(), vec![10.0]);
+    }
+
+    #[test]
+    fn vector_misuse_is_diagnosed() {
+        let errs = compile("input v[2];\noutput y = v[5];\n").unwrap_err();
+        assert!(errs[0].message.contains("out of bounds"), "{:?}", errs[0]);
+        let errs = compile("input v[2];\noutput y = v;\n").unwrap_err();
+        assert!(
+            errs[0].message.contains("vector input bank"),
+            "{:?}",
+            errs[0]
+        );
+        let errs = compile("input x;\noutput y = x[1];\n").unwrap_err();
+        assert!(errs[0].message.contains("not a vector"), "{:?}", errs[0]);
+        let errs = compile("input v[2];\noutput y = v[n-1];\n").unwrap_err();
+        assert!(errs[0].message.contains("before tapping"), "{:?}", errs[0]);
+        let errs = compile("input v[2];\nv = 1;\noutput v;\n").unwrap_err();
+        assert!(errs[0].message.contains("defined twice"), "{:?}", errs[0]);
+    }
+
+    #[test]
+    fn tap_sugar_matches_an_explicit_delay_chain_bit_for_bit() {
+        let sugar = compile_ok(
+            "input x;\n\
+             y = 0.25*x + 0.5*x[n-1] + 0.25*x[n-2];\n\
+             output y;\n",
+        );
+        let explicit = compile_ok(
+            "input x;\n\
+             x1 = delay x;\n\
+             x2 = delay x1;\n\
+             y = 0.25*x + 0.5*x1 + 0.25*x2;\n\
+             output y;\n",
+        );
+        assert_eq!(sugar.dfg.op_counts(), explicit.dfg.op_counts());
+        assert_eq!(sugar.dfg.len(), explicit.dfg.len());
+        let mut a = Simulator::new(&sugar.dfg);
+        let mut b = Simulator::new(&explicit.dfg);
+        for step in [1.0, 0.5, -0.25, 0.0, 0.75] {
+            assert_eq!(a.step(&[step]).unwrap(), b.step(&[step]).unwrap());
+        }
+    }
+
+    #[test]
+    fn taps_of_one_source_share_a_single_chain() {
+        // x[n-3] and x[n-1] together need exactly 3 delays; repeating a
+        // tap adds nothing; x[n] is the input itself.
+        let l = compile_ok(
+            "input x;\n\
+             y = x[n-3] + x[n-1] + x[n-1] + x[n];\n\
+             output y;\n",
+        );
+        let c = l.dfg.op_counts();
+        assert_eq!(c.delays, 3, "shared chain");
+        assert_eq!(c.adds, 3);
+        let mut sim = Simulator::new(&l.dfg);
+        // y[n] = x[n-3] + 2·x[n-1] + x[n]
+        assert_eq!(sim.step(&[1.0]).unwrap(), vec![1.0]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![2.0]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.0]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![1.0]);
+        assert_eq!(sim.step(&[0.0]).unwrap(), vec![0.0]);
+    }
+
+    #[test]
+    fn tap_feedback_matches_the_delay_idiom() {
+        // y = x + 0.5·y[n-1] + 0.25·y[n-2] via taps of a later-defined
+        // name must equal the explicit two-delay feedback form.
+        let sugar = compile_ok(
+            "input x;\n\
+             y = x + 0.5*y[n-1] + 0.25*y[n-2];\n\
+             output y;\n",
+        );
+        let explicit = compile_ok(
+            "input x;\n\
+             t1 = delay y;\n\
+             t2 = delay t1;\n\
+             y = x + 0.5*t1 + 0.25*t2;\n\
+             output y;\n",
+        );
+        assert_eq!(sugar.dfg.op_counts().delays, 2);
+        let mut a = Simulator::new(&sugar.dfg);
+        let mut b = Simulator::new(&explicit.dfg);
+        for step in [1.0, 0.0, 0.0, 0.5, -1.0] {
+            assert_eq!(a.step(&[step]).unwrap(), b.step(&[step]).unwrap());
+        }
+    }
+
+    #[test]
+    fn chains_extend_incrementally_across_statements() {
+        let l = compile_ok(
+            "input x;\n\
+             a = x[n-1];\n\
+             b = x[n-3];\n\
+             output y = a + b;\n",
+        );
+        assert_eq!(l.dfg.op_counts().delays, 3);
+        // `a = x[n-1];` aliases the chain tap: no extra node, no rename.
+        let tap1 = l
+            .dfg
+            .nodes()
+            .find(|(_, n)| matches!(n.op(), Op::Delay))
+            .unwrap();
+        assert_eq!(tap1.1.name(), None);
+    }
+
+    #[test]
+    fn range_overrides_reach_the_graph() {
+        let l = compile_ok(
+            "input x;\n\
+             acc = x + x range [-0.5, 0.5];\n\
+             output y = 2 * acc;\n",
+        );
+        let acc = l
+            .dfg
+            .nodes()
+            .find(|(_, n)| n.name() == Some("acc"))
+            .unwrap()
+            .0;
+        assert_eq!(
+            l.dfg.range_override(acc),
+            Some(Interval::new(-0.5, 0.5).unwrap())
+        );
+        let ranges = l
+            .dfg
+            .ranges_interval(&l.input_ranges, &sna_dfg::RangeOptions::default())
+            .unwrap();
+        assert_eq!(ranges[acc.index()], Interval::new(-0.5, 0.5).unwrap());
+        // Output form too.
+        let l = compile_ok("input x;\noutput y = x * x range [0, 1];\n");
+        let (yid, _) = l.dfg.nodes().find(|(_, n)| n.name() == Some("y")).unwrap();
+        assert_eq!(
+            l.dfg.range_override(yid),
+            Some(Interval::new(0.0, 1.0).unwrap())
+        );
+    }
+
+    #[test]
+    fn range_overrides_on_shared_nodes_are_rejected() {
+        // Alias.
+        let errs = compile("input x;\ny = x range [0, 1];\noutput y;\n").unwrap_err();
+        assert!(errs[0].message.contains("node of its own"), "{:?}", errs[0]);
+        // Re-bound literal.
+        let errs = compile("input x;\na = 0.5*x;\nk = 0.5 range [0, 1];\noutput y = a + k;\n")
+            .unwrap_err();
+        assert!(
+            errs[0].message.contains("constant binding"),
+            "{:?}",
+            errs[0]
+        );
+        // Tap reference.
+        let errs = compile("input x;\na = x[n-1] range [0, 1];\noutput y = a;\n").unwrap_err();
+        assert!(errs[0].message.contains("node of its own"), "{:?}", errs[0]);
+        // Invalid bounds.
+        let errs = compile("input x;\ny = x + x range [1, -1];\noutput y;\n").unwrap_err();
+        assert!(
+            errs[0].message.contains("invalid range override"),
+            "{:?}",
+            errs[0]
+        );
+    }
+
+    #[test]
+    fn range_overrides_on_literal_bindings_are_rejected_in_both_orders() {
+        // A literal binding may *create* the shared Const node (first
+        // use); accepting an override there would silently leak it into
+        // every later use of the same literal through dedup. Both
+        // statement orders must reject identically.
+        let first_use = "input x in [-1, 1];\nk = 0.5 range [0, 0.25];\ny = x * 0.5;\noutput y;\n";
+        let errs = compile(first_use).unwrap_err();
+        assert!(
+            errs[0].message.contains("constant binding"),
+            "{:?}",
+            errs[0]
+        );
+        let later_use = "input x in [-1, 1];\ny = x * 0.5;\nk = 0.5 range [0, 0.25];\noutput y;\n";
+        let errs = compile(later_use).unwrap_err();
+        assert!(
+            errs[0].message.contains("constant binding"),
+            "{:?}",
+            errs[0]
+        );
+        // Without the clause the program compiles, with the literal's
+        // true (unoverridden) range reaching the product.
+        let l = compile_ok("input x in [-1, 1];\nk = 0.5;\noutput y = x * 0.5;\n");
+        let ranges = l
+            .dfg
+            .ranges_interval(&l.input_ranges, &sna_dfg::RangeOptions::default())
+            .unwrap();
+        let (yid, _) = l.dfg.nodes().find(|(_, n)| n.name() == Some("y")).unwrap();
+        assert_eq!(ranges[yid.index()], Interval::new(-0.5, 0.5).unwrap());
+    }
+
+    #[test]
+    fn range_override_shapes_do_not_alias_plain_shapes() {
+        let plain = compile_ok("input x;\nlet k = 0.5;\ny = k*x + x;\noutput y;\n");
+        let bounded = compile_ok("input x;\nlet k = 0.5;\ny = k*x + x range [-1, 1];\noutput y;\n");
+        let rebounded =
+            compile_ok("input x;\nlet k = 0.5;\ny = k*x + x range [-2, 2];\noutput y;\n");
+        assert_ne!(plain.shape_fingerprint(), bounded.shape_fingerprint());
+        assert_ne!(bounded.shape_fingerprint(), rebounded.shape_fingerprint());
+        // Same overrides, different coefficients: still one shape.
+        let swapped =
+            compile_ok("input x;\nlet k = 0.25;\ny = k*x + x range [-1, 1];\noutput y;\n");
+        assert_eq!(bounded.shape_fingerprint(), swapped.shape_fingerprint());
+    }
+
+    #[test]
+    fn sugar_delay_and_input_budgets_are_enforced() {
+        // 17 sources tapped at depth 1024 each would cross the 16384
+        // sugar-delay budget.
+        let mut src = String::from("input x;\n");
+        for k in 0..17 {
+            src.push_str(&format!("s{k} = x + {};\n", k + 1));
+        }
+        let refs: Vec<String> = (0..17).map(|k| format!("s{k}[n-1024]")).collect();
+        src.push_str(&format!("output y = {};\n", refs.join(" + ")));
+        let errs = compile(&src).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains("delay nodes")),
+            "{:?}",
+            errs.first()
+        );
+
+        // 17 maximal vector banks cross the input budget.
+        let mut src = String::new();
+        for k in 0..17 {
+            src.push_str(&format!("input v{k}[1024];\n"));
+        }
+        src.push_str("output y = v0[0];\n");
+        let errs = compile(&src).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains("inputs")),
+            "{:?}",
+            errs.first()
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::ast::{BinaryOp, Expr, ExprKind, Ident, InputRange, Program, Stmt, UnaryOp};
+use crate::ast::{BinaryOp, Expr, ExprKind, Ident, IndexKind, InputRange, Program, Stmt, UnaryOp};
 use crate::token::{lex, Token, TokenKind};
 use crate::Diagnostic;
 
@@ -25,6 +25,16 @@ pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
         Err(p.errors)
     }
 }
+
+/// The widest vector input bank accepted (`input x[W];`). Each element
+/// is a full input node, and the server feeds this parser untrusted
+/// source text — a handful of bytes must not declare millions of nodes.
+pub const MAX_VECTOR_WIDTH: usize = 1024;
+
+/// The deepest tap index accepted (`x[n-K]`). Each tap lowers to a delay
+/// node in the shared chain; same untrusted-input reasoning as
+/// [`MAX_VECTOR_WIDTH`].
+pub const MAX_TAP_DEPTH: usize = 1024;
 
 /// The deepest expression nesting accepted. The expression grammar
 /// recurses per level (`(`-chains through `primary`, `-`/`delay`-chains
@@ -140,40 +150,65 @@ impl Parser {
         }
     }
 
-    /// `input NAME (in [num, num])? ;`
+    /// `[num, num]` — the bracketed bound pair shared by `in` range
+    /// annotations and `range` override clauses.
+    fn bracket_range(&mut self) -> PResult<InputRange> {
+        let open = self.expect(&TokenKind::LBracket, "`[` to open the range")?;
+        let lo = self.signed_number("the range's lower bound")?;
+        self.expect(&TokenKind::Comma, "`,` between the range bounds")?;
+        let hi = self.signed_number("the range's upper bound")?;
+        let close = self.expect(&TokenKind::RBracket, "`]` to close the range")?;
+        Ok(InputRange {
+            lo,
+            hi,
+            span: open.span.to(close.span),
+        })
+    }
+
+    /// `(range [num, num])?` — the optional override clause of a binding.
+    fn range_clause(&mut self) -> PResult<Option<InputRange>> {
+        if self.eat(&TokenKind::KwRange) {
+            Ok(Some(self.bracket_range()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// `input NAME ([WIDTH])? (in [num, num])? ;`
     fn input_stmt(&mut self) -> PResult<Stmt> {
         self.advance(); // `input`
         let name = self.expect_ident("an input name")?;
+        let width = if self.at(&TokenKind::LBracket) {
+            let open = self.advance();
+            let w = self.integer("the vector width", 1, MAX_VECTOR_WIDTH)?;
+            let close = self.expect(&TokenKind::RBracket, "`]` to close the vector width")?;
+            Some((w, open.span.to(close.span)))
+        } else {
+            None
+        };
         let range = if self.at(&TokenKind::KwIn) {
             self.advance();
-            let open = self.expect(&TokenKind::LBracket, "`[` to open the range")?;
-            let lo = self.signed_number("the range's lower bound")?;
-            self.expect(&TokenKind::Comma, "`,` between the range bounds")?;
-            let hi = self.signed_number("the range's upper bound")?;
-            let close = self.expect(&TokenKind::RBracket, "`]` to close the range")?;
-            Some(InputRange {
-                lo,
-                hi,
-                span: open.span.to(close.span),
-            })
+            Some(self.bracket_range()?)
         } else {
             None
         };
         self.expect(&TokenKind::Semi, "`;` after the input declaration")?;
-        Ok(Stmt::Input { name, range })
+        Ok(Stmt::Input { name, width, range })
     }
 
-    /// `output NAME (= expr)? ;`
+    /// `output NAME (= expr (range [num, num])?)? ;`
     fn output_stmt(&mut self) -> PResult<Stmt> {
         self.advance(); // `output`
         let name = self.expect_ident("an output name")?;
-        let expr = if self.eat(&TokenKind::Eq) {
-            Some(self.expr()?)
+        let (expr, range) = if self.eat(&TokenKind::Eq) {
+            let e = self.expr()?;
+            let r = self.range_clause()?;
+            (Some(e), r)
         } else {
-            None
+            (None, None)
         };
         self.expect(&TokenKind::Semi, "`;` after the output declaration")?;
-        Ok(Stmt::Output { name, expr })
+        Ok(Stmt::Output { name, expr, range })
     }
 
     /// `let NAME = '-'? NUMBER ;` — a named constant binding.
@@ -213,13 +248,14 @@ impl Parser {
         })
     }
 
-    /// `NAME = expr ;`
+    /// `NAME = expr (range [num, num])? ;`
     fn let_stmt(&mut self) -> PResult<Stmt> {
         let name = self.expect_ident("a name")?;
         self.expect(&TokenKind::Eq, "`=` after the name")?;
         let expr = self.expr()?;
+        let range = self.range_clause()?;
         self.expect(&TokenKind::Semi, "`;` after the statement")?;
-        Ok(Stmt::Let { name, expr })
+        Ok(Stmt::Let { name, expr, range })
     }
 
     /// A possibly-signed numeric literal (used only in range annotations).
@@ -233,6 +269,30 @@ impl Parser {
             _ => {
                 let found = self.peek().kind.describe();
                 Err(self.error_here(format!("expected {what} (a number), found {found}")))
+            }
+        }
+    }
+
+    /// An unsigned integer literal in `[min, max]` (vector widths,
+    /// element indices, tap offsets).
+    fn integer(&mut self, what: &str, min: usize, max: usize) -> PResult<usize> {
+        match self.peek().kind {
+            TokenKind::Number(v) if v.fract() == 0.0 && v >= 0.0 && v <= max as f64 => {
+                let v = v as usize;
+                if v < min {
+                    return Err(
+                        self.error_here(format!("expected {what} of at least {min}, found {v}"))
+                    );
+                }
+                self.advance();
+                Ok(v)
+            }
+            TokenKind::Number(v) => Err(self.error_here(format!(
+                "expected {what} (an integer in {min}..={max}), found `{v}`"
+            ))),
+            _ => {
+                let found = self.peek().kind.describe();
+                Err(self.error_here(format!("expected {what} (an integer), found {found}")))
             }
         }
     }
@@ -338,7 +398,8 @@ impl Parser {
         }
     }
 
-    /// `primary := NUMBER | IDENT | '(' expr ')'`
+    /// `primary := NUMBER | IDENT index? | '(' expr ')'`
+    /// `index   := '[' (INT | 'n' ('-' INT)?) ']'`
     fn primary(&mut self) -> PResult<Expr> {
         match self.peek().kind.clone() {
             TokenKind::Number(v) => {
@@ -350,6 +411,9 @@ impl Parser {
             }
             TokenKind::Ident(name) => {
                 let span = self.advance().span;
+                if self.at(&TokenKind::LBracket) {
+                    return self.index_suffix(name, span);
+                }
                 Ok(Expr {
                     kind: ExprKind::Var(name),
                     span,
@@ -369,6 +433,39 @@ impl Parser {
                 other.describe()
             ))),
         }
+    }
+
+    /// The bracketed index after `base`: `[i]` (vector element) or
+    /// `[n]` / `[n-k]` (tap-index sugar, current sample / `k` samples
+    /// ago).
+    fn index_suffix(&mut self, base: String, base_span: crate::Span) -> PResult<Expr> {
+        self.advance(); // `[`
+        let index = match self.peek().kind.clone() {
+            // `x[n]` / `x[n-k]`: inside an index, `n` is the time index.
+            TokenKind::Ident(n) if n == "n" => {
+                self.advance();
+                if self.eat(&TokenKind::Minus) {
+                    IndexKind::Tap(self.integer("the tap offset", 0, MAX_TAP_DEPTH)?)
+                } else {
+                    IndexKind::Tap(0)
+                }
+            }
+            TokenKind::Number(_) => {
+                IndexKind::Element(self.integer("the element index", 0, MAX_VECTOR_WIDTH - 1)?)
+            }
+            other => {
+                return Err(self.error_here(format!(
+                    "expected an element index (`{base}[2]`) or a tap index \
+                     (`{base}[n-1]`), found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let close = self.expect(&TokenKind::RBracket, "`]` to close the index")?;
+        Ok(Expr {
+            kind: ExprKind::Index { base, index },
+            span: base_span.to(close.span),
+        })
     }
 }
 
@@ -393,15 +490,16 @@ mod tests {
         let p = parse(src).unwrap();
         assert_eq!(p.stmts.len(), 5);
         match &p.stmts[0] {
-            Stmt::Input { name, range } => {
+            Stmt::Input { name, width, range } => {
                 assert_eq!(name.name, "x");
+                assert!(width.is_none());
                 let r = range.as_ref().unwrap();
                 assert_eq!((r.lo, r.hi), (-1.0, 1.0));
             }
             other => panic!("unexpected {other:?}"),
         }
         match &p.stmts[2] {
-            Stmt::Let { name, expr } => {
+            Stmt::Let { name, expr, .. } => {
                 assert_eq!(name.name, "y_prev");
                 assert_eq!(expr.to_string(), "delay y");
             }
@@ -439,12 +537,87 @@ mod tests {
     fn output_with_inline_expression() {
         let s = parse_one("output y = a + 1;");
         match s {
-            Stmt::Output { name, expr } => {
+            Stmt::Output { name, expr, range } => {
                 assert_eq!(name.name, "y");
                 assert_eq!(expr.unwrap().to_string(), "a + 1");
+                assert!(range.is_none());
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn vector_input_widths_parse_and_are_bounded() {
+        match parse_one("input v[8] in [-2, 2];") {
+            Stmt::Input { name, width, range } => {
+                assert_eq!(name.name, "v");
+                assert_eq!(width.unwrap().0, 8);
+                assert_eq!(range.unwrap().lo, -2.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_one("input v[1];"),
+            Stmt::Input {
+                width: Some((1, _)),
+                ..
+            }
+        ));
+        let errs = parse("input v[0];").unwrap_err();
+        assert!(errs[0].message.contains("at least 1"), "{:?}", errs[0]);
+        let errs = parse("input v[100000];").unwrap_err();
+        assert!(errs[0].message.contains("integer in"), "{:?}", errs[0]);
+        let errs = parse("input v[2.5];").unwrap_err();
+        assert!(errs[0].message.contains("integer"), "{:?}", errs[0]);
+    }
+
+    #[test]
+    fn index_forms_parse() {
+        let s = parse_one("y = v[2] + x[n-3] + x[n];");
+        let Stmt::Let { expr, .. } = s else {
+            panic!("not a let");
+        };
+        assert_eq!(expr.to_string(), "v[2] + x[n-3] + x[n]");
+        // `n - 0` canonicalizes to the current sample.
+        let s = parse_one("y = x[n - 0];");
+        let Stmt::Let { expr, .. } = s else {
+            panic!("not a let");
+        };
+        assert_eq!(expr.to_string(), "x[n]");
+    }
+
+    #[test]
+    fn bad_indices_are_diagnosed() {
+        let errs = parse("y = x[m];").unwrap_err();
+        assert!(errs[0].message.contains("element index"), "{:?}", errs[0]);
+        let errs = parse("y = x[n-1.5];").unwrap_err();
+        assert!(errs[0].message.contains("tap offset"), "{:?}", errs[0]);
+        let errs = parse("y = x[n-99999];").unwrap_err();
+        assert!(errs[0].message.contains("tap offset"), "{:?}", errs[0]);
+        let errs = parse("y = x[n+1];").unwrap_err();
+        assert!(errs[0].message.contains("`]`"), "{:?}", errs[0]);
+    }
+
+    #[test]
+    fn range_clauses_parse_on_bindings_and_outputs() {
+        match parse_one("acc = a + b range [-1.5, 1.5];") {
+            Stmt::Let { expr, range, .. } => {
+                assert_eq!(expr.to_string(), "a + b");
+                let r = range.unwrap();
+                assert_eq!((r.lo, r.hi), (-1.5, 1.5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_one("output y = a * b range [0, 4];") {
+            Stmt::Output { range, .. } => assert_eq!(range.unwrap().hi, 4.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // `range` is a keyword now: not a statement head, not a name.
+        let errs = parse("range = 1;").unwrap_err();
+        assert!(errs[0].message.contains("expected a statement"));
+        // A bare output takes no range clause.
+        let errs = parse("output y range [0, 1];").unwrap_err();
+        assert!(errs[0].message.contains("`;`"), "{:?}", errs[0]);
     }
 
     #[test]

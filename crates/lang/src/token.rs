@@ -28,6 +28,8 @@ pub enum TokenKind {
     KwDelay,
     /// `let`
     KwLet,
+    /// `range`
+    KwRange,
     /// `+`
     Plus,
     /// `-`
@@ -65,6 +67,7 @@ impl TokenKind {
             TokenKind::KwIn => "keyword `in`".to_string(),
             TokenKind::KwDelay => "keyword `delay`".to_string(),
             TokenKind::KwLet => "keyword `let`".to_string(),
+            TokenKind::KwRange => "keyword `range`".to_string(),
             TokenKind::Plus => "`+`".to_string(),
             TokenKind::Minus => "`-`".to_string(),
             TokenKind::Star => "`*`".to_string(),
@@ -148,6 +151,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
                     "in" => TokenKind::KwIn,
                     "delay" => TokenKind::KwDelay,
                     "let" => TokenKind::KwLet,
+                    "range" => TokenKind::KwRange,
                     _ => TokenKind::Ident(text.to_string()),
                 };
                 tokens.push(Token {

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use sna_lang::{
-    compile, lower, parse, BinaryOp, Expr, ExprKind, Ident, InputRange, Program, Span, Stmt,
-    UnaryOp,
+    canonical_fingerprint, compile, lower, parse, BinaryOp, Expr, ExprKind, Ident, IndexKind,
+    InputRange, Program, Span, Stmt, UnaryOp,
 };
 
 // ----------------------------------------------------------------------
@@ -60,14 +60,43 @@ fn expr(kind: ExprKind) -> Expr {
     }
 }
 
-/// A random expression over `names`, with all six operators reachable.
-fn random_expr(g: &mut Gen, names: &[String], depth: usize) -> Expr {
+/// What a random expression may reference: scalar names, *tappable*
+/// scalar sources (`s[n-k]` sugar), and vector input banks (`v[i]`).
+struct Scope {
+    names: Vec<String>,
+    /// Names whose delay chain the generator may tap (scalar inputs —
+    /// always defined before use).
+    tappable: Vec<String>,
+    /// Vector banks as `(name, width)`.
+    vectors: Vec<(String, usize)>,
+}
+
+/// A random expression over `scope`, with all six operators plus the
+/// index forms reachable.
+fn random_expr(g: &mut Gen, scope: &Scope, depth: usize) -> Expr {
     if depth == 0 || g.below(3) == 0 {
-        return if names.is_empty() || g.below(2) == 0 {
-            expr(ExprKind::Number(g.number()))
-        } else {
-            let k = g.below(names.len() as u64) as usize;
-            expr(ExprKind::Var(names[k].clone()))
+        // Leaves: literals, scalar refs, vector elements, tap indices.
+        return match g.below(6) {
+            0 | 1 => expr(ExprKind::Number(g.number())),
+            2 if !scope.vectors.is_empty() => {
+                let (name, width) = &scope.vectors[g.below(scope.vectors.len() as u64) as usize];
+                expr(ExprKind::Index {
+                    base: name.clone(),
+                    index: IndexKind::Element(g.below(*width as u64) as usize),
+                })
+            }
+            3 if !scope.tappable.is_empty() => {
+                let name = &scope.tappable[g.below(scope.tappable.len() as u64) as usize];
+                expr(ExprKind::Index {
+                    base: name.clone(),
+                    index: IndexKind::Tap(g.below(4) as usize),
+                })
+            }
+            _ if !scope.names.is_empty() => {
+                let k = g.below(scope.names.len() as u64) as usize;
+                expr(ExprKind::Var(scope.names[k].clone()))
+            }
+            _ => expr(ExprKind::Number(g.number())),
         };
     }
     match g.below(6) {
@@ -78,8 +107,8 @@ fn random_expr(g: &mut Gen, names: &[String], depth: usize) -> Expr {
                 2 => BinaryOp::Mul,
                 _ => BinaryOp::Div,
             };
-            let lhs = random_expr(g, names, depth - 1);
-            let rhs = random_expr(g, names, depth - 1);
+            let lhs = random_expr(g, scope, depth - 1);
+            let rhs = random_expr(g, scope, depth - 1);
             expr(ExprKind::Binary {
                 op,
                 lhs: Box::new(lhs),
@@ -87,7 +116,7 @@ fn random_expr(g: &mut Gen, names: &[String], depth: usize) -> Expr {
             })
         }
         4 => {
-            let operand = random_expr(g, names, depth - 1);
+            let operand = random_expr(g, scope, depth - 1);
             // `-literal` folds to a literal at parse time; fold here too
             // so printing stays canonical.
             if let ExprKind::Number(v) = operand.kind {
@@ -100,7 +129,7 @@ fn random_expr(g: &mut Gen, names: &[String], depth: usize) -> Expr {
             }
         }
         _ => {
-            let operand = random_expr(g, names, depth - 1);
+            let operand = random_expr(g, scope, depth - 1);
             expr(ExprKind::Unary {
                 op: UnaryOp::Delay,
                 operand: Box::new(operand),
@@ -109,32 +138,59 @@ fn random_expr(g: &mut Gen, names: &[String], depth: usize) -> Expr {
     }
 }
 
-/// A random well-formed program: inputs (some with ranges), straight-line
-/// bindings, optional `delay`-feedback, one or two outputs.
+/// A random `[lo, hi]` pair with `lo < 0 < hi`.
+fn random_range(g: &mut Gen) -> InputRange {
+    InputRange {
+        lo: -(1.0 + g.below(8) as f64) / 2.0,
+        hi: (1.0 + g.below(8) as f64) / 2.0,
+        span: Span::default(),
+    }
+}
+
+/// A random well-formed program: scalar and vector inputs (some with
+/// ranges), straight-line bindings (some with `range` override clauses,
+/// some using tap-index sugar), optional `delay`-feedback, one or two
+/// outputs.
 fn random_program(seed: u64) -> Program {
     let mut g = Gen::new(seed);
     let mut stmts = Vec::new();
-    let mut names: Vec<String> = Vec::new();
+    let mut scope = Scope {
+        names: Vec::new(),
+        tappable: Vec::new(),
+        vectors: Vec::new(),
+    };
 
     let n_inputs = 1 + g.below(3) as usize;
     for k in 0..n_inputs {
         let name = format!("x{k}");
         let range = if g.below(2) == 0 {
-            let lo = -(1.0 + g.below(8) as f64) / 2.0;
-            let hi = (1.0 + g.below(8) as f64) / 2.0;
-            Some(InputRange {
-                lo,
-                hi,
-                span: Span::default(),
-            })
+            Some(random_range(&mut g))
         } else {
             None
         };
         stmts.push(Stmt::Input {
             name: ident(&name),
+            width: None,
             range,
         });
-        names.push(name);
+        scope.tappable.push(name.clone());
+        scope.names.push(name);
+    }
+
+    // Optionally a vector input bank.
+    if g.below(2) == 0 {
+        let width = 2 + g.below(3) as usize;
+        let range = if g.below(2) == 0 {
+            Some(random_range(&mut g))
+        } else {
+            None
+        };
+        stmts.push(Stmt::Input {
+            name: ident("vec"),
+            width: Some((width, Span::default())),
+            range,
+        });
+        scope.vectors.push(("vec".into(), width));
     }
 
     // Optional feedback: a forward `delay` reference to the final `out`.
@@ -146,25 +202,35 @@ fn random_program(seed: u64) -> Program {
                 op: UnaryOp::Delay,
                 operand: Box::new(expr(ExprKind::Var("out".into()))),
             }),
+            range: None,
         });
-        names.push("fb".into());
+        scope.names.push("fb".into());
     }
 
     let n_lets = g.below(5) as usize;
     for k in 0..n_lets {
         let name = format!("v{k}");
-        let e = random_expr(&mut g, &names, 3);
+        let e = random_expr(&mut g, &scope, 3);
+        // A `range` override clause needs a node of its own, which a
+        // binary root always creates (aliases and shared literals are
+        // rejected by lowering).
+        let range = if matches!(e.kind, ExprKind::Binary { .. }) && g.below(3) == 0 {
+            Some(random_range(&mut g))
+        } else {
+            None
+        };
         // `v = w;` aliases are legal but print-canonical only when the
         // alias target is not itself renamed; keep them (they round-trip).
         stmts.push(Stmt::Let {
             name: ident(&name),
             expr: e,
+            range,
         });
-        names.push(name);
+        scope.names.push(name);
     }
 
     // The mandatory output closes any feedback loop.
-    let closing = random_expr(&mut g, &names, 2);
+    let closing = random_expr(&mut g, &scope, 2);
     let closing = if feedback {
         // Keep the loop gain bounded so traces stay finite: out depends
         // on fb through a contracting multiply.
@@ -180,15 +246,22 @@ fn random_program(seed: u64) -> Program {
     } else {
         closing
     };
+    let out_range = if matches!(closing.kind, ExprKind::Binary { .. }) && g.below(4) == 0 {
+        Some(random_range(&mut g))
+    } else {
+        None
+    };
     stmts.push(Stmt::Output {
         name: ident("out"),
         expr: Some(closing),
+        range: out_range,
     });
     if g.below(2) == 0 {
-        let e = random_expr(&mut g, &names, 2);
+        let e = random_expr(&mut g, &scope, 2);
         stmts.push(Stmt::Output {
             name: ident("out2"),
             expr: Some(e),
+            range: None,
         });
     }
     Program { stmts }
@@ -221,7 +294,17 @@ proptest! {
         let printed = program.to_string();
         let reparsed = parse(&printed)
             .unwrap_or_else(|e| panic!("seed {seed}: canonical form does not parse: {e:?}\n{printed}"));
-        prop_assert_eq!(reparsed.to_string(), printed);
+        prop_assert_eq!(reparsed.to_string(), printed.clone());
+        // The canonical fingerprint is stable across the round trip …
+        prop_assert_eq!(
+            canonical_fingerprint(&program),
+            canonical_fingerprint(&reparsed),
+            "seed {}", seed
+        );
+        // … and a second parse reproduces the identical AST (spans
+        // included: the canonical form *is* the parsed source now).
+        let reparsed2 = parse(&reparsed.to_string()).expect("canonical form parses");
+        prop_assert_eq!(reparsed2, reparsed, "seed {}", seed);
     }
 
     #[test]

@@ -140,7 +140,7 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct compiled programs currently held.
     pub entries: usize,
-    /// Capacity sweeps: times the maps were cleared because a limit in
+    /// Entries evicted (least-recently-used first) because a limit in
     /// [`CacheLimits`] would have been exceeded.
     pub evictions: u64,
 }
@@ -151,22 +151,27 @@ pub struct CacheStats {
 /// endless supply of *distinct* valid programs (each request line up to
 /// 1 MiB); without bounds the key maps and their compiled models grow
 /// until the server is OOM-killed. When inserting a *newly compiled*
-/// program would push the cache past either limit, the whole cache is
-/// cleared first (one "eviction" in [`CacheStats`]) — crude next to an
-/// LRU, but memory stays bounded, the hot set re-warms in one round of
-/// misses, and in-flight `Arc`s keep their entries alive regardless.
-/// Hit-path alias registration (a new spelling of a cached program)
-/// never sweeps: past the byte cap the spelling simply stays
-/// unrecorded, so cheap hit traffic cannot evict other clients'
-/// entries.
+/// program would push the cache past either limit, **least-recently-used
+/// entries are evicted one at a time** until it fits (each counted in
+/// [`CacheStats::evictions`]). Every hit — source, canonical, or shape
+/// tier — refreshes its entry's recency, so a hot working set (a busy
+/// server's steady traffic, a sweep's shape donor) survives a stream of
+/// one-off programs instead of being wiped by a whole-cache sweep.
+/// In-flight `Arc`s keep evicted entries alive regardless.
+///
+/// Only the full-compile (miss) path evicts. Hit-path alias
+/// registration (a new spelling of a cached program) and shape-tier
+/// variant registration never do: past a cap the spelling/variant
+/// simply stays unrecorded, so cheap hit traffic cannot evict other
+/// clients' entries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheLimits {
     /// Maximum distinct compiled programs held at once.
     pub max_entries: usize,
-    /// Maximum total bytes across all key texts (raw sources + canonical
-    /// renderings). Bounds the alias map, which can grow without adding
-    /// entries — every whitespace respelling of one program is a new
-    /// up-to-1-MiB source key.
+    /// Maximum total bytes across all key texts (raw sources, canonical
+    /// renderings, shape keys). Bounds the alias map, which can grow
+    /// without adding entries — every whitespace respelling of one
+    /// program is a new up-to-1-MiB source key.
     pub max_key_bytes: usize,
 }
 
@@ -179,23 +184,48 @@ impl Default for CacheLimits {
     }
 }
 
+/// One cached program plus its recency and the reverse index needed to
+/// evict it cleanly.
+///
+/// Key texts are `Arc<str>` shared between the maps and these reverse
+/// indices, so each distinct text (an up-to-1-MiB source line, say) is
+/// stored once however many structures point at it — the accounted
+/// `key_bytes` track real memory, not a fraction of it.
+struct Slot {
+    entry: Arc<CompiledEntry>,
+    /// Raw-source spellings registered for this entry (keys of
+    /// `State::by_source` to drop on eviction; shared allocations).
+    aliases: Vec<Arc<str>>,
+    /// The shape key this entry donates its skeleton under, when it is
+    /// the registered donor (key of `State::by_shape` to drop on
+    /// eviction; shared allocation).
+    shape_key: Option<Arc<str>>,
+    /// Logical timestamp of the last lookup that returned this entry.
+    last_used: u64,
+}
+
 #[derive(Default)]
 struct State {
-    /// Keyed by the raw source text. Full-text keys (not bare hashes):
-    /// the map's own hashing gives the fast path, and key equality makes
-    /// a hash collision between two different programs impossible —
-    /// which matters once untrusted TCP clients share the cache.
-    by_source: HashMap<String, Arc<CompiledEntry>>,
-    /// Keyed by the canonical rendering, same full-text reasoning.
-    by_canon: HashMap<String, Arc<CompiledEntry>>,
-    /// Keyed by the const-masked shape rendering
-    /// ([`Lowered::shape_key`]), same full-text reasoning. Holds the
-    /// *first* entry compiled with each shape — the skeleton donor for
-    /// coefficient swaps.
-    by_shape: HashMap<String, Arc<CompiledEntry>>,
+    /// Raw source text → canonical key of its entry. Full-text keys
+    /// (not bare hashes): the map's own hashing gives the fast path,
+    /// and key equality makes a hash collision between two different
+    /// programs impossible — which matters once untrusted TCP clients
+    /// share the cache.
+    by_source: HashMap<Arc<str>, Arc<str>>,
+    /// Canonical rendering → the compiled slot, same full-text
+    /// reasoning. The one map that owns entries; all other maps point
+    /// into it.
+    slots: HashMap<Arc<str>, Slot>,
+    /// Const-masked shape rendering ([`Lowered::shape_key`]) → canonical
+    /// key of the skeleton donor for coefficient swaps (the first entry
+    /// compiled with each shape, replaced when it is evicted).
+    by_shape: HashMap<Arc<str>, Arc<str>>,
     /// Total bytes across all maps' keys, compared against
     /// [`CacheLimits::max_key_bytes`].
     key_bytes: usize,
+    /// Logical clock for LRU recency (bumped on every lookup that
+    /// touches an entry).
+    tick: u64,
     hits: u64,
     shape_hits: u64,
     misses: u64,
@@ -203,29 +233,105 @@ struct State {
 }
 
 impl State {
-    /// Clears everything if adding one more compiled program with
-    /// `incoming` key bytes would exceed a limit. Only the compile paths
-    /// call this — the caller has just paid at least a lower, so a peer
-    /// cannot trigger sweeps with cheap requests.
+    /// Marks the slot under `canon` as just-used and returns its entry.
+    fn touch(&mut self, canon: &str) -> Option<Arc<CompiledEntry>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.slots.get_mut(canon).map(|slot| {
+            slot.last_used = tick;
+            slot.entry.clone()
+        })
+    }
+
+    /// Evicts least-recently-used entries until one more compiled
+    /// program with `incoming` key bytes fits the limits. Only the
+    /// full-compile path calls this — the caller has just paid a lower,
+    /// so a peer cannot trigger evictions with cheap requests.
     fn make_room(&mut self, limits: &CacheLimits, incoming: usize) {
-        let over_entries = self.by_canon.len() >= limits.max_entries;
-        let over_bytes = self.key_bytes.saturating_add(incoming) > limits.max_key_bytes;
-        if over_entries || over_bytes {
-            self.by_source.clear();
-            self.by_canon.clear();
-            self.by_shape.clear();
-            self.key_bytes = 0;
-            self.evictions += 1;
+        while !self.slots.is_empty()
+            && (self.slots.len() >= limits.max_entries
+                || self.key_bytes.saturating_add(incoming) > limits.max_key_bytes)
+        {
+            let coldest = self
+                .slots
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(canon, _)| canon.clone())
+                .expect("non-empty");
+            self.evict(&coldest);
         }
     }
 
-    /// Registers `source` as an alias for `entry`, with byte accounting
-    /// (a racing thread may have inserted the same key already).
-    fn insert_source(&mut self, source: &str, entry: Arc<CompiledEntry>) {
-        if !self.by_source.contains_key(source) {
-            self.key_bytes += source.len();
-            self.by_source.insert(source.to_string(), entry);
+    /// Removes one entry and every key pointing at it.
+    fn evict(&mut self, canon: &str) {
+        let Some(slot) = self.slots.remove(canon) else {
+            return;
+        };
+        self.key_bytes = self.key_bytes.saturating_sub(canon.len());
+        for alias in &slot.aliases {
+            self.by_source.remove(alias);
+            self.key_bytes = self.key_bytes.saturating_sub(alias.len());
         }
+        if let Some(shape_key) = &slot.shape_key {
+            self.by_shape.remove(shape_key);
+            self.key_bytes = self.key_bytes.saturating_sub(shape_key.len());
+        }
+        self.evictions += 1;
+    }
+
+    /// Registers `source` as an alias of the slot under `canon`, with
+    /// byte accounting (a racing thread may have inserted the same key
+    /// already). The source text is allocated once and shared between
+    /// the alias map and the slot's reverse index.
+    fn insert_source(&mut self, source: &str, canon: &str) {
+        if self.by_source.contains_key(source) {
+            return;
+        }
+        let Some((canon_arc, _)) = self.slots.get_key_value(canon) else {
+            return;
+        };
+        let canon_arc = Arc::clone(canon_arc);
+        let source_arc: Arc<str> = Arc::from(source);
+        self.key_bytes += source.len();
+        self.by_source.insert(Arc::clone(&source_arc), canon_arc);
+        self.slots
+            .get_mut(canon)
+            .expect("resolved above")
+            .aliases
+            .push(source_arc);
+    }
+
+    /// Inserts a freshly compiled slot under `canon` (which must be
+    /// vacant), with byte accounting.
+    fn insert_slot(&mut self, canon: Arc<str>, entry: Arc<CompiledEntry>) {
+        self.tick += 1;
+        self.key_bytes += canon.len();
+        let slot = Slot {
+            entry,
+            aliases: Vec::new(),
+            shape_key: None,
+            last_used: self.tick,
+        };
+        let prev = self.slots.insert(canon, slot);
+        debug_assert!(prev.is_none(), "insert_slot requires a vacant key");
+    }
+
+    /// Registers the slot under `canon` as the donor for `shape_key`
+    /// (first occupant wins) while it fits the byte budget.
+    fn register_shape(&mut self, shape_key: &str, canon: &str, limits: &CacheLimits) {
+        if self.by_shape.contains_key(shape_key)
+            || self.key_bytes.saturating_add(shape_key.len()) > limits.max_key_bytes
+        {
+            return;
+        }
+        let Some((canon_arc, _)) = self.slots.get_key_value(canon) else {
+            return;
+        };
+        let canon_arc = Arc::clone(canon_arc);
+        let shape_arc: Arc<str> = Arc::from(shape_key);
+        self.key_bytes += shape_key.len();
+        self.slots.get_mut(canon).expect("resolved above").shape_key = Some(Arc::clone(&shape_arc));
+        self.by_shape.insert(shape_arc, canon_arc);
     }
 }
 
@@ -274,7 +380,10 @@ impl CompileCache {
     ) -> Result<(Arc<CompiledEntry>, Lookup), Vec<Diagnostic>> {
         {
             let mut state = self.state.lock().expect("cache lock");
-            if let Some(entry) = state.by_source.get(source).cloned() {
+            if let Some(canon) = state.by_source.get(source).cloned() {
+                // Aliases always point at live slots (eviction removes
+                // them together), so the touch cannot miss.
+                let entry = state.touch(&canon).expect("aliases track live slots");
                 state.hits += 1;
                 return Ok((entry, Lookup::SourceHit));
             }
@@ -287,17 +396,17 @@ impl CompileCache {
         let fingerprint = fnv1a_64(canon.as_bytes());
         {
             let mut state = self.state.lock().expect("cache lock");
-            if let Some(entry) = state.by_canon.get(&canon).cloned() {
+            if let Some(entry) = state.touch(&canon) {
                 // Record the spelling as an alias only while it fits the
-                // byte budget. Never sweep on this path: hit requests are
-                // cheap for the peer, so sweeping here would let an
+                // byte budget. Never evict on this path: hit requests
+                // are cheap for the peer, so evicting here would let an
                 // attacker spam respellings of one cached program to
-                // evict every other client's entries without ever paying
-                // a compile. Past the cap the spelling simply stays
-                // unrecorded and keeps resolving through its canonical
-                // form (one parse per request).
+                // push out every other client's entries without ever
+                // paying a compile. Past the cap the spelling simply
+                // stays unrecorded and keeps resolving through its
+                // canonical form (one parse per request).
                 if state.key_bytes.saturating_add(source.len()) <= self.limits.max_key_bytes {
-                    state.insert_source(source, entry.clone());
+                    state.insert_source(source, &canon);
                 }
                 state.hits += 1;
                 return Ok((entry, Lookup::CanonHit));
@@ -311,10 +420,13 @@ impl CompileCache {
 
         // Shape tier: a cached program with the same const-masked shape
         // absorbs this one as a coefficient swap — ranges and gains are
-        // patched off its skeleton instead of rebuilt.
+        // patched off its skeleton instead of rebuilt. Serving a swap
+        // *uses* the donor, so its recency is refreshed: a hot skeleton
+        // under a parameter sweep outlives streams of one-off programs.
         let donor = {
-            let state = self.state.lock().expect("cache lock");
-            state.by_shape.get(&shape_key).cloned()
+            let mut state = self.state.lock().expect("cache lock");
+            let donor_canon = state.by_shape.get(shape_key.as_str()).cloned();
+            donor_canon.and_then(|c| state.touch(&c))
         };
         if let Some(donor) = donor {
             if let Ok(session) = donor.session.with_coefficients(&lowered.dfg.const_values()) {
@@ -324,13 +436,13 @@ impl CompileCache {
                     shape_fingerprint,
                 ));
                 let mut state = self.state.lock().expect("cache lock");
-                // Never sweep on this path: a shape hit is cheap for the
+                // Never evict on this path: a shape hit is cheap for the
                 // peer (the donor absorbed the expensive stages), so
-                // sweeping here would let an attacker stream coefficient
-                // respins of one cached shape to evict every other
+                // evicting here would let an attacker stream coefficient
+                // respins of one cached shape to push out every other
                 // client's fully compiled programs. Past a limit the
                 // variant is served but simply stays unregistered.
-                let over_entries = state.by_canon.len() >= self.limits.max_entries;
+                let over_entries = state.slots.len() >= self.limits.max_entries;
                 let over_bytes = state.key_bytes.saturating_add(canon_len + source.len())
                     > self.limits.max_key_bytes;
                 if over_entries || over_bytes {
@@ -338,57 +450,44 @@ impl CompileCache {
                     state.shape_hits += 1;
                     return Ok((entry, Lookup::ShapeHit));
                 }
-                return match state.by_canon.entry(canon) {
-                    std::collections::hash_map::Entry::Occupied(existing) => {
-                        // A racer registered the identical program while
-                        // we patched; share its entry.
-                        let entry = existing.get().clone();
-                        state.insert_source(source, entry.clone());
-                        state.hits += 1;
-                        Ok((entry, Lookup::CanonHit))
-                    }
-                    std::collections::hash_map::Entry::Vacant(slot) => {
-                        slot.insert(entry.clone());
-                        state.key_bytes += canon_len;
-                        state.insert_source(source, entry.clone());
-                        state.hits += 1;
-                        state.shape_hits += 1;
-                        Ok((entry, Lookup::ShapeHit))
-                    }
-                };
+                if let Some(existing) = state.touch(&canon) {
+                    // A racer registered the identical program while we
+                    // patched; share its entry.
+                    state.insert_source(source, &canon);
+                    state.hits += 1;
+                    return Ok((existing, Lookup::CanonHit));
+                }
+                state.insert_slot(Arc::from(canon.as_str()), entry.clone());
+                state.insert_source(source, &canon);
+                state.hits += 1;
+                state.shape_hits += 1;
+                return Ok((entry, Lookup::ShapeHit));
             }
         }
 
         let entry = Arc::new(CompiledEntry::new(lowered, fingerprint));
         let mut state = self.state.lock().expect("cache lock");
-        state.make_room(&self.limits, canon_len + source.len());
         // A racing thread may have inserted the same program meanwhile;
         // the first insert wins (so every caller shares one allocation)
         // and counts as the one miss — the losers found an entry, which
-        // is a hit however the work raced.
-        match state.by_canon.entry(canon) {
-            std::collections::hash_map::Entry::Occupied(existing) => {
-                let entry = existing.get().clone();
-                state.insert_source(source, entry.clone());
-                state.hits += 1;
-                Ok((entry, Lookup::CanonHit))
+        // is a hit however the work raced. This is a hit path, so the
+        // alias registers only within the byte budget (same guard as
+        // the canon-hit path — no eviction, no cap overshoot).
+        if let Some(existing) = state.touch(&canon) {
+            if state.key_bytes.saturating_add(source.len()) <= self.limits.max_key_bytes {
+                state.insert_source(source, &canon);
             }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(entry.clone());
-                state.key_bytes += canon_len;
-                state.insert_source(source, entry.clone());
-                // Register the new shape's skeleton donor (first
-                // occupant wins) while it fits the byte budget.
-                if !state.by_shape.contains_key(&shape_key)
-                    && state.key_bytes.saturating_add(shape_key.len()) <= self.limits.max_key_bytes
-                {
-                    state.key_bytes += shape_key.len();
-                    state.by_shape.insert(shape_key, entry.clone());
-                }
-                state.misses += 1;
-                Ok((entry, Lookup::Miss))
-            }
+            state.hits += 1;
+            return Ok((existing, Lookup::CanonHit));
         }
+        state.make_room(&self.limits, canon_len + source.len());
+        state.insert_slot(Arc::from(canon.as_str()), entry.clone());
+        state.insert_source(source, &canon);
+        // Register the new shape's skeleton donor (first occupant wins)
+        // while it fits the byte budget.
+        state.register_shape(&shape_key, &canon, &self.limits);
+        state.misses += 1;
+        Ok((entry, Lookup::Miss))
     }
 
     /// Current counters.
@@ -399,7 +498,7 @@ impl CompileCache {
             hits: state.hits,
             shape_hits: state.shape_hits,
             misses: state.misses,
-            entries: state.by_canon.len(),
+            entries: state.slots.len(),
             evictions: state.evictions,
         }
     }
@@ -555,7 +654,7 @@ mod tests {
     }
 
     #[test]
-    fn entry_cap_bounds_the_cache_and_counts_sweeps() {
+    fn entry_cap_evicts_least_recently_used_first() {
         let cache = CompileCache::with_limits(CacheLimits {
             max_entries: 4,
             ..CacheLimits::default()
@@ -567,11 +666,69 @@ mod tests {
         }
         let stats = cache.stats();
         assert!(stats.entries <= 4, "{stats:?}");
-        assert_eq!(stats.evictions, 4, "{stats:?}");
-        // The cache still works after sweeping: a repeat of the last
-        // program hits, a repeat of a swept one recompiles.
-        assert!(cache.get_or_compile(&program(20)).unwrap().1.is_hit());
+        // One LRU eviction per insert past the cap, not whole-cache
+        // sweeps: 16 of the 20 distinct programs were pushed out.
+        assert_eq!(stats.evictions, 16, "{stats:?}");
+        // The recent tail survived; the oldest recompiles.
+        for i in 17..=20 {
+            assert!(
+                cache.get_or_compile(&program(i)).unwrap().1.is_hit(),
+                "program {i} should still be cached"
+            );
+        }
         assert_eq!(cache.get_or_compile(&program(1)).unwrap().1, Lookup::Miss);
+    }
+
+    #[test]
+    fn hits_refresh_recency_so_hot_entries_survive_churn() {
+        let cache = CompileCache::with_limits(CacheLimits {
+            max_entries: 4,
+            ..CacheLimits::default()
+        });
+        let hot = program(0);
+        cache.get_or_compile(&hot).unwrap();
+        // Stream 50 one-off programs, touching the hot one between every
+        // insert: with a true LRU the hot entry is never the victim.
+        for i in 1..=50 {
+            assert!(cache.get_or_compile(&hot).unwrap().1.is_hit());
+            assert_eq!(cache.get_or_compile(&program(i)).unwrap().1, Lookup::Miss);
+        }
+        assert_eq!(
+            cache.get_or_compile(&hot).unwrap().1,
+            Lookup::SourceHit,
+            "the hot entry must survive 50 insertions past the cap"
+        );
+        let stats = cache.stats();
+        assert!(stats.entries <= 4, "{stats:?}");
+        assert_eq!(stats.misses, 51, "{stats:?}");
+    }
+
+    #[test]
+    fn shape_donors_are_refreshed_by_swaps_and_cleaned_up_on_eviction() {
+        let cache = CompileCache::with_limits(CacheLimits {
+            max_entries: 4,
+            ..CacheLimits::default()
+        });
+        let base = "input x in [-1, 1];\nlet k = 0.5;\noutput y = k*x;\n";
+        let (donor, _) = cache.get_or_compile(base).unwrap();
+        donor.na_model().unwrap();
+        // Keep the donor hot through its shape tier only (coefficient
+        // respins), while distinct programs churn the rest of the cache.
+        for i in 1..=20 {
+            let swapped = format!("input x in [-1, 1];\nlet k = 0.{i}1;\noutput y = k*x;\n");
+            let (_, lookup) = cache.get_or_compile(&swapped).unwrap();
+            assert!(lookup.is_hit(), "iteration {i}: {lookup:?}");
+            cache.get_or_compile(&program(i)).unwrap();
+        }
+        // The donor was touched by every swap: still resident.
+        assert!(cache.get_or_compile(base).unwrap().1.is_hit());
+
+        // Push the donor out for real (no more touches) and verify the
+        // shape tier was cleaned up: the next swap is a full compile.
+        for i in 21..=40 {
+            cache.get_or_compile(&program(i)).unwrap();
+        }
+        assert_eq!(cache.get_or_compile(base).unwrap().1, Lookup::Miss);
     }
 
     #[test]
