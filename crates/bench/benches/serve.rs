@@ -1,0 +1,201 @@
+//! Server throughput over loopback TCP — the event-loop transport
+//! measured end-to-end (socket framing + cache + engine), the way a
+//! client fleet sees it.
+//!
+//! Three regimes, all against one `spawn_server` instance:
+//!
+//! * `cold` — every request carries a *distinct* source text, so each
+//!   pays parse + lower + model build (a compile-cache miss).
+//! * `cached` — the same source repeated: the per-request cost collapses
+//!   to a cache hit plus one NA evaluation (the paper's `O(#sources)`
+//!   economics, served over a socket).
+//! * `pipelined` — 8 concurrent clients, each pipelining batches of the
+//!   cached request: the reactor multiplexes while the worker pool fans
+//!   out, which is the regime the `--max-conns`/backpressure machinery
+//!   exists for.
+//!
+//! `main` also smoke-checks the observability plane — the final `stats`
+//! request must reconcile with the requests sent — then drains the
+//! server via `shutdown()` and writes `BENCH_serve.json` at the
+//! workspace root for CI.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use sna_service::{spawn_server, CompileCache, Json, ServerConfig, ServerHandle, StatsRegistry};
+
+/// A linear two-tap source, unique per `i` so cold requests never alias.
+fn source(i: usize) -> String {
+    format!(
+        "input x in [-1, 1];\\ny = {:.9}*x + 0.25*x;\\noutput y;\\n",
+        0.5 + (i as f64 + 1.0) * 1e-6
+    )
+}
+
+fn analyze_request(src: &str) -> String {
+    let mut line = Json::Obj(vec![
+        ("cmd".to_string(), Json::str("analyze")),
+        ("source".to_string(), Json::str(src.replace("\\n", "\n"))),
+        ("bits".to_string(), Json::int(8)),
+        ("pdf".to_string(), Json::Bool(false)),
+    ])
+    .to_compact();
+    line.push('\n');
+    line
+}
+
+fn start_server() -> (ServerHandle, Arc<StatsRegistry>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let stats = Arc::new(StatsRegistry::new());
+    let handle = spawn_server(
+        listener,
+        Arc::new(CompileCache::new()),
+        Arc::clone(&stats),
+        ServerConfig::default(),
+    )
+    .expect("spawn server");
+    (handle, stats)
+}
+
+fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+fn round_trip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, request: &str) -> Json {
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut line = String::new();
+    assert!(reader.read_line(&mut line).expect("recv") > 0, "server EOF");
+    let resp = Json::parse(line.trim()).expect("valid response JSON");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    resp
+}
+
+/// Serial round-trips; `distinct` decides cold-vs-cached. Returns
+/// requests/sec.
+fn measure_serial(handle: &ServerHandle, iters: usize, distinct: bool) -> f64 {
+    let (mut stream, mut reader) = connect(handle);
+    // Warm the one shared source for the cached regime.
+    if !distinct {
+        round_trip(&mut stream, &mut reader, &analyze_request(&source(0)));
+    }
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let src = if distinct {
+            source(1000 + i)
+        } else {
+            source(0)
+        };
+        round_trip(&mut stream, &mut reader, &analyze_request(&src));
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// 8 clients × `batches` batches of `depth` pipelined cached requests.
+/// Returns aggregate requests/sec.
+fn measure_pipelined(handle: &ServerHandle, batches: usize, depth: usize) -> f64 {
+    const CLIENTS: usize = 8;
+    // Warm the cache once so every client measures the hit path.
+    let (mut stream, mut reader) = connect(handle);
+    round_trip(&mut stream, &mut reader, &analyze_request(&source(0)));
+    drop((stream, reader));
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = handle.local_addr();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                let request = analyze_request(&source(0));
+                let batch = request.repeat(depth);
+                for _ in 0..batches {
+                    writer.write_all(batch.as_bytes()).expect("send batch");
+                    for _ in 0..depth {
+                        let mut line = String::new();
+                        assert!(reader.read_line(&mut line).expect("recv") > 0);
+                        let resp = Json::parse(line.trim()).expect("valid response");
+                        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    (CLIENTS * batches * depth) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Criterion series: the single-request cached round-trip, the number a
+/// latency dashboard would alert on.
+fn bench_serve_round_trip(c: &mut Criterion) {
+    let (handle, _stats) = start_server();
+    let (mut stream, mut reader) = connect(&handle);
+    let request = analyze_request(&source(0));
+    round_trip(&mut stream, &mut reader, &request); // warm
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("cached_round_trip", |b| {
+        b.iter(|| round_trip(&mut stream, &mut reader, &request));
+    });
+    group.finish();
+    drop((stream, reader));
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+criterion_group!(benches, bench_serve_round_trip);
+
+fn main() {
+    benches();
+
+    let (handle, _stats) = start_server();
+    let cold_rps = measure_serial(&handle, 200, true);
+    let cached_rps = measure_serial(&handle, 500, false);
+    let pipelined_rps = measure_pipelined(&handle, 10, 32);
+
+    // The observability plane must reconcile: ask the server what it saw.
+    let (mut stream, mut reader) = connect(&handle);
+    let resp = round_trip(&mut stream, &mut reader, "{\"cmd\":\"stats\"}\n");
+    let result = resp.get("result").expect("stats result");
+    let requests = result
+        .get("counters")
+        .and_then(|c| c.get("requests"))
+        .and_then(Json::as_f64)
+        .expect("requests counter");
+    // 200 cold + 500+1 cached + 8*10*32+1 pipelined + 1 stats.
+    let expected = 200.0 + 501.0 + 2561.0 + 1.0;
+    assert_eq!(requests, expected, "registry lost requests");
+    let p99 = result
+        .get("verbs")
+        .and_then(|v| v.get("analyze"))
+        .and_then(|h| h.get("p99_us"))
+        .and_then(Json::as_f64)
+        .expect("analyze p99 estimate");
+    drop((stream, reader));
+    handle.shutdown_and_join().expect("clean shutdown");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"cold_rps\": {:.1},\n",
+            "  \"cached_rps\": {:.1},\n",
+            "  \"pipelined_rps\": {:.1},\n",
+            "  \"analyze_p99_us\": {:.1},\n",
+            "  \"requests_reconciled\": {}\n",
+            "}}\n"
+        ),
+        cold_rps, cached_rps, pipelined_rps, p99, expected as u64,
+    );
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    println!("wrote {}", path.display());
+}

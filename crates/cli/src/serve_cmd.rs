@@ -3,28 +3,54 @@
 //! By default the line-oriented JSON protocol runs over stdin/stdout:
 //! one request per line, one compact JSON response per line (see
 //! `crates/service/README.md` for the schema). With `--listen addr:port`
-//! the same protocol runs over TCP, one thread per connection, all
-//! connections sharing one compile cache — so a model built for one
-//! client serves every later request for the same datapath.
+//! the same protocol runs over TCP on the `poll(2)` event-loop
+//! transport: one reactor thread multiplexes every connection (bounded
+//! accept, slow-client backpressure, idle timeouts), a worker pool runs
+//! the requests, and all connections share one compile cache — so a
+//! model built for one client serves every later request for the same
+//! datapath. SIGTERM (and `shutdown` via the protocol's EOF) drains
+//! gracefully: in-flight requests finish, late ones are refused.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use sna_service::CompileCache;
+use sna_service::{CompileCache, Counter, ServerConfig, StatsRegistry};
 
 use crate::common::{unknown_flag, Args, CliError};
 
-const USAGE: &str = "sna serve [--listen addr:port] [--max-conns N]";
+const USAGE: &str = "sna serve [--listen addr:port] [--max-conns N] [--idle-timeout SECS] \
+                     [--drain-timeout SECS] [--write-buf-cap BYTES] [--workers N]";
 
-/// Runs the subcommand. Returns only when the input reaches EOF
-/// (stdin/stdout mode) or `--max-conns` connections have been served.
+/// Runs the subcommand. Returns when stdin reaches EOF (stdio mode) or
+/// the server finishes draining after SIGTERM (TCP mode).
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let mut args = Args::new(argv);
     let mut listen: Option<String> = None;
-    let mut max_conns: Option<u64> = None;
+    let mut config = ServerConfig::default();
+    let mut tcp_flag_seen: Option<&'static str> = None;
     while let Some(flag) = args.next_flag() {
         match flag {
             "listen" => listen = Some(args.value("listen")?.to_string()),
-            "max-conns" => max_conns = Some(args.parse_value("max-conns")?),
+            "max-conns" => {
+                config.max_conns = args.parse_value("max-conns")?;
+                tcp_flag_seen = Some("--max-conns");
+            }
+            "idle-timeout" => {
+                config.idle_timeout = Duration::from_secs(args.parse_value("idle-timeout")?);
+                tcp_flag_seen = Some("--idle-timeout");
+            }
+            "drain-timeout" => {
+                config.drain_timeout = Duration::from_secs(args.parse_value("drain-timeout")?);
+                tcp_flag_seen = Some("--drain-timeout");
+            }
+            "write-buf-cap" => {
+                config.write_buf_cap = args.parse_value("write-buf-cap")?;
+                tcp_flag_seen = Some("--write-buf-cap");
+            }
+            "workers" => {
+                config.workers = args.parse_value("workers")?;
+                tcp_flag_seen = Some("--workers");
+            }
             other => return Err(unknown_flag(other, USAGE)),
         }
     }
@@ -34,35 +60,61 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
              usage: {USAGE}"
         )));
     }
-    if max_conns.is_some() && listen.is_none() {
-        return Err(CliError::Usage(format!(
-            "--max-conns only applies with --listen\nusage: {USAGE}"
-        )));
+    if listen.is_none() {
+        if let Some(flag) = tcp_flag_seen {
+            return Err(CliError::Usage(format!(
+                "{flag} only applies with --listen\nusage: {USAGE}"
+            )));
+        }
     }
 
     match listen {
         None => {
             let cache = CompileCache::new();
+            let stats = StatsRegistry::new();
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            let report = sna_service::serve(stdin.lock(), stdout.lock(), &cache)
+            let report = sna_service::serve_stats(stdin.lock(), stdout.lock(), &cache, &stats)
                 .map_err(|e| CliError::failed(format!("serve failed: {e}")))?;
-            let stats = cache.stats();
+            let cache_stats = cache.stats();
             // The protocol owns stdout; the sign-off goes to stderr.
             eprintln!(
                 "served {} request(s), {} error(s) · cache {} hit(s) / {} miss(es)",
-                report.requests, report.errors, stats.hits, stats.misses
+                report.requests, report.errors, cache_stats.hits, cache_stats.misses
             );
             Ok(String::new())
         }
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)
                 .map_err(|e| CliError::failed(format!("cannot listen on `{addr}`: {e}")))?;
-            let local = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
-            eprintln!("sna serve: listening on {local}");
             let cache = Arc::new(CompileCache::new());
-            sna_service::serve_tcp(&listener, &cache, max_conns)
+            let stats = Arc::new(StatsRegistry::new());
+            let handle =
+                sna_service::spawn_server(listener, Arc::clone(&cache), Arc::clone(&stats), config)
+                    .map_err(|e| CliError::failed(format!("serve failed: {e}")))?;
+            eprintln!("sna serve: listening on {}", handle.local_addr());
+            handle
+                .install_termination_handler()
+                .map_err(|e| CliError::failed(format!("cannot install SIGTERM handler: {e}")))?;
+            // Blocks until SIGTERM triggers the drain and the reactor
+            // (plus its workers) exits.
+            handle
+                .join()
                 .map_err(|e| CliError::failed(format!("serve failed: {e}")))?;
+            let cache_stats = cache.stats();
+            eprintln!(
+                "sna serve: drained · {} request(s), {} error(s) · \
+                 conns {} accepted / {} rejected / {} timed out / {} drained · \
+                 cache {} hit(s) / {} miss(es)",
+                stats.get(Counter::Requests),
+                stats.get(Counter::Errors),
+                stats.get(Counter::Accepted),
+                stats.get(Counter::Rejected),
+                stats.get(Counter::TimedOut),
+                stats.get(Counter::Drained),
+                cache_stats.hits,
+                cache_stats.misses
+            );
             Ok(String::new())
         }
     }

@@ -12,31 +12,51 @@
 //!   `sna-lang` for spelling-insensitive aliasing; entries share the
 //!   lowered [`Dfg`](sna_dfg::Dfg) and the lazily built
 //!   [`NaModel`](sna_core::NaModel) behind `Arc`s.
-//! * [`run_ordered`] — a std-only worker pool (`std::thread` + channels;
-//!   the build environment has no network, so no tokio) that fans a job
-//!   list across cores and collects results in input order, keeping
-//!   batch output byte-stable.
+//! * [`run_ordered`] / [`WorkerPool`] — std-only worker pools
+//!   (`std::thread` + channels; the build environment has no network, so
+//!   no tokio): the former fans a batch across cores and collects
+//!   results in input order, the latter is the long-lived pool the
+//!   server's event loop executes requests on.
 //! * [`exec`] — one function per verb (`analyze`, `optimize`, `synth`),
 //!   shared by the CLI subcommands and the server so both produce
 //!   identical numbers and identical JSON for the same request.
-//! * [`serve`] / [`serve_tcp`] — the line-oriented JSON protocol:
-//!   one request per line in, one compact JSON response per line out,
-//!   with per-request cache hit/miss and timing. Documented in
-//!   `crates/service/README.md`.
+//! * [`serve`] / [`spawn_server`] — the line-oriented JSON protocol:
+//!   one request per line in, one compact JSON response per line out.
+//!   `serve` drives a trusted stdio peer; `spawn_server` runs the
+//!   `poll(2)` event-loop transport for TCP peers, with bounded accept,
+//!   slow-client backpressure, idle timeouts and graceful drain.
+//!   Documented in `crates/service/README.md`.
+//! * [`StatsRegistry`] — the observability plane: connection-lifecycle
+//!   counters plus log-spaced latency histograms per verb and per
+//!   resolved engine, reported in full by the `stats` verb.
 //! * [`Json`] — the document model, writer (pretty + compact) and parser
 //!   the protocol and the CLI share. It moved here from `crates/cli`,
 //!   which re-exports it.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the event loop's `sys` module is the one
+// place allowed (via a scoped `#[allow]`) to use unsafe — the thin FFI
+// shim over poll(2)/pipe(2), reviewed syscall-by-syscall. Everything
+// else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
+mod event_loop;
 pub mod exec;
 mod json;
 mod pool;
 mod proto;
+mod stats;
 
 pub use cache::{CacheLimits, CacheStats, CompileCache, CompiledEntry, Lookup};
+pub use event_loop::{spawn_server, ServerConfig, ServerHandle};
 pub use json::Json;
-pub use pool::{default_jobs, run_ordered};
-pub use proto::{handle_line, handle_line_untrusted, serve, serve_tcp, ServeReport};
+pub use pool::{default_jobs, run_ordered, WorkerPool};
+pub use proto::{
+    handle_line, handle_line_stats, handle_line_untrusted, handle_line_untrusted_stats, serve,
+    serve_stats, ServeReport,
+};
+pub use stats::{
+    bin_hi, bin_lo, Counter, HistogramSnapshot, LatencyHistogram, StatsRegistry, COUNTERS, ENGINES,
+    N_BINS, VERBS,
+};

@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The default worker count: available hardware parallelism, with a
 /// fallback of 1 when the platform cannot report it.
@@ -79,6 +79,73 @@ where
     })
 }
 
+/// The long-lived sibling of [`run_ordered`]: a fixed set of worker
+/// threads draining one shared job channel for the lifetime of the
+/// pool. This is what the server's event loop hands request execution
+/// to — the reactor thread only frames I/O, workers run the verbs.
+///
+/// Jobs are `FnOnce` units pulled from a `Mutex<Receiver>` (the same
+/// no-tokio constraint as [`run_ordered`]: plain threads + channels).
+/// Dropping the pool closes the channel and joins every worker, so
+/// shutdown is deterministic — no detached threads survive the owner.
+pub struct WorkerPool<J: Send + 'static> {
+    tx: Option<mpsc::Sender<J>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawns `workers` threads (at least one), each running `run` on
+    /// every job it pulls.
+    pub fn new<F>(workers: usize, run: F) -> Self
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
+        let (tx, rx) = mpsc::channel::<J>();
+        let rx = Arc::new(Mutex::new(rx));
+        let run = Arc::new(run);
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let run = Arc::clone(&run);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only for the recv: a slow job must
+                    // not serialize the other workers' pulls.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break, // a worker panicked mid-recv
+                    };
+                    match job {
+                        Ok(job) => run(job),
+                        Err(_) => break, // channel closed: pool dropped
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Enqueues one job. Returns `false` if the pool is already shut
+    /// down (never happens while the pool is alive).
+    pub fn submit(&self, job: J) -> bool {
+        self.tx.as_ref().is_some_and(|tx| tx.send(job).is_ok())
+    }
+}
+
+impl<J: Send + 'static> Drop for WorkerPool<J> {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop; joining
+        // makes `drop(pool)` a synchronization point (all in-flight
+        // jobs finished).
+        self.tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +186,39 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn worker_pool_runs_every_job_and_joins_on_drop() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = Arc::clone(&done);
+            WorkerPool::new(4, move |n: usize| {
+                // Tiny stagger so jobs genuinely interleave on workers.
+                if n.is_multiple_of(7) {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        for n in 0..200 {
+            assert!(pool.submit(n));
+        }
+        drop(pool); // joins: every submitted job has run
+        assert_eq!(done.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn worker_pool_clamps_zero_workers_to_one() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = Arc::clone(&done);
+            WorkerPool::new(0, move |_: ()| {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        pool.submit(());
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 1);
     }
 }

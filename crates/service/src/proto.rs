@@ -2,18 +2,22 @@
 //!
 //! One request per line in, one response per line out (compact JSON, no
 //! interior newlines). The same handler backs `sna serve` on
-//! stdin/stdout, `--listen addr:port` over TCP (one thread per
-//! connection, all sharing one [`CompileCache`]), and the in-process
-//! tests. See `crates/service/README.md` for the full request/response
-//! schema.
+//! stdin/stdout, `--listen addr:port` over TCP (the [`crate::event_loop`]
+//! reactor, all connections sharing one [`CompileCache`] and one
+//! [`StatsRegistry`]), and the in-process tests. See
+//! `crates/service/README.md` for the full request/response schema.
 //!
 //! Malformed input — unparsable JSON, a missing `cmd`, a bad parameter —
 //! answers with an `"ok": false` response on the same line; the server
 //! never dies on bad input.
+//!
+//! Every handled request is recorded in the registry: the `requests` /
+//! `errors` counters plus the verb's latency histogram (and, for
+//! `analyze`, the *resolved* engine's histogram, timed at the engine
+//! level). The `stats` verb serializes the whole registry alongside the
+//! compile-cache counters.
 
 use std::io::{self, BufRead, Write};
-use std::net::TcpListener;
-use std::sync::Arc;
 use std::time::Instant;
 
 use sna_lang::render_all;
@@ -21,6 +25,7 @@ use sna_lang::render_all;
 use crate::cache::{CompileCache, Lookup};
 use crate::exec::{self, AnalyzeEngine, AnalyzeParams, OptimizeParams};
 use crate::json::Json;
+use crate::stats::{Counter, StatsRegistry};
 
 /// What a serve loop processed, for the caller's logging.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -45,21 +50,57 @@ enum Peer {
 /// Handles one request line from the operator's own transport
 /// (stdin/stdout) and returns the full response document. The `path`
 /// request field is honoured; for network-facing handling use
-/// [`handle_line_untrusted`].
+/// [`handle_line_untrusted`]. Records into a throwaway registry — use
+/// [`handle_line_stats`] when the caller keeps one.
 #[must_use]
 pub fn handle_line(cache: &CompileCache, line: &str) -> Json {
-    handle(cache, line, Peer::Trusted)
+    handle(cache, &StatsRegistry::new(), line, Peer::Trusted)
 }
 
 /// Like [`handle_line`], but refuses `path` requests — the handler
 /// behind every TCP connection.
 #[must_use]
 pub fn handle_line_untrusted(cache: &CompileCache, line: &str) -> Json {
-    handle(cache, line, Peer::Untrusted)
+    handle(cache, &StatsRegistry::new(), line, Peer::Untrusted)
 }
 
-fn handle(cache: &CompileCache, line: &str, peer: Peer) -> Json {
+/// [`handle_line`] recording into the caller's [`StatsRegistry`].
+#[must_use]
+pub fn handle_line_stats(cache: &CompileCache, stats: &StatsRegistry, line: &str) -> Json {
+    handle(cache, stats, line, Peer::Trusted)
+}
+
+/// [`handle_line_untrusted`] recording into the caller's
+/// [`StatsRegistry`] — the function every event-loop worker runs.
+#[must_use]
+pub fn handle_line_untrusted_stats(
+    cache: &CompileCache,
+    stats: &StatsRegistry,
+    line: &str,
+) -> Json {
+    handle(cache, stats, line, Peer::Untrusted)
+}
+
+fn handle(cache: &CompileCache, stats: &StatsRegistry, line: &str, peer: Peer) -> Json {
     let started = Instant::now();
+    // Received-request count, bumped up front so the `stats` verb's own
+    // response includes itself; its latency histogram entry (recorded
+    // after the response is built) lands one request behind.
+    stats.bump(Counter::Requests);
+    let response = handle_inner(cache, stats, line, peer, started);
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        stats.bump(Counter::Errors);
+    }
+    response
+}
+
+fn handle_inner(
+    cache: &CompileCache,
+    stats: &StatsRegistry,
+    line: &str,
+    peer: Peer,
+    started: Instant,
+) -> Json {
     let doc = match Json::parse(line) {
         Ok(doc) => doc,
         Err(e) => return error_response(None, format!("malformed request: {e}")),
@@ -68,8 +109,18 @@ fn handle(cache: &CompileCache, line: &str, peer: Peer) -> Json {
     let Some(cmd) = doc.get("cmd").and_then(Json::as_str) else {
         return error_response(id, "request needs a string `cmd` field".to_string());
     };
-    match dispatch(cache, cmd, &doc, peer) {
-        Ok((result, lookup)) => {
+    let outcome = dispatch(cache, stats, cmd, &doc, peer);
+    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    stats.record_verb(cmd, elapsed_us);
+    match outcome {
+        Ok(Dispatched {
+            result,
+            lookup,
+            engine,
+        }) => {
+            if let Some((engine, engine_us)) = engine {
+                stats.record_engine(engine, engine_us);
+            }
             let mut fields = Vec::new();
             if let Some(id) = id {
                 fields.push(("id".to_string(), id));
@@ -81,7 +132,7 @@ fn handle(cache: &CompileCache, line: &str, peer: Peer) -> Json {
             }
             fields.push((
                 "elapsed_us".to_string(),
-                Json::int(usize::try_from(started.elapsed().as_micros()).unwrap_or(usize::MAX)),
+                Json::int(usize::try_from(elapsed_us).unwrap_or(usize::MAX)),
             ));
             fields.push(("result".to_string(), result));
             Json::Obj(fields)
@@ -100,38 +151,62 @@ fn error_response(id: Option<Json>, message: String) -> Json {
     Json::Obj(fields)
 }
 
-/// Runs one verb; `Ok` carries the `result` payload plus the cache
-/// outcome when the verb compiled something.
+/// A successful verb run: the `result` payload, the cache outcome when
+/// the verb compiled something, and — for `analyze` — the resolved
+/// engine plus the time the engine itself spent (for the per-engine
+/// latency histograms).
+struct Dispatched {
+    result: Json,
+    lookup: Option<Lookup>,
+    engine: Option<(&'static str, u64)>,
+}
+
+impl Dispatched {
+    fn plain(result: Json, lookup: Option<Lookup>) -> Self {
+        Dispatched {
+            result,
+            lookup,
+            engine: None,
+        }
+    }
+}
+
+/// Runs one verb.
 fn dispatch(
     cache: &CompileCache,
+    stats: &StatsRegistry,
     cmd: &str,
     doc: &Json,
     peer: Peer,
-) -> Result<(Json, Option<Lookup>), String> {
+) -> Result<Dispatched, String> {
     if cmd == "stats" {
         let s = cache.stats();
-        return Ok((
-            Json::Obj(vec![
-                (
-                    "hits".into(),
-                    Json::int(usize::try_from(s.hits).unwrap_or(usize::MAX)),
-                ),
-                (
-                    "shape_hits".into(),
-                    Json::int(usize::try_from(s.shape_hits).unwrap_or(usize::MAX)),
-                ),
-                (
-                    "misses".into(),
-                    Json::int(usize::try_from(s.misses).unwrap_or(usize::MAX)),
-                ),
-                ("entries".into(), Json::int(s.entries)),
-                (
-                    "evictions".into(),
-                    Json::int(usize::try_from(s.evictions).unwrap_or(usize::MAX)),
-                ),
-            ]),
-            None,
-        ));
+        let cache_counters = Json::Obj(vec![
+            (
+                "hits".into(),
+                Json::int(usize::try_from(s.hits).unwrap_or(usize::MAX)),
+            ),
+            (
+                "shape_hits".into(),
+                Json::int(usize::try_from(s.shape_hits).unwrap_or(usize::MAX)),
+            ),
+            (
+                "misses".into(),
+                Json::int(usize::try_from(s.misses).unwrap_or(usize::MAX)),
+            ),
+            ("entries".into(), Json::int(s.entries)),
+            (
+                "evictions".into(),
+                Json::int(usize::try_from(s.evictions).unwrap_or(usize::MAX)),
+            ),
+        ]);
+        // The registry's own fields (counters / verbs / engines) merge
+        // in beside the cache block.
+        let mut fields = vec![("cache".to_string(), cache_counters)];
+        if let Json::Obj(registry_fields) = stats.to_json() {
+            fields.extend(registry_fields);
+        }
+        return Ok(Dispatched::plain(Json::Obj(fields), None));
     }
     if !matches!(cmd, "parse" | "analyze" | "optimize" | "synth") {
         return Err(format!(
@@ -144,6 +219,7 @@ fn dispatch(
         .get_or_compile(&source)
         .map_err(|diags| render_all(&diags, &source, &origin))?;
 
+    let mut engine_used: Option<(&'static str, u64)> = None;
     let result = match cmd {
         "parse" => Json::Obj(exec::parse_facts_json(
             entry.session.dfg(),
@@ -164,23 +240,23 @@ fn dispatch(
                     .ok_or_else(|| "`pdf` must be a boolean".to_string())?,
                 None => true,
             };
-            let reports = exec::analyze(&entry, &params)?;
+            let report = exec::analyze_report(&entry, &params)?;
+            engine_used = Some((
+                report.engine.name(),
+                u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX),
+            ));
             Json::Obj(vec![
-                ("engine".into(), Json::str(params.engine.name())),
+                // The engine that actually ran (`auto` resolves before
+                // this point) — the provenance of the numbers.
+                ("engine".into(), Json::str(report.engine.name())),
                 ("bits".into(), Json::int(params.bits as usize)),
                 ("bins".into(), Json::int(params.bins)),
-                (
-                    "kind".into(),
-                    Json::str(if params.engine == AnalyzeEngine::Cartesian {
-                        "value-pdf"
-                    } else {
-                        "quantization-noise"
-                    }),
-                ),
+                ("kind".into(), Json::str(report.kind.as_str())),
                 (
                     "reports".into(),
                     Json::Arr(
-                        reports
+                        report
+                            .reports
                             .iter()
                             .map(|(name, r)| exec::report_json(name, r, include_pdf))
                             .collect(),
@@ -242,7 +318,11 @@ fn dispatch(
         }
         _ => unreachable!("verbs matched above"),
     };
-    Ok((result, Some(lookup)))
+    Ok(Dispatched {
+        result,
+        lookup: Some(lookup),
+        engine: engine_used,
+    })
 }
 
 /// The program text of a request: inline `source`, or `path` read from
@@ -339,7 +419,28 @@ pub fn serve<R: BufRead, W: Write>(
     mut writer: W,
     cache: &CompileCache,
 ) -> io::Result<ServeReport> {
-    serve_peer(reader, &mut writer, cache, Peer::Trusted)
+    serve_peer(
+        reader,
+        &mut writer,
+        cache,
+        &StatsRegistry::new(),
+        Peer::Trusted,
+    )
+}
+
+/// [`serve`] recording into the caller's [`StatsRegistry`], so the
+/// `stats` verb reports the session's real counters and histograms.
+///
+/// # Errors
+///
+/// Same as [`serve`].
+pub fn serve_stats<R: BufRead, W: Write>(
+    reader: R,
+    mut writer: W,
+    cache: &CompileCache,
+    stats: &StatsRegistry,
+) -> io::Result<ServeReport> {
+    serve_peer(reader, &mut writer, cache, stats, Peer::Trusted)
 }
 
 /// Upper bound on one request line. Real `.sna` sources are kilobytes;
@@ -351,6 +452,7 @@ fn serve_peer<R: BufRead, W: Write>(
     mut reader: R,
     writer: &mut W,
     cache: &CompileCache,
+    stats: &StatsRegistry,
     peer: Peer,
 ) -> io::Result<ServeReport> {
     let mut report = ServeReport::default();
@@ -370,6 +472,8 @@ fn serve_peer<R: BufRead, W: Write>(
                 error_response(None, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
             report.requests += 1;
             report.errors += 1;
+            stats.bump(Counter::Requests);
+            stats.bump(Counter::Errors);
             writer.write_all(response.to_compact().as_bytes())?;
             writer.write_all(b"\n")?;
             writer.flush()?;
@@ -378,7 +482,7 @@ fn serve_peer<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle(cache, line.trim_end_matches(['\n', '\r']), peer);
+        let response = handle(cache, stats, line.trim_end_matches(['\n', '\r']), peer);
         report.requests += 1;
         if response.get("ok").and_then(Json::as_bool) != Some(true) {
             report.errors += 1;
@@ -390,54 +494,38 @@ fn serve_peer<R: BufRead, W: Write>(
     Ok(report)
 }
 
-/// Serves the same protocol over TCP: one thread per connection, all
-/// sharing `cache`, every peer untrusted (`path` requests refused).
-/// With `max_conns` set, returns after that many connections have been
-/// accepted *and served* (used by tests and smoke scripts); with
-/// `None`, accepts forever and detaches connection threads as it goes.
-///
-/// # Errors
-///
-/// Accept failures. Per-connection I/O errors only end that connection.
-pub fn serve_tcp(
-    listener: &TcpListener,
-    cache: &Arc<CompileCache>,
-    max_conns: Option<u64>,
-) -> io::Result<()> {
-    if max_conns == Some(0) {
-        return Ok(());
-    }
-    let mut handles = Vec::new();
-    let mut accepted = 0u64;
-    for stream in listener.incoming() {
-        let mut stream = stream?;
-        let cache = Arc::clone(cache);
-        let handle = std::thread::spawn(move || {
-            let reader = match stream.try_clone() {
-                Ok(r) => io::BufReader::new(r),
-                Err(_) => return,
-            };
-            // A dropped connection mid-response is the client's problem,
-            // not the server's: ignore the per-connection result.
-            let _ = serve_peer(reader, &mut stream, &cache, Peer::Untrusted);
-        });
-        if max_conns.is_some() {
-            // Bounded runs join every connection before returning.
-            handles.push(handle);
-        }
-        // Unbounded runs detach: holding JoinHandles forever would leak
-        // memory linearly with connections served.
-        accepted += 1;
-        if let Some(max) = max_conns {
-            if accepted >= max {
-                break;
-            }
-        }
-    }
-    for handle in handles {
-        let _ = handle.join();
-    }
-    Ok(())
+/// The one-line answer a peer gets when the server is at `--max-conns`
+/// capacity, before its connection is closed (shared by the event loop
+/// and its tests).
+pub(crate) fn capacity_error_line() -> String {
+    let mut line = error_response(None, "server at capacity".to_string()).to_compact();
+    line.push('\n');
+    line
+}
+
+/// The one-line answer a request gets when it arrives after a graceful
+/// drain has begun.
+pub(crate) fn draining_error_line(id: Option<Json>) -> String {
+    let mut line = error_response(id, "server draining".to_string()).to_compact();
+    line.push('\n');
+    line
+}
+
+/// The one-line answer for a request line that exceeded
+/// [`MAX_LINE_BYTES`] (the connection closes after it flushes).
+pub(crate) fn oversize_error_line() -> String {
+    let mut line =
+        error_response(None, format!("request line exceeds {MAX_LINE_BYTES} bytes")).to_compact();
+    line.push('\n');
+    line
+}
+
+/// Extracts the `id` of a raw request line if it parses far enough,
+/// so refusal responses (draining) still correlate.
+pub(crate) fn request_id(line: &str) -> Option<Json> {
+    Json::parse(line)
+        .ok()
+        .and_then(|doc| doc.get("id").cloned())
 }
 
 #[cfg(test)]
@@ -509,17 +597,62 @@ mod tests {
     }
 
     #[test]
-    fn stats_requests_report_cache_counters() {
+    fn stats_requests_report_cache_counters_and_the_registry() {
         let cache = CompileCache::new();
+        let registry = StatsRegistry::new();
         let line = request(&format!(r#""cmd": "synth", "source": "{SRC}", "bits": 10"#));
-        let _ = handle_line(&cache, &line);
-        let _ = handle_line(&cache, &line);
-        let stats = handle_line(&cache, r#"{"cmd": "stats"}"#);
+        let _ = handle_line_stats(&cache, &registry, &line);
+        let _ = handle_line_stats(&cache, &registry, &line);
+        let stats = handle_line_stats(&cache, &registry, r#"{"cmd": "stats"}"#);
         let result = stats.get("result").unwrap();
-        assert_eq!(result.get("hits").unwrap().as_f64(), Some(1.0));
-        assert_eq!(result.get("misses").unwrap().as_f64(), Some(1.0));
-        assert_eq!(result.get("entries").unwrap().as_f64(), Some(1.0));
-        assert_eq!(result.get("evictions").unwrap().as_f64(), Some(0.0));
+        let cache_counters = result.get("cache").unwrap();
+        assert_eq!(cache_counters.get("hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache_counters.get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache_counters.get("entries").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache_counters.get("evictions").unwrap().as_f64(), Some(0.0));
+        // The registry rode along: both synth requests and the stats
+        // request itself are counted (requests bumps on receipt)…
+        let counters = result.get("counters").unwrap();
+        assert_eq!(counters.get("requests").unwrap().as_f64(), Some(3.0));
+        assert_eq!(counters.get("errors").unwrap().as_f64(), Some(0.0));
+        // …and the synth verb has a latency histogram with both entries.
+        let synth = result.get("verbs").unwrap().get("synth").unwrap();
+        assert_eq!(synth.get("count").unwrap().as_f64(), Some(2.0));
+        assert!(synth.get("p99_us").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn analyze_records_the_resolved_engine_not_auto() {
+        let cache = CompileCache::new();
+        let registry = StatsRegistry::new();
+        // Auto on a linear combinational graph resolves to LTI.
+        let line = request(&format!(
+            r#""cmd": "analyze", "source": "{SRC}", "bits": 8"#
+        ));
+        let resp = handle_line_stats(&cache, &registry, &line);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            resp.get("result").unwrap().get("engine").unwrap().as_str(),
+            Some("lti"),
+            "the response reports the engine that actually ran"
+        );
+        assert_eq!(registry.engine("lti").unwrap().snapshot().count, 1);
+        let stats = handle_line_stats(&cache, &registry, r#"{"cmd": "stats"}"#);
+        let engines = stats.get("result").unwrap().get("engines").unwrap();
+        assert_eq!(
+            engines.get("lti").unwrap().get("count").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn errors_are_counted_in_the_registry() {
+        let cache = CompileCache::new();
+        let registry = StatsRegistry::new();
+        let _ = handle_line_stats(&cache, &registry, "not json");
+        let _ = handle_line_stats(&cache, &registry, r#"{"cmd": "frobnicate", "source": "x"}"#);
+        assert_eq!(registry.get(Counter::Requests), 2);
+        assert_eq!(registry.get(Counter::Errors), 2);
     }
 
     #[test]

@@ -1,0 +1,552 @@
+//! The server's observability plane: named atomic counters plus
+//! fixed-bin latency histograms, recorded per verb and per resolved
+//! analysis engine.
+//!
+//! Everything in here is lock-free — counters and histogram bins are
+//! plain `AtomicU64`s bumped with relaxed ordering, so the hot request
+//! path pays a handful of uncontended atomic adds and the `stats` verb
+//! reads a consistent-enough snapshot without stopping the world.
+//!
+//! ## Bin scheme
+//!
+//! Latencies are recorded in microseconds into log₂-spaced bins: bin
+//! `i` counts requests whose latency fell in `[2^i − 1, 2^(i+1) − 1)`
+//! µs, so bin 0 is `[0, 1)` µs, bin 1 is `[1, 3)`, bin 10 is roughly
+//! `[1, 2)` ms, and the last of the [`N_BINS`] bins is an overflow
+//! catch-all (≈ 36 minutes and beyond). Log spacing keeps the array
+//! small and fixed (no allocation on the record path) while giving
+//! constant *relative* resolution — the property percentile estimates
+//! care about. The shape follows rsnano's stats histograms; the bins
+//! here are atomics instead of a mutexed `Vec` so recording never
+//! serializes the worker threads.
+//!
+//! ## Percentiles
+//!
+//! p50/p90/p99 are estimated from a snapshot by walking the cumulative
+//! mass to the target rank and interpolating linearly *within* the
+//! containing bin (uniform-within-bin assumption), clamped to the
+//! maximum latency ever observed so the open-ended top bin cannot
+//! invent outliers. [`HistogramSnapshot::quantile`] has direct unit
+//! tests against exact quantiles on synthetic data below.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Number of log₂-spaced latency bins. Bin [`N_BINS`]` − 1` is the
+/// overflow bin; with 32 bins the last finite boundary is `2^31 − 1` µs
+/// ≈ 36 minutes, far beyond any request the server answers.
+pub const N_BINS: usize = 32;
+
+/// The request verbs with a dedicated latency histogram, in wire order.
+pub const VERBS: [&str; 5] = ["parse", "analyze", "optimize", "synth", "stats"];
+
+/// The analysis engines with a dedicated latency histogram (resolved
+/// engines only — `auto` records under whatever it resolved to).
+pub const ENGINES: [&str; 5] = ["na", "dfg", "lti", "symbolic", "cartesian"];
+
+/// The named connection-lifecycle and request counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Connections accepted onto the event loop.
+    Accepted,
+    /// Connections refused at `--max-conns` capacity (answered with a
+    /// one-line JSON error, then closed).
+    Rejected,
+    /// Times a connection's reads were paused because its write queue
+    /// exceeded the cap (slow-client backpressure engaged; counted once
+    /// per pause, not per byte).
+    Backpressured,
+    /// Connections evicted by the idle timeout.
+    TimedOut,
+    /// Connections that finished their in-flight work and flushed
+    /// during a graceful drain.
+    Drained,
+    /// Connections closed for any reason (peer EOF, error, eviction —
+    /// every accepted connection ends up here exactly once).
+    Closed,
+    /// Request lines received (counted on receipt, before execution —
+    /// includes requests refused while draining or over-long).
+    Requests,
+    /// Responses with `"ok": false` (malformed, refused, failed).
+    Errors,
+}
+
+/// All counters, in the order they serialize.
+pub const COUNTERS: [Counter; 8] = [
+    Counter::Accepted,
+    Counter::Rejected,
+    Counter::Backpressured,
+    Counter::TimedOut,
+    Counter::Drained,
+    Counter::Closed,
+    Counter::Requests,
+    Counter::Errors,
+];
+
+impl Counter {
+    /// The counter's wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Counter::Accepted => "accepted",
+            Counter::Rejected => "rejected",
+            Counter::Backpressured => "backpressured",
+            Counter::TimedOut => "timed_out",
+            Counter::Drained => "drained",
+            Counter::Closed => "closed",
+            Counter::Requests => "requests",
+            Counter::Errors => "errors",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Counter::Accepted => 0,
+            Counter::Rejected => 1,
+            Counter::Backpressured => 2,
+            Counter::TimedOut => 3,
+            Counter::Drained => 4,
+            Counter::Closed => 5,
+            Counter::Requests => 6,
+            Counter::Errors => 7,
+        }
+    }
+}
+
+/// A fixed-bin, lock-free latency histogram (µs, log₂-spaced bins).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    bins: [AtomicU64; N_BINS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+/// Inclusive lower µs boundary of bin `i` (`2^i − 1`).
+#[must_use]
+pub fn bin_lo(i: usize) -> u64 {
+    (1u64 << i) - 1
+}
+
+/// Exclusive upper µs boundary of bin `i` (`2^(i+1) − 1`); the last bin
+/// is open-ended and reports `u64::MAX`.
+#[must_use]
+pub fn bin_hi(i: usize) -> u64 {
+    if i + 1 >= N_BINS {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// The bin a latency falls into: `floor(log2(us + 1))`, clamped to the
+/// overflow bin.
+fn bin_index(us: u64) -> usize {
+    let shifted = us.saturating_add(1);
+    ((63 - shifted.leading_zeros()) as usize).min(N_BINS - 1)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, us: u64) {
+        self.bins[bin_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram (bins may be mid-update
+    /// relative to each other; totals are used only for estimation).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut bins = [0u64; N_BINS];
+        for (slot, bin) in bins.iter_mut().zip(&self.bins) {
+            *slot = bin.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            bins,
+            count: self.count.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`LatencyHistogram`] for estimation and
+/// serialization.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bin observation counts.
+    pub bins: [u64; N_BINS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed latencies, µs.
+    pub total_us: u64,
+    /// Largest observed latency, µs.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0 < q ≤ 1`) in µs by linear
+    /// interpolation within the containing bin, clamped to the observed
+    /// maximum. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                let lo = bin_lo(i) as f64;
+                // No sample exceeds the observed maximum, so every
+                // bin's interpolation range tops out there — this is
+                // what keeps the highest populated bin (which the data
+                // only partially fills) and the open-ended overflow bin
+                // from estimating past real latencies.
+                let hi = if bin_hi(i) == u64::MAX {
+                    self.max_us as f64
+                } else {
+                    (bin_hi(i).min(self.max_us)) as f64
+                };
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let est = lo + frac * (hi - lo).max(0.0);
+                return est.min(self.max_us as f64);
+            }
+            cum = next;
+        }
+        self.max_us as f64
+    }
+
+    /// Serializes the snapshot: totals, p50/p90/p99 estimates, and the
+    /// non-empty bins (`[lo_us, hi_us)` plus count — empty bins are
+    /// omitted to keep `stats` responses compact).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let bins: Vec<Json> = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                Json::Obj(vec![
+                    (
+                        "lo_us".into(),
+                        Json::int(usize::try_from(bin_lo(i)).unwrap_or(usize::MAX)),
+                    ),
+                    (
+                        "hi_us".into(),
+                        // The overflow bin's open end serializes as null.
+                        if bin_hi(i) == u64::MAX {
+                            Json::Null
+                        } else {
+                            Json::int(usize::try_from(bin_hi(i)).unwrap_or(usize::MAX))
+                        },
+                    ),
+                    (
+                        "count".into(),
+                        Json::int(usize::try_from(c).unwrap_or(usize::MAX)),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "count".into(),
+                Json::int(usize::try_from(self.count).unwrap_or(usize::MAX)),
+            ),
+            (
+                "total_us".into(),
+                Json::int(usize::try_from(self.total_us).unwrap_or(usize::MAX)),
+            ),
+            (
+                "max_us".into(),
+                Json::int(usize::try_from(self.max_us).unwrap_or(usize::MAX)),
+            ),
+            ("p50_us".into(), Json::Num(self.quantile(0.50))),
+            ("p90_us".into(), Json::Num(self.quantile(0.90))),
+            ("p99_us".into(), Json::Num(self.quantile(0.99))),
+            ("bins".into(), Json::Arr(bins)),
+        ])
+    }
+}
+
+/// The server's stats registry: one instance shared (behind an `Arc`)
+/// by the reactor, the worker threads, and every request handler.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    counters: [AtomicU64; COUNTERS.len()],
+    verbs: [LatencyHistogram; VERBS.len()],
+    engines: [LatencyHistogram; ENGINES.len()],
+}
+
+impl StatsRegistry {
+    /// A zeroed registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(&self, c: Counter) {
+        self.counters[c.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    #[must_use]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c.index()].load(Ordering::Relaxed)
+    }
+
+    /// Records one handled request against its verb's histogram.
+    /// Unknown verbs (the `unknown cmd` error path) have no histogram —
+    /// they are visible in the `requests`/`errors` counters.
+    pub fn record_verb(&self, verb: &str, us: u64) {
+        if let Some(i) = VERBS.iter().position(|v| *v == verb) {
+            self.verbs[i].record(us);
+        }
+    }
+
+    /// Records one completed analysis against the *resolved* engine's
+    /// histogram (`auto` never appears here).
+    pub fn record_engine(&self, engine: &str, us: u64) {
+        if let Some(i) = ENGINES.iter().position(|e| *e == engine) {
+            self.engines[i].record(us);
+        }
+    }
+
+    /// A verb's histogram, for tests and reporting.
+    #[must_use]
+    pub fn verb(&self, verb: &str) -> Option<&LatencyHistogram> {
+        VERBS
+            .iter()
+            .position(|v| *v == verb)
+            .map(|i| &self.verbs[i])
+    }
+
+    /// An engine's histogram, for tests and reporting.
+    #[must_use]
+    pub fn engine(&self, engine: &str) -> Option<&LatencyHistogram> {
+        ENGINES
+            .iter()
+            .position(|e| *e == engine)
+            .map(|i| &self.engines[i])
+    }
+
+    /// The full registry as JSON: the `counters` object plus per-verb
+    /// and per-engine histogram snapshots (only verbs/engines that have
+    /// recorded at least one observation appear).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let counters = COUNTERS
+            .iter()
+            .map(|&c| {
+                (
+                    c.as_str().to_string(),
+                    Json::int(usize::try_from(self.get(c)).unwrap_or(usize::MAX)),
+                )
+            })
+            .collect();
+        let verbs = VERBS
+            .iter()
+            .zip(&self.verbs)
+            .filter(|(_, h)| h.count.load(Ordering::Relaxed) > 0)
+            .map(|(name, h)| ((*name).to_string(), h.snapshot().to_json()))
+            .collect();
+        let engines = ENGINES
+            .iter()
+            .zip(&self.engines)
+            .filter(|(_, h)| h.count.load(Ordering::Relaxed) > 0)
+            .map(|(name, h)| ((*name).to_string(), h.snapshot().to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("counters".into(), Json::Obj(counters)),
+            ("verbs".into(), Json::Obj(verbs)),
+            ("engines".into(), Json::Obj(engines)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact `q`-quantile of a sorted sample under the same
+    /// definition the estimator targets: the smallest value with
+    /// cumulative rank ≥ `q·n`.
+    fn exact_quantile(sorted: &[u64], q: f64) -> f64 {
+        let target = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[target.min(sorted.len()) - 1] as f64
+    }
+
+    #[test]
+    fn bin_boundaries_tile_the_axis_without_gaps() {
+        assert_eq!(bin_lo(0), 0);
+        for i in 0..N_BINS - 1 {
+            assert_eq!(bin_hi(i), bin_lo(i + 1), "bin {i} must abut bin {}", i + 1);
+            assert!(bin_hi(i) > bin_lo(i));
+        }
+        assert_eq!(bin_hi(N_BINS - 1), u64::MAX);
+        // Every boundary value lands in the bin whose range contains it.
+        for us in [0u64, 1, 2, 3, 6, 7, 1000, 1_000_000] {
+            let i = bin_index(us);
+            assert!(bin_lo(i) <= us && us < bin_hi(i), "{us} µs in bin {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data_interpolate_to_near_exact_values() {
+        // 1..=100_000 µs, one observation each: mass inside every bin is
+        // uniform, which is exactly the estimator's interpolation
+        // assumption, so estimates must land very close to the truth.
+        let h = LatencyHistogram::new();
+        let values: Vec<u64> = (1..=100_000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for q in [0.50, 0.90, 0.99] {
+            let exact = exact_quantile(&values, q);
+            let est = snap.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel < 0.02,
+                "q={q}: estimate {est} vs exact {exact} (rel err {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_a_point_mass_stay_inside_the_containing_bin() {
+        let h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        let snap = h.snapshot();
+        let i = bin_index(100);
+        for q in [0.5, 0.9, 0.99] {
+            let est = snap.quantile(q);
+            assert!(
+                est >= bin_lo(i) as f64 && est <= 100.0,
+                "q={q}: {est} outside [{}, 100]",
+                bin_lo(i)
+            );
+        }
+        // The estimate never exceeds the observed maximum.
+        assert!(snap.quantile(1.0) <= 100.0);
+    }
+
+    #[test]
+    fn quantiles_on_a_bimodal_split_separate_the_modes() {
+        // 90 fast requests (~10 µs), 10 slow (~80 ms): p50 must report
+        // the fast mode, p99 the slow one.
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(80_000);
+        }
+        let snap = h.snapshot();
+        assert!(snap.quantile(0.5) < 20.0, "p50 {}", snap.quantile(0.5));
+        assert!(
+            snap.quantile(0.99) > 60_000.0,
+            "p99 {}",
+            snap.quantile(0.99)
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped_to_max() {
+        let h = LatencyHistogram::new();
+        let mut state = 0x5EED_u64;
+        let mut max = 0;
+        for _ in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (state >> 40) % 1_000_000;
+            max = max.max(v);
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let (p50, p90, p99) = (
+            snap.quantile(0.50),
+            snap.quantile(0.90),
+            snap.quantile(0.99),
+        );
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p99 <= max as f64);
+        assert_eq!(snap.max_us, max);
+    }
+
+    #[test]
+    fn empty_and_overflow_histograms_do_not_panic() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().quantile(0.99), 0.0);
+        h.record(u64::MAX - 1); // overflow bin, saturating_add inside
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.bins[N_BINS - 1], 1);
+        assert!(snap.quantile(0.5) <= snap.max_us as f64);
+    }
+
+    #[test]
+    fn registry_records_by_name_and_serializes_nonempty_series_only() {
+        let r = StatsRegistry::new();
+        r.bump(Counter::Accepted);
+        r.bump(Counter::Requests);
+        r.bump(Counter::Requests);
+        r.record_verb("analyze", 1500);
+        r.record_verb("analyze", 2500);
+        r.record_verb("nonsense", 1); // silently ignored
+        r.record_engine("lti", 900);
+        assert_eq!(r.get(Counter::Requests), 2);
+        assert_eq!(r.verb("analyze").unwrap().snapshot().count, 2);
+        assert!(r.verb("nonsense").is_none());
+
+        let json = r.to_json();
+        let counters = json.get("counters").unwrap();
+        assert_eq!(counters.get("accepted").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(counters.get("requests").and_then(Json::as_f64), Some(2.0));
+        let verbs = json.get("verbs").unwrap();
+        assert!(verbs.get("analyze").is_some());
+        assert!(verbs.get("parse").is_none(), "empty series are omitted");
+        let analyze = verbs.get("analyze").unwrap();
+        assert_eq!(analyze.get("count").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(analyze.get("total_us").and_then(Json::as_f64), Some(4000.0));
+        assert!(analyze.get("p99_us").and_then(Json::as_f64).unwrap() >= 1500.0);
+        assert!(json.get("engines").unwrap().get("lti").is_some());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = StatsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for k in 0..1000u64 {
+                        r.record_verb("synth", k);
+                        r.bump(Counter::Requests);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.get(Counter::Requests), 8000);
+        let snap = r.verb("synth").unwrap().snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.bins.iter().sum::<u64>(), 8000);
+    }
+}

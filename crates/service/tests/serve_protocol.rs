@@ -1,14 +1,16 @@
 //! Protocol round-trips: a scripted client feeds request lines through
 //! [`sna_service::serve`] exactly as `sna serve` does over stdin/stdout
 //! (the CLI passes locked stdio to this same function), and over a real
-//! TCP socket via [`sna_service::serve_tcp`]. Every response line must
-//! parse as JSON; malformed requests must answer with an error instead
-//! of killing the server.
+//! TCP socket via the event-loop transport ([`sna_service::spawn_server`]).
+//! Every response line must parse as JSON; malformed requests must answer
+//! with an error instead of killing the server. The transport-specific
+//! behaviours (backpressure, drain, idle eviction, capacity) live in
+//! `tests/event_loop.rs`.
 
 use std::io::{BufRead, BufReader, Cursor, Write};
 use std::sync::Arc;
 
-use sna_service::{serve, serve_tcp, CompileCache, Json};
+use sna_service::{serve, spawn_server, CompileCache, Json, ServerConfig, StatsRegistry};
 
 const SRC: &str = r"input x in [-1, 1];\ny = 0.5*x;\noutput y;\n";
 
@@ -84,11 +86,23 @@ fn full_round_trip_covers_every_verb_and_reports_cache_transitions() {
             .unwrap()
             > 0.0
     );
-    // stats → one entry, exactly one miss for the shared source
+    // stats → cache block: one entry, exactly one miss for the shared
+    // source; and the registry's per-verb histograms ride along.
     let stats = responses[5].get("result").unwrap();
-    assert_eq!(stats.get("entries").and_then(Json::as_f64), Some(1.0));
-    assert_eq!(stats.get("misses").and_then(Json::as_f64), Some(1.0));
-    assert_eq!(stats.get("hits").and_then(Json::as_f64), Some(4.0));
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("entries").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(4.0));
+    let counters = stats.get("counters").unwrap();
+    assert_eq!(counters.get("requests").and_then(Json::as_f64), Some(6.0));
+    let verbs = stats.get("verbs").unwrap();
+    assert_eq!(
+        verbs
+            .get("analyze")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_f64),
+        Some(2.0)
+    );
 }
 
 #[test]
@@ -169,14 +183,34 @@ fn oversized_request_lines_get_one_error_then_hangup_not_oom() {
 }
 
 #[test]
-fn max_conns_zero_returns_without_accepting() {
+fn capacity_zero_rejects_every_peer_with_an_error_line() {
     let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
         Ok(l) => l,
         Err(_) => return,
     };
     let cache = Arc::new(CompileCache::new());
-    // Must return immediately — no client ever connects.
-    serve_tcp(&listener, &cache, Some(0)).unwrap();
+    let stats = Arc::new(StatsRegistry::new());
+    let config = ServerConfig {
+        max_conns: 0,
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server(listener, cache, Arc::clone(&stats), config).unwrap();
+    let stream = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp = Json::parse(line.trim()).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        resp.get("error").and_then(Json::as_str),
+        Some("server at capacity")
+    );
+    // …and then EOF: the server hung up.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+    handle.shutdown_and_join().unwrap();
+    assert_eq!(stats.get(sna_service::Counter::Rejected), 1);
+    assert_eq!(stats.get(sna_service::Counter::Accepted), 0);
 }
 
 #[test]
@@ -190,12 +224,11 @@ fn tcp_round_trip_shares_the_cache_across_connections() {
             return;
         }
     };
-    let addr = listener.local_addr().unwrap();
     let cache = Arc::new(CompileCache::new());
-    let server = {
-        let cache = Arc::clone(&cache);
-        std::thread::spawn(move || serve_tcp(&listener, &cache, Some(2)).unwrap())
-    };
+    let stats = Arc::new(StatsRegistry::new());
+    let handle =
+        spawn_server(listener, Arc::clone(&cache), stats, ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
 
     let mut lookups = Vec::new();
     for _ in 0..2 {
@@ -217,9 +250,9 @@ fn tcp_round_trip_shares_the_cache_across_connections() {
                 .unwrap()
                 .to_string(),
         );
-        // Closing the stream ends this connection's serve loop.
+        // Dropping the stream closes this connection; the server carries on.
     }
-    server.join().unwrap();
+    handle.shutdown_and_join().unwrap();
     assert_eq!(
         lookups,
         ["miss", "hit"],
