@@ -15,6 +15,10 @@
 //!                          exhaustive|uniform|all]
 //!                         [--ref-bits W] [--budget X] [--start W]
 //!                         [--radius R] [--format human|json]
+//! sna simulate <file>.sna... [--manifest list.txt] [--jobs N]
+//!                         [--bits N] [--bins N] [--paths N] [--seed N]
+//!                         [--steps N] [--warmup N] [--workers N]
+//!                         [--format human|json]
 //! sna synth    <file>.sna [--bits N] [--clock NS] [--format human|json]
 //! sna serve    [--listen addr:port] [--max-conns N]
 //! ```
@@ -25,11 +29,12 @@
 //! $ sna analyze examples/fir.sna --engine dfg --bits 8 --format json
 //! $ sna analyze examples/*.sna --jobs 4 --format json
 //! $ sna optimize examples/diffeq.sna --method all --ref-bits 12
+//! $ sna simulate examples/fir.sna --bits 10 --paths 200000 --seed 7
 //! $ sna synth examples/rgb.sna --bits 10
 //! $ echo '{"cmd":"analyze","path":"examples/fir.sna"}' | sna serve
 //! ```
 //!
-//! `analyze` and `optimize` accept many files (and/or a `--manifest`
+//! `analyze`, `simulate`, and `optimize` accept many files (and/or a `--manifest`
 //! file listing one path per line). In batch mode the files fan out
 //! across `--jobs` worker threads sharing one compile cache; per-file
 //! output is byte-identical to the single-file invocation, failures are
@@ -54,6 +59,7 @@ mod common;
 mod optimize_cmd;
 mod parse_cmd;
 mod serve_cmd;
+mod simulate_cmd;
 mod synth_cmd;
 
 pub use common::CliError;
@@ -63,12 +69,14 @@ pub use common::CliError;
 /// shims.
 pub use sna_service::Json;
 
-const USAGE: &str = "usage: sna <parse|analyze|optimize|synth|serve> [<file>.sna...] [options]\n\
+const USAGE: &str = "usage: sna <parse|analyze|simulate|optimize|synth|serve> [<file>.sna...] [options]\n\
                      \n\
                      commands:\n\
                      \x20 parse     validate a .sna file; dump a summary, DOT, or canonical form\n\
                      \x20 analyze   per-output noise reports (engines: auto, na, dfg, lti,\n\
                      \x20           symbolic, cartesian); many files fan out across --jobs workers\n\
+                     \x20 simulate  Monte-Carlo simulation on the bytecode VM; empirical error\n\
+                     \x20           statistics next to the analytic prediction\n\
                      \x20 optimize  noise-constrained word-length search (greedy, waterfill,\n\
                      \x20           anneal, group-greedy, exhaustive, uniform, all)\n\
                      \x20 synth     schedule + bind + cost report for one configuration\n\
@@ -94,6 +102,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "parse" => parse_cmd::run(rest),
         "analyze" => analyze_cmd::run(rest),
+        "simulate" => simulate_cmd::run(rest),
         "optimize" => optimize_cmd::run(rest),
         "synth" => synth_cmd::run(rest),
         "serve" => serve_cmd::run(rest),

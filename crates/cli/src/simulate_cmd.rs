@@ -1,0 +1,111 @@
+//! `sna simulate` — Monte-Carlo simulation of one or many `.sna`
+//! datapaths on the `sna-vm` bytecode backend, reporting empirical
+//! per-output error statistics next to the analytic model's prediction
+//! (the paper's Table-2 "Actual Values" cross-check).
+//!
+//! The report is a pure function of the file and the request: the same
+//! `--seed` produces bit-identical numbers whatever `--workers` says.
+//! Linear graphs carry an NA prediction, nonlinear combinational ones a
+//! histogram-propagation prediction; nonlinear sequential graphs have
+//! no model column — the simulation is the only number anyone has.
+//!
+//! With several files (or `--manifest`) the command runs in batch mode
+//! exactly like `analyze`: files fan out across `--jobs` workers
+//! sharing one compile cache, per-file output stays byte-identical to
+//! the single-file invocation.
+
+use sna_core::SimReport;
+use sna_service::exec::{self, SimulateParams};
+
+use crate::common::{
+    collect_files, parse_format, parse_jobs, report_human, run_batch, unknown_flag, Args, CliError,
+    Format,
+};
+use crate::Json;
+
+const USAGE: &str = "sna simulate <file>.sna... [--manifest list.txt] [--jobs N] \
+                     [--bits N] [--bins N] [--paths N] [--seed N] [--steps N] \
+                     [--warmup N] [--workers N] [--format human|json]";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let mut args = Args::new_multi(argv);
+    let mut format = Format::Human;
+    let mut params = SimulateParams::default();
+    let mut jobs: usize = sna_service::default_jobs();
+    let mut manifest: Option<String> = None;
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "format" => format = parse_format(args.value("format")?)?,
+            "bits" => params.bits = args.parse_value("bits")?,
+            "bins" => params.bins = args.parse_value("bins")?,
+            "paths" => params.paths = args.parse_value("paths")?,
+            "seed" => params.seed = args.parse_value("seed")?,
+            "steps" => params.steps = Some(args.parse_value("steps")?),
+            "warmup" => params.warmup = Some(args.parse_value("warmup")?),
+            "workers" => params.workers = args.parse_value("workers")?,
+            "jobs" => jobs = parse_jobs(&mut args)?,
+            "manifest" => manifest = Some(args.value("manifest")?.to_string()),
+            other => return Err(unknown_flag(other, USAGE)),
+        }
+    }
+    let (files, batch) = collect_files(args.files(), manifest.as_deref(), USAGE)?;
+    run_batch("simulate", files, batch, jobs, format, |path, entry| {
+        let report = exec::simulate(entry, &params).map_err(CliError::Failed)?;
+        Ok(render(path, &params, format, &report))
+    })
+}
+
+/// One file's output — exactly the historical single-file form.
+fn render(path: &str, params: &SimulateParams, format: Format, report: &SimReport) -> String {
+    match format {
+        Format::Human => {
+            let mut out = format!(
+                "{path}: simulate · {} bits · {} paths × {} steps ({} warmup) · seed {:#x}\n",
+                params.bits, report.paths, report.steps, report.warmup, report.seed
+            );
+            match report.predicted_by {
+                Some(engine) => out.push_str(&format!(
+                    "predicted by the `{}` engine; gaps are empirical − predicted\n",
+                    engine.name()
+                )),
+                None => out.push_str("no analytic model applies; empirical numbers only\n"),
+            }
+            for output in &report.outputs {
+                out.push('\n');
+                out.push_str(&report_human(&output.name, &output.empirical, true));
+                if let Some(predicted) = &output.predicted {
+                    out.push_str(&format!(
+                        "  predicted mean {:>13.6e} · variance {:>13.6e}\n",
+                        predicted.mean, predicted.variance
+                    ));
+                }
+                if let (Some(mg), Some(vg)) = (&output.mean_gap, &output.variance_gap) {
+                    out.push_str(&format!(
+                        "  gap       mean {:>13.6e}{} · variance {:>13.6e}{}\n",
+                        mg.abs,
+                        rel_suffix(mg.rel),
+                        vg.abs,
+                        rel_suffix(vg.rel),
+                    ));
+                }
+            }
+            out
+        }
+        Format::Json => {
+            let mut fields = vec![
+                ("command".into(), Json::str("simulate")),
+                ("file".into(), Json::str(path)),
+                ("engine".into(), Json::str("simulate")),
+                ("bits".into(), Json::int(params.bits as usize)),
+                ("bins".into(), Json::int(params.bins)),
+            ];
+            fields.extend(exec::simulate_json_fields(report, true));
+            Json::Obj(fields).to_string()
+        }
+    }
+}
+
+fn rel_suffix(rel: Option<f64>) -> String {
+    rel.map_or(String::new(), |r| format!(" ({:.2}% rel)", r * 100.0))
+}

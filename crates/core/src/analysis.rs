@@ -32,6 +32,11 @@ pub enum EngineKind {
     /// uncertainty ([`crate::CartesianEngine`]); characterizes the output
     /// PDF rather than quantization noise.
     Cartesian,
+    /// Vectorized Monte-Carlo simulation over the compiled bytecode
+    /// program ([`crate::SimulateEngine`]): *empirical* per-output error
+    /// statistics rather than a model prediction. Never chosen by
+    /// `Auto`.
+    Simulate,
 }
 
 impl EngineKind {
@@ -48,9 +53,11 @@ impl EngineKind {
             "lti" => EngineKind::Lti,
             "symbolic" => EngineKind::Symbolic,
             "cartesian" => EngineKind::Cartesian,
+            "simulate" => EngineKind::Simulate,
             other => {
                 return Err(format!(
-                    "unknown engine `{other}` (expected auto, na, dfg, lti, symbolic or cartesian)"
+                    "unknown engine `{other}` (expected auto, na, dfg, lti, symbolic, cartesian \
+                     or simulate)"
                 ))
             }
         })
@@ -66,6 +73,7 @@ impl EngineKind {
             EngineKind::Lti => "lti",
             EngineKind::Symbolic => "symbolic",
             EngineKind::Cartesian => "cartesian",
+            EngineKind::Simulate => "simulate",
         }
     }
 }

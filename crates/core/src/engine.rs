@@ -1,4 +1,4 @@
-//! The unified engine surface: one trait implemented by all five noise
+//! The unified engine surface: one trait implemented by all six
 //! engines, one structured request, one structured report.
 //!
 //! Historically each engine had a bespoke entry point (`DfgEngine::analyze`
@@ -119,7 +119,7 @@ pub struct AnalysisReport {
     pub elapsed: Duration,
 }
 
-/// The one trait all five engines implement.
+/// The one trait all six engines implement.
 ///
 /// Engines are stateless unit values; everything long-lived (ranges,
 /// gain models, views, memos) lives in the [`Session`], so one session
@@ -340,11 +340,52 @@ impl Engine for CartesianValueEngine {
     }
 }
 
+/// Vectorized Monte-Carlo simulation over the session's compiled
+/// bytecode program: *empirical* per-output error statistics
+/// (`quantized − exact` samples), not a model prediction.  The full
+/// empirical-vs-predicted comparison lives in
+/// [`Session::simulate`](crate::Session::simulate); this engine adapts
+/// it to the uniform request/report shape so the CLI, server, and batch
+/// paths get simulation through the same seam as every other engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimulateEngine;
+
+impl Engine for SimulateEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Simulate
+    }
+
+    fn run(
+        &self,
+        session: &Session,
+        req: &AnalysisRequest,
+    ) -> Result<Vec<(String, NoiseReport)>, SnaError> {
+        let sim_req = crate::SimRequest {
+            words: req.words.clone(),
+            bins: req.bins,
+            ..crate::SimRequest::default()
+        };
+        let report = session.simulate(&sim_req)?;
+        Ok(report
+            .outputs
+            .into_iter()
+            .map(|out| {
+                let mut empirical = out.empirical;
+                if !req.include_pdf {
+                    empirical.histogram = None;
+                }
+                (out.name, empirical)
+            })
+            .collect())
+    }
+}
+
 static NA: NaEngine = NaEngine;
 static LTI: LtiNoiseEngine = LtiNoiseEngine;
 static DFG: DfgNoiseEngine = DfgNoiseEngine;
 static SYMBOLIC: SymbolicNoiseEngine = SymbolicNoiseEngine;
 static CARTESIAN: CartesianValueEngine = CartesianValueEngine;
+static SIMULATE: SimulateEngine = SimulateEngine;
 
 impl EngineKind {
     /// The engine implementing this selector — `None` for
@@ -359,6 +400,7 @@ impl EngineKind {
             EngineKind::Dfg => Some(&DFG),
             EngineKind::Symbolic => Some(&SYMBOLIC),
             EngineKind::Cartesian => Some(&CARTESIAN),
+            EngineKind::Simulate => Some(&SIMULATE),
         }
     }
 }
@@ -375,6 +417,7 @@ mod tests {
             EngineKind::Dfg,
             EngineKind::Symbolic,
             EngineKind::Cartesian,
+            EngineKind::Simulate,
         ] {
             let engine = kind.engine().expect("concrete kind");
             assert_eq!(engine.kind(), kind);

@@ -65,17 +65,19 @@ mod lti_engine;
 mod na;
 mod report;
 mod session;
+mod simulate;
 mod sources;
 mod symbolic;
 
 pub use analysis::{EngineKind, SnaAnalysis};
 pub use cartesian::{CartesianEngine, UncertainInput};
 pub use dfg_engine::{DfgEngine, EngineOptions, HistMemo, Uncertain, Value};
-pub use engine::{AnalysisReport, AnalysisRequest, Engine, ReportKind, WlChoice};
+pub use engine::{AnalysisReport, AnalysisRequest, Engine, ReportKind, SimulateEngine, WlChoice};
 pub use error::SnaError;
 pub use lti_engine::LtiEngine;
 pub use na::{CoeffKind, CoeffSite, GainPatch, NaModel};
 pub use report::NoiseReport;
 pub use session::{PerSample, Session, SessionStats};
+pub use simulate::{Gap, SimOutput, SimReport, SimRequest};
 pub use sources::{noise_sources, IntroducesNoise, NoiseSource};
 pub use symbolic::{SymbolicEngine, SymbolicOptions, SymbolicResult};

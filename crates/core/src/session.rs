@@ -84,6 +84,7 @@ struct Counters {
     gains_reused: AtomicU64,
     view_builds: AtomicU64,
     lti_builds: AtomicU64,
+    vm_compiles: AtomicU64,
 }
 
 /// A snapshot of a session family's stage-build counters.
@@ -109,6 +110,9 @@ pub struct SessionStats {
     pub view_builds: u64,
     /// LTI engines built (one per requested bin count).
     pub lti_builds: u64,
+    /// VM bytecode programs compiled (shape-level: shared across
+    /// coefficient swaps).
+    pub vm_compiles: u64,
 }
 
 /// Built LTI engines kept per session before the per-bins map is swept.
@@ -130,6 +134,10 @@ pub struct Session {
     per_sample: OnceLock<Result<Arc<PerSample>, SnaError>>,
     lti: Mutex<std::collections::HashMap<usize, Arc<LtiEngine>>>,
     hist_memo: Arc<HistMemo>,
+    /// The lowered bytecode program (see `sna_vm`). Shape-only — no
+    /// constant values or quantizers baked in — so coefficient swaps
+    /// share it.
+    vm: OnceLock<Arc<sna_vm::Program>>,
 }
 
 impl Session {
@@ -157,6 +165,7 @@ impl Session {
             per_sample: OnceLock::new(),
             lti: Mutex::new(std::collections::HashMap::new()),
             hist_memo: Arc::new(HistMemo::new()),
+            vm: OnceLock::new(),
         })
     }
 
@@ -203,6 +212,7 @@ impl Session {
             gains_reused: c.gains_reused.load(Ordering::Relaxed),
             view_builds: c.view_builds.load(Ordering::Relaxed),
             lti_builds: c.lti_builds.load(Ordering::Relaxed),
+            vm_compiles: c.vm_compiles.load(Ordering::Relaxed),
         }
     }
 
@@ -352,6 +362,24 @@ impl Session {
         Ok(Arc::clone(entry))
     }
 
+    /// The lowered bytecode program of this graph's shape, compiled
+    /// once and shared (including across [`Session::with_coefficients`]
+    /// descendants — the program stores node ids, not values, so a
+    /// coefficient swap cannot invalidate it).
+    #[must_use]
+    pub fn vm_program(&self) -> Arc<sna_vm::Program> {
+        Arc::clone(self.vm.get_or_init(|| {
+            self.counters.vm_compiles.fetch_add(1, Ordering::Relaxed);
+            Arc::new(sna_vm::Program::compile(&self.dfg))
+        }))
+    }
+
+    /// Whether the VM program stage has been compiled.
+    #[must_use]
+    pub fn vm_program_built(&self) -> bool {
+        self.vm.get().is_some()
+    }
+
     /// A word-length configuration for this graph under `choice`,
     /// built from the cached node ranges (bit-identical to
     /// `WlConfig::from_ranges` on the same graph).
@@ -488,7 +516,12 @@ impl Session {
             per_sample: OnceLock::new(),
             lti: Mutex::new(std::collections::HashMap::new()),
             hist_memo: Arc::new(HistMemo::new()),
+            vm: OnceLock::new(),
         };
+        // The bytecode program is shape-only; the swap keeps it.
+        if let Some(program) = self.vm.get() {
+            let _ = session.vm.set(Arc::clone(program));
+        }
 
         // Patch the range stage off the donor's, when it exists.
         if let Some(Ok(base)) = self.ranges.get() {
@@ -576,7 +609,11 @@ impl Session {
             per_sample: OnceLock::new(),
             lti: Mutex::new(self.lti.lock().expect("lti cache lock").clone()),
             hist_memo: Arc::clone(&self.hist_memo),
+            vm: OnceLock::new(),
         };
+        if let Some(program) = self.vm.get() {
+            let _ = clone.vm.set(Arc::clone(program));
+        }
         if let Some(stage) = self.ranges.get() {
             let copied = match stage {
                 Ok(s) => Ok(RangeStage {

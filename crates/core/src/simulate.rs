@@ -1,0 +1,324 @@
+//! Monte-Carlo simulation through the session's compiled bytecode
+//! program, with the analytic model's prediction alongside — the
+//! empirical cross-check the paper's Table 2 calls "Actual Values".
+//!
+//! [`Session::simulate`] runs K×N sampled paths on the `sna_vm`
+//! backend (deterministic for a given seed, whatever the worker count)
+//! and pairs each output's empirical (mean, variance, min/max,
+//! histogram) with the best available model prediction:
+//!
+//! * linear graphs → the NA gain model ([`EngineKind::Na`]);
+//! * nonlinear combinational graphs → histogram propagation
+//!   ([`EngineKind::Dfg`]);
+//! * nonlinear sequential graphs → no model applies; the simulation
+//!   itself is the only number anyone has.
+
+use std::time::{Duration, Instant};
+
+use sna_dfg::DfgError;
+use sna_fixp::FixpError;
+use sna_vm::{Executable, SimOptions, VmError};
+
+use crate::engine::{AnalysisRequest, WlChoice};
+use crate::{EngineKind, NoiseReport, Session, SnaError};
+
+/// One simulation request.
+#[derive(Clone, Debug)]
+pub struct SimRequest {
+    /// Word lengths of the simulated configuration.
+    pub words: WlChoice,
+    /// Independent sample paths.
+    pub paths: usize,
+    /// RNG seed; the report is a pure function of it (and the request).
+    pub seed: u64,
+    /// Steps per path; `None` picks 1 for combinational graphs and 64
+    /// for sequential ones.
+    pub steps: Option<usize>,
+    /// Warmup steps discarded per path; `None` picks 0 / 16 to match
+    /// `steps`.
+    pub warmup: Option<usize>,
+    /// Worker threads (0 = available parallelism). Changes wall-clock
+    /// only, never the report.
+    pub workers: usize,
+    /// Bins of the empirical error histogram.
+    pub bins: usize,
+}
+
+impl Default for SimRequest {
+    fn default() -> Self {
+        SimRequest {
+            words: WlChoice::Uniform(12),
+            paths: 100_000,
+            seed: 0x5eed_cafe,
+            steps: None,
+            warmup: None,
+            workers: 0,
+            bins: 64,
+        }
+    }
+}
+
+/// An absolute/relative disagreement between empirical and predicted.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gap {
+    /// `|empirical − predicted|`.
+    pub abs: f64,
+    /// `abs / |predicted|`; `None` when the prediction is exactly zero.
+    pub rel: Option<f64>,
+}
+
+impl Gap {
+    fn between(empirical: f64, predicted: f64) -> Gap {
+        let abs = (empirical - predicted).abs();
+        Gap {
+            abs,
+            rel: (predicted != 0.0).then(|| abs / predicted.abs()),
+        }
+    }
+}
+
+/// One output's simulation result.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// Output name as declared.
+    pub name: String,
+    /// Empirical error statistics (support = observed min/max, the
+    /// histogram attached).
+    pub empirical: NoiseReport,
+    /// Collected error samples behind [`SimOutput::empirical`].
+    pub samples: usize,
+    /// The analytic model's report, when a model applies.
+    pub predicted: Option<NoiseReport>,
+    /// Empirical-vs-predicted mean disagreement.
+    pub mean_gap: Option<Gap>,
+    /// Empirical-vs-predicted variance disagreement.
+    pub variance_gap: Option<Gap>,
+}
+
+/// The full simulation report.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Per-output results, in declaration order.
+    pub outputs: Vec<SimOutput>,
+    /// Paths actually simulated.
+    pub paths: usize,
+    /// Steps per path after `None` resolution.
+    pub steps: usize,
+    /// Warmup steps after `None` resolution.
+    pub warmup: usize,
+    /// The seed the lanes were fanned out from.
+    pub seed: u64,
+    /// The engine that produced the predictions, when one applied.
+    pub predicted_by: Option<EngineKind>,
+    /// Wall-clock simulation time (prediction excluded).
+    pub elapsed: Duration,
+}
+
+fn vm_err(e: VmError) -> SnaError {
+    match e {
+        VmError::DivisionByZero { node } => SnaError::Dfg(DfgError::DivisionByZero { node }),
+        VmError::InputArity { expected, got } => {
+            SnaError::Dfg(DfgError::WrongInputCount { expected, got })
+        }
+        VmError::NoSamples => SnaError::Fixp(FixpError::NoSamples),
+        VmError::Histogram(e) => SnaError::Hist(e),
+    }
+}
+
+impl Session {
+    /// Runs a Monte-Carlo simulation over the compiled bytecode program
+    /// and pairs the empirical per-output statistics with the analytic
+    /// model's prediction (NA for linear graphs, histogram propagation
+    /// for nonlinear combinational ones; none for nonlinear sequential
+    /// graphs, where simulation is the only source of truth).
+    ///
+    /// The program compiles lazily on first use and is cached on the
+    /// session — including across [`Session::with_coefficients`]
+    /// descendants, since the bytecode is shape-only.
+    ///
+    /// # Errors
+    ///
+    /// Word-length / range failures from configuration, and simulation
+    /// failures (division by zero, zero paths). A *prediction* failure
+    /// is not an error: `predicted` is simply absent.
+    pub fn simulate(&self, req: &SimRequest) -> Result<SimReport, SnaError> {
+        let combinational = self.dfg().is_combinational();
+        let steps = req.steps.unwrap_or(if combinational { 1 } else { 64 });
+        let warmup = req.warmup.unwrap_or(if combinational { 0 } else { 16 });
+
+        let program = self.vm_program();
+        let config = self.wl_config(&req.words)?;
+        let exe = Executable::new(program, self.dfg(), &config);
+        let opts = SimOptions {
+            paths: req.paths,
+            seed: req.seed,
+            steps,
+            warmup,
+            workers: req.workers,
+            bins: req.bins,
+        };
+        let started = Instant::now();
+        let stats = sna_vm::simulate(&exe, self.input_ranges(), &opts).map_err(vm_err)?;
+        let elapsed = started.elapsed();
+
+        // Best-effort analytic prediction through the normal engine
+        // path; `Auto` resolution rejects nonlinear sequential graphs,
+        // and any other model failure also just leaves the comparison
+        // column empty.
+        let prediction = self
+            .analyze(&AnalysisRequest {
+                engine: EngineKind::Auto,
+                words: req.words.clone(),
+                bins: req.bins,
+                include_pdf: true,
+            })
+            .ok();
+        let predicted_by = prediction.as_ref().map(|p| p.engine);
+
+        let outputs = stats
+            .into_iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let mut empirical = NoiseReport::from_histogram(s.histogram);
+                // The histogram's moments are bin-resolution
+                // approximations; keep the exact sample statistics.
+                empirical.mean = s.mean;
+                empirical.variance = s.variance;
+                empirical.power = s.power;
+                empirical.support = (s.min, s.max);
+                let predicted = prediction.as_ref().map(|p| p.reports[k].1.clone());
+                let mean_gap = predicted.as_ref().map(|p| Gap::between(s.mean, p.mean));
+                let variance_gap = predicted
+                    .as_ref()
+                    .map(|p| Gap::between(s.variance, p.variance));
+                SimOutput {
+                    name: s.name,
+                    empirical,
+                    samples: s.samples,
+                    predicted,
+                    mean_gap,
+                    variance_gap,
+                }
+            })
+            .collect();
+
+        Ok(SimReport {
+            outputs,
+            paths: req.paths,
+            steps,
+            warmup,
+            seed: req.seed,
+            predicted_by,
+            elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::DfgBuilder;
+    use sna_interval::Interval;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    fn linear_session() -> Session {
+        let mut b = DfgBuilder::new();
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let t1 = b.mul_const(0.3, x1);
+        let t2 = b.mul_const(0.6, x2);
+        let y = b.add(t1, t2);
+        b.output("y", y);
+        Session::new(b.build().unwrap(), vec![iv(-1.0, 1.0), iv(-1.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn linear_graphs_get_na_predictions_with_gaps() {
+        let session = linear_session();
+        let req = SimRequest {
+            paths: 20_000,
+            ..SimRequest::default()
+        };
+        let report = session.simulate(&req).unwrap();
+        assert_eq!(report.predicted_by, Some(EngineKind::Lti));
+        assert_eq!(report.steps, 1);
+        assert_eq!(report.warmup, 0);
+        let out = &report.outputs[0];
+        assert_eq!(out.name, "y");
+        assert_eq!(out.samples, 20_000);
+        assert!(out.predicted.is_some());
+        let gap = out.variance_gap.unwrap();
+        let rel = gap.rel.unwrap();
+        assert!(rel < 0.5, "variance off by {rel}");
+        assert!(out.empirical.histogram.is_some());
+    }
+
+    #[test]
+    fn nonlinear_sequential_graphs_simulate_without_a_prediction() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let sq = b.mul(fb, fb);
+        let scaled = b.mul_const(0.1, sq);
+        let y = b.add(x, scaled);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        let session = Session::new(b.build().unwrap(), vec![iv(-0.5, 0.5)]).unwrap();
+        let req = SimRequest {
+            paths: 5_000,
+            ..SimRequest::default()
+        };
+        let report = session.simulate(&req).unwrap();
+        assert_eq!(report.predicted_by, None);
+        assert_eq!(report.steps, 64);
+        assert_eq!(report.warmup, 16);
+        let out = &report.outputs[0];
+        assert!(out.predicted.is_none() && out.mean_gap.is_none());
+        assert!(out.empirical.variance > 0.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_and_cached_across_coefficient_swaps() {
+        let session = linear_session();
+        let req = SimRequest {
+            paths: 4_000,
+            ..SimRequest::default()
+        };
+        let a = session.simulate(&req).unwrap();
+        let b = session.simulate(&req).unwrap();
+        assert_eq!(
+            a.outputs[0].empirical.mean.to_bits(),
+            b.outputs[0].empirical.mean.to_bits()
+        );
+        assert_eq!(session.stats().vm_compiles, 1);
+
+        // A coefficient swap keeps the compiled program (shape-only).
+        let swapped = session.with_coefficients(&[0.25, 0.5]).unwrap();
+        assert!(swapped.vm_program_built());
+        let c = swapped.simulate(&req).unwrap();
+        assert_eq!(session.stats().vm_compiles, 1, "program was recompiled");
+        assert_ne!(
+            a.outputs[0].empirical.variance.to_bits(),
+            c.outputs[0].empirical.variance.to_bits(),
+            "different coefficients must simulate differently"
+        );
+    }
+
+    #[test]
+    fn simulate_engine_runs_through_the_uniform_analyze_path() {
+        let session = linear_session();
+        let report = session
+            .analyze(&AnalysisRequest {
+                engine: EngineKind::Simulate,
+                ..AnalysisRequest::default()
+            })
+            .unwrap();
+        assert_eq!(report.engine, EngineKind::Simulate);
+        assert_eq!(report.reports[0].0, "y");
+        assert!(report.reports[0].1.variance > 0.0);
+        assert!(report.reports[0].1.histogram.is_some());
+    }
+}

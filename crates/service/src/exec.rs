@@ -12,7 +12,8 @@
 //! hand-rolls engine dispatch.
 
 use sna_core::{
-    AnalysisReport, AnalysisRequest, EngineKind, NoiseReport, Session, SnaError, WlChoice,
+    AnalysisReport, AnalysisRequest, EngineKind, NoiseReport, Session, SimReport, SimRequest,
+    SnaError, WlChoice,
 };
 use sna_hls::{synthesize, Implementation, SynthesisConstraints};
 use sna_opt::{AnnealOptions, Evaluation, Optimizer};
@@ -100,6 +101,156 @@ pub fn analyze(
     params: &AnalyzeParams,
 ) -> Result<Vec<(String, NoiseReport)>, String> {
     analyze_report(entry, params).map(|r| r.reports)
+}
+
+/// Hard ceiling on Monte-Carlo sample paths per request. Simulation
+/// cost is `paths × steps`; like [`MAX_BINS`], an untrusted peer must
+/// not be able to size the server's work arbitrarily.
+pub const MAX_PATHS: usize = 4_000_000;
+
+/// Hard ceiling on steps per sample path (same rationale).
+pub const MAX_STEPS: usize = 4096;
+
+/// Parameters of a `simulate` request, with the CLI's defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct SimulateParams {
+    /// Uniform word length of the simulated configuration.
+    pub bits: u8,
+    /// Bins of the empirical error histogram.
+    pub bins: usize,
+    /// Independent Monte-Carlo sample paths.
+    pub paths: usize,
+    /// RNG seed (the report is a pure function of request + seed).
+    pub seed: u64,
+    /// Steps per path; `None` = 1 combinational / 64 sequential.
+    pub steps: Option<usize>,
+    /// Warmup steps discarded per path; `None` = 0 / 16.
+    pub warmup: Option<usize>,
+    /// Worker threads (0 = available parallelism); wall-clock only,
+    /// never the numbers.
+    pub workers: usize,
+}
+
+impl Default for SimulateParams {
+    fn default() -> Self {
+        SimulateParams {
+            bits: 12,
+            bins: 64,
+            paths: 100_000,
+            seed: 0x5eed_cafe,
+            steps: None,
+            warmup: None,
+            workers: 0,
+        }
+    }
+}
+
+/// Runs a Monte-Carlo simulation request against a compiled entry — the
+/// empirical cross-check of the analytic engines, through the session's
+/// cached bytecode program.
+///
+/// # Errors
+///
+/// Configuration and simulation failures, rendered; `bins`, `paths`,
+/// and `steps` outside their ceilings are rejected up front.
+pub fn simulate(entry: &CompiledEntry, params: &SimulateParams) -> Result<SimReport, String> {
+    let SimulateParams {
+        bits,
+        bins,
+        paths,
+        seed,
+        steps,
+        warmup,
+        workers,
+    } = *params;
+    if bins == 0 || bins > MAX_BINS {
+        return Err(format!("bins must be in 1..={MAX_BINS}, got {bins}"));
+    }
+    if paths == 0 || paths > MAX_PATHS {
+        return Err(format!("paths must be in 1..={MAX_PATHS}, got {paths}"));
+    }
+    if let Some(s) = steps {
+        if s == 0 || s > MAX_STEPS {
+            return Err(format!("steps must be in 1..={MAX_STEPS}, got {s}"));
+        }
+        if warmup.unwrap_or(0) >= s {
+            return Err(format!(
+                "warmup must be below steps ({}, got {})",
+                s,
+                warmup.unwrap_or(0)
+            ));
+        }
+    }
+    let req = SimRequest {
+        words: WlChoice::Uniform(bits),
+        paths,
+        seed,
+        steps,
+        warmup,
+        workers,
+        bins,
+    };
+    entry
+        .session
+        .simulate(&req)
+        .map_err(|e| format!("simulation failed: {e}"))
+}
+
+/// A [`SimReport`] as JSON fields — the body shared by the CLI's
+/// `simulate --format json` and the server's `simulate` result, so both
+/// front ends are byte-identical.
+#[must_use]
+pub fn simulate_json_fields(report: &SimReport, include_pdf: bool) -> Vec<(String, Json)> {
+    let gap_json = |gap: &Option<sna_core::Gap>| match gap {
+        Some(g) => Json::Obj(vec![
+            ("abs".into(), Json::Num(g.abs)),
+            ("rel".into(), g.rel.map_or(Json::Null, Json::Num)),
+        ]),
+        None => Json::Null,
+    };
+    vec![
+        ("paths".into(), Json::int(report.paths)),
+        ("steps".into(), Json::int(report.steps)),
+        ("warmup".into(), Json::int(report.warmup)),
+        ("seed".into(), Json::int(report.seed as usize)),
+        (
+            "predicted_by".into(),
+            report
+                .predicted_by
+                .map_or(Json::Null, |k| Json::str(k.name())),
+        ),
+        (
+            "elapsed_us".into(),
+            Json::int(usize::try_from(report.elapsed.as_micros()).unwrap_or(usize::MAX)),
+        ),
+        (
+            "outputs".into(),
+            Json::Arr(
+                report
+                    .outputs
+                    .iter()
+                    .map(|out| {
+                        Json::Obj(vec![
+                            ("output".into(), Json::str(out.name.clone())),
+                            ("samples".into(), Json::int(out.samples)),
+                            (
+                                "empirical".into(),
+                                report_json(&out.name, &out.empirical, include_pdf),
+                            ),
+                            (
+                                "predicted".into(),
+                                out.predicted
+                                    .as_ref()
+                                    .map_or(Json::Null, |p| report_json(&out.name, p, include_pdf)),
+                            ),
+                            ("mean_gap".into(), gap_json(&out.mean_gap)),
+                            ("variance_gap".into(), gap_json(&out.variance_gap)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
 }
 
 /// The word-length search methods (`exhaustive` is opt-in because its

@@ -208,9 +208,9 @@ fn dispatch(
         }
         return Ok(Dispatched::plain(Json::Obj(fields), None));
     }
-    if !matches!(cmd, "parse" | "analyze" | "optimize" | "synth") {
+    if !matches!(cmd, "parse" | "analyze" | "optimize" | "synth" | "simulate") {
         return Err(format!(
-            "unknown cmd `{cmd}` (expected parse, analyze, optimize, synth or stats)"
+            "unknown cmd `{cmd}` (expected parse, analyze, optimize, synth, simulate or stats)"
         ));
     }
 
@@ -263,6 +263,44 @@ fn dispatch(
                     ),
                 ),
             ])
+        }
+        "simulate" => {
+            let params = exec::SimulateParams {
+                bits: u8_field(doc, "bits", 12)?,
+                bins: usize_field(doc, "bins", 64)?,
+                // Bounded: paths × steps sizes server-side work, and
+                // workers fans out threads — an untrusted peer must not
+                // pick arbitrary values.
+                paths: bounded_usize_field(doc, "paths", 100_000, exec::MAX_PATHS)?,
+                seed: usize_field(doc, "seed", 0x5eed_cafe)? as u64,
+                steps: match doc.get("steps") {
+                    Some(_) => Some(bounded_usize_field(doc, "steps", 64, exec::MAX_STEPS)?),
+                    None => None,
+                },
+                warmup: match doc.get("warmup") {
+                    Some(_) => Some(bounded_usize_field(doc, "warmup", 16, exec::MAX_STEPS)?),
+                    None => None,
+                },
+                workers: bounded_usize_field(doc, "workers", 0, 64)?,
+            };
+            let include_pdf = match doc.get("pdf") {
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| "`pdf` must be a boolean".to_string())?,
+                None => true,
+            };
+            let report = exec::simulate(&entry, &params)?;
+            engine_used = Some((
+                "simulate",
+                u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX),
+            ));
+            let mut fields = vec![
+                ("engine".into(), Json::str("simulate")),
+                ("bits".into(), Json::int(params.bits as usize)),
+                ("bins".into(), Json::int(params.bins)),
+            ];
+            fields.extend(exec::simulate_json_fields(&report, include_pdf));
+            Json::Obj(fields)
         }
         "optimize" => {
             let params = OptimizeParams {

@@ -39,11 +39,12 @@ use crate::json::Json;
 pub const N_BINS: usize = 32;
 
 /// The request verbs with a dedicated latency histogram, in wire order.
-pub const VERBS: [&str; 5] = ["parse", "analyze", "optimize", "synth", "stats"];
+pub const VERBS: [&str; 6] = ["parse", "analyze", "optimize", "synth", "simulate", "stats"];
 
 /// The analysis engines with a dedicated latency histogram (resolved
-/// engines only — `auto` records under whatever it resolved to).
-pub const ENGINES: [&str; 5] = ["na", "dfg", "lti", "symbolic", "cartesian"];
+/// engines only — `auto` records under whatever it resolved to; the
+/// Monte-Carlo `simulate` engine records its sweep time here too).
+pub const ENGINES: [&str; 6] = ["na", "dfg", "lti", "symbolic", "cartesian", "simulate"];
 
 /// The named connection-lifecycle and request counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

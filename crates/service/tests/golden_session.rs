@@ -142,6 +142,11 @@ fn reference_analyze(
             .unwrap()
             .reports
         }
+        // Monte-Carlo simulation has no independent scalar reference to
+        // golden-compare against here; its own differential suite (in
+        // `sna-core`) checks it bit-for-bit against the scalar
+        // simulators instead.
+        EngineKind::Simulate => unreachable!("simulate is not part of the golden matrix"),
     }
 }
 

@@ -35,11 +35,14 @@ fn full_round_trip_covers_every_verb_and_reports_cache_transitions() {
         format!(r#"{{"id": 3, "cmd": "analyze", "source": "{SRC}", "bits": 8, "pdf": false}}"#),
         format!(r#"{{"id": 4, "cmd": "optimize", "source": "{SRC}", "method": "waterfill"}}"#),
         format!(r#"{{"id": 5, "cmd": "synth", "source": "{SRC}", "bits": 10}}"#),
-        r#"{"id": 6, "cmd": "stats"}"#.to_string(),
+        format!(
+            r#"{{"id": 6, "cmd": "simulate", "source": "{SRC}", "bits": 8, "paths": 20000, "seed": 7, "pdf": false}}"#
+        ),
+        r#"{"id": 7, "cmd": "stats"}"#.to_string(),
     ];
     let (responses, report) = run_session(&lines);
-    assert_eq!(responses.len(), 6);
-    assert_eq!(report.requests, 6);
+    assert_eq!(responses.len(), 7);
+    assert_eq!(report.requests, 7);
     assert_eq!(report.errors, 0);
 
     for (k, resp) in responses.iter().enumerate() {
@@ -86,15 +89,40 @@ fn full_round_trip_covers_every_verb_and_reports_cache_transitions() {
             .unwrap()
             > 0.0
     );
+    // simulate → empirical statistics next to the analytic prediction,
+    // served from the same cached model (hit, not a recompile).
+    let sim = responses[5].get("result").unwrap();
+    assert_eq!(sim.get("engine").and_then(Json::as_str), Some("simulate"));
+    assert_eq!(sim.get("paths").and_then(Json::as_f64), Some(20000.0));
+    assert_eq!(sim.get("seed").and_then(Json::as_f64), Some(7.0));
+    assert_eq!(
+        responses[5].get("cache").and_then(Json::as_str),
+        Some("hit")
+    );
+    let Json::Arr(sim_outputs) = sim.get("outputs").unwrap() else {
+        panic!("outputs must be an array");
+    };
+    let sim_out = &sim_outputs[0];
+    assert_eq!(sim_out.get("output").and_then(Json::as_str), Some("y"));
+    assert!(
+        sim_out
+            .get("empirical")
+            .unwrap()
+            .get("variance")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    assert!(sim_out.get("mean_gap").unwrap().get("abs").is_some());
     // stats → cache block: one entry, exactly one miss for the shared
     // source; and the registry's per-verb histograms ride along.
-    let stats = responses[5].get("result").unwrap();
+    let stats = responses[6].get("result").unwrap();
     let cache = stats.get("cache").unwrap();
     assert_eq!(cache.get("entries").and_then(Json::as_f64), Some(1.0));
     assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
-    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(4.0));
+    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(5.0));
     let counters = stats.get("counters").unwrap();
-    assert_eq!(counters.get("requests").and_then(Json::as_f64), Some(6.0));
+    assert_eq!(counters.get("requests").and_then(Json::as_f64), Some(7.0));
     let verbs = stats.get("verbs").unwrap();
     assert_eq!(
         verbs
@@ -102,6 +130,18 @@ fn full_round_trip_covers_every_verb_and_reports_cache_transitions() {
             .and_then(|h| h.get("count"))
             .and_then(Json::as_f64),
         Some(2.0)
+    );
+    assert_eq!(
+        verbs
+            .get("simulate")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_f64),
+        Some(1.0)
+    );
+    // The engine-time bucket proves the simulate engine itself ran.
+    assert!(
+        stats.get("engines").unwrap().get("simulate").is_some(),
+        "simulate must appear in the engines bucket: {stats}"
     );
 }
 

@@ -1,0 +1,890 @@
+//! The vectorized executor: a compiled [`Program`] bound to concrete
+//! constant values and per-node quantizers, sweeping N sample paths per
+//! instruction over contiguous f64 lanes.
+//!
+//! # Structure-of-arrays layout
+//!
+//! State is two *banks* of registers — one exact, one quantized — and
+//! each register is a contiguous `Vec<f64>` of N lanes.  Every
+//! instruction therefore runs as a tight loop over slices the compiler
+//! can auto-vectorize; there is no per-sample dispatch anywhere.
+//!
+//! # Bit-exactness contract
+//!
+//! The quantized bank mirrors `sna_fixp::FixedSimulator` bit-for-bit
+//! under the configurations the repo actually uses (see
+//! `crates/vm/README.md` for the proof sketch and the documented
+//! caveats around >27-bit multiplies, division, and `Overflow::Wrap`):
+//! each op computes in f64 from the operands' *quantized* values and
+//! requantizes the result through the exact same
+//! `scale → round/floor → overflow-handle → rescale` pipeline as
+//! `Quantizer::mantissa_of`.  The exact bank mirrors
+//! `sna_dfg::Simulator` exactly — same f64 ops in the same order.
+
+use std::sync::Arc;
+
+use sna_dfg::{Dfg, NodeId, Op};
+use sna_fixp::{Overflow, Quantizer, Rounding, WlConfig};
+
+use crate::program::{Inst, OpCode, Program, Reg};
+use crate::VmError;
+
+/// Per-node quantization parameters flattened for the lane kernels.
+///
+/// Mantissa bounds are kept as f64 (they are ≤ 2⁴⁷ so exactly
+/// representable); the whole requantize loop then runs without any
+/// int↔float conversions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct LaneQuant {
+    /// `Format::resolution()` — a power of two, so `x / res` is exact.
+    res: f64,
+    /// `1 / res`, also a power of two: `x * inv_res` is bit-identical
+    /// to `x / res` (both scale the exponent exactly) and much cheaper
+    /// in the lane loops.
+    inv_res: f64,
+    min_m: f64,
+    max_m: f64,
+    /// `max_m - min_m + 1`, the `Overflow::Wrap` modulus.
+    modulus: f64,
+    rounding: Rounding,
+    overflow: Overflow,
+}
+
+/// 2⁵² — adding and subtracting it rounds a nonnegative f64 below 2⁵²
+/// to the nearest integer (ties to even) using only two additions,
+/// in the default round-to-nearest FP mode.
+///
+/// The baseline x86-64 target has no `roundpd` (that is SSE4.1), so
+/// `f64::round`/`f64::floor` lower to one libm *call per lane* — the
+/// magic-number forms below are pure add/sub/compare/bit ops that LLVM
+/// auto-vectorizes, and they are bit-identical to the std functions
+/// for every input (asserted exhaustively in the tests).
+const MAGIC: f64 = 4_503_599_627_370_496.0;
+
+/// Round-half-away-from-zero, bit-identical to `f64::round`.
+///
+/// `|x| ≥ 2⁵²` (and NaN) pass through — such values are already
+/// integral.  Below that, `t = (|x| + 2⁵²) − 2⁵²` is nearest-ties-even;
+/// the tie (`|x| − t == 0.5` — an exact subtraction, both operands
+/// share scale) is then bumped away from zero.
+#[inline]
+fn round_ties_away(x: f64) -> f64 {
+    let a = x.abs();
+    if a < MAGIC {
+        let t = (a + MAGIC) - MAGIC;
+        let t = t + if a - t == 0.5 { 1.0 } else { 0.0 };
+        t.copysign(x)
+    } else {
+        x
+    }
+}
+
+/// Bit-identical to `f64::floor`, by sign-aware magic rounding and a
+/// `-1` select when the rounding went up.  The final `copysign`
+/// restores `-0.0` (the magic sum erases the sign of a negative zero);
+/// it is a no-op everywhere else since `floor` never changes sign.
+#[inline]
+fn floor_magic(x: f64) -> f64 {
+    if x.abs() < MAGIC {
+        let s = MAGIC.copysign(x);
+        let t = (x + s) - s;
+        (t - if t > x { 1.0 } else { 0.0 }).copysign(x)
+    } else {
+        x
+    }
+}
+
+impl LaneQuant {
+    fn of(q: &Quantizer) -> LaneQuant {
+        let res = q.format.resolution();
+        // max/min mantissa reconstructed from the public surface; both
+        // divisions are exact (integer × power-of-two ÷ power-of-two).
+        let max_m = q.format.max_value() / res;
+        let min_m = q.format.min_value() / res;
+        LaneQuant {
+            res,
+            inv_res: 1.0 / res,
+            min_m,
+            max_m,
+            modulus: max_m - min_m + 1.0,
+            rounding: q.rounding,
+            overflow: q.overflow,
+        }
+    }
+
+    /// Requantizes lanes in place — the vector twin of
+    /// `Quantizer::quantize`, decision-for-decision equivalent to
+    /// `handle_overflow_f64` (including its treatment of non-finite
+    /// scaled values).
+    ///
+    /// The `Saturate` arms clamp with two selects (`if m >= min_m`,
+    /// `if m <= max_m`): in range `m` passes through bit-unchanged
+    /// (±0.0 included), out of range the nearer bound wins, and NaN
+    /// fails the first comparison and lands on `min_m` — exactly the
+    /// scalar branch chain's outcomes, but in a form LLVM turns into
+    /// vectorized compares + blends instead of branches.
+    #[inline]
+    fn requantize(&self, lanes: &mut [f64]) {
+        let LaneQuant {
+            res,
+            inv_res,
+            min_m,
+            max_m,
+            modulus,
+            ..
+        } = *self;
+        match (self.rounding, self.overflow) {
+            (Rounding::Nearest, Overflow::Saturate) => {
+                for x in lanes {
+                    let m = round_ties_away(*x * inv_res);
+                    let m = if m >= min_m { m } else { min_m };
+                    let m = if m <= max_m { m } else { max_m };
+                    *x = m * res;
+                }
+            }
+            (Rounding::Truncate, Overflow::Saturate) => {
+                for x in lanes {
+                    let m = floor_magic(*x * inv_res);
+                    let m = if m >= min_m { m } else { min_m };
+                    let m = if m <= max_m { m } else { max_m };
+                    *x = m * res;
+                }
+            }
+            (Rounding::Nearest, Overflow::Wrap) => {
+                for x in lanes {
+                    let m = round_ties_away(*x * inv_res);
+                    let m = if m >= min_m && m <= max_m {
+                        m
+                    } else {
+                        (m - min_m).rem_euclid(modulus) + min_m
+                    };
+                    *x = m * res;
+                }
+            }
+            (Rounding::Truncate, Overflow::Wrap) => {
+                for x in lanes {
+                    let m = floor_magic(*x * inv_res);
+                    let m = if m >= min_m && m <= max_m {
+                        m
+                    } else {
+                        (m - min_m).rem_euclid(modulus) + min_m
+                    };
+                    *x = m * res;
+                }
+            }
+        }
+    }
+
+    /// One-pass `d[i] = requantize(f(x[i], y[i]))` — an arithmetic
+    /// kernel fused with [`LaneQuant::requantize`], arm for arm the
+    /// same decision chain.  Fusing saves a full read+write sweep of
+    /// the destination row per instruction, which is most of what the
+    /// separate requantize pass cost (the arithmetic itself is one or
+    /// two machine ops per lane).
+    #[inline]
+    fn map2_requant(&self, d: &mut [f64], x: &[f64], y: &[f64], f: impl Fn(f64, f64) -> f64) {
+        let LaneQuant {
+            res,
+            inv_res,
+            min_m,
+            max_m,
+            modulus,
+            ..
+        } = *self;
+        match (self.rounding, self.overflow) {
+            (Rounding::Nearest, Overflow::Saturate) => {
+                for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
+                    let m = round_ties_away(f(x, y) * inv_res);
+                    let m = if m >= min_m { m } else { min_m };
+                    let m = if m <= max_m { m } else { max_m };
+                    *d = m * res;
+                }
+            }
+            (Rounding::Truncate, Overflow::Saturate) => {
+                for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
+                    let m = floor_magic(f(x, y) * inv_res);
+                    let m = if m >= min_m { m } else { min_m };
+                    let m = if m <= max_m { m } else { max_m };
+                    *d = m * res;
+                }
+            }
+            (Rounding::Nearest, Overflow::Wrap) => {
+                for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
+                    let m = round_ties_away(f(x, y) * inv_res);
+                    let m = if m >= min_m && m <= max_m {
+                        m
+                    } else {
+                        (m - min_m).rem_euclid(modulus) + min_m
+                    };
+                    *d = m * res;
+                }
+            }
+            (Rounding::Truncate, Overflow::Wrap) => {
+                for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
+                    let m = floor_magic(f(x, y) * inv_res);
+                    let m = if m >= min_m && m <= max_m {
+                        m
+                    } else {
+                        (m - min_m).rem_euclid(modulus) + min_m
+                    };
+                    *d = m * res;
+                }
+            }
+        }
+    }
+
+    /// One-pass `d[i] = requantize(f(s[i]))` — the unary twin, for
+    /// inputs (`f` = identity) and negation.  Implemented on top of
+    /// [`LaneQuant::map2_requant`] with `s` as both operands; the
+    /// optimizer deletes the duplicate load.
+    #[inline]
+    fn map1_requant(&self, d: &mut [f64], s: &[f64], f: impl Fn(f64) -> f64) {
+        self.map2_requant(d, s, s, |x, _| f(x));
+    }
+
+    /// Scalar requantize for constants and single values.
+    fn quantize(&self, x: f64) -> f64 {
+        let mut one = [x];
+        self.requantize(&mut one);
+        one[0]
+    }
+}
+
+/// Vectorized run state: two register banks of N lanes each.
+///
+/// Obtained from [`Executable::new_state`]; reusable across runs via
+/// [`Executable::reset`].
+#[derive(Clone, Debug)]
+pub struct VmState {
+    lanes: usize,
+    /// Exact (reference) bank, register-major.
+    exact: Vec<Vec<f64>>,
+    /// Quantized (fixed-point) bank, register-major.
+    quant: Vec<Vec<f64>>,
+    /// Snapshot rows for cycle-breaking latches only (both banks
+    /// interleaved as `[exact_0, quant_0, ...]`).  Most latches need no
+    /// snapshot — the bind-time plan orders copies so every reader of a
+    /// state runs before that state is overwritten; only register
+    /// cycles (`a = delay c; c = delay a`) pre-copy one source here.
+    latch_snap: Vec<Vec<f64>>,
+}
+
+impl VmState {
+    /// Number of sample paths (lanes) this state carries.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+}
+
+/// A [`Program`] bound to one graph's constant values and one
+/// word-length configuration — everything the instruction sweep needs,
+/// resolved to flat arrays up front.
+pub struct Executable {
+    program: Arc<Program>,
+    /// Per-node requantization parameters, indexed by raw node id.
+    quants: Vec<LaneQuant>,
+    /// `(register, exact value, quantized value)` per constant.
+    consts: Vec<(Reg, f64, f64)>,
+    /// `(snapshot row pair, source register)` copies that run before
+    /// the latch sweep — one per broken register cycle.
+    snap_srcs: Vec<(usize, usize)>,
+    /// The latch sweep, in an order where every latch reading another
+    /// latch's state runs before that state is overwritten (see
+    /// [`LatchStep`]).
+    latch_plan: Vec<LatchStep>,
+}
+
+/// One scheduled latch update: `state ← requant?(src)`.
+struct LatchStep {
+    state_reg: usize,
+    src: LatchSrc,
+    /// `None` when the delay node's quantizer equals its source's —
+    /// every value in the source register is then already a fixed
+    /// point of the requantizer (an in-range multiple of `res`, or the
+    /// NaN that `Overflow::Wrap` maps to itself), so the pass is the
+    /// identity and is skipped.
+    requant: Option<LaneQuant>,
+}
+
+enum LatchSrc {
+    /// Read the live register (safe by schedule order).
+    Reg(usize),
+    /// Read a pre-sweep snapshot row pair (cycle breaker).
+    Snap(usize),
+}
+
+impl Executable {
+    /// Binds `program` to the constants of `dfg` and the per-node
+    /// quantizers of `config`.
+    ///
+    /// `dfg` must be the graph the program was compiled from (or a
+    /// `with_const_values` twin — same shape, different constants);
+    /// `config` must cover every node, as `WlConfig` guarantees by
+    /// construction.
+    #[must_use]
+    pub fn new(program: Arc<Program>, dfg: &Dfg, config: &WlConfig) -> Executable {
+        let quants: Vec<LaneQuant> = (0..program.n_nodes)
+            .map(|i| LaneQuant::of(config.quantizer(NodeId::from_index(i))))
+            .collect();
+        let consts = program
+            .consts
+            .iter()
+            .map(|&(reg, node)| {
+                let c = match dfg.node(NodeId::from_index(node as usize)).op() {
+                    Op::Const(c) => c,
+                    other => unreachable!("const register bound to {other:?}"),
+                };
+                (reg, c, quants[node as usize].quantize(c))
+            })
+            .collect();
+        let (snap_srcs, latch_plan) = plan_latches(&program, dfg, &quants);
+        Executable {
+            program,
+            quants,
+            consts,
+            snap_srcs,
+            latch_plan,
+        }
+    }
+
+    /// The compiled program this executable runs.
+    #[must_use]
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Allocates a fully initialized state with `lanes` sample paths:
+    /// constants loaded, delay states and working registers zeroed.
+    #[must_use]
+    pub fn new_state(&self, lanes: usize) -> VmState {
+        let mut state = VmState {
+            lanes,
+            exact: vec![vec![0.0; lanes]; self.program.n_regs],
+            quant: vec![vec![0.0; lanes]; self.program.n_regs],
+            latch_snap: vec![vec![0.0; lanes]; 2 * self.snap_srcs.len()],
+        };
+        self.reset(&mut state);
+        state
+    }
+
+    /// Resets a state to time zero: delay states back to 0, constants
+    /// re-splatted.  Working registers are left as-is — every one is
+    /// written before it is read within a step.
+    pub fn reset(&self, state: &mut VmState) {
+        for &(state_reg, _, _) in &self.program.latches {
+            state.exact[state_reg as usize].fill(0.0);
+            state.quant[state_reg as usize].fill(0.0);
+        }
+        for &(reg, c, cq) in &self.consts {
+            state.exact[reg as usize].fill(c);
+            state.quant[reg as usize].fill(cq);
+        }
+    }
+
+    /// Advances every lane by one step.
+    ///
+    /// `inputs[j]` holds the N lane values of graph input `j` for this
+    /// step.  Outputs are read afterwards via [`Executable::exact_out`]
+    /// / [`Executable::quant_out`]; delay latches update at the end of
+    /// the sweep (two-phase, like the scalar simulators).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::InputArity`] on an input count mismatch;
+    /// [`VmError::DivisionByZero`] when any lane divides by an exact or
+    /// quantized zero (matching `Simulator` / `FixedSimulator`).
+    pub fn step(&self, state: &mut VmState, inputs: &[Vec<f64>]) -> Result<(), VmError> {
+        if inputs.len() != self.program.n_inputs {
+            return Err(VmError::InputArity {
+                expected: self.program.n_inputs,
+                got: inputs.len(),
+            });
+        }
+        debug_assert!(inputs.iter().all(|lane| lane.len() == state.lanes));
+
+        for inst in &self.program.insts {
+            let Inst {
+                op,
+                dst,
+                a,
+                b,
+                node,
+            } = *inst;
+            let (dst, a, b) = (dst as usize, a as usize, b as usize);
+            let q = &self.quants[node as usize];
+            match op {
+                OpCode::In => {
+                    let lanes = &inputs[a];
+                    state.exact[dst].copy_from_slice(lanes);
+                    q.map1_requant(&mut state.quant[dst], lanes, |x| x);
+                }
+                OpCode::Neg => {
+                    let (d, s, _) = split_dst(&mut state.exact, dst, a, a);
+                    for (d, &s) in d.iter_mut().zip(s) {
+                        *d = -s;
+                    }
+                    let (d, s, _) = split_dst(&mut state.quant, dst, a, a);
+                    q.map1_requant(d, s, |x| -x);
+                }
+                OpCode::Add | OpCode::Sub | OpCode::Mul => {
+                    let (d, x, y) = split_dst(&mut state.exact, dst, a, b);
+                    arith(op, d, x, y);
+                    let (d, x, y) = split_dst(&mut state.quant, dst, a, b);
+                    match op {
+                        OpCode::Add => q.map2_requant(d, x, y, |x, y| x + y),
+                        OpCode::Sub => q.map2_requant(d, x, y, |x, y| x - y),
+                        OpCode::Mul => q.map2_requant(d, x, y, |x, y| x * y),
+                        _ => unreachable!(),
+                    }
+                }
+                OpCode::Div => {
+                    // Any zero divisor lane aborts the whole run — the
+                    // scalar simulators fail the sample, and a batch
+                    // cannot partially fail deterministically.
+                    if let Some(_lane) = state.exact[b].iter().position(|&y| y == 0.0) {
+                        return Err(VmError::DivisionByZero {
+                            node: NodeId::from_index(node as usize),
+                        });
+                    }
+                    if let Some(_lane) = state.quant[b].iter().position(|&y| y == 0.0) {
+                        return Err(VmError::DivisionByZero {
+                            node: NodeId::from_index(node as usize),
+                        });
+                    }
+                    let (d, x, y) = split_dst(&mut state.exact, dst, a, b);
+                    for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
+                        *d = x / y;
+                    }
+                    let (d, x, y) = split_dst(&mut state.quant, dst, a, b);
+                    q.map2_requant(d, x, y, |x, y| x / y);
+                }
+            }
+        }
+
+        // Latch sweep, semantically the two-phase update of
+        // `Simulator::step` / `FixedSimulator::step` (every delay sees
+        // its source's *pre-latch* value), realized without a full
+        // snapshot: the bind-time plan orders copies so each state is
+        // read by every dependent latch before being overwritten, and
+        // only register cycles pre-copy one source row here.
+        for &(row, src_reg) in &self.snap_srcs {
+            state.latch_snap[2 * row].copy_from_slice(&state.exact[src_reg]);
+            state.latch_snap[2 * row + 1].copy_from_slice(&state.quant[src_reg]);
+        }
+        for step in &self.latch_plan {
+            let dst = step.state_reg;
+            match step.src {
+                LatchSrc::Reg(s) if s == dst => {
+                    // Self-loop (`x = delay x`): the copy is a no-op;
+                    // only a differing quantizer does anything.
+                    if let Some(q) = &step.requant {
+                        q.requantize(&mut state.quant[dst]);
+                    }
+                }
+                LatchSrc::Reg(s) => {
+                    let (d, src, _) = split_dst(&mut state.exact, dst, s, s);
+                    d.copy_from_slice(src);
+                    let (d, src, _) = split_dst(&mut state.quant, dst, s, s);
+                    match &step.requant {
+                        Some(q) => q.map1_requant(d, src, |x| x),
+                        None => d.copy_from_slice(src),
+                    }
+                }
+                LatchSrc::Snap(row) => {
+                    state.exact[dst].copy_from_slice(&state.latch_snap[2 * row]);
+                    let d = &mut state.quant[dst];
+                    let src = &state.latch_snap[2 * row + 1];
+                    match &step.requant {
+                        Some(q) => q.map1_requant(d, src, |x| x),
+                        None => d.copy_from_slice(src),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact (reference) lanes of output `k`, in declaration order.
+    #[must_use]
+    pub fn exact_out<'s>(&self, state: &'s VmState, k: usize) -> &'s [f64] {
+        &state.exact[self.program.outputs[k].1 as usize]
+    }
+
+    /// Quantized (fixed-point) lanes of output `k`.
+    #[must_use]
+    pub fn quant_out<'s>(&self, state: &'s VmState, k: usize) -> &'s [f64] {
+        &state.quant[self.program.outputs[k].1 as usize]
+    }
+
+    /// Output names in declaration order.
+    #[must_use]
+    pub fn output_names(&self) -> Vec<&str> {
+        self.program.output_names()
+    }
+}
+
+/// Schedules the latch updates: a topological order over the
+/// "latch j reads latch i's state" relation (j must run before i
+/// overwrites it), with register cycles broken by snapshotting one
+/// member's source.  Each latch reads exactly one register, so every
+/// node in the dependency graph has out-degree ≤ 1 and the leftovers
+/// after Kahn's algorithm are simple cycles — snapshotting any one
+/// member's source removes one edge and unravels its cycle.
+///
+/// Also resolves, per latch, whether the delay node's requantization
+/// is the identity (its quantizer equals its source node's), in which
+/// case the pass is dropped: every value the source register can hold
+/// is already a fixed point of that quantizer.
+fn plan_latches(
+    program: &Program,
+    dfg: &Dfg,
+    quants: &[LaneQuant],
+) -> (Vec<(usize, usize)>, Vec<LatchStep>) {
+    let latches = &program.latches;
+    let n = latches.len();
+
+    // owner[r] = index of the latch whose state register is `r`.
+    let mut owner = vec![usize::MAX; program.n_regs];
+    for (i, &(state_reg, _, _)) in latches.iter().enumerate() {
+        owner[state_reg as usize] = i;
+    }
+    // out_edge[j] = i  ⇔  latch j reads state_i  ⇔  j before i.
+    let mut out_edge = vec![usize::MAX; n];
+    let mut indeg = vec![0usize; n];
+    for (j, &(_, src_reg, _)) in latches.iter().enumerate() {
+        let i = owner[src_reg as usize];
+        if i != usize::MAX && i != j {
+            out_edge[j] = i;
+            indeg[i] += 1;
+        }
+    }
+
+    let mut order = Vec::with_capacity(n);
+    let mut done = vec![false; n];
+    let mut snapped = vec![usize::MAX; n];
+    let mut snap_srcs = Vec::new();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    while order.len() < n {
+        while let Some(j) = queue.pop() {
+            done[j] = true;
+            order.push(j);
+            let i = out_edge[j];
+            if i != usize::MAX {
+                indeg[i] -= 1;
+                if indeg[i] == 0 && !done[i] {
+                    queue.push(i);
+                }
+            }
+        }
+        if order.len() == n {
+            break;
+        }
+        // Everything left sits on a cycle; break one edge by giving
+        // some pending latch a pre-sweep copy of its source.
+        let j = (0..n)
+            .find(|&j| !done[j] && out_edge[j] != usize::MAX)
+            .expect("a stalled latch schedule always has a pending edge");
+        let row = snap_srcs.len();
+        snap_srcs.push((row, latches[j].1 as usize));
+        snapped[j] = row;
+        let i = out_edge[j];
+        out_edge[j] = usize::MAX;
+        indeg[i] -= 1;
+        if indeg[i] == 0 && !done[i] {
+            queue.push(i);
+        }
+    }
+
+    let delay_nodes = dfg.delay_nodes();
+    let plan = order
+        .into_iter()
+        .map(|k| {
+            let (state_reg, src_reg, node) = latches[k];
+            let d = delay_nodes[k];
+            debug_assert_eq!(d.index() as u32, node);
+            let src_node = dfg.node(d).args()[0];
+            let q = quants[node as usize];
+            LatchStep {
+                state_reg: state_reg as usize,
+                src: if snapped[k] != usize::MAX {
+                    LatchSrc::Snap(snapped[k])
+                } else {
+                    LatchSrc::Reg(src_reg as usize)
+                },
+                requant: (q != quants[src_node.index()]).then_some(q),
+            }
+        })
+        .collect();
+    (snap_srcs, plan)
+}
+
+/// Splits one bank into `(&mut dst, &a, &b)`.  Sound because the
+/// compiler never allocates `dst` to an operand register (operands are
+/// recycled only *after* the destination is assigned).
+#[inline]
+fn split_dst(
+    bank: &mut [Vec<f64>],
+    dst: usize,
+    a: usize,
+    b: usize,
+) -> (&mut [f64], &[f64], &[f64]) {
+    debug_assert!(dst != a && dst != b);
+    let (lo, rest) = bank.split_at_mut(dst);
+    let (d, hi) = rest.split_at_mut(1);
+    let pick_a = if a < dst { &lo[a] } else { &hi[a - dst - 1] };
+    let pick_b = if b < dst { &lo[b] } else { &hi[b - dst - 1] };
+    (&mut d[0], pick_a.as_slice(), pick_b.as_slice())
+}
+
+/// The three reassociation-free binary kernels, one tight loop each so
+/// the optimizer vectorizes them without per-lane dispatch.
+#[inline]
+fn arith(op: OpCode, d: &mut [f64], x: &[f64], y: &[f64]) {
+    match op {
+        OpCode::Add => {
+            for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
+                *d = x + y;
+            }
+        }
+        OpCode::Sub => {
+            for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
+                *d = x - y;
+            }
+        }
+        OpCode::Mul => {
+            for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
+                *d = x * y;
+            }
+        }
+        _ => unreachable!("arith handles Add/Sub/Mul only"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use sna_dfg::{DfgBuilder, Simulator};
+    use sna_fixp::FixedSimulator;
+    use sna_interval::Interval;
+
+    /// The magic-number round/floor must be bit-identical to the std
+    /// functions for *every* input class: the requantize loops lean on
+    /// this to stay bit-exact against the scalar simulators.
+    #[test]
+    fn magic_round_and_floor_match_std_bitwise() {
+        fn round_ref(x: f64) -> f64 {
+            // f64::round is round-half-away-from-zero — the reference.
+            x.round()
+        }
+        let mut probes: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            2.5,
+            -2.5,
+            0.49999999999999994,
+            f64::EPSILON,
+            MAGIC - 1.0,
+            MAGIC - 0.5,
+            MAGIC,
+            MAGIC + 1.0,
+            -MAGIC,
+            f64::MAX,
+            f64::MIN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ];
+        // Dense sweep around small magnitudes, including exact ties.
+        for i in -2000i32..=2000 {
+            probes.push(f64::from(i) / 8.0);
+            probes.push(f64::from(i) / 7.0);
+            probes.push(f64::from(i) * 1234.5678);
+        }
+        for &p in &probes {
+            assert_eq!(
+                round_ties_away(p).to_bits(),
+                round_ref(p).to_bits(),
+                "round_ties_away({p:e})"
+            );
+            assert_eq!(
+                floor_magic(p).to_bits(),
+                p.floor().to_bits(),
+                "floor_magic({p:e})"
+            );
+        }
+        assert!(round_ties_away(f64::NAN).is_nan());
+        assert!(floor_magic(f64::NAN).is_nan());
+    }
+
+    fn lockstep_check(dfg: &Dfg, config: &WlConfig, traces: &[Vec<f64>], steps: usize) {
+        let program = Arc::new(Program::compile(dfg));
+        let exe = Executable::new(Arc::clone(&program), dfg, config);
+        let lanes = traces.len();
+        let mut state = exe.new_state(lanes);
+
+        let mut refs: Vec<Simulator> = (0..lanes).map(|_| Simulator::new(dfg)).collect();
+        let mut fixes: Vec<FixedSimulator> = (0..lanes)
+            .map(|_| FixedSimulator::new(dfg, config))
+            .collect();
+
+        for t in 0..steps {
+            let inputs: Vec<Vec<f64>> = (0..dfg.n_inputs())
+                .map(|j| traces.iter().map(|tr| tr[t * dfg.n_inputs() + j]).collect())
+                .collect();
+            exe.step(&mut state, &inputs).unwrap();
+            for (lane, (r, f)) in refs.iter_mut().zip(fixes.iter_mut()).enumerate() {
+                let per_lane: Vec<f64> = (0..dfg.n_inputs()).map(|j| inputs[j][lane]).collect();
+                let want_exact = r.step(&per_lane).unwrap();
+                let want_fixed = f.step(&per_lane).unwrap();
+                for k in 0..dfg.outputs().len() {
+                    let got_e = exe.exact_out(&state, k)[lane];
+                    let got_q = exe.quant_out(&state, k)[lane];
+                    assert_eq!(
+                        got_e.to_bits(),
+                        want_exact[k].to_bits(),
+                        "exact t={t} k={k}"
+                    );
+                    assert_eq!(
+                        got_q.to_bits(),
+                        want_fixed[k].to_bits(),
+                        "quant t={t} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_graph_matches_both_scalar_simulators_bitwise() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.add(x, y);
+        let p = b.mul(s, s);
+        let d = b.sub(p, x);
+        let n = b.neg(d);
+        b.output("p", p);
+        b.output("n", n);
+        let dfg = b.build().unwrap();
+        let ranges = vec![Interval::new(-2.0, 2.0).unwrap(); dfg.n_inputs()];
+        let config = WlConfig::from_ranges(&dfg, &ranges, 12).unwrap();
+
+        let traces: Vec<Vec<f64>> = (0..16)
+            .map(|i| {
+                (0..2)
+                    .map(|j| -1.5 + 0.17 * (i as f64) + 0.09 * (j as f64))
+                    .collect()
+            })
+            .collect();
+        lockstep_check(&dfg, &config, &traces, 1);
+    }
+
+    #[test]
+    fn feedback_graph_matches_both_scalar_simulators_bitwise() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let t = b.mul_const(0.5, fb);
+        let y = b.add(x, t);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        let dfg = b.build().unwrap();
+        let ranges = vec![Interval::new(-1.0, 1.0).unwrap(); dfg.n_inputs()];
+        let config = WlConfig::from_ranges(&dfg, &ranges, 10).unwrap();
+
+        let steps = 32;
+        let traces: Vec<Vec<f64>> = (0..8)
+            .map(|lane| {
+                (0..steps)
+                    .map(|t| 0.8 * ((lane * 31 + t * 7) as f64 * 0.061).sin())
+                    .collect()
+            })
+            .collect();
+        lockstep_check(&dfg, &config, &traces, steps);
+    }
+
+    /// Regression: a delay *chain* (`x2 = delay x1`, `x1 = delay x`) is a
+    /// latch whose source is another latch's state.  The latch phase must
+    /// snapshot all sources before writing any state, or the shift
+    /// register collapses (every tap sees the freshest sample).
+    #[test]
+    fn delay_chain_matches_both_scalar_simulators_bitwise() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let taps = b.delay_chain(x, 3);
+        let t0 = b.mul_const(0.25, x);
+        let t1 = b.mul_const(0.5, taps[0]);
+        let t2 = b.mul_const(-0.3, taps[1]);
+        let t3 = b.mul_const(0.55, taps[2]);
+        let s1 = b.add(t0, t1);
+        let s2 = b.add(t2, t3);
+        let y = b.add(s1, s2);
+        b.output("y", y);
+        let dfg = b.build().unwrap();
+        let ranges = vec![Interval::new(-1.0, 1.0).unwrap(); dfg.n_inputs()];
+        let config = WlConfig::from_ranges(&dfg, &ranges, 10).unwrap();
+
+        let steps = 32;
+        let traces: Vec<Vec<f64>> = (0..8)
+            .map(|lane| {
+                (0..steps)
+                    .map(|t| 0.9 * ((lane * 17 + t * 5) as f64 * 0.083).cos())
+                    .collect()
+            })
+            .collect();
+        lockstep_check(&dfg, &config, &traces, steps);
+    }
+
+    /// Regression: two delays feeding each other (a swap register) — the
+    /// fully cyclic case no latch ordering can fix; only a two-phase
+    /// snapshot gives both delays their pre-latch sources.
+    #[test]
+    fn swap_register_matches_both_scalar_simulators_bitwise() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let a = b.delay_placeholder();
+        let c = b.delay_placeholder();
+        let half = b.mul_const(0.5, c);
+        let ain = b.add(half, x);
+        b.bind_delay(a, ain).unwrap();
+        b.bind_delay(c, a).unwrap();
+        let y = b.sub(a, c);
+        b.output("y", y);
+        let dfg = b.build().unwrap();
+        let ranges = vec![Interval::new(-0.25, 0.25).unwrap(); dfg.n_inputs()];
+        let config = WlConfig::from_ranges(&dfg, &ranges, 12).unwrap();
+
+        let steps = 24;
+        let traces: Vec<Vec<f64>> = (0..6)
+            .map(|lane| {
+                (0..steps)
+                    .map(|t| 0.2 * ((lane * 13 + t * 3) as f64 * 0.107).sin())
+                    .collect()
+            })
+            .collect();
+        lockstep_check(&dfg, &config, &traces, steps);
+    }
+
+    #[test]
+    fn division_by_zero_reports_the_offending_node() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let q = b.div(x, y);
+        b.output("q", q);
+        let dfg = b.build().unwrap();
+        let ranges = vec![Interval::new(1.0, 2.0).unwrap(); dfg.n_inputs()];
+        let config = WlConfig::from_ranges(&dfg, &ranges, 12).unwrap();
+        let exe = Executable::new(Arc::new(Program::compile(&dfg)), &dfg, &config);
+        let mut state = exe.new_state(4);
+        let inputs = vec![vec![1.0; 4], vec![1.0, 1.0, 0.0, 1.0]];
+        let err = exe.step(&mut state, &inputs).unwrap_err();
+        assert!(matches!(err, VmError::DivisionByZero { node } if node == q));
+    }
+}

@@ -1,0 +1,85 @@
+//! `sna-vm` — a lowered bytecode engine and vectorized Monte-Carlo
+//! evaluation backend for SNA datapath graphs.
+//!
+//! The interpreted engines walk the [`sna_dfg::Dfg`] node-by-node
+//! through match dispatch for every sample.  This crate compiles the
+//! graph **once** into a flat, register-allocated program
+//! ([`Program`]), binds it to concrete constants and per-node
+//! quantizers ([`Executable`]), and then sweeps N Monte-Carlo sample
+//! paths per instruction over contiguous f64 lanes — paired exact and
+//! quantized banks, so every step yields per-output error samples
+//! (`quantized − exact`) for free.
+//!
+//! Three layers:
+//!
+//! * [`Program::compile`] — lowering + linear-scan register allocation
+//!   (delay feedback and constants handled via pinned registers);
+//! * [`Executable`] — the vectorized interpreter, bit-compatible with
+//!   the scalar `Simulator`/`FixedSimulator` pair (see the README for
+//!   the exactness argument and its documented caveats);
+//! * [`simulate`] — a deterministic chunked Monte-Carlo driver whose
+//!   output is independent of the worker count.
+//!
+//! See `crates/vm/README.md` for the bytecode format, SoA layout, and
+//! determinism scheme.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod program;
+mod simulate;
+
+pub use exec::{Executable, VmState};
+pub use program::{Inst, OpCode, Program, Reg};
+pub use simulate::{simulate, OutputStats, SimOptions};
+
+use sna_dfg::NodeId;
+use sna_hist::HistError;
+
+/// Errors from compilation, execution, or simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VmError {
+    /// A division instruction saw a zero divisor (exact or quantized)
+    /// in at least one lane.
+    DivisionByZero {
+        /// The graph node performing the division.
+        node: NodeId,
+    },
+    /// The number of input lane vectors does not match the program.
+    InputArity {
+        /// Inputs the program expects.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// No sample paths requested, or every step fell inside the warmup.
+    NoSamples,
+    /// Building the empirical error histogram failed.
+    Histogram(HistError),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::DivisionByZero { node } => {
+                write!(f, "division by zero at node {node}")
+            }
+            VmError::InputArity { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+            VmError::NoSamples => {
+                write!(f, "no samples to simulate (paths = 0 or steps <= warmup)")
+            }
+            VmError::Histogram(e) => write!(f, "error histogram: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<HistError> for VmError {
+    fn from(e: HistError) -> Self {
+        VmError::Histogram(e)
+    }
+}
