@@ -40,6 +40,7 @@ fn na_power(session: &Session) -> f64 {
             words: WlChoice::Uniform(12),
             bins: 32,
             include_pdf: false,
+            ..AnalysisRequest::default()
         })
         .expect("NA analysis succeeds");
     report.reports.iter().map(|(_, r)| r.power).sum()

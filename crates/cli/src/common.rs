@@ -4,9 +4,11 @@
 
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use sna_core::NoiseReport;
 use sna_hist::RenderOptions;
 use sna_lang::{render_all, Lowered};
@@ -247,6 +249,46 @@ pub fn collect_files(
     Ok((files, batch))
 }
 
+/// Total attempts per file in batch mode: one try plus two retries.
+const BATCH_ATTEMPTS: u32 = 3;
+
+/// First-retry backoff; doubles per further attempt, plus jitter.
+const BACKOFF_BASE_MS: u64 = 10;
+
+/// Whether a per-file failure is worth retrying: I/O-level read
+/// failures (a network filesystem blip, a file mid-rsync) — never
+/// compile diagnostics or analysis errors, which are deterministic and
+/// would fail identically on every attempt.
+fn is_transient(e: &CliError) -> bool {
+    matches!(e, CliError::Failed(m) if m.starts_with("cannot read "))
+}
+
+/// The batch fault hook: `SNA_FAULT_BATCH=fail@N:K` makes the `N`-th
+/// file (1-based, input order) fail its first `K` attempts with a
+/// transient read error. This is how the retry path is exercised
+/// deterministically in tests and CI; malformed specs are ignored (the
+/// hook is not a user-facing interface).
+fn parse_batch_fault() -> Option<(usize, u32)> {
+    let spec = std::env::var("SNA_FAULT_BATCH").ok()?;
+    let (n, k) = spec.strip_prefix("fail@")?.split_once(':')?;
+    Some((n.parse().ok()?, k.parse().ok()?))
+}
+
+/// Sleeps the exponential-backoff pause before retry number `attempt`
+/// (1-based). The jitter is drawn from a generator seeded by the path,
+/// so a rerun backs off identically while concurrent files
+/// desynchronize instead of thundering back together.
+fn backoff_sleep(path: &str, attempt: u32) {
+    let base = BACKOFF_BASE_MS << (attempt - 1);
+    let mut h = 0xcbf2_9ce4_8422_2325_u64; // FNV-1a over the path bytes
+    for b in path.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(h ^ u64::from(attempt));
+    let jitter = rng.gen_range(0..base);
+    std::thread::sleep(Duration::from_millis(base + jitter));
+}
+
 /// Fans `per_file` out over `files` on `jobs` workers through one shared
 /// [`CompileCache`], concatenating the per-file outputs in input order.
 ///
@@ -255,9 +297,15 @@ pub fn collect_files(
 /// code 1. In batch mode each file's failure is reported inline (and as
 /// an `"error"` document under `--format json`), the remaining files
 /// still run, and a trailing summary line reports file/ok/err counts,
-/// cache hit/miss counts, and total/cached time. A batch with any failed
-/// file returns [`CliError::BatchFailed`] carrying that same output, so
-/// the process exits 1 while stdout stays identical to the all-ok case.
+/// retry count, cache hit/miss counts, and total/cached time. A batch
+/// with any failed file returns [`CliError::BatchFailed`] carrying that
+/// same output, so the process exits 1 while stdout stays identical to
+/// the all-ok case.
+///
+/// Transient failures (see [`is_transient`]) are retried up to
+/// [`BATCH_ATTEMPTS`] times with exponential backoff and deterministic
+/// per-path jitter before counting as errors; the summary's `retries`
+/// field reports how many retry attempts the whole batch spent.
 pub fn run_batch<F>(
     command: &str,
     files: Vec<String>,
@@ -272,10 +320,30 @@ where
     let cache = CompileCache::new();
     let started = Instant::now();
     let n_files = files.len();
+    let fault = parse_batch_fault();
+    let retries = AtomicU64::new(0);
     let outcomes: Vec<(String, Result<String, CliError>, f64)> =
-        sna_service::run_ordered(files, jobs, |_, path| {
+        sna_service::run_ordered(files, jobs, |index, path| {
             let job_started = Instant::now();
-            let result = load_cached(&cache, &path).and_then(|entry| per_file(&path, &entry));
+            let mut attempt = 0u32;
+            let result = loop {
+                let injected = fault.is_some_and(|(n, k)| index + 1 == n && attempt < k);
+                let result = if injected {
+                    Err(CliError::failed(format!(
+                        "cannot read `{path}`: injected transient fault"
+                    )))
+                } else {
+                    load_cached(&cache, &path).and_then(|entry| per_file(&path, &entry))
+                };
+                match result {
+                    Err(ref e) if batch && attempt + 1 < BATCH_ATTEMPTS && is_transient(e) => {
+                        attempt += 1;
+                        retries.fetch_add(1, Ordering::Relaxed);
+                        backoff_sleep(&path, attempt);
+                    }
+                    other => break other,
+                }
+            };
             let elapsed_ms = job_started.elapsed().as_secs_f64() * 1e3;
             (path, result, elapsed_ms)
         });
@@ -320,10 +388,12 @@ where
         }
     }
     let job_ms: f64 = outcomes.iter().map(|(_, _, ms)| ms).sum();
+    let retries = retries.load(Ordering::Relaxed);
     match format {
         Format::Human => {
             out.push_str(&format!(
-                "batch: {n_files} file(s) · {ok} ok · {errors} err · {jobs} job(s) · \
+                "batch: {n_files} file(s) · {ok} ok · {errors} err · {retries} retried · \
+                 {jobs} job(s) · \
                  cache {} hit(s) / {} miss(es) · {total_ms:.1} ms wall ({job_ms:.1} ms in jobs)\n",
                 stats.hits, stats.misses
             ));
@@ -336,6 +406,10 @@ where
                     ("files".into(), Json::int(n_files)),
                     ("ok".into(), Json::int(ok)),
                     ("errors".into(), Json::int(errors)),
+                    (
+                        "retries".into(),
+                        Json::int(usize::try_from(retries).unwrap_or(usize::MAX)),
+                    ),
                     ("jobs".into(), Json::int(jobs)),
                     (
                         "cache_hits".into(),

@@ -14,12 +14,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sna_service::{CompileCache, Counter, ServerConfig, StatsRegistry};
+use sna_service::{CompileCache, Counter, ExecLimits, FaultPlan, ServerConfig, StatsRegistry};
 
 use crate::common::{unknown_flag, Args, CliError};
 
 const USAGE: &str = "sna serve [--listen addr:port] [--max-conns N] [--idle-timeout SECS] \
-                     [--drain-timeout SECS] [--write-buf-cap BYTES] [--workers N]";
+                     [--drain-timeout SECS] [--write-buf-cap BYTES] [--workers N] \
+                     [--request-timeout MS] [--fault-plan SPEC]";
 
 /// Runs the subcommand. Returns when stdin reaches EOF (stdio mode) or
 /// the server finishes draining after SIGTERM (TCP mode).
@@ -51,6 +52,24 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 config.workers = args.parse_value("workers")?;
                 tcp_flag_seen = Some("--workers");
             }
+            // Applies to both transports, so it never trips the
+            // `--listen`-only guard below.
+            "request-timeout" => {
+                let ms: u64 = args.parse_value("request-timeout")?;
+                if ms == 0 {
+                    return Err(CliError::Usage(
+                        "--request-timeout must be at least 1 ms".to_string(),
+                    ));
+                }
+                config.request_timeout = Some(Duration::from_millis(ms));
+            }
+            "fault-plan" => {
+                let spec = args.value("fault-plan")?;
+                let plan = FaultPlan::parse(spec)
+                    .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?;
+                config.fault_plan = Some(Arc::new(plan));
+                tcp_flag_seen = Some("--fault-plan");
+            }
             other => return Err(unknown_flag(other, USAGE)),
         }
     }
@@ -72,10 +91,20 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         None => {
             let cache = CompileCache::new();
             let stats = StatsRegistry::new();
+            let limits = ExecLimits {
+                request_timeout: config.request_timeout,
+                pre_cancelled: false,
+            };
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            let report = sna_service::serve_stats(stdin.lock(), stdout.lock(), &cache, &stats)
-                .map_err(|e| CliError::failed(format!("serve failed: {e}")))?;
+            let report = sna_service::serve_stats_limited(
+                stdin.lock(),
+                stdout.lock(),
+                &cache,
+                &stats,
+                &limits,
+            )
+            .map_err(|e| CliError::failed(format!("serve failed: {e}")))?;
             let cache_stats = cache.stats();
             // The protocol owns stdout; the sign-off goes to stderr.
             eprintln!(
@@ -103,11 +132,15 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 .map_err(|e| CliError::failed(format!("serve failed: {e}")))?;
             let cache_stats = cache.stats();
             eprintln!(
-                "sna serve: drained · {} request(s), {} error(s) · \
+                "sna serve: drained · {} request(s), {} error(s) \
+                 ({} timeout(s) / {} cancelled / {} panic(s)) · \
                  conns {} accepted / {} rejected / {} timed out / {} drained · \
                  cache {} hit(s) / {} miss(es)",
                 stats.get(Counter::Requests),
                 stats.get(Counter::Errors),
+                stats.get(Counter::Timeouts),
+                stats.get(Counter::Cancelled),
+                stats.get(Counter::Panics),
                 stats.get(Counter::Accepted),
                 stats.get(Counter::Rejected),
                 stats.get(Counter::TimedOut),

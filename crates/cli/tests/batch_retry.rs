@@ -1,0 +1,97 @@
+//! Batch retry-with-backoff tests, in their own integration-test binary
+//! because the `SNA_FAULT_BATCH` hook is a process-wide environment
+//! variable: here it cannot race the main CLI suite's batches, and the
+//! tests below run serially against it.
+
+use std::path::PathBuf;
+
+use sna_cli::{run, CliError};
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn temp_program(tag: &str) -> String {
+    let path = std::env::temp_dir().join(format!("sna-batch-retry-{tag}.sna"));
+    std::fs::write(&path, "input x in [-1, 1];\ny = 0.5*x;\noutput y;\n").unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+/// The whole suite in one `#[test]`: the cases share the env-var hook
+/// and must not interleave.
+#[test]
+fn transient_failures_are_retried_and_reported() {
+    let a = temp_program("a");
+    let b = temp_program("b");
+
+    // Case 1: the second file fails twice transiently, then succeeds on
+    // its final attempt — the batch is fully ok and reports 2 retries.
+    std::env::set_var("SNA_FAULT_BATCH", "fail@2:2");
+    let out = run(&argv(&[
+        "analyze", &a, &b, "--jobs", "1", "--format", "json",
+    ]))
+    .unwrap();
+    assert!(out.contains(r#""ok":2"#), "{out}");
+    assert!(out.contains(r#""errors":0"#), "{out}");
+    assert!(out.contains(r#""retries":2"#), "{out}");
+
+    // Case 2: three transient failures exhaust the attempt budget (1 try
+    // + 2 retries) — the file counts as an error, the batch exits 1,
+    // but the other file's output and the summary still render.
+    std::env::set_var("SNA_FAULT_BATCH", "fail@2:3");
+    let err = run(&argv(&[
+        "analyze", &a, &b, "--jobs", "1", "--format", "json",
+    ]))
+    .unwrap_err();
+    let CliError::BatchFailed(out) = err else {
+        panic!("expected BatchFailed, got {err:?}");
+    };
+    assert!(out.contains("injected transient fault"), "{out}");
+    assert!(out.contains(r#""ok":1"#), "{out}");
+    assert!(out.contains(r#""errors":1"#), "{out}");
+    assert!(out.contains(r#""retries":2"#), "{out}");
+
+    // Case 3: compile diagnostics are deterministic, never retried.
+    std::env::remove_var("SNA_FAULT_BATCH");
+    let bad = std::env::temp_dir().join("sna-batch-retry-bad.sna");
+    std::fs::write(&bad, "input x in [-1, 1];\ny = 0.5*z;\noutput y;\n").unwrap();
+    let bad = bad.to_string_lossy().into_owned();
+    let err = run(&argv(&[
+        "analyze", &a, &bad, "--jobs", "2", "--format", "human",
+    ]))
+    .unwrap_err();
+    let CliError::BatchFailed(out) = err else {
+        panic!("expected BatchFailed, got {err:?}");
+    };
+    assert!(out.contains("0 retried"), "{out}");
+
+    // Case 4: single-file mode never retries — the historical contract
+    // (fail fast, exit 1) is unchanged even with the hook armed.
+    std::env::set_var("SNA_FAULT_BATCH", "fail@1:1");
+    let err = run(&argv(&["analyze", &a])).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Failed(m) if m.contains("injected transient fault")),
+        "single-file mode must surface the first failure unretried: {err:?}"
+    );
+    std::env::remove_var("SNA_FAULT_BATCH");
+}
+
+/// The human summary carries the retry count too.
+#[test]
+fn human_summary_reports_retries_without_the_hook() {
+    // No env-var games here (the serial test above owns the hook; this
+    // one just checks the zero-retry rendering on a clean batch).
+    let a = temp_program("h1");
+    let manifest = std::env::temp_dir().join("sna-batch-retry-manifest.txt");
+    std::fs::write(&manifest, format!("{a}\n")).unwrap();
+    let out = run(&argv(&[
+        "analyze",
+        "--manifest",
+        &manifest.to_string_lossy(),
+        "--jobs",
+        "1",
+    ]))
+    .unwrap();
+    assert!(out.contains("retried"), "{out}");
+    let _ = PathBuf::from(a);
+}

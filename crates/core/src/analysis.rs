@@ -171,7 +171,7 @@ impl<'a> SnaAnalysis<'a> {
             engine: self.engine,
             words: WlChoice::Config(self.config.clone()),
             bins: self.bins,
-            include_pdf: true,
+            ..AnalysisRequest::default()
         };
         Ok(session.analyze(&req)?.reports)
     }

@@ -1,0 +1,162 @@
+//! Cooperative execution budgets: a deadline plus a cancellation flag
+//! threaded through analysis requests so long-running work — optimizer
+//! searches, histogram propagation, Monte-Carlo simulation — stops at
+//! cheap checkpoints instead of pinning a worker thread.
+//!
+//! A [`Budget`] is deliberately *cooperative*: nothing is preempted.
+//! Engines call [`Budget::check`] at loop boundaries whose per-iteration
+//! cost is small (a topo-order node step, an annealing iteration, a
+//! simulation chunk claim); an expired deadline or a raised cancel flag
+//! surfaces as a structured [`SnaError`] that renders as exactly
+//! `"deadline exceeded"` / `"request cancelled"` on the wire, so the
+//! service layer can classify and count it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::SnaError;
+
+/// A cooperative execution budget: an optional wall-clock deadline and a
+/// shared cancellation flag.
+///
+/// Cloning is cheap and clones share the cancel flag — the service hands
+/// one budget to a request and keeps a clone, so cancelling from outside
+/// the worker is race-free. The default budget is unlimited.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Budget {
+    /// A budget that never expires and is not cancelled — the default.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget expiring `timeout` from now.
+    #[must_use]
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Budget {
+            deadline: Instant::now().checked_add(timeout),
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A budget whose cancel flag is already raised — the first
+    /// checkpoint fails with [`SnaError::Cancelled`]. Used by the
+    /// fault-injection harness to exercise cancellation paths
+    /// deterministically.
+    #[must_use]
+    pub fn pre_cancelled() -> Self {
+        let b = Budget::unlimited();
+        b.cancel();
+        b
+    }
+
+    /// Raises the cancellation flag; every clone observes it at its next
+    /// checkpoint.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this budget has neither a deadline nor a raised cancel
+    /// flag *right now* — checkpoints in already-hot loops may skip
+    /// their stride bookkeeping entirely when the budget is unlimited.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && !self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Whether the wall-clock deadline (if any) has passed.
+    #[must_use]
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether the cancel flag is raised.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The checkpoint: cancellation is checked before the deadline so an
+    /// explicit cancel renders as `"request cancelled"` even when the
+    /// deadline also lapsed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnaError::Cancelled`] when the flag is raised,
+    /// [`SnaError::DeadlineExceeded`] when past the deadline.
+    pub fn check(&self) -> Result<(), SnaError> {
+        if self.is_cancelled() {
+            return Err(SnaError::Cancelled);
+        }
+        if self.deadline_exceeded() {
+            return Err(SnaError::DeadlineExceeded);
+        }
+        Ok(())
+    }
+
+    /// The error this budget's state implies, for code that learns "the
+    /// work was stopped" through a side channel (e.g. the VM's
+    /// cancellation token) and needs the precise diagnosis.
+    #[must_use]
+    pub fn overrun_error(&self) -> SnaError {
+        if self.deadline_exceeded() && !self.is_cancelled() {
+            SnaError::DeadlineExceeded
+        } else {
+            SnaError::Cancelled
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_passes() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(b.check().is_ok());
+        assert!(!b.deadline_exceeded());
+    }
+
+    #[test]
+    fn zero_timeout_fails_the_first_checkpoint() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        assert!(matches!(b.check(), Err(SnaError::DeadlineExceeded)));
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn generous_timeout_passes() {
+        let b = Budget::with_timeout(Duration::from_secs(3600));
+        assert!(b.check().is_ok());
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones_and_wins_over_deadline() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        let clone = b.clone();
+        b.cancel();
+        assert!(matches!(clone.check(), Err(SnaError::Cancelled)));
+        assert!(matches!(clone.overrun_error(), SnaError::Cancelled));
+    }
+
+    #[test]
+    fn pre_cancelled_fails_immediately() {
+        let b = Budget::pre_cancelled();
+        assert!(matches!(b.check(), Err(SnaError::Cancelled)));
+    }
+
+    #[test]
+    fn overrun_error_diagnoses_deadline() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        assert!(matches!(b.overrun_error(), SnaError::DeadlineExceeded));
+    }
+}

@@ -20,7 +20,7 @@ use sna_hist::{DepositPolicy, Histogram, OpOptions};
 use sna_interval::Interval;
 
 use crate::sources::{IntroducesNoise, NoiseSource};
-use crate::{NoiseReport, SnaError};
+use crate::{Budget, NoiseReport, SnaError};
 
 /// A scalar-or-distribution value.
 ///
@@ -329,7 +329,26 @@ impl DfgEngine {
         config: &WlConfig,
         input_ranges: &[Interval],
     ) -> Result<Vec<(String, NoiseReport)>, SnaError> {
-        let states = self.propagate(dfg, config, input_ranges)?;
+        self.analyze_budgeted(dfg, config, input_ranges, &Budget::unlimited())
+    }
+
+    /// [`DfgEngine::analyze`] under a cooperative [`Budget`]: the
+    /// propagation checks the budget between node steps (each is
+    /// `O(bins²)`, so the check overhead is noise) and fails with
+    /// [`SnaError::DeadlineExceeded`] / [`SnaError::Cancelled`] instead
+    /// of finishing the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DfgEngine::analyze`], plus budget overruns.
+    pub fn analyze_budgeted(
+        &self,
+        dfg: &Dfg,
+        config: &WlConfig,
+        input_ranges: &[Interval],
+        budget: &Budget,
+    ) -> Result<Vec<(String, NoiseReport)>, SnaError> {
+        let states = self.propagate_budgeted(dfg, config, input_ranges, budget)?;
         Ok(dfg
             .outputs()
             .iter()
@@ -356,6 +375,22 @@ impl DfgEngine {
         config: &WlConfig,
         input_ranges: &[Interval],
     ) -> Result<Vec<Uncertain>, SnaError> {
+        self.propagate_budgeted(dfg, config, input_ranges, &Budget::unlimited())
+    }
+
+    /// [`DfgEngine::propagate`] under a cooperative [`Budget`], checked
+    /// once per topo-order node step.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DfgEngine::propagate`], plus budget overruns.
+    pub fn propagate_budgeted(
+        &self,
+        dfg: &Dfg,
+        config: &WlConfig,
+        input_ranges: &[Interval],
+        budget: &Budget,
+    ) -> Result<Vec<Uncertain>, SnaError> {
         if !dfg.is_combinational() {
             return Err(SnaError::SequentialGraph);
         }
@@ -365,6 +400,7 @@ impl DfgEngine {
                 got: input_ranges.len(),
             }));
         }
+        let limited = !budget.is_unlimited();
         let mut states: Vec<Uncertain> = vec![
             Uncertain {
                 value: Value::zero(),
@@ -373,6 +409,9 @@ impl DfgEngine {
             dfg.len()
         ];
         for &id in dfg.topo_order() {
+            if limited {
+                budget.check()?;
+            }
             states[id.index()] = self.node_state(dfg, config, input_ranges, id, &states)?;
         }
         Ok(states)

@@ -27,7 +27,7 @@ use sna_fixp::WlConfig;
 use sna_interval::Interval;
 
 use crate::{
-    CartesianEngine, DfgEngine, EngineKind, EngineOptions, NoiseReport, Session, SnaError,
+    Budget, CartesianEngine, DfgEngine, EngineKind, EngineOptions, NoiseReport, Session, SnaError,
     SymbolicEngine, SymbolicOptions, UncertainInput,
 };
 
@@ -72,6 +72,11 @@ pub struct AnalysisRequest {
     /// with `false` the histograms are dropped from the returned
     /// reports. Moments and bounds are always present.
     pub include_pdf: bool,
+    /// Cooperative execution budget: engines check it at cheap loop
+    /// checkpoints and fail with [`SnaError::DeadlineExceeded`] /
+    /// [`SnaError::Cancelled`] instead of running to completion.
+    /// Defaults to unlimited.
+    pub budget: Budget,
 }
 
 impl Default for AnalysisRequest {
@@ -81,6 +86,7 @@ impl Default for AnalysisRequest {
             words: WlChoice::Uniform(12),
             bins: 64,
             include_pdf: true,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -210,12 +216,17 @@ impl Engine for DfgNoiseEngine {
         let engine = DfgEngine::new(EngineOptions::default().with_bins(req.bins));
         if session.dfg().is_combinational() {
             let config = session.wl_config(&req.words)?;
-            return engine.analyze(session.dfg(), &config, session.input_ranges());
+            return engine.analyze_budgeted(
+                session.dfg(),
+                &config,
+                session.input_ranges(),
+                &req.budget,
+            );
         }
         // Per-sample view: delays become state inputs whose ranges come
         // from range analysis of the original graph.
         let (ps, config) = session.per_sample_config(&req.words)?;
-        engine.analyze(&ps.view, &config, &ps.ranges)
+        engine.analyze_budgeted(&ps.view, &config, &ps.ranges, &req.budget)
     }
 }
 
@@ -363,6 +374,7 @@ impl Engine for SimulateEngine {
         let sim_req = crate::SimRequest {
             words: req.words.clone(),
             bins: req.bins,
+            budget: req.budget.clone(),
             ..crate::SimRequest::default()
         };
         let report = session.simulate(&sim_req)?;

@@ -55,6 +55,12 @@ pub enum SnaError {
         /// The underlying failure, rendered.
         message: String,
     },
+    /// The request's execution budget ran out of wall-clock time (see
+    /// [`crate::Budget`]). Renders as exactly `deadline exceeded` — the
+    /// service layer classifies on that string.
+    DeadlineExceeded,
+    /// The request was cancelled via its budget's cancel flag.
+    Cancelled,
 }
 
 impl fmt::Display for SnaError {
@@ -89,6 +95,8 @@ impl fmt::Display for SnaError {
             SnaError::InvalidInput { name, message } => {
                 write!(f, "input `{name}`: {message}")
             }
+            SnaError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            SnaError::Cancelled => write!(f, "request cancelled"),
         }
     }
 }

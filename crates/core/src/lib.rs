@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod budget;
 mod cartesian;
 mod dfg_engine;
 pub mod engine;
@@ -70,6 +71,7 @@ mod sources;
 mod symbolic;
 
 pub use analysis::{EngineKind, SnaAnalysis};
+pub use budget::Budget;
 pub use cartesian::{CartesianEngine, UncertainInput};
 pub use dfg_engine::{DfgEngine, EngineOptions, HistMemo, Uncertain, Value};
 pub use engine::{AnalysisReport, AnalysisRequest, Engine, ReportKind, SimulateEngine, WlChoice};

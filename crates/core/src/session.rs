@@ -438,6 +438,10 @@ impl Session {
     /// The selected engine's failures.
     pub fn analyze(&self, req: &AnalysisRequest) -> Result<AnalysisReport, SnaError> {
         let started = Instant::now();
+        // Pre-flight budget check: an already-expired deadline fails
+        // before any engine work (engines with long inner loops also
+        // check at their own checkpoints).
+        req.budget.check()?;
         let kind = self.resolve_engine(req.engine)?;
         let engine = kind.engine().expect("resolved kinds are concrete");
         let mut reports = engine.run(self, req)?;
@@ -722,7 +726,7 @@ mod tests {
             engine: EngineKind::Na,
             words: WlChoice::Uniform(10),
             bins: 64,
-            include_pdf: true,
+            ..AnalysisRequest::default()
         };
         let via_session = s.analyze(&req).unwrap();
         assert_eq!(via_session.engine, EngineKind::Na);
@@ -746,7 +750,7 @@ mod tests {
             engine: EngineKind::Lti,
             words: WlChoice::Uniform(10),
             bins: 32,
-            include_pdf: true,
+            ..AnalysisRequest::default()
         };
         let with = s.analyze(&req).unwrap();
         assert!(with.reports[0].1.histogram.is_some());
@@ -829,7 +833,7 @@ mod tests {
             engine: EngineKind::Na,
             words: WlChoice::Uniform(12),
             bins: 64,
-            include_pdf: true,
+            ..AnalysisRequest::default()
         };
         let a = swapped.analyze(&req).unwrap();
         let b = cold.analyze(&req).unwrap();
@@ -912,7 +916,7 @@ mod tests {
             engine: EngineKind::Na,
             words: WlChoice::Uniform(6),
             bins: 32,
-            include_pdf: true,
+            ..AnalysisRequest::default()
         };
         let a = swapped.analyze(&req).unwrap();
         let cold = Session::new(swapped.dfg().clone(), swapped.input_ranges().to_vec()).unwrap();

@@ -20,7 +20,7 @@ use sna_fixp::FixpError;
 use sna_vm::{Executable, SimOptions, VmError};
 
 use crate::engine::{AnalysisRequest, WlChoice};
-use crate::{EngineKind, NoiseReport, Session, SnaError};
+use crate::{Budget, EngineKind, NoiseReport, Session, SnaError};
 
 /// One simulation request.
 #[derive(Clone, Debug)]
@@ -42,6 +42,10 @@ pub struct SimRequest {
     pub workers: usize,
     /// Bins of the empirical error histogram.
     pub bins: usize,
+    /// Cooperative execution budget, checked before every simulation
+    /// chunk. Defaults to unlimited; a budget that never fires leaves
+    /// the report bit-identical.
+    pub budget: Budget,
 }
 
 impl Default for SimRequest {
@@ -54,6 +58,7 @@ impl Default for SimRequest {
             warmup: None,
             workers: 0,
             bins: 64,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -114,7 +119,9 @@ pub struct SimReport {
     pub elapsed: Duration,
 }
 
-fn vm_err(e: VmError) -> SnaError {
+/// Maps a VM failure onto [`SnaError`]; `Cancelled` is diagnosed
+/// against the request's budget (deadline vs explicit cancel).
+fn vm_err(e: VmError, budget: &Budget) -> SnaError {
     match e {
         VmError::DivisionByZero { node } => SnaError::Dfg(DfgError::DivisionByZero { node }),
         VmError::InputArity { expected, got } => {
@@ -122,6 +129,7 @@ fn vm_err(e: VmError) -> SnaError {
         }
         VmError::NoSamples => SnaError::Fixp(FixpError::NoSamples),
         VmError::Histogram(e) => SnaError::Hist(e),
+        VmError::Cancelled => budget.overrun_error(),
     }
 }
 
@@ -142,6 +150,9 @@ impl Session {
     /// failures (division by zero, zero paths). A *prediction* failure
     /// is not an error: `predicted` is simply absent.
     pub fn simulate(&self, req: &SimRequest) -> Result<SimReport, SnaError> {
+        // Pre-flight: an already-expired budget fails before the
+        // configuration is even built.
+        req.budget.check()?;
         let combinational = self.dfg().is_combinational();
         let steps = req.steps.unwrap_or(if combinational { 1 } else { 64 });
         let warmup = req.warmup.unwrap_or(if combinational { 0 } else { 16 });
@@ -158,7 +169,10 @@ impl Session {
             bins: req.bins,
         };
         let started = Instant::now();
-        let stats = sna_vm::simulate(&exe, self.input_ranges(), &opts).map_err(vm_err)?;
+        let budget = &req.budget;
+        let cancelled = || !budget.is_unlimited() && budget.check().is_err();
+        let stats = sna_vm::simulate_with(&exe, self.input_ranges(), &opts, &cancelled)
+            .map_err(|e| vm_err(e, budget))?;
         let elapsed = started.elapsed();
 
         // Best-effort analytic prediction through the normal engine
@@ -171,6 +185,7 @@ impl Session {
                 words: req.words.clone(),
                 bins: req.bins,
                 include_pdf: true,
+                budget: req.budget.clone(),
             })
             .ok();
         let predicted_by = prediction.as_ref().map(|p| p.engine);
@@ -305,6 +320,34 @@ mod tests {
             c.outputs[0].empirical.variance.to_bits(),
             "different coefficients must simulate differently"
         );
+    }
+
+    #[test]
+    fn overrun_budgets_fail_structured_not_slow() {
+        let session = linear_session();
+        let req = SimRequest {
+            paths: 100_000,
+            budget: Budget::with_timeout(Duration::ZERO),
+            ..SimRequest::default()
+        };
+        assert!(matches!(
+            session.simulate(&req),
+            Err(SnaError::DeadlineExceeded)
+        ));
+        let req = SimRequest {
+            budget: Budget::pre_cancelled(),
+            ..SimRequest::default()
+        };
+        assert!(matches!(session.simulate(&req), Err(SnaError::Cancelled)));
+        // The analyze path honours the budget too.
+        let err = session
+            .analyze(&AnalysisRequest {
+                budget: Budget::with_timeout(Duration::ZERO),
+                ..AnalysisRequest::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, SnaError::DeadlineExceeded));
+        assert_eq!(err.to_string(), "deadline exceeded");
     }
 
     #[test]

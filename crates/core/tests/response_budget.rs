@@ -73,6 +73,7 @@ fn budgeted_fallback_patch_matches_a_from_scratch_compile() {
         words: WlChoice::Uniform(12),
         bins: 32,
         include_pdf: false,
+        ..AnalysisRequest::default()
     };
     let a = patched.analyze(&req).unwrap();
     let b = cold.analyze(&req).unwrap();

@@ -50,7 +50,7 @@ fn na_request(bits: u8) -> AnalysisRequest {
         engine: EngineKind::Na,
         words: WlChoice::Uniform(bits),
         bins: 32,
-        include_pdf: true,
+        ..AnalysisRequest::default()
     }
 }
 

@@ -147,7 +147,14 @@ impl Optimizer<'_> {
         let mut cost = self.proxy_cost_with(&w, &mut scratch);
         let mut best = (cost, w.clone());
         let mut temp = cost * opts.initial_temp_fraction;
-        for _ in 0..opts.iterations {
+        let limited = !self.exec_budget.is_unlimited();
+        for it in 0..opts.iterations {
+            // Execution-budget checkpoint every 256 proposals; a budget
+            // that never fires changes nothing (the RNG stream is
+            // untouched).
+            if limited && it & 255 == 0 {
+                self.exec_budget.check()?;
+            }
             let i = rng.gen_range(0..w.len());
             let down = rng.gen_bool(0.7); // bias toward trimming
             let old = w[i];

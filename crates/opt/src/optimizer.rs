@@ -1,6 +1,6 @@
 use std::sync::Arc;
 
-use sna_core::{DfgEngine, EngineOptions, HistMemo, NaModel, Session};
+use sna_core::{Budget, DfgEngine, EngineOptions, HistMemo, NaModel, Session};
 use sna_dfg::{Dfg, LtiOptions, RangeOptions};
 use sna_fixp::WlConfig;
 use sna_hls::{synthesize, CostReport, FuKind, SynthesisConstraints};
@@ -108,6 +108,9 @@ pub struct Optimizer<'a> {
     /// Per-`FuKind` node partition + register/energy inventory for the
     /// cost proxy, computed once instead of per call.
     proxy_static: ProxyStatic,
+    /// Cooperative wall-clock/cancellation budget checked inside the
+    /// search loops; unlimited by default.
+    pub(crate) exec_budget: Budget,
 }
 
 /// The node partition behind [`Optimizer::proxy_cost`]: which nodes bind
@@ -268,6 +271,7 @@ impl<'a> Optimizer<'a> {
             int_bits,
             eval_shared,
             proxy_static: ProxyStatic::build(dfg),
+            exec_budget: Budget::unlimited(),
         })
     }
 
@@ -314,6 +318,22 @@ impl<'a> Optimizer<'a> {
     /// Overrides the cost weights.
     pub fn with_weights(mut self, weights: CostWeights) -> Self {
         self.weights = weights;
+        self
+    }
+
+    /// Attaches a cooperative *execution* budget (wall-clock deadline
+    /// and/or cancellation flag) — distinct from the noise-power budget
+    /// the search methods take as a parameter.
+    ///
+    /// The search loops poll it at cheap strided checkpoints (every
+    /// ~1024 exhaustive candidates, ~256 annealing proposals, once per
+    /// greedy trim round) and abort with
+    /// [`sna_core::SnaError::DeadlineExceeded`] /
+    /// [`sna_core::SnaError::Cancelled`] wrapped in [`OptError::Sna`]
+    /// once the budget is overrun.  A budget that never fires leaves
+    /// every search result bit-identical to the unlimited run.
+    pub fn with_exec_budget(mut self, budget: Budget) -> Self {
+        self.exec_budget = budget;
         self
     }
 
@@ -609,6 +629,7 @@ impl<'a> Optimizer<'a> {
             let n = workers as u128;
             (candidates * t / n, candidates * (t + 1) / n)
         };
+        let limited = !self.exec_budget.is_unlimited();
         let run_chunk = |lo: u128, hi: u128| -> Result<Best, OptError> {
             let mut idx = decode(lo);
             let mut w: Vec<u8> = idx.iter().zip(levels).map(|(&d, l)| l[d]).collect();
@@ -616,7 +637,17 @@ impl<'a> Optimizer<'a> {
             let mut scratch = self.proxy_scratch();
             let mut best: Best = None;
             let mut c = lo;
+            let mut since_check = 0u32;
             loop {
+                // Budget checkpoint every ~1024 candidates: cheap enough
+                // to be noise, frequent enough that an overrun request
+                // stops within a few thousand odometer steps.
+                if limited {
+                    if since_check == 0 {
+                        self.exec_budget.check()?;
+                    }
+                    since_check = (since_check + 1) & 1023;
+                }
                 if ev.power() <= budget {
                     let proxy = self.proxy_cost_with(&w, &mut scratch);
                     if best.as_ref().map(|(p, _, _)| proxy < *p).unwrap_or(true) {
@@ -721,7 +752,14 @@ impl<'a> Optimizer<'a> {
             });
         }
         let mut scratch = self.proxy_scratch();
+        let limited = !self.exec_budget.is_unlimited();
         loop {
+            // One checkpoint per trim round — each round walks the
+            // evaluator across every group, so rounds are coarse enough
+            // that an unstrided check costs nothing.
+            if limited {
+                self.exec_budget.check()?;
+            }
             let mut best: Option<(f64, usize)> = None;
             let current_proxy = self.proxy_cost_with(&w, &mut scratch);
             for g in 0..n_groups {
@@ -938,6 +976,60 @@ mod tests {
             before,
             "replayed probe added no new states"
         );
+    }
+
+    #[test]
+    fn pre_cancelled_exec_budget_stops_every_search() {
+        use crate::AnnealOptions;
+        let (g, r) = small_design();
+        let plain = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        let fixed = plain.uniform(10).unwrap();
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default())
+            .unwrap()
+            .with_exec_budget(Budget::pre_cancelled());
+        let cancelled = |res: Result<Evaluation, OptError>| {
+            assert!(
+                matches!(res, Err(OptError::Sna(sna_core::SnaError::Cancelled))),
+                "expected a cancellation"
+            );
+        };
+        cancelled(opt.exhaustive(fixed.noise_power, 10, 1, 10_000_000));
+        cancelled(opt.group_greedy(fixed.noise_power, 18));
+        cancelled(opt.anneal(fixed.noise_power, 14, &AnnealOptions::default()));
+    }
+
+    #[test]
+    fn overrun_deadline_surfaces_as_deadline_exceeded() {
+        let (g, r) = small_design();
+        let plain = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        let fixed = plain.uniform(10).unwrap();
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default())
+            .unwrap()
+            .with_exec_budget(Budget::with_timeout(std::time::Duration::ZERO));
+        match opt.exhaustive(fixed.noise_power, 10, 1, 10_000_000) {
+            Err(OptError::Sna(e)) => {
+                assert_eq!(e.to_string(), "deadline exceeded");
+            }
+            other => panic!("expected a deadline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_exec_budget_is_bit_identical_to_unlimited() {
+        let (g, r) = small_design();
+        let plain = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        let fixed = plain.uniform(10).unwrap();
+        let best = plain
+            .exhaustive(fixed.noise_power, 10, 1, 10_000_000)
+            .unwrap();
+        let budgeted = Optimizer::new(&g, &r, SynthesisConstraints::default())
+            .unwrap()
+            .with_exec_budget(Budget::with_timeout(std::time::Duration::from_secs(3600)));
+        let best_b = budgeted
+            .exhaustive(fixed.noise_power, 10, 1, 10_000_000)
+            .unwrap();
+        assert_eq!(best.word_lengths, best_b.word_lengths);
+        assert_eq!(best.noise_power.to_bits(), best_b.noise_power.to_bits());
     }
 
     #[test]

@@ -50,10 +50,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::cache::CompileCache;
+use crate::fault::{FaultPlan, IoFault, JobFault};
 use crate::pool::{default_jobs, WorkerPool};
 use crate::proto::{
-    self, capacity_error_line, draining_error_line, handle_line_untrusted_stats,
-    oversize_error_line,
+    self, capacity_error_line, draining_error_line, handle_line_untrusted_stats_limited,
+    internal_error_line, oversize_error_line, ExecLimits,
 };
 use crate::stats::{Counter, StatsRegistry};
 
@@ -191,7 +192,7 @@ mod sys {
 }
 
 /// Knobs of the event-loop transport (the `sna serve` flags).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Maximum concurrent connections; peers past the cap get a JSON
     /// `server at capacity` error and an immediate close.
@@ -210,6 +211,13 @@ pub struct ServerConfig {
     pub max_pipeline: usize,
     /// Worker threads executing requests (0 = available parallelism).
     pub workers: usize,
+    /// Server-wide per-request execution cap (`--request-timeout`);
+    /// requests may ask for *less* via `timeout_ms` but never more.
+    /// `None` means unbounded unless a request bounds itself.
+    pub request_timeout: Option<Duration>,
+    /// Deterministic fault injection (`--fault-plan`); `None` in normal
+    /// operation. See [`FaultPlan`].
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -221,6 +229,8 @@ impl Default for ServerConfig {
             write_buf_cap: 1 << 20,
             max_pipeline: 64,
             workers: 0,
+            request_timeout: None,
+            fault_plan: None,
         }
     }
 }
@@ -385,6 +395,54 @@ struct Job {
 /// `(connection token, request seq, response bytes)`.
 type CompletionQueue = Arc<Mutex<Vec<(u64, u64, Vec<u8>)>>>;
 
+/// Guarantees exactly one completion per submitted job, panic or not.
+///
+/// The reactor decrements `conn.inflight` once per completion; a job
+/// whose handler panicked without one would leak that slot forever — the
+/// connection could never drain and the peer would hang waiting for a
+/// response that was silently dropped. The guard is armed with a
+/// pre-built `internal error` line *before* any fallible work; the happy
+/// path replaces it via [`complete`](CompletionGuard::complete), and the
+/// unwind path (`Drop` during a panic, after `catch_unwind` in the pool
+/// re-enters it) delivers the fallback and counts the crash.
+struct CompletionGuard<'a> {
+    completions: &'a CompletionQueue,
+    wake: &'a Wake,
+    stats: &'a StatsRegistry,
+    token: u64,
+    seq: u64,
+    fallback: Option<Vec<u8>>,
+}
+
+impl CompletionGuard<'_> {
+    /// Delivers the real response and disarms the fallback.
+    fn complete(mut self, bytes: Vec<u8>) {
+        self.fallback = None;
+        self.completions
+            .lock()
+            .expect("completion queue lock")
+            .push((self.token, self.seq, bytes));
+        self.wake.notify();
+    }
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        let Some(fallback) = self.fallback.take() else {
+            return; // completed normally
+        };
+        self.stats.bump(Counter::Panics);
+        self.stats.bump(Counter::Errors);
+        // Fallible locking: this Drop runs while unwinding, and a panic
+        // here would abort the process. A poisoned queue means the
+        // reactor side is already gone; dropping the response is fine.
+        if let Ok(mut queue) = self.completions.lock() {
+            queue.push((self.token, self.seq, fallback));
+        }
+        self.wake.notify();
+    }
+}
+
 /// Per-connection reactor state.
 struct Conn {
     stream: TcpStream,
@@ -529,13 +587,39 @@ fn extract_lines(
 
 /// Moves in-order completed responses into the write queue and writes
 /// as much as the socket accepts.
-fn flush_conn(conn: &mut Conn, now: Instant) {
+///
+/// `fault` is the I/O fault hook: consulted once per flush that has
+/// pending bytes, it can delay the flush, truncate it to a pathological
+/// one-byte short write, or treat the connection as reset by the peer.
+fn flush_conn(conn: &mut Conn, now: Instant, fault: Option<&FaultPlan>) {
+    if conn.dead {
+        return; // a dead (or injected-reset) connection delivers nothing
+    }
     while let Some(bytes) = conn.pending_out.remove(&conn.next_flush) {
         conn.write_buf.extend_from_slice(&bytes);
         conn.next_flush += 1;
     }
+    let mut short_write = false;
+    if conn.unflushed() > 0 {
+        if let Some(plan) = fault {
+            match plan.next_io() {
+                IoFault::None => {}
+                IoFault::Delay(pause) => std::thread::sleep(pause),
+                IoFault::ShortWrite => short_write = true,
+                IoFault::Reset => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
     while conn.written < conn.write_buf.len() {
-        match (&conn.stream).write(&conn.write_buf[conn.written..]) {
+        let end = if short_write {
+            conn.written + 1
+        } else {
+            conn.write_buf.len()
+        };
+        match (&conn.stream).write(&conn.write_buf[conn.written..end]) {
             Ok(0) => {
                 conn.dead = true;
                 break;
@@ -543,6 +627,9 @@ fn flush_conn(conn: &mut Conn, now: Instant) {
             Ok(n) => {
                 conn.written += n;
                 conn.last_activity = now;
+                if short_write {
+                    break; // the rest waits for the next poll round
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -659,16 +746,40 @@ fn run_reactor(
         let stats = Arc::clone(stats);
         let completions = Arc::clone(&completions);
         let wake = Arc::clone(wake);
+        let fault = cfg.fault_plan.clone();
+        let limits = ExecLimits {
+            request_timeout: cfg.request_timeout,
+            pre_cancelled: false,
+        };
         WorkerPool::new(workers, move |job: Job| {
-            let mut bytes = handle_line_untrusted_stats(&cache, &stats, &job.line)
+            // Armed before anything that can panic: whatever happens
+            // below, the reactor gets exactly one completion for (token,
+            // seq) and the peer gets a structured response.
+            let guard = CompletionGuard {
+                completions: &completions,
+                wake: &wake,
+                stats: &stats,
+                token: job.token,
+                seq: job.seq,
+                fallback: Some(internal_error_line(proto::request_id(&job.line)).into_bytes()),
+            };
+            let mut limits = limits;
+            match fault.as_deref().map_or(JobFault::None, FaultPlan::next_job) {
+                JobFault::None => {}
+                JobFault::Cancel => limits.pre_cancelled = true,
+                JobFault::Panic => {
+                    // `handle` never runs for this request, so count its
+                    // arrival here; the guard's Drop counts the crash and
+                    // delivers the internal-error line.
+                    stats.bump(Counter::Requests);
+                    panic!("injected fault: worker panic");
+                }
+            }
+            let mut bytes = handle_line_untrusted_stats_limited(&cache, &stats, &limits, &job.line)
                 .to_compact()
                 .into_bytes();
             bytes.push(b'\n');
-            completions
-                .lock()
-                .expect("completion queue lock")
-                .push((job.token, job.seq, bytes));
-            wake.notify();
+            guard.complete(bytes);
         })
     };
 
@@ -739,7 +850,7 @@ fn run_reactor(
         // 3. Flush responses freed by completions; unpause drained peers
         //    *before* reading so newly freed capacity applies this round.
         for conn in conns.values_mut() {
-            flush_conn(conn, now);
+            flush_conn(conn, now, cfg.fault_plan.as_deref());
             update_pause(conn, stats, cfg);
         }
 
@@ -770,7 +881,7 @@ fn run_reactor(
         // 7. Flush direct refusals and anything that raced in; then
         //    recompute backpressure with the post-read queue sizes.
         for conn in conns.values_mut() {
-            flush_conn(conn, now);
+            flush_conn(conn, now, cfg.fault_plan.as_deref());
             update_pause(conn, stats, cfg);
         }
 

@@ -12,11 +12,11 @@
 //! hand-rolls engine dispatch.
 
 use sna_core::{
-    AnalysisReport, AnalysisRequest, EngineKind, NoiseReport, Session, SimReport, SimRequest,
-    SnaError, WlChoice,
+    AnalysisReport, AnalysisRequest, Budget, EngineKind, NoiseReport, Session, SimReport,
+    SimRequest, SnaError, WlChoice,
 };
 use sna_hls::{synthesize, Implementation, SynthesisConstraints};
-use sna_opt::{AnnealOptions, Evaluation, Optimizer};
+use sna_opt::{AnnealOptions, Evaluation, OptError, Optimizer};
 
 use crate::cache::CompiledEntry;
 use crate::json::Json;
@@ -54,10 +54,16 @@ impl Default for AnalyzeParams {
 pub const MAX_BINS: usize = 4096;
 
 /// Renders an analysis failure. Self-describing diagnostics keep their
-/// exact wording; everything else gets the generic prefix.
+/// exact wording; everything else gets the generic prefix. The budget
+/// overruns pass through verbatim — the protocol layer classifies
+/// responses into the `timeouts`/`cancelled` counters by matching the
+/// exact strings `deadline exceeded` and `request cancelled`.
 fn render_analysis_error(e: &SnaError) -> String {
     match e {
-        SnaError::CombinationalOnly { .. } | SnaError::InvalidInput { .. } => e.to_string(),
+        SnaError::CombinationalOnly { .. }
+        | SnaError::InvalidInput { .. }
+        | SnaError::DeadlineExceeded
+        | SnaError::Cancelled => e.to_string(),
         other => format!("analysis failed: {other}"),
     }
 }
@@ -74,6 +80,21 @@ pub fn analyze_report(
     entry: &CompiledEntry,
     params: &AnalyzeParams,
 ) -> Result<AnalysisReport, String> {
+    analyze_report_budgeted(entry, params, &Budget::unlimited())
+}
+
+/// [`analyze_report`] under a cooperative execution [`Budget`]: an
+/// overrun stops the engine at its next checkpoint and renders the
+/// structured `deadline exceeded` / `request cancelled` error.
+///
+/// # Errors
+///
+/// Same as [`analyze_report`], plus the budget overruns.
+pub fn analyze_report_budgeted(
+    entry: &CompiledEntry,
+    params: &AnalyzeParams,
+    budget: &Budget,
+) -> Result<AnalysisReport, String> {
     let AnalyzeParams { engine, bits, bins } = *params;
     if bins == 0 || bins > MAX_BINS {
         return Err(format!("bins must be in 1..={MAX_BINS}, got {bins}"));
@@ -83,6 +104,7 @@ pub fn analyze_report(
         words: WlChoice::Uniform(bits),
         bins,
         include_pdf: true,
+        budget: budget.clone(),
     };
     entry
         .session
@@ -154,6 +176,22 @@ impl Default for SimulateParams {
 /// Configuration and simulation failures, rendered; `bins`, `paths`,
 /// and `steps` outside their ceilings are rejected up front.
 pub fn simulate(entry: &CompiledEntry, params: &SimulateParams) -> Result<SimReport, String> {
+    simulate_budgeted(entry, params, &Budget::unlimited())
+}
+
+/// [`simulate`] under a cooperative execution [`Budget`]: the VM checks
+/// it before every Monte-Carlo chunk claim, so an overrun request stops
+/// within one chunk's work and renders the structured `deadline
+/// exceeded` / `request cancelled` error.
+///
+/// # Errors
+///
+/// Same as [`simulate`], plus the budget overruns.
+pub fn simulate_budgeted(
+    entry: &CompiledEntry,
+    params: &SimulateParams,
+    budget: &Budget,
+) -> Result<SimReport, String> {
     let SimulateParams {
         bits,
         bins,
@@ -189,11 +227,14 @@ pub fn simulate(entry: &CompiledEntry, params: &SimulateParams) -> Result<SimRep
         warmup,
         workers,
         bins,
+        budget: budget.clone(),
     };
-    entry
-        .session
-        .simulate(&req)
-        .map_err(|e| format!("simulation failed: {e}"))
+    entry.session.simulate(&req).map_err(|e| match e {
+        // Pass budget overruns through verbatim for the protocol layer's
+        // exact-string classification.
+        SnaError::DeadlineExceeded | SnaError::Cancelled => e.to_string(),
+        other => format!("simulation failed: {other}"),
+    })
 }
 
 /// A [`SimReport`] as JSON fields — the body shared by the CLI's
@@ -338,9 +379,42 @@ pub struct OptimizeOutcome {
 ///
 /// Optimizer construction or per-method failures, rendered.
 pub fn optimize(session: &Session, params: &OptimizeParams) -> Result<OptimizeOutcome, String> {
+    optimize_budgeted(session, params, &Budget::unlimited())
+}
+
+/// Renders a search-method failure. Budget overruns pass through
+/// verbatim (see [`render_analysis_error`]); everything else names the
+/// method that failed.
+fn render_opt_error(name: &str, e: &OptError) -> String {
+    match e {
+        OptError::Sna(inner @ (SnaError::DeadlineExceeded | SnaError::Cancelled)) => {
+            inner.to_string()
+        }
+        other => format!("method `{name}` failed: {other}"),
+    }
+}
+
+/// [`optimize`] under a cooperative execution [`Budget`]: the search
+/// loops poll it at strided checkpoints (exhaustive candidates,
+/// annealing proposals, greedy trim rounds), so an overrun request
+/// stops mid-search and renders the structured `deadline exceeded` /
+/// `request cancelled` error.
+///
+/// # Errors
+///
+/// Same as [`optimize`], plus the budget overruns.
+pub fn optimize_budgeted(
+    session: &Session,
+    params: &OptimizeParams,
+    exec_budget: &Budget,
+) -> Result<OptimizeOutcome, String> {
     validate_method(&params.method)?;
+    // Pre-flight: the reference synthesis below is not checkpointed, so
+    // an already-overrun budget must fail before paying for it.
+    exec_budget.check().map_err(|e| e.to_string())?;
     let optimizer = Optimizer::from_session(session, SynthesisConstraints::default())
-        .map_err(|e| format!("cannot build the optimizer: {e}"))?;
+        .map_err(|e| format!("cannot build the optimizer: {e}"))?
+        .with_exec_budget(exec_budget.clone());
 
     // The reference design also supplies the default budget.
     let reference = optimizer
@@ -383,7 +457,7 @@ pub fn optimize(session: &Session, params: &OptimizeParams) -> Result<OptimizeOu
             }
             _ => unreachable!("validated above"),
         };
-        r.map_err(|e| format!("method `{name}` failed: {e}"))
+        r.map_err(|e| render_opt_error(name, &e))
     };
     let mut results: Vec<(String, Evaluation)> = Vec::new();
     if params.method == "all" {

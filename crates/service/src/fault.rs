@@ -1,0 +1,211 @@
+//! Deterministic fault injection for the chaos test suite.
+//!
+//! A [`FaultPlan`] is a small set of rules, each firing on the *N*-th
+//! occurrence of an event class, parsed from a compact spec string
+//! (`sna serve --fault-plan "panic@2,reset@5"`). The server consults the
+//! plan at two runtime hooks — no `#[cfg(test)]` builds, no conditional
+//! compilation, so the binary under chaos test is the production binary:
+//!
+//! * **job hook** ([`FaultPlan::next_job`]) — called by a pool worker
+//!   once per request execution, *before* the handler runs:
+//!   - `panic@N`: the N-th job panics inside the worker (exercising
+//!     the `catch_unwind` isolation and the completion guard);
+//!   - `cancel@N`: the N-th job runs with a pre-cancelled budget, so
+//!     it stops at its first cooperative checkpoint with the
+//!     structured `request cancelled` error.
+//! * **I/O hook** ([`FaultPlan::next_io`]) — called by the reactor once
+//!   per connection flush that has bytes to write:
+//!   - `delay@N:MS`: the N-th flush sleeps `MS` milliseconds first
+//!     (a slow kernel / slow peer stand-in);
+//!   - `short@N`: the N-th flush writes at most one byte (a pathological
+//!     short write — the buffering must resume cleanly);
+//!   - `reset@N`: the N-th flush treats the connection as reset by the
+//!     peer (the `conn.dead` path — completions for it are dropped and
+//!     the registry must still reconcile).
+//!
+//! Counters are 1-based and atomic; with a single connection issuing
+//! requests sequentially the firing order is fully deterministic, which
+//! is what lets the chaos tests assert *exact* registry reconciliation
+//! rather than eventually-consistent bounds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What the job hook tells a worker to do with the current request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobFault {
+    /// Execute normally.
+    None,
+    /// Panic inside the worker before running the handler.
+    Panic,
+    /// Run the handler with a pre-cancelled execution budget.
+    Cancel,
+}
+
+/// What the I/O hook tells the reactor to do with the current flush.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFault {
+    /// Flush normally.
+    None,
+    /// Sleep this long before flushing.
+    Delay(Duration),
+    /// Write at most one byte this round.
+    ShortWrite,
+    /// Treat the connection as reset by the peer.
+    Reset,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Rule {
+    Panic,
+    Cancel,
+    DelayMs(u64),
+    ShortWrite,
+    Reset,
+}
+
+impl Rule {
+    fn is_job(self) -> bool {
+        matches!(self, Rule::Panic | Rule::Cancel)
+    }
+}
+
+/// A parsed fault plan: rules indexed by the 1-based event ordinal they
+/// fire on, plus the two live event counters.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// `(fire on the n-th event, what to do)`, in spec order.
+    rules: Vec<(u64, Rule)>,
+    jobs: AtomicU64,
+    ios: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated spec: `panic@N`, `cancel@N`,
+    /// `delay@N:MS`, `short@N`, `reset@N` (`N` is the 1-based ordinal of
+    /// the job or I/O event the rule fires on).
+    ///
+    /// # Errors
+    ///
+    /// A usage-style message naming the offending rule.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut rules = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, rest) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault rule `{part}` needs the form kind@N"))?;
+            let bad_n = |_| format!("fault rule `{part}`: `{rest}` is not a valid ordinal");
+            let rule = match kind {
+                "panic" => (rest.parse().map_err(bad_n)?, Rule::Panic),
+                "cancel" => (rest.parse().map_err(bad_n)?, Rule::Cancel),
+                "short" => (rest.parse().map_err(bad_n)?, Rule::ShortWrite),
+                "reset" => (rest.parse().map_err(bad_n)?, Rule::Reset),
+                "delay" => {
+                    let (n, ms) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("fault rule `{part}` needs the form delay@N:MS"))?;
+                    let n = n.parse().map_err(|_| {
+                        format!("fault rule `{part}`: `{n}` is not a valid ordinal")
+                    })?;
+                    let ms = ms.parse().map_err(|_| {
+                        format!("fault rule `{part}`: `{ms}` is not a millisecond count")
+                    })?;
+                    (n, Rule::DelayMs(ms))
+                }
+                other => {
+                    return Err(format!(
+                    "unknown fault kind `{other}` (expected panic, cancel, delay, short or reset)"
+                ))
+                }
+            };
+            if rule.0 == 0 {
+                return Err(format!("fault rule `{part}`: ordinals are 1-based"));
+            }
+            rules.push(rule);
+        }
+        Ok(FaultPlan {
+            rules,
+            jobs: AtomicU64::new(0),
+            ios: AtomicU64::new(0),
+        })
+    }
+
+    /// Advances the job counter and returns the fault (if any) for this
+    /// job. Called once per request execution by the pool workers.
+    pub fn next_job(&self) -> JobFault {
+        let n = self.jobs.fetch_add(1, Ordering::Relaxed) + 1;
+        for &(at, rule) in &self.rules {
+            if at == n && rule.is_job() {
+                return match rule {
+                    Rule::Panic => JobFault::Panic,
+                    Rule::Cancel => JobFault::Cancel,
+                    _ => unreachable!("is_job filtered"),
+                };
+            }
+        }
+        JobFault::None
+    }
+
+    /// Advances the I/O counter and returns the fault (if any) for this
+    /// flush. Called once per connection flush that has pending bytes.
+    pub fn next_io(&self) -> IoFault {
+        let n = self.ios.fetch_add(1, Ordering::Relaxed) + 1;
+        for &(at, rule) in &self.rules {
+            if at == n && !rule.is_job() {
+                return match rule {
+                    Rule::DelayMs(ms) => IoFault::Delay(Duration::from_millis(ms)),
+                    Rule::ShortWrite => IoFault::ShortWrite,
+                    Rule::Reset => IoFault::Reset,
+                    _ => unreachable!("!is_job filtered"),
+                };
+            }
+        }
+        IoFault::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_fire_on_their_ordinal_and_only_there() {
+        let plan = FaultPlan::parse("panic@2,cancel@4").unwrap();
+        assert_eq!(plan.next_job(), JobFault::None);
+        assert_eq!(plan.next_job(), JobFault::Panic);
+        assert_eq!(plan.next_job(), JobFault::None);
+        assert_eq!(plan.next_job(), JobFault::Cancel);
+        assert_eq!(plan.next_job(), JobFault::None);
+    }
+
+    #[test]
+    fn io_and_job_counters_are_independent() {
+        let plan = FaultPlan::parse("panic@1,reset@1,delay@2:50,short@3").unwrap();
+        // Job events never see the I/O rules and vice versa.
+        assert_eq!(plan.next_io(), IoFault::Reset);
+        assert_eq!(plan.next_job(), JobFault::Panic);
+        assert_eq!(plan.next_io(), IoFault::Delay(Duration::from_millis(50)));
+        assert_eq!(plan.next_io(), IoFault::ShortWrite);
+        assert_eq!(plan.next_io(), IoFault::None);
+        assert_eq!(plan.next_job(), JobFault::None);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_the_offending_rule() {
+        for bad in [
+            "panic",
+            "panic@x",
+            "panic@0",
+            "delay@1",
+            "delay@1:x",
+            "warp@1",
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad}");
+        }
+        // The empty spec is a valid no-op plan.
+        let plan = FaultPlan::parse("").unwrap();
+        assert_eq!(plan.next_job(), JobFault::None);
+        assert_eq!(plan.next_io(), IoFault::None);
+    }
+}

@@ -43,6 +43,7 @@
 mod cache;
 mod event_loop;
 pub mod exec;
+mod fault;
 mod json;
 mod pool;
 mod proto;
@@ -50,13 +51,15 @@ mod stats;
 
 pub use cache::{CacheLimits, CacheStats, CompileCache, CompiledEntry, Lookup};
 pub use event_loop::{spawn_server, ServerConfig, ServerHandle};
+pub use fault::{FaultPlan, IoFault, JobFault};
 pub use json::Json;
 pub use pool::{default_jobs, run_ordered, WorkerPool};
 pub use proto::{
-    handle_line, handle_line_stats, handle_line_untrusted, handle_line_untrusted_stats, serve,
-    serve_stats, ServeReport,
+    handle_line, handle_line_stats, handle_line_untrusted, handle_line_untrusted_stats,
+    handle_line_untrusted_stats_limited, serve, serve_stats, serve_stats_limited, ExecLimits,
+    ServeReport, MAX_TIMEOUT_MS,
 };
 pub use stats::{
-    bin_hi, bin_lo, Counter, HistogramSnapshot, LatencyHistogram, StatsRegistry, COUNTERS, ENGINES,
-    N_BINS, VERBS,
+    bin_hi, bin_lo, Counter, HistogramSnapshot, InFlightGuard, LatencyHistogram, StatsRegistry,
+    COUNTERS, ENGINES, N_BINS, VERBS,
 };

@@ -8,7 +8,8 @@
 //! pairs back over an mpsc channel; the caller reassembles them in input
 //! order, so batch output is byte-stable regardless of scheduling.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
@@ -88,9 +89,18 @@ where
 /// no-tokio constraint as [`run_ordered`]: plain threads + channels).
 /// Dropping the pool closes the channel and joins every worker, so
 /// shutdown is deterministic — no detached threads survive the owner.
+///
+/// Job execution is **panic-isolated**: a `run` that panics is caught
+/// with `catch_unwind`, counted in [`WorkerPool::panics`], and the
+/// worker thread goes back to pulling jobs. One poisoned request can
+/// therefore never shrink the pool or stall the queue. Callers that
+/// must deliver a response even for a crashed job should arrange it via
+/// a drop guard inside `run` (the server's event loop does exactly
+/// that) — the pool itself only guarantees worker survival.
 pub struct WorkerPool<J: Send + 'static> {
     tx: Option<mpsc::Sender<J>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    panics: Arc<AtomicU64>,
 }
 
 impl<J: Send + 'static> WorkerPool<J> {
@@ -103,10 +113,12 @@ impl<J: Send + 'static> WorkerPool<J> {
         let (tx, rx) = mpsc::channel::<J>();
         let rx = Arc::new(Mutex::new(rx));
         let run = Arc::new(run);
+        let panics = Arc::new(AtomicU64::new(0));
         let workers = (0..workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let run = Arc::clone(&run);
+                let panics = Arc::clone(&panics);
                 std::thread::spawn(move || loop {
                     // Hold the lock only for the recv: a slow job must
                     // not serialize the other workers' pulls.
@@ -115,7 +127,16 @@ impl<J: Send + 'static> WorkerPool<J> {
                         Err(_) => break, // a worker panicked mid-recv
                     };
                     match job {
-                        Ok(job) => run(job),
+                        // AssertUnwindSafe: the worker never touches the
+                        // closure's captures again on the panic path, and
+                        // shared state (registry counters, completion
+                        // queue) is either atomic or behind a Mutex whose
+                        // poisoning its users handle.
+                        Ok(job) => {
+                            if catch_unwind(AssertUnwindSafe(|| run(job))).is_err() {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                         Err(_) => break, // channel closed: pool dropped
                     }
                 })
@@ -124,6 +145,7 @@ impl<J: Send + 'static> WorkerPool<J> {
         WorkerPool {
             tx: Some(tx),
             workers,
+            panics,
         }
     }
 
@@ -131,6 +153,13 @@ impl<J: Send + 'static> WorkerPool<J> {
     /// down (never happens while the pool is alive).
     pub fn submit(&self, job: J) -> bool {
         self.tx.as_ref().is_some_and(|tx| tx.send(job).is_ok())
+    }
+
+    /// Jobs whose `run` panicked (each one was caught; the worker
+    /// survived).
+    #[must_use]
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 }
 
@@ -206,6 +235,30 @@ mod tests {
         }
         drop(pool); // joins: every submitted job has run
         assert_eq!(done.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = Arc::clone(&done);
+            // One worker: if the panic killed it, every later job would
+            // hang in the channel and drop(pool) would lose them.
+            WorkerPool::new(1, move |n: usize| {
+                if n == 3 || n == 7 {
+                    panic!("injected job failure");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        for n in 0..10 {
+            assert!(pool.submit(n));
+        }
+        while done.load(Ordering::Relaxed) < 8 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(pool.panics(), 2);
+        drop(pool); // joins cleanly: the worker survived both panics
     }
 
     #[test]

@@ -18,14 +18,63 @@
 //! compile-cache counters.
 
 use std::io::{self, BufRead, Write};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use sna_core::Budget;
 use sna_lang::render_all;
 
 use crate::cache::{CompileCache, Lookup};
 use crate::exec::{self, AnalyzeEngine, AnalyzeParams, OptimizeParams};
 use crate::json::Json;
 use crate::stats::{Counter, StatsRegistry};
+
+/// Upper bound on a request's `timeout_ms` field (one hour) — the field
+/// exists to let clients *shorten* their deadline, not to schedule work
+/// into next week.
+pub const MAX_TIMEOUT_MS: usize = 3_600_000;
+
+/// Server-side execution limits applied to every request on a
+/// transport (the `--request-timeout` flag).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecLimits {
+    /// Hard cap on request execution time, enforced via a cooperative
+    /// [`Budget`]; also the effective deadline when a request passes no
+    /// `timeout_ms`. A request's own `timeout_ms` may only shorten it.
+    /// `None` = unlimited.
+    pub request_timeout: Option<Duration>,
+    /// Start the request's budget already cancelled, so it stops at its
+    /// first cooperative checkpoint (fault injection only — see
+    /// [`crate::FaultPlan`]).
+    pub pre_cancelled: bool,
+}
+
+impl ExecLimits {
+    /// The effective [`Budget`] of one request: the request's
+    /// `timeout_ms` clamped by the server cap (`min` of the two).
+    ///
+    /// # Errors
+    ///
+    /// A malformed `timeout_ms` field.
+    fn request_budget(&self, doc: &Json) -> Result<Budget, String> {
+        if self.pre_cancelled {
+            return Ok(Budget::pre_cancelled());
+        }
+        let requested = match doc.get("timeout_ms") {
+            None => None,
+            Some(_) => Some(Duration::from_millis(bounded_usize_field(
+                doc,
+                "timeout_ms",
+                0,
+                MAX_TIMEOUT_MS,
+            )? as u64)),
+        };
+        Ok(match (requested, self.request_timeout) {
+            (None, None) => Budget::unlimited(),
+            (Some(d), None) | (None, Some(d)) => Budget::with_timeout(d),
+            (Some(a), Some(b)) => Budget::with_timeout(a.min(b)),
+        })
+    }
+}
 
 /// What a serve loop processed, for the caller's logging.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -54,42 +103,80 @@ enum Peer {
 /// [`handle_line_stats`] when the caller keeps one.
 #[must_use]
 pub fn handle_line(cache: &CompileCache, line: &str) -> Json {
-    handle(cache, &StatsRegistry::new(), line, Peer::Trusted)
+    handle(
+        cache,
+        &StatsRegistry::new(),
+        line,
+        Peer::Trusted,
+        &ExecLimits::default(),
+    )
 }
 
 /// Like [`handle_line`], but refuses `path` requests — the handler
 /// behind every TCP connection.
 #[must_use]
 pub fn handle_line_untrusted(cache: &CompileCache, line: &str) -> Json {
-    handle(cache, &StatsRegistry::new(), line, Peer::Untrusted)
+    handle(
+        cache,
+        &StatsRegistry::new(),
+        line,
+        Peer::Untrusted,
+        &ExecLimits::default(),
+    )
 }
 
 /// [`handle_line`] recording into the caller's [`StatsRegistry`].
 #[must_use]
 pub fn handle_line_stats(cache: &CompileCache, stats: &StatsRegistry, line: &str) -> Json {
-    handle(cache, stats, line, Peer::Trusted)
+    handle(cache, stats, line, Peer::Trusted, &ExecLimits::default())
 }
 
 /// [`handle_line_untrusted`] recording into the caller's
-/// [`StatsRegistry`] — the function every event-loop worker runs.
+/// [`StatsRegistry`].
 #[must_use]
 pub fn handle_line_untrusted_stats(
     cache: &CompileCache,
     stats: &StatsRegistry,
     line: &str,
 ) -> Json {
-    handle(cache, stats, line, Peer::Untrusted)
+    handle(cache, stats, line, Peer::Untrusted, &ExecLimits::default())
 }
 
-fn handle(cache: &CompileCache, stats: &StatsRegistry, line: &str, peer: Peer) -> Json {
+/// [`handle_line_untrusted_stats`] under the server's [`ExecLimits`] —
+/// the function every event-loop worker runs.
+#[must_use]
+pub fn handle_line_untrusted_stats_limited(
+    cache: &CompileCache,
+    stats: &StatsRegistry,
+    limits: &ExecLimits,
+    line: &str,
+) -> Json {
+    handle(cache, stats, line, Peer::Untrusted, limits)
+}
+
+fn handle(
+    cache: &CompileCache,
+    stats: &StatsRegistry,
+    line: &str,
+    peer: Peer,
+    limits: &ExecLimits,
+) -> Json {
     let started = Instant::now();
     // Received-request count, bumped up front so the `stats` verb's own
     // response includes itself; its latency histogram entry (recorded
     // after the response is built) lands one request behind.
     stats.bump(Counter::Requests);
-    let response = handle_inner(cache, stats, line, peer, started);
+    let _in_flight = stats.begin_request();
+    let response = handle_inner(cache, stats, line, peer, limits, started);
     if response.get("ok").and_then(Json::as_bool) != Some(true) {
         stats.bump(Counter::Errors);
+        // Budget overruns render as exactly these strings (the exec
+        // layer passes them through verbatim for this classification).
+        match response.get("error").and_then(Json::as_str) {
+            Some("deadline exceeded") => stats.bump(Counter::Timeouts),
+            Some("request cancelled") => stats.bump(Counter::Cancelled),
+            _ => {}
+        }
     }
     response
 }
@@ -99,6 +186,7 @@ fn handle_inner(
     stats: &StatsRegistry,
     line: &str,
     peer: Peer,
+    limits: &ExecLimits,
     started: Instant,
 ) -> Json {
     let doc = match Json::parse(line) {
@@ -109,7 +197,7 @@ fn handle_inner(
     let Some(cmd) = doc.get("cmd").and_then(Json::as_str) else {
         return error_response(id, "request needs a string `cmd` field".to_string());
     };
-    let outcome = dispatch(cache, stats, cmd, &doc, peer);
+    let outcome = dispatch(cache, stats, cmd, &doc, peer, limits);
     let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     stats.record_verb(cmd, elapsed_us);
     match outcome {
@@ -178,6 +266,7 @@ fn dispatch(
     cmd: &str,
     doc: &Json,
     peer: Peer,
+    limits: &ExecLimits,
 ) -> Result<Dispatched, String> {
     if cmd == "stats" {
         let s = cache.stats();
@@ -215,6 +304,10 @@ fn dispatch(
     }
 
     let (source, origin) = request_source(doc, peer)?;
+    // The execution budget starts here, *before* compilation — a cached
+    // entry makes compilation ~free, but the deadline covers the whole
+    // request either way.
+    let budget = limits.request_budget(doc)?;
     let (entry, lookup) = cache
         .get_or_compile(&source)
         .map_err(|diags| render_all(&diags, &source, &origin))?;
@@ -240,7 +333,7 @@ fn dispatch(
                     .ok_or_else(|| "`pdf` must be a boolean".to_string())?,
                 None => true,
             };
-            let report = exec::analyze_report(&entry, &params)?;
+            let report = exec::analyze_report_budgeted(&entry, &params, &budget)?;
             engine_used = Some((
                 report.engine.name(),
                 u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX),
@@ -289,7 +382,7 @@ fn dispatch(
                     .ok_or_else(|| "`pdf` must be a boolean".to_string())?,
                 None => true,
             };
-            let report = exec::simulate(&entry, &params)?;
+            let report = exec::simulate_budgeted(&entry, &params, &budget)?;
             engine_used = Some((
                 "simulate",
                 u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX),
@@ -323,7 +416,7 @@ fn dispatch(
                 restarts: bounded_usize_field(doc, "restarts", 1, 64)?,
                 threads: bounded_usize_field(doc, "threads", 0, 64)?,
             };
-            let out = exec::optimize(&entry.session, &params)?;
+            let out = exec::optimize_budgeted(&entry.session, &params, &budget)?;
             Json::Obj(vec![
                 ("budget".into(), Json::Num(out.budget)),
                 ("reference".into(), exec::eval_json(&out.reference)),
@@ -463,6 +556,7 @@ pub fn serve<R: BufRead, W: Write>(
         cache,
         &StatsRegistry::new(),
         Peer::Trusted,
+        &ExecLimits::default(),
     )
 }
 
@@ -478,7 +572,30 @@ pub fn serve_stats<R: BufRead, W: Write>(
     cache: &CompileCache,
     stats: &StatsRegistry,
 ) -> io::Result<ServeReport> {
-    serve_peer(reader, &mut writer, cache, stats, Peer::Trusted)
+    serve_peer(
+        reader,
+        &mut writer,
+        cache,
+        stats,
+        Peer::Trusted,
+        &ExecLimits::default(),
+    )
+}
+
+/// [`serve_stats`] under the caller's [`ExecLimits`] — the stdio
+/// transport behind `sna serve --request-timeout`.
+///
+/// # Errors
+///
+/// Same as [`serve`].
+pub fn serve_stats_limited<R: BufRead, W: Write>(
+    reader: R,
+    mut writer: W,
+    cache: &CompileCache,
+    stats: &StatsRegistry,
+    limits: &ExecLimits,
+) -> io::Result<ServeReport> {
+    serve_peer(reader, &mut writer, cache, stats, Peer::Trusted, limits)
 }
 
 /// Upper bound on one request line. Real `.sna` sources are kilobytes;
@@ -492,6 +609,7 @@ fn serve_peer<R: BufRead, W: Write>(
     cache: &CompileCache,
     stats: &StatsRegistry,
     peer: Peer,
+    limits: &ExecLimits,
 ) -> io::Result<ServeReport> {
     let mut report = ServeReport::default();
     let mut line = String::new();
@@ -520,7 +638,13 @@ fn serve_peer<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle(cache, stats, line.trim_end_matches(['\n', '\r']), peer);
+        let response = handle(
+            cache,
+            stats,
+            line.trim_end_matches(['\n', '\r']),
+            peer,
+            limits,
+        );
         report.requests += 1;
         if response.get("ok").and_then(Json::as_bool) != Some(true) {
             report.errors += 1;
@@ -554,6 +678,16 @@ pub(crate) fn draining_error_line(id: Option<Json>) -> String {
 pub(crate) fn oversize_error_line() -> String {
     let mut line =
         error_response(None, format!("request line exceeds {MAX_LINE_BYTES} bytes")).to_compact();
+    line.push('\n');
+    line
+}
+
+/// The one-line answer a request gets when its execution panicked in a
+/// worker: the completion guard in the event loop delivers this so the
+/// peer always sees a structured failure, never a silent drop.
+pub(crate) fn internal_error_line(id: Option<Json>) -> String {
+    let mut line =
+        error_response(id, "internal error: request execution panicked".to_string()).to_compact();
     line.push('\n');
     line
 }

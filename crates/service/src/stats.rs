@@ -30,6 +30,7 @@
 //! tests against exact quantiles on synthetic data below.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use crate::json::Json;
 
@@ -71,10 +72,20 @@ pub enum Counter {
     Requests,
     /// Responses with `"ok": false` (malformed, refused, failed).
     Errors,
+    /// Requests that overran their execution deadline and were answered
+    /// with the structured `deadline exceeded` error (also counted in
+    /// `errors`).
+    Timeouts,
+    /// Requests stopped by a cancellation flag, answered with `request
+    /// cancelled` (also counted in `errors`).
+    Cancelled,
+    /// Request executions that panicked; the worker survived and the
+    /// peer got an `internal error` response (also counted in `errors`).
+    Panics,
 }
 
 /// All counters, in the order they serialize.
-pub const COUNTERS: [Counter; 8] = [
+pub const COUNTERS: [Counter; 11] = [
     Counter::Accepted,
     Counter::Rejected,
     Counter::Backpressured,
@@ -83,6 +94,9 @@ pub const COUNTERS: [Counter; 8] = [
     Counter::Closed,
     Counter::Requests,
     Counter::Errors,
+    Counter::Timeouts,
+    Counter::Cancelled,
+    Counter::Panics,
 ];
 
 impl Counter {
@@ -98,6 +112,9 @@ impl Counter {
             Counter::Closed => "closed",
             Counter::Requests => "requests",
             Counter::Errors => "errors",
+            Counter::Timeouts => "timeouts",
+            Counter::Cancelled => "cancelled",
+            Counter::Panics => "panics",
         }
     }
 
@@ -111,6 +128,9 @@ impl Counter {
             Counter::Closed => 5,
             Counter::Requests => 6,
             Counter::Errors => 7,
+            Counter::Timeouts => 8,
+            Counter::Cancelled => 9,
+            Counter::Panics => 10,
         }
     }
 }
@@ -286,11 +306,45 @@ impl HistogramSnapshot {
 
 /// The server's stats registry: one instance shared (behind an `Arc`)
 /// by the reactor, the worker threads, and every request handler.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StatsRegistry {
     counters: [AtomicU64; COUNTERS.len()],
     verbs: [LatencyHistogram; VERBS.len()],
     engines: [LatencyHistogram; ENGINES.len()],
+    /// Requests currently executing (gauge, not a counter): bumped by
+    /// [`StatsRegistry::begin_request`], decremented when its guard
+    /// drops — including during a panic unwind, so the gauge reconciles
+    /// to zero after every fault.
+    in_flight: AtomicU64,
+    /// When this registry was created (serves as the server's start
+    /// time for `uptime_us`).
+    started: Instant,
+}
+
+impl Default for StatsRegistry {
+    fn default() -> Self {
+        StatsRegistry {
+            counters: Default::default(),
+            verbs: Default::default(),
+            engines: Default::default(),
+            in_flight: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// Decrements the registry's in-flight gauge on drop; returned by
+/// [`StatsRegistry::begin_request`]. Drop runs during panic unwinds
+/// too, so a crashed request never leaks a gauge increment.
+#[derive(Debug)]
+pub struct InFlightGuard<'a> {
+    registry: &'a StatsRegistry,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.registry.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl StatsRegistry {
@@ -298,6 +352,25 @@ impl StatsRegistry {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Marks one request as executing until the returned guard drops.
+    #[must_use]
+    pub fn begin_request(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { registry: self }
+    }
+
+    /// Requests currently executing.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds since this registry was created.
+    #[must_use]
+    pub fn uptime_us(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
     /// Increments a counter by one.
@@ -374,6 +447,16 @@ impl StatsRegistry {
             .collect();
         Json::Obj(vec![
             ("counters".into(), Json::Obj(counters)),
+            (
+                // A gauge, not a counter: requests executing right now.
+                // A `stats` request sees at least itself here.
+                "in_flight".into(),
+                Json::int(usize::try_from(self.in_flight()).unwrap_or(usize::MAX)),
+            ),
+            (
+                "uptime_us".into(),
+                Json::int(usize::try_from(self.uptime_us()).unwrap_or(usize::MAX)),
+            ),
             ("verbs".into(), Json::Obj(verbs)),
             ("engines".into(), Json::Obj(engines)),
         ])
@@ -530,6 +613,36 @@ mod tests {
         assert_eq!(analyze.get("total_us").and_then(Json::as_f64), Some(4000.0));
         assert!(analyze.get("p99_us").and_then(Json::as_f64).unwrap() >= 1500.0);
         assert!(json.get("engines").unwrap().get("lti").is_some());
+    }
+
+    #[test]
+    fn in_flight_gauge_and_fault_counters_reconcile() {
+        let r = StatsRegistry::new();
+        assert_eq!(r.in_flight(), 0);
+        {
+            let _a = r.begin_request();
+            let _b = r.begin_request();
+            assert_eq!(r.in_flight(), 2);
+        }
+        assert_eq!(r.in_flight(), 0);
+        // The guard decrements during a panic unwind too.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = r.begin_request();
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(r.in_flight(), 0);
+
+        r.bump(Counter::Timeouts);
+        r.bump(Counter::Cancelled);
+        r.bump(Counter::Panics);
+        let json = r.to_json();
+        let counters = json.get("counters").unwrap();
+        assert_eq!(counters.get("timeouts").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(counters.get("cancelled").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(counters.get("panics").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(json.get("in_flight").and_then(Json::as_f64), Some(0.0));
+        assert!(json.get("uptime_us").and_then(Json::as_f64).is_some());
     }
 
     #[test]

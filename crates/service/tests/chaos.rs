@@ -1,0 +1,383 @@
+//! Chaos suite: the deterministic fault matrix from `--fault-plan`,
+//! driven over TCP against the same reactor + worker-pool code the
+//! production binary runs (the hooks are plain runtime state — nothing
+//! here is `#[cfg]`-gated into existence).
+//!
+//! Each scenario asserts *exact* registry reconciliation, not
+//! eventually-consistent bounds: the fault plans are deterministic and
+//! the clients are sequential, so after a clean drain every counter has
+//! one correct value. The panic and reset scenarios — the two that
+//! kill things mid-flight — run five rounds on fresh servers as a
+//! flake check.
+//!
+//! Every test binds `127.0.0.1:0`; sandboxes that forbid binding skip.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sna_service::{
+    spawn_server, CompileCache, Counter, FaultPlan, Json, ServerConfig, ServerHandle, StatsRegistry,
+};
+
+const SRC: &str = r"input x in [-1, 1];\ny = 0.5*x;\noutput y;\n";
+
+fn start(config: ServerConfig) -> Option<(ServerHandle, Arc<StatsRegistry>)> {
+    let listener = match TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("skipping chaos test (bind failed: {e})");
+            return None;
+        }
+    };
+    let stats = Arc::new(StatsRegistry::new());
+    let handle = spawn_server(
+        listener,
+        Arc::new(CompileCache::new()),
+        Arc::clone(&stats),
+        config,
+    )
+    .unwrap();
+    Some((handle, stats))
+}
+
+fn faulted(spec: &str) -> ServerConfig {
+    ServerConfig {
+        fault_plan: Some(Arc::new(FaultPlan::parse(spec).unwrap())),
+        ..ServerConfig::default()
+    }
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) {
+    let framed = format!("{line}\n");
+    stream.write_all(framed.as_bytes()).unwrap();
+    stream.flush().unwrap();
+}
+
+fn read_json(reader: &mut BufReader<TcpStream>) -> Json {
+    let mut line = String::new();
+    assert!(
+        reader.read_line(&mut line).unwrap() > 0,
+        "server hung up before answering"
+    );
+    Json::parse(line.trim()).unwrap_or_else(|e| panic!("unparsable response {line}: {e}"))
+}
+
+fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+/// The acceptance scenario: a `timeout_ms: 1` budget against a
+/// million-path Monte-Carlo sweep comes back as a structured deadline
+/// error almost immediately — the VM abandons the sweep at a chunk
+/// checkpoint instead of finishing it — while a concurrent `analyze` on
+/// another connection completes normally.
+#[test]
+fn a_deadline_inside_vm_simulate_answers_fast_while_analyze_completes() {
+    let Some((handle, stats)) = start(ServerConfig::default()) else {
+        return;
+    };
+
+    let analyze = {
+        let (mut stream, mut reader) = connect(&handle);
+        std::thread::spawn(move || {
+            send_line(
+                &mut stream,
+                &format!(r#"{{"cmd": "analyze", "source": "{SRC}", "bits": 8, "pdf": false}}"#),
+            );
+            read_json(&mut reader)
+        })
+    };
+
+    let (mut stream, mut reader) = connect(&handle);
+    let started = Instant::now();
+    send_line(
+        &mut stream,
+        &format!(
+            r#"{{"cmd": "simulate", "source": "{SRC}", "timeout_ms": 1, "paths": 1000000, "pdf": false}}"#
+        ),
+    );
+    let resp = read_json(&mut reader);
+    let elapsed = started.elapsed();
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{resp}"
+    );
+    assert_eq!(
+        resp.get("error").and_then(Json::as_str),
+        Some("deadline exceeded")
+    );
+    // <100ms is the release-build acceptance bound; debug builds get
+    // slack for their slower per-chunk checkpoint spacing.
+    let bound = if cfg!(debug_assertions) { 500 } else { 100 };
+    assert!(
+        elapsed < Duration::from_millis(bound),
+        "deadline error took {elapsed:?} (bound {bound}ms)"
+    );
+
+    let concurrent = analyze.join().unwrap();
+    assert_eq!(
+        concurrent.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "the unbudgeted analyze must be untouched by the neighbour's deadline: {concurrent}"
+    );
+
+    drop((stream, reader));
+    handle.shutdown_and_join().unwrap();
+    assert_eq!(stats.get(Counter::Requests), 2);
+    assert_eq!(stats.get(Counter::Errors), 1);
+    assert_eq!(stats.get(Counter::Timeouts), 1);
+    assert_eq!(stats.get(Counter::Cancelled), 0);
+    assert_eq!(stats.get(Counter::Panics), 0);
+    assert_eq!(stats.in_flight(), 0);
+}
+
+/// `--request-timeout` is a server-wide cap: a request that asks for
+/// *more* is clamped down to it, and a request that asks for nothing
+/// still gets it.
+#[test]
+fn the_server_cap_bounds_requests_that_ask_for_more_or_nothing() {
+    let config = ServerConfig {
+        request_timeout: Some(Duration::from_millis(5)),
+        ..ServerConfig::default()
+    };
+    let Some((handle, stats)) = start(config) else {
+        return;
+    };
+    let (mut stream, mut reader) = connect(&handle);
+
+    // No `timeout_ms`: the server cap alone stops the sweep.
+    send_line(
+        &mut stream,
+        &format!(r#"{{"cmd": "simulate", "source": "{SRC}", "paths": 1000000, "pdf": false}}"#),
+    );
+    let capped = read_json(&mut reader);
+    assert_eq!(
+        capped.get("error").and_then(Json::as_str),
+        Some("deadline exceeded"),
+        "{capped}"
+    );
+
+    // An hour-long `timeout_ms` cannot out-ask the 5ms server cap.
+    send_line(
+        &mut stream,
+        &format!(
+            r#"{{"cmd": "simulate", "source": "{SRC}", "timeout_ms": 3600000, "paths": 1000000, "pdf": false}}"#
+        ),
+    );
+    let clamped = read_json(&mut reader);
+    assert_eq!(
+        clamped.get("error").and_then(Json::as_str),
+        Some("deadline exceeded"),
+        "{clamped}"
+    );
+
+    // A cheap request still fits comfortably inside 5ms.
+    send_line(
+        &mut stream,
+        &format!(r#"{{"cmd": "parse", "source": "{SRC}"}}"#),
+    );
+    let quick = read_json(&mut reader);
+    assert_eq!(
+        quick.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{quick}"
+    );
+
+    drop((stream, reader));
+    handle.shutdown_and_join().unwrap();
+    assert_eq!(stats.get(Counter::Requests), 3);
+    assert_eq!(stats.get(Counter::Timeouts), 2);
+    assert_eq!(stats.in_flight(), 0);
+}
+
+/// The panic leg of the matrix, five rounds on fresh servers: the
+/// injected worker panic yields a structured `internal error` response
+/// (the completion guard), the worker survives (`catch_unwind`), the
+/// server keeps answering, and every counter reconciles exactly.
+#[test]
+fn an_injected_worker_panic_leaves_the_server_answering() {
+    for round in 0..5 {
+        let Some((handle, stats)) = start(faulted("panic@2")) else {
+            return;
+        };
+        let (mut stream, mut reader) = connect(&handle);
+
+        send_line(
+            &mut stream,
+            &format!(r#"{{"id": 1, "cmd": "parse", "source": "{SRC}"}}"#),
+        );
+        let first = read_json(&mut reader);
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+
+        // Job #2 panics inside the worker before the handler runs.
+        send_line(
+            &mut stream,
+            &format!(r#"{{"id": 2, "cmd": "analyze", "source": "{SRC}", "pdf": false}}"#),
+        );
+        let crashed = read_json(&mut reader);
+        assert_eq!(crashed.get("id").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(crashed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            crashed.get("error").and_then(Json::as_str),
+            Some("internal error: request execution panicked"),
+            "round {round}: {crashed}"
+        );
+
+        // Same connection, same pool: the worker is still alive.
+        send_line(
+            &mut stream,
+            &format!(r#"{{"id": 3, "cmd": "parse", "source": "{SRC}"}}"#),
+        );
+        let after = read_json(&mut reader);
+        assert_eq!(after.get("ok").and_then(Json::as_bool), Some(true));
+
+        // Both events visible over the wire via the stats verb.
+        send_line(&mut stream, r#"{"cmd": "stats"}"#);
+        let report = read_json(&mut reader);
+        let counters = report.get("result").unwrap().get("counters").unwrap();
+        assert_eq!(counters.get("panics").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(counters.get("errors").and_then(Json::as_f64), Some(1.0));
+
+        drop((stream, reader));
+        handle.shutdown_and_join().unwrap();
+        assert_eq!(stats.get(Counter::Requests), 4, "round {round}");
+        assert_eq!(stats.get(Counter::Errors), 1, "round {round}");
+        assert_eq!(stats.get(Counter::Panics), 1, "round {round}");
+        assert_eq!(stats.get(Counter::Timeouts), 0, "round {round}");
+        assert_eq!(stats.in_flight(), 0, "round {round}");
+        assert_eq!(stats.get(Counter::Closed), 1, "round {round}");
+    }
+}
+
+/// The reset leg of the matrix, five rounds: the I/O hook kills the
+/// connection at its second flush, the response in flight is dropped
+/// with it, a fresh connection still works, and after the drain the
+/// registry reconciles (the executed-but-undeliverable request is
+/// still counted — it ran).
+#[test]
+fn a_connection_reset_mid_pipeline_reconciles_and_the_server_survives() {
+    for round in 0..5 {
+        let Some((handle, stats)) = start(faulted("reset@2")) else {
+            return;
+        };
+        let (mut stream, mut reader) = connect(&handle);
+
+        // Flush #1 delivers the warm response…
+        send_line(
+            &mut stream,
+            &format!(r#"{{"id": 1, "cmd": "parse", "source": "{SRC}"}}"#),
+        );
+        let warm = read_json(&mut reader);
+        assert_eq!(warm.get("ok").and_then(Json::as_bool), Some(true));
+
+        // …flush #2 (this response) resets the connection instead.
+        send_line(
+            &mut stream,
+            &format!(r#"{{"id": 2, "cmd": "analyze", "source": "{SRC}", "pdf": false}}"#),
+        );
+        let mut rest = String::new();
+        assert_eq!(
+            reader.read_line(&mut rest).unwrap_or(0),
+            0,
+            "round {round}: expected EOF after the injected reset, got {rest:?}"
+        );
+        drop((stream, reader));
+
+        // The reactor shrugged off the dead connection; new peers work.
+        let (mut stream, mut reader) = connect(&handle);
+        send_line(
+            &mut stream,
+            &format!(r#"{{"id": 3, "cmd": "parse", "source": "{SRC}"}}"#),
+        );
+        let fresh = read_json(&mut reader);
+        assert_eq!(fresh.get("ok").and_then(Json::as_bool), Some(true));
+        drop((stream, reader));
+
+        handle.shutdown_and_join().unwrap();
+        // Three requests executed (the dropped analyze included), none
+        // failed, nothing panicked, and both connections closed.
+        assert_eq!(stats.get(Counter::Requests), 3, "round {round}");
+        assert_eq!(stats.get(Counter::Errors), 0, "round {round}");
+        assert_eq!(stats.get(Counter::Panics), 0, "round {round}");
+        assert_eq!(stats.get(Counter::Accepted), 2, "round {round}");
+        assert_eq!(stats.get(Counter::Closed), 2, "round {round}");
+        assert_eq!(stats.in_flight(), 0, "round {round}");
+    }
+}
+
+/// An injected cancellation runs the request against a pre-cancelled
+/// budget: it stops at its first cooperative checkpoint with the
+/// structured `request cancelled` error and lands in the `cancelled`
+/// counter.
+#[test]
+fn an_injected_cancel_stops_at_the_first_checkpoint() {
+    let Some((handle, stats)) = start(faulted("cancel@1")) else {
+        return;
+    };
+    let (mut stream, mut reader) = connect(&handle);
+    send_line(
+        &mut stream,
+        &format!(r#"{{"cmd": "analyze", "source": "{SRC}", "pdf": false}}"#),
+    );
+    let resp = read_json(&mut reader);
+    assert_eq!(
+        resp.get("error").and_then(Json::as_str),
+        Some("request cancelled"),
+        "{resp}"
+    );
+    // The next request runs normally — the fault was one-shot.
+    send_line(
+        &mut stream,
+        &format!(r#"{{"cmd": "analyze", "source": "{SRC}", "pdf": false}}"#),
+    );
+    let next = read_json(&mut reader);
+    assert_eq!(next.get("ok").and_then(Json::as_bool), Some(true), "{next}");
+
+    drop((stream, reader));
+    handle.shutdown_and_join().unwrap();
+    assert_eq!(stats.get(Counter::Requests), 2);
+    assert_eq!(stats.get(Counter::Errors), 1);
+    assert_eq!(stats.get(Counter::Cancelled), 1);
+    assert_eq!(stats.get(Counter::Panics), 0);
+    assert_eq!(stats.in_flight(), 0);
+}
+
+/// Pathological flushing — a one-byte short write, then a delayed
+/// flush — must dribble the very same bytes out: responses arrive
+/// intact and parseable, just later.
+#[test]
+fn short_writes_and_delays_do_not_corrupt_responses() {
+    let Some((handle, stats)) = start(faulted("short@1,delay@2:20")) else {
+        return;
+    };
+    let (mut stream, mut reader) = connect(&handle);
+    send_line(
+        &mut stream,
+        &format!(r#"{{"id": 1, "cmd": "analyze", "source": "{SRC}", "pdf": true}}"#),
+    );
+    let dribbled = read_json(&mut reader);
+    assert_eq!(
+        dribbled.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{dribbled}"
+    );
+    assert_eq!(dribbled.get("id").and_then(Json::as_f64), Some(1.0));
+
+    send_line(
+        &mut stream,
+        &format!(r#"{{"id": 2, "cmd": "parse", "source": "{SRC}"}}"#),
+    );
+    let clean = read_json(&mut reader);
+    assert_eq!(clean.get("ok").and_then(Json::as_bool), Some(true));
+
+    drop((stream, reader));
+    handle.shutdown_and_join().unwrap();
+    assert_eq!(stats.get(Counter::Requests), 2);
+    assert_eq!(stats.get(Counter::Errors), 0);
+    assert_eq!(stats.in_flight(), 0);
+}

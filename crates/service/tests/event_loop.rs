@@ -102,6 +102,14 @@ fn sixty_four_concurrent_peers_and_the_registry_reconciles() {
         Some((PEERS + 1) as f64)
     );
     assert_eq!(counters.get("rejected").and_then(Json::as_f64), Some(0.0));
+    // No faults were injected and no budgets were set: the failure
+    // counters stay zero, and the only request in flight while `stats`
+    // renders is the `stats` request itself.
+    assert_eq!(counters.get("timeouts").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(counters.get("cancelled").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(counters.get("panics").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(result.get("in_flight").and_then(Json::as_f64), Some(1.0));
+    assert!(result.get("uptime_us").and_then(Json::as_f64).unwrap() > 0.0);
     drop((stream, reader));
 
     handle.shutdown_and_join().unwrap();
@@ -111,6 +119,7 @@ fn sixty_four_concurrent_peers_and_the_registry_reconciles() {
     // engine for this combinational source.
     assert_eq!(stats.get(Counter::Requests), (PEERS * PER_PEER + 1) as u64);
     assert_eq!(stats.get(Counter::Errors), 0);
+    assert_eq!(stats.in_flight(), 0, "the gauge reconciles after drain");
     let verb_total: u64 = sna_service::VERBS
         .iter()
         .filter_map(|v| stats.verb(v))

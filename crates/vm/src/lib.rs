@@ -32,7 +32,7 @@ mod simulate;
 
 pub use exec::{Executable, VmState};
 pub use program::{Inst, OpCode, Program, Reg};
-pub use simulate::{simulate, OutputStats, SimOptions};
+pub use simulate::{simulate, simulate_with, OutputStats, SimOptions};
 
 use sna_dfg::NodeId;
 use sna_hist::HistError;
@@ -57,6 +57,9 @@ pub enum VmError {
     NoSamples,
     /// Building the empirical error histogram failed.
     Histogram(HistError),
+    /// The simulation was stopped by its caller's cancellation check
+    /// before every chunk completed (see [`simulate_with`]).
+    Cancelled,
 }
 
 impl std::fmt::Display for VmError {
@@ -72,6 +75,7 @@ impl std::fmt::Display for VmError {
                 write!(f, "no samples to simulate (paths = 0 or steps <= warmup)")
             }
             VmError::Histogram(e) => write!(f, "error histogram: {e}"),
+            VmError::Cancelled => write!(f, "simulation cancelled"),
         }
     }
 }

@@ -108,6 +108,29 @@ pub fn simulate(
     input_ranges: &[Interval],
     opts: &SimOptions,
 ) -> Result<Vec<OutputStats>, VmError> {
+    simulate_with(exe, input_ranges, opts, &|| false)
+}
+
+/// [`simulate`] with a cooperative cancellation check, consulted before
+/// every chunk claim (a chunk is the smallest unit of work — at most
+/// 512 lanes × `steps` instruction sweeps).  When `cancelled` returns
+/// `true` the remaining chunks are abandoned and the call fails with
+/// [`VmError::Cancelled`]; chunks already computed are discarded.
+///
+/// The check must be cheap (an atomic load, a deadline comparison): with
+/// many workers it runs once per chunk per worker.  A check that never
+/// fires leaves the result bit-identical to [`simulate`].
+///
+/// # Errors
+///
+/// [`VmError::Cancelled`] when the check fires; otherwise as
+/// [`simulate`].
+pub fn simulate_with(
+    exe: &Executable,
+    input_ranges: &[Interval],
+    opts: &SimOptions,
+    cancelled: &(dyn Fn() -> bool + Sync),
+) -> Result<Vec<OutputStats>, VmError> {
     if opts.paths == 0 || opts.steps <= opts.warmup {
         return Err(VmError::NoSamples);
     }
@@ -161,9 +184,20 @@ pub fn simulate(
     };
 
     // Deterministic fan-out: workers steal chunk indices from a cursor;
-    // results are reassembled in chunk order before merging.
+    // results are reassembled in chunk order before merging.  The
+    // cancellation check gates every chunk claim; a chunk abandoned to
+    // cancellation leaves its slot empty, which the merge reads as
+    // `Cancelled` (never a panic).
     let chunks: Vec<Result<ChunkSamples, VmError>> = if workers == 1 {
-        (0..n_chunks).map(run_chunk).collect()
+        (0..n_chunks)
+            .map(|i| {
+                if cancelled() {
+                    Err(VmError::Cancelled)
+                } else {
+                    run_chunk(i)
+                }
+            })
+            .collect()
     } else {
         let cursor = std::sync::atomic::AtomicUsize::new(0);
         let results: Vec<std::sync::Mutex<Option<Result<ChunkSamples, VmError>>>> =
@@ -171,6 +205,9 @@ pub fn simulate(
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if cancelled() {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= n_chunks {
                         break;
@@ -184,7 +221,7 @@ pub fn simulate(
             .map(|slot| {
                 slot.into_inner()
                     .expect("chunk slot lock")
-                    .expect("every chunk computed")
+                    .unwrap_or(Err(VmError::Cancelled))
             })
             .collect()
     };
@@ -288,6 +325,31 @@ mod tests {
         assert_eq!(a[0].mean.to_bits(), b[0].mean.to_bits());
         let c = simulate(&exe, &ranges, &SimOptions { seed: 1, ..opts }).unwrap();
         assert_ne!(a[0].mean.to_bits(), c[0].mean.to_bits());
+    }
+
+    #[test]
+    fn cancellation_stops_the_fan_out() {
+        let (exe, ranges) = toy_exe();
+        let opts = SimOptions {
+            paths: 10_000,
+            steps: 1,
+            warmup: 0,
+            workers: 4,
+            ..SimOptions::default()
+        };
+        // Already-cancelled: both the serial and parallel paths fail.
+        for workers in [1, 4] {
+            let opts = SimOptions { workers, ..opts };
+            assert!(matches!(
+                simulate_with(&exe, &ranges, &opts, &|| true),
+                Err(VmError::Cancelled)
+            ));
+        }
+        // A check that never fires leaves the report bit-identical.
+        let a = simulate(&exe, &ranges, &opts).unwrap();
+        let b = simulate_with(&exe, &ranges, &opts, &|| false).unwrap();
+        assert_eq!(a[0].mean.to_bits(), b[0].mean.to_bits());
+        assert_eq!(a[0].variance.to_bits(), b[0].variance.to_bits());
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use sna::core::{AnalysisRequest, EngineKind, Session, WlChoice};
+//! use sna::core::{AnalysisRequest, Budget, EngineKind, Session, WlChoice};
 //! use sna::dfg::DfgBuilder;
 //! use sna::interval::Interval;
 //!
@@ -53,6 +53,7 @@
 //!     words: WlChoice::Uniform(12),
 //!     bins: 64,
 //!     include_pdf: true,
+//!     budget: Budget::unlimited(),
 //! })?;
 //! let noise = &report.reports[0].1;
 //! println!("[{}] error ∈ [{:.2e}, {:.2e}], σ = {:.2e}",
