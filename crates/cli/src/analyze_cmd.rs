@@ -25,7 +25,7 @@ use crate::Json;
 
 const USAGE: &str = "sna analyze <file>.sna... [--manifest list.txt] [--jobs N] \
                      [--engine auto|na|dfg|lti|symbolic|cartesian] \
-                     [--bits N] [--bins N] [--format human|json]";
+                     [--bits N] [--bins N] [--store-dir DIR] [--format human|json]";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
@@ -36,6 +36,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let mut bins: usize = 64;
     let mut jobs: usize = sna_service::default_jobs();
     let mut manifest: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     while let Some(flag) = args.next_flag() {
         match flag {
             "format" => format = parse_format(args.value("format")?)?,
@@ -46,15 +47,25 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             "bins" => bins = args.parse_value("bins")?,
             "jobs" => jobs = parse_jobs(&mut args)?,
             "manifest" => manifest = Some(args.value("manifest")?.to_string()),
+            "store-dir" => store_dir = Some(args.value("store-dir")?.to_string()),
             other => return Err(unknown_flag(other, USAGE)),
         }
     }
     let (files, batch) = collect_files(args.files(), manifest.as_deref(), USAGE)?;
     let params = AnalyzeParams { engine, bits, bins };
-    run_batch("analyze", files, batch, jobs, format, |path, entry| {
-        let reports = exec::analyze(entry, &params).map_err(CliError::Failed)?;
-        Ok(render(path, engine, bits, bins, format, &reports))
-    })
+    let store_dir = store_dir.as_deref();
+    run_batch(
+        "analyze",
+        files,
+        batch,
+        jobs,
+        format,
+        store_dir,
+        |path, entry| {
+            let reports = exec::analyze(entry, &params).map_err(CliError::Failed)?;
+            Ok(render(path, engine, bits, bins, format, &reports))
+        },
+    )
 }
 
 /// One file's output — exactly the historical single-file form.

@@ -13,6 +13,7 @@ use sna_core::NoiseReport;
 use sna_hist::RenderOptions;
 use sna_lang::{render_all, Lowered};
 use sna_service::{CompileCache, CompiledEntry};
+use sna_store::Store;
 
 use crate::Json;
 
@@ -209,6 +210,14 @@ pub fn parse_format(raw: &str) -> Result<Format, CliError> {
     }
 }
 
+/// Opens (creating if absent) the persistent artifact store behind
+/// `--store-dir`, shared by every subcommand that accepts the flag.
+pub fn open_store(dir: &str) -> Result<Arc<Store>, CliError> {
+    Store::open(dir)
+        .map(Arc::new)
+        .map_err(|e| CliError::failed(format!("cannot open store `{dir}`: {e}")))
+}
+
 /// Rejects unknown flags uniformly (also catches stray positionals).
 pub fn unknown_flag(flag: &str, usage: &str) -> CliError {
     if flag == "__extra_positional__" {
@@ -306,18 +315,26 @@ fn backoff_sleep(path: &str, attempt: u32) {
 /// [`BATCH_ATTEMPTS`] times with exponential backoff and deterministic
 /// per-path jitter before counting as errors; the summary's `retries`
 /// field reports how many retry attempts the whole batch spent.
+///
+/// With `store_dir` set the cache warm-loads compiled skeletons from
+/// (and spills back to) the persistent artifact store, and the batch
+/// summary gains store hit/miss/write counts.
 pub fn run_batch<F>(
     command: &str,
     files: Vec<String>,
     batch: bool,
     jobs: usize,
     format: Format,
+    store_dir: Option<&str>,
     per_file: F,
 ) -> Result<String, CliError>
 where
     F: Fn(&str, &Arc<CompiledEntry>) -> Result<String, CliError> + Sync,
 {
-    let cache = CompileCache::new();
+    let cache = match store_dir {
+        Some(dir) => CompileCache::new().with_store(open_store(dir)?),
+        None => CompileCache::new(),
+    };
     let started = Instant::now();
     let n_files = files.len();
     let fault = parse_batch_fault();
@@ -347,6 +364,11 @@ where
             let elapsed_ms = job_started.elapsed().as_secs_f64() * 1e3;
             (path, result, elapsed_ms)
         });
+    // Spill-through at the quiet point: stages built during this run
+    // (lazily, per verb) reach the store before the process exits.
+    if cache.store().is_some() {
+        cache.spill();
+    }
     if !batch {
         let (_, result, _) = outcomes.into_iter().next().expect("one file");
         return result;
@@ -389,40 +411,53 @@ where
     }
     let job_ms: f64 = outcomes.iter().map(|(_, _, ms)| ms).sum();
     let retries = retries.load(Ordering::Relaxed);
+    let store_stats = cache.store().map(|s| s.stats());
     match format {
         Format::Human => {
+            let store_part = store_stats.as_ref().map_or(String::new(), |s| {
+                format!(
+                    "store {} hit(s) / {} miss(es) / {} write(s) · ",
+                    s.hits, s.misses, s.writes
+                )
+            });
             out.push_str(&format!(
                 "batch: {n_files} file(s) · {ok} ok · {errors} err · {retries} retried · \
                  {jobs} job(s) · \
-                 cache {} hit(s) / {} miss(es) · {total_ms:.1} ms wall ({job_ms:.1} ms in jobs)\n",
+                 cache {} hit(s) / {} miss(es) · \
+                 {store_part}{total_ms:.1} ms wall ({job_ms:.1} ms in jobs)\n",
                 stats.hits, stats.misses
             ));
         }
         Format::Json => {
-            let summary = Json::Obj(vec![(
-                "summary".into(),
-                Json::Obj(vec![
-                    ("command".into(), Json::str(command)),
-                    ("files".into(), Json::int(n_files)),
-                    ("ok".into(), Json::int(ok)),
-                    ("errors".into(), Json::int(errors)),
-                    (
-                        "retries".into(),
-                        Json::int(usize::try_from(retries).unwrap_or(usize::MAX)),
-                    ),
-                    ("jobs".into(), Json::int(jobs)),
-                    (
-                        "cache_hits".into(),
-                        Json::int(usize::try_from(stats.hits).unwrap_or(usize::MAX)),
-                    ),
-                    (
-                        "cache_misses".into(),
-                        Json::int(usize::try_from(stats.misses).unwrap_or(usize::MAX)),
-                    ),
-                    ("total_ms".into(), Json::Num(total_ms)),
-                    ("job_ms".into(), Json::Num(job_ms)),
-                ]),
-            )]);
+            let mut fields = vec![
+                ("command".into(), Json::str(command)),
+                ("files".into(), Json::int(n_files)),
+                ("ok".into(), Json::int(ok)),
+                ("errors".into(), Json::int(errors)),
+                (
+                    "retries".into(),
+                    Json::int(usize::try_from(retries).unwrap_or(usize::MAX)),
+                ),
+                ("jobs".into(), Json::int(jobs)),
+                (
+                    "cache_hits".into(),
+                    Json::int(usize::try_from(stats.hits).unwrap_or(usize::MAX)),
+                ),
+                (
+                    "cache_misses".into(),
+                    Json::int(usize::try_from(stats.misses).unwrap_or(usize::MAX)),
+                ),
+            ];
+            if let Some(s) = &store_stats {
+                let as_int = |v: u64| Json::int(usize::try_from(v).unwrap_or(usize::MAX));
+                fields.push(("store_hits".into(), as_int(s.hits)));
+                fields.push(("store_misses".into(), as_int(s.misses)));
+                fields.push(("store_writes".into(), as_int(s.writes)));
+                fields.push(("store_corrupt".into(), as_int(s.corrupt)));
+            }
+            fields.push(("total_ms".into(), Json::Num(total_ms)));
+            fields.push(("job_ms".into(), Json::Num(job_ms)));
+            let summary = Json::Obj(vec![("summary".into(), Json::Obj(fields))]);
             out.push_str(&summary.to_compact());
             out.push('\n');
         }

@@ -15,12 +15,15 @@
 //!                          exhaustive|uniform|all]
 //!                         [--ref-bits W] [--budget X] [--start W]
 //!                         [--radius R] [--format human|json]
+//!                         [--pareto [--points N] [--checkpoint-every K]
+//!                          [--w-lo W] [--w-hi W]]
 //! sna simulate <file>.sna... [--manifest list.txt] [--jobs N]
 //!                         [--bits N] [--bins N] [--paths N] [--seed N]
 //!                         [--steps N] [--warmup N] [--workers N]
 //!                         [--format human|json]
 //! sna synth    <file>.sna [--bits N] [--clock NS] [--format human|json]
-//! sna serve    [--listen addr:port] [--max-conns N]
+//! sna serve    [--listen addr:port] [--max-conns N] [--store-dir DIR]
+//! sna store    <ls|gc|verify> --store-dir DIR [--budget BYTES] [--repair]
 //! ```
 //!
 //! # Examples
@@ -43,6 +46,14 @@
 //! `serve` keeps that cache alive across requests — the line-oriented
 //! JSON protocol is documented in `crates/service/README.md`.
 //!
+//! `--store-dir DIR` (on `analyze`, `simulate`, `optimize`, and `serve`)
+//! backs the compile cache with the persistent content-addressed
+//! artifact store from `crates/store`: compiled models are warm-loaded
+//! across process restarts and spilled back at quiet points, and
+//! `optimize --pareto` checkpoints its sweep there so an interrupted
+//! exploration resumes bit-identically. `sna store` inspects and
+//! maintains such a directory.
+//!
 //! All commands exit 0 on success, 1 on analysis/compile failures (with
 //! caret-style diagnostics on stderr), and 2 on usage errors. A batch
 //! where some files failed also exits 1 — its full output (per-file
@@ -60,6 +71,7 @@ mod optimize_cmd;
 mod parse_cmd;
 mod serve_cmd;
 mod simulate_cmd;
+mod store_cmd;
 mod synth_cmd;
 
 pub use common::CliError;
@@ -69,7 +81,7 @@ pub use common::CliError;
 /// shims.
 pub use sna_service::Json;
 
-const USAGE: &str = "usage: sna <parse|analyze|simulate|optimize|synth|serve> [<file>.sna...] [options]\n\
+const USAGE: &str = "usage: sna <parse|analyze|simulate|optimize|synth|serve|store> [<file>.sna...] [options]\n\
                      \n\
                      commands:\n\
                      \x20 parse     validate a .sna file; dump a summary, DOT, or canonical form\n\
@@ -78,10 +90,13 @@ const USAGE: &str = "usage: sna <parse|analyze|simulate|optimize|synth|serve> [<
                      \x20 simulate  Monte-Carlo simulation on the bytecode VM; empirical error\n\
                      \x20           statistics next to the analytic prediction\n\
                      \x20 optimize  noise-constrained word-length search (greedy, waterfill,\n\
-                     \x20           anneal, group-greedy, exhaustive, uniform, all)\n\
+                     \x20           anneal, group-greedy, exhaustive, uniform, all); --pareto\n\
+                     \x20           runs the resumable multi-objective design-space sweep\n\
                      \x20 synth     schedule + bind + cost report for one configuration\n\
                      \x20 serve     long-running line-oriented JSON server (stdin/stdout or\n\
                      \x20           --listen addr:port) with compiled-model caching\n\
+                     \x20 store     ls/gc/verify a persistent artifact store (--store-dir on\n\
+                     \x20           analyze/simulate/optimize/serve warm-starts from it)\n\
                      \n\
                      run `sna <command>` with no arguments for command-specific usage";
 
@@ -106,6 +121,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "optimize" => optimize_cmd::run(rest),
         "synth" => synth_cmd::run(rest),
         "serve" => serve_cmd::run(rest),
+        "store" => store_cmd::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"

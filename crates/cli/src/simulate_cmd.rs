@@ -25,7 +25,7 @@ use crate::Json;
 
 const USAGE: &str = "sna simulate <file>.sna... [--manifest list.txt] [--jobs N] \
                      [--bits N] [--bins N] [--paths N] [--seed N] [--steps N] \
-                     [--warmup N] [--workers N] [--format human|json]";
+                     [--warmup N] [--workers N] [--store-dir DIR] [--format human|json]";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
@@ -34,6 +34,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let mut params = SimulateParams::default();
     let mut jobs: usize = sna_service::default_jobs();
     let mut manifest: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     while let Some(flag) = args.next_flag() {
         match flag {
             "format" => format = parse_format(args.value("format")?)?,
@@ -46,14 +47,24 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             "workers" => params.workers = args.parse_value("workers")?,
             "jobs" => jobs = parse_jobs(&mut args)?,
             "manifest" => manifest = Some(args.value("manifest")?.to_string()),
+            "store-dir" => store_dir = Some(args.value("store-dir")?.to_string()),
             other => return Err(unknown_flag(other, USAGE)),
         }
     }
     let (files, batch) = collect_files(args.files(), manifest.as_deref(), USAGE)?;
-    run_batch("simulate", files, batch, jobs, format, |path, entry| {
-        let report = exec::simulate(entry, &params).map_err(CliError::Failed)?;
-        Ok(render(path, &params, format, &report))
-    })
+    let store_dir = store_dir.as_deref();
+    run_batch(
+        "simulate",
+        files,
+        batch,
+        jobs,
+        format,
+        store_dir,
+        |path, entry| {
+            let report = exec::simulate(entry, &params).map_err(CliError::Failed)?;
+            Ok(render(path, &params, format, &report))
+        },
+    )
 }
 
 /// One file's output — exactly the historical single-file form.

@@ -1,0 +1,186 @@
+//! `sna store` — inspect and maintain the persistent artifact store
+//! behind `--store-dir` (see `crates/store/README.md` for the on-disk
+//! layout).
+//!
+//! * `ls` lists every object (kind, key, size, recency tick) plus the
+//!   total footprint.
+//! * `gc --budget BYTES` evicts least-recently-used objects until the
+//!   store fits the byte budget.
+//! * `verify` re-checks every object frame (magic, version, CRC);
+//!   `--repair` additionally deletes the objects that fail.
+
+use sna_store::ObjectInfo;
+
+use crate::common::{open_store, parse_format, unknown_flag, Args, CliError, Format};
+use crate::Json;
+
+const USAGE: &str = "sna store <ls|gc|verify> --store-dir DIR [--budget BYTES] [--repair] \
+                     [--format human|json]";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let mut args = Args::new(argv);
+    let mut format = Format::Human;
+    let mut store_dir: Option<String> = None;
+    let mut budget: Option<u64> = None;
+    let mut repair = false;
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "format" => format = parse_format(args.value("format")?)?,
+            "store-dir" => store_dir = Some(args.value("store-dir")?.to_string()),
+            "budget" => budget = Some(args.parse_value("budget")?),
+            "repair" => repair = true,
+            other => return Err(unknown_flag(other, USAGE)),
+        }
+    }
+    let verb = *args
+        .files()
+        .first()
+        .ok_or_else(|| CliError::Usage(format!("missing <ls|gc|verify> verb\nusage: {USAGE}")))?;
+    let Some(dir) = store_dir else {
+        return Err(CliError::Usage(format!(
+            "--store-dir is required\nusage: {USAGE}"
+        )));
+    };
+    let store = open_store(&dir)?;
+    match verb {
+        "ls" => {
+            if budget.is_some() || repair {
+                return Err(CliError::Usage(format!(
+                    "--budget/--repair do not apply to `ls`\nusage: {USAGE}"
+                )));
+            }
+            let mut objects = store.ls();
+            objects.sort_by(|a, b| (&a.kind, a.key).cmp(&(&b.kind, b.key)));
+            let total = store.total_bytes();
+            Ok(match format {
+                Format::Human => {
+                    let mut out = String::new();
+                    for o in &objects {
+                        out.push_str(&object_human(o));
+                    }
+                    out.push_str(&format!(
+                        "{} object(s) · {} byte(s) in `{dir}`\n",
+                        objects.len(),
+                        total
+                    ));
+                    out
+                }
+                Format::Json => Json::Obj(vec![
+                    ("command".into(), Json::str("store")),
+                    ("verb".into(), Json::str("ls")),
+                    ("dir".into(), Json::str(dir)),
+                    (
+                        "objects".into(),
+                        Json::Arr(objects.iter().map(object_json).collect()),
+                    ),
+                    ("total_bytes".into(), json_u64(total)),
+                ])
+                .to_string(),
+            })
+        }
+        "gc" => {
+            if repair {
+                return Err(CliError::Usage(format!(
+                    "--repair does not apply to `gc`\nusage: {USAGE}"
+                )));
+            }
+            let Some(budget) = budget else {
+                return Err(CliError::Usage(format!(
+                    "`gc` needs --budget BYTES\nusage: {USAGE}"
+                )));
+            };
+            let report = store
+                .gc(budget)
+                .map_err(|e| CliError::failed(format!("gc failed: {e}")))?;
+            Ok(match format {
+                Format::Human => format!(
+                    "gc: kept {} object(s) ({} byte(s)) · removed {} object(s) \
+                     ({} byte(s) freed) · budget {budget} byte(s)\n",
+                    report.kept, report.kept_bytes, report.removed, report.freed_bytes
+                ),
+                Format::Json => Json::Obj(vec![
+                    ("command".into(), Json::str("store")),
+                    ("verb".into(), Json::str("gc")),
+                    ("dir".into(), Json::str(dir)),
+                    ("budget_bytes".into(), json_u64(budget)),
+                    ("kept".into(), json_u64(report.kept)),
+                    ("kept_bytes".into(), json_u64(report.kept_bytes)),
+                    ("removed".into(), json_u64(report.removed)),
+                    ("freed_bytes".into(), json_u64(report.freed_bytes)),
+                ])
+                .to_string(),
+            })
+        }
+        "verify" => {
+            if budget.is_some() {
+                return Err(CliError::Usage(format!(
+                    "--budget does not apply to `verify`\nusage: {USAGE}"
+                )));
+            }
+            let report = store.verify(repair);
+            let out = match format {
+                Format::Human => {
+                    let mut out = String::new();
+                    for o in &report.corrupt {
+                        out.push_str("corrupt: ");
+                        out.push_str(&object_human(o));
+                    }
+                    out.push_str(&format!(
+                        "verify: {} ok · {} corrupt{}\n",
+                        report.ok,
+                        report.corrupt.len(),
+                        if repair && !report.corrupt.is_empty() {
+                            " (deleted)"
+                        } else {
+                            ""
+                        }
+                    ));
+                    out
+                }
+                Format::Json => Json::Obj(vec![
+                    ("command".into(), Json::str("store")),
+                    ("verb".into(), Json::str("verify")),
+                    ("dir".into(), Json::str(dir)),
+                    ("repair".into(), Json::Bool(repair)),
+                    ("ok".into(), json_u64(report.ok)),
+                    (
+                        "corrupt".into(),
+                        Json::Arr(report.corrupt.iter().map(object_json).collect()),
+                    ),
+                ])
+                .to_string(),
+            };
+            if report.corrupt.is_empty() {
+                Ok(out)
+            } else {
+                // Corrupt objects make `verify` exit 1 (like a failed
+                // batch, the full report still belongs on stdout).
+                Err(CliError::BatchFailed(out))
+            }
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown store verb `{other}`\nusage: {USAGE}"
+        ))),
+    }
+}
+
+fn object_human(o: &ObjectInfo) -> String {
+    format!(
+        "{:<12} {:016x}  {:>9} byte(s)  tick {}\n",
+        o.kind, o.key, o.size, o.tick
+    )
+}
+
+fn object_json(o: &ObjectInfo) -> Json {
+    Json::Obj(vec![
+        ("kind".into(), Json::str(o.kind.clone())),
+        ("key".into(), Json::str(format!("{:016x}", o.key))),
+        ("size".into(), json_u64(o.size)),
+        ("tick".into(), json_u64(o.tick)),
+    ])
+}
+
+fn json_u64(v: u64) -> Json {
+    Json::int(usize::try_from(v).unwrap_or(usize::MAX))
+}

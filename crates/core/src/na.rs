@@ -21,7 +21,7 @@
 //!   mean `ec·mid(x)` and half-width `|ec|·rad(x)` injected at the
 //!   multiplier's site.
 
-use sna_dfg::{Dfg, ImpulseGains, LtiOptions, NodeId, Op, RangeOptions};
+use sna_dfg::{Dfg, ImpulseGains, LtiOptions, NodeId, Op, OutputGain, RangeOptions};
 use sna_fixp::WlConfig;
 use sna_interval::Interval;
 
@@ -627,6 +627,197 @@ fn consumer_edges(dfg: &Dfg) -> (Vec<Vec<(u32, EdgeW)>>, Vec<bool>) {
     (edges, eligible)
 }
 
+// ----------------------------------------------------------------------
+// Artifact-store serialization
+// ----------------------------------------------------------------------
+
+impl NaModel {
+    /// Encodes the model for the persistent artifact store (see
+    /// `sna_store::wire` for the encoding rules). Gains, response
+    /// sequences and coefficient sites all travel as exact `f64` bit
+    /// patterns, so a loaded model evaluates **bit-identically** to the
+    /// one that was stored.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        use sna_store::WireWriter;
+        let mut w = WireWriter::new();
+        w.len(self.output_names.len());
+        for name in &self.output_names {
+            w.str(name);
+        }
+        w.len(self.gains.len());
+        for g in &self.gains {
+            match g {
+                None => w.u8(0),
+                Some(g) => {
+                    w.u8(1);
+                    w.u64(g.source.index() as u64);
+                    w.len(g.per_output.len());
+                    for og in &g.per_output {
+                        w.f64(og.l1);
+                        w.f64(og.l2_squared);
+                        w.f64(og.dc);
+                    }
+                }
+            }
+        }
+        w.len(self.responses.len());
+        for r in &self.responses {
+            match r {
+                None => w.u8(0),
+                Some(seqs) => {
+                    w.u8(1);
+                    w.len(seqs.len());
+                    for seq in seqs {
+                        w.len(seq.len());
+                        for &v in seq {
+                            w.f64(v);
+                        }
+                    }
+                }
+            }
+        }
+        w.len(self.coeff_sites.len());
+        for cs in &self.coeff_sites {
+            w.u64(cs.const_node.index() as u64);
+            w.f64(cs.constant);
+            w.u64(cs.site.index() as u64);
+            w.u8(match cs.kind {
+                CoeffKind::MulFactor => 0,
+                CoeffKind::DivDenominator => 1,
+            });
+            w.f64(cs.other_mid);
+            w.f64(cs.other_rad);
+        }
+        w.finish()
+    }
+
+    /// Decodes a model written by [`NaModel::to_wire`], validating every
+    /// node reference against the graph it will be attached to
+    /// (`n_nodes` nodes, `n_outputs` declared outputs).
+    ///
+    /// # Errors
+    ///
+    /// `sna_store::WireError` on any malformed, truncated or
+    /// out-of-bounds input — never panics.
+    pub fn from_wire(
+        bytes: &[u8],
+        n_nodes: usize,
+        n_outputs: usize,
+    ) -> Result<NaModel, sna_store::WireError> {
+        use sna_store::{WireError, WireReader};
+        let node = |raw: u64| -> Result<NodeId, WireError> {
+            let i = usize::try_from(raw).unwrap_or(usize::MAX);
+            if i < n_nodes {
+                Ok(NodeId::from_index(i))
+            } else {
+                Err(WireError::new(format!(
+                    "node reference {raw} out of range ({n_nodes})"
+                )))
+            }
+        };
+        let mut r = WireReader::new(bytes);
+        let count = r.read_count(8)?;
+        if count != n_outputs {
+            return Err(WireError::new(format!(
+                "model names {count} output(s), graph declares {n_outputs}"
+            )));
+        }
+        let mut output_names = Vec::with_capacity(count);
+        for _ in 0..count {
+            output_names.push(r.str()?);
+        }
+        let count = r.read_count(1)?;
+        if count != n_nodes {
+            return Err(WireError::new(format!(
+                "model covers {count} node(s), graph has {n_nodes}"
+            )));
+        }
+        let mut gains = Vec::with_capacity(count);
+        for _ in 0..count {
+            gains.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let source = node(r.u64()?)?;
+                    let n = r.read_count(24)?;
+                    if n != n_outputs {
+                        return Err(WireError::new("per-output gain count mismatch"));
+                    }
+                    let mut per_output = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        per_output.push(OutputGain {
+                            l1: r.f64()?,
+                            l2_squared: r.f64()?,
+                            dc: r.f64()?,
+                        });
+                    }
+                    Some(ImpulseGains { source, per_output })
+                }
+                f => return Err(WireError::new(format!("bad gains flag {f}"))),
+            });
+        }
+        let count = r.read_count(1)?;
+        if count != n_nodes {
+            return Err(WireError::new("response table length mismatch"));
+        }
+        let mut responses = Vec::with_capacity(count);
+        let mut stored_floats = 0usize;
+        for _ in 0..count {
+            responses.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let n = r.read_count(8)?;
+                    if n != n_outputs {
+                        return Err(WireError::new("response sequence count mismatch"));
+                    }
+                    let mut seqs = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let len = r.read_count(8)?;
+                        stored_floats += len;
+                        if stored_floats > MAX_RESPONSE_FLOATS {
+                            return Err(WireError::new("response sequences exceed budget"));
+                        }
+                        let mut seq = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            seq.push(r.f64()?);
+                        }
+                        seqs.push(seq);
+                    }
+                    Some(seqs)
+                }
+                f => return Err(WireError::new(format!("bad response flag {f}"))),
+            });
+        }
+        let count = r.read_count(34)?;
+        let mut coeff_sites = Vec::with_capacity(count);
+        for _ in 0..count {
+            let const_node = node(r.u64()?)?;
+            let constant = r.f64()?;
+            let site = node(r.u64()?)?;
+            let kind = match r.u8()? {
+                0 => CoeffKind::MulFactor,
+                1 => CoeffKind::DivDenominator,
+                k => return Err(WireError::new(format!("bad coeff kind {k}"))),
+            };
+            coeff_sites.push(CoeffSite {
+                const_node,
+                constant,
+                site,
+                kind,
+                other_mid: r.f64()?,
+                other_rad: r.f64()?,
+            });
+        }
+        r.expect_end()?;
+        Ok(NaModel {
+            gains,
+            responses,
+            output_names,
+            coeff_sites,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -797,5 +988,55 @@ mod tests {
             NaModel::build(&g, &[iv(-1.0, 1.0)], &LtiOptions::default()),
             Err(SnaError::Dfg(_))
         ));
+    }
+
+    #[test]
+    fn wire_round_trip_evaluates_bit_identically() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let t = b.mul_const(0.5, fb);
+        let y = b.add(x, t);
+        b.bind_delay(fb, y).unwrap();
+        let scaled = b.mul_const(0.3, y);
+        b.output("y", scaled);
+        let g = b.build().unwrap();
+        let ranges = [iv(-1.0, 1.0)];
+        let model = NaModel::build(&g, &ranges, &LtiOptions::default()).unwrap();
+        let bytes = model.to_wire();
+        let decoded = NaModel::from_wire(&bytes, g.len(), g.outputs().len()).unwrap();
+        assert_eq!(decoded.to_wire(), bytes);
+        let cfg = WlConfig::from_ranges(&g, &ranges, 9).unwrap();
+        let a = &model.evaluate(&g, &cfg)[0].1;
+        let b = &decoded.evaluate(&g, &cfg)[0].1;
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.variance.to_bits(), b.variance.to_bits());
+        assert_eq!(a.support.0.to_bits(), b.support.0.to_bits());
+    }
+
+    #[test]
+    fn wire_rejects_damage_and_wrong_shape() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let t = b.mul_const(0.25, x);
+        b.output("y", t);
+        let g = b.build().unwrap();
+        let model = NaModel::build(&g, &[iv(-1.0, 1.0)], &LtiOptions::default()).unwrap();
+        let good = model.to_wire();
+        // A different node count must be rejected outright.
+        assert!(NaModel::from_wire(&good, g.len() + 1, g.outputs().len()).is_err());
+        assert!(NaModel::from_wire(&good, g.len(), g.outputs().len() + 1).is_err());
+        for cut in 0..good.len() {
+            assert!(
+                NaModel::from_wire(&good[..cut], g.len(), g.outputs().len()).is_err(),
+                "cut at {cut}"
+            );
+        }
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x5A;
+            // may err, must not panic
+            let _ = NaModel::from_wire(&bad, g.len(), g.outputs().len());
+        }
     }
 }

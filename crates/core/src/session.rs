@@ -636,6 +636,150 @@ impl Session {
         }
         clone
     }
+
+    // ------------------------------------------------------------------
+    // Artifact-store serialization
+    // ------------------------------------------------------------------
+
+    /// Encodes the session's compiled skeleton for the persistent
+    /// artifact store: the graph, its input ranges, and every *built*
+    /// artifact stage — node ranges (with their provenance, so patching
+    /// behaves identically after a reload), the NA gain model, and the
+    /// VM bytecode. Stages that are unbuilt (or failed) are simply
+    /// omitted; an imported session rebuilds them lazily like a cold
+    /// one.
+    ///
+    /// All floats travel as exact bit patterns: an imported session
+    /// answers every request **bit-identically** to the exported one.
+    #[must_use]
+    pub fn export_wire(&self) -> Vec<u8> {
+        let mut w = sna_store::WireWriter::new();
+        w.bytes(&self.dfg.to_wire());
+        w.len(self.input_ranges.len());
+        for r in self.input_ranges.iter() {
+            w.f64(r.lo());
+            w.f64(r.hi());
+        }
+        match self.ranges.get() {
+            Some(Ok(stage)) => {
+                w.u8(match stage.method {
+                    RangeMethod::Interval => 1,
+                    RangeMethod::Lti => 2,
+                });
+                w.len(stage.ranges.len());
+                for r in stage.ranges.iter() {
+                    w.f64(r.lo());
+                    w.f64(r.hi());
+                }
+            }
+            _ => w.u8(0),
+        }
+        match self.na.get() {
+            Some(Ok(model)) => {
+                w.u8(1);
+                w.bytes(&model.to_wire());
+            }
+            _ => w.u8(0),
+        }
+        match self.vm.get() {
+            Some(program) => {
+                w.u8(1);
+                w.bytes(&program.to_wire());
+            }
+            None => w.u8(0),
+        }
+        w.finish()
+    }
+
+    /// Decodes a skeleton written by [`Session::export_wire`],
+    /// **pre-seeding** the stored stages so that later requests rebuild
+    /// nothing: the stage-build counters ([`Session::stats`]) of an
+    /// imported session stay at zero for every stage the export
+    /// carried.
+    ///
+    /// # Errors
+    ///
+    /// `sna_store::WireError` on any malformed, truncated or
+    /// inconsistent input (stage shapes are validated against the
+    /// decoded graph) — never panics, so a corrupt store object always
+    /// degrades to a clean recompile in the caller.
+    pub fn import_wire(bytes: &[u8]) -> Result<Session, sna_store::WireError> {
+        use sna_store::{WireError, WireReader};
+        let mut r = WireReader::new(bytes);
+        let dfg = Dfg::from_wire(&r.bytes()?)?;
+        let n_inputs = r.read_count(16)?;
+        if n_inputs != dfg.n_inputs() {
+            return Err(WireError::new("input range count mismatch"));
+        }
+        let mut input_ranges = Vec::with_capacity(n_inputs);
+        for _ in 0..n_inputs {
+            let (lo, hi) = (r.f64()?, r.f64()?);
+            input_ranges.push(
+                Interval::new(lo, hi).map_err(|e| WireError::new(format!("input range: {e}")))?,
+            );
+        }
+
+        let range_stage = match r.u8()? {
+            0 => None,
+            tag @ (1 | 2) => {
+                let n = r.read_count(16)?;
+                if n != dfg.len() {
+                    return Err(WireError::new("node range count mismatch"));
+                }
+                let mut ranges = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (lo, hi) = (r.f64()?, r.f64()?);
+                    ranges.push(
+                        Interval::new(lo, hi)
+                            .map_err(|e| WireError::new(format!("node range: {e}")))?,
+                    );
+                }
+                Some(RangeStage {
+                    ranges: Arc::new(ranges),
+                    method: if tag == 1 {
+                        RangeMethod::Interval
+                    } else {
+                        RangeMethod::Lti
+                    },
+                })
+            }
+            t => return Err(WireError::new(format!("bad range stage tag {t}"))),
+        };
+        let na_model = match r.u8()? {
+            0 => None,
+            1 => Some(NaModel::from_wire(
+                &r.bytes()?,
+                dfg.len(),
+                dfg.outputs().len(),
+            )?),
+            t => return Err(WireError::new(format!("bad model tag {t}"))),
+        };
+        let vm_program = match r.u8()? {
+            0 => None,
+            1 => {
+                let program = sna_vm::Program::from_wire(&r.bytes()?)?;
+                if program.n_inputs() != dfg.n_inputs() {
+                    return Err(WireError::new("program input count mismatch"));
+                }
+                Some(program)
+            }
+            t => return Err(WireError::new(format!("bad program tag {t}"))),
+        };
+        r.expect_end()?;
+
+        let session = Session::new(dfg, input_ranges)
+            .map_err(|e| WireError::new(format!("invalid session: {e}")))?;
+        if let Some(stage) = range_stage {
+            let _ = session.ranges.set(Ok(stage));
+        }
+        if let Some(model) = na_model {
+            let _ = session.na.set(Ok(Arc::new(model)));
+        }
+        if let Some(program) = vm_program {
+            let _ = session.vm.set(Arc::new(program));
+        }
+        Ok(session)
+    }
 }
 
 /// The sources whose impulse gains a coefficient swap can change: a
@@ -922,5 +1066,86 @@ mod tests {
         let cold = Session::new(swapped.dfg().clone(), swapped.input_ranges().to_vec()).unwrap();
         let b = cold.analyze(&req).unwrap();
         assert_eq!(a.reports[0].1.mean.to_bits(), b.reports[0].1.mean.to_bits());
+    }
+
+    #[test]
+    fn export_import_round_trip_rebuilds_nothing() {
+        let (g, r) = fir3();
+        let s = Session::new(g, r).unwrap();
+        let req = AnalysisRequest {
+            engine: EngineKind::Na,
+            words: WlChoice::Uniform(10),
+            bins: 64,
+            ..AnalysisRequest::default()
+        };
+        let cold = s.analyze(&req).unwrap();
+        let _ = s.vm_program(); // force the bytecode stage too
+        let bytes = s.export_wire();
+
+        let warm = Session::import_wire(&bytes).unwrap();
+        let again = warm.analyze(&req).unwrap();
+        let stats = warm.stats();
+        assert_eq!(stats.range_builds, 0, "{stats:?}");
+        assert_eq!(stats.na_builds, 0, "{stats:?}");
+        assert_eq!(stats.vm_compiles, 0, "{stats:?}");
+        assert!(warm.vm_program_built());
+        for ((n1, r1), (n2, r2)) in cold.reports.iter().zip(again.reports.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1.mean.to_bits(), r2.mean.to_bits());
+            assert_eq!(r1.variance.to_bits(), r2.variance.to_bits());
+        }
+        // The export is a fixpoint: re-export is byte-identical.
+        assert_eq!(warm.export_wire(), bytes);
+    }
+
+    #[test]
+    fn export_of_unbuilt_session_imports_as_cold() {
+        let (g, r) = fir3();
+        let s = Session::new(g, r).unwrap();
+        let warm = Session::import_wire(&s.export_wire()).unwrap();
+        assert!(!warm.vm_program_built());
+        // Stages still build lazily, exactly like a cold session.
+        warm.na_model().unwrap();
+        assert_eq!(warm.stats().na_builds, 1);
+    }
+
+    #[test]
+    fn import_rejects_damage_without_panicking() {
+        let (g, r) = fir3();
+        let s = Session::new(g, r).unwrap();
+        s.na_model().unwrap();
+        let _ = s.vm_program();
+        let good = s.export_wire();
+        for cut in 0..good.len() {
+            assert!(Session::import_wire(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x5A;
+            let _ = Session::import_wire(&bad); // may err, must not panic
+        }
+    }
+
+    #[test]
+    fn import_rejects_cross_graph_stage_shapes() {
+        // Splice the range stage of a smaller graph into a bigger one's
+        // export: the node-count check must catch it.
+        let (g, r) = fir3();
+        let s = Session::new(g, r).unwrap();
+        s.node_ranges().unwrap();
+        let mut w = sna_store::WireWriter::new();
+        w.bytes(&s.dfg().to_wire());
+        w.len(1);
+        w.f64(-1.0);
+        w.f64(1.0);
+        w.u8(1); // claims an interval range stage...
+        w.len(2); // ...with the wrong node count
+        for _ in 0..2 {
+            w.f64(0.0);
+            w.f64(1.0);
+        }
+        w.u8(0);
+        w.u8(0);
+        assert!(Session::import_wire(&w.finish()).is_err());
     }
 }

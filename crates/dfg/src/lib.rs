@@ -55,6 +55,7 @@ mod graph;
 mod lti;
 mod range;
 mod unroll;
+mod wire;
 
 pub use builder::DfgBuilder;
 pub use error::DfgError;

@@ -44,6 +44,18 @@ pub enum OptError {
         /// Widths supplied.
         got: usize,
     },
+    /// A Pareto sweep specification is malformed (empty ladder, empty
+    /// blocks, or an inverted width range).
+    InvalidSweepSpec {
+        /// Loose-budget uniform width.
+        w_lo: u8,
+        /// Tight-budget uniform width.
+        w_hi: u8,
+        /// Requested noise budgets.
+        noise_points: usize,
+        /// Requested candidates per checkpoint block.
+        checkpoint_every: usize,
+    },
 }
 
 impl fmt::Display for OptError {
@@ -69,6 +81,16 @@ impl fmt::Display for OptError {
             OptError::WrongWidthCount { expected, got } => write!(
                 f,
                 "width vector has {got} entries but the graph has {expected} nodes"
+            ),
+            OptError::InvalidSweepSpec {
+                w_lo,
+                w_hi,
+                noise_points,
+                checkpoint_every,
+            } => write!(
+                f,
+                "invalid pareto sweep: widths {w_lo}..{w_hi}, {noise_points} noise point(s), \
+                 checkpoint every {checkpoint_every}"
             ),
         }
     }

@@ -61,6 +61,7 @@ mod eval;
 mod greedy;
 mod optimizer;
 mod pareto;
+mod sweep;
 mod waterfill;
 
 pub use anneal::AnnealOptions;
@@ -68,3 +69,6 @@ pub use error::OptError;
 pub use eval::NoiseEval;
 pub use optimizer::{CostWeights, Evaluation, Optimizer, WlBounds};
 pub use pareto::pareto_front;
+pub use sweep::{
+    pareto_explore, FrontPoint, ParetoOutcome, ParetoSweepSpec, SweepObjective, CKPT_KIND,
+};

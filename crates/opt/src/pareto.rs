@@ -35,25 +35,48 @@ pub(crate) fn dominates(a: &Evaluation, b: &Evaluation) -> bool {
     strictly
 }
 
-/// Filters a set of evaluations down to its non-dominated subset,
-/// preserving order.
-pub fn pareto_front(points: Vec<Evaluation>) -> Vec<Evaluation> {
-    let mut keep = vec![true; points.len()];
-    for i in 0..points.len() {
-        if !keep[i] {
-            continue;
-        }
-        for j in 0..points.len() {
-            if i != j && keep[i] && dominates(&points[j], &points[i]) {
-                keep[i] = false;
-            }
+/// The canonical total order of the front: objectives lexicographically
+/// (via `total_cmp`, so even exotic floats order consistently), then the
+/// word-length vector as a tiebreak.  Two points comparing `Equal` are
+/// exact duplicates of the same configuration.
+pub(crate) fn canonical_cmp(a: &Evaluation, b: &Evaluation) -> std::cmp::Ordering {
+    let (oa, ob) = (objectives(a), objectives(b));
+    for (x, y) in oa.iter().zip(ob.iter()) {
+        let o = x.total_cmp(y);
+        if o != std::cmp::Ordering::Equal {
+            return o;
         }
     }
-    points
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(p, k)| k.then_some(p))
-        .collect()
+    a.word_lengths.cmp(&b.word_lengths)
+}
+
+/// Filters a set of evaluations down to its non-dominated subset in a
+/// canonical total order (objective tuple, then the word-length vector
+/// as a tiebreak); exact duplicates (same
+/// objectives *and* same word lengths) collapse to one point.
+///
+/// The canonical sort makes the result a pure function of the input
+/// *set* — independent of arrival order, thread interleaving or
+/// checkpoint boundaries — which is what lets a resumed sweep reproduce
+/// an uninterrupted one bit for bit: `front(front(a) ∪ b) = front(a ∪
+/// b)`.  It also carries the skyline property that a dominator sorts
+/// strictly earlier (it is no worse on every objective and better on
+/// one, hence lexicographically smaller), so each point only needs
+/// checking against the *already kept* prefix — `O(n·k)` for a front of
+/// size `k` instead of the all-pairs `O(n²)`.
+pub fn pareto_front(mut points: Vec<Evaluation>) -> Vec<Evaluation> {
+    points.sort_by(canonical_cmp);
+    points.dedup_by(|a, b| canonical_cmp(a, b) == std::cmp::Ordering::Equal);
+    let mut kept: Vec<Evaluation> = Vec::new();
+    'points: for p in points {
+        for k in &kept {
+            if dominates(k, &p) {
+                continue 'points;
+            }
+        }
+        kept.push(p);
+    }
+    kept
 }
 
 impl Optimizer<'_> {
@@ -125,6 +148,35 @@ mod tests {
             .all(|e| (e.noise_power - a.noise_power).abs() < 1e-15
                 || e.cost.area_um2 != a.cost.area_um2
                 || e.noise_power <= a.noise_power));
+    }
+
+    #[test]
+    fn front_is_order_independent_and_collapses_duplicates() {
+        let (g, r) = setup();
+        let opt = Optimizer::new(&g, &r, SynthesisConstraints::default()).unwrap();
+        let evals: Vec<Evaluation> = (6..=14).map(|w| opt.uniform(w).unwrap()).collect();
+        let forward = pareto_front(evals.clone());
+        let mut reversed: Vec<Evaluation> = evals.iter().rev().cloned().collect();
+        // Exact duplicates must collapse to one canonical point.
+        reversed.push(evals[3].clone());
+        reversed.push(evals[3].clone());
+        let backward = pareto_front(reversed);
+        assert_eq!(forward.len(), backward.len());
+        for (a, b) in forward.iter().zip(backward.iter()) {
+            assert_eq!(a.word_lengths, b.word_lengths);
+            assert_eq!(a.noise_power.to_bits(), b.noise_power.to_bits());
+            assert_eq!(a.cost.area_um2.to_bits(), b.cost.area_um2.to_bits());
+        }
+        // Idempotent and absorbing: front(front(a) ∪ b) == front(a ∪ b).
+        let split = {
+            let mut partial = pareto_front(evals[..5].to_vec());
+            partial.extend(evals[5..].iter().cloned());
+            pareto_front(partial)
+        };
+        assert_eq!(split.len(), forward.len());
+        for (a, b) in forward.iter().zip(split.iter()) {
+            assert_eq!(a.word_lengths, b.word_lengths);
+        }
     }
 
     #[test]

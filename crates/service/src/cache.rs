@@ -24,12 +24,37 @@
 //! Entries hold a [`Session`] — graph, ranges, gain model, histogram
 //! memo — behind an `Arc`; every stage is `Send + Sync`, so a worker
 //! pool or one thread per connection can share them freely.
+//!
+//! # Persistent tier
+//!
+//! With [`CompileCache::with_store`] the cache gains a disk-backed
+//! fourth tier below the in-memory ones: compiled skeletons
+//! ([`Session::export_wire`]) are spilled to a [`sna_store::Store`] by
+//! [`CompileCache::spill`] (servers call it on graceful drain, batches
+//! at the end) and warm-loaded on a later process's miss — `"skel"`
+//! objects keyed by the canonical fingerprint, plus small `"shape"`
+//! pointer objects keyed by the shape fingerprint so coefficient
+//! respins of a stored skeleton also warm-load.  Every stored payload
+//! embeds the full key text it was derived from, so a fingerprint
+//! collision reads as a plain miss; any frame- or schema-level damage
+//! is discarded (counted in [`sna_store::StoreStats::corrupt`]) and the
+//! program recompiles from scratch — corruption can never panic, poison
+//! the in-memory cache, or resurrect a stale artifact.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use sna_core::{NaModel, Session};
 use sna_lang::{fnv1a_64, Diagnostic, Lowered};
+use sna_store::{Store, WireReader, WireWriter};
+
+/// Store object kind holding serialized compiled skeletons, keyed by
+/// the canonical fingerprint.
+pub const SKEL_KIND: &str = "skel";
+
+/// Store object kind holding shape → skeleton pointers, keyed by the
+/// shape fingerprint.
+pub const SHAPE_PTR_KIND: &str = "shape";
 
 /// One compiled program: the shared [`Session`] holding its artifact
 /// chain, plus the cache's identifying fingerprints.
@@ -104,6 +129,10 @@ pub enum Lookup {
     /// constant values differ): parse + lower ran, but ranges and gains
     /// were patched off the cached skeleton instead of rebuilt.
     ShapeHit,
+    /// Absent from memory but warm-loaded from the persistent artifact
+    /// store (directly or through a shape pointer): parse + lower ran,
+    /// but every stage the stored skeleton carried was reused.
+    StoreHit,
     /// Fully compiled on this call.
     Miss,
 }
@@ -116,13 +145,14 @@ impl Lookup {
     }
 
     /// Protocol wire word: `"hit"` / `"canon-hit"` / `"shape-hit"` /
-    /// `"miss"`.
+    /// `"store-hit"` / `"miss"`.
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             Lookup::SourceHit => "hit",
             Lookup::CanonHit => "canon-hit",
             Lookup::ShapeHit => "shape-hit",
+            Lookup::StoreHit => "store-hit",
             Lookup::Miss => "miss",
         }
     }
@@ -349,6 +379,7 @@ impl State {
 pub struct CompileCache {
     state: Mutex<State>,
     limits: CacheLimits,
+    store: Option<Arc<Store>>,
 }
 
 impl CompileCache {
@@ -364,7 +395,24 @@ impl CompileCache {
         CompileCache {
             state: Mutex::default(),
             limits,
+            store: None,
         }
+    }
+
+    /// Attaches a persistent artifact store: misses warm-load stored
+    /// skeletons and [`CompileCache::spill`] writes compiled entries
+    /// back.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached artifact store, if any (for stats reporting and
+    /// maintenance verbs).
+    #[must_use]
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_deref()
     }
 
     /// The compiled entry for `source`, compiling it if unseen.
@@ -465,6 +513,32 @@ impl CompileCache {
             }
         }
 
+        // Persistent tier: a previous process may have spilled this
+        // program's (or its shape's) compiled skeleton to disk.
+        if let Some(session) =
+            self.store_warm_load(&canon, fingerprint, &shape_key, shape_fingerprint, &lowered)
+        {
+            let entry = Arc::new(CompiledEntry::from_session(
+                session,
+                fingerprint,
+                shape_fingerprint,
+            ));
+            let mut state = self.state.lock().expect("cache lock");
+            if let Some(existing) = state.touch(&canon) {
+                state.insert_source(source, &canon);
+                state.hits += 1;
+                return Ok((existing, Lookup::CanonHit));
+            }
+            // A warm load takes a full slot, exactly like a compile
+            // would have (the peer paid a compile for it once).
+            state.make_room(&self.limits, canon_len + source.len());
+            state.insert_slot(Arc::from(canon.as_str()), entry.clone());
+            state.insert_source(source, &canon);
+            state.register_shape(&shape_key, &canon, &self.limits);
+            state.hits += 1;
+            return Ok((entry, Lookup::StoreHit));
+        }
+
         let entry = Arc::new(CompiledEntry::new(lowered, fingerprint));
         let mut state = self.state.lock().expect("cache lock");
         // A racing thread may have inserted the same program meanwhile;
@@ -490,6 +564,92 @@ impl CompileCache {
         Ok((entry, Lookup::Miss))
     }
 
+    /// Tries both persistent tiers for a warm skeleton: the canonical
+    /// fingerprint first (exact program), then the shape pointer
+    /// (coefficient respin of a stored skeleton).  Any failure — frame
+    /// damage, schema damage, key collision, patch failure — returns
+    /// `None` and the caller compiles from scratch.
+    fn store_warm_load(
+        &self,
+        canon: &str,
+        fingerprint: u64,
+        shape_key: &str,
+        shape_fingerprint: u64,
+        lowered: &Lowered,
+    ) -> Option<Session> {
+        let store = self.store.as_deref()?;
+        if let Some((stored_canon, _, session)) = load_skeleton(store, fingerprint) {
+            if stored_canon == canon {
+                return Some(session);
+            }
+            // Fingerprint collision with a different program: a miss,
+            // not corruption. Fall through to the shape tier.
+        }
+        let pointer = store.get(SHAPE_PTR_KIND, shape_fingerprint)?;
+        let (stored_shape, skel_fp) = match decode_shape_pointer(&pointer) {
+            Ok(decoded) => decoded,
+            Err(_) => {
+                store.discard(SHAPE_PTR_KIND, shape_fingerprint);
+                return None;
+            }
+        };
+        if stored_shape != shape_key {
+            return None; // shape-fingerprint collision: plain miss
+        }
+        let (_, skel_shape, session) = load_skeleton(store, skel_fp)?;
+        if skel_shape != shape_key {
+            return None; // the pointer's donor was replaced by another shape
+        }
+        session.with_coefficients(&lowered.dfg.const_values()).ok()
+    }
+
+    /// Writes every resident entry's current skeleton (and each shape
+    /// donor's pointer) to the attached store; returns the number of
+    /// objects written.  Stages built since the last spill ride along —
+    /// callers invoke this at quiet points (server drain, end of a
+    /// batch), so a later process warm-loads fully built sessions.
+    ///
+    /// A cache without a store (or one hitting I/O errors) spills
+    /// nothing; failures are reflected in the return count only.
+    pub fn spill(&self) -> usize {
+        let Some(store) = self.store.as_deref() else {
+            return 0;
+        };
+        // Snapshot under the lock, write outside it.
+        type SpillRow = (Arc<str>, Option<Arc<str>>, Arc<CompiledEntry>);
+        let snapshot: Vec<SpillRow> = {
+            let state = self.state.lock().expect("cache lock");
+            state
+                .slots
+                .iter()
+                .map(|(canon, slot)| (canon.clone(), slot.shape_key.clone(), slot.entry.clone()))
+                .collect()
+        };
+        let mut written = 0;
+        for (canon, shape_key, entry) in snapshot {
+            let shape_text = shape_key.as_deref().map(str::to_owned).unwrap_or_default();
+            let mut w = WireWriter::new();
+            w.str(&canon);
+            w.str(&shape_text);
+            w.bytes(&entry.session.export_wire());
+            if store.put(SKEL_KIND, entry.fingerprint, &w.finish()).is_ok() {
+                written += 1;
+            }
+            if let Some(shape) = shape_key {
+                let mut w = WireWriter::new();
+                w.str(&shape);
+                w.u64(entry.fingerprint);
+                if store
+                    .put(SHAPE_PTR_KIND, entry.shape_fingerprint, &w.finish())
+                    .is_ok()
+                {
+                    written += 1;
+                }
+            }
+        }
+        written
+    }
+
     /// Current counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -502,6 +662,38 @@ impl CompileCache {
             evictions: state.evictions,
         }
     }
+}
+
+/// Loads and decodes a `"skel"` object: `(canonical text, shape key,
+/// imported session)`.  Schema damage discards the object (the store
+/// already counted and dropped frame-level damage in `get`).
+fn load_skeleton(store: &Store, key: u64) -> Option<(String, String, Session)> {
+    let payload = store.get(SKEL_KIND, key)?;
+    let decode = || -> Result<(String, String, Session), sna_store::WireError> {
+        let mut r = WireReader::new(&payload);
+        let canon = r.str()?;
+        let shape = r.str()?;
+        let session = Session::import_wire(&r.bytes()?)?;
+        r.expect_end()?;
+        Ok((canon, shape, session))
+    };
+    match decode() {
+        Ok(decoded) => Some(decoded),
+        Err(_) => {
+            store.discard(SKEL_KIND, key);
+            None
+        }
+    }
+}
+
+/// Decodes a `"shape"` pointer object: `(shape key text, skeleton
+/// fingerprint)`.
+fn decode_shape_pointer(payload: &[u8]) -> Result<(String, u64), sna_store::WireError> {
+    let mut r = WireReader::new(payload);
+    let shape = r.str()?;
+    let skel_fp = r.u64()?;
+    r.expect_end()?;
+    Ok((shape, skel_fp))
 }
 
 #[cfg(test)]
@@ -773,5 +965,169 @@ mod tests {
         assert!(cache.get_or_compile("input x;\ny = ;\n").is_err());
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().misses, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent tier
+    // ------------------------------------------------------------------
+
+    fn store_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sna-cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cache_on(dir: &std::path::Path) -> CompileCache {
+        CompileCache::new().with_store(Arc::new(Store::open(dir).unwrap()))
+    }
+
+    /// Compile `source`, force every stage, spill — the state a drained
+    /// server leaves behind. Returns the canonical fingerprint.
+    fn seed(dir: &std::path::Path, source: &str) -> u64 {
+        let cache = cache_on(dir);
+        let (entry, lookup) = cache.get_or_compile(source).unwrap();
+        assert_eq!(lookup, Lookup::Miss);
+        entry.session.node_ranges().unwrap();
+        entry.na_model().unwrap();
+        let _ = entry.session.vm_program();
+        assert!(cache.spill() >= 1);
+        entry.fingerprint
+    }
+
+    #[test]
+    fn warm_load_reuses_every_stored_stage() {
+        let dir = store_dir("warm");
+        seed(&dir, SRC);
+
+        let cache = cache_on(&dir);
+        let (entry, lookup) = cache.get_or_compile(SRC).unwrap();
+        assert_eq!(lookup, Lookup::StoreHit);
+        assert!(entry.na_model_built());
+        assert!(entry.session.vm_program_built());
+        let stats = entry.session.stats();
+        assert_eq!(stats.range_builds, 0, "{stats:?}");
+        assert_eq!(stats.na_builds, 0, "{stats:?}");
+        assert_eq!(stats.vm_compiles, 0, "{stats:?}");
+        assert!(cache.store().unwrap().stats().hits >= 1);
+
+        // Now resident: the next lookup is a plain memory hit.
+        assert_eq!(cache.get_or_compile(SRC).unwrap().1, Lookup::SourceHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coefficient_respins_warm_load_through_the_shape_pointer() {
+        let dir = store_dir("shape-ptr");
+        let base = "input x in [-1, 1];\nlet k = 0.5;\noutput y = k*x;\n";
+        seed(&dir, base);
+
+        let swapped = "input x in [-1, 1];\nlet k = 0.25;\noutput y = k*x;\n";
+        let cache = cache_on(&dir);
+        let (entry, lookup) = cache.get_or_compile(swapped).unwrap();
+        assert_eq!(lookup, Lookup::StoreHit);
+        assert_eq!(entry.session.coefficients(), vec![0.25]);
+        assert!(entry.na_model_built(), "patched gains ride along");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frame_level_corruption_recompiles_cleanly() {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        // Three damage modes against the stored skeleton: truncation,
+        // a payload bit-flip, and a format-version bump. Every one must
+        // come back as a clean recompile with the corruption counted —
+        // never a panic, never a stale artifact.
+        for (mode, damage) in [("truncate", 0u8), ("bitflip", 1u8), ("version", 2u8)] {
+            let dir = store_dir(&format!("corrupt-{mode}"));
+            let fp = seed(&dir, SRC);
+            let path = Store::open(&dir).unwrap().object_path(SKEL_KIND, fp);
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            match damage {
+                0 => {
+                    let len = f.metadata().unwrap().len();
+                    f.set_len(len / 2).unwrap();
+                }
+                1 => {
+                    let len = f.metadata().unwrap().len();
+                    f.seek(SeekFrom::Start(len - 3)).unwrap();
+                    let mut b = [0u8; 1];
+                    f.read_exact(&mut b).unwrap();
+                    f.seek(SeekFrom::Start(len - 3)).unwrap();
+                    f.write_all(&[b[0] ^ 0x40]).unwrap();
+                }
+                _ => {
+                    // Bytes 4..8 hold the little-endian format version.
+                    f.seek(SeekFrom::Start(4)).unwrap();
+                    f.write_all(&[0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+                }
+            }
+            drop(f);
+
+            let cache = cache_on(&dir);
+            let (entry, lookup) = cache.get_or_compile(SRC).unwrap();
+            assert_eq!(lookup, Lookup::Miss, "{mode}: must recompile");
+            assert!(entry.session.dfg().is_linear());
+            assert!(
+                cache.store().unwrap().stats().corrupt >= 1,
+                "{mode}: corruption must be counted"
+            );
+            // And the recompiled entry serves correctly from memory.
+            assert_eq!(cache.get_or_compile(SRC).unwrap().1, Lookup::SourceHit);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn schema_level_corruption_is_discarded_not_trusted() {
+        let dir = store_dir("schema");
+        let fp = seed(&dir, SRC);
+        {
+            // A frame that passes magic/version/CRC but whose payload is
+            // not a skeleton.
+            let store = Store::open(&dir).unwrap();
+            store
+                .put(SKEL_KIND, fp, b"perfectly valid garbage")
+                .unwrap();
+        }
+        let cache = cache_on(&dir);
+        let (_, lookup) = cache.get_or_compile(SRC).unwrap();
+        assert_eq!(lookup, Lookup::Miss);
+        let store = cache.store().unwrap();
+        assert!(store.stats().corrupt >= 1);
+        // The poisoned object was dropped from the store entirely.
+        assert!(store.get(SKEL_KIND, fp).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn respill_overwrites_with_newly_built_stages() {
+        let dir = store_dir("respill");
+        // First spill with no stages forced: a later warm load imports
+        // a cold skeleton and builds lazily.
+        {
+            let cache = cache_on(&dir);
+            cache.get_or_compile(SRC).unwrap();
+            assert!(cache.spill() >= 1);
+        }
+        {
+            let cache = cache_on(&dir);
+            let (entry, lookup) = cache.get_or_compile(SRC).unwrap();
+            assert_eq!(lookup, Lookup::StoreHit);
+            assert!(!entry.na_model_built());
+            entry.na_model().unwrap();
+            assert_eq!(entry.session.stats().na_builds, 1);
+            assert!(cache.spill() >= 1);
+        }
+        // The respill carried the built model.
+        let cache = cache_on(&dir);
+        let (entry, lookup) = cache.get_or_compile(SRC).unwrap();
+        assert_eq!(lookup, Lookup::StoreHit);
+        assert!(entry.na_model_built());
+        assert_eq!(entry.session.stats().na_builds, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

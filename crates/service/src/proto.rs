@@ -292,6 +292,21 @@ fn dispatch(
         // The registry's own fields (counters / verbs / engines) merge
         // in beside the cache block.
         let mut fields = vec![("cache".to_string(), cache_counters)];
+        if let Some(store) = cache.store() {
+            let s = store.stats();
+            let as_int = |v: u64| Json::int(usize::try_from(v).unwrap_or(usize::MAX));
+            fields.push((
+                "store".into(),
+                Json::Obj(vec![
+                    ("hits".into(), as_int(s.hits)),
+                    ("misses".into(), as_int(s.misses)),
+                    ("writes".into(), as_int(s.writes)),
+                    ("corrupt".into(), as_int(s.corrupt)),
+                    ("objects".into(), Json::int(store.ls().len())),
+                    ("bytes".into(), as_int(store.total_bytes())),
+                ]),
+            ));
+        }
         if let Json::Obj(registry_fields) = stats.to_json() {
             fields.extend(registry_fields);
         }

@@ -29,6 +29,7 @@
 mod exec;
 mod program;
 mod simulate;
+mod wire;
 
 pub use exec::{Executable, VmState};
 pub use program::{Inst, OpCode, Program, Reg};

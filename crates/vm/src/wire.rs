@@ -1,0 +1,239 @@
+//! Binary serialization of a compiled [`Program`] for the persistent
+//! artifact store.
+//!
+//! The bytecode is shape-level (no constant values, no quantizers), so
+//! a stored program can be rebound to any coefficient set — exactly the
+//! property that lets the store key it by shape-tier fingerprints.
+//!
+//! Decoding re-validates the invariants the executor's
+//! disjoint-borrow register split relies on (every register reference
+//! inside the file, destination never aliasing an operand), so a frame
+//! that passes CRC but not schema still degrades to a clean recompile
+//! instead of a panic deep in the lane kernels.
+
+use sna_store::{WireError, WireReader, WireWriter};
+
+use crate::program::{Inst, OpCode, Program, Reg};
+
+const TAG_IN: u8 = 0;
+const TAG_ADD: u8 = 1;
+const TAG_SUB: u8 = 2;
+const TAG_MUL: u8 = 3;
+const TAG_DIV: u8 = 4;
+const TAG_NEG: u8 = 5;
+
+impl Program {
+    /// Encodes the program for the artifact store.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.n_regs as u64);
+        w.u64(self.n_inputs as u64);
+        w.u64(self.n_nodes as u64);
+        w.len(self.insts.len());
+        for i in &self.insts {
+            w.u8(match i.op {
+                OpCode::In => TAG_IN,
+                OpCode::Add => TAG_ADD,
+                OpCode::Sub => TAG_SUB,
+                OpCode::Mul => TAG_MUL,
+                OpCode::Div => TAG_DIV,
+                OpCode::Neg => TAG_NEG,
+            });
+            w.u32(i.dst);
+            w.u32(i.a);
+            w.u32(i.b);
+            w.u32(i.node);
+        }
+        w.len(self.consts.len());
+        for &(reg, node) in &self.consts {
+            w.u32(reg);
+            w.u32(node);
+        }
+        w.len(self.latches.len());
+        for &(state, src, node) in &self.latches {
+            w.u32(state);
+            w.u32(src);
+            w.u32(node);
+        }
+        w.len(self.outputs.len());
+        for (name, reg) in &self.outputs {
+            w.str(name);
+            w.u32(*reg);
+        }
+        w.finish()
+    }
+
+    /// Decodes a program written by [`Program::to_wire`], re-validating
+    /// every register/node reference and the no-alias rule.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on any malformed or invariant-violating input.
+    pub fn from_wire(bytes: &[u8]) -> Result<Program, WireError> {
+        let mut r = WireReader::new(bytes);
+        let n_regs = usize::try_from(r.u64()?).map_err(|_| WireError::new("n_regs"))?;
+        let n_inputs = usize::try_from(r.u64()?).map_err(|_| WireError::new("n_inputs"))?;
+        let n_nodes = usize::try_from(r.u64()?).map_err(|_| WireError::new("n_nodes"))?;
+        if n_regs > u32::MAX as usize || n_nodes > u32::MAX as usize {
+            return Err(WireError::new("register/node count exceeds u32"));
+        }
+        let reg = |v: Reg, what: &str| -> Result<Reg, WireError> {
+            if (v as usize) < n_regs {
+                Ok(v)
+            } else {
+                Err(WireError::new(format!(
+                    "{what} register {v} out of range ({n_regs})"
+                )))
+            }
+        };
+        let node = |v: u32| -> Result<u32, WireError> {
+            if (v as usize) < n_nodes {
+                Ok(v)
+            } else {
+                Err(WireError::new(format!(
+                    "node index {v} out of range ({n_nodes})"
+                )))
+            }
+        };
+
+        let n_insts = r.read_count(17)?;
+        let mut insts = Vec::with_capacity(n_insts);
+        for _ in 0..n_insts {
+            let op = match r.u8()? {
+                TAG_IN => OpCode::In,
+                TAG_ADD => OpCode::Add,
+                TAG_SUB => OpCode::Sub,
+                TAG_MUL => OpCode::Mul,
+                TAG_DIV => OpCode::Div,
+                TAG_NEG => OpCode::Neg,
+                t => return Err(WireError::new(format!("unknown opcode tag {t}"))),
+            };
+            let (dst, a, b) = (r.u32()?, r.u32()?, r.u32()?);
+            let inst_node = node(r.u32()?)?;
+            let dst = reg(dst, "destination")?;
+            if op == OpCode::In {
+                // `a`/`b` carry the input index, not a register.
+                if a as usize >= n_inputs || b != a {
+                    return Err(WireError::new(format!("bad input index {a}")));
+                }
+            } else {
+                reg(a, "operand")?;
+                reg(b, "operand")?;
+                // The executor splits the lane banks at `dst`; aliasing
+                // would make that split unsound.
+                if dst == a || dst == b {
+                    return Err(WireError::new(format!(
+                        "destination register {dst} aliases an operand"
+                    )));
+                }
+            }
+            insts.push(Inst {
+                op,
+                dst,
+                a,
+                b,
+                node: inst_node,
+            });
+        }
+
+        let n_consts = r.read_count(8)?;
+        let mut consts = Vec::with_capacity(n_consts);
+        for _ in 0..n_consts {
+            consts.push((reg(r.u32()?, "constant")?, node(r.u32()?)?));
+        }
+        let n_latches = r.read_count(12)?;
+        let mut latches = Vec::with_capacity(n_latches);
+        for _ in 0..n_latches {
+            latches.push((
+                reg(r.u32()?, "latch state")?,
+                reg(r.u32()?, "latch source")?,
+                node(r.u32()?)?,
+            ));
+        }
+        let n_outputs = r.read_count(12)?;
+        let mut outputs = Vec::with_capacity(n_outputs);
+        for _ in 0..n_outputs {
+            let name = r.str()?;
+            outputs.push((name, reg(r.u32()?, "output")?));
+        }
+        r.expect_end()?;
+        Ok(Program {
+            insts,
+            n_regs,
+            consts,
+            latches,
+            outputs,
+            n_inputs,
+            n_nodes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_dfg::DfgBuilder;
+
+    fn program() -> Program {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let fb = b.delay_placeholder();
+        let t = b.mul_const(0.5, fb);
+        let y = b.add(x, t);
+        b.bind_delay(fb, y).unwrap();
+        b.output("y", y);
+        Program::compile(&b.build().unwrap())
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let p = program();
+        let decoded = Program::from_wire(&p.to_wire()).unwrap();
+        assert_eq!(decoded.to_wire(), p.to_wire());
+        assert_eq!(decoded.n_insts(), p.n_insts());
+        assert_eq!(decoded.n_regs(), p.n_regs());
+        assert_eq!(decoded.output_names(), p.output_names());
+    }
+
+    #[test]
+    fn rejects_damage_without_panicking() {
+        let good = program().to_wire();
+        for cut in 0..good.len() {
+            assert!(Program::from_wire(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x5A;
+            let _ = Program::from_wire(&bad); // may err, must not panic
+        }
+    }
+
+    #[test]
+    fn rejects_aliasing_and_out_of_range_registers() {
+        let p = program();
+        let mut w = WireWriter::new();
+        w.u64(1); // n_regs: far too small for the real registers
+        w.u64(p.n_inputs as u64);
+        w.u64(p.n_nodes as u64);
+        w.len(p.insts.len());
+        for i in &p.insts {
+            w.u8(match i.op {
+                OpCode::In => TAG_IN,
+                OpCode::Add => TAG_ADD,
+                OpCode::Sub => TAG_SUB,
+                OpCode::Mul => TAG_MUL,
+                OpCode::Div => TAG_DIV,
+                OpCode::Neg => TAG_NEG,
+            });
+            w.u32(i.dst);
+            w.u32(i.a);
+            w.u32(i.b);
+            w.u32(i.node);
+        }
+        w.len(0);
+        w.len(0);
+        w.len(0);
+        assert!(Program::from_wire(&w.finish()).is_err());
+    }
+}
