@@ -18,8 +18,8 @@ use sna_core::NoiseReport;
 use sna_service::exec::{self, AnalyzeEngine, AnalyzeParams};
 
 use crate::common::{
-    collect_files, parse_format, parse_jobs, report_human, run_batch, unknown_flag, Args, CliError,
-    Format,
+    collect_files, open_store, parse_format, parse_jobs, report_human, run_batch, unknown_flag,
+    Args, CliError, Format,
 };
 use crate::Json;
 
@@ -53,14 +53,17 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     }
     let (files, batch) = collect_files(args.files(), manifest.as_deref(), USAGE)?;
     let params = AnalyzeParams { engine, bits, bins };
-    let store_dir = store_dir.as_deref();
+    let store = match &store_dir {
+        Some(dir) => Some(open_store(dir)?),
+        None => None,
+    };
     run_batch(
         "analyze",
         files,
         batch,
         jobs,
         format,
-        store_dir,
+        store,
         |path, entry| {
             let reports = exec::analyze(entry, &params).map_err(CliError::Failed)?;
             Ok(render(path, engine, bits, bins, format, &reports))

@@ -316,23 +316,27 @@ fn backoff_sleep(path: &str, attempt: u32) {
 /// per-path jitter before counting as errors; the summary's `retries`
 /// field reports how many retry attempts the whole batch spent.
 ///
-/// With `store_dir` set the cache warm-loads compiled skeletons from
-/// (and spills back to) the persistent artifact store, and the batch
-/// summary gains store hit/miss/write counts.
+/// With `store` set the cache warm-loads compiled skeletons from (and
+/// spills back to) the persistent artifact store, and the batch summary
+/// gains store hit/miss/write counts. Callers that write their own
+/// artifacts (e.g. `trace`'s fitted ranges) must pass the *same* handle
+/// they write through: each handle persists its own in-memory index on
+/// `put`, so a second handle on the directory would clobber the other's
+/// entries.
 pub fn run_batch<F>(
     command: &str,
     files: Vec<String>,
     batch: bool,
     jobs: usize,
     format: Format,
-    store_dir: Option<&str>,
+    store: Option<Arc<Store>>,
     per_file: F,
 ) -> Result<String, CliError>
 where
     F: Fn(&str, &Arc<CompiledEntry>) -> Result<String, CliError> + Sync,
 {
-    let cache = match store_dir {
-        Some(dir) => CompileCache::new().with_store(open_store(dir)?),
+    let cache = match store {
+        Some(store) => CompileCache::new().with_store(store),
         None => CompileCache::new(),
     };
     let started = Instant::now();

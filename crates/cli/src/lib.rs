@@ -22,6 +22,10 @@
 //!                         [--steps N] [--warmup N] [--workers N]
 //!                         [--format human|json]
 //! sna synth    <file>.sna [--bits N] [--clock NS] [--format human|json]
+//! sna trace    <fit|replay|report> <file>.sna... --trace data.csv
+//!                         [--manifest list.txt] [--jobs N] [--bits N]
+//!                         [--bins N] [--warmup N] [--workers N]
+//!                         [--store-dir DIR] [--format human|json]
 //! sna serve    [--listen addr:port] [--max-conns N] [--store-dir DIR]
 //! sna store    <ls|gc|verify> --store-dir DIR [--budget BYTES] [--repair]
 //! ```
@@ -73,6 +77,7 @@ mod serve_cmd;
 mod simulate_cmd;
 mod store_cmd;
 mod synth_cmd;
+mod trace_cmd;
 
 pub use common::CliError;
 /// The JSON document model, re-exported from `sna-service` — the single
@@ -81,7 +86,7 @@ pub use common::CliError;
 /// shims.
 pub use sna_service::Json;
 
-const USAGE: &str = "usage: sna <parse|analyze|simulate|optimize|synth|serve|store> [<file>.sna...] [options]\n\
+const USAGE: &str = "usage: sna <parse|analyze|simulate|optimize|synth|trace|serve|store> [<file>.sna...] [options]\n\
                      \n\
                      commands:\n\
                      \x20 parse     validate a .sna file; dump a summary, DOT, or canonical form\n\
@@ -93,6 +98,9 @@ const USAGE: &str = "usage: sna <parse|analyze|simulate|optimize|synth|serve|sto
                      \x20           anneal, group-greedy, exhaustive, uniform, all); --pareto\n\
                      \x20           runs the resumable multi-objective design-space sweep\n\
                      \x20 synth     schedule + bind + cost report for one configuration\n\
+                     \x20 trace     trace-driven noise analysis: fit input ranges from a\n\
+                     \x20           recorded CSV, replay it through the VM, report measured\n\
+                     \x20           output noise next to the empirical-range prediction\n\
                      \x20 serve     long-running line-oriented JSON server (stdin/stdout or\n\
                      \x20           --listen addr:port) with compiled-model caching\n\
                      \x20 store     ls/gc/verify a persistent artifact store (--store-dir on\n\
@@ -120,6 +128,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "simulate" => simulate_cmd::run(rest),
         "optimize" => optimize_cmd::run(rest),
         "synth" => synth_cmd::run(rest),
+        "trace" => trace_cmd::run(rest),
         "serve" => serve_cmd::run(rest),
         "store" => store_cmd::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),

@@ -92,14 +92,17 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     exec::validate_method(&params.method)
         .map_err(|e| CliError::Usage(format!("{e}\nusage: {USAGE}")))?;
     let (files, batch) = collect_files(args.files(), manifest.as_deref(), USAGE)?;
-    let store_dir = store_dir.as_deref();
+    let store = match &store_dir {
+        Some(dir) => Some(open_store(dir)?),
+        None => None,
+    };
     run_batch(
         "optimize",
         files,
         batch,
         jobs,
         format,
-        store_dir,
+        store,
         |path, entry| {
             let out = exec::optimize(&entry.session, &params).map_err(CliError::Failed)?;
             Ok(match format {
@@ -137,11 +140,14 @@ fn run_pareto(
         SynthesisConstraints::default(),
         spec,
         store.as_deref(),
-    )
-    .map_err(|e| CliError::failed(format!("pareto sweep failed: {e}")))?;
+    );
+    // Spill before propagating a sweep failure: the compiled skeleton is
+    // valid whatever the sweep did, and losing it would make the retry
+    // recompile from scratch instead of warm-loading.
     if store.is_some() {
         cache.spill();
     }
+    let outcome = outcome.map_err(|e| CliError::failed(format!("pareto sweep failed: {e}")))?;
     Ok(match format {
         Format::Human => pareto_human(path, spec, &outcome),
         Format::Json => pareto_json(path, spec, &outcome).to_string(),

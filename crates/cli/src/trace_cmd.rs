@@ -1,0 +1,277 @@
+//! `sna trace` — trace-driven noise analysis: recorded input signals
+//! in, empirical noise reports out.
+//!
+//! Three modes share one ingestion path (streaming CSV → per-column
+//! `OnlineStats` → fitted ranges and histograms):
+//!
+//! * `fit` — bind the CSV columns to the datapath's inputs and report
+//!   the measured ranges/moments that replace the declared ranges.
+//! * `replay` — drive the VM's paired exact/quantized lanes with the
+//!   recorded rows and report the *measured* output noise alone.
+//! * `report` — `replay` plus the analytic prediction computed from the
+//!   *fitted* (empirical) input ranges, with abs/rel gaps per output.
+//!
+//! The replay is deterministic: the trace is cut into fixed segments
+//! that map onto VM lanes, so the numbers are bit-identical whatever
+//! `--workers` says. With `--store-dir` the fitted input ranges are
+//! spilled to the artifact store as `tracefit` objects (keyed by
+//! program fingerprint × trace content), alongside the compile cache's
+//! usual skeleton spill.
+
+use std::sync::Arc;
+
+use sna_core::TraceReport;
+use sna_service::exec::{self, TraceParams};
+use sna_store::{fnv1a_64, Store, WireWriter};
+use sna_trace::TraceLimits;
+
+use crate::common::{
+    collect_files, open_store, parse_format, parse_jobs, report_human, run_batch, unknown_flag,
+    Args, CliError, Format,
+};
+use crate::Json;
+
+const USAGE: &str = "sna trace <fit|replay|report> <file>.sna... --trace data.csv \
+                     [--manifest list.txt] [--jobs N] [--bits N] [--bins N] \
+                     [--warmup N] [--workers N] [--store-dir DIR] [--format human|json]";
+
+/// Object kind of a spilled fitted-range artifact.
+const TRACEFIT_KIND: &str = "tracefit";
+
+/// Version tag leading every `tracefit` payload.
+const TRACEFIT_VERSION: u32 = 1;
+
+/// The three subverbs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Fit,
+    Replay,
+    Report,
+}
+
+impl Mode {
+    fn parse(raw: &str) -> Result<Mode, CliError> {
+        match raw {
+            "fit" => Ok(Mode::Fit),
+            "replay" => Ok(Mode::Replay),
+            "report" => Ok(Mode::Report),
+            other => Err(CliError::Usage(format!(
+                "unknown trace mode `{other}` (expected fit, replay or report)\nusage: {USAGE}"
+            ))),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Fit => "fit",
+            Mode::Replay => "replay",
+            Mode::Report => "report",
+        }
+    }
+}
+
+/// Runs the subcommand.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let mut args = Args::new_multi(argv);
+    let mut format = Format::Human;
+    let mut params = TraceParams::default();
+    let mut jobs: usize = sna_service::default_jobs();
+    let mut manifest: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "format" => format = parse_format(args.value("format")?)?,
+            "trace" => trace_path = Some(args.value("trace")?.to_string()),
+            "bits" => params.bits = args.parse_value("bits")?,
+            "bins" => params.bins = args.parse_value("bins")?,
+            "warmup" => params.warmup = Some(args.parse_value("warmup")?),
+            "workers" => params.workers = args.parse_value("workers")?,
+            "jobs" => jobs = parse_jobs(&mut args)?,
+            "manifest" => manifest = Some(args.value("manifest")?.to_string()),
+            "store-dir" => store_dir = Some(args.value("store-dir")?.to_string()),
+            other => return Err(unknown_flag(other, USAGE)),
+        }
+    }
+    let Some((mode_raw, file_args)) = args.files().split_first() else {
+        return Err(CliError::Usage(format!(
+            "missing <fit|replay|report> mode\nusage: {USAGE}"
+        )));
+    };
+    let mode = Mode::parse(mode_raw)?;
+    params.predict = mode == Mode::Report;
+    let Some(trace_path) = trace_path else {
+        return Err(CliError::Usage(format!(
+            "missing --trace data.csv\nusage: {USAGE}"
+        )));
+    };
+    let csv = std::fs::read_to_string(&trace_path)
+        .map_err(|e| CliError::failed(format!("cannot read `{trace_path}`: {e}")))?;
+    let (files, batch) = collect_files(file_args, manifest.as_deref(), USAGE)?;
+    // The fitted-range spill target: the SAME handle the batch's compile
+    // cache spills through — a second handle on the directory would
+    // clobber the index entries the other one wrote.
+    let fit_store: Option<Arc<Store>> = match &store_dir {
+        Some(dir) => Some(open_store(dir)?),
+        None => None,
+    };
+    let csv_key = fnv1a_64(csv.as_bytes());
+    run_batch(
+        "trace",
+        files,
+        batch,
+        jobs,
+        format,
+        fit_store.clone(),
+        |path, entry| {
+            let budget = sna_core::Budget::unlimited();
+            let trace = exec::ingest_trace(&csv, &entry.session, &TraceLimits::default(), &budget)
+                .map_err(CliError::Failed)?;
+            let fit =
+                exec::trace_fit(&entry.session, &trace, params.bins).map_err(CliError::Failed)?;
+            if let Some(store) = &fit_store {
+                spill_fit(store, entry.fingerprint ^ csv_key, &fit);
+            }
+            match mode {
+                Mode::Fit => Ok(render_fit(path, &trace, params.bins, format, &fit)),
+                Mode::Replay | Mode::Report => {
+                    let report =
+                        exec::trace_report(entry, &trace, &params).map_err(CliError::Failed)?;
+                    Ok(render(path, mode, &params, format, &report))
+                }
+            }
+        },
+    )
+}
+
+/// Writes the fitted ranges/moments to the artifact store, keyed by
+/// `program fingerprint ⊕ trace-content hash` so re-runs over the same
+/// pair land on the same object. Spill failures are non-fatal — the
+/// store is an accelerator, never a correctness dependency.
+fn spill_fit(store: &Store, key: u64, fit: &[sna_core::TraceInputFit]) {
+    let mut w = WireWriter::new();
+    w.u32(TRACEFIT_VERSION);
+    w.len(fit.len());
+    for f in fit {
+        w.str(&f.name);
+        w.u64(f.samples as u64);
+        w.f64(f.mean);
+        w.f64(f.variance);
+        w.f64(f.range.lo());
+        w.f64(f.range.hi());
+    }
+    let _ = store.put(TRACEFIT_KIND, key, &w.finish());
+}
+
+/// One file's `fit` output.
+fn render_fit(
+    path: &str,
+    trace: &sna_trace::Trace,
+    bins: usize,
+    format: Format,
+    fit: &[sna_core::TraceInputFit],
+) -> String {
+    match format {
+        Format::Human => {
+            let mut out = format!(
+                "{path}: trace fit · {} row(s) · {} skipped · {} bins\n",
+                trace.rows(),
+                trace.skipped(),
+                bins
+            );
+            for f in fit {
+                out.push_str(&format!(
+                    "input `{}`\n  samples   {:>13}\n  mean      {:>13.6e}\n  \
+                     variance  {:>13.6e}\n  range     [{:.6e}, {:.6e}]\n",
+                    f.name,
+                    f.samples,
+                    f.mean,
+                    f.variance,
+                    f.range.lo(),
+                    f.range.hi(),
+                ));
+            }
+            out
+        }
+        Format::Json => {
+            let fields = vec![
+                ("command".into(), Json::str("trace")),
+                ("file".into(), Json::str(path)),
+                ("engine".into(), Json::str("trace")),
+                ("mode".into(), Json::str("fit")),
+                ("bins".into(), Json::int(bins)),
+                ("rows".into(), Json::int(trace.rows())),
+                ("skipped".into(), Json::int(trace.skipped())),
+                ("fit".into(), exec::trace_fit_json(fit, true)),
+            ];
+            Json::Obj(fields).to_string()
+        }
+    }
+}
+
+/// One file's `replay`/`report` output — the JSON shape matches the
+/// server's `trace` verb field-for-field (plus `command`/`file`).
+fn render(
+    path: &str,
+    mode: Mode,
+    params: &TraceParams,
+    format: Format,
+    report: &TraceReport,
+) -> String {
+    match format {
+        Format::Human => {
+            let mut out = format!(
+                "{path}: trace {} · {} bits · {} row(s) · {} skipped · {} warmup\n",
+                mode.name(),
+                params.bits,
+                report.rows,
+                report.skipped,
+                report.warmup
+            );
+            match report.predicted_by {
+                Some(engine) => out.push_str(&format!(
+                    "predicted by the `{}` engine over the fitted ranges; \
+                     gaps are measured − predicted\n",
+                    engine.name()
+                )),
+                None => out.push_str("measured numbers only (no analytic prediction)\n"),
+            }
+            for output in &report.outputs {
+                out.push('\n');
+                out.push_str(&report_human(&output.name, &output.empirical, true));
+                if let Some(predicted) = &output.predicted {
+                    out.push_str(&format!(
+                        "  predicted mean {:>13.6e} · variance {:>13.6e}\n",
+                        predicted.mean, predicted.variance
+                    ));
+                }
+                if let (Some(mg), Some(vg)) = (&output.mean_gap, &output.variance_gap) {
+                    out.push_str(&format!(
+                        "  gap       mean {:>13.6e}{} · variance {:>13.6e}{}\n",
+                        mg.abs,
+                        rel_suffix(mg.rel),
+                        vg.abs,
+                        rel_suffix(vg.rel),
+                    ));
+                }
+            }
+            out
+        }
+        Format::Json => {
+            let mut fields = vec![
+                ("command".into(), Json::str("trace")),
+                ("file".into(), Json::str(path)),
+                ("engine".into(), Json::str("trace")),
+                ("mode".into(), Json::str(mode.name())),
+                ("bits".into(), Json::int(params.bits as usize)),
+                ("bins".into(), Json::int(params.bins)),
+            ];
+            fields.extend(exec::trace_json_fields(report, true));
+            Json::Obj(fields).to_string()
+        }
+    }
+}
+
+fn rel_suffix(rel: Option<f64>) -> String {
+    rel.map_or(String::new(), |r| format!(" ({:.2}% rel)", r * 100.0))
+}

@@ -229,6 +229,67 @@ fn pareto_resumes_from_the_store_checkpoint() {
 }
 
 #[test]
+fn failed_batch_still_spills_to_the_store() {
+    // A mixed manifest: one good file, one with a compile diagnostic.
+    let good = temp_program("mixed-good", FIR);
+    let bad = temp_program("mixed-bad", "input x;\ny = ;\noutput y;\n");
+    let manifest_path = std::env::temp_dir().join(format!(
+        "sna-store-cli-mixed-manifest-{}.txt",
+        std::process::id()
+    ));
+    std::fs::write(&manifest_path, format!("{good}\n{bad}\n")).unwrap();
+    let manifest = manifest_path.to_string_lossy().into_owned();
+    let dir = store_dir("mixed");
+    let args = |d: &str| {
+        argv(&[
+            "analyze",
+            "--manifest",
+            &manifest,
+            "--store-dir",
+            d,
+            "--jobs",
+            "1",
+        ])
+    };
+    // Cold run: the bad file fails the batch, but the good file's
+    // skeleton must still reach the store on the failure path.
+    let cold = match run(&args(&dir)) {
+        Err(e @ CliError::BatchFailed(_)) => e.stdout_output().unwrap().to_string(),
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(cold.contains("store 0 hit(s)"), "{cold}");
+    assert!(cold.contains("2 write(s)"), "{cold}");
+    // Warm run: the good file warm-loads from the store.
+    let warm = match run(&args(&dir)) {
+        Err(e @ CliError::BatchFailed(_)) => e.stdout_output().unwrap().to_string(),
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(warm.contains("store 1 hit(s)"), "{warm}");
+}
+
+#[test]
+fn failed_pareto_sweep_still_spills_the_skeleton() {
+    let file = temp_program("pareto-spill", FIR);
+    let dir = store_dir("pareto-spill");
+    // An invalid sweep spec fails *after* the compile; the skeleton must
+    // still be spilled so the corrected rerun warm-loads it.
+    match run(&argv(&[
+        "optimize",
+        &file,
+        "--pareto",
+        "--points",
+        "0",
+        "--store-dir",
+        &dir,
+    ])) {
+        Err(CliError::Failed(m)) => assert!(m.contains("pareto sweep failed"), "{m}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    let ls = run(&argv(&["store", "ls", "--store-dir", &dir])).unwrap();
+    assert!(ls.contains("skel"), "{ls}");
+}
+
+#[test]
 fn pareto_flags_are_guarded() {
     let file = temp_program("pareto-guard", FIR);
     // Sweep flags without --pareto.

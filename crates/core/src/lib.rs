@@ -69,6 +69,7 @@ mod session;
 mod simulate;
 mod sources;
 mod symbolic;
+mod trace;
 
 pub use analysis::{EngineKind, SnaAnalysis};
 pub use budget::Budget;
@@ -83,3 +84,4 @@ pub use session::{PerSample, Session, SessionStats};
 pub use simulate::{Gap, SimOutput, SimReport, SimRequest};
 pub use sources::{noise_sources, IntroducesNoise, NoiseSource};
 pub use symbolic::{SymbolicEngine, SymbolicOptions, SymbolicResult};
+pub use trace::{TraceInputFit, TraceReport, TraceRequest};

@@ -73,7 +73,7 @@ pub struct Gap {
 }
 
 impl Gap {
-    fn between(empirical: f64, predicted: f64) -> Gap {
+    pub(crate) fn between(empirical: f64, predicted: f64) -> Gap {
         let abs = (empirical - predicted).abs();
         Gap {
             abs,
@@ -121,7 +121,7 @@ pub struct SimReport {
 
 /// Maps a VM failure onto [`SnaError`]; `Cancelled` is diagnosed
 /// against the request's budget (deadline vs explicit cancel).
-fn vm_err(e: VmError, budget: &Budget) -> SnaError {
+pub(crate) fn vm_err(e: VmError, budget: &Budget) -> SnaError {
     match e {
         VmError::DivisionByZero { node } => SnaError::Dfg(DfgError::DivisionByZero { node }),
         VmError::InputArity { expected, got } => {

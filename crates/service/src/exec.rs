@@ -17,6 +17,7 @@ use sna_core::{
 };
 use sna_hls::{synthesize, Implementation, SynthesisConstraints};
 use sna_opt::{AnnealOptions, Evaluation, OptError, Optimizer};
+use sna_trace::{Trace, TraceError, TraceLimits};
 
 use crate::cache::CompiledEntry;
 use crate::json::Json;
@@ -276,6 +277,247 @@ pub fn simulate_json_fields(report: &SimReport, include_pdf: bool) -> Vec<(Strin
                             ("samples".into(), Json::int(out.samples)),
                             (
                                 "empirical".into(),
+                                report_json(&out.name, &out.empirical, include_pdf),
+                            ),
+                            (
+                                "predicted".into(),
+                                out.predicted
+                                    .as_ref()
+                                    .map_or(Json::Null, |p| report_json(&out.name, p, include_pdf)),
+                            ),
+                            ("mean_gap".into(), gap_json(&out.mean_gap)),
+                            ("variance_gap".into(), gap_json(&out.variance_gap)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+/// Hard ceiling on bytes of trace CSV ingested per request (same
+/// rationale as [`MAX_PATHS`]: an untrusted peer must not size the
+/// server's memory).
+pub const MAX_TRACE_BYTES: usize = 1 << 24;
+
+/// Hard ceiling on accepted trace rows per request (replay cost is
+/// `rows × instructions`).
+pub const MAX_TRACE_ROWS: usize = 1 << 20;
+
+/// Parameters of a `trace` request, with the CLI's defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceParams {
+    /// Uniform word length of the replayed configuration.
+    pub bits: u8,
+    /// Bins of the fitted input and empirical error histograms.
+    pub bins: usize,
+    /// Segment warmup rows; `None` = 0 combinational / 64 sequential.
+    pub warmup: Option<usize>,
+    /// Worker threads (0 = available parallelism); wall-clock only,
+    /// never the numbers.
+    pub workers: usize,
+    /// Attempt the analytic prediction (the `report` verb); `false`
+    /// replays without a model column (the `replay` verb).
+    pub predict: bool,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams {
+            bits: 12,
+            bins: 64,
+            warmup: None,
+            workers: 0,
+            predict: true,
+        }
+    }
+}
+
+/// Streams a CSV trace bound to the session's input names, under the
+/// given caps and with ingestion checked against the budget every few
+/// hundred rows — the shared front door for the CLI verbs and the
+/// server's `trace` verb.
+///
+/// # Errors
+///
+/// Structured ingestion failures, rendered; budget overruns keep their
+/// exact `deadline exceeded` / `request cancelled` strings.
+pub fn ingest_trace(
+    csv: &str,
+    session: &Session,
+    limits: &TraceLimits,
+    budget: &Budget,
+) -> Result<Trace, String> {
+    if csv.len() > limits.max_bytes {
+        return Err(format!(
+            "trace exceeds the byte cap ({} bytes)",
+            limits.max_bytes
+        ));
+    }
+    let cancelled = || !budget.is_unlimited() && budget.check().is_err();
+    Trace::read_with(
+        csv.as_bytes(),
+        session.dfg().input_names(),
+        limits,
+        &cancelled,
+    )
+    .map_err(|e| match e {
+        TraceError::Cancelled => budget.overrun_error().to_string(),
+        other => format!("trace ingestion failed: {other}"),
+    })
+}
+
+/// Fits per-input ranges and histograms from an ingested trace — the
+/// `fit` verb, no replay.
+///
+/// # Errors
+///
+/// Binding or histogram failures, rendered; `bins` outside
+/// `1..=`[`MAX_BINS`] is rejected up front.
+pub fn trace_fit(
+    session: &Session,
+    trace: &Trace,
+    bins: usize,
+) -> Result<Vec<sna_core::TraceInputFit>, String> {
+    if bins == 0 || bins > MAX_BINS {
+        return Err(format!("bins must be in 1..={MAX_BINS}, got {bins}"));
+    }
+    session
+        .fit_trace(trace, bins)
+        .map_err(|e| format!("trace fit failed: {e}"))
+}
+
+/// Replays an ingested trace against a compiled entry — measured
+/// output noise next to the analytic prediction under the fitted
+/// ranges.
+///
+/// # Errors
+///
+/// Configuration and replay failures, rendered; `bins` and `warmup`
+/// outside their ceilings are rejected up front.
+pub fn trace_report(
+    entry: &CompiledEntry,
+    trace: &Trace,
+    params: &TraceParams,
+) -> Result<sna_core::TraceReport, String> {
+    trace_report_budgeted(entry, trace, params, &Budget::unlimited())
+}
+
+/// [`trace_report`] under a cooperative execution [`Budget`]: the VM
+/// checks it before every replay chunk claim, so an overrun request
+/// stops within one chunk's work and renders the structured `deadline
+/// exceeded` / `request cancelled` error.
+///
+/// # Errors
+///
+/// Same as [`trace_report`], plus the budget overruns.
+pub fn trace_report_budgeted(
+    entry: &CompiledEntry,
+    trace: &Trace,
+    params: &TraceParams,
+    budget: &Budget,
+) -> Result<sna_core::TraceReport, String> {
+    let TraceParams {
+        bits,
+        bins,
+        warmup,
+        workers,
+        predict,
+    } = *params;
+    if bins == 0 || bins > MAX_BINS {
+        return Err(format!("bins must be in 1..={MAX_BINS}, got {bins}"));
+    }
+    if let Some(w) = warmup {
+        if w > MAX_STEPS {
+            return Err(format!("warmup must be at most {MAX_STEPS}, got {w}"));
+        }
+    }
+    let req = sna_core::TraceRequest {
+        words: WlChoice::Uniform(bits),
+        bins,
+        warmup,
+        workers,
+        predict,
+        budget: budget.clone(),
+    };
+    entry.session.trace(trace, &req).map_err(|e| match e {
+        // Pass budget overruns through verbatim for the protocol layer's
+        // exact-string classification.
+        SnaError::DeadlineExceeded | SnaError::Cancelled => e.to_string(),
+        other => format!("trace replay failed: {other}"),
+    })
+}
+
+/// Per-input trace fits as a JSON array (the shape shared by the CLI's
+/// `trace --format json` verbs and the server's `trace` result).
+#[must_use]
+pub fn trace_fit_json(fit: &[sna_core::TraceInputFit], include_pdf: bool) -> Json {
+    Json::Arr(
+        fit.iter()
+            .map(|f| {
+                let mut fields = vec![
+                    ("input".into(), Json::str(f.name.clone())),
+                    ("samples".into(), Json::int(f.samples)),
+                    ("mean".into(), Json::Num(f.mean)),
+                    ("variance".into(), Json::Num(f.variance)),
+                    ("range".into(), Json::pair(f.range.lo(), f.range.hi())),
+                ];
+                if include_pdf {
+                    let h = &f.histogram;
+                    fields.push((
+                        "histogram".into(),
+                        Json::Obj(vec![
+                            ("bins".into(), Json::int(h.n_bins())),
+                            ("lo".into(), Json::Num(h.grid().lo())),
+                            ("hi".into(), Json::Num(h.grid().hi())),
+                        ]),
+                    ));
+                }
+                Json::Obj(fields)
+            })
+            .collect(),
+    )
+}
+
+/// A [`sna_core::TraceReport`] as JSON fields — the body shared by the
+/// CLI's `trace replay|report --format json` and the server's `trace`
+/// result, so both front ends are byte-identical.
+#[must_use]
+pub fn trace_json_fields(report: &sna_core::TraceReport, include_pdf: bool) -> Vec<(String, Json)> {
+    let gap_json = |gap: &Option<sna_core::Gap>| match gap {
+        Some(g) => Json::Obj(vec![
+            ("abs".into(), Json::Num(g.abs)),
+            ("rel".into(), g.rel.map_or(Json::Null, Json::Num)),
+        ]),
+        None => Json::Null,
+    };
+    vec![
+        ("rows".into(), Json::int(report.rows)),
+        ("skipped".into(), Json::int(report.skipped)),
+        ("warmup".into(), Json::int(report.warmup)),
+        (
+            "predicted_by".into(),
+            report
+                .predicted_by
+                .map_or(Json::Null, |k| Json::str(k.name())),
+        ),
+        (
+            "elapsed_us".into(),
+            Json::int(usize::try_from(report.elapsed.as_micros()).unwrap_or(usize::MAX)),
+        ),
+        ("fit".into(), trace_fit_json(&report.fit, false)),
+        (
+            "outputs".into(),
+            Json::Arr(
+                report
+                    .outputs
+                    .iter()
+                    .map(|out| {
+                        Json::Obj(vec![
+                            ("output".into(), Json::str(out.name.clone())),
+                            ("samples".into(), Json::int(out.samples)),
+                            (
+                                "measured".into(),
                                 report_json(&out.name, &out.empirical, include_pdf),
                             ),
                             (

@@ -312,9 +312,12 @@ fn dispatch(
         }
         return Ok(Dispatched::plain(Json::Obj(fields), None));
     }
-    if !matches!(cmd, "parse" | "analyze" | "optimize" | "synth" | "simulate") {
+    if !matches!(
+        cmd,
+        "parse" | "analyze" | "optimize" | "synth" | "simulate" | "trace"
+    ) {
         return Err(format!(
-            "unknown cmd `{cmd}` (expected parse, analyze, optimize, synth, simulate or stats)"
+            "unknown cmd `{cmd}` (expected parse, analyze, optimize, synth, simulate, trace or stats)"
         ));
     }
 
@@ -410,6 +413,68 @@ fn dispatch(
             fields.extend(exec::simulate_json_fields(&report, include_pdf));
             Json::Obj(fields)
         }
+        "trace" => {
+            let mode = match doc.get("mode") {
+                Some(v) => field_str(v, "mode")?,
+                None => "report",
+            };
+            if !matches!(mode, "fit" | "replay" | "report") {
+                return Err(format!(
+                    "unknown trace mode `{mode}` (expected fit, replay or report)"
+                ));
+            }
+            let csv = trace_csv(doc, peer)?;
+            // Byte/row caps + budget-checked ingestion: an untrusted
+            // peer must not size the server's memory or stall it with
+            // an endless upload.
+            let trace_limits = sna_trace::TraceLimits {
+                max_bytes: exec::MAX_TRACE_BYTES,
+                max_rows: exec::MAX_TRACE_ROWS,
+            };
+            let trace = exec::ingest_trace(&csv, &entry.session, &trace_limits, &budget)?;
+            let include_pdf = match doc.get("pdf") {
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| "`pdf` must be a boolean".to_string())?,
+                None => true,
+            };
+            let bins = usize_field(doc, "bins", 64)?;
+            if mode == "fit" {
+                let fit = exec::trace_fit(&entry.session, &trace, bins)?;
+                Json::Obj(vec![
+                    ("engine".into(), Json::str("trace")),
+                    ("mode".into(), Json::str("fit")),
+                    ("bins".into(), Json::int(bins)),
+                    ("rows".into(), Json::int(trace.rows())),
+                    ("skipped".into(), Json::int(trace.skipped())),
+                    ("fit".into(), exec::trace_fit_json(&fit, include_pdf)),
+                ])
+            } else {
+                let params = exec::TraceParams {
+                    bits: u8_field(doc, "bits", 12)?,
+                    bins,
+                    warmup: match doc.get("warmup") {
+                        Some(_) => Some(bounded_usize_field(doc, "warmup", 64, exec::MAX_STEPS)?),
+                        None => None,
+                    },
+                    workers: bounded_usize_field(doc, "workers", 0, 64)?,
+                    predict: mode == "report",
+                };
+                let report = exec::trace_report_budgeted(&entry, &trace, &params, &budget)?;
+                engine_used = Some((
+                    "trace",
+                    u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX),
+                ));
+                let mut fields = vec![
+                    ("engine".into(), Json::str("trace")),
+                    ("mode".into(), Json::str(mode)),
+                    ("bits".into(), Json::int(params.bits as usize)),
+                    ("bins".into(), Json::int(params.bins)),
+                ];
+                fields.extend(exec::trace_json_fields(&report, include_pdf));
+                Json::Obj(fields)
+            }
+        }
         "optimize" => {
             let params = OptimizeParams {
                 method: match doc.get("method") {
@@ -492,6 +557,34 @@ fn request_source(doc: &Json, peer: Peer) -> Result<(String, String), String> {
         return Ok((text, path.to_string()));
     }
     Err("request needs a `source` (inline text) or `path` (file) field".to_string())
+}
+
+/// The recorded-signal CSV of a `trace` request: inline `trace`, or
+/// `trace_path` read from disk (trusted transports only, and only up to
+/// the byte cap — a path must not smuggle in an unbounded file).
+fn trace_csv(doc: &Json, peer: Peer) -> Result<String, String> {
+    if let Some(v) = doc.get("trace") {
+        return Ok(field_str(v, "trace")?.to_string());
+    }
+    if let Some(v) = doc.get("trace_path") {
+        if peer == Peer::Untrusted {
+            return Err(
+                "`trace_path` is not available over TCP (it reads server-side files); \
+                 send the CSV inline via `trace`"
+                    .to_string(),
+            );
+        }
+        let path = field_str(v, "trace_path")?;
+        let meta = std::fs::metadata(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        if meta.len() > exec::MAX_TRACE_BYTES as u64 {
+            return Err(format!(
+                "trace exceeds the byte cap ({} bytes)",
+                exec::MAX_TRACE_BYTES
+            ));
+        }
+        return std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"));
+    }
+    Err("trace request needs a `trace` (inline CSV) or `trace_path` (file) field".to_string())
 }
 
 fn field_str<'a>(value: &'a Json, key: &str) -> Result<&'a str, String> {
@@ -954,5 +1047,161 @@ mod tests {
             .as_str()
             .unwrap()
             .contains("unknown engine"));
+    }
+
+    const CSV: &str = "x\\n0.9\\n-0.9\\n0.45\\n-0.45\\n0.1\\n-0.7\\n0.3\\n-0.2\\n";
+
+    fn first(v: &Json) -> &Json {
+        match v {
+            Json::Arr(items) => &items[0],
+            other => panic!("expected an array, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trace_report_answers_with_measured_and_predicted_noise() {
+        let cache = CompileCache::new();
+        let registry = StatsRegistry::new();
+        let line = request(&format!(
+            r#""cmd": "trace", "source": "{SRC}", "trace": "{CSV}", "bits": 8"#
+        ));
+        let resp = handle_line_stats(&cache, &registry, &line);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        let result = resp.get("result").unwrap();
+        assert_eq!(result.get("engine").unwrap().as_str(), Some("trace"));
+        assert_eq!(result.get("mode").unwrap().as_str(), Some("report"));
+        assert_eq!(result.get("rows").unwrap().as_f64(), Some(8.0));
+        let y = first(result.get("outputs").unwrap());
+        assert_eq!(y.get("output").unwrap().as_str(), Some("y"));
+        assert!(y.get("measured").unwrap().get("variance").is_some());
+        assert!(y.get("predicted").unwrap().get("variance").is_some());
+        assert!(y.get("variance_gap").is_some());
+        // The verb and engine both land in the registry as `trace`.
+        assert_eq!(registry.verb("trace").unwrap().snapshot().count, 1);
+        assert_eq!(registry.engine("trace").unwrap().snapshot().count, 1);
+    }
+
+    #[test]
+    fn trace_fit_reports_measured_ranges_not_declared_ones() {
+        let cache = CompileCache::new();
+        let line = request(&format!(
+            r#""cmd": "trace", "source": "{SRC}", "trace": "{CSV}", "mode": "fit""#
+        ));
+        let resp = handle_line(&cache, &line);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        let result = resp.get("result").unwrap();
+        assert_eq!(result.get("mode").unwrap().as_str(), Some("fit"));
+        let fit = first(result.get("fit").unwrap());
+        assert_eq!(fit.get("input").unwrap().as_str(), Some("x"));
+        // Declared range is [-1, 1]; the recorded signal only spans
+        // [-0.9, 0.9] and the fit reflects the data.
+        match fit.get("range").unwrap() {
+            Json::Arr(pair) => {
+                assert_eq!(pair[0].as_f64(), Some(-0.9));
+                assert_eq!(pair[1].as_f64(), Some(0.9));
+            }
+            other => panic!("expected a [lo, hi] pair, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trace_replay_mode_skips_the_analytic_prediction() {
+        let cache = CompileCache::new();
+        let line = request(&format!(
+            r#""cmd": "trace", "source": "{SRC}", "trace": "{CSV}", "mode": "replay""#
+        ));
+        let resp = handle_line(&cache, &line);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+        let y = first(resp.get("result").unwrap().get("outputs").unwrap());
+        assert!(y.get("measured").unwrap().get("variance").is_some());
+        assert!(matches!(y.get("predicted"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn trace_requests_validate_mode_and_payload() {
+        let cache = CompileCache::new();
+        let bad_mode = handle_line(
+            &cache,
+            &request(&format!(
+                r#""cmd": "trace", "source": "{SRC}", "trace": "{CSV}", "mode": "warp""#
+            )),
+        );
+        assert!(bad_mode
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown trace mode"));
+        let no_trace = handle_line(
+            &cache,
+            &request(&format!(r#""cmd": "trace", "source": "{SRC}""#)),
+        );
+        assert!(no_trace
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("`trace`"));
+        let bad_column = handle_line(
+            &cache,
+            &request(&format!(
+                r#""cmd": "trace", "source": "{SRC}", "trace": "z\\n1\\n""#
+            )),
+        );
+        assert!(bad_column
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("no column for input"));
+    }
+
+    #[test]
+    fn untrusted_peers_cannot_read_files_via_trace_path() {
+        let cache = CompileCache::new();
+        let line = request(&format!(
+            r#""cmd": "trace", "source": "{SRC}", "trace_path": "/etc/hostname""#
+        ));
+        let resp = handle_line_untrusted(&cache, &line);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        assert!(resp
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("not available over TCP"));
+        // The same request with the CSV inline works for that peer.
+        let ok = handle_line_untrusted(
+            &cache,
+            &request(&format!(
+                r#""cmd": "trace", "source": "{SRC}", "trace": "{CSV}""#
+            )),
+        );
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true), "{ok}");
+    }
+
+    #[test]
+    fn trace_row_cap_rejects_oversized_recordings() {
+        let cache = CompileCache::new();
+        let mut csv = String::from("x\\n");
+        for _ in 0..=exec::MAX_TRACE_ROWS {
+            csv.push_str("0\\n");
+        }
+        let resp = handle_line(
+            &cache,
+            &request(&format!(
+                r#""cmd": "trace", "source": "{SRC}", "trace": "{csv}""#
+            )),
+        );
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        assert!(
+            resp.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("row cap"),
+            "{}",
+            resp.get("error").unwrap()
+        );
     }
 }

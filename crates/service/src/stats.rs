@@ -40,12 +40,22 @@ use crate::json::Json;
 pub const N_BINS: usize = 32;
 
 /// The request verbs with a dedicated latency histogram, in wire order.
-pub const VERBS: [&str; 6] = ["parse", "analyze", "optimize", "synth", "simulate", "stats"];
+pub const VERBS: [&str; 7] = [
+    "parse", "analyze", "optimize", "synth", "simulate", "trace", "stats",
+];
 
 /// The analysis engines with a dedicated latency histogram (resolved
 /// engines only — `auto` records under whatever it resolved to; the
 /// Monte-Carlo `simulate` engine records its sweep time here too).
-pub const ENGINES: [&str; 6] = ["na", "dfg", "lti", "symbolic", "cartesian", "simulate"];
+pub const ENGINES: [&str; 7] = [
+    "na",
+    "dfg",
+    "lti",
+    "symbolic",
+    "cartesian",
+    "simulate",
+    "trace",
+];
 
 /// The named connection-lifecycle and request counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -222,6 +232,13 @@ impl HistogramSnapshot {
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
+        }
+        if self.count == 1 {
+            // A single observation is its own every-quantile; the
+            // general interpolation below would report a latency from
+            // inside the containing bin that was never observed
+            // (p50 of one `record(100)` came out as 81.5 µs).
+            return self.max_us as f64;
         }
         let target = q.clamp(0.0, 1.0) * self.count as f64;
         let mut cum = 0u64;
@@ -574,6 +591,34 @@ mod tests {
         assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
         assert!(p99 <= max as f64);
         assert_eq!(snap.max_us, max);
+    }
+
+    #[test]
+    fn zero_duration_observations_land_in_bin_zero() {
+        // A sub-microsecond request records `0` — the `saturating_add(1)`
+        // shift maps it into bin 0 ([0, 1)), not an underflowed index.
+        let h = LatencyHistogram::new();
+        h.record(0);
+        let snap = h.snapshot();
+        assert_eq!(snap.bins[0], 1);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.total_us, 0);
+        assert_eq!(snap.quantile(0.5), 0.0);
+        assert_eq!(snap.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_report_the_observed_value_exactly() {
+        // With one observation every quantile IS that observation; the
+        // in-bin interpolation must not fabricate a smaller latency.
+        for v in [0u64, 1, 100, 12_345, 80_000] {
+            let h = LatencyHistogram::new();
+            h.record(v);
+            let snap = h.snapshot();
+            assert_eq!(snap.quantile(0.5), v as f64, "p50 of one record({v})");
+            assert_eq!(snap.quantile(0.99), v as f64, "p99 of one record({v})");
+            assert_eq!(snap.max_us, v);
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn read_json(reader: &mut BufReader<TcpStream>) -> Json {
 #[test]
 fn sixty_four_concurrent_peers_and_the_registry_reconciles() {
     const PEERS: usize = 64;
-    const PER_PEER: usize = 5; // parse, analyze, stats, analyze, parse
+    const PER_PEER: usize = 6; // parse, analyze, stats, trace, analyze, parse
     let Some((handle, stats)) = start(ServerConfig::default()) else {
         return;
     };
@@ -72,6 +72,9 @@ fn sixty_four_concurrent_peers_and_the_registry_reconciles() {
                     format!(r#"{{"id": {peer}, "cmd": "parse", "source": "{SRC}"}}"#),
                     format!(r#"{{"cmd": "analyze", "source": "{SRC}", "bits": 8, "pdf": false}}"#),
                     r#"{"cmd": "stats"}"#.to_string(),
+                    format!(
+                        r#"{{"cmd": "trace", "source": "{SRC}", "trace": "x\n0.5\n-0.5\n0.25\n", "pdf": false}}"#
+                    ),
                     format!(r#"{{"cmd": "analyze", "source": "{SRC}", "bits": 8, "pdf": false}}"#),
                     format!(r#"{{"cmd": "parse", "source": "{SRC}"}}"#),
                 ];
@@ -128,6 +131,12 @@ fn sixty_four_concurrent_peers_and_the_registry_reconciles() {
     assert_eq!(verb_total, (PEERS * PER_PEER + 1) as u64);
     let lti = stats.engine("lti").unwrap().snapshot();
     assert_eq!(lti.count, (PEERS * 2) as u64, "two analyzes per peer");
+    // The trace verb reconciles in both tables: one row per peer in the
+    // verb histogram and one replay in the engine histogram.
+    let trace_verb = stats.verb("trace").unwrap().snapshot();
+    assert_eq!(trace_verb.count, PEERS as u64, "one trace per peer");
+    let trace_engine = stats.engine("trace").unwrap().snapshot();
+    assert_eq!(trace_engine.count, PEERS as u64);
     assert_eq!(stats.get(Counter::Accepted), (PEERS + 1) as u64);
     assert_eq!(
         stats.get(Counter::Closed),

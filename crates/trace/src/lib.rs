@@ -1,0 +1,592 @@
+//! `sna-trace` — streaming CSV trace ingestion for trace-driven noise
+//! analysis.
+//!
+//! Every SNA engine samples inputs from *declared* ranges; this crate
+//! is the bridge from **measured** signals: a recorded CSV trace is
+//! bound column-by-column to a design's input names (vector banks bind
+//! per element: a DSL `input v[4]` expects columns `v[0]`..`v[3]`),
+//! streamed once through per-column [`OnlineStats`] (count / mean / M2
+//! / min / max, Welford's update), and retained as column-major sample
+//! vectors ready to replay through the VM's trace-fed lane banks.
+//!
+//! # Binding rules
+//!
+//! * The first non-empty line is the header; fields may be quoted with
+//!   `"` (doubled quotes escape) and CRLF line endings are accepted.
+//! * Every design input name must match a header field exactly (after
+//!   unquoting and trimming); missing names are a structured
+//!   [`TraceError::MissingColumn`], extra CSV columns are ignored and
+//!   counted in [`Trace::ignored_columns`].
+//! * Data rows too short to cover every bound column are skipped and
+//!   counted ([`Trace::skipped_ragged`]); rows with a non-finite,
+//!   empty, or unparseable bound field are skipped and counted
+//!   ([`Trace::skipped_non_finite`]). Parsing never panics.
+//! * A trace with zero accepted rows is [`TraceError::NoRows`].
+//!
+//! # Caps
+//!
+//! [`TraceLimits`] bounds ingestion: `max_bytes` caps the bytes read
+//! from the source, `max_rows` caps accepted rows — both produce
+//! structured errors rather than truncating silently, so callers (the
+//! server's `trace` verb in particular) can refuse oversized uploads
+//! deterministically. A cooperative cancellation callback is consulted
+//! every [`CANCEL_EVERY_ROWS`] rows for budget-checked ingestion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::BufRead;
+
+/// Rows between cooperative cancellation checks during ingestion.
+pub const CANCEL_EVERY_ROWS: usize = 512;
+
+/// Single-pass running statistics of one column (Welford's algorithm):
+/// count, mean, sum of squared deviations (M2), min and max — constant
+/// memory however long the trace is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        OnlineStats::new()
+    }
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Samples folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance `M2 / count` (0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Ingestion caps; exceeding either is a structured error, never a
+/// silent truncation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceLimits {
+    /// Maximum bytes read from the source (header included).
+    pub max_bytes: usize,
+    /// Maximum accepted data rows.
+    pub max_rows: usize,
+}
+
+impl Default for TraceLimits {
+    fn default() -> Self {
+        TraceLimits {
+            max_bytes: 1 << 30,
+            max_rows: 4_000_000,
+        }
+    }
+}
+
+/// Structured ingestion failures. Parsing itself never panics: every
+/// malformed shape lands here or in a skip counter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceError {
+    /// Reading the underlying source failed.
+    Io(String),
+    /// The source had no header line.
+    NoHeader,
+    /// A design input name matched no CSV header field.
+    MissingColumn {
+        /// The unmatched input name.
+        name: String,
+    },
+    /// Every data row was missing, malformed, or absent.
+    NoRows,
+    /// The source exceeded [`TraceLimits::max_bytes`].
+    TooManyBytes {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The source exceeded [`TraceLimits::max_rows`].
+    TooManyRows {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The cancellation callback fired mid-ingestion.
+    Cancelled,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceError::NoHeader => write!(f, "trace has no header line"),
+            TraceError::MissingColumn { name } => {
+                write!(f, "trace has no column for input `{name}`")
+            }
+            TraceError::NoRows => write!(f, "trace has no usable data rows"),
+            TraceError::TooManyBytes { limit } => {
+                write!(f, "trace exceeds the byte cap ({limit} bytes)")
+            }
+            TraceError::TooManyRows { limit } => {
+                write!(f, "trace exceeds the row cap ({limit} rows)")
+            }
+            TraceError::Cancelled => write!(f, "trace ingestion cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A parsed, input-bound trace: one column of accepted samples per
+/// design input, in the design's input order, plus the single-pass
+/// statistics and skip counters gathered on the way through.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    names: Vec<String>,
+    columns: Vec<Vec<f64>>,
+    stats: Vec<OnlineStats>,
+    rows: usize,
+    skipped_ragged: usize,
+    skipped_non_finite: usize,
+    ignored_columns: usize,
+}
+
+impl Trace {
+    /// Parses an in-memory CSV text bound to `inputs` (see the crate
+    /// docs for binding rules).
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`]; never panics on malformed input.
+    pub fn parse(text: &str, inputs: &[String], limits: &TraceLimits) -> Result<Trace, TraceError> {
+        Trace::read_with(text.as_bytes(), inputs, limits, &|| false)
+    }
+
+    /// Streams a CSV source bound to `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`]; I/O failures map to [`TraceError::Io`].
+    pub fn read(
+        r: impl BufRead,
+        inputs: &[String],
+        limits: &TraceLimits,
+    ) -> Result<Trace, TraceError> {
+        Trace::read_with(r, inputs, limits, &|| false)
+    }
+
+    /// [`Trace::read`] with a cooperative cancellation check, consulted
+    /// every [`CANCEL_EVERY_ROWS`] accepted-or-skipped rows — the
+    /// budget-checked ingestion hook for the server. A check that never
+    /// fires leaves the result identical to [`Trace::read`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Cancelled`] when the check fires; otherwise as
+    /// [`Trace::read`].
+    pub fn read_with(
+        mut r: impl BufRead,
+        inputs: &[String],
+        limits: &TraceLimits,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Result<Trace, TraceError> {
+        let mut bytes_read = 0usize;
+        let mut line = String::new();
+        let mut next_line = |line: &mut String| -> Result<Option<()>, TraceError> {
+            line.clear();
+            let n = r
+                .read_line(line)
+                .map_err(|e| TraceError::Io(e.to_string()))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            bytes_read += n;
+            if bytes_read > limits.max_bytes {
+                return Err(TraceError::TooManyBytes {
+                    limit: limits.max_bytes,
+                });
+            }
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            Ok(Some(()))
+        };
+
+        // Header: first non-empty line, quote-aware split.
+        let headers = loop {
+            if next_line(&mut line)?.is_none() {
+                return Err(TraceError::NoHeader);
+            }
+            if !line.trim().is_empty() {
+                break split_csv(&line);
+            }
+        };
+
+        // Bind each input name to its header position.
+        let bound: Vec<usize> = inputs
+            .iter()
+            .map(|name| {
+                headers
+                    .iter()
+                    .position(|h| h == name)
+                    .ok_or_else(|| TraceError::MissingColumn { name: name.clone() })
+            })
+            .collect::<Result<_, _>>()?;
+        let ignored_columns = headers.len() - {
+            let mut seen = bound.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            seen.len()
+        };
+
+        let mut columns: Vec<Vec<f64>> = vec![Vec::new(); inputs.len()];
+        let mut stats = vec![OnlineStats::new(); inputs.len()];
+        let mut rows = 0usize;
+        let mut scanned = 0usize;
+        let mut skipped_ragged = 0usize;
+        let mut skipped_non_finite = 0usize;
+        let mut parsed = Vec::with_capacity(inputs.len());
+        while next_line(&mut line)?.is_some() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            scanned += 1;
+            if scanned.is_multiple_of(CANCEL_EVERY_ROWS) && cancelled() {
+                return Err(TraceError::Cancelled);
+            }
+            let fields = split_csv(&line);
+            if bound.iter().any(|&c| c >= fields.len()) {
+                skipped_ragged += 1;
+                continue;
+            }
+            parsed.clear();
+            let mut bad = false;
+            for &c in &bound {
+                match fields[c].trim().parse::<f64>() {
+                    Ok(v) if v.is_finite() => parsed.push(v),
+                    _ => {
+                        bad = true;
+                        break;
+                    }
+                }
+            }
+            if bad {
+                skipped_non_finite += 1;
+                continue;
+            }
+            if rows == limits.max_rows {
+                return Err(TraceError::TooManyRows {
+                    limit: limits.max_rows,
+                });
+            }
+            rows += 1;
+            for (j, &v) in parsed.iter().enumerate() {
+                columns[j].push(v);
+                stats[j].push(v);
+            }
+        }
+        if rows == 0 {
+            return Err(TraceError::NoRows);
+        }
+        Ok(Trace {
+            names: inputs.to_vec(),
+            columns,
+            stats,
+            rows,
+            skipped_ragged,
+            skipped_non_finite,
+            ignored_columns,
+        })
+    }
+
+    /// Bound input names, in the order given at parse time.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Accepted samples, column-major: `columns()[j][t]` is input `j`
+    /// at row `t`. All columns have [`Trace::rows`] entries and every
+    /// value is finite.
+    pub fn columns(&self) -> &[Vec<f64>] {
+        &self.columns
+    }
+
+    /// Per-column single-pass statistics, aligned with
+    /// [`Trace::names`].
+    pub fn stats(&self) -> &[OnlineStats] {
+        &self.stats
+    }
+
+    /// Accepted data rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rows skipped because they were too short to cover every bound
+    /// column.
+    pub fn skipped_ragged(&self) -> usize {
+        self.skipped_ragged
+    }
+
+    /// Rows skipped because a bound field was non-finite, empty, or
+    /// unparseable.
+    pub fn skipped_non_finite(&self) -> usize {
+        self.skipped_non_finite
+    }
+
+    /// Total rows skipped for any reason.
+    pub fn skipped(&self) -> usize {
+        self.skipped_ragged + self.skipped_non_finite
+    }
+
+    /// Header columns not bound to any input.
+    pub fn ignored_columns(&self) -> usize {
+        self.ignored_columns
+    }
+
+    /// The measured `(min, max)` range of column `j`.
+    pub fn range(&self, j: usize) -> (f64, f64) {
+        (self.stats[j].min(), self.stats[j].max())
+    }
+}
+
+/// Splits one CSV line into fields: comma-separated, optionally
+/// double-quoted (doubled quotes escape a literal quote), whitespace
+/// around unquoted fields trimmed.
+fn split_csv(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    let mut was_quoted = false;
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.trim().is_empty() && !was_quoted => {
+                in_quotes = true;
+                was_quoted = true;
+                field.clear();
+            }
+            ',' if !in_quotes => {
+                fields.push(finish_field(&mut field, &mut was_quoted));
+            }
+            _ => field.push(ch),
+        }
+    }
+    fields.push(finish_field(&mut field, &mut was_quoted));
+    fields
+}
+
+fn finish_field(field: &mut String, was_quoted: &mut bool) -> String {
+    let out = if *was_quoted {
+        std::mem::take(field)
+    } else {
+        let trimmed = field.trim().to_string();
+        field.clear();
+        trimmed
+    };
+    *was_quoted = false;
+    out
+}
+
+/// Writes a CSV text for `names` and row-major `rows` — the exact
+/// inverse of [`Trace::parse`] for finite values (headers are quoted
+/// when they contain a comma or quote; values use Rust's shortest
+/// round-trip `f64` formatting).
+pub fn write_csv(names: &[String], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if name.contains(',') || name.contains('"') {
+            out.push('"');
+            out.push_str(&name.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(name);
+        }
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn binds_columns_by_header_name_in_input_order() {
+        let csv = "b,a,extra\n1,2,9\n3,4,9\n";
+        let t = Trace::parse(csv, &names(&["a", "b"]), &TraceLimits::default()).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.columns()[0], vec![2.0, 4.0], "a");
+        assert_eq!(t.columns()[1], vec![1.0, 3.0], "b");
+        assert_eq!(t.ignored_columns(), 1);
+        assert_eq!(t.stats()[0].count(), 2);
+        assert_eq!(t.stats()[0].mean(), 3.0);
+    }
+
+    #[test]
+    fn vector_bank_columns_bind_per_element() {
+        let csv = "v[0],v[1]\n0.5,-0.5\n";
+        let t = Trace::parse(csv, &names(&["v[0]", "v[1]"]), &TraceLimits::default()).unwrap();
+        assert_eq!(t.range(0), (0.5, 0.5));
+        assert_eq!(t.range(1), (-0.5, -0.5));
+    }
+
+    #[test]
+    fn crlf_and_quoted_headers_parse() {
+        let csv = "\"x\",\"y\"\r\n1,2\r\n3,4\r\n";
+        let t = Trace::parse(csv, &names(&["x", "y"]), &TraceLimits::default()).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.columns()[1], vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn ragged_and_non_finite_rows_skip_with_counts() {
+        let csv = "x,y\n1,2\n3\n,5\nNaN,6\ninf,7\n8,9\n\n";
+        let t = Trace::parse(csv, &names(&["x", "y"]), &TraceLimits::default()).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.skipped_ragged(), 1, "short row");
+        assert_eq!(t.skipped_non_finite(), 3, "empty, NaN, inf");
+        assert_eq!(t.columns()[0], vec![1.0, 8.0]);
+    }
+
+    #[test]
+    fn structured_errors_for_empty_missing_and_capped() {
+        let e = Trace::parse("", &names(&["x"]), &TraceLimits::default());
+        assert_eq!(e, Err(TraceError::NoHeader));
+        let e = Trace::parse("x,y\n", &names(&["x"]), &TraceLimits::default());
+        assert_eq!(e, Err(TraceError::NoRows));
+        let e = Trace::parse("a\n1\n", &names(&["x"]), &TraceLimits::default());
+        assert_eq!(
+            e,
+            Err(TraceError::MissingColumn {
+                name: "x".to_string()
+            })
+        );
+        let tight = TraceLimits {
+            max_rows: 1,
+            ..TraceLimits::default()
+        };
+        let e = Trace::parse("x\n1\n2\n", &names(&["x"]), &tight);
+        assert_eq!(e, Err(TraceError::TooManyRows { limit: 1 }));
+        let tiny = TraceLimits {
+            max_bytes: 4,
+            ..TraceLimits::default()
+        };
+        let e = Trace::parse("x,y\n1,2\n", &names(&["x"]), &tiny);
+        assert_eq!(e, Err(TraceError::TooManyBytes { limit: 4 }));
+    }
+
+    #[test]
+    fn cancellation_fires_between_row_batches() {
+        let mut csv = String::from("x\n");
+        for i in 0..2 * CANCEL_EVERY_ROWS {
+            csv.push_str(&format!("{i}\n"));
+        }
+        let e = Trace::read_with(
+            csv.as_bytes(),
+            &names(&["x"]),
+            &TraceLimits::default(),
+            &|| true,
+        );
+        assert_eq!(e, Err(TraceError::Cancelled));
+    }
+
+    #[test]
+    fn online_stats_match_two_pass_reference() {
+        let xs = [1.5, -2.0, 0.25, 7.0, -0.125];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), -2.0);
+        assert_eq!(s.max(), 7.0);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let fields = split_csv("\"a,b\",\"he said \"\"hi\"\"\", plain ");
+        assert_eq!(fields, vec!["a,b", "he said \"hi\"", "plain"]);
+    }
+}

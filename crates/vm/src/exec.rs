@@ -19,7 +19,9 @@
 //! requantizes the result through the exact same
 //! `scale → round/floor → overflow-handle → rescale` pipeline as
 //! `Quantizer::mantissa_of`.  The exact bank mirrors
-//! `sna_dfg::Simulator` exactly — same f64 ops in the same order.
+//! `sna_dfg::Simulator` exactly — same f64 ops in the same order,
+//! including the reference's incidental `-0.0 → +0.0` normalization
+//! (its `v + injection` add): every exact kernel stores `… + 0.0`.
 
 use std::sync::Arc;
 
@@ -118,11 +120,18 @@ impl LaneQuant {
     /// scaled values).
     ///
     /// The `Saturate` arms clamp with two selects (`if m >= min_m`,
-    /// `if m <= max_m`): in range `m` passes through bit-unchanged
-    /// (±0.0 included), out of range the nearer bound wins, and NaN
-    /// fails the first comparison and lands on `min_m` — exactly the
-    /// scalar branch chain's outcomes, but in a form LLVM turns into
-    /// vectorized compares + blends instead of branches.
+    /// `if m <= max_m`): in range `m` passes through unchanged, out of
+    /// range the nearer bound wins, and NaN fails the first comparison
+    /// and lands on `min_m` — exactly the scalar branch chain's
+    /// outcomes, but in a form LLVM turns into vectorized compares +
+    /// blends instead of branches.
+    ///
+    /// The trailing `+ 0.0` in every store normalizes `-0.0` to `+0.0`:
+    /// the scalar quantizer round-trips through an `i64` mantissa, which
+    /// erases the sign of zero, and bit-identity with it is the VM's
+    /// contract. It is a no-op for every other value (IEEE-754
+    /// `x + (+0.0) == x` whenever `x != -0.0`) and stays inside the
+    /// auto-vectorized lane loop.
     #[inline]
     fn requantize(&self, lanes: &mut [f64]) {
         let LaneQuant {
@@ -139,7 +148,7 @@ impl LaneQuant {
                     let m = round_ties_away(*x * inv_res);
                     let m = if m >= min_m { m } else { min_m };
                     let m = if m <= max_m { m } else { max_m };
-                    *x = m * res;
+                    *x = m * res + 0.0;
                 }
             }
             (Rounding::Truncate, Overflow::Saturate) => {
@@ -147,7 +156,7 @@ impl LaneQuant {
                     let m = floor_magic(*x * inv_res);
                     let m = if m >= min_m { m } else { min_m };
                     let m = if m <= max_m { m } else { max_m };
-                    *x = m * res;
+                    *x = m * res + 0.0;
                 }
             }
             (Rounding::Nearest, Overflow::Wrap) => {
@@ -158,7 +167,7 @@ impl LaneQuant {
                     } else {
                         (m - min_m).rem_euclid(modulus) + min_m
                     };
-                    *x = m * res;
+                    *x = m * res + 0.0;
                 }
             }
             (Rounding::Truncate, Overflow::Wrap) => {
@@ -169,7 +178,7 @@ impl LaneQuant {
                     } else {
                         (m - min_m).rem_euclid(modulus) + min_m
                     };
-                    *x = m * res;
+                    *x = m * res + 0.0;
                 }
             }
         }
@@ -197,7 +206,7 @@ impl LaneQuant {
                     let m = round_ties_away(f(x, y) * inv_res);
                     let m = if m >= min_m { m } else { min_m };
                     let m = if m <= max_m { m } else { max_m };
-                    *d = m * res;
+                    *d = m * res + 0.0;
                 }
             }
             (Rounding::Truncate, Overflow::Saturate) => {
@@ -205,7 +214,7 @@ impl LaneQuant {
                     let m = floor_magic(f(x, y) * inv_res);
                     let m = if m >= min_m { m } else { min_m };
                     let m = if m <= max_m { m } else { max_m };
-                    *d = m * res;
+                    *d = m * res + 0.0;
                 }
             }
             (Rounding::Nearest, Overflow::Wrap) => {
@@ -216,7 +225,7 @@ impl LaneQuant {
                     } else {
                         (m - min_m).rem_euclid(modulus) + min_m
                     };
-                    *d = m * res;
+                    *d = m * res + 0.0;
                 }
             }
             (Rounding::Truncate, Overflow::Wrap) => {
@@ -227,7 +236,7 @@ impl LaneQuant {
                     } else {
                         (m - min_m).rem_euclid(modulus) + min_m
                     };
-                    *d = m * res;
+                    *d = m * res + 0.0;
                 }
             }
         }
@@ -335,7 +344,7 @@ impl Executable {
                     Op::Const(c) => c,
                     other => unreachable!("const register bound to {other:?}"),
                 };
-                (reg, c, quants[node as usize].quantize(c))
+                (reg, c + 0.0, quants[node as usize].quantize(c))
             })
             .collect();
         let (snap_srcs, latch_plan) = plan_latches(&program, dfg, &quants);
@@ -416,13 +425,15 @@ impl Executable {
             match op {
                 OpCode::In => {
                     let lanes = &inputs[a];
-                    state.exact[dst].copy_from_slice(lanes);
+                    for (d, &s) in state.exact[dst].iter_mut().zip(lanes) {
+                        *d = s + 0.0;
+                    }
                     q.map1_requant(&mut state.quant[dst], lanes, |x| x);
                 }
                 OpCode::Neg => {
                     let (d, s, _) = split_dst(&mut state.exact, dst, a, a);
                     for (d, &s) in d.iter_mut().zip(s) {
-                        *d = -s;
+                        *d = -s + 0.0;
                     }
                     let (d, s, _) = split_dst(&mut state.quant, dst, a, a);
                     q.map1_requant(d, s, |x| -x);
@@ -454,7 +465,7 @@ impl Executable {
                     }
                     let (d, x, y) = split_dst(&mut state.exact, dst, a, b);
                     for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
-                        *d = x / y;
+                        *d = x / y + 0.0;
                     }
                     let (d, x, y) = split_dst(&mut state.quant, dst, a, b);
                     q.map2_requant(d, x, y, |x, y| x / y);
@@ -644,17 +655,17 @@ fn arith(op: OpCode, d: &mut [f64], x: &[f64], y: &[f64]) {
     match op {
         OpCode::Add => {
             for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
-                *d = x + y;
+                *d = x + y + 0.0;
             }
         }
         OpCode::Sub => {
             for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
-                *d = x - y;
+                *d = x - y + 0.0;
             }
         }
         OpCode::Mul => {
             for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
-                *d = x * y;
+                *d = x * y + 0.0;
             }
         }
         _ => unreachable!("arith handles Add/Sub/Mul only"),
@@ -720,6 +731,116 @@ mod tests {
         }
         assert!(round_ties_away(f64::NAN).is_nan());
         assert!(floor_magic(f64::NAN).is_nan());
+    }
+
+    /// [`LaneQuant::requantize`] vs the scalar [`Quantizer::quantize`]
+    /// at the places they historically diverged or could: the range
+    /// endpoints `lo`/`hi`, one tick and one half-tick inside/outside
+    /// them, and ±0.0 (the scalar path's i64 mantissa round-trip erases
+    /// the sign of zero; the lane path must match bit-for-bit).
+    #[test]
+    fn requantize_matches_scalar_quantizer_at_endpoints_and_zero() {
+        use sna_fixp::Format;
+        let formats = [
+            Format::new(4, 0).unwrap(),   // integers −8..=7
+            Format::new(8, 6).unwrap(),   // fractional, hi ≠ |lo|
+            Format::new(12, 11).unwrap(), // the default unit-range shape
+            Format::new(27, 20).unwrap(), // widest exactly-mirrored WL
+        ];
+        for format in formats {
+            let res = format.resolution();
+            let (lo, hi) = (format.min_value(), format.max_value());
+            let probes = [
+                lo,
+                hi,
+                0.0,
+                -0.0,
+                lo + res,
+                hi - res,
+                lo - res,
+                hi + res,
+                lo - res / 2.0, // rounding tie straddling the endpoint
+                hi + res / 2.0,
+                res / 2.0, // tie at the origin
+                -res / 2.0,
+                2.0 * lo,
+                2.0 * hi,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            ];
+            for rounding in [Rounding::Nearest, Rounding::Truncate] {
+                for overflow in [Overflow::Saturate, Overflow::Wrap] {
+                    let q = Quantizer::new(format, rounding, overflow);
+                    let lane = LaneQuant::of(&q);
+                    for &x in &probes {
+                        if overflow == Overflow::Wrap && !x.is_finite() {
+                            continue; // wrap of ±∞ is documented out of contract
+                        }
+                        let mut lanes = [x];
+                        lane.requantize(&mut lanes);
+                        let want = q.quantize(x);
+                        assert_eq!(
+                            lanes[0].to_bits(),
+                            want.to_bits(),
+                            "requantize({x:e}) with {rounding:?}/{overflow:?} on {format:?}: \
+                             lane {:e} vs scalar {want:e}",
+                            lanes[0]
+                        );
+                        let mut fused = [0.0];
+                        lane.map2_requant(&mut fused, &[x], &[0.0], |a, b| a + b);
+                        assert_eq!(
+                            fused[0].to_bits(),
+                            want.to_bits(),
+                            "map2_requant({x:e}) with {rounding:?}/{overflow:?} on {format:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// An endpoint-valued trace through the whole executor: inputs
+    /// sitting exactly on `lo`, `hi`, ±0.0 and the half-tick ties must
+    /// keep the VM bit-identical to both scalar simulators (the
+    /// `neg`/`sub` paths produce `-0.0` internally, which the
+    /// quantizers must normalize identically).
+    #[test]
+    fn endpoint_valued_traces_stay_bit_identical_to_the_scalar_simulators() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.add(x, y);
+        let p = b.mul(s, s);
+        let d = b.sub(p, x);
+        let n = b.neg(d);
+        b.output("p", p);
+        b.output("n", n);
+        let dfg = b.build().unwrap();
+        let ranges = vec![Interval::new(-2.0, 2.0).unwrap(); dfg.n_inputs()];
+        let config = WlConfig::from_ranges(&dfg, &ranges, 12).unwrap();
+        let res = 2.0 / ((1u64 << 11) as f64); // 12-bit format over [-2, 2)
+        let edge = [
+            0.0,
+            -0.0,
+            2.0,
+            -2.0,
+            2.0 - res,
+            -2.0 + res,
+            res / 2.0,
+            -res / 2.0,
+        ];
+        // Every ordered pair of edge values, one lane per pair.
+        let steps = 4;
+        let traces: Vec<Vec<f64>> = edge
+            .iter()
+            .flat_map(|&a| edge.iter().map(move |&b| (a, b)))
+            .map(|(a, b)| {
+                (0..steps)
+                    .flat_map(|t| [a, if t % 2 == 0 { b } else { -b }])
+                    .collect()
+            })
+            .collect();
+        lockstep_check(&dfg, &config, &traces, steps);
     }
 
     fn lockstep_check(dfg: &Dfg, config: &WlConfig, traces: &[Vec<f64>], steps: usize) {

@@ -28,11 +28,13 @@
 
 mod exec;
 mod program;
+mod replay;
 mod simulate;
 mod wire;
 
 pub use exec::{Executable, VmState};
 pub use program::{Inst, OpCode, Program, Reg};
+pub use replay::{replay, replay_with, ReplayOptions};
 pub use simulate::{simulate, simulate_with, OutputStats, SimOptions};
 
 use sna_dfg::NodeId;

@@ -26,7 +26,7 @@ use crate::VmError;
 /// stays cache-resident — per-lane step cost rises measurably past this
 /// (see `benches/eval.rs`) — and that chunk-level work stealing
 /// balances uneven core counts.
-const CHUNK_LANES: usize = 512;
+pub(crate) const CHUNK_LANES: usize = 512;
 
 /// Golden-ratio increment for per-chunk seed derivation (SplitMix64's
 /// gamma) — consecutive chunk seeds land far apart in the seed space.
@@ -86,7 +86,7 @@ pub struct OutputStats {
 }
 
 /// One chunk's collected error samples, per output.
-type ChunkSamples = Vec<Vec<f64>>;
+pub(crate) type ChunkSamples = Vec<Vec<f64>>;
 
 /// Runs `opts.paths` Monte-Carlo sample paths and returns per-output
 /// empirical error statistics.
@@ -183,12 +183,23 @@ pub fn simulate_with(
         Ok(samples)
     };
 
-    // Deterministic fan-out: workers steal chunk indices from a cursor;
-    // results are reassembled in chunk order before merging.  The
-    // cancellation check gates every chunk claim; a chunk abandoned to
-    // cancellation leaves its slot empty, which the merge reads as
-    // `Cancelled` (never a panic).
-    let chunks: Vec<Result<ChunkSamples, VmError>> = if workers == 1 {
+    let chunks = run_chunks(n_chunks, workers, cancelled, &run_chunk);
+    merge_stats(exe, n_out, chunks, opts.bins)
+}
+
+/// Deterministic fan-out shared by [`simulate_with`] and the trace
+/// replay driver: workers steal chunk indices from a cursor; results
+/// are reassembled in chunk order before merging.  The cancellation
+/// check gates every chunk claim; a chunk abandoned to cancellation
+/// leaves its slot empty, which the caller's merge reads as
+/// `Cancelled` (never a panic).
+pub(crate) fn run_chunks(
+    n_chunks: usize,
+    workers: usize,
+    cancelled: &(dyn Fn() -> bool + Sync),
+    run_chunk: &(dyn Fn(usize) -> Result<ChunkSamples, VmError> + Sync),
+) -> Vec<Result<ChunkSamples, VmError>> {
+    if workers == 1 {
         (0..n_chunks)
             .map(|i| {
                 if cancelled() {
@@ -224,10 +235,18 @@ pub fn simulate_with(
                     .unwrap_or(Err(VmError::Cancelled))
             })
             .collect()
-    };
+    }
+}
 
-    // Merge in chunk-index order: the sample sequence (and therefore
-    // every statistic) is identical for any worker count.
+/// Merges chunk results in chunk-index order — the sample sequence
+/// (and therefore every statistic) is identical for any worker count —
+/// and reduces them to per-output statistics.
+pub(crate) fn merge_stats(
+    exe: &Executable,
+    n_out: usize,
+    chunks: Vec<Result<ChunkSamples, VmError>>,
+    bins: usize,
+) -> Result<Vec<OutputStats>, VmError> {
     let mut merged: Vec<Vec<f64>> = vec![Vec::new(); n_out];
     for chunk in chunks {
         let chunk = chunk?;
@@ -239,7 +258,7 @@ pub fn simulate_with(
     exe.output_names()
         .iter()
         .zip(&merged)
-        .map(|(name, samples)| stats_of(name, samples, opts.bins))
+        .map(|(name, samples)| stats_of(name, samples, bins))
         .collect()
 }
 

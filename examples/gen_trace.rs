@@ -1,0 +1,38 @@
+//! Generates a deterministic recorded-signal CSV for the single-input
+//! example designs (`fir.sna`, `diffeq.sna`, …), printed to stdout:
+//!
+//! ```text
+//! cargo run --release --example gen_trace            # 20000 rows
+//! cargo run --release --example gen_trace -- 500     # 500 rows
+//! cargo run --release --example gen_trace -- 500 0.9 # amplitude 0.9
+//! ```
+//!
+//! The signal is a Weyl sequence (golden-ratio multiply, the same
+//! generator the core trace tests use): uniform on `[-amp, amp]`,
+//! reproducible bit-for-bit on every platform, no RNG state. Pipe it to
+//! a file and feed it to the trace verbs:
+//!
+//! ```text
+//! cargo run --release --example gen_trace > /tmp/x.csv
+//! cargo run --release -- trace report examples/fir.sna --trace /tmp/x.csv
+//! ```
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args
+        .next()
+        .map(|s| s.parse().expect("rows must be an integer"))
+        .unwrap_or(20_000);
+    let amp: f64 = args
+        .next()
+        .map(|s| s.parse().expect("amplitude must be a number"))
+        .unwrap_or(0.8);
+    println!("x");
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    for _ in 0..rows {
+        state = state.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        // Top 53 bits → uniform in [0, 1) exactly representable in f64.
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+        println!("{}", amp * (2.0 * u - 1.0));
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`designs`] | the paper's six case-study datapaths |
 //! | [`opt`] | noise-constrained word-length optimizers |
 //! | [`lang`] | the textual `.sna` datapath DSL |
+//! | [`trace`] | streaming CSV trace ingestion + empirical input fitting |
 //! | [`service`] | batch/server execution: compile cache, worker pool, wire protocol |
 //!
 //! # Quickstart
@@ -82,3 +83,4 @@ pub use sna_interval as interval;
 pub use sna_lang as lang;
 pub use sna_opt as opt;
 pub use sna_service as service;
+pub use sna_trace as trace;
